@@ -1,0 +1,213 @@
+package jocl
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 4), plus micro-benchmarks of the substrates that
+// dominate the pipeline's cost. Each table benchmark measures the full
+// regeneration — baselines plus JOCL inference — on a small-scale
+// synthetic suite; the memoization cache is cleared between iterations
+// so every iteration pays the real cost.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/embedding"
+	"repro/internal/factorgraph"
+	"repro/internal/signals"
+)
+
+const benchScale = 0.008
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+	suiteErr  error
+)
+
+func getSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = bench.NewSuite(benchScale)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func benchTable(b *testing.B, run func(s *bench.Suite) (*bench.Table, error)) {
+	s := getSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		t, err := run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable1_NPCanonicalization regenerates the paper's Table 1:
+// eight NP canonicalization methods on both data sets.
+func BenchmarkTable1_NPCanonicalization(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.Table1() })
+}
+
+// BenchmarkTable2_RPCanonicalization regenerates Table 2: four RP
+// canonicalization methods on ReVerb45K.
+func BenchmarkTable2_RPCanonicalization(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.Table2() })
+}
+
+// BenchmarkTable3_EntityLinking regenerates Table 3: six entity
+// linking systems on both data sets.
+func BenchmarkTable3_EntityLinking(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.Table3() })
+}
+
+// BenchmarkFigure3_RelationLinking regenerates Figure 3: five relation
+// linking systems on ReVerb45K.
+func BenchmarkFigure3_RelationLinking(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.Figure3() })
+}
+
+// BenchmarkTable4_InteractionAblation regenerates Table 4: JOCLcano /
+// JOCLlink / JOCL on ReVerb45K.
+func BenchmarkTable4_InteractionAblation(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.Table4() })
+}
+
+// BenchmarkFigure4_FeatureAblation regenerates Figure 4 (and Table
+// 5's variants): JOCL-single / -double / -all on ReVerb45K.
+func BenchmarkFigure4_FeatureAblation(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.Figure4() })
+}
+
+// BenchmarkExtraScheduleAblation measures the beyond-the-paper message
+// schedule ablation (paper order vs flooding).
+func BenchmarkExtraScheduleAblation(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.AblationSchedule() })
+}
+
+// BenchmarkExtraBlockingAblation measures the blocking-threshold sweep.
+func BenchmarkExtraBlockingAblation(b *testing.B) {
+	benchTable(b, func(s *bench.Suite) (*bench.Table, error) { return s.AblationBlocking() })
+}
+
+// ---------- component micro-benchmarks ----------
+
+// BenchmarkJOCLInference measures one full JOCL build+train+infer pass
+// over the ReVerb45K-profile benchmark.
+func BenchmarkJOCLInference(b *testing.B) {
+	s := getSuite(b)
+	res := s.Resources(s.Reverb)
+	labels := &core.Labels{
+		NPLink:    s.Reverb.ValidationNPLinks(),
+		RPLink:    s.Reverb.ValidationRPLinks(),
+		NPCluster: s.Reverb.ValidationNPClusters(),
+		RPCluster: s.Reverb.ValidationRPClusters(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(res, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run(labels)
+	}
+}
+
+// BenchmarkGraphConstruction isolates factor graph construction.
+func BenchmarkGraphConstruction(b *testing.B) {
+	s := getSuite(b)
+	res := s.Resources(s.Reverb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewSystem(res, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLBPSweeps measures scheduled loopy BP on the JOCL graph.
+func BenchmarkLBPSweeps(b *testing.B) {
+	s := getSuite(b)
+	sys, err := core.NewSystem(s.Resources(s.Reverb), core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := sys.Graph()
+	bp := factorgraph.NewBP(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.Reset()
+		bp.Run(factorgraph.RunOptions{MaxSweeps: 5, Schedule: sys.Schedule()})
+	}
+}
+
+// BenchmarkBlocking measures IDF pair blocking over the NP vocabulary.
+func BenchmarkBlocking(b *testing.B) {
+	s := getSuite(b)
+	nps := s.Reverb.OKB.NPs()
+	idf := s.Reverb.OKB.NPIDF()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signals.BlockPairs(nps, idf, 0.5)
+	}
+}
+
+// BenchmarkEmbeddingTraining measures the PPMI+SVD embedding trainer
+// on the benchmark's corpus-scale input.
+func BenchmarkEmbeddingTraining(b *testing.B) {
+	sents := make([][]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		sents = append(sents, []string{
+			fmt.Sprintf("w%d", i%97), fmt.Sprintf("w%d", (i*7)%97),
+			fmt.Sprintf("w%d", (i*13)%97), fmt.Sprintf("w%d", (i*29)%97),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embedding.Train(sents, embedding.Config{Dim: 32, Seed: 1})
+	}
+}
+
+// BenchmarkHAC measures average-linkage clustering at baseline scale.
+func BenchmarkHAC(b *testing.B) {
+	n := 300
+	sim := func(i, j int) float64 { return 1.0 / float64(1+(i-j)*(i-j)) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.HAC(n, sim, cluster.AverageLinkage, 0.3)
+	}
+}
+
+// BenchmarkCandidateGeneration measures CKB candidate retrieval.
+func BenchmarkCandidateGeneration(b *testing.B) {
+	s := getSuite(b)
+	nps := s.Reverb.OKB.NPs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reverb.CKB.CandidateEntities(nps[i%len(nps)], 6)
+	}
+}
+
+// BenchmarkDatasetGeneration measures full benchmark synthesis
+// (world + triples + anchors + embeddings + PPDB).
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := datasets.Generate(datasets.ReVerb45K(0.005)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

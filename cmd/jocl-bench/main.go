@@ -1,0 +1,91 @@
+// Command jocl-bench regenerates the paper's tables and figures (and
+// the extra design-choice ablations) over the synthetic benchmark
+// suite, printing measured values with the paper's reported values in
+// parentheses.
+//
+// Usage:
+//
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra]
+//
+// scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
+// the default keeps a laptop run under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
+		exp   = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra)")
+	)
+	flag.Parse()
+	if err := run(*scale, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, exp string) error {
+	fmt.Printf("generating benchmark suite at scale %g ...\n", scale)
+	suite, err := bench.NewSuite(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ReVerb45K: %d triples, %d entities; NYTimes2018: %d triples\n\n",
+		suite.Reverb.OKB.Len(), len(suite.Reverb.CKB.EntityIDs()), suite.NYT.OKB.Len())
+
+	runners := map[string]func() (*bench.Table, error){
+		"table1":  suite.Table1,
+		"table2":  suite.Table2,
+		"table3":  suite.Table3,
+		"figure3": suite.Figure3,
+		"table4":  suite.Table4,
+		"figure4": suite.Figure4,
+	}
+	printTable := func(t *bench.Table) {
+		fmt.Println(t.Format())
+	}
+
+	switch exp {
+	case "all":
+		tables, err := suite.All()
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			printTable(t)
+		}
+		extras, err := suite.Extras()
+		if err != nil {
+			return err
+		}
+		for _, t := range extras {
+			printTable(t)
+		}
+	case "extra":
+		extras, err := suite.Extras()
+		if err != nil {
+			return err
+		}
+		for _, t := range extras {
+			printTable(t)
+		}
+	default:
+		runner, ok := runners[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		t, err := runner()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+	}
+	return nil
+}

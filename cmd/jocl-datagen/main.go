@@ -1,0 +1,141 @@
+// Command jocl-datagen synthesizes a benchmark data set (see
+// internal/datasets and DESIGN.md) and writes it to a directory in the
+// plain-text formats the jocl command reads:
+//
+//	triples.tsv, entities.tsv, relations.tsv, facts.tsv, anchors.tsv,
+//	corpus.txt, paraphrases.txt (a rebuild of the PPDB input groups),
+//	gold-np-links.tsv, gold-rp-links.tsv,
+//	gold-np-groups.tsv, gold-rp-groups.tsv
+//
+// Usage:
+//
+//	jocl-datagen -profile reverb45k -scale 0.05 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/ckb"
+	"repro/internal/datasets"
+	"repro/internal/kbio"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "reverb45k", "reverb45k | nytimes2018")
+		scale   = flag.Float64("scale", 0.05, "fraction of the paper's data set size")
+		out     = flag.String("out", "data", "output directory")
+	)
+	flag.Parse()
+	if err := run(*profile, *scale, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "jocl-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, scale float64, out string) error {
+	var p datasets.Profile
+	switch profile {
+	case "reverb45k":
+		p = datasets.ReVerb45K(scale)
+	case "nytimes2018":
+		p = datasets.NYTimes2018(scale)
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	ds, err := datasets.Generate(p)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(out, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+
+	if err := write("triples.tsv", func(f *os.File) error {
+		return ds.OKB.WriteTSV(f)
+	}); err != nil {
+		return err
+	}
+	if err := write("entities.tsv", func(f *os.File) error {
+		var es []ckb.Entity
+		for _, id := range ds.CKB.EntityIDs() {
+			es = append(es, *ds.CKB.Entity(id))
+		}
+		return kbio.WriteEntities(f, es)
+	}); err != nil {
+		return err
+	}
+	if err := write("relations.tsv", func(f *os.File) error {
+		var rs []ckb.Relation
+		for _, id := range ds.CKB.RelationIDs() {
+			rs = append(rs, *ds.CKB.Relation(id))
+		}
+		return kbio.WriteRelations(f, rs)
+	}); err != nil {
+		return err
+	}
+	if err := write("facts.tsv", func(f *os.File) error {
+		return kbio.WriteFacts(f, ds.CKB.Facts())
+	}); err != nil {
+		return err
+	}
+	if err := write("anchors.tsv", func(f *os.File) error {
+		var anchors []kbio.Anchor
+		for _, id := range ds.CKB.EntityIDs() {
+			e := ds.CKB.Entity(id)
+			for _, alias := range e.Aliases {
+				if n := ds.CKB.AnchorCount(alias); n > 0 {
+					// AnchorCount aggregates across entities sharing the
+					// surface; emit the per-entity popularity share.
+					share := int(float64(n) * ds.CKB.Popularity(alias, id))
+					if share > 0 {
+						anchors = append(anchors, kbio.Anchor{Surface: alias, Entity: id, Count: share})
+					}
+				}
+			}
+		}
+		return kbio.WriteAnchors(f, anchors)
+	}); err != nil {
+		return err
+	}
+
+	writeLabels := func(name string, labels map[string]string) error {
+		return write(name, func(f *os.File) error {
+			keys := make([]string, 0, len(labels))
+			for k := range labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return kbio.WriteLabels(f, labels, keys)
+		})
+	}
+	if err := writeLabels("gold-np-links.tsv", ds.GoldNPLink); err != nil {
+		return err
+	}
+	if err := writeLabels("gold-rp-links.tsv", ds.GoldRPLink); err != nil {
+		return err
+	}
+	if err := writeLabels("gold-np-groups.tsv", ds.GoldNPCluster); err != nil {
+		return err
+	}
+	if err := writeLabels("gold-rp-groups.tsv", ds.GoldRPCluster); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %s: %d triples, %d entities, %d relations, %d facts\n",
+		out, ds.OKB.Len(), len(ds.CKB.EntityIDs()), len(ds.CKB.RelationIDs()), len(ds.CKB.Facts()))
+	return nil
+}

@@ -1,0 +1,273 @@
+// Command jocl runs joint Open KB canonicalization and linking over
+// triple and knowledge-base files, printing the canonicalization
+// groups and the CKB links it infers.
+//
+// Usage:
+//
+//	jocl -triples triples.tsv -entities entities.tsv \
+//	     -relations relations.tsv -facts facts.tsv \
+//	     [-anchors anchors.tsv] [-corpus corpus.txt] \
+//	     [-paraphrases paraphrases.txt] [-mode joint|canon|link] \
+//	     [-features all|double|single|extended] [-max-candidates K] \
+//	     [-gold-np-links g.tsv] [-gold-rp-links g.tsv] \
+//	     [-gold-np-groups g.tsv] [-gold-rp-groups g.tsv]
+//
+// File formats are documented in internal/kbio. Output: one line per
+// canonicalization group ("group: a | b | c -> target"), NP groups
+// first, then RP groups.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/kbio"
+)
+
+func main() {
+	var (
+		triplesPath     = flag.String("triples", "", "OIE triples TSV (required)")
+		entitiesPath    = flag.String("entities", "", "CKB entities TSV (required)")
+		relationsPath   = flag.String("relations", "", "CKB relations TSV (required)")
+		factsPath       = flag.String("facts", "", "CKB facts TSV (required)")
+		anchorsPath     = flag.String("anchors", "", "anchor statistics TSV (optional)")
+		corpusPath      = flag.String("corpus", "", "embedding training corpus (optional)")
+		paraphrasesPath = flag.String("paraphrases", "", "paraphrase groups file (optional)")
+		mode            = flag.String("mode", "joint", "joint | canon | link")
+		features        = flag.String("features", "all", "all | double | single | extended")
+		maxCandidates   = flag.Int("max-candidates", 6, "CKB candidates per linking variable")
+		goldNPLinks     = flag.String("gold-np-links", "", "gold NP link labels TSV for evaluation (optional)")
+		goldRPLinks     = flag.String("gold-rp-links", "", "gold RP link labels TSV (optional)")
+		goldNPGroups    = flag.String("gold-np-groups", "", "gold NP group labels TSV (optional)")
+		goldRPGroups    = flag.String("gold-rp-groups", "", "gold RP group labels TSV (optional)")
+	)
+	flag.Parse()
+	if err := run(*triplesPath, *entitiesPath, *relationsPath, *factsPath,
+		*anchorsPath, *corpusPath, *paraphrasesPath, *mode, *features, *maxCandidates,
+		goldFiles{np: *goldNPLinks, rp: *goldRPLinks, npG: *goldNPGroups, rpG: *goldRPGroups}); err != nil {
+		fmt.Fprintln(os.Stderr, "jocl:", err)
+		os.Exit(1)
+	}
+}
+
+// goldFiles carries the optional evaluation label paths.
+type goldFiles struct{ np, rp, npG, rpG string }
+
+func run(triplesPath, entitiesPath, relationsPath, factsPath,
+	anchorsPath, corpusPath, paraphrasesPath, mode, features string, maxCandidates int, gold goldFiles) error {
+	for name, p := range map[string]string{
+		"-triples": triplesPath, "-entities": entitiesPath,
+		"-relations": relationsPath, "-facts": factsPath,
+	} {
+		if p == "" {
+			return fmt.Errorf("%s is required", name)
+		}
+	}
+
+	triples, err := readTriples(triplesPath)
+	if err != nil {
+		return err
+	}
+	kb, err := readKB(entitiesPath, relationsPath, factsPath, anchorsPath)
+	if err != nil {
+		return err
+	}
+
+	opts := []jocl.Option{
+		jocl.WithFeatureProfile(features),
+		jocl.WithMaxCandidates(maxCandidates),
+	}
+	switch mode {
+	case "joint":
+	case "canon":
+		opts = append(opts, jocl.WithoutLinking())
+	case "link":
+		opts = append(opts, jocl.WithoutCanonicalization())
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+	if corpusPath != "" {
+		sents, err := readCorpus(corpusPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, jocl.WithCorpus(sents))
+	}
+	if paraphrasesPath != "" {
+		groups, err := readParaphrases(paraphrasesPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, jocl.WithParaphrases(groups))
+	}
+
+	p, err := jocl.New(triples, kb, opts...)
+	if err != nil {
+		return err
+	}
+	res, err := p.Run(nil)
+	if err != nil {
+		return err
+	}
+	printResult(kb, res)
+	return evaluate(res, gold)
+}
+
+// evaluate scores the result against whatever gold files were given.
+func evaluate(res *jocl.Result, gold goldFiles) error {
+	readGold := func(path string) (map[string]string, error) {
+		if path == "" {
+			return nil, nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return kbio.ReadLabels(f)
+	}
+	if g, err := readGold(gold.np); err != nil {
+		return err
+	} else if g != nil {
+		fmt.Printf("# entity linking accuracy: %.3f (over %d labeled NPs)\n",
+			jocl.LinkingAccuracy(res.EntityLinks, g), len(g))
+	}
+	if g, err := readGold(gold.rp); err != nil {
+		return err
+	} else if g != nil {
+		fmt.Printf("# relation linking accuracy: %.3f (over %d labeled RPs)\n",
+			jocl.LinkingAccuracy(res.RelationLinks, g), len(g))
+	}
+	if g, err := readGold(gold.npG); err != nil {
+		return err
+	} else if g != nil {
+		sc := jocl.EvaluateClustering(res.NPGroups, g)
+		fmt.Printf("# NP canonicalization: macro %.3f  micro %.3f  pairwise %.3f  avg %.3f\n",
+			sc.Macro.F1, sc.Micro.F1, sc.Pairwise.F1, sc.AverageF1)
+	}
+	if g, err := readGold(gold.rpG); err != nil {
+		return err
+	} else if g != nil {
+		sc := jocl.EvaluateClustering(res.RPGroups, g)
+		fmt.Printf("# RP canonicalization: macro %.3f  micro %.3f  pairwise %.3f  avg %.3f\n",
+			sc.Macro.F1, sc.Micro.F1, sc.Pairwise.F1, sc.AverageF1)
+	}
+	return nil
+}
+
+func readTriples(path string) ([]jocl.Triple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return jocl.ReadTriplesTSV(f)
+}
+
+func readKB(entitiesPath, relationsPath, factsPath, anchorsPath string) (*jocl.KB, error) {
+	ef, err := os.Open(entitiesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	ents, err := kbio.ReadEntities(ef)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := os.Open(relationsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	rels, err := kbio.ReadRelations(rf)
+	if err != nil {
+		return nil, err
+	}
+	ff, err := os.Open(factsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ff.Close()
+	facts, err := kbio.ReadFacts(ff)
+	if err != nil {
+		return nil, err
+	}
+
+	es := make([]jocl.Entity, len(ents))
+	for i, e := range ents {
+		es[i] = jocl.Entity{ID: e.ID, Name: e.Name, Aliases: e.Aliases, Types: e.Types}
+	}
+	rs := make([]jocl.Relation, len(rels))
+	for i, r := range rels {
+		rs[i] = jocl.Relation{ID: r.ID, Name: r.Name, Category: r.Category, Aliases: r.Aliases}
+	}
+	fs := make([]jocl.Fact, len(facts))
+	for i, f := range facts {
+		fs[i] = jocl.Fact{Subject: f.Subj, Relation: f.Rel, Object: f.Obj}
+	}
+	kb, err := jocl.NewKB(es, rs, fs)
+	if err != nil {
+		return nil, err
+	}
+	if anchorsPath != "" {
+		af, err := os.Open(anchorsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer af.Close()
+		anchors, err := kbio.ReadAnchors(af)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range anchors {
+			kb.AddAnchor(a.Surface, a.Entity, a.Count)
+		}
+	}
+	return kb, nil
+}
+
+func readCorpus(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kbio.ReadCorpus(f)
+}
+
+func readParaphrases(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kbio.ReadParaphrases(f)
+}
+
+func printResult(kb *jocl.KB, res *jocl.Result) {
+	printGroups := func(header string, groups [][]string, links map[string]string, nameOf func(string) string) {
+		fmt.Println(header)
+		sorted := append([][]string(nil), groups...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+		for _, g := range sorted {
+			target := ""
+			if links != nil {
+				if id := links[g[0]]; id != "" {
+					target = fmt.Sprintf("  ->  %s (%s)", nameOf(id), id)
+				} else {
+					target = "  ->  (out of KB)"
+				}
+			}
+			fmt.Printf("  %s%s\n", strings.Join(g, " | "), target)
+		}
+	}
+	printGroups("# noun phrase groups", res.NPGroups, res.EntityLinks, kb.EntityName)
+	printGroups("# relation phrase groups", res.RPGroups, res.RelationLinks, kb.RelationName)
+	fmt.Printf("# stats: %d pair vars, %d link vars, %d factors, %d sweeps\n",
+		res.Stats.NPPairVariables+res.Stats.RPPairVariables,
+		res.Stats.LinkVariables, res.Stats.Factors, res.Stats.Sweeps)
+}

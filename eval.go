@@ -1,0 +1,66 @@
+package jocl
+
+import "repro/internal/metrics"
+
+// PRF1 bundles precision, recall, and F1.
+type PRF1 struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// ClusterScores holds the paper's three clustering metrics and their
+// average F1 summary.
+type ClusterScores struct {
+	Macro     PRF1
+	Micro     PRF1
+	Pairwise  PRF1
+	AverageF1 float64
+}
+
+// EvaluateClustering scores predicted groups against gold group labels
+// (element -> gold group id) with the macro, micro, and pairwise
+// metrics of Galárraga et al. (2014). Elements without a gold label
+// are ignored.
+func EvaluateClustering(groups [][]string, gold map[string]string) ClusterScores {
+	s := metrics.Evaluate(groups, gold)
+	conv := func(p metrics.PRF1) PRF1 {
+		return PRF1{Precision: p.Precision, Recall: p.Recall, F1: p.F1}
+	}
+	return ClusterScores{
+		Macro:     conv(s.Macro),
+		Micro:     conv(s.Micro),
+		Pairwise:  conv(s.Pairwise),
+		AverageF1: s.AverageF1,
+	}
+}
+
+// LinkingAccuracy returns the fraction of gold-labeled surface forms
+// whose predicted link matches the gold target ("" = out of KB).
+func LinkingAccuracy(links, gold map[string]string) float64 {
+	return metrics.Accuracy(links, gold)
+}
+
+// HasFact reports whether the KB contains the fact
+// <subject entity, relation, object entity>.
+func (kb *KB) HasFact(subjectID, relationID, objectID string) bool {
+	return kb.store.HasFact(subjectID, relationID, objectID)
+}
+
+// EntityName returns the canonical name of an entity id ("" if
+// unknown).
+func (kb *KB) EntityName(id string) string {
+	if e := kb.store.Entity(id); e != nil {
+		return e.Name
+	}
+	return ""
+}
+
+// RelationName returns the canonical name of a relation id ("" if
+// unknown).
+func (kb *KB) RelationName(id string) string {
+	if r := kb.store.Relation(id); r != nil {
+		return r.Name
+	}
+	return ""
+}

@@ -1,0 +1,69 @@
+// Ablation walk-through: Table 4 and Figure 4 of the paper in
+// miniature, through the public API. Runs JOCL with the interaction
+// severed in each direction (canonicalization only, linking only),
+// with the consistency factors removed, and with the Table 5 feature
+// subsets, and prints how each change moves the two tasks' scores.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	b, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := b.ValidationLabels()
+	goldGroups := b.TestGold(b.GoldNPGroups, true)
+	goldLinks := nonNIL(b.TestGold(b.GoldEntityLinks, true))
+
+	type variant struct {
+		name string
+		opts []jocl.Option
+	}
+	variants := []variant{
+		{"JOCL (full)", nil},
+		{"JOCLcano (no linking)", []jocl.Option{jocl.WithoutLinking()}},
+		{"JOCLlink (no canonicalization)", []jocl.Option{jocl.WithoutCanonicalization()}},
+		{"no interaction (consistency off)", []jocl.Option{jocl.WithoutInteraction()}},
+		{"JOCL-single features", []jocl.Option{jocl.WithFeatureProfile("single")}},
+		{"JOCL-double features", []jocl.Option{jocl.WithFeatureProfile("double")}},
+	}
+
+	fmt.Printf("%-36s  %10s  %10s\n", "variant", "NP avg F1", "ent acc")
+	for _, v := range variants {
+		p, err := b.Pipeline(v.opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Run(labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f1 := "-"
+		if len(res.NPGroups) > 0 {
+			f1 = fmt.Sprintf("%10.3f", jocl.EvaluateClustering(res.NPGroups, goldGroups).AverageF1)
+		}
+		acc := "-"
+		if len(res.EntityLinks) > 0 {
+			acc = fmt.Sprintf("%10.3f", jocl.LinkingAccuracy(res.EntityLinks, goldLinks))
+		}
+		fmt.Printf("%-36s  %10s  %10s\n", v.name, f1, acc)
+	}
+}
+
+func nonNIL(gold map[string]string) map[string]string {
+	out := map[string]string{}
+	for k, v := range gold {
+		if v != "" {
+			out[k] = v
+		}
+	}
+	return out
+}

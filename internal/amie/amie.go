@@ -1,0 +1,137 @@
+// Package amie implements the AMIE-style association rule mining
+// (Galárraga et al., WWW 2013) the paper uses as an RP
+// canonicalization signal: over morphologically normalized OIE triples
+// it mines implication rules p_i(x, y) ⇒ p_j(x, y) with support and
+// confidence, and declares two relation phrases semantically equal
+// (Sim_AMIE = 1) when the implication holds in both directions above
+// both thresholds — exactly the paper's usage.
+package amie
+
+import (
+	"sort"
+
+	"repro/internal/okb"
+	"repro/internal/text"
+)
+
+// Rule is a mined implication Body ⇒ Head between two normalized
+// relation phrases.
+type Rule struct {
+	Body       string  // normalized RP of the body atom
+	Head       string  // normalized RP of the head atom
+	Support    int     // #entity pairs satisfying both body and head
+	BodySize   int     // #entity pairs satisfying the body
+	Confidence float64 // Support / BodySize
+}
+
+// Config holds mining thresholds.
+type Config struct {
+	MinSupport    int     // minimum co-occurring entity pairs (default 2)
+	MinConfidence float64 // minimum rule confidence (default 0.5)
+}
+
+func (c *Config) defaults() {
+	if c.MinSupport <= 0 {
+		c.MinSupport = 2
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.5
+	}
+}
+
+// Miner holds the mined rule set and answers equivalence queries.
+type Miner struct {
+	cfg   Config
+	rules map[[2]string]Rule // (body, head) -> rule
+	list  []Rule
+}
+
+type pairKey struct{ s, o string }
+
+// Mine runs rule mining over the store's triples. Triples are
+// normalized first (NPs and RPs), so "was founded by" and "be founded
+// by" contribute to the same predicate, as the paper prescribes.
+func Mine(store *okb.Store, cfg Config) *Miner {
+	cfg.defaults()
+	m := &Miner{cfg: cfg, rules: make(map[[2]string]Rule)}
+
+	// pairsOf[rp] = set of normalized (subject, object) pairs.
+	pairsOf := make(map[string]map[pairKey]bool)
+	for i := 0; i < store.Len(); i++ {
+		t := store.Triple(i)
+		rp := text.Normalize(t.Pred)
+		pk := pairKey{s: text.Normalize(t.Subj), o: text.Normalize(t.Obj)}
+		set := pairsOf[rp]
+		if set == nil {
+			set = make(map[pairKey]bool)
+			pairsOf[rp] = set
+		}
+		set[pk] = true
+	}
+
+	// Invert: entity pair -> predicates asserting it. Candidate rule
+	// bodies/heads must share at least one entity pair, so this bounds
+	// the pair comparisons to co-occurring predicates only.
+	byPair := make(map[pairKey][]string)
+	for rp, set := range pairsOf {
+		for pk := range set {
+			byPair[pk] = append(byPair[pk], rp)
+		}
+	}
+	overlap := make(map[[2]string]int)
+	for _, rps := range byPair {
+		sort.Strings(rps)
+		for i := 0; i < len(rps); i++ {
+			for j := 0; j < len(rps); j++ {
+				if i != j {
+					overlap[[2]string{rps[i], rps[j]}]++
+				}
+			}
+		}
+	}
+
+	for key, support := range overlap {
+		body, head := key[0], key[1]
+		bodySize := len(pairsOf[body])
+		if support < cfg.MinSupport || bodySize == 0 {
+			continue
+		}
+		conf := float64(support) / float64(bodySize)
+		if conf < cfg.MinConfidence {
+			continue
+		}
+		r := Rule{Body: body, Head: head, Support: support, BodySize: bodySize, Confidence: conf}
+		m.rules[key] = r
+		m.list = append(m.list, r)
+	}
+	sort.Slice(m.list, func(i, j int) bool {
+		if m.list[i].Body != m.list[j].Body {
+			return m.list[i].Body < m.list[j].Body
+		}
+		return m.list[i].Head < m.list[j].Head
+	})
+	return m
+}
+
+// Rules returns all accepted rules, sorted by (body, head).
+func (m *Miner) Rules() []Rule { return m.list }
+
+// Implies reports whether the accepted rule set contains
+// normalize(a) ⇒ normalize(b).
+func (m *Miner) Implies(a, b string) bool {
+	_, ok := m.rules[[2]string{text.Normalize(a), text.Normalize(b)}]
+	return ok
+}
+
+// Sim returns Sim_AMIE(a, b): 1 when a ⇒ b and b ⇒ a both hold above
+// the thresholds, else 0. Identical normalized phrases trivially score 1.
+func (m *Miner) Sim(a, b string) float64 {
+	na, nb := text.Normalize(a), text.Normalize(b)
+	if na == nb {
+		return 1
+	}
+	if m.Implies(na, nb) && m.Implies(nb, na) {
+		return 1
+	}
+	return 0
+}

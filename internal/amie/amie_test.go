@@ -1,0 +1,123 @@
+package amie
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/okb"
+)
+
+// capitalStore builds triples where two RP variants assert the same
+// (subject, object) pairs, plus an unrelated RP.
+func capitalStore(pairs int) *okb.Store {
+	var ts []okb.Triple
+	for i := 0; i < pairs; i++ {
+		s := fmt.Sprintf("city%d", i)
+		o := fmt.Sprintf("country%d", i)
+		ts = append(ts,
+			okb.Triple{Subj: s, Pred: "is the capital of", Obj: o},
+			okb.Triple{Subj: s, Pred: "is the capital city of", Obj: o},
+		)
+	}
+	// Unrelated predicate with disjoint pairs.
+	for i := 0; i < pairs; i++ {
+		ts = append(ts, okb.Triple{
+			Subj: fmt.Sprintf("player%d", i), Pred: "plays for", Obj: fmt.Sprintf("team%d", i),
+		})
+	}
+	return okb.NewStore(ts)
+}
+
+func TestMineBidirectionalEquivalence(t *testing.T) {
+	m := Mine(capitalStore(5), Config{MinSupport: 2, MinConfidence: 0.5})
+	if got := m.Sim("is the capital of", "is the capital city of"); got != 1 {
+		t.Errorf("Sim(capital variants) = %v, want 1", got)
+	}
+	if got := m.Sim("is the capital of", "plays for"); got != 0 {
+		t.Errorf("Sim(unrelated) = %v, want 0", got)
+	}
+}
+
+func TestMineSupportThreshold(t *testing.T) {
+	// Only one shared pair: below MinSupport 2, no rule.
+	m := Mine(capitalStore(1), Config{MinSupport: 2, MinConfidence: 0.5})
+	if got := m.Sim("is the capital of", "is the capital city of"); got != 0 {
+		t.Errorf("below-support Sim = %v, want 0", got)
+	}
+	if len(m.Rules()) != 0 {
+		t.Errorf("rules = %v, want none", m.Rules())
+	}
+}
+
+func TestMineConfidenceDirectionality(t *testing.T) {
+	// p is a strict subset of q's pairs plus q has many extra pairs:
+	// p ⇒ q confident, q ⇒ p not.
+	var ts []okb.Triple
+	for i := 0; i < 4; i++ {
+		s, o := fmt.Sprintf("s%d", i), fmt.Sprintf("o%d", i)
+		ts = append(ts,
+			okb.Triple{Subj: s, Pred: "founded", Obj: o},
+			okb.Triple{Subj: s, Pred: "works at", Obj: o},
+		)
+	}
+	for i := 4; i < 20; i++ {
+		ts = append(ts, okb.Triple{
+			Subj: fmt.Sprintf("s%d", i), Pred: "works at", Obj: fmt.Sprintf("o%d", i)})
+	}
+	m := Mine(okb.NewStore(ts), Config{MinSupport: 2, MinConfidence: 0.5})
+	if !m.Implies("founded", "works at") {
+		t.Error("founded ⇒ works at should hold")
+	}
+	if m.Implies("works at", "founded") {
+		t.Error("works at ⇒ founded should fail confidence")
+	}
+	if m.Sim("founded", "works at") != 0 {
+		t.Error("one-directional implication must not give Sim 1")
+	}
+}
+
+func TestSimIdenticalNormalized(t *testing.T) {
+	m := Mine(okb.NewStore(nil), Config{})
+	if m.Sim("was a member of", "be a member of") != 1 {
+		t.Error("normalization-identical phrases score 1 without rules")
+	}
+}
+
+func TestMineNormalizesInput(t *testing.T) {
+	// Tense variants of the same predicate contribute to one predicate;
+	// the two surface predicates end up trivially equal via normalization
+	// and the *other* predicate pair gets rules mined across them.
+	var ts []okb.Triple
+	for i := 0; i < 3; i++ {
+		s, o := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		ts = append(ts,
+			okb.Triple{Subj: s, Pred: "was located in", Obj: o},
+			okb.Triple{Subj: s, Pred: "sits in", Obj: o},
+		)
+	}
+	m := Mine(okb.NewStore(ts), Config{MinSupport: 2, MinConfidence: 0.5})
+	if m.Sim("is located in", "sits in") != 1 {
+		t.Error("rules should apply to normalized forms of unseen tenses")
+	}
+}
+
+func TestRulesSortedAndComplete(t *testing.T) {
+	m := Mine(capitalStore(4), Config{MinSupport: 2, MinConfidence: 0.5})
+	rules := m.Rules()
+	if len(rules) < 2 {
+		t.Fatalf("want at least the two capital rules, got %v", rules)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Body > rules[i].Body {
+			t.Error("rules not sorted")
+		}
+	}
+	for _, r := range rules {
+		if r.Confidence < 0.5 || r.Support < 2 {
+			t.Errorf("rule below thresholds: %+v", r)
+		}
+		if r.Confidence > 1 {
+			t.Errorf("confidence > 1: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/text"
+)
+
+// FAC implements the pruning-and-bounding canonicalization of Wu et
+// al. (CIKM 2018, "Towards practical open knowledge base
+// canonicalization"), which the paper's related work cites as the
+// efficient alternative to dense HAC. The idea: most phrase pairs can
+// be rejected without computing their similarity, because an upper
+// bound derived from an inverted token index already falls below the
+// merge threshold.
+//
+// This implementation bounds IDF token overlap: for phrases a and b,
+// Sim_idf(a,b) <= sharedWeight / max(weight(a), weight(b)), where
+// sharedWeight accumulates over the inverted index. Only pairs whose
+// bound clears the threshold get an exact similarity computation, and
+// qualifying pairs merge through union-find (single-linkage semantics,
+// as in FAC's connected-component phase).
+func FAC(idf *text.IDFTable, phrases []string, threshold float64) [][]string {
+	n := len(phrases)
+	// Per-phrase total token weight (the denominator's lower bound).
+	weightOf := make([]float64, n)
+	index := map[string][]int{}
+	tokenWeight := func(tok string) float64 {
+		// Mirrors the IDF table's weighting; recomputed here because the
+		// bound needs per-token weights, not only pair overlaps.
+		return 1.0 / logFreq(idf, tok)
+	}
+	for i, p := range phrases {
+		for tok := range text.TokenSet(p) {
+			weightOf[i] += tokenWeight(tok)
+			index[tok] = append(index[tok], i)
+		}
+	}
+
+	// Accumulate shared weight per candidate pair via the index.
+	shared := map[[2]int]float64{}
+	for tok, ids := range index {
+		if len(ids) < 2 {
+			continue
+		}
+		w := tokenWeight(tok)
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				i, j := ids[a], ids[b]
+				if i > j {
+					i, j = j, i
+				}
+				shared[[2]int{i, j}] += w
+			}
+		}
+	}
+
+	uf := cluster.NewUnionFind(n)
+	for key, sw := range shared {
+		i, j := key[0], key[1]
+		den := weightOf[i]
+		if weightOf[j] > den {
+			den = weightOf[j]
+		}
+		if den == 0 || sw/den < threshold {
+			continue // bound prunes the pair: exact sim cannot reach it
+		}
+		if idf.Overlap(phrases[i], phrases[j]) >= threshold {
+			uf.Union(i, j)
+		}
+	}
+	return materialize(phrases, uf)
+}
+
+// logFreq returns log(2 + f(tok)), the denominator of the IDF weight
+// (mirroring text.IDFTable's internal weighting).
+func logFreq(idf *text.IDFTable, tok string) float64 {
+	return math.Log(2 + float64(idf.Freq(tok)))
+}

@@ -1,0 +1,324 @@
+package baselines
+
+import (
+	"repro/internal/signals"
+	"repro/internal/text"
+)
+
+// JointLinks is the output of a joint entity-and-relation linker.
+type JointLinks struct {
+	Ent map[string]string // NP surface -> entity id ("" = NIL)
+	Rel map[string]string // RP surface -> relation id ("" = NIL)
+}
+
+// Spotlight links each NP independently, DBpedia-Spotlight style: the
+// candidate maximizing anchor popularity blended with surface-form
+// similarity; below a confidence floor it abstains (NIL).
+func Spotlight(r *signals.Resources, nps []string) map[string]string {
+	out := make(map[string]string, len(nps))
+	for _, np := range nps {
+		best, bestScore := "", 0.25
+		for _, c := range r.CKB.CandidateEntities(np, 8) {
+			score := 0.6*r.Pop(np, c.ID) + 0.4*nameSim(r, np, c.ID)
+			if score > bestScore {
+				best, bestScore = c.ID, score
+			}
+		}
+		out[np] = best
+	}
+	return out
+}
+
+// TagMe links by anchor commonness with a light collective-coherence
+// vote (Ferragina & Scaiella 2010): popularity dominates, and among
+// near-ties the entity sharing facts with other popular mentions wins.
+// On context-poor OIE triples the coherence vote rarely helps, which is
+// why TagMe underperforms here just as it does in the paper.
+func TagMe(r *signals.Resources, nps []string) map[string]string {
+	out := make(map[string]string, len(nps))
+	for _, np := range nps {
+		best, bestScore := "", 0.2
+		for _, c := range r.CKB.CandidateEntities(np, 8) {
+			pop := r.Pop(np, c.ID)
+			if pop == 0 {
+				continue // TagMe links only known anchors
+			}
+			coher := float64(r.CKB.Degree(c.ID))
+			score := pop + 0.01*coher
+			if score > bestScore {
+				best, bestScore = c.ID, score
+			}
+		}
+		out[np] = best
+	}
+	return out
+}
+
+// Falcon performs joint entity and relation linking driven by English
+// morphology (Sakor et al. 2019): normalization plus headword
+// matching produce candidates, and a joint pass keeps entity/relation
+// combinations that form a CKB fact.
+func Falcon(r *signals.Resources, nps, rps []string) JointLinks {
+	links := JointLinks{Ent: map[string]string{}, Rel: map[string]string{}}
+	// Stage 1: morphological matching, independently per phrase.
+	for _, np := range nps {
+		links.Ent[np] = falconEntity(r, np)
+	}
+	for _, rp := range rps {
+		links.Rel[rp] = falconRelation(r, rp)
+	}
+	// Stage 2: joint re-ranking per triple — if the current combination
+	// is not a fact but an alternative candidate pair is, switch.
+	for ti := 0; ti < r.OKB.Len(); ti++ {
+		t := r.OKB.Triple(ti)
+		es, rel, eo := links.Ent[t.Subj], links.Rel[t.Pred], links.Ent[t.Obj]
+		if es == "" || eo == "" {
+			continue
+		}
+		if rel != "" && r.CKB.HasFact(es, rel, eo) {
+			continue
+		}
+		for _, rc := range r.CKB.CandidateRelations(t.Pred, 6) {
+			if r.CKB.HasFact(es, rc.ID, eo) {
+				links.Rel[t.Pred] = rc.ID
+				break
+			}
+		}
+	}
+	return links
+}
+
+func falconEntity(r *signals.Resources, np string) string {
+	norm := text.Normalize(np)
+	for _, c := range r.CKB.CandidateEntities(np, 8) {
+		e := r.CKB.Entity(c.ID)
+		for _, alias := range e.Aliases {
+			if text.Normalize(alias) == norm {
+				return c.ID
+			}
+		}
+	}
+	// Headword fallback: candidates containing the head (last) token.
+	toks := text.NormalizeTokens(np)
+	if len(toks) == 0 {
+		return ""
+	}
+	head := toks[len(toks)-1]
+	for _, c := range r.CKB.CandidateEntities(np, 8) {
+		e := r.CKB.Entity(c.ID)
+		for _, alias := range e.Aliases {
+			for _, at := range text.NormalizeTokens(alias) {
+				if at == head {
+					return c.ID
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func falconRelation(r *signals.Resources, rp string) string {
+	norm := text.Normalize(rp)
+	var fallback string
+	for _, c := range r.CKB.CandidateRelations(rp, 8) {
+		rel := r.CKB.Relation(c.ID)
+		for _, alias := range rel.Aliases {
+			if text.Normalize(alias) == norm {
+				return c.ID
+			}
+		}
+		if fallback == "" && r.RelNgram(rp, c.ID) > 0.4 {
+			fallback = c.ID
+		}
+	}
+	return fallback
+}
+
+// EARL performs joint linking by connection density (Dubey et al.
+// 2018): candidates for all phrases of a triple are scored by string
+// similarity plus how densely they interconnect in the CKB (the
+// GTSP-inspired objective, greedily approximated).
+func EARL(r *signals.Resources, nps, rps []string) JointLinks {
+	links := JointLinks{Ent: map[string]string{}, Rel: map[string]string{}}
+	type cand struct {
+		id    string
+		score float64
+	}
+	entCands := func(np string) []cand {
+		var out []cand
+		for _, c := range r.CKB.CandidateEntities(np, 6) {
+			out = append(out, cand{c.ID, 0.5 * nameSim(r, np, c.ID)})
+		}
+		return out
+	}
+	for ti := 0; ti < r.OKB.Len(); ti++ {
+		t := r.OKB.Triple(ti)
+		subj, obj := entCands(t.Subj), entCands(t.Obj)
+		var rels []cand
+		for _, c := range r.CKB.CandidateRelations(t.Pred, 6) {
+			rels = append(rels, cand{c.ID, 0.3 * (r.RelNgram(t.Pred, c.ID) + r.RelLD(t.Pred, c.ID))})
+		}
+		// Greedy GTSP: pick the subject-relation-object path with the
+		// best sum of node scores + edge (connection) bonuses.
+		bestScore := 0.3 // abstention floor
+		var bs, br, bo string
+		for _, s := range subj {
+			for _, rel := range rels {
+				for _, o := range obj {
+					score := s.score + rel.score + o.score
+					if r.CKB.HasFact(s.id, rel.id, o.id) {
+						score += 1.0
+					}
+					score += 0.005 * float64(r.CKB.Degree(s.id)+r.CKB.Degree(o.id))
+					if score > bestScore {
+						bestScore, bs, br, bo = score, s.id, rel.id, o.id
+					}
+				}
+			}
+		}
+		// First assignment wins; EARL resolves per question (triple).
+		if _, done := links.Ent[t.Subj]; !done {
+			links.Ent[t.Subj] = bs
+		}
+		if _, done := links.Rel[t.Pred]; !done {
+			links.Rel[t.Pred] = br
+		}
+		if _, done := links.Ent[t.Obj]; !done {
+			links.Ent[t.Obj] = bo
+		}
+	}
+	for _, np := range nps {
+		if _, ok := links.Ent[np]; !ok {
+			links.Ent[np] = ""
+		}
+	}
+	for _, rp := range rps {
+		if _, ok := links.Rel[rp]; !ok {
+			links.Rel[rp] = ""
+		}
+	}
+	return links
+}
+
+// KBPearl performs joint linking over the whole document's triples
+// (Lin et al. 2020): per-phrase string+popularity scores are refined by
+// one global pass that rewards fact inclusion across all triples a
+// phrase participates in.
+func KBPearl(r *signals.Resources, nps, rps []string) JointLinks {
+	links := JointLinks{Ent: map[string]string{}, Rel: map[string]string{}}
+	// Initial local scores.
+	for _, np := range nps {
+		best, bestScore := "", 0.3
+		for _, c := range r.CKB.CandidateEntities(np, 6) {
+			score := 0.5*r.Pop(np, c.ID) + 0.5*nameSim(r, np, c.ID)
+			if score > bestScore {
+				best, bestScore = c.ID, score
+			}
+		}
+		links.Ent[np] = best
+	}
+	for _, rp := range rps {
+		best, bestScore := "", 0.3
+		for _, c := range r.CKB.CandidateRelations(rp, 6) {
+			score := 0.5*r.RelNgram(rp, c.ID) + 0.5*r.RelLD(rp, c.ID)
+			if score > bestScore {
+				best, bestScore = c.ID, score
+			}
+		}
+		links.Rel[rp] = best
+	}
+	// Global refinement: for each triple, try candidate swaps that turn
+	// the triple into a CKB fact.
+	for ti := 0; ti < r.OKB.Len(); ti++ {
+		t := r.OKB.Triple(ti)
+		es, rel, eo := links.Ent[t.Subj], links.Rel[t.Pred], links.Ent[t.Obj]
+		if es != "" && eo != "" && rel != "" && r.CKB.HasFact(es, rel, eo) {
+			continue
+		}
+		if sc, rc, oc, ok := factSwap(r, t.Subj, t.Pred, t.Obj); ok {
+			links.Ent[t.Subj] = sc
+			links.Rel[t.Pred] = rc
+			links.Ent[t.Obj] = oc
+		}
+	}
+	return links
+}
+
+// factSwap searches the candidate cross-product of a triple for a
+// combination that is a CKB fact.
+func factSwap(r *signals.Resources, subj, pred, obj string) (string, string, string, bool) {
+	for _, sc := range r.CKB.CandidateEntities(subj, 4) {
+		for _, rc := range r.CKB.CandidateRelations(pred, 4) {
+			for _, oc := range r.CKB.CandidateEntities(obj, 4) {
+				if r.CKB.HasFact(sc.ID, rc.ID, oc.ID) {
+					return sc.ID, rc.ID, oc.ID, true
+				}
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// Rematch links relation phrases by semantic string matching (Mulang
+// et al. 2017): the relation whose alias maximizes a blend of
+// Levenshtein, n-gram, and embedding similarity.
+func Rematch(r *signals.Resources, rps []string) map[string]string {
+	out := make(map[string]string, len(rps))
+	for _, rp := range rps {
+		best, bestScore := "", 0.35
+		for _, c := range r.CKB.CandidateRelations(rp, 8) {
+			score := (r.RelLD(rp, c.ID) + r.RelNgram(rp, c.ID) + r.RelEmb(rp, c.ID)) / 3
+			if score > bestScore {
+				best, bestScore = c.ID, score
+			}
+		}
+		out[rp] = best
+	}
+	return out
+}
+
+// nameSim scores an NP against an entity's best-matching alias with
+// Jaro-Winkler-free, normalization-based overlap (token IDF is not
+// available for CKB aliases, so plain normalized-token Jaccard plus
+// embedding cosine is used).
+func nameSim(r *signals.Resources, np, entityID string) float64 {
+	e := r.CKB.Entity(entityID)
+	if e == nil {
+		return 0
+	}
+	nt := tokenSet(text.NormalizeTokens(np))
+	best := 0.0
+	for _, alias := range e.Aliases {
+		at := tokenSet(text.NormalizeTokens(alias))
+		j := jaccard(nt, at)
+		if j > best {
+			best = j
+		}
+	}
+	return 0.7*best + 0.3*r.EntEmb(np, entityID)
+}
+
+func tokenSet(ts []string) map[string]bool {
+	m := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		m[t] = true
+	}
+	return m
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for x := range a {
+		if b[x] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/okb"
+	"repro/internal/signals"
+	"repro/internal/strsim"
+	"repro/internal/text"
+)
+
+// AMIEBaseline groups relation phrases by the mined bidirectional
+// implication rules (Galárraga et al. 2013, as used by Galárraga et
+// al. 2014 for RP canonicalization): connected components over
+// Sim_AMIE = 1 pairs, with morphological variants pre-merged (AMIE
+// operates on normalized triples). Phrases AMIE does not cover remain
+// singletons — the coverage weakness the paper observes.
+func AMIEBaseline(r *signals.Resources, phrases []string) [][]string {
+	n := len(phrases)
+	uf := cluster.NewUnionFind(n)
+	// Morphological variants share a normalized form by construction.
+	byNorm := map[string]int{}
+	for i, p := range phrases {
+		k := text.Normalize(p)
+		if j, ok := byNorm[k]; ok {
+			uf.Union(i, j)
+		} else {
+			byNorm[k] = i
+		}
+	}
+	// Bidirectional rules merge normalized forms.
+	norms := make([]string, 0, len(byNorm))
+	for k := range byNorm {
+		norms = append(norms, k)
+	}
+	sort.Strings(norms)
+	for a := 0; a < len(norms); a++ {
+		for b := a + 1; b < len(norms); b++ {
+			if r.AMIE.Implies(norms[a], norms[b]) && r.AMIE.Implies(norms[b], norms[a]) {
+				uf.Union(byNorm[norms[a]], byNorm[norms[b]])
+			}
+		}
+	}
+	return materialize(phrases, uf)
+}
+
+// PATTY groups relation phrases via its two rules (Nakashole et al.
+// 2012, as adapted by SIST's evaluation): RPs supported by the same
+// NP-pair sets (same instances) are merged, as are RPs in the same
+// synset — which our substrate realizes as PPDB cluster equality.
+func PATTY(r *signals.Resources, store *okb.Store, phrases []string) [][]string {
+	n := len(phrases)
+	uf := cluster.NewUnionFind(n)
+	idx := make(map[string]int, n)
+	for i, p := range phrases {
+		idx[p] = i
+	}
+	// Rule 1: RPs asserted over the same normalized NP pair.
+	byPair := map[string][]int{}
+	for ti := 0; ti < store.Len(); ti++ {
+		t := store.Triple(ti)
+		key := text.Normalize(t.Subj) + "\x00" + text.Normalize(t.Obj)
+		byPair[key] = append(byPair[key], idx[t.Pred])
+	}
+	keys := make([]string, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ids := byPair[k]
+		for _, other := range ids[1:] {
+			uf.Union(ids[0], other)
+		}
+	}
+	// Rule 2: same synset (paraphrase-DB cluster).
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if r.PPDBSim(phrases[a], phrases[b]) == 1 {
+				uf.Union(a, b)
+			}
+		}
+	}
+	return materialize(phrases, uf)
+}
+
+// SISTRP is the SIST baseline for relation phrases: HAC over a blend
+// of the textual signals plus candidate-relation overlap as the
+// side-information stand-in.
+func SISTRP(r *signals.Resources, phrases []string, threshold float64) [][]string {
+	cands := make([]map[string]bool, len(phrases))
+	for i, p := range phrases {
+		set := map[string]bool{}
+		for _, c := range r.CKB.CandidateRelations(p, 5) {
+			set[c.ID] = true
+		}
+		cands[i] = set
+	}
+	idx := make(map[string]int, len(phrases))
+	for i, p := range phrases {
+		idx[p] = i
+	}
+	return hacGroups(phrases, threshold, func(a, b string) float64 {
+		if r.PPDBSim(a, b) == 1 || r.AMIESim(a, b) == 1 {
+			return 1
+		}
+		side := strsim.SetJaccard(cands[idx[a]], cands[idx[b]])
+		return 0.4*side + 0.3*r.EmbSim(a, b) + 0.2*r.RPIDF(a, b) + 0.1*r.KBPSim(a, b)
+	})
+}
+
+func materialize(phrases []string, uf *cluster.UnionFind) [][]string {
+	var out [][]string
+	for _, g := range uf.Groups() {
+		grp := make([]string, len(g))
+		for k, i := range g {
+			grp[k] = phrases[i]
+		}
+		out = append(out, grp)
+	}
+	return out
+}

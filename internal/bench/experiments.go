@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+// Paper-reported values (for the parenthesized reference columns).
+// -1 marks cells the paper does not report.
+var (
+	paperTable1 = map[string][]float64{ // macro, micro, pairwise, avg ×2 datasets
+		"Morph Norm":          {0.281, 0.699, 0.653, 0.544, 0.471, 0.658, 0.643, 0.591},
+		"Wikidata Integrator": {0.563, 0.839, 0.783, 0.728, 0.476, 0.839, 0.783, 0.699},
+		"Text Similarity":     {0.543, 0.821, 0.689, 0.684, 0.581, 0.796, 0.658, 0.678},
+		"IDF Token Overlap":   {0.598, 0.571, 0.505, 0.558, 0.551, 0.612, 0.527, 0.563},
+		"Attribute Overlap":   {0.598, 0.599, 0.587, 0.595, 0.551, 0.612, 0.527, 0.563},
+		"CESI":                {0.618, 0.845, 0.819, 0.761, 0.586, 0.842, 0.778, 0.735},
+		"SIST":                {0.691, 0.889, 0.823, 0.801, 0.675, 0.816, 0.838, 0.776},
+		"JOCL":                {0.684, 0.892, 0.877, 0.818, 0.561, 0.921, 0.934, 0.805},
+	}
+	paperTable2 = map[string][]float64{
+		"AMIE":  {0.703, 0.820, 0.760, 0.761},
+		"PATTY": {0.782, 0.872, 0.802, 0.819},
+		"SIST":  {0.875, 0.872, 0.845, 0.864},
+		"JOCL":  {0.848, 0.923, 0.851, 0.874},
+	}
+	paperTable3 = map[string][]float64{
+		"Falcon":    {0.541, 0.33},
+		"EARL":      {0.473, 0.25},
+		"Spotlight": {0.716, 0.26},
+		"TagMe":     {0.316, 0.30},
+		"KBPearl":   {0.522, 0.46},
+		"JOCL":      {0.761, 0.48},
+	}
+	// Figure 3 is a bar chart; values read off the figure.
+	paperFigure3 = map[string][]float64{
+		"Falcon":  {0.23},
+		"EARL":    {0.13},
+		"Rematch": {0.31},
+		"KBPearl": {0.38},
+		"JOCL":    {0.45},
+	}
+	paperTable4 = map[string][]float64{
+		"JOCLcano": {0.571, 0.846, 0.787, 0.735, -1},
+		"JOCLlink": {-1, -1, -1, -1, 0.744},
+		"JOCL":     {0.684, 0.892, 0.877, 0.818, 0.761},
+	}
+)
+
+// Table1 reproduces the NP canonicalization comparison.
+func (s *Suite) Table1() (*Table, error) {
+	t := &Table{
+		ID:    "table1",
+		Title: "NP canonicalization (macro / micro / pairwise / average F1; ReVerb45K then NYTimes2018)",
+		Columns: []string{
+			"RV-Macro", "RV-Micro", "RV-Pair", "RV-Avg",
+			"NYT-Macro", "NYT-Micro", "NYT-Pair", "NYT-Avg",
+		},
+	}
+	both := []*dsType{s.Reverb, s.NYT}
+	rows := []struct {
+		name string
+		run  func(d *dsType) [][]string
+	}{
+		{"Morph Norm", func(d *dsType) [][]string { return baselines.MorphNorm(d.OKB.NPs()) }},
+		{"Wikidata Integrator", func(d *dsType) [][]string {
+			return baselines.WikidataIntegrator(s.Resources(d), d.OKB.NPs())
+		}},
+		{"Text Similarity", func(d *dsType) [][]string { return baselines.TextSimilarity(d.OKB.NPs(), 0.90) }},
+		{"IDF Token Overlap", func(d *dsType) [][]string {
+			return baselines.IDFTokenOverlap(d.OKB.NPIDF(), d.OKB.NPs(), 0.5)
+		}},
+		{"Attribute Overlap", func(d *dsType) [][]string {
+			return baselines.AttributeOverlap(d.OKB, d.OKB.NPs(), 0.3)
+		}},
+		{"CESI", func(d *dsType) [][]string { return baselines.CESI(s.Resources(d), d.OKB.NPs(), 0.65) }},
+		{"SIST", func(d *dsType) [][]string { return baselines.SIST(s.Resources(d), d.OKB.NPs(), 0.45) }},
+	}
+	for _, r := range rows {
+		var vals []float64
+		for _, d := range both {
+			sc := canonScores(d, r.run(d), true)
+			vals = append(vals, sc.Macro.F1, sc.Micro.F1, sc.Pairwise.F1, sc.AverageF1)
+		}
+		t.Rows = append(t.Rows, Row{Method: r.name, Measured: vals, Paper: paperTable1[r.name]})
+	}
+	var joclVals []float64
+	for _, d := range both {
+		res, err := s.run("full", d, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		sc := canonScores(d, res.NPGroups, true)
+		joclVals = append(joclVals, sc.Macro.F1, sc.Micro.F1, sc.Pairwise.F1, sc.AverageF1)
+	}
+	t.Rows = append(t.Rows, Row{Method: "JOCL", Measured: joclVals, Paper: paperTable1["JOCL"]})
+	return t, nil
+}
+
+// dsType abbreviates the dataset type in the experiment tables.
+type dsType = datasets.Dataset
+
+// Table2 reproduces the RP canonicalization comparison on ReVerb45K.
+func (s *Suite) Table2() (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "RP canonicalization on ReVerb45K (macro / micro / pairwise / average F1)",
+		Columns: []string{"Macro", "Micro", "Pair", "Avg"},
+	}
+	ds := s.Reverb
+	res := s.Resources(ds)
+	add := func(name string, groups [][]string) {
+		sc := canonScores(ds, groups, false)
+		t.Rows = append(t.Rows, Row{
+			Method:   name,
+			Measured: []float64{sc.Macro.F1, sc.Micro.F1, sc.Pairwise.F1, sc.AverageF1},
+			Paper:    paperTable2[name],
+		})
+	}
+	add("AMIE", baselines.AMIEBaseline(res, ds.OKB.RPs()))
+	add("PATTY", baselines.PATTY(res, ds.OKB, ds.OKB.RPs()))
+	add("SIST", baselines.SISTRP(res, ds.OKB.RPs(), 0.45))
+	jr, err := s.run("full", ds, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	add("JOCL", jr.RPGroups)
+	return t, nil
+}
+
+// Table3 reproduces the OKB entity linking comparison.
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "OKB entity linking accuracy",
+		Columns: []string{"ReVerb45K", "NYTimes2018"},
+	}
+	type runFn func(ds *dsType) map[string]string
+	rows := []struct {
+		name string
+		run  runFn
+	}{
+		{"Falcon", func(d *dsType) map[string]string {
+			return baselines.Falcon(s.Resources(d), d.OKB.NPs(), d.OKB.RPs()).Ent
+		}},
+		{"EARL", func(d *dsType) map[string]string {
+			return baselines.EARL(s.Resources(d), d.OKB.NPs(), d.OKB.RPs()).Ent
+		}},
+		{"Spotlight", func(d *dsType) map[string]string {
+			return baselines.Spotlight(s.Resources(d), d.OKB.NPs())
+		}},
+		{"TagMe", func(d *dsType) map[string]string {
+			return baselines.TagMe(s.Resources(d), d.OKB.NPs())
+		}},
+		{"KBPearl", func(d *dsType) map[string]string {
+			return baselines.KBPearl(s.Resources(d), d.OKB.NPs(), d.OKB.RPs()).Ent
+		}},
+	}
+	for _, r := range rows {
+		var vals []float64
+		for _, d := range []*dsType{s.Reverb, s.NYT} {
+			vals = append(vals, linkAccuracy(d, r.run(d), true))
+		}
+		t.Rows = append(t.Rows, Row{Method: r.name, Measured: vals, Paper: paperTable3[r.name]})
+	}
+	var joclVals []float64
+	for _, d := range []*dsType{s.Reverb, s.NYT} {
+		res, err := s.run("full", d, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		joclVals = append(joclVals, linkAccuracy(d, res.NPLinks, true))
+	}
+	t.Rows = append(t.Rows, Row{Method: "JOCL", Measured: joclVals, Paper: paperTable3["JOCL"]})
+	return t, nil
+}
+
+// Figure3 reproduces the OKB relation linking comparison on ReVerb45K.
+func (s *Suite) Figure3() (*Table, error) {
+	t := &Table{
+		ID:      "figure3",
+		Title:   "OKB relation linking accuracy on ReVerb45K",
+		Columns: []string{"Accuracy"},
+	}
+	ds := s.Reverb
+	res := s.Resources(ds)
+	add := func(name string, links map[string]string) {
+		t.Rows = append(t.Rows, Row{
+			Method:   name,
+			Measured: []float64{linkAccuracy(ds, links, false)},
+			Paper:    paperFigure3[name],
+		})
+	}
+	add("Falcon", baselines.Falcon(res, ds.OKB.NPs(), ds.OKB.RPs()).Rel)
+	add("EARL", baselines.EARL(res, ds.OKB.NPs(), ds.OKB.RPs()).Rel)
+	add("Rematch", baselines.Rematch(res, ds.OKB.RPs()))
+	add("KBPearl", baselines.KBPearl(res, ds.OKB.NPs(), ds.OKB.RPs()).Rel)
+	jr, err := s.run("full", ds, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	add("JOCL", jr.RPLinks)
+	return t, nil
+}
+
+// Table4 reproduces the interaction ablation on ReVerb45K.
+func (s *Suite) Table4() (*Table, error) {
+	t := &Table{
+		ID:      "table4",
+		Title:   "Interaction ablation on ReVerb45K (NP canonicalization F1s + entity linking accuracy)",
+		Columns: []string{"Macro", "Micro", "Pair", "Avg", "Accuracy"},
+	}
+	ds := s.Reverb
+	cano, err := s.run("cano", ds, core.CanonOnlyConfig())
+	if err != nil {
+		return nil, err
+	}
+	link, err := s.run("link", ds, core.LinkOnlyConfig())
+	if err != nil {
+		return nil, err
+	}
+	full, err := s.run("full", ds, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	sc := canonScores(ds, cano.NPGroups, true)
+	t.Rows = append(t.Rows, Row{
+		Method:   "JOCLcano",
+		Measured: []float64{sc.Macro.F1, sc.Micro.F1, sc.Pairwise.F1, sc.AverageF1, -1},
+		Paper:    paperTable4["JOCLcano"],
+	})
+	t.Rows = append(t.Rows, Row{
+		Method:   "JOCLlink",
+		Measured: []float64{-1, -1, -1, -1, linkAccuracy(ds, link.NPLinks, true)},
+		Paper:    paperTable4["JOCLlink"],
+	})
+	scF := canonScores(ds, full.NPGroups, true)
+	t.Rows = append(t.Rows, Row{
+		Method:   "JOCL",
+		Measured: []float64{scF.Macro.F1, scF.Micro.F1, scF.Pairwise.F1, scF.AverageF1, linkAccuracy(ds, full.NPLinks, true)},
+		Paper:    paperTable4["JOCL"],
+	})
+	return t, nil
+}
+
+// Figure4 reproduces the feature-combination ablation (Table 5's
+// JOCL-single / -double / -all) on ReVerb45K: NP canonicalization
+// average F1 (Figure 4a) and entity-linking accuracy (Figure 4b).
+func (s *Suite) Figure4() (*Table, error) {
+	t := &Table{
+		ID:      "figure4",
+		Title:   "Feature ablation on ReVerb45K (JOCL-single / -double / -all)",
+		Columns: []string{"NP AvgF1", "EntAcc"},
+	}
+	ds := s.Reverb
+	variants := []struct {
+		name string
+		fs   core.FeatureSet
+	}{
+		{"JOCL-single", core.SingleFeatures()},
+		{"JOCL-double", core.DoubleFeatures()},
+		{"JOCL-all", core.AllFeatures()},
+	}
+	for _, v := range variants {
+		cfg := core.DefaultConfig()
+		cfg.Features = v.fs
+		key := "feat-" + v.name
+		if v.name == "JOCL-all" {
+			key = "full" // identical to the default configuration
+		}
+		res, err := s.run(key, ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sc := canonScores(ds, res.NPGroups, true)
+		t.Rows = append(t.Rows, Row{
+			Method:   v.name,
+			Measured: []float64{sc.AverageF1, linkAccuracy(ds, res.NPLinks, true)},
+		})
+	}
+	return t, nil
+}
+
+// All runs every paper experiment in order.
+func (s *Suite) All() ([]*Table, error) {
+	var out []*Table
+	for _, f := range []func() (*Table, error){
+		s.Table1, s.Table2, s.Table3, s.Figure3, s.Table4, s.Figure4,
+	} {
+		t, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+// Package ckb models the curated Knowledge Base (the Freebase/DBpedia
+// role in the paper): canonical entities with aliases and types,
+// canonical relations with categories, relational facts, and the
+// Wikipedia-anchor popularity statistics the f_pop linking signal needs.
+// It also provides candidate generation — given an NP (RP) surface
+// form, the ranked list of entities (relations) it may denote — which
+// bounds the state space of JOCL's linking variables.
+package ckb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/text"
+)
+
+// Entity is a canonical CKB entity.
+type Entity struct {
+	ID      string
+	Name    string   // canonical surface form
+	Aliases []string // alternative surface forms (including Name)
+	Types   []string // coarse semantic types ("organization", "person", ...)
+}
+
+// Relation is a canonical CKB relation.
+type Relation struct {
+	ID       string
+	Name     string   // canonical surface form, e.g. "location.contained by"
+	Category string   // coarse category shared by synonymous relations
+	Aliases  []string // textual paraphrases of the relation
+	Domain   string   // expected subject entity type ("" = unconstrained)
+	Range    string   // expected object entity type ("" = unconstrained)
+}
+
+// Fact is a relational fact <subject entity, relation, object entity>.
+type Fact struct {
+	Subj string // entity id
+	Rel  string // relation id
+	Obj  string // entity id
+}
+
+// Store is an immutable curated KB. Build one with NewStore; lookups
+// are read-only and safe for concurrent use.
+type Store struct {
+	entities  map[string]*Entity
+	relations map[string]*Relation
+	entIDs    []string
+	relIDs    []string
+
+	facts   []Fact
+	factSet map[Fact]bool
+
+	// aliasIndex maps normalized alias -> entity ids carrying it.
+	aliasIndex map[string][]string
+	// tokenIndex maps normalized content token -> entity ids whose
+	// aliases contain the token; used for fuzzy candidate retrieval.
+	tokenIndex map[string][]string
+
+	// relAliasIndex / relTokenIndex mirror the above for relations.
+	relAliasIndex map[string][]string
+	relTokenIndex map[string][]string
+
+	// anchors[surface][entity] = count of anchor links with that surface
+	// form pointing at that entity; anchorTotal[surface] is the row sum.
+	anchors     map[string]map[string]int
+	anchorTotal map[string]int
+}
+
+// NewStore builds a Store from entities, relations, and facts. It
+// returns an error on duplicate or dangling identifiers, so corrupt
+// synthetic data fails fast instead of skewing experiments.
+func NewStore(entities []Entity, relations []Relation, facts []Fact) (*Store, error) {
+	s := &Store{
+		entities:      make(map[string]*Entity, len(entities)),
+		relations:     make(map[string]*Relation, len(relations)),
+		factSet:       make(map[Fact]bool, len(facts)),
+		aliasIndex:    make(map[string][]string),
+		tokenIndex:    make(map[string][]string),
+		relAliasIndex: make(map[string][]string),
+		relTokenIndex: make(map[string][]string),
+		anchors:       make(map[string]map[string]int),
+		anchorTotal:   make(map[string]int),
+	}
+	for i := range entities {
+		e := entities[i]
+		if _, dup := s.entities[e.ID]; dup {
+			return nil, fmt.Errorf("ckb: duplicate entity id %q", e.ID)
+		}
+		if !contains(e.Aliases, e.Name) {
+			e.Aliases = append([]string{e.Name}, e.Aliases...)
+		}
+		s.entities[e.ID] = &e
+		s.entIDs = append(s.entIDs, e.ID)
+		for _, a := range e.Aliases {
+			key := text.Normalize(a)
+			s.aliasIndex[key] = appendUnique(s.aliasIndex[key], e.ID)
+			for _, tok := range text.NormalizeTokens(a) {
+				s.tokenIndex[tok] = appendUnique(s.tokenIndex[tok], e.ID)
+			}
+		}
+	}
+	for i := range relations {
+		r := relations[i]
+		if _, dup := s.relations[r.ID]; dup {
+			return nil, fmt.Errorf("ckb: duplicate relation id %q", r.ID)
+		}
+		if !contains(r.Aliases, r.Name) {
+			r.Aliases = append([]string{r.Name}, r.Aliases...)
+		}
+		s.relations[r.ID] = &r
+		s.relIDs = append(s.relIDs, r.ID)
+		for _, a := range r.Aliases {
+			key := text.Normalize(a)
+			s.relAliasIndex[key] = appendUnique(s.relAliasIndex[key], r.ID)
+			for _, tok := range text.NormalizeTokens(a) {
+				s.relTokenIndex[tok] = appendUnique(s.relTokenIndex[tok], r.ID)
+			}
+		}
+	}
+	sort.Strings(s.entIDs)
+	sort.Strings(s.relIDs)
+	for _, f := range facts {
+		if s.entities[f.Subj] == nil || s.entities[f.Obj] == nil {
+			return nil, fmt.Errorf("ckb: fact %v references unknown entity", f)
+		}
+		if s.relations[f.Rel] == nil {
+			return nil, fmt.Errorf("ckb: fact %v references unknown relation", f)
+		}
+		if !s.factSet[f] {
+			s.factSet[f] = true
+			s.facts = append(s.facts, f)
+		}
+	}
+	return s, nil
+}
+
+func contains(ss []string, x string) bool {
+	for _, s := range ss {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(ss []string, x string) []string {
+	if contains(ss, x) {
+		return ss
+	}
+	return append(ss, x)
+}
+
+// Entity returns the entity with the given id, or nil.
+func (s *Store) Entity(id string) *Entity { return s.entities[id] }
+
+// Relation returns the relation with the given id, or nil.
+func (s *Store) Relation(id string) *Relation { return s.relations[id] }
+
+// EntityIDs returns all entity ids in sorted order.
+func (s *Store) EntityIDs() []string { return s.entIDs }
+
+// RelationIDs returns all relation ids in sorted order.
+func (s *Store) RelationIDs() []string { return s.relIDs }
+
+// Facts returns all facts.
+func (s *Store) Facts() []Fact { return s.facts }
+
+// HasFact reports whether <subj, rel, obj> is a fact in the CKB. This
+// backs the paper's fact-inclusion factor U4.
+func (s *Store) HasFact(subj, rel, obj string) bool {
+	return s.factSet[Fact{Subj: subj, Rel: rel, Obj: obj}]
+}
+
+// AddAnchor records count anchor-link occurrences of surface form
+// pointing at entity id. The dataset generator calls this while
+// synthesizing the corpus; algorithms only read the statistics.
+func (s *Store) AddAnchor(surface, entityID string, count int) {
+	key := text.Normalize(surface)
+	row := s.anchors[key]
+	if row == nil {
+		row = make(map[string]int)
+		s.anchors[key] = row
+	}
+	row[entityID] += count
+	s.anchorTotal[key] += count
+}
+
+// Popularity returns count(surface, entity) / count(surface): the prior
+// probability that the surface form refers to the entity, estimated
+// from anchor statistics (the paper's f_pop). Zero when the surface
+// form was never seen as an anchor.
+func (s *Store) Popularity(surface, entityID string) float64 {
+	key := text.Normalize(surface)
+	total := s.anchorTotal[key]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.anchors[key][entityID]) / float64(total)
+}
+
+// AnchorCount returns count(surface): total anchors with this surface.
+func (s *Store) AnchorCount(surface string) int {
+	return s.anchorTotal[text.Normalize(surface)]
+}
+
+// Candidate is one candidate target with its retrieval score.
+type Candidate struct {
+	ID    string
+	Score float64
+}
+
+// CandidateEntities returns up to k candidate entities for the NP
+// surface form, ranked by (exact-alias match, anchor popularity, token
+// recall). Exact alias matches always precede fuzzy token matches; ties
+// break on id for determinism.
+func (s *Store) CandidateEntities(np string, k int) []Candidate {
+	key := text.Normalize(np)
+	scores := make(map[string]float64)
+	for _, id := range s.aliasIndex[key] {
+		scores[id] = 2 + s.Popularity(np, id)
+	}
+	toks := text.NormalizeTokens(np)
+	if len(toks) > 0 {
+		hits := make(map[string]int)
+		for _, tok := range toks {
+			for _, id := range s.tokenIndex[tok] {
+				hits[id]++
+			}
+		}
+		for id, h := range hits {
+			fuzzy := float64(h)/float64(len(toks)) + s.Popularity(np, id)
+			if fuzzy > scores[id] {
+				scores[id] = fuzzy
+			}
+		}
+	}
+	return topK(scores, k)
+}
+
+// CandidateRelations returns up to k candidate relations for the RP
+// surface form, ranked the same way (without popularity, which the
+// paper defines only for entities).
+func (s *Store) CandidateRelations(rp string, k int) []Candidate {
+	key := text.Normalize(rp)
+	scores := make(map[string]float64)
+	for _, id := range s.relAliasIndex[key] {
+		scores[id] = 2
+	}
+	toks := text.NormalizeTokens(rp)
+	if len(toks) > 0 {
+		hits := make(map[string]int)
+		for _, tok := range toks {
+			for _, id := range s.relTokenIndex[tok] {
+				hits[id]++
+			}
+		}
+		for id, h := range hits {
+			fuzzy := float64(h) / float64(len(toks))
+			if fuzzy > scores[id] {
+				scores[id] = fuzzy
+			}
+		}
+	}
+	return topK(scores, k)
+}
+
+func topK(scores map[string]float64, k int) []Candidate {
+	cands := make([]Candidate, 0, len(scores))
+	for id, sc := range scores {
+		cands = append(cands, Candidate{ID: id, Score: sc})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	if k > 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// FactsAbout returns the facts whose subject or object is the entity.
+func (s *Store) FactsAbout(entityID string) []Fact {
+	var out []Fact
+	for _, f := range s.facts {
+		if f.Subj == entityID || f.Obj == entityID {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of facts the entity participates in; the
+// EARL-style baseline uses this as connection density.
+func (s *Store) Degree(entityID string) int {
+	return len(s.FactsAbout(entityID))
+}

@@ -1,0 +1,188 @@
+package ckb
+
+import (
+	"testing"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(
+		[]Entity{
+			{ID: "e1", Name: "maryland", Aliases: []string{"Maryland", "MD"}, Types: []string{"location"}},
+			{ID: "e2", Name: "universitas 21", Aliases: []string{"U21"}, Types: []string{"organization"}},
+			{ID: "e3", Name: "university of virginia", Aliases: []string{"UVA"}, Types: []string{"organization"}},
+			{ID: "e4", Name: "university of maryland", Aliases: []string{"UMD", "Univ of Maryland"}, Types: []string{"organization"}},
+		},
+		[]Relation{
+			{ID: "r1", Name: "location.contained by", Category: "location", Aliases: []string{"located in", "is in"}},
+			{ID: "r2", Name: "organizations_founded", Category: "membership", Aliases: []string{"member of", "founding member of"}},
+		},
+		[]Fact{
+			{Subj: "e4", Rel: "r1", Obj: "e1"},
+			{Subj: "e4", Rel: "r2", Obj: "e2"},
+			{Subj: "e3", Rel: "r2", Obj: "e2"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreLookups(t *testing.T) {
+	s := testStore(t)
+	if s.Entity("e1") == nil || s.Entity("e1").Name != "maryland" {
+		t.Error("Entity lookup failed")
+	}
+	if s.Entity("nope") != nil {
+		t.Error("unknown entity should be nil")
+	}
+	if s.Relation("r2") == nil || s.Relation("r2").Category != "membership" {
+		t.Error("Relation lookup failed")
+	}
+	if len(s.EntityIDs()) != 4 || len(s.RelationIDs()) != 2 {
+		t.Error("id lists wrong")
+	}
+}
+
+func TestDuplicateIDsRejected(t *testing.T) {
+	_, err := NewStore([]Entity{{ID: "e1", Name: "a"}, {ID: "e1", Name: "b"}}, nil, nil)
+	if err == nil {
+		t.Error("want error for duplicate entity id")
+	}
+	_, err = NewStore(nil, []Relation{{ID: "r", Name: "x"}, {ID: "r", Name: "y"}}, nil)
+	if err == nil {
+		t.Error("want error for duplicate relation id")
+	}
+}
+
+func TestDanglingFactRejected(t *testing.T) {
+	_, err := NewStore(
+		[]Entity{{ID: "e1", Name: "a"}},
+		[]Relation{{ID: "r1", Name: "r"}},
+		[]Fact{{Subj: "e1", Rel: "r1", Obj: "missing"}},
+	)
+	if err == nil {
+		t.Error("want error for dangling fact")
+	}
+}
+
+func TestHasFact(t *testing.T) {
+	s := testStore(t)
+	if !s.HasFact("e4", "r1", "e1") {
+		t.Error("existing fact not found")
+	}
+	if s.HasFact("e1", "r1", "e4") {
+		t.Error("reversed fact should not exist")
+	}
+}
+
+func TestFactDeduplication(t *testing.T) {
+	s, err := NewStore(
+		[]Entity{{ID: "e1", Name: "a"}, {ID: "e2", Name: "b"}},
+		[]Relation{{ID: "r1", Name: "r"}},
+		[]Fact{{Subj: "e1", Rel: "r1", Obj: "e2"}, {Subj: "e1", Rel: "r1", Obj: "e2"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Facts()) != 1 {
+		t.Errorf("facts = %d, want 1 after dedup", len(s.Facts()))
+	}
+}
+
+func TestPopularity(t *testing.T) {
+	s := testStore(t)
+	s.AddAnchor("Maryland", "e1", 90)
+	s.AddAnchor("Maryland", "e4", 10) // ambiguous surface form
+	if got := s.Popularity("Maryland", "e1"); got != 0.9 {
+		t.Errorf("Popularity = %v, want 0.9", got)
+	}
+	if got := s.Popularity("maryland", "e1"); got != 0.9 {
+		t.Errorf("Popularity should normalize case, got %v", got)
+	}
+	if got := s.Popularity("never seen", "e1"); got != 0 {
+		t.Errorf("unseen surface popularity = %v, want 0", got)
+	}
+	if s.AnchorCount("Maryland") != 100 {
+		t.Errorf("AnchorCount = %d, want 100", s.AnchorCount("Maryland"))
+	}
+}
+
+func TestCandidateEntitiesExactAlias(t *testing.T) {
+	s := testStore(t)
+	cands := s.CandidateEntities("UMD", 5)
+	if len(cands) == 0 || cands[0].ID != "e4" {
+		t.Fatalf("CandidateEntities(UMD) = %v, want e4 first", cands)
+	}
+}
+
+func TestCandidateEntitiesFuzzy(t *testing.T) {
+	s := testStore(t)
+	// "University of Maryland" shares tokens with both universities and
+	// with maryland; e4 has full token recall and must rank first.
+	cands := s.CandidateEntities("the University of Maryland", 5)
+	if len(cands) == 0 || cands[0].ID != "e4" {
+		t.Fatalf("fuzzy candidates = %v, want e4 first", cands)
+	}
+	found := false
+	for _, c := range cands {
+		if c.ID == "e3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("e3 should appear as fuzzy candidate: %v", cands)
+	}
+}
+
+func TestCandidateEntitiesPopularityBreaksTies(t *testing.T) {
+	s := testStore(t)
+	s.AddAnchor("maryland", "e1", 99)
+	s.AddAnchor("maryland", "e4", 1)
+	cands := s.CandidateEntities("maryland", 2)
+	if len(cands) == 0 || cands[0].ID != "e1" {
+		t.Fatalf("popularity should rank e1 first: %v", cands)
+	}
+}
+
+func TestCandidateRelations(t *testing.T) {
+	s := testStore(t)
+	cands := s.CandidateRelations("located in", 3)
+	if len(cands) == 0 || cands[0].ID != "r1" {
+		t.Fatalf("CandidateRelations(located in) = %v, want r1 first", cands)
+	}
+	cands = s.CandidateRelations("be a member of", 3)
+	if len(cands) == 0 || cands[0].ID != "r2" {
+		t.Fatalf("CandidateRelations(member of) = %v, want r2 first", cands)
+	}
+}
+
+func TestCandidateLimit(t *testing.T) {
+	s := testStore(t)
+	cands := s.CandidateEntities("university", 1)
+	if len(cands) > 1 {
+		t.Errorf("k=1 returned %d candidates", len(cands))
+	}
+}
+
+func TestDegreeAndFactsAbout(t *testing.T) {
+	s := testStore(t)
+	if s.Degree("e4") != 2 {
+		t.Errorf("Degree(e4) = %d, want 2", s.Degree("e4"))
+	}
+	if s.Degree("e2") != 2 {
+		t.Errorf("Degree(e2) = %d, want 2", s.Degree("e2"))
+	}
+	if len(s.FactsAbout("e1")) != 1 {
+		t.Errorf("FactsAbout(e1) = %v", s.FactsAbout("e1"))
+	}
+}
+
+func TestNameAlwaysAlias(t *testing.T) {
+	s := testStore(t)
+	cands := s.CandidateEntities("universitas 21", 3)
+	if len(cands) == 0 || cands[0].ID != "e2" {
+		t.Errorf("canonical name must be an alias: %v", cands)
+	}
+}

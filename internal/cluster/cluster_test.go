@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasic(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Count() != 5 {
+		t.Fatalf("initial count = %d, want 5", uf.Count())
+	}
+	if !uf.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeated union should not merge")
+	}
+	uf.Union(2, 3)
+	if uf.Count() != 3 {
+		t.Errorf("count = %d, want 3", uf.Count())
+	}
+	if !uf.Connected(0, 1) || uf.Connected(0, 2) {
+		t.Error("connectivity wrong")
+	}
+	uf.Union(1, 3)
+	if !uf.Connected(0, 2) {
+		t.Error("transitive connectivity failed")
+	}
+	if uf.SetSize(0) != 4 {
+		t.Errorf("SetSize = %d, want 4", uf.SetSize(0))
+	}
+}
+
+func TestUnionFindGroupsDeterministic(t *testing.T) {
+	uf := NewUnionFind(6)
+	uf.Union(4, 2)
+	uf.Union(5, 1)
+	got := uf.Groups()
+	want := [][]int{{0}, {1, 5}, {2, 4}, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Groups = %v, want %v", got, want)
+	}
+}
+
+func TestUnionFindProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		uf := NewUnionFind(n)
+		merges := 0
+		for k := 0; k < 60; k++ {
+			if uf.Union(rng.Intn(n), rng.Intn(n)) {
+				merges++
+			}
+		}
+		// Invariant: sets + successful merges == n.
+		if uf.Count()+merges != n {
+			return false
+		}
+		// Invariant: group sizes sum to n and match SetSize.
+		total := 0
+		for _, g := range uf.Groups() {
+			total += len(g)
+			for _, m := range g {
+				if uf.SetSize(m) != len(g) {
+					return false
+				}
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// blockSim gives high similarity within predefined blocks, low across.
+func blockSim(assign []int) SimFunc {
+	return func(i, j int) float64 {
+		if assign[i] == assign[j] {
+			return 0.9
+		}
+		return 0.1
+	}
+}
+
+func TestHACRecoversBlocks(t *testing.T) {
+	assign := []int{0, 1, 0, 1, 0, 2}
+	for _, lk := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		groups := HAC(len(assign), blockSim(assign), lk, 0.5)
+		if len(groups) != 3 {
+			t.Fatalf("linkage %v: got %d groups (%v), want 3", lk, len(groups), groups)
+		}
+		for _, g := range groups {
+			for _, m := range g[1:] {
+				if assign[m] != assign[g[0]] {
+					t.Errorf("linkage %v: mixed group %v", lk, g)
+				}
+			}
+		}
+	}
+}
+
+func TestHACThresholdOne(t *testing.T) {
+	// Threshold above every similarity: all singletons.
+	groups := HAC(4, func(i, j int) float64 { return 0.3 }, AverageLinkage, 0.9)
+	if len(groups) != 4 {
+		t.Errorf("got %d groups, want 4 singletons", len(groups))
+	}
+}
+
+func TestHACThresholdZero(t *testing.T) {
+	// Threshold at/below every similarity: one cluster.
+	groups := HAC(4, func(i, j int) float64 { return 0.3 }, SingleLinkage, 0.1)
+	if len(groups) != 1 || len(groups[0]) != 4 {
+		t.Errorf("got %v, want one group of 4", groups)
+	}
+}
+
+func TestHACEdgeSizes(t *testing.T) {
+	if got := HAC(0, nil, AverageLinkage, 0.5); got != nil {
+		t.Errorf("HAC(0) = %v, want nil", got)
+	}
+	got := HAC(1, nil, AverageLinkage, 0.5)
+	if !reflect.DeepEqual(got, [][]int{{0}}) {
+		t.Errorf("HAC(1) = %v, want [[0]]", got)
+	}
+}
+
+func TestHACChainSingleVsComplete(t *testing.T) {
+	// Chain: 0-1 and 1-2 similar, 0-2 dissimilar. Single linkage chains
+	// all three together; complete linkage must not.
+	sim := func(i, j int) float64 {
+		if (i == 0 && j == 1) || (i == 1 && j == 0) || (i == 1 && j == 2) || (i == 2 && j == 1) {
+			return 0.8
+		}
+		return 0.0
+	}
+	single := HAC(3, sim, SingleLinkage, 0.5)
+	if len(single) != 1 {
+		t.Errorf("single linkage should chain: %v", single)
+	}
+	complete := HAC(3, sim, CompleteLinkage, 0.5)
+	if len(complete) != 2 {
+		t.Errorf("complete linkage should not fully chain: %v", complete)
+	}
+}
+
+func TestHACPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Float64()
+				m[i][j], m[j][i] = v, v
+			}
+		}
+		groups := HAC(n, func(i, j int) float64 { return m[i][j] }, AverageLinkage, rng.Float64())
+		// Groups must partition 0..n-1.
+		seen := make([]bool, n)
+		for _, g := range groups {
+			for _, x := range g {
+				if x < 0 || x >= n || seen[x] {
+					return false
+				}
+				seen[x] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupsFromPairs(t *testing.T) {
+	groups := GroupsFromPairs(5, [][2]int{{0, 2}, {2, 4}})
+	want := [][]int{{0, 2, 4}, {1}, {3}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("GroupsFromPairs = %v, want %v", groups, want)
+	}
+}

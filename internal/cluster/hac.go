@@ -1,0 +1,131 @@
+package cluster
+
+import "sort"
+
+// Linkage selects how HAC scores the similarity between two clusters
+// from the pairwise similarities of their members.
+type Linkage int
+
+const (
+	// SingleLinkage merges on the maximum pairwise similarity.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges on the minimum pairwise similarity.
+	CompleteLinkage
+	// AverageLinkage merges on the mean pairwise similarity (UPGMA).
+	AverageLinkage
+)
+
+// SimFunc returns the similarity (higher = more similar) between
+// elements i and j. It must be symmetric.
+type SimFunc func(i, j int) float64
+
+// HAC runs hierarchical agglomerative clustering over n elements with
+// the given linkage, merging greedily while the best inter-cluster
+// similarity is >= threshold, and returns the resulting groups (each a
+// slice of element indices, deterministic order).
+//
+// The implementation is the O(n^2 log n)-ish Lance-Williams update over
+// a dense similarity matrix, which is what the canonicalization
+// baselines (Galárraga et al. 2014, CESI) use at the scales of blocked
+// canonicalization: blocking keeps each connected block small, so dense
+// HAC within a block is the standard approach.
+func HAC(n int, sim SimFunc, linkage Linkage, threshold float64) [][]int {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	// Active cluster bookkeeping. matrix[i][j] is the current linkage
+	// similarity between clusters i and j (i != j, both active).
+	active := make([]bool, n)
+	size := make([]int, n)
+	members := make([][]int, n)
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+		members[i] = []int{i}
+	}
+	matrix := make([][]float64, n)
+	for i := range matrix {
+		matrix[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				matrix[i][j] = sim(i, j)
+			}
+		}
+	}
+
+	for remaining := n; remaining > 1; remaining-- {
+		// Find the best active pair.
+		bi, bj, best := -1, -1, threshold
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if matrix[i][j] >= best {
+					// Strict improvement or first pair at threshold;
+					// ties resolve to the smallest (i, j), giving
+					// deterministic output.
+					if matrix[i][j] > best || bi == -1 {
+						bi, bj, best = i, j, matrix[i][j]
+					}
+				}
+			}
+		}
+		if bi == -1 {
+			break // nothing left above threshold
+		}
+		// Merge bj into bi with Lance-Williams updates.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			switch linkage {
+			case SingleLinkage:
+				if matrix[bj][k] > matrix[bi][k] {
+					matrix[bi][k] = matrix[bj][k]
+				}
+			case CompleteLinkage:
+				if matrix[bj][k] < matrix[bi][k] {
+					matrix[bi][k] = matrix[bj][k]
+				}
+			case AverageLinkage:
+				si, sj := float64(size[bi]), float64(size[bj])
+				matrix[bi][k] = (si*matrix[bi][k] + sj*matrix[bj][k]) / (si + sj)
+			}
+			matrix[k][bi] = matrix[bi][k]
+		}
+		members[bi] = append(members[bi], members[bj]...)
+		size[bi] += size[bj]
+		active[bj] = false
+	}
+
+	var groups [][]int
+	for i := 0; i < n; i++ {
+		if active[i] {
+			g := members[i]
+			sortInts(g)
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// GroupsFromPairs builds clusters as connected components over positive
+// pair decisions: for every (i, j) with decide(i, j) true, i and j end
+// up in the same group. This is the transitive-closure grouping JOCL's
+// inference uses over positive canonicalization variables.
+func GroupsFromPairs(n int, pairs [][2]int) [][]int {
+	uf := NewUnionFind(n)
+	for _, p := range pairs {
+		uf.Union(p[0], p[1])
+	}
+	return uf.Groups()
+}
+
+func sortInts(a []int) { sort.Ints(a) }

@@ -1,0 +1,86 @@
+// Package cluster provides the clustering substrate used across JOCL:
+// a union-find structure for turning pairwise merge decisions into
+// groups (both in JOCL inference and in several baselines), and
+// hierarchical agglomerative clustering (HAC) with pluggable linkage,
+// which the Text Similarity, IDF Token Overlap, and CESI baselines use.
+package cluster
+
+// UnionFind is a disjoint-set structure over n integer elements with
+// union by size and path compression.
+type UnionFind struct {
+	parent []int
+	size   []int
+	sets   int
+}
+
+// NewUnionFind creates a union-find over elements 0..n-1, each in its
+// own singleton set.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y. It reports whether a merge
+// actually happened (false when they were already in the same set).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.size[rx] < uf.size[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	uf.size[rx] += uf.size[ry]
+	uf.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// SetSize returns the size of x's set.
+func (uf *UnionFind) SetSize(x int) int { return uf.size[uf.Find(x)] }
+
+// Count returns the number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.sets }
+
+// Groups materializes the disjoint sets as slices of element indices.
+// Elements within each group, and the groups themselves, are ordered by
+// smallest member, so output is deterministic.
+func (uf *UnionFind) Groups() [][]int {
+	byRoot := make(map[int][]int)
+	for i := range uf.parent {
+		r := uf.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	groups := make([][]int, 0, len(byRoot))
+	// Iterate elements in order so each group is discovered at its
+	// smallest member; members are appended in increasing order above.
+	seen := make(map[int]bool)
+	for i := range uf.parent {
+		r := uf.Find(i)
+		if !seen[r] {
+			seen[r] = true
+			groups = append(groups, byRoot[r])
+		}
+	}
+	return groups
+}

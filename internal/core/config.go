@@ -1,0 +1,270 @@
+// Package core implements JOCL, the paper's contribution: a factor
+// graph that jointly solves OKB canonicalization and OKB linking and
+// makes the two tasks reinforce each other (Section 3).
+//
+// The graph contains, per blocked pair of noun (relation) phrases, a
+// binary canonicalization variable — the paper's x_ij (y_ij, z_ij) —
+// scored by the exponential-linear canonicalization factors F1 (F2,
+// F3); per distinct noun (relation) phrase, a linking variable over
+// its CKB candidates plus a NIL state — the paper's e_si (r_pi, e_oi) —
+// scored by the linking factors F4 (F5, F6); transitive-relation
+// factors U1–U3 over triangles of canonicalization variables; fact-
+// inclusion factors U4 over the three linking variables of each OIE
+// triple; and consistency factors U5–U7 coupling each canonicalization
+// variable with its pair of linking variables, which is where the two
+// tasks interact.
+//
+// One deliberate simplification relative to the paper's notation: the
+// paper distinguishes subject-position from object-position NP
+// variables (x_ij vs z_ij, F1 vs F3, U1 vs U3, U5 vs U7) although both
+// use identical signal sets. This implementation canonicalizes and
+// links at the level of distinct NP surface forms, so each NP pair has
+// one variable regardless of the slots it occupies; F1/F3 (and U1/U3,
+// U5/U7) collapse into one parameter vector. DESIGN.md records this
+// substitution; Table-5-style feature ablations are unaffected.
+package core
+
+import "repro/internal/factorgraph"
+
+// Feature names accepted by FeatureSet, matching the paper's f vectors.
+const (
+	FeatIDF   = "idf"   // IDF token overlap (NP + RP canonicalization)
+	FeatEmb   = "emb"   // word-embedding cosine (all four factors)
+	FeatPPDB  = "ppdb"  // paraphrase DB (all four factors)
+	FeatAMIE  = "amie"  // AMIE rules (RP canonicalization)
+	FeatKBP   = "kbp"   // KBP categories (RP canonicalization)
+	FeatPop   = "pop"   // anchor popularity (entity linking)
+	FeatNgram = "ngram" // character n-grams (relation linking)
+	FeatLD    = "ld"    // Levenshtein (relation linking)
+
+	// Extension signals beyond the paper's ten, exercising the claim
+	// that the framework "is able to extend to fit any new signals":
+	FeatAttr = "attr" // attribute overlap (NP canonicalization)
+	FeatType = "type" // type compatibility (entity linking)
+)
+
+// FeatureSet selects the feature functions of each factor family —
+// the rows of the paper's Table 5.
+type FeatureSet struct {
+	NPCanon []string // F1/F3 features: subset of {idf, emb, ppdb}
+	RPCanon []string // F2 features: subset of {idf, emb, ppdb, amie, kbp}
+	EntLink []string // F4/F6 features: subset of {pop, emb, ppdb}
+	RelLink []string // F5 features: subset of {ngram, ld, emb, ppdb}
+}
+
+// AllFeatures returns the full JOCL-all feature set (f1, f2, f4, f5).
+func AllFeatures() FeatureSet {
+	return FeatureSet{
+		NPCanon: []string{FeatIDF, FeatEmb, FeatPPDB},
+		RPCanon: []string{FeatIDF, FeatEmb, FeatPPDB, FeatAMIE, FeatKBP},
+		EntLink: []string{FeatPop, FeatEmb, FeatPPDB},
+		RelLink: []string{FeatNgram, FeatLD, FeatEmb, FeatPPDB},
+	}
+}
+
+// SingleFeatures returns the JOCL-single ablation of Table 5.
+func SingleFeatures() FeatureSet {
+	return FeatureSet{
+		NPCanon: []string{FeatIDF},
+		RPCanon: []string{FeatIDF},
+		EntLink: []string{FeatPop},
+		RelLink: []string{FeatNgram},
+	}
+}
+
+// DoubleFeatures returns the JOCL-double ablation of Table 5.
+func DoubleFeatures() FeatureSet {
+	return FeatureSet{
+		NPCanon: []string{FeatIDF, FeatEmb},
+		RPCanon: []string{FeatIDF, FeatEmb},
+		EntLink: []string{FeatPop, FeatEmb},
+		RelLink: []string{FeatNgram, FeatEmb},
+	}
+}
+
+// ExtendedFeatures returns AllFeatures plus the two extension signals
+// (f_attr for NP canonicalization, f_type for entity linking) — the
+// "new signals" configuration quantified by the bench package's
+// extension ablation.
+func ExtendedFeatures() FeatureSet {
+	f := AllFeatures()
+	f.NPCanon = append(f.NPCanon, FeatAttr)
+	f.EntLink = append(f.EntLink, FeatType)
+	return f
+}
+
+// Config controls graph construction, learning, and inference.
+type Config struct {
+	Features FeatureSet
+
+	// Task toggles: the Table 4 ablations. JOCLcano disables linking,
+	// JOCLlink disables canonicalization; disabling Consistency alone
+	// keeps both tasks but severs their interaction.
+	EnableCanon       bool
+	EnableLink        bool
+	EnableConsistency bool
+	EnableTransitive  bool
+	EnableFactIncl    bool
+	// EnableConflictRes applies the paper's Section 3.5 post-processing
+	// that reconciles disagreeing canonicalization and linking outputs.
+	EnableConflictRes bool
+	// ConflictConfidence gates conflict resolution: only pairs whose
+	// canonicalization marginal P(x=1) reaches this value may relabel a
+	// link. Un-gated resolution amplifies canonicalization mistakes into
+	// linking mistakes.
+	ConflictConfidence float64
+	// LinkAgreeMerge applies the paper's Assumption 1 at inference: a
+	// blocked pair whose two phrases decode to the same non-NIL target
+	// with link confidence >= LinkAgreeConfidence joins one
+	// canonicalization group, even if its pair variable decoded to 0.
+	// This flows linking evidence into grouping only — link assignments
+	// are never touched — so it cannot harm linking accuracy.
+	LinkAgreeMerge      bool
+	LinkAgreeConfidence float64
+
+	// MaxCandidates bounds each linking variable's state space (top-K
+	// CKB candidates plus NIL).
+	MaxCandidates int
+	// BlockingThreshold is the IDF-overlap threshold for generating
+	// canonicalization variables (paper: 0.5).
+	BlockingThreshold float64
+	// BlockSharedCandidates additionally generates canonicalization
+	// variables for phrase pairs whose CKB candidate lists intersect,
+	// even when their IDF overlap is below the threshold. Token-disjoint
+	// paraphrases (abbreviations, aliases) have no canonicalization
+	// variable under pure IDF blocking, so the consistency factors can
+	// never merge them; candidate-sharing blocking is what lets the
+	// linking task inform canonicalization — the paper's Assumption 1.
+	BlockSharedCandidates bool
+	// MaxPhrasesPerTarget caps how many phrases per shared candidate are
+	// paired up, bounding the quadratic blow-up on very ambiguous
+	// targets.
+	MaxPhrasesPerTarget int
+	// EmbBlockTopK additionally pairs each phrase with its K nearest
+	// embedding neighbors (cosine >= EmbBlockMinSim), so distributional
+	// paraphrases with no shared tokens or candidates still receive a
+	// canonicalization variable. 0 disables. Embedding blocking is
+	// skipped beyond EmbBlockMaxPhrases phrases (it is quadratic).
+	EmbBlockTopK       int
+	EmbBlockMinSim     float64
+	EmbBlockMaxPhrases int
+	// MaxTriangles caps the transitive-relation factors per phrase set,
+	// bounding worst-case graph size on pathological blockings.
+	MaxTriangles int
+
+	// Heuristic factor scores (paper Section 3.1.5, 3.2.5, 3.3). The
+	// consistency scores are applied through an evidence gate (see
+	// core.addConsistencyFactors): the candidate-sharing blocking our
+	// substrates need creates pair variables with little textual
+	// evidence, and ungated full-strength coupling on those pairs lets
+	// the two tasks amplify each other's errors.
+	TransHigh, TransMid, TransLow float64 // U1–U3: 0.9 / 0.5 / 0.1
+	FactHigh, FactLow             float64 // U4:    0.9 / 0.1
+	ConsHigh, ConsLow             float64 // U5–U7: 0.7 / 0.3
+
+	// InitialWeights seeds factor weights by registered name (e.g.
+	// "alpha1.emb"), overriding the default of 1.0. This is how weights
+	// learned on one data set's validation split transfer to another
+	// data set, matching the paper's setup where ReVerb45K's validation
+	// set trains the parameters used on NYTimes2018 as well.
+	InitialWeights map[string]float64
+
+	BP    factorgraph.RunOptions
+	Train factorgraph.TrainOptions
+}
+
+// DefaultConfig returns the full JOCL configuration with the paper's
+// hyperparameters (blocking 0.5, learning rate 0.05, scores
+// 0.9/0.5/0.1, 0.9/0.1, 0.7/0.3, convergence within 20 sweeps).
+func DefaultConfig() Config {
+	return Config{
+		Features:              AllFeatures(),
+		EnableCanon:           true,
+		EnableLink:            true,
+		EnableConsistency:     true,
+		EnableTransitive:      true,
+		EnableFactIncl:        true,
+		EnableConflictRes:     true,
+		MaxCandidates:         6,
+		BlockingThreshold:     0.5,
+		BlockSharedCandidates: true,
+		MaxPhrasesPerTarget:   12,
+		EmbBlockTopK:          0, // opt-in; see the blocking ablation
+		EmbBlockMinSim:        0.45,
+		EmbBlockMaxPhrases:    6000,
+		LinkAgreeMerge:        true,
+		LinkAgreeConfidence:   0.4,
+		MaxTriangles:          20000,
+		TransHigh:             0.9,
+		TransMid:              0.5,
+		TransLow:              0.1,
+		FactHigh:              0.9,
+		FactLow:               0.1,
+		ConsHigh:              0.55,
+		ConsLow:               0.45,
+		ConflictConfidence:    0.9,
+		BP: factorgraph.RunOptions{
+			MaxSweeps: 20,
+			Tolerance: 1e-4,
+		},
+		Train: factorgraph.TrainOptions{
+			LearnRate: 0.05,
+			MaxIters:  20,
+			BP: factorgraph.RunOptions{
+				MaxSweeps: 10,
+				Tolerance: 1e-3,
+			},
+		},
+	}
+}
+
+// CanonOnlyConfig returns the JOCLcano ablation (Table 4).
+func CanonOnlyConfig() Config {
+	c := DefaultConfig()
+	c.EnableLink = false
+	c.EnableConsistency = false
+	c.EnableFactIncl = false
+	return c
+}
+
+// LinkOnlyConfig returns the JOCLlink ablation (Table 4).
+func LinkOnlyConfig() Config {
+	c := DefaultConfig()
+	c.EnableCanon = false
+	c.EnableConsistency = false
+	c.EnableTransitive = false
+	return c
+}
+
+// Labels carries the gold annotations of the validation split, the
+// only supervision JOCL's learner consumes.
+type Labels struct {
+	NPLink    map[string]string // NP surface -> entity id ("" = NIL)
+	RPLink    map[string]string // RP surface -> relation id
+	NPCluster map[string]string // NP surface -> gold group id
+	RPCluster map[string]string // RP surface -> gold group id
+}
+
+// Result is the joint output: canonicalization groups and CKB links
+// for both phrase kinds, plus run diagnostics.
+type Result struct {
+	NPGroups [][]string
+	RPGroups [][]string
+	NPLinks  map[string]string // surface -> entity id ("" = NIL)
+	RPLinks  map[string]string // surface -> relation id ("" = NIL)
+
+	Stats Stats
+}
+
+// Stats reports the shape and effort of a run.
+type Stats struct {
+	NPPairVars    int
+	RPPairVars    int
+	NPLinkVars    int
+	RPLinkVars    int
+	Factors       int
+	Sweeps        int
+	TrainIters    int
+	TrainGrad     float64
+	ConflictFixes int
+}

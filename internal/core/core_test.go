@@ -1,0 +1,312 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/signals"
+)
+
+var cachedDS *datasets.Dataset
+
+func dataset(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	if cachedDS == nil {
+		ds, err := datasets.Generate(datasets.ReVerb45K(0.008))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedDS = ds
+	}
+	return cachedDS
+}
+
+func resources(t *testing.T) (*signals.Resources, *datasets.Dataset) {
+	ds := dataset(t)
+	return signals.New(ds.OKB, ds.CKB, ds.Emb, ds.PPDB), ds
+}
+
+func labelsOf(ds *datasets.Dataset) *Labels {
+	return &Labels{
+		NPLink:    ds.ValidationNPLinks(),
+		RPLink:    ds.ValidationRPLinks(),
+		NPCluster: ds.ValidationNPClusters(),
+		RPCluster: ds.ValidationRPClusters(),
+	}
+}
+
+func TestSystemConstruction(t *testing.T) {
+	res, _ := resources(t)
+	s, err := NewSystem(res, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.Graph()
+	if g.NumVariables() == 0 || g.NumFactors() == 0 {
+		t.Fatal("empty graph")
+	}
+	if s.stats.NPPairVars == 0 {
+		t.Error("no blocked NP pairs — blocking too strict for the dataset")
+	}
+	if s.stats.NPLinkVars != len(res.OKB.NPs()) {
+		t.Error("one linking variable per NP surface expected")
+	}
+	// Schedule covers all factors exactly once.
+	covered := 0
+	for _, grp := range s.Schedule().FactorGroups {
+		covered += len(grp)
+	}
+	if covered != g.NumFactors() {
+		t.Errorf("schedule covers %d of %d factors", covered, g.NumFactors())
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	res, _ := resources(t)
+	cfg := DefaultConfig()
+	cfg.EnableCanon = false
+	cfg.EnableLink = false
+	if _, err := NewSystem(res, cfg); err == nil {
+		t.Error("want error when both tasks disabled")
+	}
+}
+
+func TestJointRunEndToEnd(t *testing.T) {
+	res, ds := resources(t)
+	s, err := NewSystem(res, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := s.Run(labelsOf(ds))
+
+	if len(result.NPGroups) == 0 || len(result.RPGroups) == 0 {
+		t.Fatal("no groups produced")
+	}
+	if len(result.NPLinks) != len(res.OKB.NPs()) {
+		t.Errorf("links for %d of %d NPs", len(result.NPLinks), len(res.OKB.NPs()))
+	}
+	if result.Stats.Sweeps == 0 || result.Stats.TrainIters == 0 {
+		t.Errorf("stats not recorded: %+v", result.Stats)
+	}
+
+	// Quality floor: far better than chance on both tasks.
+	canon := metrics.Evaluate(result.NPGroups, ds.GoldNPCluster)
+	if canon.AverageF1 < 0.5 {
+		t.Errorf("NP canonicalization avg F1 = %.3f, want >= 0.5", canon.AverageF1)
+	}
+	acc := metrics.Accuracy(result.NPLinks, ds.GoldNPLink)
+	if acc < 0.5 {
+		t.Errorf("entity linking accuracy = %.3f, want >= 0.5", acc)
+	}
+	rpAcc := metrics.Accuracy(result.RPLinks, ds.GoldRPLink)
+	if rpAcc < 0.4 {
+		t.Errorf("relation linking accuracy = %.3f, want >= 0.4", rpAcc)
+	}
+}
+
+func TestCanonOnlyAndLinkOnly(t *testing.T) {
+	res, ds := resources(t)
+
+	cano, err := NewSystem(res, CanonOnlyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := cano.Run(labelsOf(ds))
+	if len(rc.NPGroups) == 0 {
+		t.Error("JOCLcano produced no groups")
+	}
+	if len(rc.NPLinks) != 0 {
+		t.Error("JOCLcano should not produce links")
+	}
+
+	link, err := NewSystem(res, LinkOnlyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := link.Run(labelsOf(ds))
+	if len(rl.NPLinks) == 0 {
+		t.Error("JOCLlink produced no links")
+	}
+	if len(rl.NPGroups) == 0 {
+		t.Error("JOCLlink should still report link-derived groups")
+	}
+}
+
+func TestRunWithoutLabels(t *testing.T) {
+	res, _ := resources(t)
+	s, err := NewSystem(res, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := s.Run(nil)
+	if result.Stats.TrainIters != 0 {
+		t.Error("no labels should mean no training")
+	}
+	if len(result.NPGroups) == 0 {
+		t.Error("unsupervised run should still infer groups")
+	}
+}
+
+func TestFeatureAblationConfigs(t *testing.T) {
+	res, ds := resources(t)
+	for _, fs := range []FeatureSet{SingleFeatures(), DoubleFeatures(), AllFeatures()} {
+		cfg := DefaultConfig()
+		cfg.Features = fs
+		s, err := NewSystem(res, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := s.Run(labelsOf(ds))
+		if len(r.NPGroups) == 0 {
+			t.Errorf("feature set %+v produced nothing", fs)
+		}
+	}
+}
+
+func TestGroupsPartitionPhrases(t *testing.T) {
+	res, ds := resources(t)
+	s, err := NewSystem(res, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run(labelsOf(ds))
+	seen := map[string]bool{}
+	for _, g := range r.NPGroups {
+		for _, p := range g {
+			if seen[p] {
+				t.Fatalf("phrase %q in two groups", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != len(res.OKB.NPs()) {
+		t.Errorf("groups cover %d of %d NPs", len(seen), len(res.OKB.NPs()))
+	}
+}
+
+func TestResolveConflicts(t *testing.T) {
+	phrases := []string{"a", "b", "c", "d"}
+	links := map[string]string{"a": "e1", "b": "e2", "c": "e1", "d": "e1"}
+	// a-b positive but linked differently; e1's group (3 members) wins.
+	fixes := resolveConflicts(phrases, [][2]int{{0, 1}}, links, map[string]float64{})
+	if fixes != 1 {
+		t.Fatalf("fixes = %d, want 1", fixes)
+	}
+	if links["b"] != "e1" {
+		t.Errorf("b should adopt e1, got %q", links["b"])
+	}
+	// Agreeing pair: no fix.
+	if resolveConflicts(phrases, [][2]int{{0, 2}}, links, map[string]float64{}) != 0 {
+		t.Error("agreeing pair should not be fixed")
+	}
+}
+
+func TestResolveConflictsTieBreak(t *testing.T) {
+	phrases := []string{"a", "b"}
+	links := map[string]string{"a": "e2", "b": "e1"}
+	resolveConflicts(phrases, [][2]int{{0, 1}}, links, map[string]float64{})
+	// Equal group sizes: smaller id wins deterministically.
+	if links["a"] != "e1" || links["b"] != "e1" {
+		t.Errorf("tie break wrong: %v", links)
+	}
+}
+
+func TestGroupsByLink(t *testing.T) {
+	phrases := []string{"x", "y", "z", "w"}
+	links := map[string]string{"x": "e1", "y": "e1", "z": "", "w": "e2"}
+	groups := groupsByLink(phrases, links)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v, want 3", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != "x" {
+		t.Errorf("e1 group wrong: %v", groups[0])
+	}
+}
+
+func TestLabelStatesMapping(t *testing.T) {
+	res, ds := resources(t)
+	s, err := NewSystem(res, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := s.labelStates(labelsOf(ds))
+	if len(lab) == 0 {
+		t.Fatal("no labels mapped onto graph variables")
+	}
+	for vid, state := range lab {
+		if state < 0 || state >= s.Graph().Variable(vid).Card {
+			t.Fatalf("label state %d out of range for variable %d", state, vid)
+		}
+	}
+	// Nil labels map to nothing.
+	if got := s.labelStates(nil); len(got) != 0 {
+		t.Error("nil labels should produce no clamps")
+	}
+}
+
+func TestExtendedFeaturesRun(t *testing.T) {
+	res, ds := resources(t)
+	cfg := DefaultConfig()
+	cfg.Features = ExtendedFeatures()
+	s, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run(labelsOf(ds))
+	if len(r.NPGroups) == 0 || len(r.NPLinks) == 0 {
+		t.Fatal("extended feature set produced no output")
+	}
+	// The extension weights must be registered and learnable.
+	w := s.WeightValues()
+	if _, ok := w["alpha1.attr"]; !ok {
+		t.Error("alpha1.attr weight missing")
+	}
+	if _, ok := w["alpha4.type"]; !ok {
+		t.Error("alpha4.type weight missing")
+	}
+}
+
+func TestWeightValuesComplete(t *testing.T) {
+	res, _ := resources(t)
+	s, err := NewSystem(res, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.WeightValues()
+	for _, name := range []string{
+		"alpha1.idf", "alpha1.emb", "alpha1.ppdb",
+		"alpha2.amie", "alpha2.kbp",
+		"alpha4.pop", "alpha4.nil", "alpha5.ngram", "alpha5.ld", "alpha5.nil",
+		"beta1.trans.np", "beta2.trans.rp", "beta4.fact",
+		"beta5.cons.np", "beta6.cons.rp",
+	} {
+		if _, ok := w[name]; !ok {
+			t.Errorf("weight %q not registered", name)
+		}
+	}
+}
+
+func TestInitialWeightsApplied(t *testing.T) {
+	res, _ := resources(t)
+	cfg := DefaultConfig()
+	cfg.InitialWeights = map[string]float64{"alpha1.idf": 2.5, "nonexistent": 9}
+	s, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WeightValues()["alpha1.idf"]; got != 2.5 {
+		t.Errorf("alpha1.idf = %v, want 2.5", got)
+	}
+}
+
+func TestLinkAgreementPairs(t *testing.T) {
+	phrases := []string{"a", "b", "c", "d"}
+	links := map[string]string{"a": "e1", "b": "e1", "c": "e1", "d": ""}
+	conf := map[string]float64{"a": 0.9, "b": 0.9, "c": 0.2, "d": 0.9}
+	pairs := linkAgreementPairs(phrases, links, conf, 0.5)
+	// a and b agree confidently; c is below confidence; d is NIL.
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Errorf("pairs = %v, want [[0 1]]", pairs)
+	}
+}

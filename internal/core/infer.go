@@ -1,0 +1,325 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/factorgraph"
+)
+
+// labelStates translates gold labels into graph-variable clamps for the
+// clamped learning pass. Only representable labels are used: a linking
+// label whose target is outside the candidate list cannot be expressed
+// and is skipped.
+func (s *System) labelStates(labels *Labels) map[int]int {
+	out := map[int]int{}
+	if labels == nil {
+		return out
+	}
+	if s.cfg.EnableCanon {
+		pairLabels := func(pairs []pairRef, clusters map[string]string) {
+			for _, pr := range pairs {
+				ga, okA := clusters[pr.a]
+				gb, okB := clusters[pr.b]
+				if !okA || !okB {
+					continue
+				}
+				if ga == gb {
+					out[pr.v] = 1
+				} else {
+					out[pr.v] = 0
+				}
+			}
+		}
+		pairLabels(s.npPairRefs(), labels.NPCluster)
+		pairLabels(s.rpPairRefs(), labels.RPCluster)
+	}
+	if s.cfg.EnableLink {
+		linkLabels := func(phrases []string, linkVar []int, cands [][]string, links map[string]string) {
+			for i, phrase := range phrases {
+				gold, ok := links[phrase]
+				if !ok {
+					continue
+				}
+				if gold == "" {
+					out[linkVar[i]] = 0
+					continue
+				}
+				for ci, id := range cands[i] {
+					if id == gold {
+						out[linkVar[i]] = 1 + ci
+						break
+					}
+				}
+			}
+		}
+		linkLabels(s.nps, s.npLinkVar, s.npCands, labels.NPLink)
+		linkLabels(s.rps, s.rpLinkVar, s.rpCands, labels.RPLink)
+	}
+	return out
+}
+
+type pairRef struct {
+	a, b string
+	v    int
+}
+
+func (s *System) npPairRefs() []pairRef {
+	out := make([]pairRef, len(s.npPairs))
+	for pi, p := range s.npPairs {
+		out[pi] = pairRef{a: s.nps[p.I], b: s.nps[p.J], v: s.npPairVar[pi]}
+	}
+	return out
+}
+
+func (s *System) rpPairRefs() []pairRef {
+	out := make([]pairRef, len(s.rpPairs))
+	for pi, p := range s.rpPairs {
+		out[pi] = pairRef{a: s.rps[p.I], b: s.rps[p.J], v: s.rpPairVar[pi]}
+	}
+	return out
+}
+
+// Run learns weights from the labels (when any are representable) and
+// performs joint inference: scheduled LBP, max-marginal decoding,
+// conflict resolution, and group formation.
+//
+// The labels serve twice, as in the paper's setup: they are the
+// supervision for weight learning, and they stay clamped as evidence
+// during the final inference pass, so known validation answers
+// propagate through transitivity and consistency factors to the
+// unlabeled test phrases (transductive inference).
+func (s *System) Run(labels *Labels) *Result {
+	return s.RunWithSchedule(labels, s.sched)
+}
+
+// RunWithSchedule is Run with an explicit message schedule; passing nil
+// uses unscheduled flooding (the baseline the paper's Section 3.4
+// working procedure improves upon — see the bench package's schedule
+// ablation).
+func (s *System) RunWithSchedule(labels *Labels, sched *factorgraph.Schedule) *Result {
+	lab := s.labelStates(labels)
+	if len(lab) > 0 {
+		opt := s.cfg.Train
+		opt.BP.Schedule = sched
+		tr := factorgraph.Train(s.g, lab, opt)
+		s.stats.TrainIters = tr.Iters
+		s.stats.TrainGrad = tr.GradNorm
+	}
+	s.g.UnclampAll()
+	for vid, state := range lab {
+		s.g.Clamp(vid, state)
+	}
+
+	bp := factorgraph.NewBP(s.g)
+	opt := s.cfg.BP
+	opt.Schedule = sched
+	bp.Run(opt)
+	s.stats.Sweeps = bp.Sweeps()
+	decoded := bp.Decode()
+
+	res := &Result{
+		NPLinks: map[string]string{},
+		RPLinks: map[string]string{},
+	}
+
+	if s.cfg.EnableLink {
+		for i, np := range s.nps {
+			res.NPLinks[np] = s.stateToID(decoded[s.npLinkVar[i]], s.npCands[i])
+		}
+		for i, rp := range s.rps {
+			res.RPLinks[rp] = s.stateToID(decoded[s.rpLinkVar[i]], s.rpCands[i])
+		}
+	}
+
+	var npPos, rpPos [][2]int
+	var npConf, rpConf [][2]int // confident positives for conflict resolution
+	if s.cfg.EnableCanon {
+		for pi, p := range s.npPairs {
+			if decoded[s.npPairVar[pi]] == 1 {
+				npPos = append(npPos, [2]int{p.I, p.J})
+				if bp.VarBelief(s.npPairVar[pi])[1] >= s.cfg.ConflictConfidence {
+					npConf = append(npConf, [2]int{p.I, p.J})
+				}
+			}
+		}
+		for pi, p := range s.rpPairs {
+			if decoded[s.rpPairVar[pi]] == 1 {
+				rpPos = append(rpPos, [2]int{p.I, p.J})
+				if bp.VarBelief(s.rpPairVar[pi])[1] >= s.cfg.ConflictConfidence {
+					rpConf = append(rpConf, [2]int{p.I, p.J})
+				}
+			}
+		}
+		if s.cfg.EnableLink {
+			npLinkConf := s.linkConfidence(bp, s.nps, s.npLinkVar)
+			rpLinkConf := s.linkConfidence(bp, s.rps, s.rpLinkVar)
+			if s.cfg.EnableConflictRes {
+				s.stats.ConflictFixes = resolveConflicts(s.nps, npConf, res.NPLinks, npLinkConf) +
+					resolveConflicts(s.rps, rpConf, res.RPLinks, rpLinkConf)
+			}
+			if s.cfg.LinkAgreeMerge {
+				npPos = append(npPos, linkAgreementPairs(s.nps, res.NPLinks, npLinkConf, s.cfg.LinkAgreeConfidence)...)
+				// Relation linking is much less accurate than entity
+				// linking (the paper's Figure 3 observation), so
+				// link-agreement merging for RPs demands near-certain
+				// marginals; at the NP threshold it would inject the
+				// linker's error rate straight into the RP groups.
+				rpThreshold := s.cfg.LinkAgreeConfidence + 0.5
+				if rpThreshold > 0.95 {
+					rpThreshold = 0.95
+				}
+				rpPos = append(rpPos, linkAgreementPairs(s.rps, res.RPLinks, rpLinkConf, rpThreshold)...)
+			}
+		}
+		res.NPGroups = groupsOf(s.nps, npPos)
+		res.RPGroups = groupsOf(s.rps, rpPos)
+	} else if s.cfg.EnableLink {
+		// Linking-only mode still reports groups: phrases linked to the
+		// same target form a group (the Wikidata-Integrator-style view).
+		res.NPGroups = groupsByLink(s.nps, res.NPLinks)
+		res.RPGroups = groupsByLink(s.rps, res.RPLinks)
+	}
+
+	res.Stats = s.stats
+	s.g.UnclampAll()
+	return res
+}
+
+// linkAgreementPairs implements Assumption 1 at inference: all phrases
+// linking to the same non-NIL target with confidence above the
+// threshold belong to one canonicalization group. Each link group is
+// chained through its first member, yielding len-1 pairs per group.
+func linkAgreementPairs(phrases []string, links map[string]string, conf map[string]float64, threshold float64) [][2]int {
+	first := map[string]int{}
+	var out [][2]int
+	for i, p := range phrases {
+		target := links[p]
+		if target == "" || conf[p] < threshold {
+			continue
+		}
+		if j, ok := first[target]; ok {
+			out = append(out, [2]int{j, i})
+		} else {
+			first[target] = i
+		}
+	}
+	return out
+}
+
+// linkConfidence returns each phrase's max link-marginal probability.
+func (s *System) linkConfidence(bp *factorgraph.BP, phrases []string, linkVar []int) map[string]float64 {
+	out := make(map[string]float64, len(phrases))
+	for i, p := range phrases {
+		best := 0.0
+		for _, v := range bp.VarBelief(linkVar[i]) {
+			if v > best {
+				best = v
+			}
+		}
+		out[p] = best
+	}
+	return out
+}
+
+func (s *System) stateToID(state int, cands []string) string {
+	if state <= 0 || state > len(cands) {
+		return ""
+	}
+	return cands[state-1]
+}
+
+// resolveConflicts implements the paper's Section 3.5 post-processing:
+// when a positive canonicalization pair spans two different linking
+// groups, both phrases adopt one group's label. The paper breaks the
+// tie by group size; we refine the rule with the evidence the factor
+// graph already provides — the phrase whose link marginal is more
+// confident wins, with group size as the tiebreak — because a popular
+// entity's group being larger says nothing about which of the two
+// links is right. NIL never wins: it is the absence of a linking
+// group, so a NIL-linked phrase adopts its partner's entity.
+// It mutates links in place and returns the number of reassignments.
+func resolveConflicts(phrases []string, positive [][2]int, links map[string]string, conf map[string]float64) int {
+	groupSize := map[string]int{}
+	for _, phrase := range phrases {
+		groupSize[links[phrase]]++
+	}
+	fixes := 0
+	// Deterministic order: positive pairs are already in blocked order.
+	for _, p := range positive {
+		a, b := phrases[p[0]], phrases[p[1]]
+		la, lb := links[a], links[b]
+		if la == lb {
+			continue
+		}
+		winner, loserPhrase := la, b
+		bWins := false
+		switch {
+		case la == "":
+			bWins = true
+		case lb == "":
+			bWins = false
+		case conf[b] > conf[a]:
+			bWins = true
+		case conf[b] == conf[a]:
+			bWins = groupSize[lb] > groupSize[la] ||
+				(groupSize[lb] == groupSize[la] && lb < la)
+		}
+		if bWins {
+			winner, loserPhrase = lb, a
+		}
+		old := links[loserPhrase]
+		links[loserPhrase] = winner
+		groupSize[old]--
+		groupSize[winner]++
+		fixes++
+	}
+	return fixes
+}
+
+// groupsOf forms canonicalization groups as connected components over
+// positive pair decisions; unpaired phrases become singletons.
+func groupsOf(phrases []string, positive [][2]int) [][]string {
+	uf := cluster.NewUnionFind(len(phrases))
+	for _, p := range positive {
+		uf.Union(p[0], p[1])
+	}
+	var groups [][]string
+	for _, idxs := range uf.Groups() {
+		g := make([]string, len(idxs))
+		for k, i := range idxs {
+			g[k] = phrases[i]
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// groupsByLink groups phrases by their linked target; NIL-linked
+// phrases stay singletons (they denote unknown, possibly distinct,
+// entities).
+func groupsByLink(phrases []string, links map[string]string) [][]string {
+	byTarget := map[string][]string{}
+	var order []string
+	for _, p := range phrases {
+		t := links[p]
+		if t == "" {
+			continue
+		}
+		if _, seen := byTarget[t]; !seen {
+			order = append(order, t)
+		}
+		byTarget[t] = append(byTarget[t], p)
+	}
+	sort.Strings(order)
+	var groups [][]string
+	for _, t := range order {
+		groups = append(groups, byTarget[t])
+	}
+	for _, p := range phrases {
+		if links[p] == "" {
+			groups = append(groups, []string{p})
+		}
+	}
+	return groups
+}

@@ -1,0 +1,643 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/factorgraph"
+	"repro/internal/signals"
+	"repro/internal/text"
+)
+
+// System is a constructed JOCL factor graph over one OKB + CKB pair,
+// ready for learning and inference.
+type System struct {
+	res *signals.Resources
+	cfg Config
+	g   *factorgraph.Graph
+
+	nps []string
+	rps []string
+
+	npPairs []signals.Pair
+	rpPairs []signals.Pair
+
+	npPairVar []int // graph variable id per blocked NP pair
+	rpPairVar []int
+	npLinkVar []int // graph variable id per NP surface (-1 if disabled)
+	rpLinkVar []int
+
+	// Candidate target ids per phrase; linking-variable state s >= 1
+	// denotes cands[s-1], state 0 denotes NIL.
+	npCands [][]string
+	rpCands [][]string
+
+	sched *factorgraph.Schedule
+	stats Stats
+}
+
+// weightIDs for the factor families (shared across all factors of a
+// family — the paper's tied alpha/beta parameters).
+type weights struct {
+	npCanon []int
+	rpCanon []int
+	entLink []int
+	relLink []int
+	entNil  int
+	relNil  int
+
+	transNP, transRP int
+	fact             int
+	consNP, consRP   int
+}
+
+// NewSystem builds the factor graph for the resources under cfg.
+func NewSystem(res *signals.Resources, cfg Config) (*System, error) {
+	if !cfg.EnableCanon && !cfg.EnableLink {
+		return nil, fmt.Errorf("core: at least one task must be enabled")
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 6
+	}
+	if cfg.BlockingThreshold <= 0 {
+		cfg.BlockingThreshold = signals.BlockingThreshold
+	}
+	s := &System{
+		res: res,
+		cfg: cfg,
+		g:   factorgraph.New(),
+		nps: res.OKB.NPs(),
+		rps: res.OKB.RPs(),
+	}
+	w := s.registerWeights()
+	if len(cfg.InitialWeights) > 0 {
+		for id := 0; id < len(s.g.Weights()); id++ {
+			if v, ok := cfg.InitialWeights[s.g.WeightName(id)]; ok {
+				s.g.SetWeight(id, v)
+			}
+		}
+	}
+
+	// Candidate lists are needed both for the linking variables and for
+	// shared-candidate blocking, so compute them up front.
+	s.npCands = make([][]string, len(s.nps))
+	for i, np := range s.nps {
+		cands := res.CKB.CandidateEntities(np, s.cfg.MaxCandidates)
+		ids := make([]string, len(cands))
+		for k, c := range cands {
+			ids[k] = c.ID
+		}
+		s.npCands[i] = ids
+	}
+	s.rpCands = make([][]string, len(s.rps))
+	for i, rp := range s.rps {
+		cands := res.CKB.CandidateRelations(rp, s.cfg.MaxCandidates)
+		ids := make([]string, len(cands))
+		for k, c := range cands {
+			ids[k] = c.ID
+		}
+		s.rpCands[i] = ids
+	}
+
+	var canonVars, linkVars []int
+	var canonF, transF, linkF, factF, consF []int
+
+	if cfg.EnableCanon {
+		// NP pairs: IDF blocking, shared CKB candidates, and shared
+		// paraphrase-cluster representatives.
+		s.npPairs = s.blockPairs(s.nps, res.OKB.NPIDF(), s.npCands, false,
+			func(p string) string { return res.PPDB.Representative(p) })
+		// RP pairs additionally bucket by KBP category and AMIE-rule
+		// partners — the binary RP signals would otherwise have no
+		// variable to fire on for token-disjoint paraphrases.
+		// RP embeddings discriminate relations well (each relation's
+		// paraphrases share contexts), so embedding-neighbor blocking is
+		// enabled for RPs; NP embeddings share topical contexts across
+		// entities, where it would flood false pairs.
+		s.rpPairs = s.blockPairs(s.rps, res.OKB.RPIDF(), s.rpCands, true,
+			func(p string) string { return res.PPDB.Representative(p) },
+			func(p string) string { return text.Normalize(p) })
+		s.stats.NPPairVars = len(s.npPairs)
+		s.stats.RPPairVars = len(s.rpPairs)
+
+		s.npPairVar = make([]int, len(s.npPairs))
+		for pi, pair := range s.npPairs {
+			v := s.g.AddVariable(fmt.Sprintf("x(%d,%d)", pair.I, pair.J), 2)
+			s.npPairVar[pi] = v
+			canonVars = append(canonVars, v)
+			canonF = append(canonF, s.addCanonFactor("F1", v, s.nps[pair.I], s.nps[pair.J], cfg.Features.NPCanon, w.npCanon, true))
+		}
+		s.rpPairVar = make([]int, len(s.rpPairs))
+		for pi, pair := range s.rpPairs {
+			v := s.g.AddVariable(fmt.Sprintf("y(%d,%d)", pair.I, pair.J), 2)
+			s.rpPairVar[pi] = v
+			canonVars = append(canonVars, v)
+			canonF = append(canonF, s.addCanonFactor("F2", v, s.rps[pair.I], s.rps[pair.J], cfg.Features.RPCanon, w.rpCanon, false))
+		}
+		if cfg.EnableTransitive {
+			transF = append(transF, s.addTransitiveFactors("U1", s.npPairs, s.npPairVar, w.transNP)...)
+			transF = append(transF, s.addTransitiveFactors("U2", s.rpPairs, s.rpPairVar, w.transRP)...)
+		}
+	}
+
+	if cfg.EnableLink {
+		s.npLinkVar = make([]int, len(s.nps))
+		for i, np := range s.nps {
+			ids := s.npCands[i]
+			v := s.g.AddVariable(fmt.Sprintf("e(%s)", np), 1+len(ids))
+			s.npLinkVar[i] = v
+			linkVars = append(linkVars, v)
+			linkF = append(linkF, s.addEntLinkFactor(v, np, ids, w))
+		}
+		s.stats.NPLinkVars = len(s.nps)
+
+		s.rpLinkVar = make([]int, len(s.rps))
+		for i, rp := range s.rps {
+			ids := s.rpCands[i]
+			v := s.g.AddVariable(fmt.Sprintf("r(%s)", rp), 1+len(ids))
+			s.rpLinkVar[i] = v
+			linkVars = append(linkVars, v)
+			linkF = append(linkF, s.addRelLinkFactor(v, rp, ids, w))
+		}
+		s.stats.RPLinkVars = len(s.rps)
+
+		if cfg.EnableFactIncl {
+			factF = s.addFactInclusionFactors(w.fact)
+		}
+	}
+
+	if cfg.EnableCanon && cfg.EnableLink && cfg.EnableConsistency {
+		consF = append(consF, s.addConsistencyFactors("U5", s.npPairs, s.npPairVar, s.npLinkVar, w.consNP)...)
+		consF = append(consF, s.addConsistencyFactors("U6", s.rpPairs, s.rpPairVar, s.rpLinkVar, w.consRP)...)
+	}
+
+	s.g.Finalize()
+	s.stats.Factors = s.g.NumFactors()
+
+	// The paper's five-stage message schedule (Section 3.4): factor
+	// messages flow canonicalization -> transitive -> linking -> fact
+	// inclusion -> consistency; then variable messages flow from
+	// canonicalization variables first, linking variables second.
+	s.sched = &factorgraph.Schedule{}
+	for _, grp := range [][]int{canonF, transF, linkF, factF, consF} {
+		if len(grp) > 0 {
+			s.sched.FactorGroups = append(s.sched.FactorGroups, grp)
+		}
+	}
+	for _, grp := range [][]int{canonVars, linkVars} {
+		if len(grp) > 0 {
+			s.sched.VarGroups = append(s.sched.VarGroups, grp)
+		}
+	}
+	return s, nil
+}
+
+func (s *System) registerWeights() *weights {
+	w := &weights{}
+	reg := func(prefix string, feats []string) []int {
+		ids := make([]int, len(feats))
+		for i, f := range feats {
+			ids[i] = s.g.AddWeight(prefix+"."+f, 1.0)
+		}
+		return ids
+	}
+	w.npCanon = reg("alpha1", s.cfg.Features.NPCanon)
+	w.rpCanon = reg("alpha2", s.cfg.Features.RPCanon)
+	w.entLink = reg("alpha4", s.cfg.Features.EntLink)
+	w.relLink = reg("alpha5", s.cfg.Features.RelLink)
+	// NIL-bias weights: the paper's linking variables range over CKB
+	// candidates only; our variables carry an explicit NIL state for
+	// out-of-KB phrases, scored by a learnable bias (see DESIGN.md).
+	w.entNil = s.g.AddWeight("alpha4.nil", 1.0)
+	w.relNil = s.g.AddWeight("alpha5.nil", 1.0)
+	w.transNP = s.g.AddWeight("beta1.trans.np", 1.0)
+	w.transRP = s.g.AddWeight("beta2.trans.rp", 1.0)
+	w.fact = s.g.AddWeight("beta4.fact", 1.0)
+	w.consNP = s.g.AddWeight("beta5.cons.np", 1.0)
+	w.consRP = s.g.AddWeight("beta6.cons.rp", 1.0)
+	return w
+}
+
+// blockPairs generates the canonicalization pairs: every pair above the
+// IDF-overlap threshold (the paper's blocking), plus — when
+// BlockSharedCandidates is on — every pair of phrases whose CKB
+// candidate lists intersect and every pair sharing a non-empty bucket
+// key (paraphrase representative, KBP category, normalized form), so
+// the consistency factors and binary signals have a variable to act on
+// for token-disjoint paraphrases.
+func (s *System) blockPairs(phrases []string, idf *text.IDFTable, cands [][]string, useEmb bool, buckets ...func(string) string) []signals.Pair {
+	pairs := signals.BlockPairs(phrases, idf, s.cfg.BlockingThreshold)
+	if !s.cfg.BlockSharedCandidates {
+		return pairs
+	}
+	seen := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		seen[[2]int{p.I, p.J}] = true
+	}
+	addGroup := func(members []int) {
+		if len(members) > s.cfg.MaxPhrasesPerTarget {
+			members = members[:s.cfg.MaxPhrasesPerTarget]
+		}
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				i, j := members[a], members[b]
+				if i > j {
+					i, j = j, i
+				}
+				key := [2]int{i, j}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				pairs = append(pairs, signals.Pair{I: i, J: j, Sim: idf.Overlap(phrases[i], phrases[j])})
+			}
+		}
+	}
+	emitBuckets := func(byKey map[string][]int) {
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			addGroup(byKey[k])
+		}
+	}
+
+	byTarget := map[string][]int{}
+	for i, ids := range cands {
+		for _, id := range ids {
+			byTarget[id] = append(byTarget[id], i)
+		}
+	}
+	emitBuckets(byTarget)
+
+	for _, bucket := range buckets {
+		byKey := map[string][]int{}
+		for i, p := range phrases {
+			if k := bucket(p); k != "" {
+				byKey[k] = append(byKey[k], i)
+			}
+		}
+		emitBuckets(byKey)
+	}
+
+	// Embedding-neighbor blocking: distributional paraphrases with no
+	// shared token, candidate, or bucket still get a pair variable.
+	if k := s.cfg.EmbBlockTopK; useEmb && k > 0 && len(phrases) <= s.cfg.EmbBlockMaxPhrases {
+		vecs := make([][]float64, len(phrases))
+		for i, p := range phrases {
+			vecs[i] = s.res.Emb.PhraseVector(p)
+		}
+		type scored struct {
+			j   int
+			sim float64
+		}
+		for i := range phrases {
+			if vecs[i] == nil {
+				continue
+			}
+			var best []scored
+			for j := range phrases {
+				if j == i || vecs[j] == nil {
+					continue
+				}
+				sim := embedding.Cosine(vecs[i], vecs[j])
+				if sim < s.cfg.EmbBlockMinSim {
+					continue
+				}
+				best = append(best, scored{j, sim})
+			}
+			sort.Slice(best, func(a, b int) bool {
+				if best[a].sim != best[b].sim {
+					return best[a].sim > best[b].sim
+				}
+				return best[a].j < best[b].j
+			})
+			if len(best) > k {
+				best = best[:k]
+			}
+			for _, cand := range best {
+				a, b := i, cand.j
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				pairs = append(pairs, signals.Pair{I: a, J: b, Sim: idf.Overlap(phrases[a], phrases[b])})
+			}
+		}
+	}
+
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].I != pairs[y].I {
+			return pairs[x].I < pairs[y].I
+		}
+		return pairs[x].J < pairs[y].J
+	})
+	return pairs
+}
+
+// canonSim evaluates one canonicalization feature for a phrase pair.
+func (s *System) canonSim(feat, a, b string, np bool) float64 {
+	switch feat {
+	case FeatIDF:
+		if np {
+			return s.res.NPIDF(a, b)
+		}
+		return s.res.RPIDF(a, b)
+	case FeatEmb:
+		return s.res.EmbSim(a, b)
+	case FeatPPDB:
+		return s.res.PPDBSim(a, b)
+	case FeatAMIE:
+		return s.res.AMIESim(a, b)
+	case FeatKBP:
+		return s.res.KBPSim(a, b)
+	case FeatAttr:
+		return s.res.AttrSim(a, b)
+	}
+	panic("core: unknown canonicalization feature " + feat)
+}
+
+// addCanonFactor adds an F1/F2/F3-style factor over one binary
+// canonicalization variable. Feature k takes value sim_k when the
+// variable is 1 and 1-sim_k when it is 0, per the paper's f definitions.
+func (s *System) addCanonFactor(name string, v int, a, b string, feats []string, wids []int, np bool) int {
+	sims := make([]float64, len(feats))
+	for k, f := range feats {
+		sims[k] = s.canonSim(f, a, b, np)
+	}
+	return s.g.AddFactor(name, []int{v}, wids, func(states []int) []float64 {
+		out := make([]float64, len(sims))
+		for k, sim := range sims {
+			if states[0] == 1 {
+				out[k] = sim
+			} else {
+				out[k] = 1 - sim
+			}
+		}
+		return out
+	})
+}
+
+// addEntLinkFactor adds an F4/F6-style factor over one entity-linking
+// variable: per candidate state the enabled linking features, plus the
+// NIL-bias feature that fires only in state 0.
+func (s *System) addEntLinkFactor(v int, np string, cands []string, w *weights) int {
+	feats := s.cfg.Features.EntLink
+	table := make([][]float64, 1+len(cands))
+	table[0] = make([]float64, len(feats)+1)
+	for ci, eid := range cands {
+		row := make([]float64, len(feats)+1)
+		for k, f := range feats {
+			switch f {
+			case FeatPop:
+				row[k] = s.res.Pop(np, eid)
+			case FeatEmb:
+				row[k] = s.res.EntEmb(np, eid)
+			case FeatPPDB:
+				row[k] = s.res.EntPPDB(np, eid)
+			case FeatType:
+				row[k] = s.res.TypeCompat(np, eid)
+			default:
+				panic("core: unknown entity-linking feature " + f)
+			}
+		}
+		table[1+ci] = row
+	}
+	table[0][len(feats)] = nilEvidence(table[1:], len(feats))
+	wids := append(append([]int(nil), w.entLink...), w.entNil)
+	return s.g.AddFactor("F4", []int{v}, wids, func(states []int) []float64 {
+		return table[states[0]]
+	})
+}
+
+// nilEvidence scores the NIL state of a linking variable: 1 minus the
+// best candidate's mean feature value. A phrase whose strongest
+// candidate is weak is probably out of the KB — the abstention
+// principle context-free linkers (Spotlight, TagMe) rely on, here as a
+// learnable feature rather than a hard threshold.
+func nilEvidence(candRows [][]float64, nFeats int) float64 {
+	best := 0.0
+	for _, row := range candRows {
+		sum := 0.0
+		for k := 0; k < nFeats; k++ {
+			sum += row[k]
+		}
+		if nFeats > 0 {
+			if mean := sum / float64(nFeats); mean > best {
+				best = mean
+			}
+		}
+	}
+	if best > 1 {
+		best = 1
+	}
+	return 1 - best
+}
+
+// addRelLinkFactor adds the F5-style factor for one relation-linking
+// variable.
+func (s *System) addRelLinkFactor(v int, rp string, cands []string, w *weights) int {
+	feats := s.cfg.Features.RelLink
+	table := make([][]float64, 1+len(cands))
+	table[0] = make([]float64, len(feats)+1)
+	for ci, rid := range cands {
+		row := make([]float64, len(feats)+1)
+		for k, f := range feats {
+			switch f {
+			case FeatNgram:
+				row[k] = s.res.RelNgram(rp, rid)
+			case FeatLD:
+				row[k] = s.res.RelLD(rp, rid)
+			case FeatEmb:
+				row[k] = s.res.RelEmb(rp, rid)
+			case FeatPPDB:
+				row[k] = s.res.RelPPDB(rp, rid)
+			default:
+				panic("core: unknown relation-linking feature " + f)
+			}
+		}
+		table[1+ci] = row
+	}
+	table[0][len(feats)] = nilEvidence(table[1:], len(feats))
+	wids := append(append([]int(nil), w.relLink...), w.relNil)
+	return s.g.AddFactor("F5", []int{v}, wids, func(states []int) []float64 {
+		return table[states[0]]
+	})
+}
+
+// addTransitiveFactors adds a U1/U2/U3-style factor for every triangle
+// of blocked pairs: (i,j), (j,k), (i,k) all blocked.
+func (s *System) addTransitiveFactors(name string, pairs []signals.Pair, pairVar []int, wid int) []int {
+	pairIdx := make(map[[2]int]int, len(pairs))
+	adj := map[int][]int{}
+	for pi, p := range pairs {
+		pairIdx[[2]int{p.I, p.J}] = pi
+		adj[p.I] = append(adj[p.I], p.J)
+		adj[p.J] = append(adj[p.J], p.I)
+	}
+	lookup := func(a, b int) (int, bool) {
+		if a > b {
+			a, b = b, a
+		}
+		pi, ok := pairIdx[[2]int{a, b}]
+		return pi, ok
+	}
+	high, mid, low := s.cfg.TransHigh, s.cfg.TransMid, s.cfg.TransLow
+	var out []int
+	for pi, p := range pairs {
+		if len(out) >= s.cfg.MaxTriangles {
+			break
+		}
+		// Close triangles through the smaller endpoint's adjacency; only
+		// accept k > J to count each triangle once.
+		for _, k := range adj[p.I] {
+			if k <= p.J {
+				continue
+			}
+			pjk, ok1 := lookup(p.J, k)
+			pik, ok2 := lookup(p.I, k)
+			if !ok1 || !ok2 {
+				continue
+			}
+			vars := []int{pairVar[pi], pairVar[pjk], pairVar[pik]}
+			out = append(out, s.g.AddFactor(name, vars, []int{wid}, func(states []int) []float64 {
+				ones := states[0] + states[1] + states[2]
+				switch ones {
+				case 3:
+					return []float64{high}
+				case 2:
+					return []float64{low}
+				default:
+					return []float64{mid}
+				}
+			}))
+			if len(out) >= s.cfg.MaxTriangles {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// addFactInclusionFactors adds a U4 factor per OIE triple over its
+// subject, predicate, and object linking variables.
+func (s *System) addFactInclusionFactors(wid int) []int {
+	npIdx := make(map[string]int, len(s.nps))
+	for i, np := range s.nps {
+		npIdx[np] = i
+	}
+	rpIdx := make(map[string]int, len(s.rps))
+	for i, rp := range s.rps {
+		rpIdx[rp] = i
+	}
+	high, low := s.cfg.FactHigh, s.cfg.FactLow
+	var out []int
+	for ti := 0; ti < s.res.OKB.Len(); ti++ {
+		t := s.res.OKB.Triple(ti)
+		si, pi, oi := npIdx[t.Subj], rpIdx[t.Pred], npIdx[t.Obj]
+		if t.Subj == t.Obj {
+			continue // degenerate extraction; no U4
+		}
+		subjCands, relCands, objCands := s.npCands[si], s.rpCands[pi], s.npCands[oi]
+		vars := []int{s.npLinkVar[si], s.rpLinkVar[pi], s.npLinkVar[oi]}
+		out = append(out, s.g.AddFactor("U4", vars, []int{wid}, func(states []int) []float64 {
+			if states[0] == 0 || states[1] == 0 || states[2] == 0 {
+				return []float64{low}
+			}
+			if s.res.CKB.HasFact(subjCands[states[0]-1], relCands[states[1]-1], objCands[states[2]-1]) {
+				return []float64{high}
+			}
+			return []float64{low}
+		}))
+	}
+	return out
+}
+
+// addConsistencyFactors adds a U5/U6/U7 factor per blocked pair over
+// (link_a, link_b, pairVar): same-target + pair=1 or different-target +
+// pair=0 is consistent (high); disagreement is inconsistent (low);
+// pairs involving a NIL state are scored neutrally between the two,
+// since two out-of-KB phrases may or may not corefer.
+//
+// The coupling is gated by the pair's own canonicalization evidence
+// (the mean of its textual feature values): a pair blocked only
+// because its phrases share a CKB candidate carries little evidence of
+// coreference, and full-strength coupling on such pairs lets linking
+// errors and canonicalization errors amplify each other. Scores shrink
+// toward the neutral midpoint as evidence weakens.
+func (s *System) addConsistencyFactors(name string, pairs []signals.Pair, pairVar []int, linkVar []int, wid int) []int {
+	high, low := s.cfg.ConsHigh, s.cfg.ConsLow
+	mid := (high + low) / 2
+	var cands [][]string
+	var phrases []string
+	var feats []string
+	np := name == "U5"
+	if np {
+		cands, phrases, feats = s.npCands, s.nps, s.cfg.Features.NPCanon
+	} else {
+		cands, phrases, feats = s.rpCands, s.rps, s.cfg.Features.RPCanon
+	}
+	var out []int
+	for pi, p := range pairs {
+		gate := 0.0
+		if len(feats) > 0 {
+			for _, f := range feats {
+				gate += s.canonSim(f, phrases[p.I], phrases[p.J], np)
+			}
+			gate /= float64(len(feats))
+		}
+		gHigh := mid + gate*(high-mid)
+		gLow := mid + gate*(low-mid)
+		ca, cb := cands[p.I], cands[p.J]
+		vars := []int{linkVar[p.I], linkVar[p.J], pairVar[pi]}
+		out = append(out, s.g.AddFactor(name, vars, []int{wid}, func(states []int) []float64 {
+			switch {
+			case states[0] == 0 && states[1] == 0:
+				// Both out of KB: a positive pair is consistent (two
+				// aliases of the same unseen entity); a negative pair is
+				// neutral — two distinct unseen entities also decode to
+				// NIL. Without the x=1 reward here, coreferring OOV
+				// phrases would be pushed to adopt the same wrong
+				// candidate just to satisfy consistency.
+				if states[2] == 1 {
+					return []float64{gHigh}
+				}
+				return []float64{mid}
+			case states[0] == 0 || states[1] == 0:
+				return []float64{mid}
+			}
+			same := ca[states[0]-1] == cb[states[1]-1]
+			consistent := (same && states[2] == 1) || (!same && states[2] == 0)
+			if consistent {
+				return []float64{gHigh}
+			}
+			return []float64{gLow}
+		}))
+	}
+	return out
+}
+
+// Graph exposes the underlying factor graph (primarily for tests and
+// diagnostics).
+func (s *System) Graph() *factorgraph.Graph { return s.g }
+
+// WeightValues returns the current factor weights by registered name —
+// after Run with labels, these are the learned parameters, ready to
+// seed another system via Config.InitialWeights.
+func (s *System) WeightValues() map[string]float64 {
+	out := make(map[string]float64, len(s.g.Weights()))
+	for id, v := range s.g.Weights() {
+		out[s.g.WeightName(id)] = v
+	}
+	return out
+}
+
+// Schedule returns the paper-order message schedule.
+func (s *System) Schedule() *factorgraph.Schedule { return s.sched }

@@ -1,0 +1,132 @@
+// Package corpus synthesizes the text-corpus substrate the paper's
+// external resources are derived from: fastText-style embeddings are
+// trained on a large corpus, IDF statistics come from a collection, and
+// entity popularity comes from Wikipedia anchor links. Since the real
+// resources (Common Crawl, Wikipedia dumps) are unavailable offline,
+// the generator produces a deterministic synthetic corpus in which
+// synonymous surface forms share contexts — exactly the distributional
+// property the embedding signal depends on.
+//
+// A document is a token sequence built from "topic" slots: each topic
+// owns a pool of context words, and each synonym group (an entity or
+// relation with its aliases) is attached to one topic. Sentences
+// interleave an alias of a group with draws from its topic's context
+// pool, so aliases of the same group co-occur with the same context
+// words and land close in embedding space, while groups from different
+// topics stay apart.
+package corpus
+
+import (
+	"math/rand"
+
+	"repro/internal/text"
+)
+
+// Group is a synonym group: the surface forms that should end up
+// distributionally similar (an entity's aliases, or a relation's
+// paraphrases).
+type Group struct {
+	Key     string   // stable identifier (e.g. entity id)
+	Phrases []string // synonymous surface forms
+	Topic   int      // topic index the group is attached to
+	Weight  int      // relative corpus frequency (>= 1)
+}
+
+// Config controls corpus synthesis.
+type Config struct {
+	Seed           int64
+	Topics         int // number of topics (default max group topic + 1)
+	ContextWords   int // context-pool size per topic (default 30)
+	SentencesPer   int // sentences per unit of group weight (default 8)
+	ContextPerSlot int // context draws around each mention (default 4)
+}
+
+func (c *Config) defaults(groups []Group) {
+	maxTopic := 0
+	for _, g := range groups {
+		if g.Topic > maxTopic {
+			maxTopic = g.Topic
+		}
+	}
+	if c.Topics <= maxTopic {
+		c.Topics = maxTopic + 1
+	}
+	if c.ContextWords <= 0 {
+		c.ContextWords = 30
+	}
+	if c.SentencesPer <= 0 {
+		c.SentencesPer = 8
+	}
+	if c.ContextPerSlot <= 0 {
+		c.ContextPerSlot = 4
+	}
+}
+
+// syllables used to mint synthetic context vocabulary. Deterministic
+// pseudo-words avoid colliding with the alias tokens they surround.
+var syllables = []string{
+	"ka", "ro", "mi", "ta", "ne", "su", "lo", "ve", "di", "pa",
+	"zu", "fe", "gi", "ho", "ju", "ki", "la", "mo", "nu", "pi",
+}
+
+func mintWord(rng *rand.Rand, n int) string {
+	w := ""
+	for i := 0; i < n; i++ {
+		w += syllables[rng.Intn(len(syllables))]
+	}
+	return w
+}
+
+// Corpus is a generated token stream plus bookkeeping for tests.
+type Corpus struct {
+	Sentences [][]string
+	// TopicVocab[t] is the context pool of topic t.
+	TopicVocab [][]string
+}
+
+// Generate synthesizes a corpus for the given synonym groups.
+func Generate(groups []Group, cfg Config) *Corpus {
+	cfg.defaults(groups)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	c := &Corpus{TopicVocab: make([][]string, cfg.Topics)}
+	seen := map[string]bool{}
+	for t := 0; t < cfg.Topics; t++ {
+		pool := make([]string, 0, cfg.ContextWords)
+		for len(pool) < cfg.ContextWords {
+			w := mintWord(rng, 2+rng.Intn(2))
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			pool = append(pool, w)
+		}
+		c.TopicVocab[t] = pool
+	}
+
+	for _, g := range groups {
+		weight := g.Weight
+		if weight < 1 {
+			weight = 1
+		}
+		pool := c.TopicVocab[g.Topic%cfg.Topics]
+		for w := 0; w < weight*cfg.SentencesPer; w++ {
+			phrase := g.Phrases[rng.Intn(len(g.Phrases))]
+			sent := make([]string, 0, 2*cfg.ContextPerSlot+4)
+			for i := 0; i < cfg.ContextPerSlot; i++ {
+				sent = append(sent, pool[rng.Intn(len(pool))])
+			}
+			sent = append(sent, text.Tokenize(phrase)...)
+			for i := 0; i < cfg.ContextPerSlot; i++ {
+				sent = append(sent, pool[rng.Intn(len(pool))])
+			}
+			c.Sentences = append(c.Sentences, sent)
+		}
+	}
+	return c
+}
+
+// Tokens returns the concatenated token stream of all sentences,
+// with a nil separator between sentences elided (co-occurrence windows
+// are computed per sentence by the embedding trainer).
+func (c *Corpus) Tokens() [][]string { return c.Sentences }

@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+func groups() []Group {
+	return []Group{
+		{Key: "e1", Phrases: []string{"university of maryland", "UMD"}, Topic: 0, Weight: 2},
+		{Key: "e2", Phrases: []string{"warren buffett", "buffett"}, Topic: 1, Weight: 1},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(groups(), Config{Seed: 42})
+	b := Generate(groups(), Config{Seed: 42})
+	if !reflect.DeepEqual(a.Sentences, b.Sentences) {
+		t.Error("same seed must give identical corpus")
+	}
+	c := Generate(groups(), Config{Seed: 43})
+	if reflect.DeepEqual(a.Sentences, c.Sentences) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateSentenceCounts(t *testing.T) {
+	c := Generate(groups(), Config{Seed: 1, SentencesPer: 5})
+	// weight 2 -> 10 sentences, weight 1 -> 5 sentences.
+	if len(c.Sentences) != 15 {
+		t.Errorf("sentences = %d, want 15", len(c.Sentences))
+	}
+}
+
+func TestGenerateMentionsAppear(t *testing.T) {
+	c := Generate(groups(), Config{Seed: 1})
+	found := map[string]bool{}
+	for _, s := range c.Sentences {
+		for i := range s {
+			if s[i] == "umd" {
+				found["umd"] = true
+			}
+			if s[i] == "buffett" {
+				found["buffett"] = true
+			}
+		}
+	}
+	if !found["umd"] || !found["buffett"] {
+		t.Errorf("alias tokens missing from corpus: %v", found)
+	}
+}
+
+func TestTopicVocabDisjoint(t *testing.T) {
+	c := Generate(groups(), Config{Seed: 5})
+	if len(c.TopicVocab) != 2 {
+		t.Fatalf("topics = %d, want 2", len(c.TopicVocab))
+	}
+	seen := map[string]int{}
+	for t0, pool := range c.TopicVocab {
+		for _, w := range pool {
+			if prev, ok := seen[w]; ok && prev != t0 {
+				t.Errorf("context word %q shared across topics %d and %d", w, prev, t0)
+			}
+			seen[w] = t0
+		}
+	}
+}
+
+func TestDefaultWeight(t *testing.T) {
+	c := Generate([]Group{{Key: "x", Phrases: []string{"solo"}, Topic: 0, Weight: 0}},
+		Config{Seed: 1, SentencesPer: 3})
+	if len(c.Sentences) != 3 {
+		t.Errorf("weight 0 should act as 1: got %d sentences", len(c.Sentences))
+	}
+}

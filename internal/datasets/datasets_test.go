@@ -1,0 +1,351 @@
+package datasets
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func small(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateSizes(t *testing.T) {
+	ds := small(t)
+	p := ds.Profile
+	if ds.OKB.Len() != p.Triples {
+		t.Errorf("triples = %d, want %d", ds.OKB.Len(), p.Triples)
+	}
+	if got := len(ds.CKB.EntityIDs()); got < p.Entities/2 {
+		t.Errorf("entities = %d, want >= %d", got, p.Entities/2)
+	}
+	if len(ds.CKB.Facts()) == 0 {
+		t.Error("no facts generated")
+	}
+	if ds.Emb.VocabSize() == 0 {
+		t.Error("embeddings not trained")
+	}
+	if ds.PPDB.Size() == 0 {
+		t.Error("PPDB empty")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(ReVerb45K(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(ReVerb45K(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.OKB.Triples(), b.OKB.Triples()) {
+		t.Error("same profile must generate identical triples")
+	}
+	if !reflect.DeepEqual(a.GoldNPCluster, b.GoldNPCluster) {
+		t.Error("gold labels differ across runs")
+	}
+}
+
+func TestGoldConsistency(t *testing.T) {
+	ds := small(t)
+	// Every triple's gold labels agree with the gold maps.
+	for i := 0; i < ds.OKB.Len(); i++ {
+		tr := ds.OKB.Triple(i)
+		if got := ds.GoldNPLink[tr.Subj]; got != tr.GoldSubj {
+			t.Fatalf("triple %d subj link mismatch: map %q vs triple %q", i, got, tr.GoldSubj)
+		}
+		if got := ds.GoldRPLink[tr.Pred]; got != tr.GoldPred {
+			t.Fatalf("triple %d pred link mismatch", i)
+		}
+		if got := ds.GoldNPLink[tr.Obj]; got != tr.GoldObj {
+			t.Fatalf("triple %d obj link mismatch", i)
+		}
+	}
+	// Linked surfaces point at real CKB ids; cluster ids for linked
+	// surfaces equal the entity id.
+	for surface, eid := range ds.GoldNPLink {
+		if eid == "" {
+			if !strings.HasPrefix(ds.GoldNPCluster[surface], "oov:") {
+				t.Fatalf("NIL-linked surface %q lacks oov cluster: %q", surface, ds.GoldNPCluster[surface])
+			}
+			continue
+		}
+		if ds.CKB.Entity(eid) == nil {
+			t.Fatalf("gold link %q -> unknown entity %q", surface, eid)
+		}
+		if ds.GoldNPCluster[surface] != eid {
+			t.Fatalf("cluster/link disagree for %q", surface)
+		}
+	}
+	for surface, rid := range ds.GoldRPLink {
+		if rid != "" && ds.CKB.Relation(rid) == nil {
+			t.Fatalf("gold RP link %q -> unknown relation %q", surface, rid)
+		}
+	}
+}
+
+func TestSurfaceVariety(t *testing.T) {
+	ds := small(t)
+	// At least one gold group should span multiple surface forms —
+	// otherwise canonicalization is trivial.
+	bySurface := map[string][]string{}
+	for surface, gid := range ds.GoldNPCluster {
+		bySurface[gid] = append(bySurface[gid], surface)
+	}
+	multi := 0
+	for _, ss := range bySurface {
+		if len(ss) > 1 {
+			multi++
+		}
+	}
+	if multi < 3 {
+		t.Errorf("only %d multi-surface NP groups; need variety", multi)
+	}
+	rpGroups := map[string][]string{}
+	for surface, gid := range ds.GoldRPCluster {
+		rpGroups[gid] = append(rpGroups[gid], surface)
+	}
+	multiRP := 0
+	for _, ss := range rpGroups {
+		if len(ss) > 1 {
+			multiRP++
+		}
+	}
+	if multiRP < 3 {
+		t.Errorf("only %d multi-surface RP groups", multiRP)
+	}
+}
+
+func TestValidationSplit(t *testing.T) {
+	ds := small(t)
+	if len(ds.ValTriples) == 0 {
+		t.Fatal("ReVerb-like profile must have a validation split")
+	}
+	if len(ds.ValTriples)+len(ds.TestTriples) != ds.OKB.Len() {
+		t.Error("splits do not partition the triples")
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, ds.ValTriples...), ds.TestTriples...) {
+		if seen[i] {
+			t.Fatalf("triple %d in both splits", i)
+		}
+		seen[i] = true
+	}
+	// Validation label accessors return only validation surfaces.
+	links := ds.ValidationNPLinks()
+	if len(links) == 0 {
+		t.Error("no validation NP labels")
+	}
+	valSurf := map[string]bool{}
+	for _, ti := range ds.ValTriples {
+		tr := ds.OKB.Triple(ti)
+		valSurf[tr.Subj] = true
+		valSurf[tr.Obj] = true
+	}
+	for s := range links {
+		if !valSurf[s] {
+			t.Errorf("validation label for non-validation surface %q", s)
+		}
+	}
+}
+
+func TestNYTimesProfile(t *testing.T) {
+	ds, err := Generate(NYTimes2018(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.ValTriples) != 0 {
+		t.Error("NYTimes profile should have no validation split")
+	}
+	// Partial labeling: some surfaces must be unlabeled.
+	labeled := len(ds.GoldNPCluster)
+	total := len(ds.OKB.NPs())
+	if labeled >= total {
+		t.Errorf("NYT labels = %d of %d surfaces; expected partial labeling", labeled, total)
+	}
+	// NIL gold links must exist (high OOV rate).
+	nils := 0
+	for _, eid := range ds.GoldNPLink {
+		if eid == "" {
+			nils++
+		}
+	}
+	if nils == 0 {
+		t.Error("NYT profile should produce NIL-linked NPs")
+	}
+}
+
+func TestAnchorsPopulated(t *testing.T) {
+	ds := small(t)
+	withAnchors := 0
+	for _, eid := range ds.CKB.EntityIDs() {
+		e := ds.CKB.Entity(eid)
+		if ds.CKB.AnchorCount(e.Name) > 0 {
+			withAnchors++
+		}
+	}
+	if withAnchors < len(ds.CKB.EntityIDs())/2 {
+		t.Errorf("only %d entities have anchor stats", withAnchors)
+	}
+}
+
+func TestCandidateRecall(t *testing.T) {
+	// The gold entity should usually be among the top candidates of its
+	// surface forms — otherwise linking is impossible by construction.
+	ds := small(t)
+	hits, total := 0, 0
+	for surface, eid := range ds.GoldNPLink {
+		if eid == "" {
+			continue
+		}
+		total++
+		for _, c := range ds.CKB.CandidateEntities(surface, 8) {
+			if c.ID == eid {
+				hits++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no linked surfaces")
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.7 {
+		t.Errorf("candidate recall = %.2f (%d/%d), want >= 0.7", recall, hits, total)
+	}
+}
+
+func TestEmbeddingSignalQuality(t *testing.T) {
+	// Aliases of the same entity should on average embed closer than
+	// random cross-entity pairs.
+	ds := small(t)
+	bySurface := map[string][]string{}
+	for surface, gid := range ds.GoldNPCluster {
+		bySurface[gid] = append(bySurface[gid], surface)
+	}
+	var same, cross float64
+	var nSame, nCross int
+	var groups [][]string
+	for _, ss := range bySurface {
+		groups = append(groups, ss)
+	}
+	for i, gi := range groups {
+		if len(gi) > 1 {
+			same += ds.Emb.PhraseSimilarity(gi[0], gi[1])
+			nSame++
+		}
+		if i+1 < len(groups) {
+			cross += ds.Emb.PhraseSimilarity(gi[0], groups[i+1][0])
+			nCross++
+		}
+	}
+	if nSame == 0 || nCross == 0 {
+		t.Skip("degenerate tiny dataset")
+	}
+	if same/float64(nSame) <= cross/float64(nCross) {
+		t.Errorf("embedding signal inverted: same %.3f vs cross %.3f",
+			same/float64(nSame), cross/float64(nCross))
+	}
+}
+
+func TestProfileScaling(t *testing.T) {
+	small := ReVerb45K(0.01)
+	big := ReVerb45K(0.1)
+	if big.Triples <= small.Triples || big.Entities <= small.Entities {
+		t.Error("scaling should grow the profile")
+	}
+	full := ReVerb45K(1.0)
+	if full.Triples != 45000 {
+		t.Errorf("full ReVerb45K = %d triples, want 45000", full.Triples)
+	}
+	if NYTimes2018(1.0).Triples != 34000 {
+		t.Error("full NYTimes2018 should be 34000 triples")
+	}
+}
+
+func TestFactCoverage(t *testing.T) {
+	// The CKB must store only part of the world: a noticeable share of
+	// gold-consistent triples should NOT be CKB facts.
+	ds := small(t)
+	inKB, total := 0, 0
+	for i := 0; i < ds.OKB.Len(); i++ {
+		tr := ds.OKB.Triple(i)
+		if tr.GoldSubj == "" || tr.GoldObj == "" {
+			continue
+		}
+		total++
+		if ds.CKB.HasFact(tr.GoldSubj, tr.GoldPred, tr.GoldObj) {
+			inKB++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no fully-linked triples")
+	}
+	frac := float64(inKB) / float64(total)
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("CKB fact coverage = %.2f; want partial (0.2..0.8)", frac)
+	}
+}
+
+func TestEntAliasCoverage(t *testing.T) {
+	// Some OKB surfaces must have no exact CKB alias (the coverage gap
+	// exact-match linkers suffer from), while candidate recall stays
+	// usable via fuzzy token retrieval.
+	ds := small(t)
+	missing := 0
+	for surface, eid := range ds.GoldNPLink {
+		if eid == "" {
+			continue
+		}
+		exact := false
+		for _, c := range ds.CKB.CandidateEntities(surface, 3) {
+			if c.Score >= 2 { // exact-alias match marker
+				exact = true
+				break
+			}
+		}
+		if !exact {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Error("every surface has an exact CKB alias; coverage gap not modeled")
+	}
+}
+
+func TestRelationDomainRangeSet(t *testing.T) {
+	ds := small(t)
+	for _, rid := range ds.CKB.RelationIDs() {
+		r := ds.CKB.Relation(rid)
+		if r.Domain == "" || r.Range == "" {
+			t.Errorf("relation %s missing domain/range", rid)
+		}
+	}
+}
+
+func TestAnchorCoveragePartial(t *testing.T) {
+	ds, err := Generate(NYTimes2018(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withAnchor, total := 0, 0
+	for _, eid := range ds.CKB.EntityIDs() {
+		e := ds.CKB.Entity(eid)
+		for _, alias := range e.Aliases {
+			total++
+			if ds.CKB.AnchorCount(alias) > 0 {
+				withAnchor++
+			}
+		}
+	}
+	frac := float64(withAnchor) / float64(total)
+	if frac > 0.85 {
+		t.Errorf("NYT anchor coverage = %.2f; want clearly partial", frac)
+	}
+}

@@ -1,0 +1,810 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/ckb"
+	"repro/internal/corpus"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+)
+
+// Dataset is one synthesized benchmark: the OKB to canonicalize and
+// link, the CKB to link against, the derived resources every signal
+// consumes, and the gold labels the metrics (and the validation-split
+// learner) read.
+type Dataset struct {
+	Profile Profile
+
+	OKB  *okb.Store
+	CKB  *ckb.Store
+	Emb  *embedding.Model
+	PPDB *ppdb.DB
+
+	// Gold canonicalization: NP/RP surface form -> gold group id. Group
+	// ids are entity/relation ids, or "oov:<n>" for out-of-KB groups.
+	// Only the labeled subset is present (LabelFraction).
+	GoldNPCluster map[string]string
+	GoldRPCluster map[string]string
+
+	// Gold linking: surface form -> CKB id ("" = NIL / out of KB).
+	GoldNPLink map[string]string
+	GoldRPLink map[string]string
+
+	// ValTriples are the triple ids of the validation split (triples
+	// associated with ValidationFraction of the entities); TestTriples
+	// the rest. Learning may read gold labels of validation surfaces
+	// only.
+	ValTriples  []int
+	TestTriples []int
+}
+
+// oovEntity is a minted out-of-KB entity: it exists in the OKB (and in
+// the corpus, so it has an embedding) but not in the CKB.
+type oovEntity struct {
+	key     string
+	aliases []string
+	topic   int
+}
+
+type genState struct {
+	p   Profile
+	rng *rand.Rand
+
+	entities  []ckb.Entity
+	kindOf    map[string]string // entity id -> kind
+	byKind    map[string][]int  // kind -> indexes into entities
+	relations []ckb.Relation
+	facts     []ckb.Fact // world facts: what OIE extractions report
+	ckbFacts  []ckb.Fact // the subset the CKB actually stores
+
+	// surfaceOwner enforces that a surface form used in the OKB always
+	// denotes one group (see DESIGN.md: ambiguity lives in the CKB alias
+	// index, not in the OKB gold labels).
+	surfaceOwner map[string]string
+
+	oov       []oovEntity
+	topicOf   map[string]int // entity id -> corpus topic
+	nameTaken map[string]bool
+	// origAliases holds each entity's alias pool before ambiguous-alias
+	// donation; the PPDB is built from these, since a real paraphrase DB
+	// does not merge distinct entities that merely share an ambiguous
+	// surface form.
+	origAliases [][]string
+}
+
+// Generate synthesizes the dataset described by p.
+func Generate(p Profile) (*Dataset, error) {
+	g := &genState{
+		p:            p,
+		rng:          rand.New(rand.NewSource(p.Seed)),
+		kindOf:       map[string]string{},
+		byKind:       map[string][]int{},
+		surfaceOwner: map[string]string{},
+		topicOf:      map[string]int{},
+		nameTaken:    map[string]bool{},
+	}
+	g.buildRelations()
+	g.buildEntities()
+	g.buildFacts()
+
+	triples, goldNPCluster, goldRPCluster, goldNPLink, goldRPLink := g.buildTriples()
+
+	store, err := ckb.NewStore(g.entities, g.relations, g.ckbFacts)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: building CKB: %w", err)
+	}
+	g.addAnchors(store)
+
+	emb := g.trainEmbeddings()
+	db := g.buildPPDB()
+
+	ds := &Dataset{
+		Profile:       p,
+		OKB:           okb.NewStore(triples),
+		CKB:           store,
+		Emb:           emb,
+		PPDB:          db,
+		GoldNPCluster: goldNPCluster,
+		GoldRPCluster: goldRPCluster,
+		GoldNPLink:    goldNPLink,
+		GoldRPLink:    goldRPLink,
+	}
+	ds.split(g)
+	ds.applyLabelFraction(g)
+	return ds, nil
+}
+
+// ---------- relations ----------
+
+func (g *genState) buildRelations() {
+	limit := g.p.RelAliasLimit
+	for i, seed := range relationSeeds {
+		aliases := append([]string(nil), seed.phrases...)
+		// The CKB knows only a prefix of the paraphrase pool; OIE
+		// extractions draw from all of it, so some RP surface forms have
+		// no close CKB alias — the paper's "relations have much more
+		// representations than entities".
+		if limit > 0 && len(aliases) > limit {
+			aliases = aliases[:limit]
+		}
+		g.relations = append(g.relations, ckb.Relation{
+			ID:       fmt.Sprintf("r%02d", i),
+			Name:     seed.name,
+			Category: seed.category,
+			Aliases:  aliases,
+			Domain:   seed.domainKind,
+			Range:    seed.rangeKind,
+		})
+	}
+}
+
+// ---------- entities ----------
+
+var placePrefixes = []string{"", "north", "south", "east", "west", "new", "port", "fort", "lake", "mount"}
+
+func (g *genState) mintName(kind string) string {
+	for attempt := 0; ; attempt++ {
+		var name string
+		switch kind {
+		case kindPerson:
+			name = firstNames[g.rng.Intn(len(firstNames))] + " " + lastNames[g.rng.Intn(len(lastNames))]
+		case kindPlace:
+			pre := placePrefixes[g.rng.Intn(len(placePrefixes))]
+			base := places[g.rng.Intn(len(places))]
+			name = strings.TrimSpace(pre + " " + base)
+		case kindCompany:
+			name = orgWords[g.rng.Intn(len(orgWords))] + " " + orgSuffixes[g.rng.Intn(len(orgSuffixes))]
+		case kindSchool:
+			base := places[g.rng.Intn(len(places))]
+			switch g.rng.Intn(3) {
+			case 0:
+				name = "university of " + base
+			case 1:
+				name = base + " state university"
+			default:
+				name = base + " college"
+			}
+		case kindTeam:
+			name = places[g.rng.Intn(len(places))] + " " + teamWords[g.rng.Intn(len(teamWords))]
+		default: // kindOrg
+			suffix := []string{"alliance", "council", "association", "federation"}[g.rng.Intn(4)]
+			name = orgWords[g.rng.Intn(len(orgWords))] + " " + suffix
+		}
+		if attempt > 8 {
+			name = fmt.Sprintf("%s %d", name, g.rng.Intn(1000))
+		}
+		if !g.nameTaken[name] {
+			g.nameTaken[name] = true
+			return name
+		}
+	}
+}
+
+// abbreviate forms an acronym from the token initials ("university of
+// maryland" -> "uom"), the scheme behind aliases like UMD.
+func abbreviate(name string) string {
+	var b strings.Builder
+	for _, tok := range strings.Fields(name) {
+		b.WriteByte(tok[0])
+	}
+	return b.String()
+}
+
+// aliasesFor mints the alias pool of an entity.
+func (g *genState) aliasesFor(kind, name string) []string {
+	toks := strings.Fields(name)
+	out := []string{name}
+	add := func(a string) {
+		a = strings.TrimSpace(a)
+		if a != "" && a != name {
+			for _, x := range out {
+				if x == a {
+					return
+				}
+			}
+			out = append(out, a)
+		}
+	}
+	switch kind {
+	case kindPerson:
+		add(toks[len(toks)-1])                     // last name
+		add(toks[0][:1] + " " + toks[len(toks)-1]) // initial + last
+	case kindSchool:
+		if len(toks) >= 3 {
+			add(abbreviate(name)) // "uom"
+		}
+		add(strings.Replace(name, "university", "univ", 1))
+	case kindCompany:
+		add(toks[0]) // "granite" for "granite holdings"
+		if len(toks) >= 2 {
+			add(abbreviate(name))
+		}
+	case kindTeam:
+		add(toks[len(toks)-1]) // "tigers"
+		add("the " + toks[len(toks)-1])
+	case kindPlace:
+		if len(toks) == 1 {
+			add(toks[0] + " city")
+		} else {
+			add(abbreviate(name))
+		}
+	default:
+		add(toks[0])
+		add(abbreviate(name))
+	}
+	return out
+}
+
+func (g *genState) buildEntities() {
+	// Allocate entities to kinds in proportion to how often relations
+	// use each kind as an argument.
+	usage := map[string]int{}
+	for _, seed := range relationSeeds {
+		usage[seed.domainKind]++
+		usage[seed.rangeKind]++
+	}
+	kinds := make([]string, 0, len(usage))
+	for k := range usage {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	totalUsage := 0
+	for _, k := range kinds {
+		totalUsage += usage[k]
+	}
+	nTopics := g.p.Entities/8 + 4
+
+	id := 0
+	for _, kind := range kinds {
+		n := g.p.Entities * usage[kind] / totalUsage
+		if n < 2 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			name := g.mintName(kind)
+			eid := fmt.Sprintf("e%04d", id)
+			id++
+			e := ckb.Entity{
+				ID:      eid,
+				Name:    name,
+				Aliases: g.aliasesFor(kind, name),
+				Types:   []string{kind},
+			}
+			g.entities = append(g.entities, e)
+			g.kindOf[eid] = kind
+			g.byKind[kind] = append(g.byKind[kind], len(g.entities)-1)
+			g.topicOf[eid] = g.rng.Intn(nTopics)
+		}
+	}
+	for i := range g.entities {
+		g.origAliases = append(g.origAliases, append([]string(nil), g.entities[i].Aliases...))
+	}
+	// The CKB's alias knowledge is partial: each non-canonical alias is
+	// kept with probability EntAliasCoverage. The OKB keeps drawing
+	// surface forms from the full pool (stored in origAliases), so some
+	// OIE surfaces have no exact CKB alias.
+	if cov := g.p.EntAliasCoverage; cov > 0 && cov < 1 {
+		for i := range g.entities {
+			aliases := g.entities[i].Aliases
+			kept := aliases[:1] // canonical name always known
+			for _, a := range aliases[1:] {
+				if g.rng.Float64() < cov {
+					kept = append(kept, a)
+				}
+			}
+			g.entities[i].Aliases = kept
+		}
+	}
+	// Ambiguous aliases: give some entities an alias another entity of
+	// the same kind already carries, creating CKB-side ambiguity.
+	for i := range g.entities {
+		if g.rng.Float64() >= g.p.AmbiguousAliasRate {
+			continue
+		}
+		peers := g.byKind[g.kindOf[g.entities[i].ID]]
+		j := peers[g.rng.Intn(len(peers))]
+		if j == i {
+			continue
+		}
+		donor := g.entities[j].Aliases
+		alias := donor[g.rng.Intn(len(donor))]
+		if alias != g.entities[i].Name {
+			g.entities[i].Aliases = append(g.entities[i].Aliases, alias)
+		}
+	}
+}
+
+// ---------- facts ----------
+
+// zipfPick samples an index in [0, n) with probability ∝ 1/(i+1)^0.8
+// over a fixed random permutation-free ordering (index = rank).
+func (g *genState) zipfPick(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF free method: rejection on the unnormalized weight.
+	for {
+		i := g.rng.Intn(n)
+		w := 1.0 / math.Pow(float64(i+1), 0.8)
+		if g.rng.Float64() < w {
+			return i
+		}
+	}
+}
+
+func (g *genState) buildFacts() {
+	seen := map[ckb.Fact]bool{}
+	attempts := 0
+	for len(g.facts) < g.p.Facts && attempts < g.p.Facts*40 {
+		attempts++
+		ri := g.rng.Intn(len(relationSeeds))
+		seed := relationSeeds[ri]
+		domains := g.byKind[seed.domainKind]
+		ranges := g.byKind[seed.rangeKind]
+		if len(domains) == 0 || len(ranges) == 0 {
+			continue
+		}
+		s := g.entities[domains[g.zipfPick(len(domains))]].ID
+		o := g.entities[ranges[g.zipfPick(len(ranges))]].ID
+		if s == o {
+			continue
+		}
+		f := ckb.Fact{Subj: s, Rel: g.relations[ri].ID, Obj: o}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		g.facts = append(g.facts, f)
+	}
+	// The CKB stores only part of the world (FactCoverage); the rest is
+	// exactly the knowledge OKB integration is meant to add.
+	coverage := g.p.FactCoverage
+	if coverage <= 0 || coverage > 1 {
+		coverage = 1
+	}
+	for _, f := range g.facts {
+		if g.rng.Float64() < coverage {
+			g.ckbFacts = append(g.ckbFacts, f)
+		}
+	}
+}
+
+// ---------- triples ----------
+
+// typo corrupts one token of the phrase: either a transposition of two
+// adjacent letters or a dropped letter. Tokens shorter than 5 runes are
+// left alone so abbreviations survive.
+func (g *genState) typo(phrase string) string {
+	toks := strings.Fields(phrase)
+	order := g.rng.Perm(len(toks))
+	for _, i := range order {
+		t := toks[i]
+		if len(t) < 5 {
+			continue
+		}
+		pos := 1 + g.rng.Intn(len(t)-2)
+		if g.rng.Intn(2) == 0 {
+			toks[i] = t[:pos] + string(t[pos+1]) + string(t[pos]) + t[pos+2:]
+		} else {
+			toks[i] = t[:pos] + t[pos+1:]
+		}
+		break
+	}
+	return strings.Join(toks, " ")
+}
+
+// inflect produces a surface variant of a base relation phrase,
+// injecting the tense/auxiliary variation Morph Norm exists to strip.
+func (g *genState) inflect(base string) string {
+	toks := strings.Fields(base)
+	if len(toks) == 0 {
+		return base
+	}
+	verb := toks[0]
+	rest := strings.Join(toks[1:], " ")
+	join := func(v string) string { return strings.TrimSpace(v + " " + rest) }
+	if verb == "be" {
+		switch g.rng.Intn(4) {
+		case 0:
+			return join("is")
+		case 1:
+			return join("was")
+		case 2:
+			return join("be")
+		default:
+			return join("has been")
+		}
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return join(verb) // base form
+	case 1: // 3rd person present
+		if strings.HasSuffix(verb, "y") {
+			return join(verb[:len(verb)-1] + "ies")
+		}
+		return join(verb + "s")
+	case 2: // past
+		if strings.HasSuffix(verb, "e") {
+			return join(verb + "d")
+		}
+		if strings.HasSuffix(verb, "y") {
+			return join(verb[:len(verb)-1] + "ied")
+		}
+		return join(verb + "ed")
+	default:
+		past := verb + "ed"
+		if strings.HasSuffix(verb, "e") {
+			past = verb + "d"
+		} else if strings.HasSuffix(verb, "y") {
+			past = verb[:len(verb)-1] + "ied"
+		}
+		return join("has " + past)
+	}
+}
+
+// claimSurface registers surface as denoting group; it reports whether
+// the claim succeeded (false if another group owns the surface).
+func (g *genState) claimSurface(surface, group string) bool {
+	if owner, ok := g.surfaceOwner[surface]; ok {
+		return owner == group
+	}
+	g.surfaceOwner[surface] = group
+	return true
+}
+
+// npSurface picks a surface form for entity aliases, honoring surface
+// ownership and typo noise.
+func (g *genState) npSurface(group string, aliases []string) string {
+	for attempt := 0; attempt < 6; attempt++ {
+		a := aliases[g.zipfPick(len(aliases))]
+		if g.rng.Float64() < g.p.TypoRate {
+			a = g.typo(a)
+		}
+		if g.claimSurface(a, group) {
+			return a
+		}
+	}
+	// Fall back to the full name, which is unique by construction.
+	g.claimSurface(aliases[0], group)
+	return aliases[0]
+}
+
+func (g *genState) mintOOV() *oovEntity {
+	kinds := []string{kindPerson, kindCompany, kindPlace}
+	kind := kinds[g.rng.Intn(len(kinds))]
+	name := g.mintName(kind)
+	o := oovEntity{
+		key:     fmt.Sprintf("oov:%d", len(g.oov)),
+		aliases: g.aliasesFor(kind, name),
+		topic:   g.rng.Intn(g.p.Entities/8 + 4),
+	}
+	g.oov = append(g.oov, o)
+	return &g.oov[len(g.oov)-1]
+}
+
+func (g *genState) buildTriples() (ts []okb.Triple, npC, rpC, npL, rpL map[string]string) {
+	npC = map[string]string{}
+	rpC = map[string]string{}
+	npL = map[string]string{}
+	rpL = map[string]string{}
+	entByID := map[string]*ckb.Entity{}
+	fullAliases := map[string][]string{}
+	for i := range g.entities {
+		entByID[g.entities[i].ID] = &g.entities[i]
+		fullAliases[g.entities[i].ID] = g.origAliases[i]
+	}
+	relByID := map[string]*ckb.Relation{}
+	relSeedByID := map[string]relationSeed{}
+	for i := range g.relations {
+		relByID[g.relations[i].ID] = &g.relations[i]
+		relSeedByID[g.relations[i].ID] = relationSeeds[i]
+	}
+
+	record := func(surface, cluster, link string, isNP bool) {
+		if isNP {
+			npC[surface] = cluster
+			npL[surface] = link
+		} else {
+			rpC[surface] = cluster
+			rpL[surface] = link
+		}
+	}
+
+	for len(ts) < g.p.Triples {
+		f := g.facts[g.zipfPick(len(g.facts))]
+		subj := entByID[f.Subj]
+		obj := entByID[f.Obj]
+		rel := relByID[f.Rel]
+		seed := relSeedByID[f.Rel]
+
+		t := okb.Triple{}
+
+		// Subject.
+		t.Subj = g.npSurface(subj.ID, fullAliases[subj.ID])
+		t.GoldSubj = subj.ID
+		record(t.Subj, subj.ID, subj.ID, true)
+
+		// Predicate: paraphrase + inflection. The inflected surface must
+		// stay owned by this relation.
+		base := seed.phrases[g.rng.Intn(len(seed.phrases))]
+		pred := g.inflect(base)
+		if !g.claimSurface("rp|"+pred, rel.ID) {
+			pred = base
+			g.claimSurface("rp|"+pred, rel.ID)
+		}
+		t.Pred = pred
+		t.GoldPred = rel.ID
+		record(pred, rel.ID, rel.ID, false)
+
+		// Object, possibly replaced by an out-of-KB entity.
+		if g.rng.Float64() < g.p.OOVRate {
+			o := g.mintOOV()
+			t.Obj = g.npSurface(o.key, o.aliases)
+			t.GoldObj = ""
+			record(t.Obj, o.key, "", true)
+		} else {
+			t.Obj = g.npSurface(obj.ID, fullAliases[obj.ID])
+			t.GoldObj = obj.ID
+			record(t.Obj, obj.ID, obj.ID, true)
+		}
+		ts = append(ts, t)
+	}
+	return ts, npC, rpC, npL, rpL
+}
+
+// ---------- derived resources ----------
+
+func (g *genState) addAnchors(store *ckb.Store) {
+	for rank, e := range g.entities {
+		base := 400.0 / math.Pow(float64(rank%97+1), 0.7)
+		for ai, alias := range e.Aliases {
+			if cov := g.p.AnchorCoverage; cov > 0 && cov < 1 && g.rng.Float64() >= cov {
+				continue
+			}
+			cnt := int(base/float64(ai+1)) + 1
+			// A slice of the anchor mass leaks to a random peer entity:
+			// Wikipedia anchors are noisy, so popularity is a strong but
+			// fallible prior.
+			leak := int(float64(cnt) * g.p.AnchorNoise)
+			if leak > 0 {
+				peers := g.byKind[g.kindOf[e.ID]]
+				peer := g.entities[peers[g.rng.Intn(len(peers))]]
+				if peer.ID != e.ID {
+					store.AddAnchor(alias, peer.ID, leak)
+					cnt -= leak
+				}
+			}
+			store.AddAnchor(alias, e.ID, cnt)
+		}
+	}
+}
+
+func (g *genState) trainEmbeddings() *embedding.Model {
+	var groups []corpus.Group
+	for rank, e := range g.entities {
+		groups = append(groups, corpus.Group{
+			Key:     e.ID,
+			Phrases: g.origAliases[rank],
+			Topic:   g.topicOf[e.ID],
+			Weight:  1 + 4/(rank%7+1),
+		})
+	}
+	nTopics := g.p.Entities/8 + 4
+	for i, r := range g.relations {
+		groups = append(groups, corpus.Group{
+			Key: r.ID,
+			// World text uses the full paraphrase pool; the CKB's
+			// truncated alias list reflects KB knowledge, not language.
+			Phrases: relationSeeds[i].phrases,
+			Topic:   nTopics + i, // one topic per relation: paraphrases share contexts
+			Weight:  2,
+		})
+	}
+	for _, o := range g.oov {
+		groups = append(groups, corpus.Group{
+			Key: o.key, Phrases: o.aliases, Topic: o.topic, Weight: 1,
+		})
+	}
+	c := corpus.Generate(groups, corpus.Config{
+		Seed:         g.p.Seed + 1,
+		SentencesPer: g.p.CorpusSentences,
+	})
+	return embedding.Train(c.Tokens(), embedding.Config{
+		Dim:  g.p.EmbedDim,
+		Seed: g.p.Seed + 2,
+	})
+}
+
+func (g *genState) buildPPDB() *ppdb.DB {
+	b := ppdb.NewBuilder()
+	var covered [][]string
+	addGroup := func(aliases []string) {
+		if g.rng.Float64() >= g.p.PPDBCoverage || len(aliases) < 2 {
+			return
+		}
+		// PPDB has partial coverage even inside a group: drop members
+		// occasionally.
+		kept := make([]string, 0, len(aliases))
+		for _, a := range aliases {
+			if len(kept) < 2 || g.rng.Float64() > 0.2 {
+				kept = append(kept, a)
+			}
+		}
+		b.AddGroup(kept...)
+		covered = append(covered, kept)
+	}
+	for i := range g.origAliases {
+		addGroup(g.origAliases[i])
+	}
+	for _, seed := range relationSeeds {
+		addGroup(seed.phrases)
+	}
+	for _, o := range g.oov {
+		addGroup(o.aliases)
+	}
+	// Spurious merges model PPDB noise.
+	for i := 0; i+1 < len(covered); i++ {
+		if g.rng.Float64() < g.p.PPDBNoise {
+			j := g.rng.Intn(len(covered))
+			if j != i {
+				b.AddPair(covered[i][0], covered[j][0])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ---------- splits and labeling ----------
+
+func (ds *Dataset) split(g *genState) {
+	if ds.Profile.ValidationFraction <= 0 {
+		for i := 0; i < ds.OKB.Len(); i++ {
+			ds.TestTriples = append(ds.TestTriples, i)
+		}
+		return
+	}
+	valEnt := map[string]bool{}
+	n := int(float64(len(g.entities)) * ds.Profile.ValidationFraction)
+	perm := g.rng.Perm(len(g.entities))
+	for _, i := range perm[:n] {
+		valEnt[g.entities[i].ID] = true
+	}
+	for i := 0; i < ds.OKB.Len(); i++ {
+		t := ds.OKB.Triple(i)
+		if valEnt[t.GoldSubj] {
+			ds.ValTriples = append(ds.ValTriples, i)
+		} else {
+			ds.TestTriples = append(ds.TestTriples, i)
+		}
+	}
+}
+
+func (ds *Dataset) applyLabelFraction(g *genState) {
+	if ds.Profile.LabelFraction >= 1 {
+		return
+	}
+	sampleGroups := func(goldCluster map[string]string) map[string]bool {
+		groups := map[string]bool{}
+		for _, gid := range goldCluster {
+			groups[gid] = true
+		}
+		ids := make([]string, 0, len(groups))
+		for gid := range groups {
+			ids = append(ids, gid)
+		}
+		sort.Strings(ids)
+		keep := map[string]bool{}
+		for _, gid := range ids {
+			if g.rng.Float64() < ds.Profile.LabelFraction {
+				keep[gid] = true
+			}
+		}
+		return keep
+	}
+	filter := func(m map[string]string, keep map[string]bool, cluster map[string]string) {
+		for k := range m {
+			if !keep[cluster[k]] {
+				delete(m, k)
+			}
+		}
+	}
+	keepNP := sampleGroups(ds.GoldNPCluster)
+	keepRP := sampleGroups(ds.GoldRPCluster)
+	filter(ds.GoldNPLink, keepNP, ds.GoldNPCluster)
+	filter(ds.GoldRPLink, keepRP, ds.GoldRPCluster)
+	filter(ds.GoldNPCluster, keepNP, ds.GoldNPCluster)
+	filter(ds.GoldRPCluster, keepRP, ds.GoldRPCluster)
+}
+
+// ValidationNPLinks returns gold entity links for NP surfaces occurring
+// in validation triples — the labels JOCL's learner may consume.
+func (ds *Dataset) ValidationNPLinks() map[string]string {
+	out := map[string]string{}
+	for _, ti := range ds.ValTriples {
+		t := ds.OKB.Triple(ti)
+		if gid, ok := ds.GoldNPLink[t.Subj]; ok {
+			out[t.Subj] = gid
+		}
+		if gid, ok := ds.GoldNPLink[t.Obj]; ok {
+			out[t.Obj] = gid
+		}
+	}
+	return out
+}
+
+// ValidationRPLinks returns gold relation links for RP surfaces in
+// validation triples.
+func (ds *Dataset) ValidationRPLinks() map[string]string {
+	out := map[string]string{}
+	for _, ti := range ds.ValTriples {
+		t := ds.OKB.Triple(ti)
+		if gid, ok := ds.GoldRPLink[t.Pred]; ok {
+			out[t.Pred] = gid
+		}
+	}
+	return out
+}
+
+// ValidationNPClusters / ValidationRPClusters return gold cluster ids
+// for validation surfaces (canonicalization labels).
+func (ds *Dataset) ValidationNPClusters() map[string]string {
+	out := map[string]string{}
+	for _, ti := range ds.ValTriples {
+		t := ds.OKB.Triple(ti)
+		for _, s := range []string{t.Subj, t.Obj} {
+			if gid, ok := ds.GoldNPCluster[s]; ok {
+				out[s] = gid
+			}
+		}
+	}
+	return out
+}
+
+// ValidationRPClusters returns gold RP cluster ids for validation
+// surfaces.
+func (ds *Dataset) ValidationRPClusters() map[string]string {
+	out := map[string]string{}
+	for _, ti := range ds.ValTriples {
+		t := ds.OKB.Triple(ti)
+		if gid, ok := ds.GoldRPCluster[t.Pred]; ok {
+			out[t.Pred] = gid
+		}
+	}
+	return out
+}
+
+// TestNPSurfaces returns the distinct NP surfaces of test triples.
+func (ds *Dataset) TestNPSurfaces() []string {
+	set := map[string]bool{}
+	for _, ti := range ds.TestTriples {
+		t := ds.OKB.Triple(ti)
+		set[t.Subj] = true
+		set[t.Obj] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRPSurfaces returns the distinct RP surfaces of test triples.
+func (ds *Dataset) TestRPSurfaces() []string {
+	set := map[string]bool{}
+	for _, ti := range ds.TestTriples {
+		set[ds.OKB.Triple(ti).Pred] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,66 @@
+// Package datasets synthesizes the two benchmark data sets the paper
+// evaluates on — ReVerb45K and NYTimes2018 — which are unavailable
+// external resources. The generator first builds a ground-truth world
+// (a CKB of entities, relations, and facts), then emits OIE triples
+// whose noun and relation phrases are paraphrased surface variants of
+// that world, along with every derived resource the signals need:
+// anchor-link popularity statistics, a training corpus for embeddings,
+// and a PPDB-style paraphrase database. Gold canonicalization and
+// linking labels fall out of the construction.
+//
+// Everything is driven by one seed, so a dataset is a pure function of
+// its Profile: experiments are exactly reproducible.
+package datasets
+
+// Lexicons for minting plausible entity names. The lists are fixed and
+// deterministic; variety comes from combinatorial composition, not from
+// list length.
+
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard",
+	"susan", "joseph", "jessica", "thomas", "sarah", "charles", "karen",
+	"christopher", "lisa", "daniel", "nancy", "matthew", "betty",
+	"anthony", "margaret", "mark", "sandra", "donald", "ashley",
+	"steven", "kimberly", "andrew", "emily", "paul", "donna", "joshua",
+	"michelle",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson",
+	"martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+	"clark", "ramirez", "lewis", "robinson", "walker", "young", "allen",
+	"king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+}
+
+var places = []string{
+	"maryland", "virginia", "springfield", "arlington", "georgetown",
+	"fairview", "riverside", "franklin", "clinton", "greenville",
+	"bristol", "salem", "madison", "oakland", "ashland", "burlington",
+	"manchester", "milton", "newport", "oxford", "dover", "hudson",
+	"clayton", "dayton", "lexington", "milford", "winchester", "auburn",
+	"florence", "troy", "geneva", "marion", "monroe", "jackson county",
+	"hamilton", "kingston", "windsor", "cambridge", "plymouth", "concord",
+}
+
+var orgWords = []string{
+	"atlas", "vertex", "pinnacle", "summit", "horizon", "beacon",
+	"keystone", "granite", "cascade", "meridian", "quantum", "stellar",
+	"harbor", "anchor", "crown", "liberty", "pioneer", "frontier",
+	"heritage", "landmark", "monument", "paragon", "zenith", "apex",
+	"nova", "orion", "polaris", "vega", "lyra", "cosmos",
+}
+
+var orgSuffixes = []string{
+	"corporation", "industries", "holdings", "group", "partners",
+	"systems", "technologies", "laboratories", "enterprises", "capital",
+}
+
+var teamWords = []string{
+	"tigers", "eagles", "bears", "lions", "hawks", "wolves", "panthers",
+	"falcons", "sharks", "raiders", "rangers", "pirates", "knights",
+	"titans", "spartans", "chargers", "comets", "rockets", "storm",
+	"thunder",
+}

@@ -1,0 +1,130 @@
+package datasets
+
+// Profile parameterizes dataset synthesis. The two constructors mirror
+// the paper's benchmarks; Scale shrinks them proportionally so unit
+// tests and quick benchmarks stay fast while full-size runs remain one
+// flag away.
+type Profile struct {
+	Name string
+	Seed int64
+
+	Entities int // CKB entities
+	Facts    int // CKB facts
+	Triples  int // OIE triples to emit
+
+	// OOVRate is the probability a triple's object (or subject) denotes
+	// an out-of-KB entity, so its gold link is NIL. NYTimes2018-style
+	// data is much heavier in OOV entities than ReVerb45K.
+	OOVRate float64
+	// TypoRate is the probability a surface form carries a small typo.
+	TypoRate float64
+	// AmbiguousAliasRate is the probability an entity receives an extra
+	// alias that collides with another entity's alias in the CKB,
+	// creating genuine linking ambiguity.
+	AmbiguousAliasRate float64
+
+	// PPDBCoverage is the probability an alias/paraphrase group is
+	// indexed by the synthetic PPDB; PPDBNoise the probability of a
+	// spurious merge between two unrelated groups.
+	PPDBCoverage float64
+	PPDBNoise    float64
+
+	// FactCoverage is the fraction of world facts the CKB actually
+	// stores. OIE triples are extracted from the whole world, so most
+	// triples do NOT correspond to a stored CKB fact — the paper's
+	// premise (OKBs enrich incomplete CKBs) and the reason fact-swap
+	// heuristics cannot dominate.
+	FactCoverage float64
+	// AnchorNoise is the fraction of an alias's anchor mass that leaks
+	// to a wrong entity, modeling noisy Wikipedia anchors.
+	AnchorNoise float64
+	// AnchorCoverage is the probability an alias has anchor statistics
+	// at all. News-domain surface forms are poorly covered by Wikipedia
+	// anchors, which is why popularity-driven linkers collapse on
+	// NYTimes2018 in the paper.
+	AnchorCoverage float64
+	// RelAliasLimit caps how many of a relation's paraphrases the CKB
+	// knows as aliases; OIE extractions draw from the full pool, so
+	// relation linking is genuinely harder than entity linking, as the
+	// paper observes.
+	RelAliasLimit int
+	// EntAliasCoverage is the probability the CKB knows each
+	// non-canonical alias of an entity. OIE text uses the full alias
+	// pool, so exact-alias linkers (Wikidata Integrator) miss the rest.
+	EntAliasCoverage float64
+
+	// LabelFraction is the fraction of gold groups exposed as labels
+	// (the paper manually labels only samples of NYTimes2018).
+	LabelFraction float64
+	// ValidationFraction is the fraction of entities whose triples form
+	// the validation split used for weight learning (paper: 20% on
+	// ReVerb45K, none on NYTimes2018).
+	ValidationFraction float64
+
+	// EmbedDim is the embedding dimensionality; CorpusSentences the
+	// sentences generated per unit of entity weight.
+	EmbedDim        int
+	CorpusSentences int
+}
+
+func clampMin(v, lo int) int {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// ReVerb45K returns a profile shaped like the ReVerb45K benchmark:
+// fully annotated against the CKB, modest noise, every NP denoting a
+// CKB entity with at least two aliases in play. scale 1.0 yields the
+// paper's 45K triples; use small scales (e.g. 0.02) for tests.
+func ReVerb45K(scale float64) Profile {
+	return Profile{
+		Name:               "ReVerb45K",
+		Seed:               45,
+		Entities:           clampMin(int(2400*scale), 24),
+		Facts:              clampMin(int(9000*scale), 90),
+		Triples:            clampMin(int(45000*scale), 450),
+		OOVRate:            0.04,
+		TypoRate:           0.03,
+		AmbiguousAliasRate: 0.45,
+		PPDBCoverage:       0.70,
+		PPDBNoise:          0.02,
+		FactCoverage:       0.45,
+		AnchorNoise:        0.35,
+		AnchorCoverage:     0.90,
+		RelAliasLimit:      2,
+		EntAliasCoverage:   0.75,
+		LabelFraction:      1.0,
+		ValidationFraction: 0.20,
+		EmbedDim:           32,
+		CorpusSentences:    6,
+	}
+}
+
+// NYTimes2018 returns a profile shaped like the NYTimes2018 benchmark:
+// noisier extractions, many out-of-KB entities, and only sampled gold
+// labels (the paper labels 100 NP groups and 100 triples by hand).
+func NYTimes2018(scale float64) Profile {
+	return Profile{
+		Name:               "NYTimes2018",
+		Seed:               2018,
+		Entities:           clampMin(int(2000*scale), 20),
+		Facts:              clampMin(int(7000*scale), 70),
+		Triples:            clampMin(int(34000*scale), 340),
+		OOVRate:            0.25,
+		TypoRate:           0.07,
+		AmbiguousAliasRate: 0.50,
+		PPDBCoverage:       0.50,
+		PPDBNoise:          0.04,
+		FactCoverage:       0.30,
+		AnchorNoise:        0.45,
+		AnchorCoverage:     0.45,
+		RelAliasLimit:      2,
+		EntAliasCoverage:   0.65,
+		LabelFraction:      0.35,
+		ValidationFraction: 0,
+		EmbedDim:           32,
+		CorpusSentences:    6,
+	}
+}

@@ -1,0 +1,76 @@
+package datasets
+
+// relationSeed describes one CKB relation: its category (several
+// relations can share a category, which is what the KBP signal
+// detects), the entity kinds of its arguments, and the paraphrase pool
+// OIE extractions draw relation phrases from. Paraphrases are written
+// in base form; the triple generator inflects them (tense, auxiliary)
+// for extra surface variety.
+type relationSeed struct {
+	name       string
+	category   string
+	domainKind string
+	rangeKind  string
+	phrases    []string
+}
+
+// Entity kinds used to type relation arguments.
+const (
+	kindPerson  = "person"
+	kindOrg     = "organization"
+	kindPlace   = "location"
+	kindCompany = "company"
+	kindSchool  = "university"
+	kindTeam    = "team"
+)
+
+var relationSeeds = []relationSeed{
+	{"location.contained_by", "location", kindSchool, kindPlace,
+		[]string{"locate in", "be situated in", "sit in", "lie in"}},
+	{"location.city_of", "location", kindCompany, kindPlace,
+		[]string{"be headquartered in", "have headquarters in", "be based in", "operate from"}},
+	{"people.birthplace", "biography", kindPerson, kindPlace,
+		[]string{"be born in", "come from", "hail from", "be a native of"}},
+	{"people.residence", "biography", kindPerson, kindPlace,
+		[]string{"live in", "reside in", "settle in", "make home in"}},
+	{"organizations.founded", "membership", kindSchool, kindOrg,
+		[]string{"be a member of", "be an early member of", "belong to", "join", "be a founding member of"}},
+	{"organizations.member", "membership", kindCompany, kindOrg,
+		[]string{"be a corporate member of", "participate in", "be part of", "take part in"}},
+	{"employment.employer", "employment", kindPerson, kindCompany,
+		[]string{"work for", "work at", "be employed by", "be employed at", "hold a job at"}},
+	{"employment.founder", "employment", kindPerson, kindCompany,
+		[]string{"found", "establish", "create", "start", "set up"}},
+	{"employment.ceo", "employment", kindPerson, kindCompany,
+		[]string{"lead", "be the chief executive of", "run", "head", "be the ceo of"}},
+	{"education.alma_mater", "education", kindPerson, kindSchool,
+		[]string{"graduate from", "study at", "attend", "earn a degree from", "be educated at"}},
+	{"education.teaches_at", "education", kindPerson, kindSchool,
+		[]string{"teach at", "be a professor at", "lecture at", "hold a chair at"}},
+	{"sports.plays_for", "sports", kindPerson, kindTeam,
+		[]string{"play for", "be signed by", "be on the roster of", "suit up for"}},
+	{"sports.coaches", "sports", kindPerson, kindTeam,
+		[]string{"coach", "manage", "be the head coach of", "train"}},
+	{"sports.team_home", "sports", kindTeam, kindPlace,
+		[]string{"make its base in", "play in", "represent", "call home"}},
+	{"business.acquired", "business", kindCompany, kindCompany,
+		[]string{"acquire", "buy", "purchase", "take over", "absorb"}},
+	{"business.partner", "business", kindCompany, kindCompany,
+		[]string{"partner with", "team up with", "collaborate with", "ally with"}},
+	{"business.supplier", "business", kindCompany, kindCompany,
+		[]string{"supply", "provide parts to", "sell components to", "serve"}},
+	{"university.campus_in", "location", kindSchool, kindPlace,
+		[]string{"have a campus in", "operate a campus in", "maintain facilities in"}},
+	{"person.spouse", "family", kindPerson, kindPerson,
+		[]string{"marry", "be married to", "wed", "be the spouse of"}},
+	{"person.advisor", "education", kindPerson, kindPerson,
+		[]string{"be advised by", "study under", "be mentored by", "be a student of"}},
+	{"org.sponsor", "business", kindCompany, kindTeam,
+		[]string{"sponsor", "fund", "back", "finance"}},
+	{"place.twinned_with", "location", kindPlace, kindPlace,
+		[]string{"be twinned with", "be a sister city of", "maintain ties with"}},
+	{"person.invests_in", "business", kindPerson, kindCompany,
+		[]string{"invest in", "hold shares of", "hold a stake in", "put money into"}},
+	{"school.rival_of", "education", kindSchool, kindSchool,
+		[]string{"be a rival of", "compete with", "face off against"}},
+}

@@ -1,0 +1,443 @@
+// Package embedding trains distributional word embeddings from a token
+// corpus, replacing the paper's pretrained fastText vectors (an
+// unavailable external resource). The pipeline is the classical
+// count-based equivalent of skip-gram: windowed co-occurrence counts →
+// positive pointwise mutual information (PPMI) weighting → truncated
+// symmetric eigendecomposition by subspace iteration. Levy & Goldberg
+// (NeurIPS 2014) showed this factorization and skip-gram with negative
+// sampling optimize near-identical objectives, so the resulting vectors
+// have the property the f_emb signal needs: words sharing contexts get
+// high cosine similarity.
+//
+// Phrase vectors are the average of their word vectors, exactly as the
+// paper does ("we average the vectors of all the single words in the
+// phrase as its embedding for simplicity").
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/text"
+)
+
+// Config controls training.
+type Config struct {
+	Dim      int   // embedding dimensionality (default 32)
+	Window   int   // co-occurrence window radius (default 4)
+	MinCount int   // drop words rarer than this (default 1)
+	Iters    int   // subspace-iteration rounds (default 6)
+	Seed     int64 // RNG seed for the random initial subspace
+}
+
+func (c *Config) defaults() {
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 1
+	}
+	if c.Iters <= 0 {
+		c.Iters = 6
+	}
+}
+
+// Model holds trained word vectors.
+type Model struct {
+	dim   int
+	vocab map[string]int
+	words []string
+	vecs  [][]float64 // row-normalized word vectors
+
+	// Subword fallback: fastText (the paper's embedding source) builds
+	// word vectors from character n-grams, so misspellings embed close
+	// to their correct forms. This model is word-level; it reproduces
+	// that behaviour by mapping an out-of-vocabulary word to the vector
+	// of its closest in-vocabulary word within edit distance 2.
+	// Resolution is cached; the cache is guarded for concurrent use.
+	fallbackMu    sync.Mutex
+	fallbackCache map[string]int // word -> vocab index, -1 = no match
+}
+
+// sparse row-major matrix.
+type sparse struct {
+	n    int
+	idx  [][]int32
+	vals [][]float64
+}
+
+func (m *sparse) mul(x [][]float64, out [][]float64) {
+	// out = M * x where x is n×d (dense), M is n×n sparse.
+	d := len(x[0])
+	for i := 0; i < m.n; i++ {
+		row := out[i]
+		for k := range row {
+			row[k] = 0
+		}
+		ids, vs := m.idx[i], m.vals[i]
+		for t, j := range ids {
+			v := vs[t]
+			xr := x[j]
+			for k := 0; k < d; k++ {
+				row[k] += v * xr[k]
+			}
+		}
+	}
+}
+
+// Train builds a model from sentences (each a token slice; tokens are
+// taken as-is, so callers should pre-tokenize consistently — the
+// corpus generator and text.Tokenize both lowercase).
+func Train(sentences [][]string, cfg Config) *Model {
+	cfg.defaults()
+
+	// Vocabulary with frequency cutoff.
+	freq := map[string]int{}
+	for _, s := range sentences {
+		for _, w := range s {
+			freq[w]++
+		}
+	}
+	words := make([]string, 0, len(freq))
+	for w, f := range freq {
+		if f >= cfg.MinCount {
+			words = append(words, w)
+		}
+	}
+	sort.Strings(words)
+	vocab := make(map[string]int, len(words))
+	for i, w := range words {
+		vocab[w] = i
+	}
+	n := len(words)
+	m := &Model{dim: cfg.Dim, vocab: vocab, words: words}
+	if n == 0 {
+		return m
+	}
+	if cfg.Dim > n {
+		cfg.Dim = n
+		m.dim = n
+	}
+
+	// Windowed co-occurrence counts (symmetric).
+	cooc := make([]map[int32]float64, n)
+	for i := range cooc {
+		cooc[i] = map[int32]float64{}
+	}
+	rowSum := make([]float64, n)
+	var total float64
+	for _, s := range sentences {
+		ids := make([]int32, 0, len(s))
+		for _, w := range s {
+			if id, ok := vocab[w]; ok {
+				ids = append(ids, int32(id))
+			}
+		}
+		for i, a := range ids {
+			hi := i + cfg.Window + 1
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			for j := i + 1; j < hi; j++ {
+				b := ids[j]
+				if a == b {
+					continue
+				}
+				cooc[a][b]++
+				cooc[b][a]++
+				rowSum[a]++
+				rowSum[b]++
+				total += 2
+			}
+		}
+	}
+	if total == 0 {
+		m.vecs = make([][]float64, n)
+		for i := range m.vecs {
+			m.vecs[i] = make([]float64, m.dim)
+		}
+		return m
+	}
+
+	// PPMI transform: max(0, log(p(a,b) / (p(a)p(b)))).
+	sp := &sparse{n: n, idx: make([][]int32, n), vals: make([][]float64, n)}
+	for a := 0; a < n; a++ {
+		ids := make([]int32, 0, len(cooc[a]))
+		for b := range cooc[a] {
+			ids = append(ids, b)
+		}
+		sort.Slice(ids, func(x, y int) bool { return ids[x] < ids[y] })
+		vals := make([]float64, 0, len(ids))
+		keep := ids[:0]
+		for _, b := range ids {
+			pmi := math.Log(cooc[a][b] * total / (rowSum[a] * rowSum[b]))
+			if pmi > 0 {
+				keep = append(keep, b)
+				vals = append(vals, pmi)
+			}
+		}
+		sp.idx[a] = keep
+		sp.vals[a] = vals
+	}
+
+	// Subspace iteration for the top-Dim eigenvectors of the symmetric
+	// PPMI matrix: Q <- orth(M Q), repeated. Rows of Q scaled by the
+	// Rayleigh-quotient eigenvalues give the word vectors.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	q := make([][]float64, n)
+	tmp := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		q[i] = make([]float64, cfg.Dim)
+		tmp[i] = make([]float64, cfg.Dim)
+		for k := range q[i] {
+			q[i][k] = rng.NormFloat64()
+		}
+	}
+	orthonormalize(q)
+	for it := 0; it < cfg.Iters; it++ {
+		sp.mul(q, tmp)
+		q, tmp = tmp, q
+		orthonormalize(q)
+	}
+	// Eigenvalue estimates lambda_k = q_k^T M q_k (columnwise Rayleigh).
+	sp.mul(q, tmp)
+	lambda := make([]float64, cfg.Dim)
+	for k := 0; k < cfg.Dim; k++ {
+		var dot float64
+		for i := 0; i < n; i++ {
+			dot += q[i][k] * tmp[i][k]
+		}
+		if dot < 0 {
+			dot = 0
+		}
+		lambda[k] = math.Sqrt(dot) // sqrt scaling, standard for PPMI-SVD
+	}
+
+	m.vecs = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, cfg.Dim)
+		for k := 0; k < cfg.Dim; k++ {
+			v[k] = q[i][k] * lambda[k]
+		}
+		m.vecs[i] = v
+	}
+	return m
+}
+
+// orthonormalize applies modified Gram-Schmidt to the columns of the
+// n×d matrix stored row-major in q.
+func orthonormalize(q [][]float64) {
+	if len(q) == 0 {
+		return
+	}
+	n, d := len(q), len(q[0])
+	for k := 0; k < d; k++ {
+		// A rank-deficient input can zero a column out after projection;
+		// reseed deterministically and re-orthogonalize (bounded retries
+		// with varied seeds guarantee escape from any fixed subspace).
+		for attempt := 0; ; attempt++ {
+			// Subtract projections onto previous columns.
+			for j := 0; j < k; j++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += q[i][k] * q[i][j]
+				}
+				for i := 0; i < n; i++ {
+					q[i][k] -= dot * q[i][j]
+				}
+			}
+			var norm float64
+			for i := 0; i < n; i++ {
+				norm += q[i][k] * q[i][k]
+			}
+			norm = math.Sqrt(norm)
+			if norm >= 1e-12 {
+				for i := 0; i < n; i++ {
+					q[i][k] /= norm
+				}
+				break
+			}
+			if attempt >= d+1 {
+				// Give up: leave a unit basis column (n >= d callers).
+				for i := 0; i < n; i++ {
+					q[i][k] = 0
+				}
+				q[k%n][k] = 1
+				break
+			}
+			for i := 0; i < n; i++ {
+				q[i][k] = math.Sin(float64((i+1)*(k+2)*(attempt+3)) + 0.5)
+			}
+		}
+	}
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// VocabSize returns the number of in-vocabulary words.
+func (m *Model) VocabSize() int { return len(m.words) }
+
+// Vector returns the embedding of word, or nil when out of vocabulary.
+func (m *Model) Vector(word string) []float64 {
+	id, ok := m.vocab[word]
+	if !ok {
+		return nil
+	}
+	return m.vecs[id]
+}
+
+// VectorWithFallback returns the embedding of word, resolving
+// out-of-vocabulary words to their closest in-vocabulary spelling
+// (edit distance <= 2, ties to the lexicographically smallest). Nil
+// when nothing is close enough.
+func (m *Model) VectorWithFallback(word string) []float64 {
+	if v := m.Vector(word); v != nil {
+		return v
+	}
+	if len(word) < 4 || len(m.words) == 0 {
+		return nil // short tokens (abbreviations) must not fuzzy-match
+	}
+	m.fallbackMu.Lock()
+	defer m.fallbackMu.Unlock()
+	if m.fallbackCache == nil {
+		m.fallbackCache = make(map[string]int)
+	}
+	if id, ok := m.fallbackCache[word]; ok {
+		if id < 0 {
+			return nil
+		}
+		return m.vecs[id]
+	}
+	bestID, bestDist := -1, 3
+	for id, w := range m.words {
+		if abs(len(w)-len(word)) >= bestDist || len(w) < 4 {
+			continue
+		}
+		if d := editDistanceAtMost(word, w, bestDist-1); d >= 0 && d < bestDist {
+			bestID, bestDist = id, d
+			if d == 1 {
+				break
+			}
+		}
+	}
+	m.fallbackCache[word] = bestID
+	if bestID < 0 {
+		return nil
+	}
+	return m.vecs[bestID]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// editDistanceAtMost computes the Levenshtein distance between a and b
+// if it is <= limit, else returns -1 (banded dynamic program).
+func editDistanceAtMost(a, b string, limit int) int {
+	la, lb := len(a), len(b)
+	if abs(la-lb) > limit {
+		return -1
+	}
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		curr[0] = i
+		rowMin := curr[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			v := prev[j] + 1
+			if curr[j-1]+1 < v {
+				v = curr[j-1] + 1
+			}
+			if prev[j-1]+cost < v {
+				v = prev[j-1] + cost
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if rowMin > limit {
+			return -1
+		}
+		prev, curr = curr, prev
+	}
+	if prev[lb] > limit {
+		return -1
+	}
+	return prev[lb]
+}
+
+// PhraseVector embeds a phrase as the average of its word vectors
+// (tokenized with text.Tokenize), resolving out-of-vocabulary words
+// through the subword-style fallback. Nil when no word is known.
+func (m *Model) PhraseVector(phrase string) []float64 {
+	var sum []float64
+	cnt := 0
+	for _, w := range text.Tokenize(phrase) {
+		v := m.VectorWithFallback(w)
+		if v == nil {
+			continue
+		}
+		if sum == nil {
+			sum = make([]float64, len(v))
+		}
+		for k := range v {
+			sum[k] += v[k]
+		}
+		cnt++
+	}
+	if cnt == 0 {
+		return nil
+	}
+	for k := range sum {
+		sum[k] /= float64(cnt)
+	}
+	return sum
+}
+
+// Cosine returns the cosine of two vectors (0 for nil/zero input).
+func Cosine(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 || len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for k := range a {
+		dot += a[k] * b[k]
+		na += a[k] * a[k]
+		nb += b[k] * b[k]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// PhraseSimilarity returns Sim_emb(a, b): the cosine similarity of the
+// phrase embeddings clipped to [0, 1], which is the range the paper's
+// feature functions expect. Unembeddable phrases score 0.
+func (m *Model) PhraseSimilarity(a, b string) float64 {
+	c := Cosine(m.PhraseVector(a), m.PhraseVector(b))
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}

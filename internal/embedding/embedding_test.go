@@ -1,0 +1,233 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+// trainToy builds a model over two clearly-separated topics.
+func trainToy(t *testing.T) *Model {
+	t.Helper()
+	groups := []corpus.Group{
+		{Key: "g1", Phrases: []string{"maryland university", "umd campus"}, Topic: 0, Weight: 4},
+		{Key: "g2", Phrases: []string{"maryland college", "terrapins school"}, Topic: 0, Weight: 4},
+		{Key: "g3", Phrases: []string{"warren buffett", "omaha investor"}, Topic: 1, Weight: 4},
+		{Key: "g4", Phrases: []string{"berkshire fund", "buffett holdings"}, Topic: 1, Weight: 4},
+	}
+	c := corpus.Generate(groups, corpus.Config{Seed: 11, SentencesPer: 30})
+	return Train(c.Tokens(), Config{Dim: 16, Window: 5, Seed: 7})
+}
+
+func TestTrainSeparatesTopics(t *testing.T) {
+	m := trainToy(t)
+	same := m.PhraseSimilarity("maryland university", "umd campus")
+	cross := m.PhraseSimilarity("maryland university", "warren buffett")
+	if same <= cross {
+		t.Errorf("same-topic sim %v must exceed cross-topic sim %v", same, cross)
+	}
+	if same < 0.3 {
+		t.Errorf("same-topic sim %v suspiciously low", same)
+	}
+}
+
+func TestVectorLookup(t *testing.T) {
+	m := trainToy(t)
+	if m.Vector("maryland") == nil {
+		t.Error("in-vocab word returned nil")
+	}
+	if m.Vector("zzzznever") != nil {
+		t.Error("OOV word should return nil")
+	}
+	if m.Dim() != 16 {
+		t.Errorf("Dim = %d, want 16", m.Dim())
+	}
+	if m.VocabSize() == 0 {
+		t.Error("empty vocab")
+	}
+}
+
+func TestPhraseVectorAveraging(t *testing.T) {
+	m := trainToy(t)
+	a := m.Vector("maryland")
+	b := m.Vector("university")
+	pv := m.PhraseVector("maryland university")
+	if pv == nil || a == nil || b == nil {
+		t.Fatal("missing vectors")
+	}
+	for k := range pv {
+		want := (a[k] + b[k]) / 2
+		if math.Abs(pv[k]-want) > 1e-9 {
+			t.Fatalf("PhraseVector is not the word average at dim %d", k)
+		}
+	}
+	if m.PhraseVector("zzz qqq www") != nil {
+		t.Error("all-OOV phrase should embed to nil")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cos of identical = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("cos of orthogonal = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{-1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("cos of opposite = %v", got)
+	}
+	if Cosine(nil, []float64{1}) != 0 || Cosine([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Error("degenerate cosine should be 0")
+	}
+	if Cosine([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("mismatched dims should be 0")
+	}
+}
+
+func TestPhraseSimilarityRange(t *testing.T) {
+	m := trainToy(t)
+	phrases := []string{"maryland university", "warren buffett", "berkshire fund", "zzz unknown"}
+	for _, a := range phrases {
+		for _, b := range phrases {
+			s := m.PhraseSimilarity(a, b)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Errorf("PhraseSimilarity(%q,%q) = %v out of [0,1]", a, b, s)
+			}
+			if math.Abs(s-m.PhraseSimilarity(b, a)) > 1e-12 {
+				t.Errorf("asymmetric similarity for %q,%q", a, b)
+			}
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	groups := []corpus.Group{
+		{Key: "g", Phrases: []string{"alpha beta"}, Topic: 0, Weight: 3},
+	}
+	c := corpus.Generate(groups, corpus.Config{Seed: 3})
+	m1 := Train(c.Tokens(), Config{Dim: 8, Seed: 5})
+	m2 := Train(c.Tokens(), Config{Dim: 8, Seed: 5})
+	v1, v2 := m1.Vector("alpha"), m2.Vector("alpha")
+	for k := range v1 {
+		if v1[k] != v2[k] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestTrainEmptyAndTiny(t *testing.T) {
+	m := Train(nil, Config{})
+	if m.VocabSize() != 0 {
+		t.Error("empty corpus should give empty vocab")
+	}
+	if m.PhraseSimilarity("a", "b") != 0 {
+		t.Error("empty model similarity should be 0")
+	}
+	// Single-sentence corpus with fewer words than Dim.
+	m = Train([][]string{{"a", "b"}}, Config{Dim: 32, Seed: 1})
+	if m.Vector("a") == nil {
+		t.Error("tiny corpus should still embed words")
+	}
+}
+
+func TestMinCountFilters(t *testing.T) {
+	sents := [][]string{{"common", "common", "rare"}, {"common", "other"}}
+	m := Train(sents, Config{Dim: 4, MinCount: 2, Seed: 1})
+	if m.Vector("rare") != nil {
+		t.Error("rare word should be filtered by MinCount")
+	}
+	if m.Vector("common") == nil {
+		t.Error("frequent word should survive MinCount")
+	}
+}
+
+func TestOrthonormalizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n, d := 20, 5
+		rngv := func(i, k int) float64 {
+			return math.Sin(float64(seed%1000)*0.7 + float64(i*7+k*13))
+		}
+		q := make([][]float64, n)
+		for i := range q {
+			q[i] = make([]float64, d)
+			for k := range q[i] {
+				q[i][k] = rngv(i, k)
+			}
+		}
+		orthonormalize(q)
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += q[i][a] * q[i][b]
+				}
+				want := 0.0
+				if a == b {
+					want = 1.0
+				}
+				if math.Abs(dot-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubwordFallbackResolvesTypos(t *testing.T) {
+	m := trainToy(t)
+	// "marylnd" (typo) should resolve to "maryland"'s vector.
+	typo := m.VectorWithFallback("marylnd")
+	real := m.Vector("maryland")
+	if typo == nil {
+		t.Fatal("fallback failed to resolve typo")
+	}
+	if Cosine(typo, real) < 0.999 {
+		t.Errorf("typo vector should equal the corrected word's vector")
+	}
+	// Phrase similarity with a typo should stay high.
+	sim := m.PhraseSimilarity("marylnd university", "maryland university")
+	if sim < 0.9 {
+		t.Errorf("typo phrase similarity = %v, want ~1", sim)
+	}
+}
+
+func TestSubwordFallbackGuards(t *testing.T) {
+	m := trainToy(t)
+	if m.VectorWithFallback("xy") != nil {
+		t.Error("short tokens must not fuzzy-match")
+	}
+	if m.VectorWithFallback("completelyunrelatedword") != nil {
+		t.Error("distant words must not match")
+	}
+	// Cache must give identical answers.
+	a := m.VectorWithFallback("marylnd")
+	b := m.VectorWithFallback("marylnd")
+	if &a[0] != &b[0] {
+		t.Error("fallback cache should return the same vector")
+	}
+}
+
+func TestEditDistanceAtMost(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		limit int
+		want  int
+	}{
+		{"maryland", "marylnd", 2, 1},
+		{"kitten", "sitting", 3, 3},
+		{"kitten", "sitting", 2, -1},
+		{"same", "same", 2, 0},
+		{"abcdef", "xyz", 2, -1},
+	}
+	for _, c := range cases {
+		if got := editDistanceAtMost(c.a, c.b, c.limit); got != c.want {
+			t.Errorf("editDistanceAtMost(%q,%q,%d) = %d, want %d", c.a, c.b, c.limit, got, c.want)
+		}
+	}
+}

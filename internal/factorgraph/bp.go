@@ -1,0 +1,314 @@
+package factorgraph
+
+import "math"
+
+// Schedule prescribes the order in which loopy belief propagation
+// updates messages within one sweep, mirroring the paper's Section 3.4
+// working procedure: factor-to-variable messages are sent group by
+// group in the listed order, then variable-to-factor messages group by
+// group. A nil schedule means flooding (all factors, then all
+// variables, in id order).
+type Schedule struct {
+	FactorGroups [][]int // ordered groups of factor ids
+	VarGroups    [][]int // ordered groups of variable ids
+}
+
+// RunOptions configures an LBP run.
+type RunOptions struct {
+	MaxSweeps int     // maximum full sweeps (default 50)
+	Damping   float64 // message damping in [0,1); 0 = none
+	Tolerance float64 // convergence threshold on belief change (default 1e-6)
+	Schedule  *Schedule
+}
+
+func (o *RunOptions) defaults() {
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 50
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-6
+	}
+}
+
+// BP holds message state for loopy belief propagation over a finalized
+// graph. Create with NewBP; reusable across runs (Reset re-initializes
+// messages, Run iterates to convergence).
+type BP struct {
+	g *Graph
+	// msgFV[f][i][s]: message from factor f to the i-th of its
+	// variables, for state s. msgVF is the reverse direction.
+	msgFV [][][]float64
+	msgVF [][][]float64
+
+	// varPos[f][i] caches, for factor f's i-th variable, that factor's
+	// position within the variable's adjacency list (unused today but
+	// kept symmetric); posInFactor[v] maps factor id -> position of v.
+	posInFactor []map[int]int
+
+	prevBelief [][]float64
+	sweepsRun  int
+}
+
+// NewBP allocates message state for g, which must be finalized.
+func NewBP(g *Graph) *BP {
+	if !g.finalized {
+		panic("factorgraph: NewBP before Finalize")
+	}
+	bp := &BP{g: g}
+	bp.msgFV = make([][][]float64, len(g.factors))
+	bp.msgVF = make([][][]float64, len(g.factors))
+	for fi, f := range g.factors {
+		bp.msgFV[fi] = make([][]float64, len(f.Vars))
+		bp.msgVF[fi] = make([][]float64, len(f.Vars))
+		for i, vid := range f.Vars {
+			card := g.vars[vid].Card
+			bp.msgFV[fi][i] = make([]float64, card)
+			bp.msgVF[fi][i] = make([]float64, card)
+		}
+	}
+	bp.posInFactor = make([]map[int]int, len(g.vars))
+	for _, v := range g.vars {
+		bp.posInFactor[v.id] = make(map[int]int, len(v.factors))
+	}
+	for _, f := range g.factors {
+		for i, vid := range f.Vars {
+			bp.posInFactor[vid][f.id] = i
+		}
+	}
+	bp.prevBelief = make([][]float64, len(g.vars))
+	for _, v := range g.vars {
+		bp.prevBelief[v.id] = make([]float64, v.Card)
+	}
+	bp.Reset()
+	return bp
+}
+
+// Reset re-initializes all messages to uniform (respecting clamps on
+// the variable-to-factor side).
+func (bp *BP) Reset() {
+	for fi, f := range bp.g.factors {
+		for i, vid := range f.Vars {
+			card := bp.g.vars[vid].Card
+			for s := 0; s < card; s++ {
+				bp.msgFV[fi][i][s] = 1.0 / float64(card)
+			}
+			bp.setVFMessage(fi, i, vid)
+		}
+	}
+	bp.sweepsRun = 0
+}
+
+// setVFMessage initializes/refreshes msgVF for a clamped or uniform
+// start state.
+func (bp *BP) setVFMessage(fi, i, vid int) {
+	v := bp.g.vars[vid]
+	msg := bp.msgVF[fi][i]
+	if v.clamp >= 0 {
+		for s := range msg {
+			msg[s] = 0
+		}
+		msg[v.clamp] = 1
+		return
+	}
+	for s := range msg {
+		msg[s] = 1.0 / float64(len(msg))
+	}
+}
+
+// Sweeps returns the number of sweeps the last Run performed.
+func (bp *BP) Sweeps() int { return bp.sweepsRun }
+
+// Run iterates scheduled message passing until beliefs change by less
+// than opt.Tolerance or MaxSweeps is reached. It returns whether the
+// run converged.
+func (bp *BP) Run(opt RunOptions) bool {
+	opt.defaults()
+	sched := opt.Schedule
+	if sched == nil {
+		all := make([]int, len(bp.g.factors))
+		for i := range all {
+			all[i] = i
+		}
+		vs := make([]int, len(bp.g.vars))
+		for i := range vs {
+			vs[i] = i
+		}
+		sched = &Schedule{FactorGroups: [][]int{all}, VarGroups: [][]int{vs}}
+	}
+	bp.snapshotBeliefs()
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		bp.sweepsRun = sweep + 1
+		for _, group := range sched.FactorGroups {
+			for _, fid := range group {
+				bp.updateFactorMessages(fid, opt.Damping)
+			}
+		}
+		for _, group := range sched.VarGroups {
+			for _, vid := range group {
+				bp.updateVariableMessages(vid)
+			}
+		}
+		if bp.beliefDelta() < opt.Tolerance {
+			return true
+		}
+		bp.snapshotBeliefs()
+	}
+	return false
+}
+
+// updateFactorMessages recomputes the messages from factor fid to each
+// of its variables: m_{a->i}(x_i) = sum over the factor's assignments
+// consistent with x_i of pot * prod of incoming messages from the
+// other variables.
+func (bp *BP) updateFactorMessages(fid int, damping float64) {
+	f := bp.g.factors[fid]
+	n := len(f.Vars)
+	states := make([]int, n)
+	for i := range f.Vars {
+		out := make([]float64, f.cards[i])
+		for a := range f.pot {
+			f.assignment(a, states)
+			p := f.pot[a]
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				p *= bp.msgVF[fid][j][states[j]]
+			}
+			out[states[i]] += p
+		}
+		normalize(out)
+		old := bp.msgFV[fid][i]
+		if damping > 0 {
+			for s := range out {
+				out[s] = damping*old[s] + (1-damping)*out[s]
+			}
+			normalize(out)
+		}
+		copy(old, out)
+	}
+}
+
+// updateVariableMessages recomputes the messages from variable vid to
+// each adjacent factor: the product of messages from all other factors
+// (times the clamp indicator when observed).
+func (bp *BP) updateVariableMessages(vid int) {
+	v := bp.g.vars[vid]
+	for _, fid := range v.factors {
+		i := bp.posInFactor[vid][fid]
+		msg := bp.msgVF[fid][i]
+		if v.clamp >= 0 {
+			for s := range msg {
+				msg[s] = 0
+			}
+			msg[v.clamp] = 1
+			continue
+		}
+		for s := 0; s < v.Card; s++ {
+			p := 1.0
+			for _, ofid := range v.factors {
+				if ofid == fid {
+					continue
+				}
+				p *= bp.msgFV[ofid][bp.posInFactor[vid][ofid]][s]
+			}
+			msg[s] = p
+		}
+		normalize(msg)
+	}
+}
+
+// VarBelief returns the (approximate) marginal distribution of a
+// variable under the current messages.
+func (bp *BP) VarBelief(vid int) []float64 {
+	v := bp.g.vars[vid]
+	b := make([]float64, v.Card)
+	if v.clamp >= 0 {
+		b[v.clamp] = 1
+		return b
+	}
+	for s := 0; s < v.Card; s++ {
+		p := 1.0
+		for _, fid := range v.factors {
+			p *= bp.msgFV[fid][bp.posInFactor[vid][fid]][s]
+		}
+		b[s] = p
+	}
+	normalize(b)
+	return b
+}
+
+// FactorBelief returns the (approximate) joint distribution over a
+// factor's assignments, indexed by the factor's assignment index. This
+// is what the learning gradient integrates feature functions against.
+func (bp *BP) FactorBelief(fid int) []float64 {
+	f := bp.g.factors[fid]
+	n := len(f.Vars)
+	states := make([]int, n)
+	b := make([]float64, len(f.pot))
+	for a := range f.pot {
+		f.assignment(a, states)
+		p := f.pot[a]
+		for j := 0; j < n; j++ {
+			p *= bp.msgVF[fid][j][states[j]]
+		}
+		b[a] = p
+	}
+	normalize(b)
+	return b
+}
+
+// Decode returns the max-marginal state of every variable.
+func (bp *BP) Decode() []int {
+	out := make([]int, len(bp.g.vars))
+	for _, v := range bp.g.vars {
+		b := bp.VarBelief(v.id)
+		best, arg := -1.0, 0
+		for s, p := range b {
+			if p > best {
+				best, arg = p, s
+			}
+		}
+		out[v.id] = arg
+	}
+	return out
+}
+
+func (bp *BP) snapshotBeliefs() {
+	for _, v := range bp.g.vars {
+		copy(bp.prevBelief[v.id], bp.VarBelief(v.id))
+	}
+}
+
+func (bp *BP) beliefDelta() float64 {
+	max := 0.0
+	for _, v := range bp.g.vars {
+		b := bp.VarBelief(v.id)
+		for s, p := range b {
+			d := math.Abs(p - bp.prevBelief[v.id][s])
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// normalize scales a non-negative vector to sum 1; an all-zero vector
+// (numerical underflow or contradictory clamps) becomes uniform so
+// inference degrades gracefully instead of emitting NaNs.
+func normalize(v []float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		for i := range v {
+			v[i] = 1.0 / float64(len(v))
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}

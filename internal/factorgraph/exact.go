@@ -1,0 +1,68 @@
+package factorgraph
+
+// ExactMarginals computes every variable's marginal distribution by
+// brute-force enumeration of the joint. It is exponential in the number
+// of variables and exists as a correctness oracle for LBP in tests and
+// for the tiny graphs in examples. Clamped variables are respected.
+func (g *Graph) ExactMarginals() [][]float64 {
+	marg := make([][]float64, len(g.vars))
+	for _, v := range g.vars {
+		marg[v.id] = make([]float64, v.Card)
+	}
+	states := make([]int, len(g.vars))
+	scratch := make([]int, 8)
+	var rec func(i int, p float64)
+	total := 0.0
+	// Joint potential of a full assignment: product over factors. We
+	// accumulate lazily: enumerate variables depth-first and multiply
+	// factor potentials once all their variables are fixed (at the
+	// deepest variable of the factor).
+	deepest := make([][]int, len(g.vars)) // var id -> factors completed there
+	for _, f := range g.factors {
+		d := 0
+		for _, vid := range f.Vars {
+			if vid > d {
+				d = vid
+			}
+		}
+		deepest[d] = append(deepest[d], f.id)
+	}
+	rec = func(i int, p float64) {
+		if i == len(g.vars) {
+			total += p
+			for vid, s := range states {
+				marg[vid][s] += p
+			}
+			return
+		}
+		v := g.vars[i]
+		lo, hi := 0, v.Card
+		if v.clamp >= 0 {
+			lo, hi = v.clamp, v.clamp+1
+		}
+		for s := lo; s < hi; s++ {
+			states[i] = s
+			q := p
+			for _, fid := range deepest[i] {
+				f := g.factors[fid]
+				if len(f.Vars) > len(scratch) {
+					scratch = make([]int, len(f.Vars))
+				}
+				for k, vid := range f.Vars {
+					scratch[k] = states[vid]
+				}
+				q *= f.pot[f.index(scratch[:len(f.Vars)])]
+			}
+			rec(i+1, q)
+		}
+	}
+	rec(0, 1)
+	if total > 0 {
+		for _, m := range marg {
+			for s := range m {
+				m[s] /= total
+			}
+		}
+	}
+	return marg
+}

@@ -1,0 +1,167 @@
+package factorgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxProductTreeMatchesExactMAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		v := []int{g.AddVariable("a", 2), g.AddVariable("b", 3), g.AddVariable("c", 2)}
+		rnd := func(n int) []float64 {
+			tb := make([]float64, n)
+			for i := range tb {
+				tb[i] = 0.1 + rng.Float64()
+			}
+			return tb
+		}
+		tableFactor(g, "ab", []int{v[0], v[1]}, rnd(6))
+		tableFactor(g, "bc", []int{v[1], v[2]}, rnd(6))
+		g.Finalize()
+
+		mp := NewMaxProduct(g)
+		got := mp.Run(RunOptions{MaxSweeps: 50})
+		want, _ := g.ExactMAP()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: max-product %v != exact MAP %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxProductRespectsClamp(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	b := g.AddVariable("b", 2)
+	tableFactor(g, "eq", []int{a, b}, []float64{10, 0.1, 0.1, 10})
+	g.Finalize()
+	g.Clamp(a, 1)
+	mp := NewMaxProduct(g)
+	got := mp.Run(RunOptions{MaxSweeps: 20})
+	if got[a] != 1 || got[b] != 1 {
+		t.Errorf("clamped MAP = %v, want [1 1]", got)
+	}
+}
+
+func TestExactMAPSimple(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 3)
+	tableFactor(g, "f", []int{a}, []float64{1, 7, 2})
+	g.Finalize()
+	got, score := g.ExactMAP()
+	if got[a] != 1 {
+		t.Errorf("MAP = %v, want state 1", got)
+	}
+	if math.Abs(score-math.Log(7)) > 1e-9 {
+		t.Errorf("score = %v, want log 7", score)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	b := g.AddVariable("b", 2)
+	c := g.AddVariable("c", 2)
+	d := g.AddVariable("d", 2)
+	tableFactor(g, "ab", []int{a, b}, []float64{1, 1, 1, 1})
+	tableFactor(g, "cd", []int{c, d}, []float64{1, 1, 1, 1})
+	g.Finalize()
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want 2", comps)
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 2 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestComponentsSingletons(t *testing.T) {
+	g := New()
+	g.AddVariable("a", 2)
+	g.AddVariable("b", 2)
+	g.Finalize()
+	if got := g.Components(); len(got) != 2 {
+		t.Errorf("isolated variables should be singleton components: %v", got)
+	}
+}
+
+func TestParallelBPMatchesSequential(t *testing.T) {
+	// Several disconnected islands: the parallel per-component run must
+	// produce the same beliefs as a whole-graph run.
+	rng := rand.New(rand.NewSource(21))
+	g := New()
+	var vars []int
+	for island := 0; island < 6; island++ {
+		a := g.AddVariable("a", 2)
+		b := g.AddVariable("b", 3)
+		vars = append(vars, a, b)
+		tb := make([]float64, 6)
+		for i := range tb {
+			tb[i] = 0.2 + rng.Float64()
+		}
+		tableFactor(g, "f", []int{a, b}, tb)
+	}
+	g.Finalize()
+
+	seq := NewBP(g)
+	seq.Run(RunOptions{MaxSweeps: 30})
+
+	par := ParallelBP(g, RunOptions{MaxSweeps: 30}, 3)
+	for _, vid := range vars {
+		want := seq.VarBelief(vid)
+		got := par[vid]
+		for s := range want {
+			if math.Abs(want[s]-got[s]) > 1e-9 {
+				t.Fatalf("var %d: parallel %v vs sequential %v", vid, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelBPWorkerCounts(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	tableFactor(g, "f", []int{a}, []float64{1, 3})
+	g.Finalize()
+	for _, w := range []int{0, 1, 8} {
+		beliefs := ParallelBP(g, RunOptions{MaxSweeps: 10}, w)
+		if math.Abs(beliefs[a][1]-0.75) > 1e-9 {
+			t.Errorf("workers=%d: belief %v, want [0.25 0.75]", w, beliefs[a])
+		}
+	}
+}
+
+func TestMaxProductAgreesWithSumProductWhenPeaked(t *testing.T) {
+	// With near-deterministic potentials, max-product and sum-product
+	// decoding must agree.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		a := g.AddVariable("a", 2)
+		b := g.AddVariable("b", 2)
+		tb := make([]float64, 4)
+		peak := rng.Intn(4)
+		for i := range tb {
+			tb[i] = 0.01
+		}
+		tb[peak] = 100
+		tableFactor(g, "f", []int{a, b}, tb)
+		g.Finalize()
+
+		bp := NewBP(g)
+		bp.Run(RunOptions{MaxSweeps: 30})
+		sum := bp.Decode()
+
+		mp := NewMaxProduct(g)
+		max := mp.Run(RunOptions{MaxSweeps: 30})
+		return sum[a] == max[a] && sum[b] == max[b]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

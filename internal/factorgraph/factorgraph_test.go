@@ -1,0 +1,435 @@
+package factorgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tableFactor adds a factor whose potential equals the given table
+// exactly: one feature returning log(table[a]) with a unit weight.
+func tableFactor(g *Graph, name string, vars []int, table []float64) int {
+	w := g.AddWeight(name+".w", 1)
+	return g.AddFactor(name, vars, []int{w}, func(states []int) []float64 {
+		// Recompute the assignment index locally (mixed radix in the
+		// same order AddFactor enumerates).
+		idx, mult := 0, 1
+		for k, vid := range vars {
+			idx += states[k] * mult
+			mult *= g.Variable(vid).Card
+		}
+		return []float64{math.Log(table[idx])}
+	})
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFactorMarginal(t *testing.T) {
+	g := New()
+	x := g.AddVariable("x", 2)
+	tableFactor(g, "f", []int{x}, []float64{1, 3})
+	g.Finalize()
+	bp := NewBP(g)
+	bp.Run(RunOptions{})
+	b := bp.VarBelief(x)
+	if !almostEqual(b[0], 0.25, 1e-9) || !almostEqual(b[1], 0.75, 1e-9) {
+		t.Errorf("belief = %v, want [0.25 0.75]", b)
+	}
+}
+
+func TestTreeExactAgreement(t *testing.T) {
+	// Chain x0 - x1 - x2 with random potentials: BP is exact on trees.
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	v := []int{g.AddVariable("x0", 2), g.AddVariable("x1", 3), g.AddVariable("x2", 2)}
+	rnd := func(n int) []float64 {
+		tb := make([]float64, n)
+		for i := range tb {
+			tb[i] = 0.1 + rng.Float64()
+		}
+		return tb
+	}
+	tableFactor(g, "f01", []int{v[0], v[1]}, rnd(6))
+	tableFactor(g, "f12", []int{v[1], v[2]}, rnd(6))
+	tableFactor(g, "f1", []int{v[1]}, rnd(3))
+	g.Finalize()
+
+	bp := NewBP(g)
+	if !bp.Run(RunOptions{MaxSweeps: 100}) {
+		t.Fatal("BP on a tree should converge")
+	}
+	exact := g.ExactMarginals()
+	for _, vid := range v {
+		b := bp.VarBelief(vid)
+		for s := range b {
+			if !almostEqual(b[s], exact[vid][s], 1e-6) {
+				t.Errorf("var %d state %d: BP %v vs exact %v", vid, s, b, exact[vid])
+			}
+		}
+	}
+}
+
+func TestLoopyCloseToExact(t *testing.T) {
+	// Triangle loop with moderate potentials: LBP is approximate but
+	// must land near the exact marginals.
+	rng := rand.New(rand.NewSource(3))
+	g := New()
+	v := []int{g.AddVariable("a", 2), g.AddVariable("b", 2), g.AddVariable("c", 2)}
+	rnd := func() []float64 {
+		tb := make([]float64, 4)
+		for i := range tb {
+			tb[i] = 0.5 + rng.Float64()
+		}
+		return tb
+	}
+	tableFactor(g, "ab", []int{v[0], v[1]}, rnd())
+	tableFactor(g, "bc", []int{v[1], v[2]}, rnd())
+	tableFactor(g, "ca", []int{v[2], v[0]}, rnd())
+	g.Finalize()
+
+	bp := NewBP(g)
+	bp.Run(RunOptions{MaxSweeps: 200, Damping: 0.3})
+	exact := g.ExactMarginals()
+	for _, vid := range v {
+		b := bp.VarBelief(vid)
+		for s := range b {
+			if !almostEqual(b[s], exact[vid][s], 0.05) {
+				t.Errorf("var %d: LBP %v too far from exact %v", vid, b, exact[vid])
+			}
+		}
+	}
+}
+
+func TestClampPropagates(t *testing.T) {
+	// Two variables coupled by a near-deterministic equality factor;
+	// clamping one should drag the other.
+	g := New()
+	a := g.AddVariable("a", 2)
+	b := g.AddVariable("b", 2)
+	tableFactor(g, "eq", []int{a, b}, []float64{10, 0.1, 0.1, 10})
+	g.Finalize()
+	g.Clamp(a, 1)
+	bp := NewBP(g)
+	bp.Run(RunOptions{})
+	bb := bp.VarBelief(b)
+	if bb[1] < 0.95 {
+		t.Errorf("clamp failed to propagate: belief(b) = %v", bb)
+	}
+	ba := bp.VarBelief(a)
+	if ba[1] != 1 {
+		t.Errorf("clamped var belief = %v, want delta at 1", ba)
+	}
+}
+
+func TestDecode(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 3)
+	tableFactor(g, "f", []int{a}, []float64{1, 5, 2})
+	g.Finalize()
+	bp := NewBP(g)
+	bp.Run(RunOptions{})
+	if got := bp.Decode(); got[a] != 1 {
+		t.Errorf("Decode = %v, want state 1", got)
+	}
+}
+
+func TestBeliefsAreDistributions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 2 + rng.Intn(5)
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = g.AddVariable("v", 2+rng.Intn(3))
+		}
+		// Random pairwise factors.
+		for k := 0; k < n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			size := g.Variable(vars[i]).Card * g.Variable(vars[j]).Card
+			tb := make([]float64, size)
+			for x := range tb {
+				tb[x] = 0.1 + rng.Float64()
+			}
+			tableFactor(g, "p", []int{vars[i], vars[j]}, tb)
+		}
+		g.Finalize()
+		bp := NewBP(g)
+		bp.Run(RunOptions{MaxSweeps: 30, Damping: 0.2})
+		for _, vid := range vars {
+			b := bp.VarBelief(vid)
+			sum := 0.0
+			for _, p := range b {
+				if p < 0 || math.IsNaN(p) {
+					return false
+				}
+				sum += p
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				return false
+			}
+		}
+		for fid := 0; fid < g.NumFactors(); fid++ {
+			fb := bp.FactorBelief(fid)
+			sum := 0.0
+			for _, p := range fb {
+				sum += p
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleMatchesFlooding(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		a := g.AddVariable("a", 2)
+		b := g.AddVariable("b", 2)
+		c := g.AddVariable("c", 2)
+		tableFactor(g, "ab", []int{a, b}, []float64{2, 1, 1, 2})
+		tableFactor(g, "bc", []int{b, c}, []float64{1, 3, 3, 1})
+		g.Finalize()
+		return g
+	}
+	g1 := build()
+	bp1 := NewBP(g1)
+	bp1.Run(RunOptions{MaxSweeps: 100})
+
+	g2 := build()
+	bp2 := NewBP(g2)
+	sched := &Schedule{
+		FactorGroups: [][]int{{1}, {0}}, // reversed order
+		VarGroups:    [][]int{{2, 1, 0}},
+	}
+	bp2.Run(RunOptions{MaxSweeps: 100, Schedule: sched})
+
+	for vid := 0; vid < 3; vid++ {
+		x, y := bp1.VarBelief(vid), bp2.VarBelief(vid)
+		for s := range x {
+			if !almostEqual(x[s], y[s], 1e-6) {
+				t.Errorf("var %d: flooding %v vs scheduled %v", vid, x, y)
+			}
+		}
+	}
+}
+
+func TestExactMarginalsClamped(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	b := g.AddVariable("b", 2)
+	tableFactor(g, "eq", []int{a, b}, []float64{4, 1, 1, 4})
+	g.Finalize()
+	g.Clamp(a, 0)
+	m := g.ExactMarginals()
+	if m[a][0] != 1 {
+		t.Errorf("clamped exact marginal = %v", m[a])
+	}
+	if !almostEqual(m[b][0], 0.8, 1e-12) {
+		t.Errorf("conditional marginal = %v, want [0.8 0.2]", m[b])
+	}
+}
+
+// TestTrainLearnsSignalWeight builds the paper's shape in miniature: a
+// set of binary "canonicalization" variables, each with one feature
+// factor whose feature value is a similarity score. Positive labels
+// co-occur with high similarity, so training must drive the shared
+// weight positive and make inference recover the labels.
+func TestTrainLearnsSignalWeight(t *testing.T) {
+	g := New()
+	wPos := g.AddWeight("sim", 0)
+
+	sims := []float64{0.9, 0.85, 0.8, 0.15, 0.1, 0.2}
+	labels := map[int]int{}
+	var vars []int
+	for i, sim := range sims {
+		v := g.AddVariable("x", 2)
+		vars = append(vars, v)
+		s := sim
+		g.AddFactor("F", []int{v}, []int{wPos}, func(states []int) []float64 {
+			if states[0] == 1 {
+				return []float64{s}
+			}
+			return []float64{1 - s}
+		})
+		if sim > 0.5 {
+			labels[v] = 1
+		} else {
+			labels[v] = 0
+		}
+		_ = i
+	}
+	g.Finalize()
+
+	res := Train(g, labels, TrainOptions{LearnRate: 0.5, MaxIters: 200, Tolerance: 1e-5})
+	if g.Weights()[wPos] <= 0 {
+		t.Fatalf("learned weight = %v, want > 0 (result %+v)", g.Weights()[wPos], res)
+	}
+
+	bp := NewBP(g)
+	bp.Run(RunOptions{})
+	decoded := bp.Decode()
+	for i, v := range vars {
+		if decoded[v] != labels[v] {
+			t.Errorf("var %d (sim %v): decoded %d, want %d", i, sims[i], decoded[v], labels[v])
+		}
+	}
+}
+
+func TestTrainZeroGradientAtUniform(t *testing.T) {
+	// With no labels clamped differently from the prior, clamped == free
+	// and the gradient is ~0: weights should not move.
+	g := New()
+	w := g.AddWeight("w", 0.3)
+	v := g.AddVariable("x", 2)
+	g.AddFactor("F", []int{v}, []int{w}, func(states []int) []float64 {
+		return []float64{0.5} // constant feature: uninformative
+	})
+	g.Finalize()
+	Train(g, map[int]int{}, TrainOptions{LearnRate: 0.5, MaxIters: 5})
+	if !almostEqual(g.Weights()[w], 0.3, 1e-9) {
+		t.Errorf("weight moved to %v on empty labels", g.Weights()[w])
+	}
+}
+
+func TestRefreshPotentialsAfterSetWeight(t *testing.T) {
+	g := New()
+	w := g.AddWeight("w", 0)
+	v := g.AddVariable("x", 2)
+	g.AddFactor("F", []int{v}, []int{w}, func(states []int) []float64 {
+		return []float64{float64(states[0])}
+	})
+	g.Finalize()
+	bp := NewBP(g)
+	bp.Run(RunOptions{})
+	b0 := bp.VarBelief(v)
+	if !almostEqual(b0[0], 0.5, 1e-9) {
+		t.Fatalf("zero weight should give uniform, got %v", b0)
+	}
+	g.SetWeight(w, 3)
+	g.RefreshPotentials()
+	bp.Reset()
+	bp.Run(RunOptions{})
+	b1 := bp.VarBelief(v)
+	want := math.Exp(3) / (1 + math.Exp(3))
+	if !almostEqual(b1[1], want, 1e-9) {
+		t.Errorf("belief = %v, want p(1) = %v", b1, want)
+	}
+}
+
+func TestUnclampAll(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	g.AddFactor("F", []int{a}, nil, func([]int) []float64 { return nil })
+	g.Finalize()
+	g.Clamp(a, 1)
+	if g.Clamped(a) != 1 {
+		t.Fatal("clamp not recorded")
+	}
+	g.UnclampAll()
+	if g.Clamped(a) != -1 {
+		t.Error("UnclampAll failed")
+	}
+}
+
+func TestAddFactorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on feature/weight length mismatch")
+		}
+	}()
+	g := New()
+	v := g.AddVariable("x", 2)
+	w := g.AddWeight("w", 0)
+	g.AddFactor("bad", []int{v}, []int{w}, func([]int) []float64 {
+		return []float64{1, 2} // two features, one weight
+	})
+}
+
+func TestTrainWithL2ShrinksWeights(t *testing.T) {
+	build := func(l2 float64) float64 {
+		g := New()
+		w := g.AddWeight("sim", 0)
+		for i := 0; i < 4; i++ {
+			v := g.AddVariable("x", 2)
+			g.AddFactor("F", []int{v}, []int{w}, func(states []int) []float64 {
+				if states[0] == 1 {
+					return []float64{0.9}
+				}
+				return []float64{0.1}
+			})
+			g.Clamp(v, 1)
+		}
+		g.Finalize()
+		labels := map[int]int{0: 1, 1: 1, 2: 1, 3: 1}
+		Train(g, labels, TrainOptions{LearnRate: 0.5, MaxIters: 60, L2: l2})
+		return g.Weights()[w]
+	}
+	free := build(0)
+	ridge := build(0.5)
+	if !(free > 0 && ridge > 0) {
+		t.Fatalf("weights should be positive: free=%v ridge=%v", free, ridge)
+	}
+	if ridge >= free {
+		t.Errorf("L2 should shrink the weight: free=%v ridge=%v", free, ridge)
+	}
+}
+
+func TestTrainResultConvergence(t *testing.T) {
+	g := New()
+	w := g.AddWeight("w", 0)
+	v := g.AddVariable("x", 2)
+	g.AddFactor("F", []int{v}, []int{w}, func(states []int) []float64 {
+		return []float64{float64(states[0])}
+	})
+	g.Finalize()
+	// Label matches the prior at weight 0 -> gradient small from the
+	// start; training should converge quickly and report it.
+	res := Train(g, map[int]int{}, TrainOptions{MaxIters: 5})
+	if !res.Converged {
+		t.Errorf("empty-label training should converge immediately: %+v", res)
+	}
+}
+
+func TestBPSweepsReported(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	tableFactor(g, "f", []int{a}, []float64{1, 2})
+	g.Finalize()
+	bp := NewBP(g)
+	bp.Run(RunOptions{MaxSweeps: 7})
+	if bp.Sweeps() == 0 || bp.Sweeps() > 7 {
+		t.Errorf("Sweeps = %d", bp.Sweeps())
+	}
+}
+
+func TestVariableAccessors(t *testing.T) {
+	g := New()
+	a := g.AddVariable("alpha", 3)
+	w := g.AddWeight("wt", 1.5)
+	f := g.AddFactor("fac", []int{a}, []int{w}, func([]int) []float64 { return []float64{0} })
+	g.Finalize()
+	if g.Variable(a).Card != 3 || g.Variable(a).ID() != a {
+		t.Error("variable accessors wrong")
+	}
+	if g.Factor(f).Name != "fac" || g.Factor(f).ID() != f {
+		t.Error("factor accessors wrong")
+	}
+	if g.Factor(f).NumAssignments() != 3 {
+		t.Errorf("NumAssignments = %d", g.Factor(f).NumAssignments())
+	}
+	if g.WeightName(w) != "wt" || g.Weights()[w] != 1.5 {
+		t.Error("weight accessors wrong")
+	}
+	if got := g.Variable(a).Factors(); len(got) != 1 || got[0] != f {
+		t.Errorf("Factors() = %v", got)
+	}
+}

@@ -1,0 +1,214 @@
+// Package factorgraph implements the probabilistic-graphical-model
+// substrate of JOCL: discrete factor graphs with exponential-linear
+// factor functions (Formula 1 of the paper), sum-product loopy belief
+// propagation with damping and caller-defined message schedules
+// (Section 3.4), marginal and factor beliefs, exact enumeration for
+// small graphs (used as a test oracle), and maximum-likelihood weight
+// learning via the clamped-vs-free expectation gradient (Formula 6).
+//
+// The package is generic: it knows nothing about canonicalization or
+// linking. JOCL's internal/core package builds its graph on top of it.
+package factorgraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Variable is a discrete random variable with Card states 0..Card-1.
+type Variable struct {
+	Name string
+	Card int
+
+	id      int
+	factors []int // factor ids touching this variable
+	clamp   int   // observed/clamped state, or -1
+}
+
+// ID returns the variable's id in its graph.
+func (v *Variable) ID() int { return v.id }
+
+// Factors returns the ids of factors adjacent to the variable.
+func (v *Variable) Factors() []int { return v.factors }
+
+// FeatureFunc computes the feature vector of a factor for one joint
+// assignment to its variables. It must be deterministic and must always
+// return the same number of features. Feature values conventionally lie
+// in [0, 1] (all of the paper's feature functions do).
+type FeatureFunc func(states []int) []float64
+
+// Factor couples a set of variables through an exponential-linear
+// potential: psi(x) = exp(sum_k w[WeightIDs[k]] * Features(x)[k]). The
+// per-factor normalizer Z_j from the paper cancels in message passing
+// (messages are renormalized), so it is not materialized.
+type Factor struct {
+	Name      string
+	Vars      []int // variable ids
+	WeightIDs []int // indexes into the graph's weight vector
+
+	id    int
+	cards []int // cached cardinalities of Vars
+	// feats[a][k]: feature k of assignment index a (mixed-radix over
+	// Vars). Precomputed once; features never change, only weights do.
+	feats [][]float64
+	// pot[a]: exp potential of assignment a for the current weights.
+	pot []float64
+}
+
+// ID returns the factor's id in its graph.
+func (f *Factor) ID() int { return f.id }
+
+// NumAssignments returns the number of joint assignments of the factor.
+func (f *Factor) NumAssignments() int { return len(f.pot) }
+
+// assignment decodes index a into the per-variable states buffer.
+func (f *Factor) assignment(a int, states []int) {
+	for i := 0; i < len(f.cards); i++ {
+		states[i] = a % f.cards[i]
+		a /= f.cards[i]
+	}
+}
+
+// index encodes per-variable states into an assignment index.
+func (f *Factor) index(states []int) int {
+	a, mult := 0, 1
+	for i, c := range f.cards {
+		a += states[i] * mult
+		mult *= c
+	}
+	return a
+}
+
+// Graph is a factor graph under construction or inference. Build the
+// structure with AddVariable / AddWeight / AddFactor, then call
+// Finalize once before running inference.
+type Graph struct {
+	vars    []*Variable
+	factors []*Factor
+
+	weights     []float64
+	weightNames []string
+
+	finalized bool
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddVariable adds a latent variable with the given state count and
+// returns its id.
+func (g *Graph) AddVariable(name string, card int) int {
+	if card < 1 {
+		panic(fmt.Sprintf("factorgraph: variable %q needs card >= 1, got %d", name, card))
+	}
+	v := &Variable{Name: name, Card: card, id: len(g.vars), clamp: -1}
+	g.vars = append(g.vars, v)
+	return v.id
+}
+
+// AddWeight registers a named weight with an initial value and returns
+// its id. Several factors may share a weight id (parameter tying): all
+// F1 factors share one alpha vector, exactly as in the paper.
+func (g *Graph) AddWeight(name string, init float64) int {
+	g.weights = append(g.weights, init)
+	g.weightNames = append(g.weightNames, name)
+	return len(g.weights) - 1
+}
+
+// AddFactor adds a factor over the given variables whose feature vector
+// is computed by feat and weighted by the registered weight ids. The
+// feature table is materialized immediately.
+func (g *Graph) AddFactor(name string, vars []int, weightIDs []int, feat FeatureFunc) int {
+	f := &Factor{
+		Name:      name,
+		Vars:      append([]int(nil), vars...),
+		WeightIDs: append([]int(nil), weightIDs...),
+		id:        len(g.factors),
+	}
+	f.cards = make([]int, len(vars))
+	n := 1
+	for i, vid := range vars {
+		f.cards[i] = g.vars[vid].Card
+		n *= f.cards[i]
+	}
+	f.feats = make([][]float64, n)
+	f.pot = make([]float64, n)
+	states := make([]int, len(vars))
+	for a := 0; a < n; a++ {
+		f.assignment(a, states)
+		fv := feat(states)
+		if len(fv) != len(weightIDs) {
+			panic(fmt.Sprintf("factorgraph: factor %q: %d features for %d weights", name, len(fv), len(weightIDs)))
+		}
+		f.feats[a] = append([]float64(nil), fv...)
+	}
+	g.factors = append(g.factors, f)
+	for _, vid := range vars {
+		g.vars[vid].factors = append(g.vars[vid].factors, f.id)
+	}
+	return f.id
+}
+
+// Finalize freezes the structure and computes initial potentials. It
+// must be called once, after all variables and factors are added.
+func (g *Graph) Finalize() {
+	g.finalized = true
+	g.RefreshPotentials()
+}
+
+// RefreshPotentials recomputes every factor's potential table from the
+// current weights. Call after changing weights.
+func (g *Graph) RefreshPotentials() {
+	for _, f := range g.factors {
+		for a := range f.pot {
+			s := 0.0
+			for k, wid := range f.WeightIDs {
+				s += g.weights[wid] * f.feats[a][k]
+			}
+			f.pot[a] = math.Exp(s)
+		}
+	}
+}
+
+// NumVariables returns the number of variables.
+func (g *Graph) NumVariables() int { return len(g.vars) }
+
+// NumFactors returns the number of factors.
+func (g *Graph) NumFactors() int { return len(g.factors) }
+
+// Variable returns the variable with id.
+func (g *Graph) Variable(id int) *Variable { return g.vars[id] }
+
+// Factor returns the factor with id.
+func (g *Graph) Factor(id int) *Factor { return g.factors[id] }
+
+// Weights returns the live weight slice (callers may read; use
+// SetWeight to mutate so potentials can be refreshed in bulk).
+func (g *Graph) Weights() []float64 { return g.weights }
+
+// WeightName returns the registered name of a weight.
+func (g *Graph) WeightName(id int) string { return g.weightNames[id] }
+
+// SetWeight updates one weight value. RefreshPotentials must be called
+// before the next inference run.
+func (g *Graph) SetWeight(id int, v float64) { g.weights[id] = v }
+
+// Clamp fixes a variable to a state (for observed evidence or for the
+// clamped learning pass). Pass state -1 to unclamp.
+func (g *Graph) Clamp(varID, state int) {
+	v := g.vars[varID]
+	if state >= v.Card {
+		panic(fmt.Sprintf("factorgraph: clamp %q to %d, card %d", v.Name, state, v.Card))
+	}
+	v.clamp = state
+}
+
+// UnclampAll removes every clamp, returning all variables to latent.
+func (g *Graph) UnclampAll() {
+	for _, v := range g.vars {
+		v.clamp = -1
+	}
+}
+
+// Clamped returns the clamped state of a variable, or -1.
+func (g *Graph) Clamped(varID int) int { return g.vars[varID].clamp }

@@ -1,0 +1,99 @@
+package factorgraph
+
+import "math"
+
+// TrainOptions configures maximum-likelihood weight learning.
+type TrainOptions struct {
+	LearnRate float64 // gradient-ascent step (paper: 0.05)
+	MaxIters  int     // maximum gradient iterations (paper: ~20 suffice)
+	Tolerance float64 // stop when the gradient inf-norm drops below this
+	BP        RunOptions
+	// L2 is an optional ridge penalty keeping weights bounded on small
+	// validation sets; 0 disables it (the paper does not regularize).
+	L2 float64
+}
+
+func (o *TrainOptions) defaults() {
+	if o.LearnRate == 0 {
+		o.LearnRate = 0.05
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 20
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+}
+
+// TrainResult reports the outcome of Train.
+type TrainResult struct {
+	Iters     int
+	GradNorm  float64 // final gradient inf-norm
+	Converged bool
+}
+
+// ExpectedFeatures runs BP with the current clamps and integrates every
+// factor's feature vector against its belief, accumulating per-weight
+// expectations E[Q_k]. The caller chooses the clamping (labels for the
+// clamped pass, none for the free pass).
+func ExpectedFeatures(g *Graph, bp *BP, opt RunOptions) []float64 {
+	bp.Reset()
+	bp.Run(opt)
+	exp := make([]float64, len(g.weights))
+	for _, f := range g.factors {
+		b := bp.FactorBelief(f.id)
+		for a, p := range b {
+			if p == 0 {
+				continue
+			}
+			for k, wid := range f.WeightIDs {
+				exp[wid] += p * f.feats[a][k]
+			}
+		}
+	}
+	return exp
+}
+
+// Train maximizes the conditional log-likelihood of the labeled
+// variables by gradient ascent (Formula 6 of the paper): the gradient
+// of each weight is the clamped expectation of its feature sum minus
+// the free expectation. labels maps variable ids to their observed
+// states; all other variables stay latent in both passes. Pre-existing
+// clamps are cleared. On return the graph holds the learned weights and
+// no clamps.
+func Train(g *Graph, labels map[int]int, opt TrainOptions) TrainResult {
+	opt.defaults()
+	bp := NewBP(g)
+	res := TrainResult{}
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		res.Iters = iter + 1
+
+		// Clamped pass: evidence fixed to the labels.
+		g.UnclampAll()
+		for vid, s := range labels {
+			g.Clamp(vid, s)
+		}
+		clamped := ExpectedFeatures(g, bp, opt.BP)
+
+		// Free pass: everything latent.
+		g.UnclampAll()
+		free := ExpectedFeatures(g, bp, opt.BP)
+
+		norm := 0.0
+		for k := range g.weights {
+			grad := clamped[k] - free[k] - opt.L2*g.weights[k]
+			g.weights[k] += opt.LearnRate * grad
+			if a := math.Abs(grad); a > norm {
+				norm = a
+			}
+		}
+		g.RefreshPotentials()
+		res.GradNorm = norm
+		if norm < opt.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	g.UnclampAll()
+	return res
+}

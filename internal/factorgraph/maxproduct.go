@@ -1,0 +1,231 @@
+package factorgraph
+
+import "math"
+
+// MaxProduct runs loopy max-product (belief revision) message passing
+// and returns the approximate MAP assignment. Where sum-product
+// marginals answer "how probable is each state", max-product answers
+// "which joint assignment is most probable" — on tree graphs it is
+// exact (Viterbi), on loopy graphs a strong local optimum. JOCL's
+// decoding uses max-marginals from sum-product (as the paper
+// describes); MaxProduct is provided for callers that want a single
+// coherent joint assignment, e.g. when downstream consumers cannot
+// tolerate marginally-inconsistent decisions.
+type MaxProduct struct {
+	g     *Graph
+	msgFV [][][]float64
+	msgVF [][][]float64
+	pos   []map[int]int
+}
+
+// NewMaxProduct allocates max-product state for a finalized graph.
+func NewMaxProduct(g *Graph) *MaxProduct {
+	if !g.finalized {
+		panic("factorgraph: NewMaxProduct before Finalize")
+	}
+	mp := &MaxProduct{g: g}
+	mp.msgFV = make([][][]float64, len(g.factors))
+	mp.msgVF = make([][][]float64, len(g.factors))
+	for fi, f := range g.factors {
+		mp.msgFV[fi] = make([][]float64, len(f.Vars))
+		mp.msgVF[fi] = make([][]float64, len(f.Vars))
+		for i, vid := range f.Vars {
+			card := g.vars[vid].Card
+			mp.msgFV[fi][i] = uniform(card)
+			mp.msgVF[fi][i] = uniform(card)
+		}
+	}
+	mp.pos = make([]map[int]int, len(g.vars))
+	for _, v := range g.vars {
+		mp.pos[v.id] = make(map[int]int, len(v.factors))
+	}
+	for _, f := range g.factors {
+		for i, vid := range f.Vars {
+			mp.pos[vid][f.id] = i
+		}
+	}
+	mp.resetClamps()
+	return mp
+}
+
+func uniform(card int) []float64 {
+	m := make([]float64, card)
+	for i := range m {
+		m[i] = 1.0 / float64(card)
+	}
+	return m
+}
+
+func (mp *MaxProduct) resetClamps() {
+	for fi, f := range mp.g.factors {
+		for i, vid := range f.Vars {
+			v := mp.g.vars[vid]
+			if v.clamp >= 0 {
+				msg := mp.msgVF[fi][i]
+				for s := range msg {
+					msg[s] = 0
+				}
+				msg[v.clamp] = 1
+			}
+		}
+	}
+}
+
+// Run iterates max-product sweeps and returns the decoded assignment.
+func (mp *MaxProduct) Run(opt RunOptions) []int {
+	opt.defaults()
+	g := mp.g
+	prev := make([]int, len(g.vars))
+	for i := range prev {
+		prev[i] = -1
+	}
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		// Factor -> variable: maximize over the other variables.
+		for fi, f := range g.factors {
+			n := len(f.Vars)
+			states := make([]int, n)
+			for i := range f.Vars {
+				out := make([]float64, f.cards[i])
+				for a := range f.pot {
+					f.assignment(a, states)
+					p := f.pot[a]
+					for j := 0; j < n; j++ {
+						if j == i {
+							continue
+						}
+						p *= mp.msgVF[fi][j][states[j]]
+					}
+					if p > out[states[i]] {
+						out[states[i]] = p
+					}
+				}
+				normalize(out)
+				if opt.Damping > 0 {
+					old := mp.msgFV[fi][i]
+					for s := range out {
+						out[s] = opt.Damping*old[s] + (1-opt.Damping)*out[s]
+					}
+					normalize(out)
+				}
+				copy(mp.msgFV[fi][i], out)
+			}
+		}
+		// Variable -> factor.
+		for _, v := range g.vars {
+			for _, fid := range v.factors {
+				i := mp.pos[v.id][fid]
+				msg := mp.msgVF[fid][i]
+				if v.clamp >= 0 {
+					for s := range msg {
+						msg[s] = 0
+					}
+					msg[v.clamp] = 1
+					continue
+				}
+				for s := 0; s < v.Card; s++ {
+					p := 1.0
+					for _, ofid := range v.factors {
+						if ofid == fid {
+							continue
+						}
+						p *= mp.msgFV[ofid][mp.pos[v.id][ofid]][s]
+					}
+					msg[s] = p
+				}
+				normalize(msg)
+			}
+		}
+		decoded := mp.Decode()
+		if equalInts(decoded, prev) {
+			return decoded
+		}
+		prev = decoded
+	}
+	return prev
+}
+
+// Decode returns the current max-belief state of every variable.
+func (mp *MaxProduct) Decode() []int {
+	out := make([]int, len(mp.g.vars))
+	for _, v := range mp.g.vars {
+		if v.clamp >= 0 {
+			out[v.id] = v.clamp
+			continue
+		}
+		best, arg := -1.0, 0
+		for s := 0; s < v.Card; s++ {
+			p := 1.0
+			for _, fid := range v.factors {
+				p *= mp.msgFV[fid][mp.pos[v.id][fid]][s]
+			}
+			if p > best {
+				best, arg = p, s
+			}
+		}
+		out[v.id] = arg
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactMAP computes the exact MAP assignment by brute-force
+// enumeration (a test oracle; exponential in the number of variables).
+func (g *Graph) ExactMAP() ([]int, float64) {
+	states := make([]int, len(g.vars))
+	best := make([]int, len(g.vars))
+	bestScore := math.Inf(-1)
+	scratch := make([]int, 8)
+	deepest := make([][]int, len(g.vars))
+	for _, f := range g.factors {
+		d := 0
+		for _, vid := range f.Vars {
+			if vid > d {
+				d = vid
+			}
+		}
+		deepest[d] = append(deepest[d], f.id)
+	}
+	var rec func(i int, logp float64)
+	rec = func(i int, logp float64) {
+		if i == len(g.vars) {
+			if logp > bestScore {
+				bestScore = logp
+				copy(best, states)
+			}
+			return
+		}
+		v := g.vars[i]
+		lo, hi := 0, v.Card
+		if v.clamp >= 0 {
+			lo, hi = v.clamp, v.clamp+1
+		}
+		for s := lo; s < hi; s++ {
+			states[i] = s
+			q := logp
+			for _, fid := range deepest[i] {
+				f := g.factors[fid]
+				if len(f.Vars) > len(scratch) {
+					scratch = make([]int, len(f.Vars))
+				}
+				for k, vid := range f.Vars {
+					scratch[k] = states[vid]
+				}
+				q += math.Log(f.pot[f.index(scratch[:len(f.Vars)])] + 1e-300)
+			}
+			rec(i+1, q)
+		}
+	}
+	rec(0, 0)
+	return best, bestScore
+}

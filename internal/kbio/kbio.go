@@ -1,0 +1,262 @@
+// Package kbio reads and writes the on-disk formats the command-line
+// tools exchange: tab-separated entity, relation, fact, and anchor
+// tables, line-oriented corpora, and paraphrase group files. All
+// formats are plain text so data sets can be inspected and edited with
+// standard tools.
+//
+// Formats (one record per line, columns tab-separated, '#' comments
+// and blank lines ignored):
+//
+//	entities.tsv    id  name  alias|alias|...  type|type|...
+//	relations.tsv   id  name  category  alias|alias|...
+//	facts.tsv       subjID  relID  objID
+//	anchors.tsv     surface  entityID  count
+//	corpus.txt      space-separated tokens, one sentence per line
+//	paraphrases.txt phrase|phrase|... , one group per line
+package kbio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ckb"
+)
+
+func scan(r io.Reader, fn func(line int, cols []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := strings.TrimRight(sc.Text(), "\r\n")
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		if err := fn(n, strings.Split(raw, "\t")); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, "|")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ReadEntities parses an entities table.
+func ReadEntities(r io.Reader) ([]ckb.Entity, error) {
+	var out []ckb.Entity
+	err := scan(r, func(line int, cols []string) error {
+		if len(cols) < 2 {
+			return fmt.Errorf("kbio: entities line %d: want >= 2 columns, got %d", line, len(cols))
+		}
+		e := ckb.Entity{ID: cols[0], Name: cols[1]}
+		if len(cols) > 2 {
+			e.Aliases = splitList(cols[2])
+		}
+		if len(cols) > 3 {
+			e.Types = splitList(cols[3])
+		}
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// WriteEntities writes an entities table.
+func WriteEntities(w io.Writer, es []ckb.Entity) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range es {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
+			e.ID, e.Name, strings.Join(e.Aliases, "|"), strings.Join(e.Types, "|")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRelations parses a relations table.
+func ReadRelations(r io.Reader) ([]ckb.Relation, error) {
+	var out []ckb.Relation
+	err := scan(r, func(line int, cols []string) error {
+		if len(cols) < 3 {
+			return fmt.Errorf("kbio: relations line %d: want >= 3 columns, got %d", line, len(cols))
+		}
+		rel := ckb.Relation{ID: cols[0], Name: cols[1], Category: cols[2]}
+		if len(cols) > 3 {
+			rel.Aliases = splitList(cols[3])
+		}
+		out = append(out, rel)
+		return nil
+	})
+	return out, err
+}
+
+// WriteRelations writes a relations table.
+func WriteRelations(w io.Writer, rs []ckb.Relation) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
+			r.ID, r.Name, r.Category, strings.Join(r.Aliases, "|")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFacts parses a facts table.
+func ReadFacts(r io.Reader) ([]ckb.Fact, error) {
+	var out []ckb.Fact
+	err := scan(r, func(line int, cols []string) error {
+		if len(cols) != 3 {
+			return fmt.Errorf("kbio: facts line %d: want 3 columns, got %d", line, len(cols))
+		}
+		out = append(out, ckb.Fact{Subj: cols[0], Rel: cols[1], Obj: cols[2]})
+		return nil
+	})
+	return out, err
+}
+
+// WriteFacts writes a facts table.
+func WriteFacts(w io.Writer, fs []ckb.Fact) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fs {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", f.Subj, f.Rel, f.Obj); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Anchor is one anchor-statistics record.
+type Anchor struct {
+	Surface string
+	Entity  string
+	Count   int
+}
+
+// ReadAnchors parses an anchors table.
+func ReadAnchors(r io.Reader) ([]Anchor, error) {
+	var out []Anchor
+	err := scan(r, func(line int, cols []string) error {
+		if len(cols) != 3 {
+			return fmt.Errorf("kbio: anchors line %d: want 3 columns, got %d", line, len(cols))
+		}
+		n, err := strconv.Atoi(cols[2])
+		if err != nil {
+			return fmt.Errorf("kbio: anchors line %d: bad count %q", line, cols[2])
+		}
+		out = append(out, Anchor{Surface: cols[0], Entity: cols[1], Count: n})
+		return nil
+	})
+	return out, err
+}
+
+// WriteAnchors writes an anchors table.
+func WriteAnchors(w io.Writer, as []Anchor) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range as {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\n", a.Surface, a.Entity, a.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus parses a corpus file: one sentence per line, tokens
+// separated by spaces.
+func ReadCorpus(r io.Reader) ([][]string, error) {
+	var out [][]string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, strings.Fields(line))
+	}
+	return out, sc.Err()
+}
+
+// WriteCorpus writes a corpus file.
+func WriteCorpus(w io.Writer, sentences [][]string) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range sentences {
+		if _, err := fmt.Fprintln(bw, strings.Join(s, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParaphrases parses a paraphrase-groups file: one group per line,
+// phrases separated by '|'.
+func ReadParaphrases(r io.Reader) ([][]string, error) {
+	var out [][]string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if g := splitList(line); len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out, sc.Err()
+}
+
+// WriteParaphrases writes a paraphrase-groups file.
+func WriteParaphrases(w io.Writer, groups [][]string) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range groups {
+		if _, err := fmt.Fprintln(bw, strings.Join(g, "|")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLabels parses a two-column (key, value) label table; the value
+// may be empty (NIL).
+func ReadLabels(r io.Reader) (map[string]string, error) {
+	out := map[string]string{}
+	err := scan(r, func(line int, cols []string) error {
+		switch len(cols) {
+		case 1:
+			out[cols[0]] = ""
+		case 2:
+			out[cols[0]] = cols[1]
+		default:
+			return fmt.Errorf("kbio: labels line %d: want 1 or 2 columns, got %d", line, len(cols))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// WriteLabels writes a two-column label table in sorted key order.
+func WriteLabels(w io.Writer, labels map[string]string, keys []string) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", k, labels[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,141 @@
+package kbio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ckb"
+)
+
+func TestEntitiesRoundTrip(t *testing.T) {
+	in := []ckb.Entity{
+		{ID: "e1", Name: "maryland", Aliases: []string{"maryland", "MD"}, Types: []string{"location"}},
+		{ID: "e2", Name: "umd", Aliases: nil, Types: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteEntities(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEntities(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestRelationsRoundTrip(t *testing.T) {
+	in := []ckb.Relation{
+		{ID: "r1", Name: "location.contained_by", Category: "location", Aliases: []string{"located in", "is in"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRelations(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRelations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	in := []ckb.Fact{{Subj: "e1", Rel: "r1", Obj: "e2"}}
+	var buf bytes.Buffer
+	if err := WriteFacts(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFacts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestAnchorsRoundTrip(t *testing.T) {
+	in := []Anchor{{Surface: "Maryland", Entity: "e1", Count: 90}}
+	var buf bytes.Buffer
+	if err := WriteAnchors(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnchors(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCorpusAndParaphrases(t *testing.T) {
+	sents := [][]string{{"a", "b"}, {"c"}}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, sents); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sents) {
+		t.Errorf("corpus mismatch: %v", got)
+	}
+
+	groups := [][]string{{"is in", "located in"}, {"member of"}}
+	buf.Reset()
+	if err := WriteParaphrases(&buf, groups); err != nil {
+		t.Fatal(err)
+	}
+	gotG, err := ReadParaphrases(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotG, groups) {
+		t.Errorf("paraphrases mismatch: %v", gotG)
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	labels := map[string]string{"UMD": "e4", "port foo": ""}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels, []string{"UMD", "port foo"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, labels) {
+		t.Errorf("labels mismatch: %v", got)
+	}
+}
+
+func TestCommentsAndBlanksSkipped(t *testing.T) {
+	in := "# comment\n\ne1\tname\n"
+	es, err := ReadEntities(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 || es[0].ID != "e1" {
+		t.Errorf("got %+v", es)
+	}
+}
+
+func TestMalformedRows(t *testing.T) {
+	if _, err := ReadEntities(strings.NewReader("justone\n")); err == nil {
+		t.Error("want error for 1-column entity row")
+	}
+	if _, err := ReadFacts(strings.NewReader("a\tb\n")); err == nil {
+		t.Error("want error for 2-column fact row")
+	}
+	if _, err := ReadAnchors(strings.NewReader("s\te\tnotanumber\n")); err == nil {
+		t.Error("want error for non-numeric anchor count")
+	}
+}

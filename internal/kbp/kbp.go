@@ -1,0 +1,94 @@
+// Package kbp stands in for the Stanford Knowledge Base Population
+// slot-filling system the paper uses as an RP canonicalization signal:
+// a classifier that maps a relation phrase to a CKB relation category,
+// with two RPs counted equivalent (Sim_KBP = 1) when their predicted
+// categories match. The real KBP system is an unavailable external
+// tool; this classifier reproduces its observable interface — including
+// its imperfect coverage — by matching normalized RPs against a pattern
+// lexicon derived from the CKB's relation aliases.
+package kbp
+
+import (
+	"repro/internal/ckb"
+	"repro/internal/text"
+)
+
+// Classifier maps relation phrases to relation categories.
+type Classifier struct {
+	// exact maps a normalized alias to its category.
+	exact map[string]string
+	// tokens maps a normalized content token to the categories whose
+	// aliases contain it; used for partial matches.
+	tokens map[string]map[string]int
+}
+
+// NewClassifier builds a classifier from the CKB's relation inventory.
+func NewClassifier(store *ckb.Store) *Classifier {
+	c := &Classifier{
+		exact:  make(map[string]string),
+		tokens: make(map[string]map[string]int),
+	}
+	for _, rid := range store.RelationIDs() {
+		r := store.Relation(rid)
+		for _, alias := range r.Aliases {
+			key := text.Normalize(alias)
+			if _, taken := c.exact[key]; !taken {
+				c.exact[key] = r.Category
+			}
+			for _, tok := range text.NormalizeTokens(alias) {
+				m := c.tokens[tok]
+				if m == nil {
+					m = make(map[string]int)
+					c.tokens[tok] = m
+				}
+				m[r.Category]++
+			}
+		}
+	}
+	return c
+}
+
+// Category predicts the relation category of rp, or "" when the phrase
+// is out of the classifier's coverage (no alias match and no unique
+// dominant token category) — modeling KBP's abstention on unseen
+// relations.
+func (c *Classifier) Category(rp string) string {
+	key := text.Normalize(rp)
+	if cat, ok := c.exact[key]; ok {
+		return cat
+	}
+	// Partial match: vote by content tokens; return the category only
+	// when it wins strictly (ties = abstain).
+	votes := make(map[string]int)
+	for _, tok := range text.NormalizeTokens(rp) {
+		for cat, n := range c.tokens[tok] {
+			votes[cat] += n
+		}
+	}
+	best, bestN, tie := "", 0, false
+	for cat, n := range votes {
+		switch {
+		case n > bestN:
+			best, bestN, tie = cat, n, false
+		case n == bestN && cat != best:
+			tie = true
+		}
+	}
+	if bestN == 0 || tie {
+		return ""
+	}
+	return best
+}
+
+// Sim returns Sim_KBP(a, b): 1 when both RPs are classified into the
+// same non-empty category, else 0.
+func (c *Classifier) Sim(a, b string) float64 {
+	ca := c.Category(a)
+	if ca == "" {
+		return 0
+	}
+	if ca == c.Category(b) {
+		return 1
+	}
+	return 0
+}

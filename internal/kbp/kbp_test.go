@@ -1,0 +1,72 @@
+package kbp
+
+import (
+	"testing"
+
+	"repro/internal/ckb"
+)
+
+func classifier(t *testing.T) *Classifier {
+	t.Helper()
+	store, err := ckb.NewStore(
+		[]ckb.Entity{{ID: "e1", Name: "x"}},
+		[]ckb.Relation{
+			{ID: "r1", Name: "person.employment", Category: "employment",
+				Aliases: []string{"worked for", "was working at", "is employed by"}},
+			{ID: "r2", Name: "location.contained_by", Category: "location",
+				Aliases: []string{"located in", "is in", "sits in"}},
+			{ID: "r3", Name: "org.membership", Category: "membership",
+				Aliases: []string{"member of", "belongs to"}},
+		},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewClassifier(store)
+}
+
+func TestExactAliasCategory(t *testing.T) {
+	c := classifier(t)
+	if got := c.Category("worked for"); got != "employment" {
+		t.Errorf("Category = %q, want employment", got)
+	}
+	// Morphological variants of an alias also hit exactly.
+	if got := c.Category("works for"); got != "employment" {
+		t.Errorf("Category(works for) = %q, want employment", got)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// The paper: Sim_KBP("was working at", "worked for") = 1.
+	c := classifier(t)
+	if got := c.Sim("was working at", "worked for"); got != 1 {
+		t.Errorf("Sim = %v, want 1", got)
+	}
+}
+
+func TestDifferentCategories(t *testing.T) {
+	c := classifier(t)
+	if got := c.Sim("worked for", "located in"); got != 0 {
+		t.Errorf("cross-category Sim = %v, want 0", got)
+	}
+}
+
+func TestAbstention(t *testing.T) {
+	c := classifier(t)
+	if got := c.Category("completely unrelated phrase"); got != "" {
+		t.Errorf("Category = %q, want abstention", got)
+	}
+	// Abstained phrases never match anything, including themselves.
+	if got := c.Sim("zzz qqq", "zzz qqq"); got != 0 {
+		t.Errorf("Sim of uncovered = %v, want 0", got)
+	}
+}
+
+func TestPartialTokenMatch(t *testing.T) {
+	c := classifier(t)
+	// "employed" appears only in employment aliases.
+	if got := c.Category("employed at the firm"); got != "employment" {
+		t.Errorf("partial match Category = %q, want employment", got)
+	}
+}

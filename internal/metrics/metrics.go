@@ -1,0 +1,250 @@
+// Package metrics implements the paper's evaluation measures: the
+// macro, micro, and pairwise precision/recall/F1 of a clustering
+// against gold groups (the standard OKB-canonicalization metrics of
+// Galárraga et al. 2014, also used by CESI and SIST), their average F1
+// summary, and the linking accuracy used for the OKB entity/relation
+// linking tasks.
+package metrics
+
+// Clustering evaluation operates on element keys. Predicted clusters
+// are given extensionally; gold is a map from element key to its gold
+// group id. Elements without a gold label are ignored (the benchmarks
+// label only a sample of groups, as the paper does for NYTimes2018).
+
+// PRF1 bundles precision, recall, and their harmonic mean.
+type PRF1 struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+func prf1(p, r float64) PRF1 {
+	f := 0.0
+	if p+r > 0 {
+		f = 2 * p * r / (p + r)
+	}
+	return PRF1{Precision: p, Recall: r, F1: f}
+}
+
+// ClusterScores holds the three clustering metrics plus the average F1
+// the paper reports as the overall canonicalization quality.
+type ClusterScores struct {
+	Macro     PRF1
+	Micro     PRF1
+	Pairwise  PRF1
+	AverageF1 float64
+}
+
+// filterLabeled drops unlabeled elements from the predicted clusters
+// and materializes the gold clusters.
+func filterLabeled(pred [][]string, gold map[string]string) (p [][]string, g [][]string) {
+	for _, c := range pred {
+		var kept []string
+		for _, e := range c {
+			if _, ok := gold[e]; ok {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) > 0 {
+			p = append(p, kept)
+		}
+	}
+	byGold := map[string][]string{}
+	var order []string
+	seen := map[string]bool{}
+	// Iterate predicted clusters first for deterministic order, then the
+	// remaining gold elements (elements the prediction missed entirely
+	// still belong to gold clusters).
+	for _, c := range p {
+		for _, e := range c {
+			gid := gold[e]
+			if !seen[gid] {
+				seen[gid] = true
+				order = append(order, gid)
+			}
+			byGold[gid] = append(byGold[gid], e)
+		}
+	}
+	for _, gid := range order {
+		g = append(g, byGold[gid])
+	}
+	return p, g
+}
+
+// Evaluate scores predicted clusters against gold labels.
+func Evaluate(pred [][]string, gold map[string]string) ClusterScores {
+	p, g := filterLabeled(pred, gold)
+	var s ClusterScores
+	s.Macro = prf1(macroPrecision(p, gold), macroRecall(g, p))
+	s.Micro = prf1(microPrecision(p, gold), microRecall(g, p))
+	s.Pairwise = prf1(pairwisePR(p, gold))
+	s.AverageF1 = (s.Macro.F1 + s.Micro.F1 + s.Pairwise.F1) / 3
+	return s
+}
+
+// macroPrecision: fraction of predicted clusters that are pure (all
+// members share one gold group).
+func macroPrecision(pred [][]string, gold map[string]string) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	pure := 0
+	for _, c := range pred {
+		ok := true
+		for _, e := range c[1:] {
+			if gold[e] != gold[c[0]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pure++
+		}
+	}
+	return float64(pure) / float64(len(pred))
+}
+
+// macroRecall: fraction of gold clusters entirely contained in a single
+// predicted cluster.
+func macroRecall(gold [][]string, pred [][]string) float64 {
+	if len(gold) == 0 {
+		return 0
+	}
+	clusterOf := map[string]int{}
+	for ci, c := range pred {
+		for _, e := range c {
+			clusterOf[e] = ci
+		}
+	}
+	covered := 0
+	for _, gc := range gold {
+		ci, ok := clusterOf[gc[0]]
+		if !ok {
+			continue
+		}
+		whole := true
+		for _, e := range gc[1:] {
+			if cj, ok2 := clusterOf[e]; !ok2 || cj != ci {
+				whole = false
+				break
+			}
+		}
+		if whole {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(gold))
+}
+
+// microPrecision: purity — each predicted cluster votes with its
+// majority gold group.
+func microPrecision(pred [][]string, gold map[string]string) float64 {
+	total, hit := 0, 0
+	for _, c := range pred {
+		counts := map[string]int{}
+		for _, e := range c {
+			counts[gold[e]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		hit += best
+		total += len(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// microRecall: inverse purity — each gold cluster votes with the
+// predicted cluster holding most of its members.
+func microRecall(gold [][]string, pred [][]string) float64 {
+	clusterOf := map[string]int{}
+	for ci, c := range pred {
+		for _, e := range c {
+			clusterOf[e] = ci
+		}
+	}
+	total, hit := 0, 0
+	for _, gc := range gold {
+		counts := map[int]int{}
+		for _, e := range gc {
+			if ci, ok := clusterOf[e]; ok {
+				counts[ci]++
+			}
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		hit += best
+		total += len(gc)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// pairwisePR: precision and recall over same-cluster element pairs.
+func pairwisePR(pred [][]string, gold map[string]string) (float64, float64) {
+	var predPairs, hitPairs float64
+	for _, c := range pred {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				predPairs++
+				if gold[c[i]] == gold[c[j]] {
+					hitPairs++
+				}
+			}
+		}
+	}
+	// Gold pairs restricted to elements present in the prediction.
+	present := map[string]bool{}
+	for _, c := range pred {
+		for _, e := range c {
+			present[e] = true
+		}
+	}
+	byGold := map[string][]string{}
+	for e := range present {
+		byGold[gold[e]] = append(byGold[gold[e]], e)
+	}
+	var goldPairs float64
+	for _, gc := range byGold {
+		n := float64(len(gc))
+		goldPairs += n * (n - 1) / 2
+	}
+	p, r := 0.0, 0.0
+	if predPairs > 0 {
+		p = hitPairs / predPairs
+	}
+	if goldPairs > 0 {
+		r = hitPairs / goldPairs
+	}
+	return p, r
+}
+
+// Accuracy computes linking accuracy: the fraction of gold-labeled
+// items whose prediction matches the gold target. Items predicted as
+// "" (NIL) are correct exactly when the gold is also "" — but items
+// absent from pred count as wrong, distinguishing "predicted NIL" from
+// "no prediction".
+func Accuracy(pred map[string]string, gold map[string]string) float64 {
+	if len(gold) == 0 {
+		return 0
+	}
+	correct := 0
+	for k, g := range gold {
+		if p, ok := pred[k]; ok && p == g {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(gold))
+}

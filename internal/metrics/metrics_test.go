@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPerfectClustering(t *testing.T) {
+	pred := [][]string{{"a", "b"}, {"c"}, {"d", "e", "f"}}
+	gold := map[string]string{"a": "1", "b": "1", "c": "2", "d": "3", "e": "3", "f": "3"}
+	s := Evaluate(pred, gold)
+	for name, v := range map[string]float64{
+		"macroF1": s.Macro.F1, "microF1": s.Micro.F1, "pairF1": s.Pairwise.F1, "avg": s.AverageF1,
+	} {
+		if !approx(v, 1) {
+			t.Errorf("%s = %v, want 1", name, v)
+		}
+	}
+}
+
+func TestAllSingletons(t *testing.T) {
+	pred := [][]string{{"a"}, {"b"}, {"c"}, {"d"}}
+	gold := map[string]string{"a": "1", "b": "1", "c": "2", "d": "2"}
+	s := Evaluate(pred, gold)
+	// Every predicted cluster is trivially pure.
+	if !approx(s.Macro.Precision, 1) {
+		t.Errorf("macro precision = %v, want 1", s.Macro.Precision)
+	}
+	// No gold cluster is fully merged.
+	if !approx(s.Macro.Recall, 0) {
+		t.Errorf("macro recall = %v, want 0", s.Macro.Recall)
+	}
+	// No predicted pairs at all.
+	if !approx(s.Pairwise.Precision, 0) || !approx(s.Pairwise.Recall, 0) {
+		t.Errorf("pairwise = %+v, want 0/0", s.Pairwise)
+	}
+}
+
+func TestOneBigCluster(t *testing.T) {
+	pred := [][]string{{"a", "b", "c", "d"}}
+	gold := map[string]string{"a": "1", "b": "1", "c": "2", "d": "2"}
+	s := Evaluate(pred, gold)
+	if !approx(s.Macro.Precision, 0) {
+		t.Errorf("macro precision = %v, want 0 (impure cluster)", s.Macro.Precision)
+	}
+	if !approx(s.Macro.Recall, 1) {
+		t.Errorf("macro recall = %v, want 1 (all gold clusters inside)", s.Macro.Recall)
+	}
+	// Micro precision: majority group is 2 of 4.
+	if !approx(s.Micro.Precision, 0.5) {
+		t.Errorf("micro precision = %v, want 0.5", s.Micro.Precision)
+	}
+	if !approx(s.Micro.Recall, 1) {
+		t.Errorf("micro recall = %v, want 1", s.Micro.Recall)
+	}
+	// Pairwise: 6 predicted pairs, 2 correct; gold pairs 2, both found.
+	if !approx(s.Pairwise.Precision, 2.0/6) {
+		t.Errorf("pairwise precision = %v, want 1/3", s.Pairwise.Precision)
+	}
+	if !approx(s.Pairwise.Recall, 1) {
+		t.Errorf("pairwise recall = %v, want 1", s.Pairwise.Recall)
+	}
+}
+
+func TestUnlabeledIgnored(t *testing.T) {
+	pred := [][]string{{"a", "zz"}, {"b", "qq"}}
+	gold := map[string]string{"a": "1", "b": "1"}
+	s := Evaluate(pred, gold)
+	// zz and qq are unlabeled: clusters reduce to {a}, {b}: pure
+	// singletons, recall 0.
+	if !approx(s.Macro.Precision, 1) || !approx(s.Macro.Recall, 0) {
+		t.Errorf("macro = %+v", s.Macro)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	s := Evaluate(nil, map[string]string{"a": "1"})
+	if s.AverageF1 != 0 {
+		t.Errorf("empty prediction avg F1 = %v", s.AverageF1)
+	}
+	s = Evaluate([][]string{{"a"}}, map[string]string{})
+	if s.AverageF1 != 0 {
+		t.Errorf("empty gold avg F1 = %v", s.AverageF1)
+	}
+}
+
+func TestF1HarmonicMean(t *testing.T) {
+	got := prf1(0.5, 1.0)
+	if !approx(got.F1, 2.0/3) {
+		t.Errorf("F1 = %v, want 2/3", got.F1)
+	}
+	if prf1(0, 0).F1 != 0 {
+		t.Error("F1(0,0) must be 0, not NaN")
+	}
+}
+
+// TestMetricsProperty: scores are in [0,1]; refining the gold clustering
+// into the prediction keeps macro/micro precision at 1.
+func TestMetricsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		gold := map[string]string{}
+		byGroup := map[string][]string{}
+		for i := 0; i < n; i++ {
+			e := fmt.Sprintf("e%d", i)
+			g := fmt.Sprintf("g%d", rng.Intn(5))
+			gold[e] = g
+			byGroup[g] = append(byGroup[g], e)
+		}
+		// Prediction = random refinement of gold (split each group).
+		var pred [][]string
+		for _, members := range byGroup {
+			cut := 1 + rng.Intn(len(members))
+			pred = append(pred, members[:cut])
+			if cut < len(members) {
+				pred = append(pred, members[cut:])
+			}
+		}
+		s := Evaluate(pred, gold)
+		if !approx(s.Macro.Precision, 1) || !approx(s.Micro.Precision, 1) {
+			return false
+		}
+		for _, v := range []float64{
+			s.Macro.Recall, s.Micro.Recall, s.Pairwise.Precision,
+			s.Pairwise.Recall, s.AverageF1,
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	gold := map[string]string{"m1": "e1", "m2": "e2", "m3": "", "m4": "e4"}
+	pred := map[string]string{"m1": "e1", "m2": "wrong", "m3": ""}
+	// m1 correct, m2 wrong, m3 correct (NIL), m4 missing -> 2/4.
+	if got := Accuracy(pred, gold); !approx(got, 0.5) {
+		t.Errorf("Accuracy = %v, want 0.5", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty gold accuracy must be 0")
+	}
+}

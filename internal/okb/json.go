@@ -1,0 +1,51 @@
+package okb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTriple is the JSON wire form of a Triple (gold columns optional).
+type jsonTriple struct {
+	Subject   string `json:"subject"`
+	Predicate string `json:"predicate"`
+	Object    string `json:"object"`
+	GoldSubj  string `json:"gold_subject,omitempty"`
+	GoldPred  string `json:"gold_predicate,omitempty"`
+	GoldObj   string `json:"gold_object,omitempty"`
+}
+
+// WriteJSON writes the triples as a JSON array.
+func (s *Store) WriteJSON(w io.Writer) error {
+	out := make([]jsonTriple, s.Len())
+	for i := range out {
+		t := s.Triple(i)
+		out[i] = jsonTriple{
+			Subject: t.Subj, Predicate: t.Pred, Object: t.Obj,
+			GoldSubj: t.GoldSubj, GoldPred: t.GoldPred, GoldObj: t.GoldObj,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses triples from a JSON array produced by WriteJSON.
+func ReadJSON(r io.Reader) ([]Triple, error) {
+	var in []jsonTriple
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("okb: decoding triples JSON: %w", err)
+	}
+	out := make([]Triple, len(in))
+	for i, t := range in {
+		if t.Subject == "" || t.Predicate == "" || t.Object == "" {
+			return nil, fmt.Errorf("okb: triple %d: empty subject/predicate/object", i)
+		}
+		out[i] = Triple{
+			Subj: t.Subject, Pred: t.Predicate, Obj: t.Object,
+			GoldSubj: t.GoldSubj, GoldPred: t.GoldPred, GoldObj: t.GoldObj,
+		}
+	}
+	return out, nil
+}

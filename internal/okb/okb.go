@@ -1,0 +1,230 @@
+// Package okb models the Open Knowledge Base side of the problem: OIE
+// triples (noun phrase, relation phrase, noun phrase) and a store that
+// indexes their surface forms. It also carries the gold annotations the
+// benchmark data sets provide (the CKB entity/relation each phrase
+// actually denotes), which the evaluation metrics consume; no algorithm
+// reads gold labels except through the explicitly-labeled validation
+// split used for learning.
+package okb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/text"
+)
+
+// Triple is one OIE extraction <s, p, o>. Subj and Obj are noun phrases
+// (NPs); Pred is a relation phrase (RP). The Gold* fields hold the CKB
+// identifiers the phrases denote, or "" when the phrase has no CKB
+// counterpart (out-of-KB, "NIL") or the annotation is unknown.
+type Triple struct {
+	ID   int
+	Subj string
+	Pred string
+	Obj  string
+
+	GoldSubj string // gold CKB entity id for Subj ("" = NIL/unknown)
+	GoldPred string // gold CKB relation id for Pred
+	GoldObj  string // gold CKB entity id for Obj
+}
+
+// Mention identifies one NP occurrence inside a triple: triple index
+// plus the slot it occupies.
+type Mention struct {
+	Triple int
+	Slot   Slot
+}
+
+// Slot is a position within a triple.
+type Slot int
+
+// Triple slots.
+const (
+	SubjSlot Slot = iota
+	PredSlot
+	ObjSlot
+)
+
+func (s Slot) String() string {
+	switch s {
+	case SubjSlot:
+		return "subj"
+	case PredSlot:
+		return "pred"
+	case ObjSlot:
+		return "obj"
+	}
+	return fmt.Sprintf("slot(%d)", int(s))
+}
+
+// Store holds a set of OIE triples with surface-form indexes. A Store
+// is immutable after construction; all lookups are read-only and safe
+// for concurrent use.
+type Store struct {
+	triples []Triple
+
+	nps []string // sorted distinct NP surface forms
+	rps []string // sorted distinct RP surface forms
+
+	npMentions map[string][]Mention // NP -> occurrences
+	rpMentions map[string][]int     // RP -> triple indexes
+
+	npIDF *text.IDFTable
+	rpIDF *text.IDFTable
+}
+
+// NewStore indexes the given triples. Triple IDs are reassigned to the
+// slice index so downstream code can use them interchangeably.
+func NewStore(triples []Triple) *Store {
+	s := &Store{
+		triples:    make([]Triple, len(triples)),
+		npMentions: make(map[string][]Mention),
+		rpMentions: make(map[string][]int),
+	}
+	copy(s.triples, triples)
+	for i := range s.triples {
+		s.triples[i].ID = i
+		t := &s.triples[i]
+		s.npMentions[t.Subj] = append(s.npMentions[t.Subj], Mention{i, SubjSlot})
+		s.npMentions[t.Obj] = append(s.npMentions[t.Obj], Mention{i, ObjSlot})
+		s.rpMentions[t.Pred] = append(s.rpMentions[t.Pred], i)
+	}
+	s.nps = sortedKeysMention(s.npMentions)
+	s.rps = sortedKeysInt(s.rpMentions)
+	s.npIDF = text.NewIDFTable(s.allNPOccurrences())
+	s.rpIDF = text.NewIDFTable(s.allRPOccurrences())
+	return s
+}
+
+func sortedKeysMention(m map[string][]Mention) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysInt(m map[string][]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func (s *Store) allNPOccurrences() []string {
+	out := make([]string, 0, 2*len(s.triples))
+	for i := range s.triples {
+		out = append(out, s.triples[i].Subj, s.triples[i].Obj)
+	}
+	return out
+}
+
+func (s *Store) allRPOccurrences() []string {
+	out := make([]string, 0, len(s.triples))
+	for i := range s.triples {
+		out = append(out, s.triples[i].Pred)
+	}
+	return out
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int { return len(s.triples) }
+
+// Triple returns the i-th triple.
+func (s *Store) Triple(i int) Triple { return s.triples[i] }
+
+// Triples returns a copy of all triples.
+func (s *Store) Triples() []Triple {
+	out := make([]Triple, len(s.triples))
+	copy(out, s.triples)
+	return out
+}
+
+// NPs returns the sorted distinct noun-phrase surface forms.
+func (s *Store) NPs() []string { return s.nps }
+
+// RPs returns the sorted distinct relation-phrase surface forms.
+func (s *Store) RPs() []string { return s.rps }
+
+// NPMentions returns the occurrences of the NP surface form np.
+func (s *Store) NPMentions(np string) []Mention { return s.npMentions[np] }
+
+// RPMentions returns the indexes of triples whose predicate is rp.
+func (s *Store) RPMentions(rp string) []int { return s.rpMentions[rp] }
+
+// NPIDF returns the IDF table over all NP occurrences (token frequency
+// counted once per occurrence, as the paper specifies).
+func (s *Store) NPIDF() *text.IDFTable { return s.npIDF }
+
+// RPIDF returns the IDF table over all RP occurrences.
+func (s *Store) RPIDF() *text.IDFTable { return s.rpIDF }
+
+// GoldNP returns the gold entity id for the NP in the given mention.
+func (s *Store) GoldNP(m Mention) string {
+	t := s.triples[m.Triple]
+	if m.Slot == SubjSlot {
+		return t.GoldSubj
+	}
+	return t.GoldObj
+}
+
+// NPOf returns the surface form occupying mention m.
+func (s *Store) NPOf(m Mention) string {
+	t := s.triples[m.Triple]
+	if m.Slot == SubjSlot {
+		return t.Subj
+	}
+	return t.Obj
+}
+
+// WriteTSV writes the triples in the 7-column TSV format read by
+// ReadTSV: subj, pred, obj, goldSubj, goldPred, goldObj (tab-separated;
+// first column is the numeric id).
+func (s *Store) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range s.triples {
+		t := &s.triples[i]
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			t.ID, t.Subj, t.Pred, t.Obj, t.GoldSubj, t.GoldPred, t.GoldObj); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses triples from the format produced by WriteTSV. Lines
+// that are empty or start with '#' are skipped. Rows may omit the three
+// gold columns (4-column form) for unannotated data.
+func ReadTSV(r io.Reader) ([]Triple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var triples []Triple
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimRight(sc.Text(), "\r\n")
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		cols := strings.Split(raw, "\t")
+		if len(cols) != 4 && len(cols) != 7 {
+			return nil, fmt.Errorf("okb: line %d: want 4 or 7 columns, got %d", line, len(cols))
+		}
+		t := Triple{Subj: cols[1], Pred: cols[2], Obj: cols[3]}
+		if len(cols) == 7 {
+			t.GoldSubj, t.GoldPred, t.GoldObj = cols[4], cols[5], cols[6]
+		}
+		triples = append(triples, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("okb: reading triples: %w", err)
+	}
+	return triples, nil
+}

@@ -1,0 +1,147 @@
+package okb
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() []Triple {
+	return []Triple{
+		{Subj: "University of Maryland", Pred: "locate in", Obj: "Maryland",
+			GoldSubj: "e4", GoldPred: "r1", GoldObj: "e1"},
+		{Subj: "UMD", Pred: "be a member of", Obj: "Universitas 21",
+			GoldSubj: "e4", GoldPred: "r2", GoldObj: "e2"},
+		{Subj: "University of Virginia", Pred: "be an early member of", Obj: "U21",
+			GoldSubj: "e3", GoldPred: "r2", GoldObj: "e2"},
+	}
+}
+
+func TestStoreIndexes(t *testing.T) {
+	s := NewStore(sample())
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := len(s.NPs()); got != 6 {
+		t.Errorf("distinct NPs = %d, want 6: %v", got, s.NPs())
+	}
+	if got := len(s.RPs()); got != 3 {
+		t.Errorf("distinct RPs = %d, want 3: %v", got, s.RPs())
+	}
+	// NPs are sorted.
+	nps := s.NPs()
+	for i := 1; i < len(nps); i++ {
+		if nps[i-1] >= nps[i] {
+			t.Errorf("NPs not sorted at %d: %q >= %q", i, nps[i-1], nps[i])
+		}
+	}
+}
+
+func TestStoreMentions(t *testing.T) {
+	s := NewStore(sample())
+	ms := s.NPMentions("UMD")
+	if len(ms) != 1 || ms[0].Triple != 1 || ms[0].Slot != SubjSlot {
+		t.Errorf("NPMentions(UMD) = %v", ms)
+	}
+	if got := s.NPOf(ms[0]); got != "UMD" {
+		t.Errorf("NPOf = %q", got)
+	}
+	if got := s.GoldNP(ms[0]); got != "e4" {
+		t.Errorf("GoldNP = %q, want e4", got)
+	}
+	rp := s.RPMentions("be a member of")
+	if !reflect.DeepEqual(rp, []int{1}) {
+		t.Errorf("RPMentions = %v", rp)
+	}
+}
+
+func TestStoreIDReassignment(t *testing.T) {
+	ts := sample()
+	ts[0].ID = 99
+	s := NewStore(ts)
+	if s.Triple(0).ID != 0 {
+		t.Errorf("IDs should be reassigned to index, got %d", s.Triple(0).ID)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	s := NewStore(sample())
+	var buf bytes.Buffer
+	if err := s.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Triples()
+	if !reflect.DeepEqual(NewStore(got).Triples(), want) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestReadTSVFourColumn(t *testing.T) {
+	in := "0\tA\tloves\tB\n# comment\n\n1\tC\thates\tD\n"
+	ts, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2", len(ts))
+	}
+	if ts[0].Subj != "A" || ts[0].GoldSubj != "" {
+		t.Errorf("unexpected first triple %v", ts[0])
+	}
+}
+
+func TestReadTSVBadColumns(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("0\tA\tB\n")); err == nil {
+		t.Error("want error for 3-column row")
+	}
+}
+
+func TestSlotString(t *testing.T) {
+	if SubjSlot.String() != "subj" || PredSlot.String() != "pred" || ObjSlot.String() != "obj" {
+		t.Error("slot names wrong")
+	}
+}
+
+func TestIDFTablesBuilt(t *testing.T) {
+	s := NewStore(sample())
+	// "of" appears in multiple NPs; must be frequent in NP table.
+	if s.NPIDF().Freq("maryland") == 0 {
+		t.Error("NP IDF table missing maryland")
+	}
+	if s.RPIDF().Freq("member") != 2 {
+		t.Errorf("RP IDF freq(member) = %d, want 2", s.RPIDF().Freq("member"))
+	}
+	// Overlap of the running example's member phrases is high.
+	if sim := s.RPIDF().Overlap("be a member of", "be an early member of"); sim < 0.4 {
+		t.Errorf("member-phrase overlap = %v, want >= 0.4", sim)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := NewStore(sample())
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(NewStore(got).Triples(), s.Triples()) {
+		t.Error("JSON round trip mismatch")
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`[{"subject":"a","predicate":"","object":"b"}]`)); err == nil {
+		t.Error("want error for empty predicate")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}

@@ -1,0 +1,118 @@
+// Package ppdb provides a paraphrase database with the same interface
+// the paper uses PPDB 2.0 through: phrases are clustered into
+// equivalence groups, each group is assigned a representative, and two
+// phrases are "PPDB-equivalent" (similarity 1) exactly when they share
+// a representative (similarity 0 otherwise). Lookups normalize phrases
+// morphologically first, as paraphrase collections index lemmas.
+//
+// The real PPDB is an unavailable external resource; the dataset
+// generator builds a DB from its alias pools (optionally with dropped
+// and corrupted entries to model PPDB's incomplete coverage).
+package ppdb
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/text"
+)
+
+// DB is an immutable paraphrase database.
+type DB struct {
+	rep map[string]string // normalized phrase -> representative
+}
+
+// Builder accumulates paraphrase pairs/groups before freezing into a DB.
+type Builder struct {
+	phrases map[string]int // normalized phrase -> dense id
+	names   []string
+	pairs   [][2]int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{phrases: make(map[string]int)}
+}
+
+func (b *Builder) id(phrase string) int {
+	key := text.Normalize(phrase)
+	if id, ok := b.phrases[key]; ok {
+		return id
+	}
+	id := len(b.names)
+	b.phrases[key] = id
+	b.names = append(b.names, key)
+	return id
+}
+
+// AddPair records that a and b are paraphrases of each other.
+func (b *Builder) AddPair(a, c string) {
+	b.pairs = append(b.pairs, [2]int{b.id(a), b.id(c)})
+}
+
+// AddGroup records that all given phrases are mutual paraphrases.
+func (b *Builder) AddGroup(phrases ...string) {
+	if len(phrases) == 0 {
+		return
+	}
+	first := b.id(phrases[0])
+	for _, p := range phrases[1:] {
+		b.pairs = append(b.pairs, [2]int{first, b.id(p)})
+	}
+}
+
+// Build freezes the builder into a DB. Paraphrase groups are the
+// connected components of the pair graph; each group's representative
+// is its lexicographically-smallest member ("randomly assigned" in the
+// paper — any deterministic choice has the same semantics, since only
+// representative equality is ever observed).
+func (b *Builder) Build() *DB {
+	uf := cluster.NewUnionFind(len(b.names))
+	for _, p := range b.pairs {
+		uf.Union(p[0], p[1])
+	}
+	rep := make(map[string]string, len(b.names))
+	groupRep := make(map[int]string)
+	// Choose the smallest member of each group as representative.
+	order := make([]int, len(b.names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return b.names[order[i]] < b.names[order[j]] })
+	for _, i := range order {
+		r := uf.Find(i)
+		if _, ok := groupRep[r]; !ok {
+			groupRep[r] = b.names[i]
+		}
+	}
+	for i, name := range b.names {
+		rep[name] = groupRep[uf.Find(i)]
+	}
+	return &DB{rep: rep}
+}
+
+// Representative returns the cluster representative of the phrase, or
+// "" when the phrase is not in the database.
+func (db *DB) Representative(phrase string) string {
+	return db.rep[text.Normalize(phrase)]
+}
+
+// Contains reports whether the phrase is covered by the database.
+func (db *DB) Contains(phrase string) bool {
+	_, ok := db.rep[text.Normalize(phrase)]
+	return ok
+}
+
+// Sim returns Sim_PPDB(a, b): 1 when both phrases are in the database
+// with the same cluster representative, else 0. This is exactly the
+// paper's binary PPDB signal.
+func (db *DB) Sim(a, b string) float64 {
+	ra, rb := db.Representative(a), db.Representative(b)
+	if ra != "" && ra == rb {
+		return 1
+	}
+	return 0
+}
+
+// Size returns the number of distinct phrases indexed.
+func (db *DB) Size() int { return len(db.rep) }

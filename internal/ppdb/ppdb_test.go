@@ -1,0 +1,90 @@
+package ppdb
+
+import "testing"
+
+func TestBuildAndLookup(t *testing.T) {
+	b := NewBuilder()
+	b.AddGroup("is the capital of", "is the capital city of")
+	b.AddPair("member of", "belongs to")
+	db := b.Build()
+
+	if db.Sim("is the capital of", "is the capital city of") != 1 {
+		t.Error("grouped phrases should have sim 1")
+	}
+	if db.Sim("member of", "belongs to") != 1 {
+		t.Error("paired phrases should have sim 1")
+	}
+	if db.Sim("is the capital of", "member of") != 0 {
+		t.Error("phrases from different groups should have sim 0")
+	}
+}
+
+func TestUncoveredPhrases(t *testing.T) {
+	b := NewBuilder()
+	b.AddPair("a", "b")
+	db := b.Build()
+	if db.Sim("nothere", "nothere") != 0 {
+		t.Error("uncovered phrases must score 0, even when identical")
+	}
+	if db.Contains("nothere") {
+		t.Error("Contains(nothere) = true")
+	}
+	if !db.Contains("a") {
+		t.Error("Contains(a) = false")
+	}
+	if db.Representative("nothere") != "" {
+		t.Error("missing phrase should have empty representative")
+	}
+}
+
+func TestTransitiveGrouping(t *testing.T) {
+	// a~b and b~c must place a and c in the same cluster.
+	b := NewBuilder()
+	b.AddPair("alpha", "beta")
+	b.AddPair("beta", "gamma")
+	db := b.Build()
+	if db.Sim("alpha", "gamma") != 1 {
+		t.Error("paraphrase clusters must be transitive")
+	}
+}
+
+func TestNormalizedLookup(t *testing.T) {
+	b := NewBuilder()
+	b.AddPair("is a member of", "belongs to")
+	db := b.Build()
+	// Morphological variants hit the same entry.
+	if db.Sim("was a member of", "belongs to") != 1 {
+		t.Error("lookup should be normalization-invariant")
+	}
+}
+
+func TestRepresentativeDeterministic(t *testing.T) {
+	build := func() *DB {
+		b := NewBuilder()
+		b.AddGroup("zeta", "alpha", "mike")
+		return b.Build()
+	}
+	r1 := build().Representative("zeta")
+	r2 := build().Representative("mike")
+	if r1 != r2 || r1 != "alpha" {
+		t.Errorf("representative should be the smallest member: %q, %q", r1, r2)
+	}
+}
+
+func TestEmptyBuilder(t *testing.T) {
+	db := NewBuilder().Build()
+	if db.Size() != 0 {
+		t.Errorf("Size = %d, want 0", db.Size())
+	}
+	if db.Sim("x", "y") != 0 {
+		t.Error("empty DB must score 0")
+	}
+}
+
+func TestAddGroupEmpty(t *testing.T) {
+	b := NewBuilder()
+	b.AddGroup() // must not panic
+	if got := b.Build().Size(); got != 0 {
+		t.Errorf("Size = %d, want 0", got)
+	}
+}

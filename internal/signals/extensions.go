@@ -1,0 +1,138 @@
+package signals
+
+import (
+	"sync"
+
+	"repro/internal/strsim"
+	"repro/internal/text"
+)
+
+// Extension signals beyond the paper's ten feature functions. The
+// paper's Section 1 claims JOCL "is able to extend to fit any new
+// signals" via additional factor-node features; these two exercise
+// that claim (the bench package's extension ablation quantifies them):
+//
+//	f_attr — attribute-overlap similarity between NPs (Galárraga et
+//	         al. 2014 use it as a standalone baseline; here it is one
+//	         more canonicalization feature)
+//	f_type — type compatibility between a candidate entity and the
+//	         type its triples' relations expect of the slot it fills
+
+// attrSets lazily materializes each NP's attribute set: the
+// (normalized predicate, direction-tagged normalized other argument)
+// pairs of the triples it occurs in.
+func (r *Resources) attrSets() map[string]map[string]bool {
+	r.attrOnce.Do(func() {
+		r.attrs = make(map[string]map[string]bool)
+		add := func(np, attr string) {
+			m := r.attrs[np]
+			if m == nil {
+				m = map[string]bool{}
+				r.attrs[np] = m
+			}
+			m[attr] = true
+		}
+		for i := 0; i < r.OKB.Len(); i++ {
+			t := r.OKB.Triple(i)
+			rp := text.Normalize(t.Pred)
+			add(t.Subj, rp+"\x00"+text.Normalize(t.Obj))
+			add(t.Obj, rp+"\x01"+text.Normalize(t.Subj))
+		}
+	})
+	return r.attrs
+}
+
+// AttrSim is f_attr: the Jaccard similarity of two NPs' attribute
+// sets. NPs asserted with the same relations against the same
+// arguments are likely coreferent even when their surface forms share
+// nothing.
+func (r *Resources) AttrSim(a, b string) float64 {
+	sets := r.attrSets()
+	return strsim.SetJaccard(sets[a], sets[b])
+}
+
+// slotExpectations lazily computes, per NP surface form, the multiset
+// of entity types its triples expect of it: for each mention, the
+// Domain (subject slot) or Range (object slot) of the best candidate
+// relation of the triple's predicate.
+func (r *Resources) slotExpectations() map[string]map[string]int {
+	r.typeOnce.Do(func() {
+		r.slotTypes = make(map[string]map[string]int)
+		relType := func(rp string, subjSlot bool) string {
+			cands := r.CKB.CandidateRelations(rp, 1)
+			if len(cands) == 0 {
+				return ""
+			}
+			rel := r.CKB.Relation(cands[0].ID)
+			if rel == nil {
+				return ""
+			}
+			if subjSlot {
+				return rel.Domain
+			}
+			return rel.Range
+		}
+		add := func(np, typ string) {
+			if typ == "" {
+				return
+			}
+			m := r.slotTypes[np]
+			if m == nil {
+				m = map[string]int{}
+				r.slotTypes[np] = m
+			}
+			m[typ]++
+		}
+		for i := 0; i < r.OKB.Len(); i++ {
+			t := r.OKB.Triple(i)
+			add(t.Subj, relType(t.Pred, true))
+			add(t.Obj, relType(t.Pred, false))
+		}
+	})
+	return r.slotTypes
+}
+
+// TypeCompat is f_type: the fraction of the NP's slot-type
+// expectations the candidate entity's declared types satisfy. An
+// entity of type "person" filling slots that expect "location" is a
+// poor link no matter how similar the strings are.
+func (r *Resources) TypeCompat(np, entityID string) float64 {
+	e := r.CKB.Entity(entityID)
+	if e == nil {
+		return 0
+	}
+	expect := r.slotExpectations()[np]
+	if len(expect) == 0 {
+		return 0
+	}
+	entTypes := map[string]bool{}
+	for _, t := range e.Types {
+		entTypes[t] = true
+	}
+	matched, total := 0, 0
+	for typ, n := range expect {
+		total += n
+		if entTypes[typ] {
+			matched += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(matched) / float64(total)
+}
+
+// extensionState carries the lazily-built extension-signal indexes.
+type extensionState struct {
+	attrOnce sync.Once
+	attrs    map[string]map[string]bool
+
+	typeOnce  sync.Once
+	slotTypes map[string]map[string]int
+}
+
+// Mentions returns how many OIE-triple slots the NP surface fills,
+// a cheap salience proxy used by diagnostics and examples.
+func (r *Resources) Mentions(np string) int {
+	return len(r.OKB.NPMentions(np))
+}

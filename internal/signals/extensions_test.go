@@ -1,0 +1,117 @@
+package signals
+
+import (
+	"testing"
+
+	"repro/internal/ckb"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+)
+
+// tinyResources builds a handcrafted world exercising both extension
+// signals.
+func tinyResources(t *testing.T) *Resources {
+	t.Helper()
+	store, err := ckb.NewStore(
+		[]ckb.Entity{
+			{ID: "e1", Name: "springfield", Types: []string{"location"}},
+			{ID: "e2", Name: "jane smith", Types: []string{"person"}},
+			{ID: "e3", Name: "smith industries", Aliases: []string{"smith"}, Types: []string{"company"}},
+		},
+		[]ckb.Relation{
+			{ID: "r1", Name: "people.birthplace", Category: "biography",
+				Aliases: []string{"be born in"}, Domain: "person", Range: "location"},
+			{ID: "r2", Name: "employment.employer", Category: "employment",
+				Aliases: []string{"work for"}, Domain: "person", Range: "company"},
+		},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := []okb.Triple{
+		{Subj: "jane smith", Pred: "was born in", Obj: "springfield"},
+		{Subj: "j smith", Pred: "was born in", Obj: "springfield"},
+		{Subj: "jane smith", Pred: "works for", Obj: "smith industries"},
+	}
+	emb := embedding.Train(nil, embedding.Config{Dim: 4})
+	return New(okb.NewStore(triples), store, emb, ppdb.NewBuilder().Build())
+}
+
+func TestAttrSimSharedAttributes(t *testing.T) {
+	r := tinyResources(t)
+	// "jane smith" and "j smith" share the (born-in, springfield)
+	// attribute; "springfield" has entirely different attributes.
+	same := r.AttrSim("jane smith", "j smith")
+	diff := r.AttrSim("jane smith", "springfield")
+	if same <= diff {
+		t.Errorf("shared-attribute pair (%v) should outscore disjoint (%v)", same, diff)
+	}
+	if same <= 0 {
+		t.Errorf("AttrSim of co-asserted NPs = %v, want > 0", same)
+	}
+}
+
+func TestAttrSimRange(t *testing.T) {
+	r := tinyResources(t)
+	for _, a := range []string{"jane smith", "j smith", "springfield", "unknown"} {
+		for _, b := range []string{"jane smith", "springfield", "unknown"} {
+			v := r.AttrSim(a, b)
+			if v < 0 || v > 1 {
+				t.Errorf("AttrSim(%q,%q) = %v out of range", a, b, v)
+			}
+		}
+	}
+}
+
+func TestTypeCompat(t *testing.T) {
+	r := tinyResources(t)
+	// "smith" fills the object slot of "works for" (range: company) in
+	// no triple, but "smith industries" does. The surface "jane smith"
+	// fills subject slots expecting person. A person entity should be
+	// type-compatible with "jane smith"; the location entity should not.
+	person := r.TypeCompat("jane smith", "e2")
+	location := r.TypeCompat("jane smith", "e1")
+	if person <= location {
+		t.Errorf("person compat (%v) should beat location compat (%v)", person, location)
+	}
+	if person != 1 {
+		t.Errorf("all of jane smith's slots expect person; compat = %v, want 1", person)
+	}
+}
+
+func TestTypeCompatUnknowns(t *testing.T) {
+	r := tinyResources(t)
+	if r.TypeCompat("never seen", "e1") != 0 {
+		t.Error("unseen surface should have no expectations")
+	}
+	if r.TypeCompat("jane smith", "bogus") != 0 {
+		t.Error("unknown entity should score 0")
+	}
+}
+
+func TestMentions(t *testing.T) {
+	r := tinyResources(t)
+	if got := r.Mentions("jane smith"); got != 2 {
+		t.Errorf("Mentions = %d, want 2", got)
+	}
+	if got := r.Mentions("never"); got != 0 {
+		t.Errorf("Mentions of unseen = %d, want 0", got)
+	}
+}
+
+func TestExtensionIndexesConcurrentSafe(t *testing.T) {
+	r := tinyResources(t)
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_ = r.AttrSim("jane smith", "j smith")
+			_ = r.TypeCompat("jane smith", "e2")
+			done <- true
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,206 @@
+// Package signals implements the paper's ten feature functions
+// (Sections 3.1.3–3.2.4) over the substrate resources, plus the
+// blocking step that decides which NP/RP pairs receive
+// canonicalization variables (IDF token overlap >= 0.5, Section 4.1).
+//
+// Canonicalization signals (pairwise, symmetric, in [0, 1]):
+//
+//	f_idf   — IDF token overlap            (NPs and RPs)
+//	f_emb   — phrase-embedding cosine      (NPs and RPs)
+//	f_PPDB  — paraphrase-DB equivalence    (NPs and RPs)
+//	f_AMIE  — bidirectional rule mining    (RPs only)
+//	f_KBP   — relation-category agreement  (RPs only)
+//
+// Linking signals (phrase vs CKB target, in [0, 1]):
+//
+//	f_pop    — anchor popularity           (entities)
+//	f'_emb   — embedding cosine with the target's canonical name
+//	f'_PPDB  — paraphrase-DB equivalence with the canonical name
+//	f_ngram  — character-trigram Jaccard   (relations)
+//	f_LD     — normalized Levenshtein      (relations)
+package signals
+
+import (
+	"sort"
+
+	"repro/internal/amie"
+	"repro/internal/ckb"
+	"repro/internal/embedding"
+	"repro/internal/kbp"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/strsim"
+	"repro/internal/text"
+)
+
+// BlockingThreshold is the IDF-token-overlap threshold above which a
+// pair of phrases receives a canonicalization variable (paper: 0.5).
+const BlockingThreshold = 0.5
+
+// NgramSize is the character n-gram order for f_ngram.
+const NgramSize = 3
+
+// Resources bundles every substrate the feature functions read.
+type Resources struct {
+	OKB  *okb.Store
+	CKB  *ckb.Store
+	Emb  *embedding.Model
+	PPDB *ppdb.DB
+	AMIE *amie.Miner
+	KBP  *kbp.Classifier
+
+	extensionState // lazily-built indexes for the extension signals
+}
+
+// New assembles the resources for a dataset, mining AMIE rules and
+// building the KBP classifier on the fly.
+func New(okbStore *okb.Store, ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB) *Resources {
+	return &Resources{
+		OKB:  okbStore,
+		CKB:  ckbStore,
+		Emb:  emb,
+		PPDB: db,
+		AMIE: amie.Mine(okbStore, amie.Config{}),
+		KBP:  kbp.NewClassifier(ckbStore),
+	}
+}
+
+// ---------- canonicalization signals ----------
+
+// NPIDF is Sim_idf over two noun phrases using the OKB's NP-token
+// frequency table.
+func (r *Resources) NPIDF(a, b string) float64 { return r.OKB.NPIDF().Overlap(a, b) }
+
+// RPIDF is Sim_idf over two relation phrases.
+func (r *Resources) RPIDF(a, b string) float64 { return r.OKB.RPIDF().Overlap(a, b) }
+
+// EmbSim is Sim_emb: the cosine similarity of averaged word
+// embeddings, clipped to [0, 1]. It applies to NPs and RPs alike.
+func (r *Resources) EmbSim(a, b string) float64 { return r.Emb.PhraseSimilarity(a, b) }
+
+// PPDBSim is Sim_PPDB: 1 when both phrases share a paraphrase-cluster
+// representative, else 0.
+func (r *Resources) PPDBSim(a, b string) float64 { return r.PPDB.Sim(a, b) }
+
+// AMIESim is Sim_AMIE over two relation phrases.
+func (r *Resources) AMIESim(a, b string) float64 { return r.AMIE.Sim(a, b) }
+
+// KBPSim is Sim_KBP over two relation phrases.
+func (r *Resources) KBPSim(a, b string) float64 { return r.KBP.Sim(a, b) }
+
+// ---------- linking signals ----------
+
+// Pop is f_pop: the anchor-statistics prior P(entity | surface form).
+func (r *Resources) Pop(np, entityID string) float64 { return r.CKB.Popularity(np, entityID) }
+
+// EntEmb is f'_emb for entities: embedding similarity between the NP
+// and the candidate entity's canonical name.
+func (r *Resources) EntEmb(np, entityID string) float64 {
+	e := r.CKB.Entity(entityID)
+	if e == nil {
+		return 0
+	}
+	return r.Emb.PhraseSimilarity(np, e.Name)
+}
+
+// EntPPDB is f'_PPDB for entities.
+func (r *Resources) EntPPDB(np, entityID string) float64 {
+	e := r.CKB.Entity(entityID)
+	if e == nil {
+		return 0
+	}
+	return r.PPDB.Sim(np, e.Name)
+}
+
+// RelNgram is f_ngram: character-trigram Jaccard between the RP and
+// the candidate relation's best-matching alias.
+func (r *Resources) RelNgram(rp, relationID string) float64 {
+	return r.bestAliasSim(rp, relationID, func(a, b string) float64 {
+		return strsim.NgramJaccard(a, b, NgramSize)
+	})
+}
+
+// RelLD is f_LD: normalized Levenshtein similarity between the RP and
+// the candidate relation's best-matching alias.
+func (r *Resources) RelLD(rp, relationID string) float64 {
+	return r.bestAliasSim(rp, relationID, strsim.LevenshteinSim)
+}
+
+// RelEmb is f'_emb for relations.
+func (r *Resources) RelEmb(rp, relationID string) float64 {
+	return r.bestAliasSim(rp, relationID, r.Emb.PhraseSimilarity)
+}
+
+// RelPPDB is f'_PPDB for relations.
+func (r *Resources) RelPPDB(rp, relationID string) float64 {
+	return r.bestAliasSim(rp, relationID, r.PPDB.Sim)
+}
+
+// bestAliasSim scores rp against every textual alias of the relation
+// and keeps the best, since CKB relation names ("location.contained_by")
+// are identifiers rather than natural phrases.
+func (r *Resources) bestAliasSim(rp, relationID string, sim func(a, b string) float64) float64 {
+	rel := r.CKB.Relation(relationID)
+	if rel == nil {
+		return 0
+	}
+	best := 0.0
+	for _, alias := range rel.Aliases {
+		if s := sim(rp, alias); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ---------- blocking ----------
+
+// Pair is a blocked pair of phrase indexes (into the sorted phrase
+// list handed to BlockPairs) with its IDF-overlap similarity.
+type Pair struct {
+	I, J int
+	Sim  float64
+}
+
+// BlockPairs returns the pairs of phrases whose IDF token overlap is at
+// least threshold. It uses an inverted token index so only pairs
+// sharing a token are scored — phrases with no common token have
+// overlap 0 and can never pass a positive threshold.
+func BlockPairs(phrases []string, idf *text.IDFTable, threshold float64) []Pair {
+	index := map[string][]int{}
+	for i, p := range phrases {
+		for tok := range text.TokenSet(p) {
+			index[tok] = append(index[tok], i)
+		}
+	}
+	seen := map[[2]int]bool{}
+	var pairs []Pair
+	for _, ids := range index {
+		if len(ids) < 2 {
+			continue
+		}
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				i, j := ids[a], ids[b]
+				if i > j {
+					i, j = j, i
+				}
+				key := [2]int{i, j}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if s := idf.Overlap(phrases[i], phrases[j]); s >= threshold {
+					pairs = append(pairs, Pair{I: i, J: j, Sim: s})
+				}
+			}
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].I != pairs[y].I {
+			return pairs[x].I < pairs[y].I
+		}
+		return pairs[x].J < pairs[y].J
+	})
+	return pairs
+}

@@ -1,0 +1,195 @@
+package signals
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/text"
+)
+
+func resources(t *testing.T) (*Resources, *datasets.Dataset) {
+	t.Helper()
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ds.OKB, ds.CKB, ds.Emb, ds.PPDB), ds
+}
+
+func TestSignalsInRange(t *testing.T) {
+	r, ds := resources(t)
+	nps := ds.OKB.NPs()
+	rps := ds.OKB.RPs()
+	eids := ds.CKB.EntityIDs()
+	rids := ds.CKB.RelationIDs()
+	check := func(name string, v float64) {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	for i := 0; i < 10 && i < len(nps); i++ {
+		for j := 0; j < 10 && j < len(nps); j++ {
+			check("NPIDF", r.NPIDF(nps[i], nps[j]))
+			check("EmbSim", r.EmbSim(nps[i], nps[j]))
+			check("PPDBSim", r.PPDBSim(nps[i], nps[j]))
+		}
+		for k := 0; k < 3 && k < len(eids); k++ {
+			check("Pop", r.Pop(nps[i], eids[k]))
+			check("EntEmb", r.EntEmb(nps[i], eids[k]))
+			check("EntPPDB", r.EntPPDB(nps[i], eids[k]))
+		}
+	}
+	for i := 0; i < 8 && i < len(rps); i++ {
+		for j := 0; j < 8 && j < len(rps); j++ {
+			check("RPIDF", r.RPIDF(rps[i], rps[j]))
+			check("AMIESim", r.AMIESim(rps[i], rps[j]))
+			check("KBPSim", r.KBPSim(rps[i], rps[j]))
+		}
+		for k := 0; k < 3 && k < len(rids); k++ {
+			check("RelNgram", r.RelNgram(rps[i], rids[k]))
+			check("RelLD", r.RelLD(rps[i], rids[k]))
+			check("RelEmb", r.RelEmb(rps[i], rids[k]))
+			check("RelPPDB", r.RelPPDB(rps[i], rids[k]))
+		}
+	}
+}
+
+func TestLinkingSignalsUnknownTarget(t *testing.T) {
+	r, _ := resources(t)
+	if r.EntEmb("anything", "nonexistent") != 0 {
+		t.Error("unknown entity should score 0")
+	}
+	if r.RelNgram("anything", "nonexistent") != 0 {
+		t.Error("unknown relation should score 0")
+	}
+}
+
+func TestGoldPairsScoreHigher(t *testing.T) {
+	// On average, same-gold-cluster NP pairs should get a higher IDF
+	// overlap than random cross-cluster pairs (they share rare tokens).
+	r, ds := resources(t)
+	type pair struct{ a, b string }
+	byGroup := map[string][]string{}
+	for s, gid := range ds.GoldNPCluster {
+		byGroup[gid] = append(byGroup[gid], s)
+	}
+	var samePairs, crossPairs []pair
+	var prev string
+	for _, ss := range byGroup {
+		if len(ss) > 1 {
+			samePairs = append(samePairs, pair{ss[0], ss[1]})
+		}
+		if prev != "" {
+			crossPairs = append(crossPairs, pair{prev, ss[0]})
+		}
+		prev = ss[0]
+	}
+	if len(samePairs) < 3 || len(crossPairs) < 3 {
+		t.Skip("dataset too small for signal-quality check")
+	}
+	avg := func(ps []pair) float64 {
+		var s float64
+		for _, p := range ps {
+			s += r.NPIDF(p.a, p.b) + r.EmbSim(p.a, p.b)
+		}
+		return s / float64(len(ps))
+	}
+	if avg(samePairs) <= avg(crossPairs) {
+		t.Errorf("gold pairs (%v) should outscore cross pairs (%v)",
+			avg(samePairs), avg(crossPairs))
+	}
+}
+
+func TestPopFavorsGoldEntity(t *testing.T) {
+	r, ds := resources(t)
+	wins, total := 0, 0
+	for surface, eid := range ds.GoldNPLink {
+		if eid == "" {
+			continue
+		}
+		cands := ds.CKB.CandidateEntities(surface, 5)
+		if len(cands) < 2 {
+			continue
+		}
+		total++
+		goldPop := r.Pop(surface, eid)
+		better := true
+		for _, c := range cands {
+			if c.ID != eid && r.Pop(surface, c.ID) > goldPop {
+				better = false
+			}
+		}
+		if better {
+			wins++
+		}
+	}
+	if total == 0 {
+		t.Skip("no ambiguous surfaces")
+	}
+	if float64(wins)/float64(total) < 0.5 {
+		t.Errorf("popularity favors gold only %d/%d times", wins, total)
+	}
+}
+
+func TestBlockPairs(t *testing.T) {
+	phrases := []string{
+		"university of maryland",
+		"maryland",
+		"warren buffett",
+		"buffett",
+		"granite holdings",
+	}
+	idf := text.NewIDFTable(phrases)
+	pairs := BlockPairs(phrases, idf, 0.3)
+	has := func(i, j int) bool {
+		for _, p := range pairs {
+			if p.I == i && p.J == j {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(2, 3) {
+		t.Errorf("buffett pair should be blocked together: %v", pairs)
+	}
+	if has(0, 4) || has(2, 4) {
+		t.Errorf("token-disjoint phrases must not pair: %v", pairs)
+	}
+	for _, p := range pairs {
+		if p.Sim < 0.3 {
+			t.Errorf("pair below threshold: %+v", p)
+		}
+		if p.I >= p.J {
+			t.Errorf("pair not ordered: %+v", p)
+		}
+	}
+}
+
+func TestBlockPairsDeterministicSorted(t *testing.T) {
+	phrases := []string{"a b", "b c", "c d", "a d", "b d"}
+	idf := text.NewIDFTable(phrases)
+	p1 := BlockPairs(phrases, idf, 0.1)
+	p2 := BlockPairs(phrases, idf, 0.1)
+	if len(p1) != len(p2) {
+		t.Fatal("nondeterministic blocking")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("nondeterministic pair order")
+		}
+		if i > 0 && (p1[i-1].I > p1[i].I || (p1[i-1].I == p1[i].I && p1[i-1].J > p1[i].J)) {
+			t.Fatal("pairs not sorted")
+		}
+	}
+}
+
+func TestBlockPairsThresholdOne(t *testing.T) {
+	phrases := []string{"exact phrase", "exact phrase x", "other"}
+	idf := text.NewIDFTable(phrases)
+	pairs := BlockPairs(phrases, idf, 1.0)
+	for _, p := range pairs {
+		if p.Sim < 1.0 {
+			t.Errorf("threshold 1.0 leaked pair %+v", p)
+		}
+	}
+}

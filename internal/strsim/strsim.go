@@ -1,0 +1,209 @@
+// Package strsim implements the string-similarity measures the paper's
+// signals and baselines rely on: Levenshtein distance (normalized, the
+// f_LD linking signal), Jaro and Jaro-Winkler similarity (the Text
+// Similarity baseline of Galárraga et al.), character n-gram Jaccard
+// (the f_ngram linking signal, Nakashole et al. 2013), and plain token
+// Jaccard (the Attribute Overlap baseline).
+//
+// All similarities are symmetric and return values in [0, 1] with 1 for
+// identical non-empty strings. Comparisons are case-insensitive: inputs
+// are lowercased before measuring, since OKB surface forms and CKB
+// identifiers differ in capitalization conventions.
+package strsim
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// Levenshtein returns the edit distance between a and b: the minimum
+// number of single-rune insertions, deletions, or substitutions needed
+// to transform a into b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim normalizes Levenshtein distance to a similarity in
+// [0, 1]: 1 - d(a,b)/max(|a|,|b|). Two empty strings score 1.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Jaro returns the Jaro similarity between a and b.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i] = true
+			matchedB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched runes.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale 0.1 and maximum prefix length 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NgramSet returns the set of character n-grams of s (lowercased, with
+// spaces collapsed). Strings shorter than n contribute themselves as a
+// single gram so that very short strings still compare non-trivially.
+func NgramSet(s string, n int) map[string]bool {
+	s = strings.ToLower(strings.Join(strings.Fields(s), " "))
+	set := make(map[string]bool)
+	runes := []rune(s)
+	if len(runes) < n {
+		if len(runes) > 0 {
+			set[s] = true
+		}
+		return set
+	}
+	for i := 0; i+n <= len(runes); i++ {
+		set[string(runes[i:i+n])] = true
+	}
+	return set
+}
+
+// NgramJaccard returns the Jaccard similarity between the character
+// n-gram sets of a and b. This is the paper's f_ngram signal; the paper
+// follows Nakashole et al. (2013), and we default callers to n = 3.
+func NgramJaccard(a, b string, n int) float64 {
+	sa, sb := NgramSet(a, n), NgramSet(b, n)
+	return jaccard(sa, sb)
+}
+
+// TokenJaccard returns the Jaccard similarity between the lowercase
+// whitespace-token sets of a and b (the Attribute Overlap baseline uses
+// this over attribute sets).
+func TokenJaccard(a, b string) float64 {
+	sa := toSet(strings.Fields(strings.ToLower(a)))
+	sb := toSet(strings.Fields(strings.ToLower(b)))
+	return jaccard(sa, sb)
+}
+
+// SetJaccard returns the Jaccard similarity of two arbitrary string sets.
+func SetJaccard(a, b map[string]bool) float64 { return jaccard(a, b) }
+
+func toSet(ts []string) map[string]bool {
+	set := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		set[t] = true
+	}
+	return set
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for x := range a {
+		if b[x] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

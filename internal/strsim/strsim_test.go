@@ -1,0 +1,176 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"a", "b", 1},
+		{"Maryland", "maryland", 0}, // case-insensitive
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		// Symmetry and identity-of-indiscernibles (on lowercased forms).
+		if d != Levenshtein(b, a) {
+			return false
+		}
+		if a == b && d != 0 {
+			return false
+		}
+		return d >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSimRange(t *testing.T) {
+	if got := LevenshteinSim("abc", "abc"); got != 1 {
+		t.Errorf("identical sim = %v, want 1", got)
+	}
+	if got := LevenshteinSim("", ""); got != 1 {
+		t.Errorf("empty sim = %v, want 1", got)
+	}
+	if got := LevenshteinSim("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint sim = %v, want 0", got)
+	}
+}
+
+func TestJaroKnown(t *testing.T) {
+	// Classic reference values.
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.944444},
+		{"DIXON", "DICKSONX", 0.766667},
+		{"JELLYFISH", "SMELLYFISH", 0.896296},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("Jaro(%q,%q) = %.6f, want %.6f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.961111},
+		{"DWAYNE", "DUANE", 0.840000},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("JaroWinkler(%q,%q) = %.6f, want %.6f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	// Shared prefix must not decrease similarity relative to Jaro.
+	f := func(a, b string) bool {
+		return JaroWinkler(a, b) >= Jaro(a, b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNgramSet(t *testing.T) {
+	set := NgramSet("abcd", 3)
+	if len(set) != 2 || !set["abc"] || !set["bcd"] {
+		t.Errorf("NgramSet(abcd,3) = %v", set)
+	}
+	// Short strings yield themselves.
+	set = NgramSet("ab", 3)
+	if len(set) != 1 || !set["ab"] {
+		t.Errorf("NgramSet(ab,3) = %v", set)
+	}
+	if len(NgramSet("", 3)) != 0 {
+		t.Error("empty string must yield empty gram set")
+	}
+}
+
+func TestNgramJaccard(t *testing.T) {
+	if got := NgramJaccard("capital of", "capital of", 3); got != 1 {
+		t.Errorf("identical ngram jaccard = %v, want 1", got)
+	}
+	sim := NgramJaccard("is the capital of", "is the capital city of", 3)
+	dis := NgramJaccard("is the capital of", "plays for", 3)
+	if sim <= dis {
+		t.Errorf("related phrases (%v) should outscore unrelated (%v)", sim, dis)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if got := TokenJaccard("a b c", "a b c"); got != 1 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	if got := TokenJaccard("a b", "c d"); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	if got := TokenJaccard("a b", "b c"); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("TokenJaccard = %v, want 1/3", got)
+	}
+}
+
+func TestSimilaritiesInRange(t *testing.T) {
+	f := func(a, b string) bool {
+		for _, s := range []float64{
+			LevenshteinSim(a, b), Jaro(a, b), JaroWinkler(a, b),
+			NgramJaccard(a, b, 3), TokenJaccard(a, b),
+		} {
+			if s < -1e-12 || s > 1+1e-12 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilaritiesSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return math.Abs(Jaro(a, b)-Jaro(b, a)) < 1e-12 &&
+			math.Abs(NgramJaccard(a, b, 3)-NgramJaccard(b, a, 3)) < 1e-12 &&
+			math.Abs(LevenshteinSim(a, b)-LevenshteinSim(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package text
+
+import "math"
+
+// IDFTable holds word frequencies over a phrase collection and computes
+// the IDF token-overlap similarity of Galárraga et al. (2014), which the
+// paper adopts as its primary NP/RP canonicalization signal and as the
+// blocking function for generating canonicalization pair variables.
+type IDFTable struct {
+	freq  map[string]int
+	total int
+}
+
+// NewIDFTable builds a frequency table from the words of all given
+// phrases. f(x) is the number of occurrences of word x across the whole
+// collection (token occurrences, not document frequency), matching the
+// paper's definition "f(x) is the frequency of the word x in the
+// collection of all words that appear in the NPs of the OIE triples".
+func NewIDFTable(phrases []string) *IDFTable {
+	t := &IDFTable{freq: make(map[string]int)}
+	for _, p := range phrases {
+		t.Add(p)
+	}
+	return t
+}
+
+// Add incorporates the words of one phrase into the table.
+func (t *IDFTable) Add(phrase string) {
+	for _, w := range Tokenize(phrase) {
+		t.freq[w]++
+		t.total++
+	}
+}
+
+// Freq returns the collection frequency of word w.
+func (t *IDFTable) Freq(w string) int { return t.freq[w] }
+
+// TotalTokens returns the total number of token occurrences added.
+func (t *IDFTable) TotalTokens() int { return t.total }
+
+// weight is the IDF weight log(1+f(x))^-1 from the paper. Unseen words
+// get f(x)=0 and thus weight 1/log(2) — the maximum, as befits maximally
+// informative (rare) words.
+func (t *IDFTable) weight(w string) float64 {
+	return 1.0 / math.Log(2.0+float64(t.freq[w]))
+}
+
+// Overlap computes Sim_idf(a, b): the IDF-weighted Jaccard overlap
+//
+//	sum_{x in w(a) ∩ w(b)} log(1+f(x))^-1
+//	------------------------------------
+//	sum_{x in w(a) ∪ w(b)} log(1+f(x))^-1
+//
+// Identical phrases score 1; phrases sharing only frequent words score
+// near 0. Result is in [0, 1]. Two empty phrases score 0.
+func (t *IDFTable) Overlap(a, b string) float64 {
+	wa, wb := TokenSet(a), TokenSet(b)
+	if len(wa) == 0 || len(wb) == 0 {
+		return 0
+	}
+	var inter, union float64
+	for w := range wa {
+		wt := t.weight(w)
+		union += wt
+		if wb[w] {
+			inter += wt
+		}
+	}
+	for w := range wb {
+		if !wa[w] {
+			union += t.weight(w)
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return inter / union
+}

@@ -1,0 +1,30 @@
+package text
+
+import "strings"
+
+// Normalize applies the morphological normalization the paper's Morph
+// Norm baseline (Fader et al. 2011) performs on phrases: lowercase,
+// tokenize, drop auxiliaries/determiners/other stopwords, and stem each
+// remaining token (removing tense and pluralization). The result is a
+// canonical space-joined key; two phrases with equal keys are treated as
+// morphological variants of each other.
+//
+// The same normalization is applied to relation phrases before AMIE rule
+// mining, exactly as the paper describes ("We take morphological
+// normalized OIE triples as the input of AMIE").
+func Normalize(phrase string) string {
+	toks := ContentTokens(phrase)
+	stemmed := StemAll(toks)
+	return strings.Join(stemmed, " ")
+}
+
+// NormalizeTokens returns the normalized token list of phrase (stemmed
+// content tokens), for callers that need tokens rather than a joined key.
+func NormalizeTokens(phrase string) []string {
+	return StemAll(ContentTokens(phrase))
+}
+
+// EqualNormalized reports whether two phrases share a normalized form.
+func EqualNormalized(a, b string) bool {
+	return Normalize(a) == Normalize(b)
+}

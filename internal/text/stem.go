@@ -1,0 +1,123 @@
+package text
+
+import "strings"
+
+// irregular maps common irregular inflected forms to their lemma. The
+// table is small by design: it covers the verbs and nouns that actually
+// occur in relation phrases and noun phrases of OIE extractions
+// (be/have/do paradigms, frequent strong verbs, frequent irregular
+// plurals). Everything else goes through the suffix stripper.
+var irregular = map[string]string{
+	// be / have / do paradigms.
+	"is": "be", "are": "be", "was": "be", "were": "be", "been": "be",
+	"being": "be", "am": "be",
+	"has": "have", "had": "have", "having": "have",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	// Frequent strong verbs seen in relation phrases.
+	"went": "go", "gone": "go", "goes": "go",
+	"made": "make", "makes": "make", "making": "make",
+	"took": "take", "taken": "take", "takes": "take", "taking": "take",
+	"gave": "give", "given": "give", "gives": "give", "giving": "give",
+	"got": "get", "gotten": "get", "gets": "get", "getting": "get",
+	"held": "hold", "holds": "hold", "holding": "hold",
+	"led": "lead", "leads": "lead", "leading": "lead",
+	"ran": "run", "runs": "run", "running": "run",
+	"won": "win", "wins": "win", "winning": "win",
+	"wrote": "write", "written": "write", "writes": "write", "writing": "write",
+	"said": "say", "says": "say", "saying": "say",
+	"met": "meet", "meets": "meet", "meeting": "meet",
+	"found": "find", "finds": "find", "finding": "find",
+	"founded": "found", "founds": "found", "founding": "found",
+	"became": "become", "becomes": "become", "becoming": "become",
+	"began": "begin", "begun": "begin", "begins": "begin", "beginning": "begin",
+	"bought": "buy", "buys": "buy", "buying": "buy",
+	"sold": "sell", "sells": "sell", "selling": "sell",
+	"built": "build", "builds": "build", "building": "build",
+	"taught": "teach", "teaches": "teach", "teaching": "teach",
+	"left": "leave", "leaves": "leave", "leaving": "leave",
+	"grew": "grow", "grown": "grow", "grows": "grow", "growing": "grow",
+	"knew": "know", "known": "know", "knows": "know", "knowing": "know",
+	"spoke": "speak", "spoken": "speak", "speaks": "speak", "speaking": "speak",
+	// Frequent irregular plurals.
+	"men": "man", "women": "woman", "children": "child",
+	"people": "person", "feet": "foot", "teeth": "tooth",
+	"mice": "mouse", "geese": "goose", "lives": "life",
+	"countries": "country", "cities": "city", "companies": "company",
+	"universities": "university", "parties": "party",
+	"studies": "study", "bodies": "body", "families": "family",
+}
+
+// vowel reports whether b is an ASCII vowel.
+func vowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// Stem reduces a lowercase token to an approximate lemma. It applies the
+// irregular-form table first, then strips common inflectional suffixes
+// (plural -s/-es/-ies, past -ed, progressive -ing, adverbial -ly) with
+// guards that keep short stems intact. It is intentionally lighter than
+// a full Porter stemmer: the goal is matching inflectional variants of
+// the same word, not aggressive conflation.
+func Stem(t string) string {
+	if lemma, ok := irregular[t]; ok {
+		return lemma
+	}
+	n := len(t)
+	switch {
+	case n > 4 && strings.HasSuffix(t, "ies"):
+		return t[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(t, "sses"):
+		return t[:n-2]
+	case n > 3 && strings.HasSuffix(t, "es") &&
+		(strings.HasSuffix(t, "ches") || strings.HasSuffix(t, "shes") ||
+			strings.HasSuffix(t, "xes") || strings.HasSuffix(t, "zes")):
+		return t[:n-2]
+	case n > 3 && strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "ss") &&
+		!strings.HasSuffix(t, "us") && !strings.HasSuffix(t, "is"):
+		return t[:n-1]
+	case n > 4 && strings.HasSuffix(t, "ied"):
+		return t[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(t, "ed"):
+		stem := t[:n-2]
+		if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] && !vowel(stem[len(stem)-1]) {
+			// Doubled final consonant ("stopped" -> "stop").
+			if stem[len(stem)-1] != 'l' && stem[len(stem)-1] != 's' {
+				stem = stem[:len(stem)-1]
+			}
+		} else if len(stem) > 2 && !vowel(stem[len(stem)-1]) && vowel(stem[len(stem)-2]) &&
+			len(stem) >= 3 && !vowel(stem[len(stem)-3]) {
+			// CVC ending usually dropped an e: "located" -> "locate".
+			stem += "e"
+		}
+		return stem
+	case n > 5 && strings.HasSuffix(t, "ing"):
+		stem := t[:n-3]
+		if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] && !vowel(stem[len(stem)-1]) {
+			if stem[len(stem)-1] != 'l' && stem[len(stem)-1] != 's' {
+				stem = stem[:len(stem)-1]
+			}
+		} else if len(stem) > 2 && !vowel(stem[len(stem)-1]) && vowel(stem[len(stem)-2]) &&
+			len(stem) >= 3 && !vowel(stem[len(stem)-3]) {
+			// CVC pattern usually dropped an e: "making" handled by table,
+			// "locating" -> "locate".
+			stem += "e"
+		}
+		return stem
+	case n > 4 && strings.HasSuffix(t, "ly"):
+		return t[:n-2]
+	}
+	return t
+}
+
+// StemAll stems every token in ts, returning a new slice.
+func StemAll(ts []string) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = Stem(t)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package text
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"University of Maryland", []string{"university", "of", "maryland"}},
+		{"be-a-member-of", []string{"be", "a", "member", "of"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"U21", []string{"u21"}},
+		{"", nil},
+		{"...!!!", nil},
+		{"O'Brien's", []string{"o", "brien", "s"}},
+		{"AT&T 2018", []string{"at", "t", "2018"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("MiXeD CaSe") {
+		if tok != strings.ToLower(tok) {
+			t.Errorf("token %q not lowercase", tok)
+		}
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	set := TokenSet("the cat and the hat")
+	if len(set) != 4 {
+		t.Fatalf("want 4 distinct tokens, got %d: %v", len(set), set)
+	}
+	for _, w := range []string{"the", "cat", "and", "hat"} {
+		if !set[w] {
+			t.Errorf("missing token %q", w)
+		}
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"the", "of", "is", "was", "be", "and"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+	}
+	for _, w := range []string{"university", "maryland", "member", "capital"} {
+		if IsStopword(w) {
+			t.Errorf("%q should not be a stopword", w)
+		}
+	}
+}
+
+func TestContentTokens(t *testing.T) {
+	got := ContentTokens("be a member of")
+	if !reflect.DeepEqual(got, []string{"member"}) {
+		t.Errorf("ContentTokens = %v, want [member]", got)
+	}
+	// Phrases made only of stopwords keep their raw tokens.
+	got = ContentTokens("is in")
+	if len(got) == 0 {
+		t.Error("all-stopword phrase must not normalize to empty")
+	}
+}
+
+func TestStemRegular(t *testing.T) {
+	cases := map[string]string{
+		"members":      "member",
+		"cities":       "city",
+		"churches":     "church",
+		"boxes":        "box",
+		"located":      "locate",
+		"locating":     "locate",
+		"stopped":      "stop",
+		"studied":      "study",
+		"quickly":      "quick",
+		"capital":      "capital",
+		"universities": "university",
+		"glasses":      "glass",
+		"bus":          "bus",
+		"analysis":     "analysis",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIrregular(t *testing.T) {
+	cases := map[string]string{
+		"was": "be", "were": "be", "is": "be",
+		"founded": "found", "became": "become",
+		"children": "child", "companies": "company",
+		"wrote": "write", "held": "hold",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnShortWords(t *testing.T) {
+	for _, w := range []string{"a", "as", "us", "go", "it", "ed"} {
+		if got := Stem(w); got == "" {
+			t.Errorf("Stem(%q) produced empty string", w)
+		}
+	}
+}
+
+func TestNormalizeMergesVariants(t *testing.T) {
+	pairs := [][2]string{
+		{"be a member of", "members"},
+		{"is the capital of", "capital"},
+		{"was located in", "locate"},
+		{"the United States", "united state"},
+	}
+	for _, p := range pairs {
+		if Normalize(p[0]) != Normalize(p[1]) {
+			t.Errorf("Normalize(%q)=%q != Normalize(%q)=%q",
+				p[0], Normalize(p[0]), p[1], Normalize(p[1]))
+		}
+	}
+}
+
+func TestNormalizeDistinguishes(t *testing.T) {
+	if Normalize("capital of france") == Normalize("president of france") {
+		t.Error("distinct relations must not collapse")
+	}
+	if !EqualNormalized("is a member of", "be a member of") {
+		t.Error("tense variants should be equal after normalization")
+	}
+}
+
+func TestIDFOverlapIdentity(t *testing.T) {
+	tbl := NewIDFTable([]string{"university of maryland", "university of virginia"})
+	if got := tbl.Overlap("university of maryland", "university of maryland"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+}
+
+func TestIDFOverlapRareWordDominates(t *testing.T) {
+	// "university" and "of" are frequent; "buffett" is rare.
+	var phrases []string
+	for i := 0; i < 50; i++ {
+		phrases = append(phrases, "university of somewhere")
+	}
+	phrases = append(phrases, "warren buffett", "buffett")
+	tbl := NewIDFTable(phrases)
+
+	rare := tbl.Overlap("warren buffett", "buffett")
+	freq := tbl.Overlap("university of maryland", "university of virginia")
+	if rare <= freq {
+		t.Errorf("sharing rare word (%v) should outscore sharing frequent words (%v)", rare, freq)
+	}
+}
+
+func TestIDFOverlapDisjoint(t *testing.T) {
+	tbl := NewIDFTable([]string{"alpha beta", "gamma delta"})
+	if got := tbl.Overlap("alpha beta", "gamma delta"); got != 0 {
+		t.Errorf("disjoint overlap = %v, want 0", got)
+	}
+}
+
+func TestIDFOverlapEmpty(t *testing.T) {
+	tbl := NewIDFTable(nil)
+	if got := tbl.Overlap("", "x"); got != 0 {
+		t.Errorf("empty phrase overlap = %v, want 0", got)
+	}
+}
+
+func TestIDFOverlapProperties(t *testing.T) {
+	tbl := NewIDFTable([]string{"a b c", "c d e", "e f g", "university of maryland"})
+	f := func(a, b string) bool {
+		s := tbl.Overlap(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		// Symmetry.
+		return math.Abs(s-tbl.Overlap(b, a)) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDFTableAccounting(t *testing.T) {
+	tbl := NewIDFTable([]string{"a a b", "b c"})
+	if tbl.Freq("a") != 2 || tbl.Freq("b") != 2 || tbl.Freq("c") != 1 {
+		t.Errorf("frequencies wrong: a=%d b=%d c=%d", tbl.Freq("a"), tbl.Freq("b"), tbl.Freq("c"))
+	}
+	if tbl.TotalTokens() != 5 {
+		t.Errorf("TotalTokens = %d, want 5", tbl.TotalTokens())
+	}
+}

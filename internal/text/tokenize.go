@@ -1,0 +1,91 @@
+// Package text provides the lexical substrate shared by every JOCL
+// component: tokenization, stopword filtering, a light inflectional
+// stemmer, the morphological normalizer used both by the Morph Norm
+// baseline and by AMIE preprocessing, and document-frequency tables
+// backing the IDF token-overlap signal.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. Tokens are maximal runs
+// of letters and digits; everything else (punctuation, whitespace,
+// hyphens) is a separator. The tokenizer is deliberately simple and
+// deterministic: the same function is used when building the IDF table,
+// the embedding corpus, and every similarity signal, so all components
+// agree on token boundaries.
+func Tokenize(s string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// TokenSet returns the set of distinct tokens in s.
+func TokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokenize(s) {
+		set[t] = true
+	}
+	return set
+}
+
+// stopwords is the closed-class word list stripped by Normalize and by
+// ContentTokens. It covers determiners, auxiliaries, prepositions and
+// conjunctions — the classes the paper's Morph Norm baseline removes.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true,
+	"be": true, "is": true, "are": true, "was": true, "were": true,
+	"been": true, "being": true, "am": true,
+	"do": true, "does": true, "did": true, "done": true,
+	"have": true, "has": true, "had": true, "having": true,
+	"will": true, "would": true, "shall": true, "should": true,
+	"can": true, "could": true, "may": true, "might": true, "must": true,
+	"of": true, "in": true, "on": true, "at": true, "to": true,
+	"for": true, "from": true, "by": true, "with": true, "about": true,
+	"into": true, "onto": true, "over": true, "under": true,
+	"and": true, "or": true, "but": true, "nor": true,
+	"as": true, "if": true, "than": true, "then": true,
+	"this": true, "that": true, "these": true, "those": true,
+	"it": true, "its": true, "he": true, "she": true, "they": true,
+	"his": true, "her": true, "their": true,
+	"not": true, "no": true, "so": true, "such": true,
+	"there": true, "here": true, "up": true, "out": true, "off": true,
+	"very": true, "also": true, "just": true, "only": true,
+}
+
+// IsStopword reports whether the lowercase token t is a stopword.
+func IsStopword(t string) bool { return stopwords[t] }
+
+// ContentTokens tokenizes s and drops stopwords. If every token is a
+// stopword the full token list is returned instead, so short function-
+// word-only phrases ("be in") still normalize to something non-empty.
+func ContentTokens(s string) []string {
+	all := Tokenize(s)
+	var content []string
+	for _, t := range all {
+		if !stopwords[t] {
+			content = append(content, t)
+		}
+	}
+	if len(content) == 0 {
+		return all
+	}
+	return content
+}

@@ -1,0 +1,302 @@
+// Package jocl is the public API of this reproduction of "Joint Open
+// Knowledge Base Canonicalization and Linking" (Liu et al., SIGMOD
+// 2021). It canonicalizes the noun and relation phrases of Open IE
+// triples (clustering paraphrases into groups) and links them to a
+// curated knowledge base — jointly, with each task reinforcing the
+// other through a factor graph with loopy belief propagation.
+//
+// Minimal usage:
+//
+//	kb, _ := jocl.NewKB(entities, relations, facts)
+//	p, _ := jocl.New(triples, kb, jocl.WithCorpus(sentences))
+//	result, _ := p.Run(nil)
+//	// result.NPGroups, result.EntityLinks, ...
+//
+// The heavy lifting lives in internal packages (factor graph engine,
+// signals, baselines, benchmark suite); this package defines the
+// stable, dependency-free surface a downstream user consumes.
+package jocl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ckb"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/signals"
+)
+
+// Triple is one Open IE extraction: (noun phrase, relation phrase,
+// noun phrase).
+type Triple struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// Entity is a curated-KB entity.
+type Entity struct {
+	ID      string
+	Name    string
+	Aliases []string
+	Types   []string
+}
+
+// Relation is a curated-KB relation.
+type Relation struct {
+	ID       string
+	Name     string
+	Category string
+	Aliases  []string
+}
+
+// Fact is a curated-KB relational fact between entity IDs.
+type Fact struct {
+	Subject  string
+	Relation string
+	Object   string
+}
+
+// KB is a curated knowledge base the pipeline links against.
+type KB struct {
+	store *ckb.Store
+}
+
+// NewKB builds a curated KB. Duplicate or dangling identifiers are
+// rejected.
+func NewKB(entities []Entity, relations []Relation, facts []Fact) (*KB, error) {
+	es := make([]ckb.Entity, len(entities))
+	for i, e := range entities {
+		es[i] = ckb.Entity{ID: e.ID, Name: e.Name, Aliases: e.Aliases, Types: e.Types}
+	}
+	rs := make([]ckb.Relation, len(relations))
+	for i, r := range relations {
+		rs[i] = ckb.Relation{ID: r.ID, Name: r.Name, Category: r.Category, Aliases: r.Aliases}
+	}
+	fs := make([]ckb.Fact, len(facts))
+	for i, f := range facts {
+		fs[i] = ckb.Fact{Subj: f.Subject, Rel: f.Relation, Obj: f.Object}
+	}
+	store, err := ckb.NewStore(es, rs, fs)
+	if err != nil {
+		return nil, err
+	}
+	return &KB{store: store}, nil
+}
+
+// AddAnchor records anchor-link statistics (how often a surface form
+// refers to an entity), the prior behind the popularity signal. Call
+// before building a Pipeline.
+func (kb *KB) AddAnchor(surface, entityID string, count int) {
+	kb.store.AddAnchor(surface, entityID, count)
+}
+
+// Labels supplies optional gold annotations (e.g. a validation split)
+// used to learn factor weights and anchor inference. All maps are
+// keyed by surface form; an empty entity id means "not in the KB".
+type Labels struct {
+	EntityLinks   map[string]string // NP surface -> entity id
+	RelationLinks map[string]string // RP surface -> relation id
+	NPGroupLabels map[string]string // NP surface -> gold group id
+	RPGroupLabels map[string]string // RP surface -> gold group id
+}
+
+// Result is the joint canonicalization + linking output.
+type Result struct {
+	// NPGroups / RPGroups partition the distinct noun / relation phrase
+	// surface forms into canonicalization groups.
+	NPGroups [][]string
+	RPGroups [][]string
+	// EntityLinks / RelationLinks map each surface form to its KB
+	// target ("" = out of KB).
+	EntityLinks   map[string]string
+	RelationLinks map[string]string
+	// Stats describes the factor graph and the inference run.
+	Stats Stats
+}
+
+// Stats mirrors the core run statistics.
+type Stats struct {
+	NPPairVariables int
+	RPPairVariables int
+	LinkVariables   int
+	Factors         int
+	Sweeps          int
+	TrainIterations int
+	ConflictFixes   int
+}
+
+// Option configures a Pipeline.
+type Option func(*options)
+
+type options struct {
+	corpus      [][]string
+	paraphrases [][]string
+	embedDim    int
+	cfg         core.Config
+}
+
+// WithCorpus supplies a tokenized text corpus used to train the word
+// embeddings behind the distributional-similarity signal. Without it,
+// the embedding feature is inert (all-zero similarity) and the
+// pipeline relies on the remaining signals.
+func WithCorpus(sentences [][]string) Option {
+	return func(o *options) { o.corpus = sentences }
+}
+
+// WithParaphrases supplies paraphrase groups (a PPDB-style resource):
+// phrases within one group are treated as equivalent by the paraphrase
+// signal.
+func WithParaphrases(groups [][]string) Option {
+	return func(o *options) { o.paraphrases = groups }
+}
+
+// WithEmbeddingDim overrides the trained embedding dimensionality
+// (default 32).
+func WithEmbeddingDim(dim int) Option {
+	return func(o *options) { o.embedDim = dim }
+}
+
+// WithMaxCandidates bounds the KB candidates per linking variable.
+func WithMaxCandidates(k int) Option {
+	return func(o *options) { o.cfg.MaxCandidates = k }
+}
+
+// WithoutLinking runs canonicalization only (the paper's JOCLcano).
+func WithoutLinking() Option {
+	return func(o *options) {
+		o.cfg.EnableLink = false
+		o.cfg.EnableConsistency = false
+		o.cfg.EnableFactIncl = false
+	}
+}
+
+// WithoutCanonicalization runs linking only (the paper's JOCLlink).
+func WithoutCanonicalization() Option {
+	return func(o *options) {
+		o.cfg.EnableCanon = false
+		o.cfg.EnableConsistency = false
+		o.cfg.EnableTransitive = false
+	}
+}
+
+// WithoutInteraction keeps both tasks but removes the consistency
+// factors that couple them (ablation of the paper's Section 3.3).
+func WithoutInteraction() Option {
+	return func(o *options) { o.cfg.EnableConsistency = false }
+}
+
+// WithFeatureProfile selects the feature ablation of the paper's
+// Table 5 — "single", "double", or "all" (default) — or "extended",
+// which adds the two extension signals (attribute overlap, type
+// compatibility) beyond the paper.
+func WithFeatureProfile(profile string) Option {
+	return func(o *options) {
+		switch profile {
+		case "single":
+			o.cfg.Features = core.SingleFeatures()
+		case "double":
+			o.cfg.Features = core.DoubleFeatures()
+		case "extended":
+			o.cfg.Features = core.ExtendedFeatures()
+		default:
+			o.cfg.Features = core.AllFeatures()
+		}
+	}
+}
+
+// WithWeights seeds factor weights by name (e.g. learned on another
+// data set's validation split).
+func WithWeights(weights map[string]float64) Option {
+	return func(o *options) { o.cfg.InitialWeights = weights }
+}
+
+// Pipeline is a constructed JOCL system over one triple set + KB.
+type Pipeline struct {
+	sys *core.System
+	res *signals.Resources
+}
+
+// New builds a Pipeline over the triples and KB.
+func New(triples []Triple, kb *KB, opts ...Option) (*Pipeline, error) {
+	if kb == nil {
+		return nil, fmt.Errorf("jocl: nil KB")
+	}
+	o := &options{cfg: core.DefaultConfig(), embedDim: 32}
+	for _, opt := range opts {
+		opt(o)
+	}
+
+	ts := make([]okb.Triple, len(triples))
+	for i, t := range triples {
+		ts[i] = okb.Triple{Subj: t.Subject, Pred: t.Predicate, Obj: t.Object}
+	}
+	store := okb.NewStore(ts)
+
+	emb := embedding.Train(o.corpus, embedding.Config{Dim: o.embedDim, Seed: 1})
+	pb := ppdb.NewBuilder()
+	for _, g := range o.paraphrases {
+		pb.AddGroup(g...)
+	}
+	res := signals.New(store, kb.store, emb, pb.Build())
+
+	sys, err := core.NewSystem(res, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{sys: sys, res: res}, nil
+}
+
+// Run learns weights from the labels (if any) and performs joint
+// inference. Pass nil to run unsupervised with default weights.
+func (p *Pipeline) Run(labels *Labels) (*Result, error) {
+	var coreLabels *core.Labels
+	if labels != nil {
+		coreLabels = &core.Labels{
+			NPLink:    labels.EntityLinks,
+			RPLink:    labels.RelationLinks,
+			NPCluster: labels.NPGroupLabels,
+			RPCluster: labels.RPGroupLabels,
+		}
+	}
+	r := p.sys.Run(coreLabels)
+	return &Result{
+		NPGroups:      r.NPGroups,
+		RPGroups:      r.RPGroups,
+		EntityLinks:   r.NPLinks,
+		RelationLinks: r.RPLinks,
+		Stats: Stats{
+			NPPairVariables: r.Stats.NPPairVars,
+			RPPairVariables: r.Stats.RPPairVars,
+			LinkVariables:   r.Stats.NPLinkVars + r.Stats.RPLinkVars,
+			Factors:         r.Stats.Factors,
+			Sweeps:          r.Stats.Sweeps,
+			TrainIterations: r.Stats.TrainIters,
+			ConflictFixes:   r.Stats.ConflictFixes,
+		},
+	}, nil
+}
+
+// Weights returns the pipeline's current factor weights by name; after
+// a labeled Run these are the learned parameters, suitable for
+// WithWeights on another Pipeline.
+func (p *Pipeline) Weights() map[string]float64 {
+	return p.sys.WeightValues()
+}
+
+// ReadTriplesTSV parses triples from tab-separated rows
+// (id, subject, predicate, object[, gold columns]).
+func ReadTriplesTSV(r io.Reader) ([]Triple, error) {
+	ts, err := okb.ReadTSV(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Triple, len(ts))
+	for i, t := range ts {
+		out[i] = Triple{Subject: t.Subj, Predicate: t.Pred, Object: t.Obj}
+	}
+	return out, nil
+}

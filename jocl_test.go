@@ -1,0 +1,248 @@
+package jocl
+
+import (
+	"strings"
+	"testing"
+)
+
+// runningExample builds the paper's Figure 1 running example through
+// the public API.
+func runningExample(t *testing.T) (*Pipeline, []Triple) {
+	t.Helper()
+	entities := []Entity{
+		{ID: "e1", Name: "maryland", Aliases: []string{"Maryland"}, Types: []string{"location"}},
+		{ID: "e2", Name: "universitas 21", Aliases: []string{"U21"}, Types: []string{"organization"}},
+		{ID: "e3", Name: "university of virginia", Aliases: []string{"UVA"}, Types: []string{"organization"}},
+		{ID: "e4", Name: "university of maryland", Aliases: []string{"UMD"}, Types: []string{"organization"}},
+	}
+	relations := []Relation{
+		{ID: "r1", Name: "location.contained_by", Category: "location",
+			Aliases: []string{"locate in", "located in"}},
+		{ID: "r2", Name: "organizations_founded", Category: "membership",
+			Aliases: []string{"be a member of", "member of"}},
+	}
+	facts := []Fact{
+		{Subject: "e4", Relation: "r1", Object: "e1"},
+		{Subject: "e4", Relation: "r2", Object: "e2"},
+		{Subject: "e3", Relation: "r2", Object: "e2"},
+	}
+	kb, err := NewKB(entities, relations, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb.AddAnchor("Maryland", "e1", 90)
+	kb.AddAnchor("UMD", "e4", 40)
+	kb.AddAnchor("University of Maryland", "e4", 60)
+	kb.AddAnchor("U21", "e2", 20)
+
+	triples := []Triple{
+		{Subject: "University of Maryland", Predicate: "locate in", Object: "Maryland"},
+		{Subject: "UMD", Predicate: "be a member of", Object: "Universitas 21"},
+		{Subject: "University of Virginia", Predicate: "be an early member of", Object: "U21"},
+	}
+	corpus := [][]string{
+		{"the", "university", "of", "maryland", "campus", "sits", "near", "college", "park"},
+		{"umd", "campus", "sits", "near", "college", "park"},
+		{"universitas", "21", "network", "of", "universities", "meets", "annually"},
+		{"u21", "network", "of", "universities", "meets", "annually"},
+		{"university", "of", "virginia", "charlottesville", "grounds", "historic"},
+		{"uva", "charlottesville", "grounds", "historic"},
+	}
+	p, err := New(triples, kb,
+		WithCorpus(corpus),
+		WithParaphrases([][]string{
+			{"Universitas 21", "U21"},
+			{"be a member of", "be an early member of"},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, triples
+}
+
+func TestRunningExampleJoint(t *testing.T) {
+	p, _ := runningExample(t)
+	res, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1 linking: UMD and University of Maryland -> e4.
+	if got := res.EntityLinks["UMD"]; got != "e4" {
+		t.Errorf("UMD linked to %q, want e4", got)
+	}
+	if got := res.EntityLinks["University of Maryland"]; got != "e4" {
+		t.Errorf("University of Maryland linked to %q, want e4", got)
+	}
+	if got := res.EntityLinks["U21"]; got != "e2" {
+		t.Errorf("U21 linked to %q, want e2", got)
+	}
+	// Figure 1 canonicalization: UMD and University of Maryland in one
+	// group; Universitas 21 and U21 in one group.
+	if !sameGroup(res.NPGroups, "UMD", "University of Maryland") {
+		t.Errorf("UMD and University of Maryland should share a group: %v", res.NPGroups)
+	}
+	if !sameGroup(res.NPGroups, "U21", "Universitas 21") {
+		t.Errorf("U21 and Universitas 21 should share a group: %v", res.NPGroups)
+	}
+	// RP canonicalization: the two member-of variants merge.
+	if !sameGroup(res.RPGroups, "be a member of", "be an early member of") {
+		t.Errorf("member-of variants should merge: %v", res.RPGroups)
+	}
+	// And they link to r2.
+	if got := res.RelationLinks["be a member of"]; got != "r2" {
+		t.Errorf("be a member of linked to %q, want r2", got)
+	}
+	if res.Stats.Factors == 0 || res.Stats.Sweeps == 0 {
+		t.Errorf("missing stats: %+v", res.Stats)
+	}
+}
+
+func sameGroup(groups [][]string, a, b string) bool {
+	for _, g := range groups {
+		hasA, hasB := false, false
+		for _, p := range g {
+			if p == a {
+				hasA = true
+			}
+			if p == b {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPipelineVariants(t *testing.T) {
+	p, _ := runningExample(t)
+	res, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+
+	// Canonicalization-only.
+	pc, _ := runningExample(t)
+	_ = pc
+	kbLess, err := New([]Triple{{Subject: "a", Predicate: "r", Object: "b"}}, nil)
+	if err == nil || kbLess != nil {
+		t.Error("nil KB must be rejected")
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	b, err := GenerateBenchmark("reverb45k", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{
+		{WithoutLinking()},
+		{WithoutCanonicalization()},
+		{WithoutInteraction()},
+		{WithFeatureProfile("single")},
+		{WithMaxCandidates(3)},
+	} {
+		p, err := b.Pipeline(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(b.ValidationLabels()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateBenchmark(t *testing.T) {
+	b, err := GenerateBenchmark("reverb45k", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "ReVerb45K" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	if len(b.Triples) == 0 || len(b.GoldEntityLinks) == 0 {
+		t.Fatal("benchmark incomplete")
+	}
+	p, err := b.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(b.ValidationLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := LinkingAccuracy(res.EntityLinks, b.TestGold(b.GoldEntityLinks, true))
+	if acc < 0.5 {
+		t.Errorf("entity accuracy %.3f too low", acc)
+	}
+	sc := EvaluateClustering(res.NPGroups, b.TestGold(b.GoldNPGroups, true))
+	if sc.AverageF1 <= 0 || sc.AverageF1 > 1 {
+		t.Errorf("avg F1 out of range: %v", sc.AverageF1)
+	}
+	if _, err := GenerateBenchmark("bogus", 1); err == nil {
+		t.Error("unknown profile must error")
+	}
+}
+
+func TestWeightsTransfer(t *testing.T) {
+	b, err := GenerateBenchmark("reverb45k", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(b.ValidationLabels()); err != nil {
+		t.Fatal(err)
+	}
+	w := p.Weights()
+	if len(w) == 0 {
+		t.Fatal("no weights exported")
+	}
+	nyt, err := GenerateBenchmark("nytimes2018", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := nyt.Pipeline(WithWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKBAccessors(t *testing.T) {
+	kb, err := NewKB(
+		[]Entity{{ID: "e1", Name: "alpha"}, {ID: "e2", Name: "beta"}},
+		[]Relation{{ID: "r1", Name: "rel", Category: "c"}},
+		[]Fact{{Subject: "e1", Relation: "r1", Object: "e2"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kb.HasFact("e1", "r1", "e2") || kb.HasFact("e2", "r1", "e1") {
+		t.Error("HasFact wrong")
+	}
+	if kb.EntityName("e1") != "alpha" || kb.EntityName("zz") != "" {
+		t.Error("EntityName wrong")
+	}
+	if kb.RelationName("r1") != "rel" || kb.RelationName("zz") != "" {
+		t.Error("RelationName wrong")
+	}
+}
+
+func TestReadTriplesTSV(t *testing.T) {
+	in := "0\tA\tloves\tB\n1\tC\thates\tD\n"
+	ts, err := ReadTriplesTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Subject != "A" || ts[1].Object != "D" {
+		t.Errorf("parsed %+v", ts)
+	}
+}
