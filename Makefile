@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-stream serve clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./cmd/jocl-serve/
+
+# Regenerate the paper's tables and figures.
+bench:
+	$(GO) run ./cmd/jocl-bench -exp all
+
+# Streaming-ingest benchmark: incremental session vs full rebuild.
+# Emits the BENCH_stream.json artifact.
+bench-stream:
+	$(GO) run ./cmd/jocl-bench -exp stream -stream-out BENCH_stream.json
+
+serve:
+	$(GO) run ./cmd/jocl-serve -addr :8080
+
+clean:
+	rm -f BENCH_stream.json

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/signals"
+	"repro/internal/stream"
 )
 
 // Benchmark is a synthesized evaluation data set modeled on one of the
@@ -79,6 +80,22 @@ func (b *Benchmark) Pipeline(opts ...Option) (*Pipeline, error) {
 		return nil, err
 	}
 	return &Pipeline{sys: sys, res: res}, nil
+}
+
+// Session opens a streaming session against the benchmark's KB using
+// its pre-built resources (trained embeddings, paraphrase DB, anchor
+// statistics). Ingest the benchmark's Triples in batches to simulate a
+// stream; see also cmd/jocl-serve, which does exactly that over HTTP.
+func (b *Benchmark) Session(opts ...Option) (*Session, error) {
+	o := &options{cfg: core.DefaultConfig()}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return &Session{s: stream.New(b.ds.CKB, b.ds.Emb, b.ds.PPDB, stream.Config{
+		Core:         o.cfg,
+		Workers:      o.workers,
+		RefreshEvery: o.refreshEvery,
+	})}, nil
 }
 
 // ValidationLabels returns the gold labels of the benchmark's

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra]
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream]
+//	           [-stream-batches 6] [-stream-preload 0.6] [-stream-out BENCH_stream.json]
 //
 // scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
 // the default keeps a laptop run under a minute.
+//
+// -exp stream runs the streaming-ingest benchmark (incremental session
+// vs full per-batch rebuild; see internal/bench.RunStream) and, with
+// -stream-out, writes the report as a JSON artifact.
 package main
 
 import (
@@ -21,14 +26,45 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
-		exp   = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra)")
+		scale         = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
+		exp           = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream)")
+		streamBatches = flag.Int("stream-batches", 6, "stream: total batches (1 preload + N-1 increments)")
+		streamPreload = flag.Float64("stream-preload", 0.6, "stream: fraction of triples ingested as the preload batch")
+		streamOut     = flag.String("stream-out", "", "stream: write the report JSON to this path (e.g. BENCH_stream.json)")
 	)
 	flag.Parse()
+	if *exp == "stream" {
+		if err := runStream(*scale, *streamPreload, *streamBatches, *streamOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*scale, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func runStream(scale, preload float64, batches int, out string) error {
+	report, err := bench.RunStream("reverb45k", scale, preload, batches, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 func run(scale float64, exp string) error {

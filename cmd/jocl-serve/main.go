@@ -1,0 +1,238 @@
+// Command jocl-serve exposes a streaming JOCL session over HTTP: an
+// online canonicalization-and-linking service that accepts OIE triple
+// batches as they are extracted and keeps a continuously updated joint
+// result, re-running inference only on the parts of the factor graph
+// each batch touches.
+//
+// Usage:
+//
+//	jocl-serve [-addr :8080] [-profile reverb45k] [-scale 0.02]
+//	           [-workers 0] [-refresh-every 0] [-max-batch 10000]
+//
+// The curated KB and frozen signal resources come from the synthetic
+// benchmark generator (the same substrate the rest of the repo
+// evaluates on); -profile/-scale pick the world. Endpoints:
+//
+//	POST /ingest   {"triples": [{"subject": s, "predicate": p, "object": o}, ...]}
+//	               -> per-batch ingest statistics (dirty components, sweeps, ms)
+//	GET  /result   -> current canonicalization groups and KB links
+//	GET  /stats    -> cumulative session statistics
+//	GET  /healthz  -> liveness (200 once the KB is loaded)
+//
+// Example:
+//
+//	curl -s localhost:8080/ingest -d '{"triples":[{"subject":"barack obama","predicate":"be born in","object":"honolulu"}]}'
+//	curl -s localhost:8080/result | jq .entity_links
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		profile      = flag.String("profile", "reverb45k", "benchmark profile backing the KB (reverb45k | nytimes2018)")
+		scale        = flag.Float64("scale", 0.02, "fraction of the paper's data set size for the generated KB")
+		workers      = flag.Int("workers", 0, "inference worker pool (0 = GOMAXPROCS)")
+		refreshEvery = flag.Int("refresh-every", 0, "rebuild frozen signal statistics every N batches (0 = never)")
+		maxBatch     = flag.Int("max-batch", 10000, "largest accepted ingest batch")
+	)
+	flag.Parse()
+
+	log.Printf("generating %s KB at scale %g ...", *profile, *scale)
+	bench, err := jocl.GenerateBenchmark(*profile, *scale)
+	if err != nil {
+		log.Fatal("jocl-serve: ", err)
+	}
+	sess, err := bench.Session(jocl.WithWorkers(*workers), jocl.WithRefreshEvery(*refreshEvery))
+	if err != nil {
+		log.Fatal("jocl-serve: ", err)
+	}
+	srv := newServer(sess, *maxBatch)
+	log.Printf("serving on %s (%s world, %d generator triples available)", *addr, bench.Name(), len(bench.Triples))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "jocl-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// server wires a jocl.Session into an http.Handler. Handlers run
+// concurrently; the session serializes ingests internally and serves
+// snapshots from published state, so no extra locking is needed here.
+type server struct {
+	mux      *http.ServeMux
+	sess     *jocl.Session
+	maxBatch int
+}
+
+func newServer(sess *jocl.Session, maxBatch int) *server {
+	s := &server{mux: http.NewServeMux(), sess: sess, maxBatch: maxBatch}
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/result", s.handleResult)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type ingestRequest struct {
+	Triples []tripleJSON `json:"triples"`
+}
+
+type tripleJSON struct {
+	Subject   string `json:"subject"`
+	Predicate string `json:"predicate"`
+	Object    string `json:"object"`
+}
+
+type ingestResponse struct {
+	Batch           int     `json:"batch"`
+	BatchTriples    int     `json:"batch_triples"`
+	TotalTriples    int     `json:"total_triples"`
+	Refreshed       bool    `json:"refreshed"`
+	Components      int     `json:"components"`
+	DirtyComponents int     `json:"dirty_components"`
+	CleanComponents int     `json:"clean_components"`
+	Sweeps          int     `json:"sweeps"`
+	ConstructMillis float64 `json:"construct_ms"`
+	InferMillis     float64 `json:"infer_ms"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Triples) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Triples) > s.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d exceeds -max-batch %d", len(req.Triples), s.maxBatch))
+		return
+	}
+	batch := make([]jocl.Triple, len(req.Triples))
+	for i, t := range req.Triples {
+		if t.Subject == "" || t.Predicate == "" || t.Object == "" {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("triple %d: subject, predicate, object must be non-empty", i))
+			return
+		}
+		batch[i] = jocl.Triple{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}
+	}
+	st, err := s.sess.Ingest(batch)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Batch:           st.Batch,
+		BatchTriples:    st.BatchTriples,
+		TotalTriples:    st.TotalTriples,
+		Refreshed:       st.Refreshed,
+		Components:      st.Components,
+		DirtyComponents: st.DirtyComponents,
+		CleanComponents: st.CleanComponents,
+		Sweeps:          st.Sweeps,
+		ConstructMillis: st.ConstructMillis,
+		InferMillis:     st.InferMillis,
+	})
+}
+
+type resultResponse struct {
+	NPGroups      [][]string        `json:"np_groups"`
+	RPGroups      [][]string        `json:"rp_groups"`
+	EntityLinks   map[string]string `json:"entity_links"`
+	RelationLinks map[string]string `json:"relation_links"`
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	res := s.sess.Snapshot()
+	if res == nil {
+		httpError(w, http.StatusNotFound, "no result yet: POST /ingest first")
+		return
+	}
+	writeJSON(w, http.StatusOK, resultResponse{
+		NPGroups:      res.NPGroups,
+		RPGroups:      res.RPGroups,
+		EntityLinks:   res.EntityLinks,
+		RelationLinks: res.RelationLinks,
+	})
+}
+
+type statsResponse struct {
+	Batches       int             `json:"batches"`
+	TotalTriples  int             `json:"total_triples"`
+	NounPhrases   int             `json:"noun_phrases"`
+	RelPhrases    int             `json:"relation_phrases"`
+	Refreshes     int             `json:"refreshes"`
+	CachedSignals int             `json:"cached_signals"`
+	LastIngest    *ingestResponse `json:"last_ingest,omitempty"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.sess.Stats()
+	resp := statsResponse{
+		Batches:       st.Batches,
+		TotalTriples:  st.TotalTriples,
+		NounPhrases:   st.NounPhrases,
+		RelPhrases:    st.RelPhrases,
+		Refreshes:     st.Refreshes,
+		CachedSignals: st.CachedSignals,
+	}
+	if li := st.LastIngest; li != nil {
+		resp.LastIngest = &ingestResponse{
+			Batch:           li.Batch,
+			BatchTriples:    li.BatchTriples,
+			TotalTriples:    li.TotalTriples,
+			Refreshed:       li.Refreshed,
+			Components:      li.Components,
+			DirtyComponents: li.DirtyComponents,
+			CleanComponents: li.CleanComponents,
+			Sweeps:          li.Sweeps,
+			ConstructMillis: li.ConstructMillis,
+			InferMillis:     li.InferMillis,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness unconditionally: the listener only
+// starts after the KB is generated and the session built, so reaching
+// this handler at all means the service is ready.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("jocl-serve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(sess, 1000)
+}
+
+func postIngest(t *testing.T, srv http.Handler, triples []tripleJSON) (*httptest.ResponseRecorder, ingestResponse) {
+	t.Helper()
+	body, _ := json.Marshal(ingestRequest{Triples: triples})
+	req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var resp ingestResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad ingest response: %v", err)
+		}
+	}
+	return rec, resp
+}
+
+func TestServeLifecycle(t *testing.T) {
+	srv := testServer(t)
+
+	// Healthy before any data.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", rec.Code)
+	}
+
+	// No result yet.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/result", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/result before ingest = %d, want 404", rec.Code)
+	}
+
+	rec, ing := postIngest(t, srv, []tripleJSON{
+		{Subject: "barack obama", Predicate: "be born in", Object: "honolulu"},
+		{Subject: "obama", Predicate: "serve as", Object: "president"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", rec.Code, rec.Body)
+	}
+	if ing.Batch != 1 || !ing.Refreshed || ing.TotalTriples != 2 {
+		t.Errorf("unexpected first ingest stats: %+v", ing)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/result", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/result = %d", rec.Code)
+	}
+	var res resultResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NPGroups) == 0 || len(res.EntityLinks) == 0 {
+		t.Errorf("empty result: %+v", res)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 1 || st.TotalTriples != 2 || st.LastIngest == nil {
+		t.Errorf("unexpected stats: %+v", st)
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	srv := testServer(t)
+	for _, tc := range []struct {
+		name string
+		req  *http.Request
+		want int
+	}{
+		{"get ingest", httptest.NewRequest(http.MethodGet, "/ingest", nil), http.StatusMethodNotAllowed},
+		{"bad json", httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader([]byte("{"))), http.StatusBadRequest},
+		{"empty batch", httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader([]byte(`{"triples":[]}`))), http.StatusBadRequest},
+		{"blank field", httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader([]byte(`{"triples":[{"subject":"a","predicate":"","object":"b"}]}`))), http.StatusBadRequest},
+		{"post result", httptest.NewRequest(http.MethodPost, "/result", nil), http.StatusMethodNotAllowed},
+	} {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, tc.req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: code = %d, want %d", tc.name, rec.Code, tc.want)
+		}
+	}
+
+	small := newServer(mustSession(t), 1)
+	rec, _ := postIngest(t, small, []tripleJSON{
+		{Subject: "a corp", Predicate: "buy", Object: "b corp"},
+		{Subject: "c corp", Predicate: "buy", Object: "d corp"},
+	})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch = %d, want 413", rec.Code)
+	}
+}
+
+func mustSession(t *testing.T) *jocl.Session {
+	t.Helper()
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestServeConcurrentClients(t *testing.T) {
+	srv := testServer(t)
+	// Seed one batch so readers have a result.
+	rec, _ := postIngest(t, srv, []tripleJSON{{Subject: "a corp", Predicate: "buy", Object: "b labs"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("seed ingest = %d", rec.Code)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"triples":[{"subject":"company %d","predicate":"acquire","object":"startup %d"}]}`, i, i)
+			req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader([]byte(body)))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("writer %d: %d %s", i, rec.Code, rec.Body)
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, path := range []string{"/result", "/stats", "/healthz"} {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Sprintf("reader %d %s: %d", i, path, rec.Code)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 9 || st.TotalTriples != 9 {
+		t.Errorf("after concurrent ingests: %+v", st)
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestStreamBenchmarkIncrementalBeatsRebuild(t *testing.T) {
+	report, err := RunStream("reverb45k", 0.02, 0.6, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(report.Points))
+	}
+	// The acceptance bar: after the shared cold start, incremental
+	// ingest must beat the full rebuild on wall-clock for at least two
+	// consecutive batches.
+	if report.ConsecutiveWins < 2 {
+		t.Errorf("consecutive incremental wins = %d, want >= 2\n%s",
+			report.ConsecutiveWins, report.Format())
+	}
+	for i, pt := range report.Points {
+		if pt.TotalTriples <= 0 || pt.Components <= 0 {
+			t.Errorf("point %d malformed: %+v", i, pt)
+		}
+	}
+	for _, pt := range report.Points[1:] {
+		if pt.WarmFactors == 0 {
+			t.Errorf("batch %d transplanted no messages", pt.Batch)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back StreamReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.ConsecutiveWins != report.ConsecutiveWins || len(back.Points) != len(report.Points) {
+		t.Errorf("artifact round-trip mismatch")
+	}
+}

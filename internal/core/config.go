@@ -169,6 +169,11 @@ type Config struct {
 	// set trains the parameters used on NYTimes2018 as well.
 	InitialWeights map[string]float64
 
+	// Cache memoizes signal evaluations across repeated System
+	// constructions over one resource epoch (streaming rebuilds). Leave
+	// nil for one-shot batch runs; see core.SimCache.
+	Cache *SimCache
+
 	BP    factorgraph.RunOptions
 	Train factorgraph.TrainOptions
 }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/factorgraph"
+)
+
+// This file holds the incremental-construction and incremental-
+// inference hooks the streaming subsystem (internal/stream) builds on.
+// A streaming session rebuilds the System after every ingested batch —
+// variable ids shift as phrases are inserted into the sorted lists —
+// but between epoch refreshes the signal resources are pinned
+// (signals.Resources.Extend, okb frozen IDF), so:
+//
+//   - construction can reuse cached signal evaluations (SimCache): the
+//     expensive part of NewSystem is re-evaluating the same feature
+//     functions over the same phrase pairs, batch after batch;
+//   - inference can reuse message state (factorgraph.WarmState): a
+//     connected component whose variables sit in bit-identical
+//     neighborhoods (same factor names, potentials, cardinalities) has
+//     the same BP fixed point, so its transplanted messages already ARE
+//     the answer and only components the batch touched need sweeps.
+
+// SimCache memoizes signal evaluations across System constructions of
+// one resource epoch. It must be dropped whenever the underlying
+// resources change (the stream session does this on epoch refresh).
+type SimCache struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+// NewSimCache returns an empty construction cache.
+func NewSimCache() *SimCache {
+	return &SimCache{m: make(map[string]float64)}
+}
+
+// Len reports the number of memoized evaluations.
+func (c *SimCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func simKey(kind byte, feat, a, b string) string {
+	var sb strings.Builder
+	sb.Grow(len(feat) + len(a) + len(b) + 4)
+	sb.WriteByte(kind)
+	sb.WriteString(feat)
+	sb.WriteByte(0)
+	sb.WriteString(a)
+	sb.WriteByte(0)
+	sb.WriteString(b)
+	return sb.String()
+}
+
+func (c *SimCache) get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *SimCache) put(key string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// entLinkSim evaluates one entity-linking feature, through the cache
+// when configured.
+func (s *System) entLinkSim(feat, np, eid string) float64 {
+	if c := s.cfg.Cache; c != nil {
+		key := simKey('E', feat, np, eid)
+		if v, ok := c.get(key); ok {
+			return v
+		}
+		v := s.entLinkSimUncached(feat, np, eid)
+		c.put(key, v)
+		return v
+	}
+	return s.entLinkSimUncached(feat, np, eid)
+}
+
+func (s *System) entLinkSimUncached(feat, np, eid string) float64 {
+	switch feat {
+	case FeatPop:
+		return s.res.Pop(np, eid)
+	case FeatEmb:
+		return s.res.EntEmb(np, eid)
+	case FeatPPDB:
+		return s.res.EntPPDB(np, eid)
+	case FeatType:
+		return s.res.TypeCompat(np, eid)
+	}
+	panic("core: unknown entity-linking feature " + feat)
+}
+
+// relLinkSim evaluates one relation-linking feature, through the cache
+// when configured.
+func (s *System) relLinkSim(feat, rp, rid string) float64 {
+	if c := s.cfg.Cache; c != nil {
+		key := simKey('L', feat, rp, rid)
+		if v, ok := c.get(key); ok {
+			return v
+		}
+		v := s.relLinkSimUncached(feat, rp, rid)
+		c.put(key, v)
+		return v
+	}
+	return s.relLinkSimUncached(feat, rp, rid)
+}
+
+func (s *System) relLinkSimUncached(feat, rp, rid string) float64 {
+	switch feat {
+	case FeatNgram:
+		return s.res.RelNgram(rp, rid)
+	case FeatLD:
+		return s.res.RelLD(rp, rid)
+	case FeatEmb:
+		return s.res.RelEmb(rp, rid)
+	case FeatPPDB:
+		return s.res.RelPPDB(rp, rid)
+	}
+	panic("core: unknown relation-linking feature " + feat)
+}
+
+// IncrementalStats describes one incremental inference pass.
+type IncrementalStats struct {
+	Components int // connected components in this build's graph
+	Dirty      int // components that needed BP sweeps
+	Reused     int // components served from warm-started messages
+	DirtyVars  int // variables inside dirty components
+	TotalVars  int
+	// WarmFactors counts factors whose messages transplanted from the
+	// previous build (spanning both clean components and the unchanged
+	// fringes of dirty ones).
+	WarmFactors int
+	SweepsTotal int // sweeps summed over dirty components
+	SweepsMax   int // slowest dirty component
+}
+
+// RunIncremental performs joint inference re-running belief propagation
+// only on the connected components that changed since the previous
+// build, identified by comparing every variable's neighborhood
+// fingerprint (factor names, cardinalities, and potential tables —
+// see factorgraph.VarAdjacency) against the warm state. Unchanged
+// components' transplanted messages already encode their converged
+// beliefs and are served as-is; changed components warm-start from
+// whatever messages still match and run scoped BP on a bounded worker
+// pool. Passing a nil warm state marks everything dirty (a cold run).
+//
+// The incremental path is unsupervised by design: weight learning needs
+// global clamped/free passes, so serving sessions learn weights offline
+// and seed them via Config.InitialWeights. The returned WarmState feeds
+// the next call.
+func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Result, *factorgraph.WarmState, IncrementalStats) {
+	s.g.UnclampAll()
+	bp := factorgraph.NewBP(s.g)
+	sigs := s.g.Signatures()
+	curAdj := factorgraph.VarAdjacency(s.g, sigs)
+
+	st := IncrementalStats{TotalVars: s.g.NumVariables()}
+	if warm != nil {
+		st.WarmFactors = bp.Import(warm, sigs)
+	}
+
+	idx := factorgraph.NewComponentIndex(s.g)
+	st.Components = len(idx.Comps)
+	var dirty []int
+	for ci, comp := range idx.Comps {
+		clean := warm != nil
+		if clean {
+			for _, vid := range comp {
+				name := s.g.Variable(vid).Name
+				if prev, ok := warm.VarAdj[name]; !ok || prev != curAdj[name] {
+					clean = false
+					break
+				}
+			}
+		}
+		if clean {
+			st.Reused++
+			continue
+		}
+		dirty = append(dirty, ci)
+		st.DirtyVars += len(comp)
+	}
+	st.Dirty = len(dirty)
+
+	opt := s.cfg.BP
+	opt.Schedule = s.sched
+	runs := factorgraph.RunComponents(bp, idx, opt, workers, dirty)
+	for _, ci := range dirty {
+		st.SweepsTotal += runs[ci].Sweeps
+		if runs[ci].Sweeps > st.SweepsMax {
+			st.SweepsMax = runs[ci].Sweeps
+		}
+	}
+
+	s.stats.Sweeps = st.SweepsMax
+	res := s.finish(bp)
+	out := bp.Export(sigs)
+	return res, out, st
+}

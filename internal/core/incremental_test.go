@@ -1,0 +1,150 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/signals"
+)
+
+func incResources(t *testing.T) *signals.Resources {
+	t.Helper()
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signals.New(ds.OKB, ds.CKB, ds.Emb, ds.PPDB)
+}
+
+// fixedSweepConfig pins the sweep count: with an unreachable tolerance,
+// the whole-graph serial run and every per-component scoped run perform
+// exactly MaxSweeps sweeps, so their messages must agree bit for bit
+// (one BP sweep is component-local and order-independent).
+func fixedSweepConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BP.MaxSweeps = 6
+	cfg.BP.Tolerance = 1e-300
+	return cfg
+}
+
+func sameOutputs(t *testing.T, a, b *Result, context string) {
+	t.Helper()
+	if !reflect.DeepEqual(a.NPGroups, b.NPGroups) {
+		t.Errorf("%s: NPGroups differ", context)
+	}
+	if !reflect.DeepEqual(a.RPGroups, b.RPGroups) {
+		t.Errorf("%s: RPGroups differ", context)
+	}
+	if !reflect.DeepEqual(a.NPLinks, b.NPLinks) {
+		t.Errorf("%s: NPLinks differ", context)
+	}
+	if !reflect.DeepEqual(a.RPLinks, b.RPLinks) {
+		t.Errorf("%s: RPLinks differ", context)
+	}
+}
+
+func TestRunIncrementalColdMatchesSerialRun(t *testing.T) {
+	res := incResources(t)
+	cfg := fixedSweepConfig()
+
+	serialSys, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := serialSys.Run(nil)
+
+	incSys, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, _, st := incSys.RunIncremental(nil, 8)
+	if st.Dirty != st.Components || st.Reused != 0 {
+		t.Fatalf("cold run must mark every component dirty: %+v", st)
+	}
+	sameOutputs(t, serial, inc, "cold incremental vs serial")
+}
+
+func TestRunIncrementalParallelismInvariant(t *testing.T) {
+	res := incResources(t)
+	cfg := fixedSweepConfig()
+	cfg.BP.Tolerance = 1e-8 // realistic convergence; worker count still must not matter
+	cfg.BP.MaxSweeps = 20
+
+	one, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOne, _, _ := one.RunIncremental(nil, 1)
+
+	many, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMany, _, _ := many.RunIncremental(nil, 8)
+	sameOutputs(t, rOne, rMany, "workers=1 vs workers=8")
+}
+
+func TestRunIncrementalWarmRerunIsAllClean(t *testing.T) {
+	res := incResources(t)
+	cfg := DefaultConfig()
+	cfg.Cache = NewSimCache()
+
+	first, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, warm, st1 := first.RunIncremental(nil, 4)
+	if st1.Dirty == 0 {
+		t.Fatalf("first run should have dirty components")
+	}
+
+	// Same resources, fresh construction: every component's neighborhood
+	// fingerprint matches, so nothing re-runs and the output is served
+	// verbatim from the transplanted messages.
+	second, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, st2 := second.RunIncremental(warm, 4)
+	if st2.Dirty != 0 || st2.Reused != st2.Components || st2.SweepsTotal != 0 {
+		t.Fatalf("rebuild on unchanged input must reuse everything: %+v", st2)
+	}
+	sameOutputs(t, r1, r2, "warm rerun")
+}
+
+func TestSimCacheDoesNotChangeTheGraph(t *testing.T) {
+	res := incResources(t)
+
+	plain := DefaultConfig()
+	noCache, err := NewSystem(res, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached := DefaultConfig()
+	cached.Cache = NewSimCache()
+	withCache, err := NewSystem(res, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache with one construction, then build again: cache hits
+	// must reproduce the identical graph (same factor signatures).
+	again, err := NewSystem(res, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Cache.Len() == 0 {
+		t.Fatalf("cache unused during construction")
+	}
+
+	want := noCache.Graph().Signatures()
+	for name, g := range map[string]interface{ Signatures() []string }{
+		"first cached build":  withCache.Graph(),
+		"second cached build": again.Graph(),
+	} {
+		if !reflect.DeepEqual(g.Signatures(), want) {
+			t.Errorf("%s: factor signatures differ from uncached build", name)
+		}
+	}
+}

@@ -116,6 +116,17 @@ func (s *System) RunWithSchedule(labels *Labels, sched *factorgraph.Schedule) *R
 	opt.Schedule = sched
 	bp.Run(opt)
 	s.stats.Sweeps = bp.Sweeps()
+	res := s.finish(bp)
+	s.g.UnclampAll()
+	return res
+}
+
+// finish turns a BP's converged message state into the joint Result:
+// max-marginal decoding, conflict resolution, link-agreement merging,
+// and group formation. It is shared by the batch path (RunWithSchedule)
+// and the incremental path (RunIncremental), which differ only in how
+// the messages were obtained.
+func (s *System) finish(bp *factorgraph.BP) *Result {
 	decoded := bp.Decode()
 
 	res := &Result{
@@ -182,7 +193,6 @@ func (s *System) RunWithSchedule(labels *Labels, sched *factorgraph.Schedule) *R
 	}
 
 	res.Stats = s.stats
-	s.g.UnclampAll()
 	return res
 }
 

@@ -121,16 +121,20 @@ func NewSystem(res *signals.Resources, cfg Config) (*System, error) {
 		s.stats.NPPairVars = len(s.npPairs)
 		s.stats.RPPairVars = len(s.rpPairs)
 
+		// Variable names embed the surface forms, not the phrase indexes:
+		// streaming rebuilds insert phrases into the sorted lists and
+		// shift every index, and the warm-start machinery (see
+		// RunIncremental) matches state across builds by name.
 		s.npPairVar = make([]int, len(s.npPairs))
 		for pi, pair := range s.npPairs {
-			v := s.g.AddVariable(fmt.Sprintf("x(%d,%d)", pair.I, pair.J), 2)
+			v := s.g.AddVariable(pairVarName("x", s.nps[pair.I], s.nps[pair.J]), 2)
 			s.npPairVar[pi] = v
 			canonVars = append(canonVars, v)
 			canonF = append(canonF, s.addCanonFactor("F1", v, s.nps[pair.I], s.nps[pair.J], cfg.Features.NPCanon, w.npCanon, true))
 		}
 		s.rpPairVar = make([]int, len(s.rpPairs))
 		for pi, pair := range s.rpPairs {
-			v := s.g.AddVariable(fmt.Sprintf("y(%d,%d)", pair.I, pair.J), 2)
+			v := s.g.AddVariable(pairVarName("y", s.rps[pair.I], s.rps[pair.J]), 2)
 			s.rpPairVar[pi] = v
 			canonVars = append(canonVars, v)
 			canonF = append(canonF, s.addCanonFactor("F2", v, s.rps[pair.I], s.rps[pair.J], cfg.Features.RPCanon, w.rpCanon, false))
@@ -191,6 +195,15 @@ func NewSystem(res *signals.Resources, cfg Config) (*System, error) {
 		}
 	}
 	return s, nil
+}
+
+// pairVarName builds an unambiguous pair-variable name. Surface forms
+// are arbitrary strings (they arrive over HTTP in the serving path), so
+// they are length-prefixed: a separator character inside a phrase must
+// not make two different pairs collide, because these names key the
+// warm-start state across graph rebuilds.
+func pairVarName(kind, a, b string) string {
+	return fmt.Sprintf("%s(%d|%d|%s%s)", kind, len(a), len(b), a, b)
 }
 
 func (s *System) registerWeights() *weights {
@@ -342,8 +355,26 @@ func (s *System) blockPairs(phrases []string, idf *text.IDFTable, cands [][]stri
 	return pairs
 }
 
-// canonSim evaluates one canonicalization feature for a phrase pair.
+// canonSim evaluates one canonicalization feature for a phrase pair,
+// consulting the construction cache when one is configured.
 func (s *System) canonSim(feat, a, b string, np bool) float64 {
+	if c := s.cfg.Cache; c != nil {
+		kind := byte('R')
+		if np {
+			kind = 'N'
+		}
+		key := simKey(kind, feat, a, b)
+		if v, ok := c.get(key); ok {
+			return v
+		}
+		v := s.canonSimUncached(feat, a, b, np)
+		c.put(key, v)
+		return v
+	}
+	return s.canonSimUncached(feat, a, b, np)
+}
+
+func (s *System) canonSimUncached(feat, a, b string, np bool) float64 {
 	switch feat {
 	case FeatIDF:
 		if np {
@@ -395,18 +426,7 @@ func (s *System) addEntLinkFactor(v int, np string, cands []string, w *weights) 
 	for ci, eid := range cands {
 		row := make([]float64, len(feats)+1)
 		for k, f := range feats {
-			switch f {
-			case FeatPop:
-				row[k] = s.res.Pop(np, eid)
-			case FeatEmb:
-				row[k] = s.res.EntEmb(np, eid)
-			case FeatPPDB:
-				row[k] = s.res.EntPPDB(np, eid)
-			case FeatType:
-				row[k] = s.res.TypeCompat(np, eid)
-			default:
-				panic("core: unknown entity-linking feature " + f)
-			}
+			row[k] = s.entLinkSim(f, np, eid)
 		}
 		table[1+ci] = row
 	}
@@ -450,18 +470,7 @@ func (s *System) addRelLinkFactor(v int, rp string, cands []string, w *weights) 
 	for ci, rid := range cands {
 		row := make([]float64, len(feats)+1)
 		for k, f := range feats {
-			switch f {
-			case FeatNgram:
-				row[k] = s.res.RelNgram(rp, rid)
-			case FeatLD:
-				row[k] = s.res.RelLD(rp, rid)
-			case FeatEmb:
-				row[k] = s.res.RelEmb(rp, rid)
-			case FeatPPDB:
-				row[k] = s.res.RelPPDB(rp, rid)
-			default:
-				panic("core: unknown relation-linking feature " + f)
-			}
+			row[k] = s.relLinkSim(f, rp, rid)
 		}
 		table[1+ci] = row
 	}

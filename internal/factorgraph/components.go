@@ -56,8 +56,13 @@ func (g *Graph) Components() [][]int {
 // ParallelBP runs loopy BP over each connected component concurrently
 // and returns per-variable beliefs. Messages never cross component
 // boundaries, so the result is identical to a whole-graph run with the
-// same options (up to floating-point association); the win is
-// wall-clock time on multi-core machines.
+// same options (up to the convergence test being per-component rather
+// than global); the win is wall-clock time on multi-core machines.
+//
+// All workers share one BP: scoped runs on disjoint components touch
+// disjoint message slices (see RunScoped), so the shared buffer is both
+// safe and allocation-free per job, and the worker count cannot change
+// the bits of the result.
 //
 // The caller's schedule, if any, is filtered per component. Workers
 // default to GOMAXPROCS.
@@ -65,61 +70,55 @@ func ParallelBP(g *Graph, opt RunOptions, workers int) [][]float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	comps := g.Components()
+	idx := NewComponentIndex(g)
+	bp := NewBP(g)
+	RunComponents(bp, idx, opt, workers, nil)
 	beliefs := make([][]float64, len(g.vars))
+	for vid := range beliefs {
+		beliefs[vid] = bp.VarBelief(vid)
+	}
+	return beliefs
+}
 
-	// Component membership for factor filtering.
-	compOf := make([]int, len(g.vars))
-	for ci, comp := range comps {
-		for _, vid := range comp {
-			compOf[vid] = ci
+// ComponentRun reports one component's scoped inference outcome.
+type ComponentRun struct {
+	Converged bool
+	Sweeps    int
+}
+
+// RunComponents executes RunScoped for the selected components of idx
+// on a bounded worker pool sharing bp's message state, returning the
+// per-component outcomes (indexed like idx.Comps; skipped components
+// are zero). A nil selection runs every component.
+func RunComponents(bp *BP, idx *ComponentIndex, opt RunOptions, workers int, selected []int) []ComponentRun {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if selected == nil {
+		selected = make([]int, len(idx.Comps))
+		for ci := range idx.Comps {
+			selected[ci] = ci
 		}
 	}
-	factorsOf := make([][]int, len(comps))
-	for _, f := range g.factors {
-		if len(f.Vars) == 0 {
-			continue
-		}
-		ci := compOf[f.Vars[0]]
-		factorsOf[ci] = append(factorsOf[ci], f.id)
-	}
-
-	type job struct{ ci int }
-	jobs := make(chan job)
+	out := make([]ComponentRun, len(idx.Comps))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One message buffer per worker, shared across that worker's
-			// jobs (the graph structure and potentials are immutable and
-			// shared by all workers). Reset touches the whole buffer, so
-			// per-job cost is O(graph) regardless of component size —
-			// acceptable because the schedule confines the expensive
-			// message updates to the component.
-			bp := NewBP(g)
-			for j := range jobs {
-				comp := comps[j.ci]
-				sub := &Schedule{
-					FactorGroups: filterGroups(opt.Schedule, factorsOf[j.ci], comp, true),
-					VarGroups:    filterGroups(opt.Schedule, factorsOf[j.ci], comp, false),
-				}
-				bp.Reset()
-				runOpt := opt
-				runOpt.Schedule = sub
-				bp.Run(runOpt)
-				for _, vid := range comp {
-					beliefs[vid] = bp.VarBelief(vid)
-				}
+			for ci := range jobs {
+				conv, sweeps := bp.RunScoped(opt, idx.Comps[ci], idx.Factors[ci])
+				out[ci] = ComponentRun{Converged: conv, Sweeps: sweeps}
 			}
 		}()
 	}
-	for ci := range comps {
-		jobs <- job{ci}
+	for _, ci := range selected {
+		jobs <- ci
 	}
 	close(jobs)
 	wg.Wait()
-	return beliefs
+	return out
 }
 
 // filterGroups restricts a schedule's groups to one component; with a

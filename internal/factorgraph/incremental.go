@@ -1,0 +1,233 @@
+package factorgraph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file is the factor-graph half of the streaming subsystem: it
+// makes belief propagation schedulable per connected component and
+// makes message state transplantable between graph builds, so a serving
+// session can re-run inference only on the components a triple batch
+// touched and warm-start everything else.
+//
+// The key invariant exploited throughout: one BP sweep is a pure
+// function of the previous sweep's messages, and messages never cross
+// component boundaries. Factor updates read only their own incoming
+// messages and variable updates read only factor-to-variable messages,
+// so sweeps over disjoint components commute — scoped runs on disjoint
+// components may safely share one BP's message buffers, serially or in
+// parallel, and produce bitwise-identical messages either way.
+
+// ComponentIndex caches a graph's connected-component decomposition
+// together with each component's factor list, the unit of scheduling
+// for scoped inference.
+type ComponentIndex struct {
+	Comps   [][]int // variable ids per component (Components() order)
+	Factors [][]int // factor ids per component
+	CompOf  []int   // variable id -> component index
+}
+
+// NewComponentIndex decomposes a finalized graph.
+func NewComponentIndex(g *Graph) *ComponentIndex {
+	comps := g.Components()
+	idx := &ComponentIndex{Comps: comps, CompOf: make([]int, len(g.vars))}
+	for ci, comp := range comps {
+		for _, vid := range comp {
+			idx.CompOf[vid] = ci
+		}
+	}
+	idx.Factors = make([][]int, len(comps))
+	for _, f := range g.factors {
+		if len(f.Vars) == 0 {
+			continue
+		}
+		ci := idx.CompOf[f.Vars[0]]
+		idx.Factors[ci] = append(idx.Factors[ci], f.id)
+	}
+	return idx
+}
+
+// RunScoped iterates scheduled message passing confined to one
+// component (vars + factors) until the component's beliefs change by
+// less than opt.Tolerance or MaxSweeps is reached. Messages outside the
+// component are neither read nor written, so concurrent RunScoped calls
+// on disjoint components are safe on a shared BP. Unlike Run, it does
+// not start from Reset: the current messages — uniform from NewBP, or
+// transplanted by Import — are the starting point, which is what makes
+// warm-started re-runs converge in fewer sweeps.
+//
+// It returns whether the component converged and the sweeps performed.
+func (bp *BP) RunScoped(opt RunOptions, vars, factors []int) (bool, int) {
+	opt.defaults()
+	sub := &Schedule{
+		FactorGroups: filterGroups(opt.Schedule, factors, vars, true),
+		VarGroups:    filterGroups(opt.Schedule, factors, vars, false),
+	}
+	for _, vid := range vars {
+		copy(bp.prevBelief[vid], bp.VarBelief(vid))
+	}
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		for _, group := range sub.FactorGroups {
+			for _, fid := range group {
+				bp.updateFactorMessages(fid, opt.Damping)
+			}
+		}
+		for _, group := range sub.VarGroups {
+			for _, vid := range group {
+				bp.updateVariableMessages(vid)
+			}
+		}
+		delta := 0.0
+		for _, vid := range vars {
+			b := bp.VarBelief(vid)
+			for s, p := range b {
+				if d := math.Abs(p - bp.prevBelief[vid][s]); d > delta {
+					delta = d
+				}
+			}
+			copy(bp.prevBelief[vid], b)
+		}
+		if delta < opt.Tolerance {
+			return true, sweep + 1
+		}
+	}
+	return false, opt.MaxSweeps
+}
+
+// Signatures returns a stable identity string for every factor: its
+// name, the names and cardinalities of its variables, and a hash of its
+// current potential table, with a disambiguating counter appended to
+// duplicates (e.g. two fact-inclusion factors of a repeated triple).
+// Two factors from different graph builds with equal signatures are
+// interchangeable for inference, which is what lets message state
+// survive a rebuild: variable ids may shift as phrases are inserted,
+// but signatures follow the phrase-derived names.
+//
+// Potentials depend on the graph's weights, so signatures must be taken
+// after Finalize/RefreshPotentials with the weights that inference will
+// use.
+func (g *Graph) Signatures() []string {
+	out := make([]string, len(g.factors))
+	seen := map[string]int{}
+	var b strings.Builder
+	for fi, f := range g.factors {
+		b.Reset()
+		b.WriteString(f.Name)
+		for _, vid := range f.Vars {
+			v := g.vars[vid]
+			fmt.Fprintf(&b, "|%s/%d", v.Name, v.Card)
+		}
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, p := range f.pot {
+			bits := math.Float64bits(p)
+			for k := 0; k < 8; k++ {
+				buf[k] = byte(bits >> (8 * k))
+			}
+			h.Write(buf[:])
+		}
+		fmt.Fprintf(&b, "|%016x", h.Sum64())
+		sig := b.String()
+		if n := seen[sig]; n > 0 {
+			seen[sig] = n + 1
+			sig = fmt.Sprintf("%s#%d", sig, n)
+		} else {
+			seen[sig] = 1
+		}
+		out[fi] = sig
+	}
+	return out
+}
+
+// VarAdjacency returns, per variable name, the sorted concatenation of
+// the signatures of its adjacent factors. Equal adjacency strings
+// across two builds mean the variable sits in an identical subgraph
+// neighborhood; when that holds for every variable of a component, the
+// component's BP fixed point is unchanged and its cached messages can
+// be served as-is.
+func VarAdjacency(g *Graph, sigs []string) map[string]string {
+	out := make(map[string]string, len(g.vars))
+	for _, v := range g.vars {
+		adj := make([]string, len(v.factors))
+		for i, fid := range v.factors {
+			adj[i] = sigs[fid]
+		}
+		sort.Strings(adj)
+		out[v.Name] = strings.Join(adj, "\n")
+	}
+	return out
+}
+
+// FactorMessages is the transplantable message state of one factor:
+// factor-to-variable and variable-to-factor messages per adjacent
+// variable position.
+type FactorMessages struct {
+	FV [][]float64
+	VF [][]float64
+}
+
+// WarmState is the exportable inference state of one graph build, keyed
+// by factor signature so it can be re-imported into a later build whose
+// variable ids differ.
+type WarmState struct {
+	Msgs   map[string]FactorMessages
+	VarAdj map[string]string
+}
+
+// Export captures the BP's current messages keyed by the given factor
+// signatures (from Graph.Signatures on the same graph).
+func (bp *BP) Export(sigs []string) *WarmState {
+	w := &WarmState{
+		Msgs:   make(map[string]FactorMessages, len(bp.g.factors)),
+		VarAdj: VarAdjacency(bp.g, sigs),
+	}
+	for fi, f := range bp.g.factors {
+		fm := FactorMessages{
+			FV: make([][]float64, len(f.Vars)),
+			VF: make([][]float64, len(f.Vars)),
+		}
+		for i := range f.Vars {
+			fm.FV[i] = append([]float64(nil), bp.msgFV[fi][i]...)
+			fm.VF[i] = append([]float64(nil), bp.msgVF[fi][i]...)
+		}
+		w.Msgs[sigs[fi]] = fm
+	}
+	return w
+}
+
+// Import copies messages from a previous build's WarmState into this
+// BP for every factor whose signature matches, leaving the rest at
+// their current (uniform) initialization. It returns the number of
+// factors warm-started.
+func (bp *BP) Import(w *WarmState, sigs []string) int {
+	if w == nil {
+		return 0
+	}
+	matched := 0
+	for fi, f := range bp.g.factors {
+		fm, ok := w.Msgs[sigs[fi]]
+		if !ok || len(fm.FV) != len(f.Vars) {
+			continue
+		}
+		fits := true
+		for i, vid := range f.Vars {
+			if len(fm.FV[i]) != bp.g.vars[vid].Card || len(fm.VF[i]) != bp.g.vars[vid].Card {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		for i := range f.Vars {
+			copy(bp.msgFV[fi][i], fm.FV[i])
+			copy(bp.msgVF[fi][i], fm.VF[i])
+		}
+		matched++
+	}
+	return matched
+}

@@ -1,0 +1,164 @@
+package factorgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// loopyIslands builds a graph of n disconnected triangles (loopy
+// components, so BP needs several sweeps) with random potentials.
+func loopyIslands(t *testing.T, n int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for island := 0; island < n; island++ {
+		a := g.AddVariable("a", 2)
+		b := g.AddVariable("b", 2)
+		c := g.AddVariable("c", 2)
+		rnd := func() []float64 {
+			tb := make([]float64, 4)
+			for i := range tb {
+				tb[i] = 0.2 + rng.Float64()
+			}
+			return tb
+		}
+		tableFactor(g, "ab", []int{a, b}, rnd())
+		tableFactor(g, "bc", []int{b, c}, rnd())
+		tableFactor(g, "ca", []int{c, a}, rnd())
+	}
+	g.Finalize()
+	return g
+}
+
+func TestRunComponentsParallelBitwiseEqualsSerial(t *testing.T) {
+	g := loopyIslands(t, 8, 3)
+	opt := RunOptions{MaxSweeps: 25, Tolerance: 1e-8}
+
+	serial := NewBP(g)
+	idx := NewComponentIndex(g)
+	RunComponents(serial, idx, opt, 1, nil)
+
+	parallel := NewBP(g)
+	RunComponents(parallel, idx, opt, 6, nil)
+
+	for vid := 0; vid < g.NumVariables(); vid++ {
+		ws, wp := serial.VarBelief(vid), parallel.VarBelief(vid)
+		for s := range ws {
+			if ws[s] != wp[s] {
+				t.Fatalf("var %d state %d: parallel %v != serial %v (must be bitwise identical)", vid, s, wp, ws)
+			}
+		}
+	}
+}
+
+func TestWarmStartConvergesInFewerSweeps(t *testing.T) {
+	g := loopyIslands(t, 1, 7)
+	idx := NewComponentIndex(g)
+	opt := RunOptions{MaxSweeps: 50, Tolerance: 1e-8}
+
+	bp := NewBP(g)
+	conv, cold := bp.RunScoped(opt, idx.Comps[0], idx.Factors[0])
+	if !conv {
+		t.Fatalf("cold run did not converge in %d sweeps", opt.MaxSweeps)
+	}
+	if cold < 2 {
+		t.Fatalf("cold run converged in %d sweeps; test needs a loopy component", cold)
+	}
+	conv, warm := bp.RunScoped(opt, idx.Comps[0], idx.Factors[0])
+	if !conv {
+		t.Fatalf("warm re-run did not converge")
+	}
+	if warm >= cold {
+		t.Errorf("warm re-run took %d sweeps, cold took %d; warm start must be faster", warm, cold)
+	}
+}
+
+func TestWarmStateTransplantAcrossRebuild(t *testing.T) {
+	// Build the same graph twice with different variable insertion order;
+	// signatures key on names, so messages must transplant and reproduce
+	// identical beliefs without any further sweeps.
+	build := func(reversed bool) *Graph {
+		g := New()
+		names := []string{"p", "q"}
+		if reversed {
+			names = []string{"q", "p"}
+		}
+		ids := map[string]int{}
+		for _, n := range names {
+			ids[n] = g.AddVariable(n, 2)
+		}
+		tableFactor(g, "f", []int{ids["p"], ids["q"]}, []float64{0.9, 0.2, 0.4, 0.8})
+		tableFactor(g, "u", []int{ids["p"]}, []float64{0.3, 0.7})
+		g.Finalize()
+		return g
+	}
+	g1 := build(false)
+	bp1 := NewBP(g1)
+	bp1.Run(RunOptions{MaxSweeps: 40, Tolerance: 1e-10})
+	sigs1 := g1.Signatures()
+	warm := bp1.Export(sigs1)
+
+	g2 := build(true)
+	bp2 := NewBP(g2)
+	sigs2 := g2.Signatures()
+	if n := bp2.Import(warm, sigs2); n != g2.NumFactors() {
+		t.Fatalf("imported %d of %d factors", n, g2.NumFactors())
+	}
+	for _, name := range []string{"p", "q"} {
+		var v1, v2 int
+		for vid := 0; vid < g1.NumVariables(); vid++ {
+			if g1.Variable(vid).Name == name {
+				v1 = vid
+			}
+		}
+		for vid := 0; vid < g2.NumVariables(); vid++ {
+			if g2.Variable(vid).Name == name {
+				v2 = vid
+			}
+		}
+		b1, b2 := bp1.VarBelief(v1), bp2.VarBelief(v2)
+		for s := range b1 {
+			if b1[s] != b2[s] {
+				t.Fatalf("var %s: transplanted belief %v != original %v", name, b2, b1)
+			}
+		}
+	}
+	// The adjacency fingerprints of the rebuilt graph must match the
+	// exported ones (same neighborhoods), the cleanliness criterion the
+	// serving layer uses.
+	adj2 := VarAdjacency(g2, sigs2)
+	for name, a := range warm.VarAdj {
+		if adj2[name] != a {
+			t.Errorf("var %s: adjacency fingerprint changed across identical rebuild", name)
+		}
+	}
+}
+
+func TestSignaturesDisambiguateDuplicates(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	tableFactor(g, "f", []int{a}, []float64{1, 2})
+	tableFactor(g, "f", []int{a}, []float64{1, 2})
+	g.Finalize()
+	sigs := g.Signatures()
+	if sigs[0] == sigs[1] {
+		t.Errorf("duplicate factors share a signature: %q", sigs[0])
+	}
+}
+
+func TestSignatureTracksPotentials(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a", 2)
+	w := g.AddWeight("w", 1.0)
+	g.AddFactor("f", []int{a}, []int{w}, func(states []int) []float64 {
+		return []float64{float64(states[0])}
+	})
+	g.Finalize()
+	before := g.Signatures()[0]
+	g.SetWeight(w, 2.0)
+	g.RefreshPotentials()
+	after := g.Signatures()[0]
+	if before == after {
+		t.Errorf("signature did not change with the potentials")
+	}
+}

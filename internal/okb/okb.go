@@ -134,6 +134,24 @@ func (s *Store) allRPOccurrences() []string {
 	return out
 }
 
+// Append returns a new Store over s's triples followed by more. The
+// receiver is unchanged (stores stay immutable, so concurrent readers
+// of the old epoch are safe). When freezeIDF is true the new store
+// keeps s's IDF tables instead of recounting token frequencies over the
+// grown collection — the epoch semantics streaming ingest needs: IDF is
+// a global statistic, so recounting it would perturb the similarity of
+// every existing phrase pair and mark the whole factor graph dirty on
+// every batch. Tokens first seen after the freeze score at the unseen-
+// word weight until the next epoch refresh rebuilds the tables.
+func (s *Store) Append(more []Triple, freezeIDF bool) *Store {
+	grown := NewStore(append(s.Triples(), more...))
+	if freezeIDF {
+		grown.npIDF = s.npIDF
+		grown.rpIDF = s.rpIDF
+	}
+	return grown
+}
+
 // Len returns the number of triples.
 func (s *Store) Len() int { return len(s.triples) }
 

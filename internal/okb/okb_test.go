@@ -145,3 +145,51 @@ func TestReadJSONValidation(t *testing.T) {
 		t.Error("want error for malformed JSON")
 	}
 }
+
+func TestAppendGrowsWithoutMutatingReceiver(t *testing.T) {
+	s := NewStore(sample())
+	more := []Triple{{Subj: "UVA", Pred: "locate in", Obj: "Virginia"}}
+	grown := s.Append(more, false)
+
+	if s.Len() != 3 {
+		t.Fatalf("receiver mutated: Len = %d, want 3", s.Len())
+	}
+	if grown.Len() != 4 {
+		t.Fatalf("grown Len = %d, want 4", grown.Len())
+	}
+	if got := len(grown.NPs()); got != 8 {
+		t.Errorf("grown distinct NPs = %d, want 8: %v", got, grown.NPs())
+	}
+	if len(grown.NPMentions("UVA")) != 1 {
+		t.Errorf("new NP not indexed: %v", grown.NPMentions("UVA"))
+	}
+	if len(grown.RPMentions("locate in")) != 2 {
+		t.Errorf("appended mention not indexed: %v", grown.RPMentions("locate in"))
+	}
+	if len(s.NPMentions("UVA")) != 0 {
+		t.Errorf("receiver index mutated by Append")
+	}
+}
+
+func TestAppendFreezeIDFKeepsEpochTables(t *testing.T) {
+	s := NewStore(sample())
+	more := []Triple{
+		{Subj: "Maryland", Pred: "border", Obj: "Virginia"},
+		{Subj: "Maryland", Pred: "border", Obj: "Delaware"},
+	}
+	frozen := s.Append(more, true)
+	recount := s.Append(more, false)
+
+	if frozen.NPIDF() != s.NPIDF() || frozen.RPIDF() != s.RPIDF() {
+		t.Errorf("freezeIDF must reuse the receiver's IDF tables")
+	}
+	// The frozen table scores existing pairs exactly as before the
+	// append; the recounted table shifts with the new occurrences.
+	a, b := "University of Maryland", "Maryland"
+	if got, want := frozen.NPIDF().Overlap(a, b), s.NPIDF().Overlap(a, b); got != want {
+		t.Errorf("frozen overlap %v != pre-append %v", got, want)
+	}
+	if recount.NPIDF().Overlap(a, b) == s.NPIDF().Overlap(a, b) {
+		t.Errorf("recounted overlap unchanged; expected drift from new Maryland occurrences")
+	}
+}

@@ -65,6 +65,25 @@ func New(okbStore *okb.Store, ckbStore *ckb.Store, emb *embedding.Model, db *ppd
 	}
 }
 
+// Extend returns Resources over the grown OKB store while pinning this
+// epoch's derived signal models — embeddings, paraphrase DB, AMIE rules,
+// KBP classifier — so that signal values for existing phrases are
+// unchanged by the append. This is the append-safe path streaming
+// ingest takes between epoch refreshes; a refresh calls New instead,
+// re-mining AMIE (and, with a frozen-IDF store, recounting IDF) over
+// everything seen so far. The lazily-built extension-signal indexes are
+// dropped and rebuilt over the grown store on first use.
+func (r *Resources) Extend(grown *okb.Store) *Resources {
+	return &Resources{
+		OKB:  grown,
+		CKB:  r.CKB,
+		Emb:  r.Emb,
+		PPDB: r.PPDB,
+		AMIE: r.AMIE,
+		KBP:  r.KBP,
+	}
+}
+
 // ---------- canonicalization signals ----------
 
 // NPIDF is Sim_idf over two noun phrases using the OKB's NP-token

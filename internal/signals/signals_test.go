@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/datasets"
+	"repro/internal/okb"
 	"repro/internal/text"
 )
 
@@ -191,5 +192,43 @@ func TestBlockPairsThresholdOne(t *testing.T) {
 		if p.Sim < 1.0 {
 			t.Errorf("threshold 1.0 leaked pair %+v", p)
 		}
+	}
+}
+
+func TestExtendPinsEpochModels(t *testing.T) {
+	r, ds := resources(t)
+	nps := ds.OKB.NPs()
+	rps := ds.OKB.RPs()
+	if len(nps) < 2 || len(rps) < 2 {
+		t.Skip("dataset too small")
+	}
+	batch := []okb.Triple{{Subj: nps[0], Pred: rps[0], Obj: "a brand new venture"}}
+	grown := ds.OKB.Append(batch, true)
+	ext := r.Extend(grown)
+
+	if ext.OKB != grown {
+		t.Fatalf("Extend must adopt the grown store")
+	}
+	if ext.Emb != r.Emb || ext.PPDB != r.PPDB || ext.AMIE != r.AMIE || ext.KBP != r.KBP || ext.CKB != r.CKB {
+		t.Errorf("Extend must pin the epoch's signal models")
+	}
+	// Pairwise signals over existing phrases are unchanged by the append.
+	for i := 0; i < 5 && i < len(nps); i++ {
+		for j := i + 1; j < 5 && j < len(nps); j++ {
+			if got, want := ext.NPIDF(nps[i], nps[j]), r.NPIDF(nps[i], nps[j]); got != want {
+				t.Fatalf("NPIDF(%q,%q) drifted across Extend: %v != %v", nps[i], nps[j], got, want)
+			}
+		}
+	}
+	for i := 0; i < 5 && i < len(rps); i++ {
+		for j := i + 1; j < 5 && j < len(rps); j++ {
+			if got, want := ext.AMIESim(rps[i], rps[j]), r.AMIESim(rps[i], rps[j]); got != want {
+				t.Fatalf("AMIESim(%q,%q) drifted across Extend: %v != %v", rps[i], rps[j], got, want)
+			}
+		}
+	}
+	// The new phrase is visible to mention-based lookups.
+	if ext.Mentions("a brand new venture") != 1 {
+		t.Errorf("new phrase not indexed in extended resources")
 	}
 }

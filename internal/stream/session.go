@@ -1,0 +1,246 @@
+// Package stream is the incremental serving subsystem: it keeps a JOCL
+// system alive across triple batches arriving over time, instead of
+// rebuilding and re-solving the whole pipeline per batch the way the
+// one-shot examples do.
+//
+// The design follows the factor graph's natural decomposition into
+// connected components (the graph-segmentation idea of Jo et al. that
+// internal/factorgraph.Components realizes in shared memory). A batch
+// of triples touches a bounded set of phrases, and therefore a bounded
+// set of components; everything else is untouched, and its posteriors
+// are still valid. A Session therefore maintains three kinds of state:
+//
+//   - the epoch resources: IDF tables, embeddings, paraphrase DB, AMIE
+//     rules, and the KBP classifier, frozen at the last refresh so that
+//     signal values for existing phrases do not drift on every append
+//     (okb.Store.Append(freezeIDF), signals.Resources.Extend);
+//   - the construction cache (core.SimCache), so rebuilding the factor
+//     graph after a batch re-evaluates signals only for new pairs;
+//   - the warm state (factorgraph.WarmState), messages keyed by factor
+//     identity, which lets core.RunIncremental serve unchanged
+//     components verbatim and re-run BP only on dirty ones, warm-started,
+//     on a bounded worker pool.
+//
+// Periodic epoch refreshes (Config.RefreshEvery, or an explicit
+// Refresh call) re-derive the frozen statistics over everything seen so
+// far; the following inference pass is a full re-solve, exactly as if
+// the accumulated triples had arrived in one batch.
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ckb"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/factorgraph"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/signals"
+)
+
+// Config tunes a Session.
+type Config struct {
+	// Core configures graph construction and inference. Learning is not
+	// part of the serving path: seed learned weights via
+	// Core.InitialWeights.
+	Core core.Config
+	// Workers bounds the per-component inference pool (default
+	// GOMAXPROCS).
+	Workers int
+	// RefreshEvery rebuilds the epoch resources (IDF, AMIE rules, KBP,
+	// extension indexes) every N batches; 0 never refreshes after the
+	// first build. The batch that triggers a refresh pays a full
+	// re-solve.
+	RefreshEvery int
+}
+
+// IngestStats reports what one batch cost.
+type IngestStats struct {
+	Batch        int `json:"batch"`
+	BatchTriples int `json:"batch_triples"`
+	TotalTriples int `json:"total_triples"`
+	// Refreshed is true when this batch rebuilt the epoch resources
+	// (first batch, or RefreshEvery reached): everything re-runs.
+	Refreshed bool `json:"refreshed"`
+
+	Components      int `json:"components"`
+	DirtyComponents int `json:"dirty_components"`
+	CleanComponents int `json:"clean_components"`
+	DirtyVariables  int `json:"dirty_variables"`
+	TotalVariables  int `json:"total_variables"`
+	WarmFactors     int `json:"warm_factors"`
+	SweepsTotal     int `json:"sweeps_total"`
+	SweepsMax       int `json:"sweeps_max"`
+
+	ConstructMS float64 `json:"construct_ms"`
+	InferMS     float64 `json:"infer_ms"`
+}
+
+// Stats is the session's cumulative view.
+type Stats struct {
+	Batches      int          `json:"batches"`
+	TotalTriples int          `json:"total_triples"`
+	NPs          int          `json:"nps"`
+	RPs          int          `json:"rps"`
+	Refreshes    int          `json:"refreshes"`
+	CacheEntries int          `json:"cache_entries"`
+	LastIngest   *IngestStats `json:"last_ingest,omitempty"`
+}
+
+// Session is an incremental JOCL run over a growing OKB. All methods
+// are safe for concurrent use: Ingest and Refresh serialize on one
+// lock, while Snapshot and Stats read the state published at the end
+// of the last successful ingest — they never wait behind an in-flight
+// inference pass.
+type Session struct {
+	cfg  Config
+	ckb  *ckb.Store
+	emb  *embedding.Model
+	ppdb *ppdb.DB
+
+	// mu serializes ingests and guards the epoch state below. A failed
+	// Ingest leaves all of it untouched (batches are committed only
+	// after inference succeeds), so the caller may retry the batch.
+	mu         sync.Mutex
+	triples    []okb.Triple
+	res        *signals.Resources // current epoch's resources
+	cache      *core.SimCache
+	warm       *factorgraph.WarmState
+	batches    int
+	sinceEpoch int // batches since last epoch build
+	nRefresh   int
+
+	// pub guards the read-side state published after each ingest.
+	pub      sync.Mutex
+	last     *core.Result
+	cumStats Stats
+}
+
+// New opens a session against a curated KB with pre-trained embedding
+// and paraphrase resources (train them once, offline, like the batch
+// pipeline does).
+func New(ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) *Session {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Session{cfg: cfg, ckb: ckbStore, emb: emb, ppdb: db}
+}
+
+// Ingest folds a batch of triples into the session and re-infers,
+// re-running belief propagation only on the connected components the
+// batch touched.
+func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
+	if len(batch) == 0 {
+		return IngestStats{}, fmt.Errorf("stream: empty batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st := IngestStats{
+		Batch:        s.batches + 1,
+		BatchTriples: len(batch),
+		TotalTriples: len(s.triples) + len(batch),
+	}
+
+	// Build everything into locals first: session state is committed
+	// only once inference succeeds, so a failed batch can be retried
+	// without double-counting its triples.
+	grown := append(s.triples[:len(s.triples):len(s.triples)], batch...)
+	res, cache, warm := s.res, s.cache, s.warm
+	t0 := time.Now()
+	if res == nil || (s.cfg.RefreshEvery > 0 && s.sinceEpoch+1 >= s.cfg.RefreshEvery) {
+		// Epoch build: derive every frozen statistic over all triples seen
+		// so far. Cached signal evaluations and warm messages are stale
+		// by construction (potentials shift with the new IDF/AMIE), so
+		// drop them; fingerprint mismatches would discard them anyway.
+		res = signals.New(okb.NewStore(grown), s.ckb, s.emb, s.ppdb)
+		cache = core.NewSimCache()
+		warm = nil
+		st.Refreshed = true
+	} else {
+		res = res.Extend(res.OKB.Append(batch, true))
+	}
+
+	cfg := s.cfg.Core
+	cfg.Cache = cache
+	sys, err := core.NewSystem(res, cfg)
+	if err != nil {
+		return st, fmt.Errorf("stream: rebuilding system: %w", err)
+	}
+	st.ConstructMS = float64(time.Since(t0).Microseconds()) / 1000
+
+	t1 := time.Now()
+	result, nextWarm, inc := sys.RunIncremental(warm, s.cfg.Workers)
+	st.InferMS = float64(time.Since(t1).Microseconds()) / 1000
+
+	st.Components = inc.Components
+	st.DirtyComponents = inc.Dirty
+	st.CleanComponents = inc.Reused
+	st.DirtyVariables = inc.DirtyVars
+	st.TotalVariables = inc.TotalVars
+	st.WarmFactors = inc.WarmFactors
+	st.SweepsTotal = inc.SweepsTotal
+	st.SweepsMax = inc.SweepsMax
+
+	// Commit.
+	s.triples = grown
+	s.res = res
+	s.cache = cache
+	s.warm = nextWarm
+	s.batches++
+	if st.Refreshed {
+		s.sinceEpoch = 0
+		s.nRefresh++
+	} else {
+		s.sinceEpoch++
+	}
+
+	// Publish the read-side state.
+	cum := Stats{
+		Batches:      s.batches,
+		TotalTriples: len(s.triples),
+		NPs:          len(res.OKB.NPs()),
+		RPs:          len(res.OKB.RPs()),
+		Refreshes:    s.nRefresh,
+		CacheEntries: cache.Len(),
+	}
+	lastSt := st
+	cum.LastIngest = &lastSt
+	s.pub.Lock()
+	s.last = result
+	s.cumStats = cum
+	s.pub.Unlock()
+	return st, nil
+}
+
+// Refresh forces an epoch rebuild on the next Ingest: the frozen
+// statistics are re-derived over every triple seen so far and the next
+// inference pass is a full re-solve.
+func (s *Session) Refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res = nil
+	s.cache = nil
+	s.warm = nil
+}
+
+// Snapshot returns the result of the last successful Ingest, or nil
+// before the first. It never blocks behind an in-flight ingest. The
+// result is shared, not copied — treat it as read-only.
+func (s *Session) Snapshot() *core.Result {
+	s.pub.Lock()
+	defer s.pub.Unlock()
+	return s.last
+}
+
+// Stats returns the cumulative counters as of the last successful
+// Ingest. It never blocks behind an in-flight ingest.
+func (s *Session) Stats() Stats {
+	s.pub.Lock()
+	defer s.pub.Unlock()
+	return s.cumStats
+}

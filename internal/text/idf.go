@@ -53,21 +53,30 @@ func (t *IDFTable) weight(w string) float64 {
 //
 // Identical phrases score 1; phrases sharing only frequent words score
 // near 0. Result is in [0, 1]. Two empty phrases score 0.
+//
+// Accumulation follows token encounter order, not map order: float
+// addition is non-associative, and downstream the streaming layer
+// fingerprints factor potentials to detect unchanged subgraphs, so the
+// same phrase pair must score bit-identically on every call. This is a
+// hot path (every candidate pair during blocking), so it works on the
+// token slices directly — phrases are a handful of words, for which
+// linear scans beat per-call maps.
 func (t *IDFTable) Overlap(a, b string) float64 {
-	wa, wb := TokenSet(a), TokenSet(b)
-	if len(wa) == 0 || len(wb) == 0 {
+	ta := dedupTokens(Tokenize(a))
+	tb := dedupTokens(Tokenize(b))
+	if len(ta) == 0 || len(tb) == 0 {
 		return 0
 	}
 	var inter, union float64
-	for w := range wa {
+	for _, w := range ta {
 		wt := t.weight(w)
 		union += wt
-		if wb[w] {
+		if containsToken(tb, w) {
 			inter += wt
 		}
 	}
-	for w := range wb {
-		if !wa[w] {
+	for _, w := range tb {
+		if !containsToken(ta, w) {
 			union += t.weight(w)
 		}
 	}
@@ -75,4 +84,24 @@ func (t *IDFTable) Overlap(a, b string) float64 {
 		return 0
 	}
 	return inter / union
+}
+
+// dedupTokens removes duplicates in place, preserving encounter order.
+func dedupTokens(ts []string) []string {
+	out := ts[:0]
+	for _, w := range ts {
+		if !containsToken(out, w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func containsToken(ts []string, w string) bool {
+	for _, x := range ts {
+		if x == w {
+			return true
+		}
+	}
+	return false
 }

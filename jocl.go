@@ -133,10 +133,12 @@ type Stats struct {
 type Option func(*options)
 
 type options struct {
-	corpus      [][]string
-	paraphrases [][]string
-	embedDim    int
-	cfg         core.Config
+	corpus       [][]string
+	paraphrases  [][]string
+	embedDim     int
+	workers      int
+	refreshEvery int
+	cfg          core.Config
 }
 
 // WithCorpus supplies a tokenized text corpus used to train the word
@@ -158,6 +160,20 @@ func WithParaphrases(groups [][]string) Option {
 // (default 32).
 func WithEmbeddingDim(dim int) Option {
 	return func(o *options) { o.embedDim = dim }
+}
+
+// WithWorkers bounds the per-component inference worker pool of a
+// Session (default GOMAXPROCS). Ignored by batch Pipelines.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithRefreshEvery makes a Session rebuild its frozen signal statistics
+// (IDF tables, AMIE rules, relation categories) every n ingested
+// batches; 0 (the default) never refreshes after the first batch. The
+// refreshing batch pays a full re-solve. Ignored by batch Pipelines.
+func WithRefreshEvery(n int) Option {
+	return func(o *options) { o.refreshEvery = n }
 }
 
 // WithMaxCandidates bounds the KB candidates per linking variable.
@@ -262,7 +278,10 @@ func (p *Pipeline) Run(labels *Labels) (*Result, error) {
 			RPCluster: labels.RPGroupLabels,
 		}
 	}
-	r := p.sys.Run(coreLabels)
+	return resultFromCore(p.sys.Run(coreLabels)), nil
+}
+
+func resultFromCore(r *core.Result) *Result {
 	return &Result{
 		NPGroups:      r.NPGroups,
 		RPGroups:      r.RPGroups,
@@ -277,7 +296,7 @@ func (p *Pipeline) Run(labels *Labels) (*Result, error) {
 			TrainIterations: r.Stats.TrainIters,
 			ConflictFixes:   r.Stats.ConflictFixes,
 		},
-	}, nil
+	}
 }
 
 // Weights returns the pipeline's current factor weights by name; after

@@ -1,0 +1,149 @@
+package jocl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/stream"
+)
+
+// Session is the streaming counterpart of Pipeline: it accepts triple
+// batches over time, maintains the factor graph incrementally, and
+// re-runs belief propagation only on the connected components a batch
+// touched, serving the rest from warm-started message state (see
+// internal/stream for the mechanics). Use it when extractions arrive
+// continuously — a news feed, a crawler — and rebuilding the whole
+// pipeline per batch is too slow.
+//
+// Sessions do not learn weights online: learn them offline with a
+// labeled Pipeline.Run, then seed them via WithWeights.
+type Session struct {
+	s *stream.Session
+}
+
+// IngestStats reports what one ingested batch cost and how much of the
+// graph it reused.
+type IngestStats struct {
+	// Batch is the 1-based ingest sequence number; Refreshed marks
+	// batches that rebuilt the frozen signal statistics (first batch, or
+	// WithRefreshEvery reached) and therefore re-solved everything.
+	Batch        int
+	BatchTriples int
+	TotalTriples int
+	Refreshed    bool
+
+	// Components counts the factor graph's connected components;
+	// DirtyComponents of them were touched by the batch and re-ran
+	// belief propagation, CleanComponents were served from cached
+	// message state.
+	Components      int
+	DirtyComponents int
+	CleanComponents int
+	// Sweeps is the slowest dirty component's sweep count (dirty
+	// components run in parallel).
+	Sweeps int
+
+	// ConstructMillis and InferMillis split the batch's wall-clock cost
+	// between graph (re)construction and inference.
+	ConstructMillis float64
+	InferMillis     float64
+}
+
+// SessionStats is a session's cumulative view.
+type SessionStats struct {
+	Batches       int
+	TotalTriples  int
+	NounPhrases   int
+	RelPhrases    int
+	Refreshes     int
+	CachedSignals int
+	LastIngest    *IngestStats
+}
+
+// NewSession opens a streaming session against the KB. The same
+// options as New apply; WithCorpus supplies the embedding training
+// text up front (embeddings are part of the frozen signal state, like
+// the KB itself).
+func NewSession(kb *KB, opts ...Option) (*Session, error) {
+	if kb == nil {
+		return nil, fmt.Errorf("jocl: nil KB")
+	}
+	o := &options{cfg: core.DefaultConfig(), embedDim: 32}
+	for _, opt := range opts {
+		opt(o)
+	}
+	emb := embedding.Train(o.corpus, embedding.Config{Dim: o.embedDim, Seed: 1})
+	pb := ppdb.NewBuilder()
+	for _, g := range o.paraphrases {
+		pb.AddGroup(g...)
+	}
+	return &Session{s: stream.New(kb.store, emb, pb.Build(), stream.Config{
+		Core:         o.cfg,
+		Workers:      o.workers,
+		RefreshEvery: o.refreshEvery,
+	})}, nil
+}
+
+// Ingest folds a batch of triples into the session and re-infers
+// incrementally.
+func (s *Session) Ingest(triples []Triple) (IngestStats, error) {
+	ts := make([]okb.Triple, len(triples))
+	for i, t := range triples {
+		ts[i] = okb.Triple{Subj: t.Subject, Pred: t.Predicate, Obj: t.Object}
+	}
+	st, err := s.s.Ingest(ts)
+	if err != nil {
+		return IngestStats{}, err
+	}
+	return ingestStats(st), nil
+}
+
+// Snapshot returns the current joint result over everything ingested so
+// far, or nil before the first Ingest.
+func (s *Session) Snapshot() *Result {
+	r := s.s.Snapshot()
+	if r == nil {
+		return nil
+	}
+	return resultFromCore(r)
+}
+
+// Stats returns cumulative session counters.
+func (s *Session) Stats() SessionStats {
+	st := s.s.Stats()
+	out := SessionStats{
+		Batches:       st.Batches,
+		TotalTriples:  st.TotalTriples,
+		NounPhrases:   st.NPs,
+		RelPhrases:    st.RPs,
+		Refreshes:     st.Refreshes,
+		CachedSignals: st.CacheEntries,
+	}
+	if st.LastIngest != nil {
+		li := ingestStats(*st.LastIngest)
+		out.LastIngest = &li
+	}
+	return out
+}
+
+// Refresh forces the next Ingest to rebuild the frozen signal
+// statistics over every triple seen so far and re-solve from scratch.
+func (s *Session) Refresh() { s.s.Refresh() }
+
+func ingestStats(st stream.IngestStats) IngestStats {
+	return IngestStats{
+		Batch:           st.Batch,
+		BatchTriples:    st.BatchTriples,
+		TotalTriples:    st.TotalTriples,
+		Refreshed:       st.Refreshed,
+		Components:      st.Components,
+		DirtyComponents: st.DirtyComponents,
+		CleanComponents: st.CleanComponents,
+		Sweeps:          st.SweepsMax,
+		ConstructMillis: st.ConstructMS,
+		InferMillis:     st.InferMS,
+	}
+}
