@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-stream serve clean
+.PHONY: all build vet test test-race bench bench-stream bench-segment serve clean
 
 all: build vet test
 
@@ -25,8 +25,13 @@ bench:
 bench-stream:
 	$(GO) run ./cmd/jocl-bench -exp stream -stream-out BENCH_stream.json
 
+# Segmentation benchmark: hub-cut vs no-cut incremental ingest on the
+# hub-fused workload. Emits the BENCH_segment.json artifact.
+bench-segment:
+	$(GO) run ./cmd/jocl-bench -exp segment -segment-out BENCH_segment.json
+
 serve:
 	$(GO) run ./cmd/jocl-serve -addr :8080
 
 clean:
-	rm -f BENCH_stream.json
+	rm -f BENCH_stream.json BENCH_segment.json

@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream]
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment]
 //	           [-stream-batches 6] [-stream-preload 0.6] [-stream-out BENCH_stream.json]
+//	           [-segment-batches 8] [-segment-preload 0.6] [-segment-tol 0.02]
+//	           [-segment-out BENCH_segment.json]
 //
 // scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
 // the default keeps a laptop run under a minute.
@@ -14,6 +16,12 @@
 // -exp stream runs the streaming-ingest benchmark (incremental session
 // vs full per-batch rebuild; see internal/bench.RunStream) and, with
 // -stream-out, writes the report as a JSON artifact.
+//
+// -exp segment runs the segmentation benchmark (hub-cut vs no-cut
+// incremental ingest on the hub-fused workload, with result quality
+// measured against exact whole-graph inference; see
+// internal/bench.RunSegment) and, with -segment-out, writes the
+// BENCH_segment.json artifact.
 package main
 
 import (
@@ -26,15 +34,26 @@ import (
 
 func main() {
 	var (
-		scale         = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
-		exp           = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream)")
-		streamBatches = flag.Int("stream-batches", 6, "stream: total batches (1 preload + N-1 increments)")
-		streamPreload = flag.Float64("stream-preload", 0.6, "stream: fraction of triples ingested as the preload batch")
-		streamOut     = flag.String("stream-out", "", "stream: write the report JSON to this path (e.g. BENCH_stream.json)")
+		scale          = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
+		exp            = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream, segment)")
+		streamBatches  = flag.Int("stream-batches", 6, "stream: total batches (1 preload + N-1 increments)")
+		streamPreload  = flag.Float64("stream-preload", 0.6, "stream: fraction of triples ingested as the preload batch")
+		streamOut      = flag.String("stream-out", "", "stream: write the report JSON to this path (e.g. BENCH_stream.json)")
+		segmentBatches = flag.Int("segment-batches", 8, "segment: total batches (1 preload + N-1 increments)")
+		segmentPreload = flag.Float64("segment-preload", 0.6, "segment: fraction of triples ingested as the preload batch")
+		segmentTol     = flag.Float64("segment-tol", 0.02, "segment: allowed F1/accuracy delta vs exact inference")
+		segmentOut     = flag.String("segment-out", "", "segment: write the report JSON to this path (e.g. BENCH_segment.json)")
 	)
 	flag.Parse()
 	if *exp == "stream" {
 		if err := runStream(*scale, *streamPreload, *streamBatches, *streamOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "segment" {
+		if err := runSegment(*scale, *segmentPreload, *segmentBatches, *segmentTol, *segmentOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 			os.Exit(1)
 		}
@@ -48,6 +67,27 @@ func main() {
 
 func runStream(scale, preload float64, batches int, out string) error {
 	report, err := bench.RunStream("reverb45k", scale, preload, batches, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runSegment(scale, preload float64, batches int, f1Tol float64, out string) error {
+	report, err := bench.RunSegment("reverb45k", scale, preload, batches, 0, f1Tol)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,15 @@
 //
 //	jocl-serve [-addr :8080] [-profile reverb45k] [-scale 0.02]
 //	           [-workers 0] [-refresh-every 0] [-max-batch 10000]
+//	           [-segment] [-hub-percentile 0.99] [-min-hub-degree 8]
+//	           [-max-block-vars 256] [-outer-rounds 4] [-boundary-tol 0.005]
+//
+// -segment enables hub-cut graph segmentation: the highest-degree
+// variables (popular phrases that fuse the factor graph into one giant
+// component) are cut out of the inference blocks with frozen boundary
+// messages, so each ingest re-runs belief propagation only on the
+// small blocks it touched; the remaining flags tune the cut threshold
+// and the frozen-boundary outer loop.
 //
 // The curated KB and frozen signal resources come from the synthetic
 // benchmark generator (the same substrate the rest of the repo
@@ -44,6 +53,12 @@ func main() {
 		workers      = flag.Int("workers", 0, "inference worker pool (0 = GOMAXPROCS)")
 		refreshEvery = flag.Int("refresh-every", 0, "rebuild frozen signal statistics every N batches (0 = never)")
 		maxBatch     = flag.Int("max-batch", 10000, "largest accepted ingest batch")
+		segment      = flag.Bool("segment", false, "enable hub-cut graph segmentation")
+		hubPct       = flag.Float64("hub-percentile", 0, "segmentation: degree percentile above which variables are cut (0 = default 0.99)")
+		minHubDeg    = flag.Int("min-hub-degree", 0, "segmentation: absolute degree floor for cutting (0 = default 8)")
+		maxBlockVars = flag.Int("max-block-vars", 0, "segmentation: size cap on inference blocks (0 = default 256, negative disables)")
+		outerRounds  = flag.Int("outer-rounds", 0, "segmentation: max frozen-boundary outer rounds per ingest (0 = default 4)")
+		boundaryTol  = flag.Float64("boundary-tol", 0, "segmentation: cut-belief convergence tolerance between rounds (0 = default 0.005)")
 	)
 	flag.Parse()
 
@@ -52,7 +67,17 @@ func main() {
 	if err != nil {
 		log.Fatal("jocl-serve: ", err)
 	}
-	sess, err := bench.Session(jocl.WithWorkers(*workers), jocl.WithRefreshEvery(*refreshEvery))
+	opts := []jocl.Option{jocl.WithWorkers(*workers), jocl.WithRefreshEvery(*refreshEvery)}
+	if *segment {
+		opts = append(opts, jocl.WithSegmentation(jocl.SegmentOptions{
+			HubDegreePercentile: *hubPct,
+			MinHubDegree:        *minHubDeg,
+			MaxBlockVars:        *maxBlockVars,
+			MaxOuterRounds:      *outerRounds,
+			BoundaryTolerance:   *boundaryTol,
+		}))
+	}
+	sess, err := bench.Session(opts...)
 	if err != nil {
 		log.Fatal("jocl-serve: ", err)
 	}
@@ -103,6 +128,8 @@ type ingestResponse struct {
 	DirtyComponents int     `json:"dirty_components"`
 	CleanComponents int     `json:"clean_components"`
 	Sweeps          int     `json:"sweeps"`
+	CutVariables    int     `json:"cut_variables,omitempty"`
+	OuterRounds     int     `json:"outer_rounds,omitempty"`
 	ConstructMillis float64 `json:"construct_ms"`
 	InferMillis     float64 `json:"infer_ms"`
 }
@@ -147,6 +174,8 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		DirtyComponents: st.DirtyComponents,
 		CleanComponents: st.CleanComponents,
 		Sweeps:          st.Sweeps,
+		CutVariables:    st.CutVariables,
+		OuterRounds:     st.OuterRounds,
 		ConstructMillis: st.ConstructMillis,
 		InferMillis:     st.InferMillis,
 	})
@@ -178,13 +207,16 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Batches       int             `json:"batches"`
-	TotalTriples  int             `json:"total_triples"`
-	NounPhrases   int             `json:"noun_phrases"`
-	RelPhrases    int             `json:"relation_phrases"`
-	Refreshes     int             `json:"refreshes"`
-	CachedSignals int             `json:"cached_signals"`
-	LastIngest    *ingestResponse `json:"last_ingest,omitempty"`
+	Batches          int             `json:"batches"`
+	TotalTriples     int             `json:"total_triples"`
+	NounPhrases      int             `json:"noun_phrases"`
+	RelPhrases       int             `json:"relation_phrases"`
+	Refreshes        int             `json:"refreshes"`
+	CachedSignals    int             `json:"cached_signals"`
+	BlocksTouched    int             `json:"blocks_touched"`
+	BlocksServedWarm int             `json:"blocks_served_warm"`
+	CutVariables     int             `json:"cut_variables"`
+	LastIngest       *ingestResponse `json:"last_ingest,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -194,12 +226,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.sess.Stats()
 	resp := statsResponse{
-		Batches:       st.Batches,
-		TotalTriples:  st.TotalTriples,
-		NounPhrases:   st.NounPhrases,
-		RelPhrases:    st.RelPhrases,
-		Refreshes:     st.Refreshes,
-		CachedSignals: st.CachedSignals,
+		Batches:          st.Batches,
+		TotalTriples:     st.TotalTriples,
+		NounPhrases:      st.NounPhrases,
+		RelPhrases:       st.RelPhrases,
+		Refreshes:        st.Refreshes,
+		CachedSignals:    st.CachedSignals,
+		BlocksTouched:    st.BlocksTouched,
+		BlocksServedWarm: st.BlocksServedWarm,
+		CutVariables:     st.CutVariables,
 	}
 	if li := st.LastIngest; li != nil {
 		resp.LastIngest = &ingestResponse{
@@ -211,6 +246,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DirtyComponents: li.DirtyComponents,
 			CleanComponents: li.CleanComponents,
 			Sweeps:          li.Sweeps,
+			CutVariables:    li.CutVariables,
+			OuterRounds:     li.OuterRounds,
 			ConstructMillis: li.ConstructMillis,
 			InferMillis:     li.InferMillis,
 		}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/okb"
+	"repro/internal/signals"
+	"repro/internal/stream"
+)
+
+// This file benchmarks hub-cut graph segmentation (core.Config.Segment)
+// against the PR 1 no-cut incremental path on the workload that defeats
+// it: the generated profiles' popular relation phrases couple thousands
+// of triples through fact-inclusion factors, fusing the factor graph
+// into one giant connected component, so no-cut dirty tracking re-
+// sweeps everything on every ingest. The hub-cut partition cuts those
+// phrases' variables out of the blocks with frozen boundary messages,
+// restoring per-block locality at an approximation cost the experiment
+// quantifies as an F1 delta against exact (whole-graph, cold) inference.
+
+// SegmentStrategy is one serving strategy's side of the comparison.
+type SegmentStrategy struct {
+	// Per-batch total ingest wall-clock (construct + inference), ms.
+	IngestMS []float64 `json:"ingest_ms"`
+	// MeanPostWarmupMS averages the batches after the first (the
+	// preload, where both strategies are cold).
+	MeanPostWarmupMS float64 `json:"mean_post_warmup_ms"`
+	// Final-build partition shape and final-batch effort.
+	Blocks       int `json:"blocks"`
+	CutVariables int `json:"cut_variables"`
+	LastDirty    int `json:"last_dirty_blocks"`
+	LastWarm     int `json:"last_warm_blocks"`
+	LastSweeps   int `json:"last_sweeps_total"`
+	// Result quality of the final snapshot against the generator's gold
+	// labels, and its delta from the exact reference.
+	NPAvgF1         float64 `json:"np_avg_f1"`
+	EntLinkAcc      float64 `json:"ent_link_acc"`
+	NPAvgF1Delta    float64 `json:"np_avg_f1_delta_vs_exact"`
+	EntLinkAccDelta float64 `json:"ent_link_acc_delta_vs_exact"`
+}
+
+// SegmentReport is the segmentation benchmark's output, emitted as the
+// BENCH_segment.json artifact.
+type SegmentReport struct {
+	Profile     string  `json:"profile"`
+	Scale       float64 `json:"scale"`
+	Batches     int     `json:"batches"`
+	Workers     int     `json:"workers"`
+	F1Tolerance float64 `json:"f1_tolerance"`
+
+	// Exact reference: one cold whole-graph solve over the final
+	// accumulated triples (the quality yardstick both strategies are
+	// measured against).
+	ExactNPAvgF1    float64 `json:"exact_np_avg_f1"`
+	ExactEntLinkAcc float64 `json:"exact_ent_link_acc"`
+
+	NoCut  SegmentStrategy `json:"no_cut"`
+	HubCut SegmentStrategy `json:"hub_cut"`
+
+	// Speedup is no-cut over hub-cut mean post-warm-up ingest latency;
+	// WithinTolerance reports whether the hub-cut F1/accuracy deltas
+	// stay inside F1Tolerance.
+	Speedup         float64 `json:"speedup"`
+	WithinTolerance bool    `json:"within_tolerance"`
+}
+
+// RunSegment ingests the same preload-plus-steady-stream batch sequence
+// into two sessions — the PR 1 no-cut incremental path and the hub-cut
+// segmented path — and compares steady-state ingest latency and final
+// result quality against exact whole-graph inference.
+func RunSegment(profile string, scale, preloadFrac float64, batches, workers int, f1Tol float64) (*SegmentReport, error) {
+	ds, triples, cuts, batches, err := ingestPlan(profile, scale, preloadFrac, batches)
+	if err != nil {
+		return nil, err
+	}
+	if f1Tol <= 0 {
+		f1Tol = 0.02
+	}
+
+	report := &SegmentReport{
+		Profile: profile, Scale: scale, Batches: batches,
+		Workers: workers, F1Tolerance: f1Tol,
+	}
+
+	// Same BP headroom as the stream benchmark: the warm-start win is
+	// converging in few sweeps, which a tight cap would mask.
+	baseCfg := core.DefaultConfig()
+	baseCfg.BP.MaxSweeps = 40
+	segCfg := baseCfg
+	segCfg.Segment.Enable = true
+
+	runStrategy := func(cfg core.Config) (*SegmentStrategy, error) {
+		sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers})
+		s := &SegmentStrategy{}
+		var last stream.IngestStats
+		for b := 0; b < batches; b++ {
+			t0 := time.Now()
+			st, err := sess.Ingest(triples[cuts[b]:cuts[b+1]])
+			if err != nil {
+				return nil, err
+			}
+			s.IngestMS = append(s.IngestMS, float64(time.Since(t0).Microseconds())/1000)
+			last = st
+		}
+		sum := 0.0
+		for _, ms := range s.IngestMS[1:] {
+			sum += ms
+		}
+		s.MeanPostWarmupMS = sum / float64(len(s.IngestMS)-1)
+		s.Blocks = last.Components
+		s.CutVariables = last.CutVariables
+		s.LastDirty = last.DirtyComponents
+		s.LastWarm = last.CleanComponents
+		s.LastSweeps = last.SweepsTotal
+		res := sess.Snapshot()
+		s.NPAvgF1 = canonScores(ds, res.NPGroups, true).AverageF1
+		s.EntLinkAcc = linkAccuracy(ds, res.NPLinks, true)
+		return s, nil
+	}
+
+	noCut, err := runStrategy(baseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: no-cut session: %w", err)
+	}
+	hubCut, err := runStrategy(segCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hub-cut session: %w", err)
+	}
+
+	// Exact reference: cold whole-graph inference over everything, the
+	// way the one-shot pipeline would solve the final state.
+	res := signals.New(okb.NewStore(triples), ds.CKB, ds.Emb, ds.PPDB)
+	sys, err := core.NewSystem(res, baseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: exact reference: %w", err)
+	}
+	exact := sys.Run(nil)
+	report.ExactNPAvgF1 = canonScores(ds, exact.NPGroups, true).AverageF1
+	report.ExactEntLinkAcc = linkAccuracy(ds, exact.NPLinks, true)
+
+	for _, s := range []*SegmentStrategy{noCut, hubCut} {
+		s.NPAvgF1Delta = s.NPAvgF1 - report.ExactNPAvgF1
+		s.EntLinkAccDelta = s.EntLinkAcc - report.ExactEntLinkAcc
+	}
+	report.NoCut = *noCut
+	report.HubCut = *hubCut
+	if hubCut.MeanPostWarmupMS > 0 {
+		report.Speedup = noCut.MeanPostWarmupMS / hubCut.MeanPostWarmupMS
+	}
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	report.WithinTolerance = abs(hubCut.NPAvgF1Delta) <= f1Tol && abs(hubCut.EntLinkAccDelta) <= f1Tol
+	return report, nil
+}
+
+// WriteJSON emits the report as the BENCH_segment.json artifact.
+func (r *SegmentReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned text.
+func (r *SegmentReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SEGMENT — hub-cut vs no-cut incremental ingest (%s, scale %g, %d workers)\n",
+		r.Profile, r.Scale, r.Workers)
+	fmt.Fprintf(&b, "%8s  %12s  %12s\n", "batch", "no-cut", "hub-cut")
+	for i := range r.NoCut.IngestMS {
+		fmt.Fprintf(&b, "%8d  %10.1fms  %10.1fms\n", i+1, r.NoCut.IngestMS[i], r.HubCut.IngestMS[i])
+	}
+	fmt.Fprintf(&b, "mean post-warm-up ingest: no-cut %.1fms, hub-cut %.1fms (%.2fx)\n",
+		r.NoCut.MeanPostWarmupMS, r.HubCut.MeanPostWarmupMS, r.Speedup)
+	fmt.Fprintf(&b, "partition: no-cut %d blocks; hub-cut %d blocks, %d cut variables (last batch: %d dirty / %d warm)\n",
+		r.NoCut.Blocks, r.HubCut.Blocks, r.HubCut.CutVariables, r.HubCut.LastDirty, r.HubCut.LastWarm)
+	fmt.Fprintf(&b, "quality (NP avg F1 / ent-link acc): exact %.3f/%.3f, no-cut %+.4f/%+.4f, hub-cut %+.4f/%+.4f (tolerance %g, within: %v)\n",
+		r.ExactNPAvgF1, r.ExactEntLinkAcc,
+		r.NoCut.NPAvgF1Delta, r.NoCut.EntLinkAccDelta,
+		r.HubCut.NPAvgF1Delta, r.HubCut.EntLinkAccDelta,
+		r.F1Tolerance, r.WithinTolerance)
+	return b.String()
+}

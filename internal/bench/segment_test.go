@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunSegmentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("segment benchmark runs three inference passes")
+	}
+	report, err := RunSegment("reverb45k", 0.01, 0.6, 3, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.NoCut.IngestMS) != 3 || len(report.HubCut.IngestMS) != 3 {
+		t.Fatalf("expected 3 ingest points per strategy: %+v", report)
+	}
+	if report.HubCut.CutVariables == 0 {
+		t.Errorf("hub-cut strategy cut nothing on the hub-fused workload")
+	}
+	if report.HubCut.Blocks <= report.NoCut.Blocks {
+		t.Errorf("hub cut produced %d blocks, no-cut %d", report.HubCut.Blocks, report.NoCut.Blocks)
+	}
+	if report.ExactNPAvgF1 <= 0 || report.ExactEntLinkAcc <= 0 {
+		t.Errorf("exact reference scores missing: %+v", report)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round SegmentReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if round.HubCut.NPAvgF1 != report.HubCut.NPAvgF1 {
+		t.Errorf("artifact dropped the F1 fields")
+	}
+	if report.Format() == "" {
+		t.Errorf("empty text rendering")
+	}
+}

@@ -63,30 +63,9 @@ type StreamReport struct {
 // while the session's warm-started messages are already near the fixed
 // point everywhere a small batch didn't touch.
 func RunStream(profile string, scale, preloadFrac float64, batches, workers int) (*StreamReport, error) {
-	var p datasets.Profile
-	switch profile {
-	case "reverb45k":
-		p = datasets.ReVerb45K(scale)
-	case "nytimes2018":
-		p = datasets.NYTimes2018(scale)
-	default:
-		return nil, fmt.Errorf("bench: unknown stream profile %q", profile)
-	}
-	ds, err := datasets.Generate(p)
+	ds, triples, cuts, batches, err := ingestPlan(profile, scale, preloadFrac, batches)
 	if err != nil {
 		return nil, err
-	}
-	triples := ds.OKB.Triples()
-	if batches < 2 {
-		batches = 2
-	}
-	if preloadFrac <= 0 || preloadFrac >= 1 {
-		preloadFrac = 0.6
-	}
-	preload := int(float64(len(triples)) * preloadFrac)
-	if preload < 1 || len(triples)-preload < batches-1 {
-		return nil, fmt.Errorf("bench: %d triples cannot fill a %.0f%% preload plus %d batches",
-			len(triples), preloadFrac*100, batches-1)
 	}
 
 	report := &StreamReport{Profile: profile, Scale: scale, Batches: batches, Workers: workers}
@@ -96,13 +75,6 @@ func RunStream(profile string, scale, preloadFrac float64, batches, workers int)
 	cfg := core.DefaultConfig()
 	cfg.BP.MaxSweeps = 40
 	sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers})
-
-	cuts := []int{0, preload}
-	per := (len(triples) - preload) / (batches - 1)
-	for b := 1; b < batches-1; b++ {
-		cuts = append(cuts, preload+b*per)
-	}
-	cuts = append(cuts, len(triples))
 
 	var accumulated []okb.Triple
 	for b := 0; b < batches; b++ {
@@ -160,6 +132,46 @@ func RunStream(profile string, scale, preloadFrac float64, batches, workers int)
 		report.MeanSpeedup = sum / float64(n)
 	}
 	return report, nil
+}
+
+// ingestPlan prepares the preload-plus-steady-stream serving scenario
+// the streaming benchmarks share: the generated dataset, its triples,
+// and the batch cut offsets (1 preload batch of preloadFrac of the
+// triples, then batches-1 equal increments). It clamps batches to >= 2
+// and preloadFrac to (0,1), returning the effective batch count.
+func ingestPlan(profile string, scale, preloadFrac float64, batches int) (*datasets.Dataset, []okb.Triple, []int, int, error) {
+	var p datasets.Profile
+	switch profile {
+	case "reverb45k":
+		p = datasets.ReVerb45K(scale)
+	case "nytimes2018":
+		p = datasets.NYTimes2018(scale)
+	default:
+		return nil, nil, nil, 0, fmt.Errorf("bench: unknown stream profile %q", profile)
+	}
+	ds, err := datasets.Generate(p)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	triples := ds.OKB.Triples()
+	if batches < 2 {
+		batches = 2
+	}
+	if preloadFrac <= 0 || preloadFrac >= 1 {
+		preloadFrac = 0.6
+	}
+	preload := int(float64(len(triples)) * preloadFrac)
+	if preload < 1 || len(triples)-preload < batches-1 {
+		return nil, nil, nil, 0, fmt.Errorf("bench: %d triples cannot fill a %.0f%% preload plus %d batches",
+			len(triples), preloadFrac*100, batches-1)
+	}
+	cuts := []int{0, preload}
+	per := (len(triples) - preload) / (batches - 1)
+	for b := 1; b < batches-1; b++ {
+		cuts = append(cuts, preload+b*per)
+	}
+	cuts = append(cuts, len(triples))
+	return ds, triples, cuts, batches, nil
 }
 
 // WriteJSON emits the report as the BENCH_stream.json artifact.

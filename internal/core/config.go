@@ -174,8 +174,40 @@ type Config struct {
 	// nil for one-shot batch runs; see core.SimCache.
 	Cache *SimCache
 
+	// Segment controls hub-cut graph segmentation for the incremental
+	// path (RunIncremental). Disabled, inference partitions the graph
+	// into exact connected components; enabled, the highest-degree
+	// variables — the popular-phrase hubs that fuse realistic graphs
+	// into one giant component — are cut out of the blocks and handled
+	// by frozen-boundary outer rounds, restoring per-block locality at
+	// a bounded approximation cost.
+	Segment SegmentConfig
+
 	BP    factorgraph.RunOptions
 	Train factorgraph.TrainOptions
+}
+
+// SegmentConfig tunes hub-cut segmentation; see factorgraph.
+// PartitionOptions for the field semantics. Zero values take the
+// partitioner's defaults.
+type SegmentConfig struct {
+	// Enable switches RunIncremental from exact connected components to
+	// the hub-cut partition.
+	Enable bool
+	// HubDegreePercentile places the cut threshold on the degree
+	// distribution (default 0.99); MinHubDegree is the absolute floor a
+	// variable's degree must exceed to be cut (default 8).
+	HubDegreePercentile float64
+	MinHubDegree        int
+	// MaxBlockVars size-caps the blocks by cutting the locally densest
+	// variables of any block still larger (default 256; negative
+	// disables the refinement stage).
+	MaxBlockVars int
+	// MaxOuterRounds bounds the block-run / boundary-refresh iterations
+	// (default 4); BoundaryTolerance is the convergence threshold on
+	// cut-variable belief change between rounds (default 0.005).
+	MaxOuterRounds    int
+	BoundaryTolerance float64
 }
 
 // DefaultConfig returns the full JOCL configuration with the paper's

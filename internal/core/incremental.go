@@ -128,28 +128,59 @@ func (s *System) relLinkSimUncached(feat, rp, rid string) float64 {
 
 // IncrementalStats describes one incremental inference pass.
 type IncrementalStats struct {
-	Components int // connected components in this build's graph
-	Dirty      int // components that needed BP sweeps
-	Reused     int // components served from warm-started messages
-	DirtyVars  int // variables inside dirty components
+	Components int // partition blocks in this build's graph
+	Dirty      int // blocks that needed BP sweeps
+	Reused     int // blocks served from warm-started messages
+	DirtyVars  int // variables inside dirty blocks
 	TotalVars  int
 	// WarmFactors counts factors whose messages transplanted from the
-	// previous build (spanning both clean components and the unchanged
+	// previous build (spanning both clean blocks and the unchanged
 	// fringes of dirty ones).
 	WarmFactors int
-	SweepsTotal int // sweeps summed over dirty components
-	SweepsMax   int // slowest dirty component
+	SweepsTotal int // sweeps summed over all block runs
+	SweepsMax   int // slowest block run
+	// CutVars counts hub variables cut out of the blocks, OuterRounds
+	// the frozen-boundary rounds, and BoundaryResidual the final
+	// refresh's max cut-belief change — all zero unless the partition
+	// carries cuts (Config.Segment.Enable with qualifying hubs).
+	// BlocksRun totals block executions (= Dirty without cuts; larger
+	// when boundary movement forced outer-round re-runs).
+	CutVars          int
+	OuterRounds      int
+	BlocksRun        int
+	BoundaryResidual float64
+}
+
+// partition decomposes the system's graph per the segmentation config:
+// exact connected components by default, hub-cut blocks when enabled.
+func (s *System) partition() *factorgraph.Partition {
+	seg := s.cfg.Segment
+	if !seg.Enable {
+		return factorgraph.NewComponentPartition(s.g)
+	}
+	return factorgraph.NewHubCutPartition(s.g, factorgraph.PartitionOptions{
+		HubDegreePercentile: seg.HubDegreePercentile,
+		MinHubDegree:        seg.MinHubDegree,
+		MaxBlockVars:        seg.MaxBlockVars,
+		MaxOuterRounds:      seg.MaxOuterRounds,
+		BoundaryTolerance:   seg.BoundaryTolerance,
+	})
 }
 
 // RunIncremental performs joint inference re-running belief propagation
-// only on the connected components that changed since the previous
-// build, identified by comparing every variable's neighborhood
-// fingerprint (factor names, cardinalities, and potential tables —
-// see factorgraph.VarAdjacency) against the warm state. Unchanged
-// components' transplanted messages already encode their converged
-// beliefs and are served as-is; changed components warm-start from
-// whatever messages still match and run scoped BP on a bounded worker
-// pool. Passing a nil warm state marks everything dirty (a cold run).
+// only on the partition blocks that changed since the previous build.
+// A block is clean when every variable's neighborhood fingerprint
+// (factor names, cardinalities, and potential tables — see
+// factorgraph.VarAdjacency) matches the warm state AND, for blocks
+// bordering cut variables, the imported cut-variable beliefs stay
+// within the boundary tolerance of the beliefs the block last ran
+// against — a hub gaining factors elsewhere does not dirty the blocks
+// behind it, which is what segmentation buys. Clean blocks'
+// transplanted messages already encode their converged beliefs and are
+// served as-is; dirty blocks warm-start from whatever messages still
+// match and run scoped BP on a bounded worker pool, with frozen-
+// boundary outer rounds when the partition carries cuts. Passing a nil
+// warm state marks everything dirty (a cold run).
 //
 // The incremental path is unsupervised by design: weight learning needs
 // global clamped/free passes, so serving sessions learn weights offline
@@ -166,13 +197,27 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 		st.WarmFactors = bp.Import(warm, sigs)
 	}
 
-	idx := factorgraph.NewComponentIndex(s.g)
-	st.Components = len(idx.Comps)
-	var dirty []int
-	for ci, comp := range idx.Comps {
+	part := s.partition()
+	st.Components = len(part.Blocks)
+	st.CutVars = len(part.Cut)
+	// Boundary beliefs as imported: a block bordering cut variables may
+	// be served warm only while these stay within the boundary tolerance
+	// of the beliefs the block last ran against (warm.Boundary). The
+	// baseline moves only when the block re-runs, so sub-tolerance hub
+	// drift cannot accumulate unboundedly across ingests, while a hub
+	// merely gaining factors elsewhere dirties nothing — the point of
+	// cutting through hubs.
+	var curBoundary map[string]map[string][]float64
+	if warm != nil && len(part.Cut) > 0 {
+		curBoundary = part.BoundaryBeliefs(bp)
+	}
+	// Non-nil even when empty: for RunPartition nil means "everything",
+	// the empty slice means "nothing to do".
+	dirty := make([]int, 0, len(part.Blocks))
+	for ci, block := range part.Blocks {
 		clean := warm != nil
 		if clean {
-			for _, vid := range comp {
+			for _, vid := range block {
 				name := s.g.Variable(vid).Name
 				if prev, ok := warm.VarAdj[name]; !ok || prev != curAdj[name] {
 					clean = false
@@ -180,27 +225,65 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 				}
 			}
 		}
+		if clean && len(part.Boundary[ci]) > 0 {
+			key := part.BlockKey(ci)
+			prev, ok := warm.Boundary[key]
+			clean = ok && part.WithinBoundaryTolerance(prev, curBoundary[key])
+		}
 		if clean {
-			st.Reused++
 			continue
 		}
 		dirty = append(dirty, ci)
-		st.DirtyVars += len(comp)
 	}
-	st.Dirty = len(dirty)
 
 	opt := s.cfg.BP
 	opt.Schedule = s.sched
-	runs := factorgraph.RunComponents(bp, idx, opt, workers, dirty)
-	for _, ci := range dirty {
-		st.SweepsTotal += runs[ci].Sweeps
-		if runs[ci].Sweeps > st.SweepsMax {
-			st.SweepsMax = runs[ci].Sweeps
+	pr := factorgraph.RunPartition(bp, part, opt, workers, dirty)
+	st.SweepsTotal = pr.SweepsTotal
+	st.SweepsMax = pr.SweepsMax
+	st.BlocksRun = pr.BlocksRun
+	if st.CutVars > 0 {
+		st.OuterRounds = pr.OuterRounds
+		st.BoundaryResidual = pr.BoundaryResidual
+	}
+	// Count dirtiness from what actually ran: the frozen-boundary outer
+	// loop may pull in blocks the fingerprints had cleared (their hub
+	// moved), and those must not be reported as served warm.
+	for ci, run := range pr.Blocks {
+		if run.Sweeps > 0 {
+			st.Dirty++
+			st.DirtyVars += len(part.Blocks[ci])
 		}
 	}
+	st.Reused = st.Components - st.Dirty
 
 	s.stats.Sweeps = st.SweepsMax
 	res := s.finish(bp)
 	out := bp.Export(sigs)
+	if len(part.Cut) > 0 {
+		// Record each block's ran-against baseline: fresh beliefs for
+		// blocks that ran, the imported baseline carried forward for
+		// blocks served warm (re-baselining those every ingest would let
+		// sub-tolerance drift compound unnoticed). Blocks bordering cut
+		// variables that were still moving when the outer-round budget
+		// ran out get no baseline at all, forcing a re-run on the next
+		// build instead of freezing the beyond-tolerance error in.
+		final := part.BoundaryBeliefs(bp)
+		out.Boundary = make(map[string]map[string][]float64, len(final))
+		for ci := range part.Blocks {
+			if len(part.Boundary[ci]) == 0 {
+				continue
+			}
+			key := part.BlockKey(ci)
+			if pr.Blocks[ci].Sweeps > 0 || warm == nil {
+				out.Boundary[key] = final[key]
+			} else if prev, ok := warm.Boundary[key]; ok {
+				out.Boundary[key] = prev
+			}
+		}
+		for _, ci := range part.BlocksBordering(pr.Unsettled) {
+			delete(out.Boundary, part.BlockKey(ci))
+		}
+	}
 	return res, out, st
 }

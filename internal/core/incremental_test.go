@@ -113,6 +113,72 @@ func TestRunIncrementalWarmRerunIsAllClean(t *testing.T) {
 	sameOutputs(t, r1, r2, "warm rerun")
 }
 
+func TestSegmentationWithoutQualifyingHubsMatchesSerialBitwise(t *testing.T) {
+	res := incResources(t)
+	cfg := fixedSweepConfig()
+	cfg.Segment.Enable = true
+	// No variable can exceed this floor, so the hub-cut partition must
+	// degenerate to exact components and reproduce the serial run.
+	cfg.Segment.MinHubDegree = 1 << 30
+	cfg.Segment.MaxBlockVars = -1
+
+	serialSys, err := NewSystem(res, fixedSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := serialSys.Run(nil)
+
+	segSys, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _, st := segSys.RunIncremental(nil, 4)
+	if st.CutVars != 0 {
+		t.Fatalf("degenerate segmentation cut %d variables", st.CutVars)
+	}
+	sameOutputs(t, serial, seg, "degenerate segmentation vs serial")
+}
+
+func TestSegmentedWarmRerunIsAllClean(t *testing.T) {
+	res := incResources(t)
+	cfg := DefaultConfig()
+	cfg.Cache = NewSimCache()
+	cfg.Segment.Enable = true
+	// Give the frozen-boundary loop room to actually settle: a run that
+	// exhausts its outer rounds mid-movement deliberately withholds the
+	// unsettled blocks' baselines so the next build repairs them, which
+	// would make this test's all-clean assertion fail by design.
+	cfg.Segment.MaxOuterRounds = 16
+	cfg.Segment.BoundaryTolerance = 0.005
+
+	first, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, warm, st1 := first.RunIncremental(nil, 4)
+	if st1.CutVars == 0 {
+		t.Fatalf("hub-heavy resources should produce cut variables: %+v", st1)
+	}
+	if st1.Components < 2 {
+		t.Fatalf("segmentation left the graph in %d block(s)", st1.Components)
+	}
+	if st1.BoundaryResidual > cfg.Segment.BoundaryTolerance && st1.BoundaryResidual != 0 {
+		t.Fatalf("first run's boundary did not settle (residual %g): raise MaxOuterRounds", st1.BoundaryResidual)
+	}
+
+	// Identical rebuild: every block's fingerprints and boundary baselines
+	// match, so nothing re-runs and the output is served verbatim.
+	second, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, st2 := second.RunIncremental(warm, 4)
+	if st2.Dirty != 0 || st2.Reused != st2.Components || st2.SweepsTotal != 0 {
+		t.Fatalf("segmented rebuild on unchanged input must reuse everything: %+v", st2)
+	}
+	sameOutputs(t, r1, r2, "segmented warm rerun")
+}
+
 func TestSimCacheDoesNotChangeTheGraph(t *testing.T) {
 	res := incResources(t)
 

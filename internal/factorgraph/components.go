@@ -2,7 +2,6 @@ package factorgraph
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 )
 
@@ -11,46 +10,11 @@ import (
 // decompose naturally — blocked phrase pairs form many small islands —
 // so inference can run per component, in parallel. This realizes, in
 // shared memory, the graph-segmentation idea the paper cites for
-// distributed LBP (Jo et al., WSDM 2018).
+// distributed LBP (Jo et al., WSDM 2018). Partition generalizes this
+// decomposition (see partition.go); Components remains the raw
+// variable grouping — the residual components with nothing cut.
 func (g *Graph) Components() [][]int {
-	parent := make([]int, len(g.vars))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[rb] = ra
-		}
-	}
-	for _, f := range g.factors {
-		for _, vid := range f.Vars[1:] {
-			union(f.Vars[0], vid)
-		}
-	}
-	byRoot := map[int][]int{}
-	for i := range g.vars {
-		r := find(i)
-		byRoot[r] = append(byRoot[r], i)
-	}
-	roots := make([]int, 0, len(byRoot))
-	for r := range byRoot {
-		roots = append(roots, r)
-	}
-	sort.Ints(roots)
-	comps := make([][]int, 0, len(roots))
-	for _, r := range roots {
-		comps = append(comps, byRoot[r])
-	}
-	return comps
+	return residualComponents(g, nil)
 }
 
 // ParallelBP runs loopy BP over each connected component concurrently
@@ -59,48 +23,76 @@ func (g *Graph) Components() [][]int {
 // same options (up to the convergence test being per-component rather
 // than global); the win is wall-clock time on multi-core machines.
 //
-// All workers share one BP: scoped runs on disjoint components touch
+// All workers share one BP: scoped runs on disjoint blocks touch
 // disjoint message slices (see RunScoped), so the shared buffer is both
 // safe and allocation-free per job, and the worker count cannot change
 // the bits of the result.
 //
-// The caller's schedule, if any, is filtered per component. Workers
-// default to GOMAXPROCS.
+// The caller's schedule, if any, is filtered per block. Workers
+// default to GOMAXPROCS. This is ParallelBPPartition over the trivial
+// no-cut partition.
 func ParallelBP(g *Graph, opt RunOptions, workers int) [][]float64 {
+	beliefs, _ := ParallelBPPartition(g, NewComponentPartition(g), opt, workers)
+	return beliefs
+}
+
+// ParallelBPPartition runs partitioned loopy BP over every block of p
+// concurrently (frozen-boundary outer rounds when p carries cut
+// variables) and returns per-variable beliefs plus the run report.
+func ParallelBPPartition(g *Graph, p *Partition, opt RunOptions, workers int) ([][]float64, PartitionRun) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	idx := NewComponentIndex(g)
 	bp := NewBP(g)
-	RunComponents(bp, idx, opt, workers, nil)
+	pr := RunPartition(bp, p, opt, workers, nil)
 	beliefs := make([][]float64, len(g.vars))
 	for vid := range beliefs {
 		beliefs[vid] = bp.VarBelief(vid)
 	}
-	return beliefs
+	return beliefs, pr
 }
 
-// ComponentRun reports one component's scoped inference outcome.
+// ComponentRun reports one block's scoped inference outcome.
 type ComponentRun struct {
 	Converged bool
 	Sweeps    int
 }
 
-// RunComponents executes RunScoped for the selected components of idx
+// RunComponents executes one scoped pass over the selected blocks of p
 // on a bounded worker pool sharing bp's message state, returning the
-// per-component outcomes (indexed like idx.Comps; skipped components
-// are zero). A nil selection runs every component.
-func RunComponents(bp *BP, idx *ComponentIndex, opt RunOptions, workers int, selected []int) []ComponentRun {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// per-block outcomes (indexed like p.Blocks; skipped blocks are zero).
+// A nil selection runs every block. Cut variables, if any, stay frozen
+// throughout — this is the inner pass of RunPartition, which adds the
+// boundary refresh between rounds.
+//
+// The pool is sized to min(workers, len(selected)), and a single
+// selected block runs inline: serving sessions mostly touch one or two
+// blocks per batch, where per-call goroutine/channel setup used to
+// dominate the scoped sweeps themselves.
+func RunComponents(bp *BP, p *Partition, opt RunOptions, workers int, selected []int) []ComponentRun {
 	if selected == nil {
-		selected = make([]int, len(idx.Comps))
-		for ci := range idx.Comps {
+		selected = make([]int, len(p.Blocks))
+		for ci := range p.Blocks {
 			selected[ci] = ci
 		}
 	}
-	out := make([]ComponentRun, len(idx.Comps))
+	out := make([]ComponentRun, len(p.Blocks))
+	if len(selected) == 0 {
+		return out
+	}
+	scheds := p.blockSchedules(opt.Schedule)
+	if len(selected) == 1 {
+		ci := selected[0]
+		conv, sweeps := bp.runScopedScheduled(opt, p.Blocks[ci], scheds[ci])
+		out[ci] = ComponentRun{Converged: conv, Sweeps: sweeps}
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -108,7 +100,7 @@ func RunComponents(bp *BP, idx *ComponentIndex, opt RunOptions, workers int, sel
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
-				conv, sweeps := bp.RunScoped(opt, idx.Comps[ci], idx.Factors[ci])
+				conv, sweeps := bp.runScopedScheduled(opt, p.Blocks[ci], scheds[ci])
 				out[ci] = ComponentRun{Converged: conv, Sweeps: sweeps}
 			}
 		}()
@@ -121,8 +113,10 @@ func RunComponents(bp *BP, idx *ComponentIndex, opt RunOptions, workers int, sel
 	return out
 }
 
-// filterGroups restricts a schedule's groups to one component; with a
-// nil schedule it synthesizes single flooding groups.
+// filterGroups restricts a schedule's groups to one block; with a
+// nil schedule it synthesizes single flooding groups. RunScoped uses
+// it for ad-hoc scopes; partitioned runs use the precomputed per-block
+// schedules instead (Partition.blockSchedules).
 func filterGroups(sched *Schedule, factors []int, vars []int, factorSide bool) [][]int {
 	if sched == nil {
 		if factorSide {

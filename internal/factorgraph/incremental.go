@@ -9,64 +9,44 @@ import (
 )
 
 // This file is the factor-graph half of the streaming subsystem: it
-// makes belief propagation schedulable per connected component and
-// makes message state transplantable between graph builds, so a serving
-// session can re-run inference only on the components a triple batch
-// touched and warm-start everything else.
+// makes belief propagation schedulable per partition block and makes
+// message state transplantable between graph builds, so a serving
+// session can re-run inference only on the blocks a triple batch
+// touched and warm-start everything else. The partition itself —
+// exact components or hub cuts — lives in partition.go.
 //
 // The key invariant exploited throughout: one BP sweep is a pure
 // function of the previous sweep's messages, and messages never cross
-// component boundaries. Factor updates read only their own incoming
-// messages and variable updates read only factor-to-variable messages,
-// so sweeps over disjoint components commute — scoped runs on disjoint
-// components may safely share one BP's message buffers, serially or in
+// block boundaries (cut variables' outgoing messages are frozen while
+// blocks run). Factor updates read only their own incoming messages
+// and variable updates read only factor-to-variable messages, so
+// sweeps over disjoint blocks commute — scoped runs on disjoint
+// blocks may safely share one BP's message buffers, serially or in
 // parallel, and produce bitwise-identical messages either way.
 
-// ComponentIndex caches a graph's connected-component decomposition
-// together with each component's factor list, the unit of scheduling
-// for scoped inference.
-type ComponentIndex struct {
-	Comps   [][]int // variable ids per component (Components() order)
-	Factors [][]int // factor ids per component
-	CompOf  []int   // variable id -> component index
-}
-
-// NewComponentIndex decomposes a finalized graph.
-func NewComponentIndex(g *Graph) *ComponentIndex {
-	comps := g.Components()
-	idx := &ComponentIndex{Comps: comps, CompOf: make([]int, len(g.vars))}
-	for ci, comp := range comps {
-		for _, vid := range comp {
-			idx.CompOf[vid] = ci
-		}
-	}
-	idx.Factors = make([][]int, len(comps))
-	for _, f := range g.factors {
-		if len(f.Vars) == 0 {
-			continue
-		}
-		ci := idx.CompOf[f.Vars[0]]
-		idx.Factors[ci] = append(idx.Factors[ci], f.id)
-	}
-	return idx
-}
-
-// RunScoped iterates scheduled message passing confined to one
-// component (vars + factors) until the component's beliefs change by
-// less than opt.Tolerance or MaxSweeps is reached. Messages outside the
-// component are neither read nor written, so concurrent RunScoped calls
-// on disjoint components are safe on a shared BP. Unlike Run, it does
-// not start from Reset: the current messages — uniform from NewBP, or
+// RunScoped iterates scheduled message passing confined to one scope
+// (vars + factors) until the scope's beliefs change by less than
+// opt.Tolerance or MaxSweeps is reached. Messages outside the scope
+// are neither read nor written, so concurrent RunScoped calls on
+// disjoint scopes are safe on a shared BP. Unlike Run, it does not
+// start from Reset: the current messages — uniform from NewBP, or
 // transplanted by Import — are the starting point, which is what makes
 // warm-started re-runs converge in fewer sweeps.
 //
-// It returns whether the component converged and the sweeps performed.
+// It returns whether the scope converged and the sweeps performed.
 func (bp *BP) RunScoped(opt RunOptions, vars, factors []int) (bool, int) {
-	opt.defaults()
 	sub := &Schedule{
 		FactorGroups: filterGroups(opt.Schedule, factors, vars, true),
 		VarGroups:    filterGroups(opt.Schedule, factors, vars, false),
 	}
+	return bp.runScopedScheduled(opt, vars, sub)
+}
+
+// runScopedScheduled is RunScoped with the scope's sub-schedule already
+// built — the hot path for partitioned runs, which precompute one
+// sub-schedule per block and reuse it across sweeps and ingests.
+func (bp *BP) runScopedScheduled(opt RunOptions, vars []int, sub *Schedule) (bool, int) {
+	opt.defaults()
 	for _, vid := range vars {
 		copy(bp.prevBelief[vid], bp.VarBelief(vid))
 	}
@@ -176,6 +156,10 @@ type FactorMessages struct {
 type WarmState struct {
 	Msgs   map[string]FactorMessages
 	VarAdj map[string]string
+	// Boundary holds, per block key, the boundary cut-variable beliefs
+	// the block last actually ran against (see
+	// Partition.BoundaryBeliefs). Nil for runs over no-cut partitions.
+	Boundary map[string]map[string][]float64
 }
 
 // Export captures the BP's current messages keyed by the given factor

@@ -35,7 +35,7 @@ func TestRunComponentsParallelBitwiseEqualsSerial(t *testing.T) {
 	opt := RunOptions{MaxSweeps: 25, Tolerance: 1e-8}
 
 	serial := NewBP(g)
-	idx := NewComponentIndex(g)
+	idx := NewComponentPartition(g)
 	RunComponents(serial, idx, opt, 1, nil)
 
 	parallel := NewBP(g)
@@ -53,18 +53,18 @@ func TestRunComponentsParallelBitwiseEqualsSerial(t *testing.T) {
 
 func TestWarmStartConvergesInFewerSweeps(t *testing.T) {
 	g := loopyIslands(t, 1, 7)
-	idx := NewComponentIndex(g)
+	idx := NewComponentPartition(g)
 	opt := RunOptions{MaxSweeps: 50, Tolerance: 1e-8}
 
 	bp := NewBP(g)
-	conv, cold := bp.RunScoped(opt, idx.Comps[0], idx.Factors[0])
+	conv, cold := bp.RunScoped(opt, idx.Blocks[0], idx.Factors[0])
 	if !conv {
 		t.Fatalf("cold run did not converge in %d sweeps", opt.MaxSweeps)
 	}
 	if cold < 2 {
 		t.Fatalf("cold run converged in %d sweeps; test needs a loopy component", cold)
 	}
-	conv, warm := bp.RunScoped(opt, idx.Comps[0], idx.Factors[0])
+	conv, warm := bp.RunScoped(opt, idx.Blocks[0], idx.Factors[0])
 	if !conv {
 		t.Fatalf("warm re-run did not converge")
 	}

@@ -1,0 +1,623 @@
+package factorgraph
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file defines Partition, the single partitioning abstraction the
+// scoped-inference machinery runs on. A partition splits a graph's
+// variables into blocks whose message passing never interacts within
+// one run, plus an optional set of cut variables sitting between
+// blocks. Exact connected components are the trivial no-cut partition
+// (NewComponentPartition); hub-cut partitions (NewHubCutPartition)
+// additionally remove the few highest-degree variables from the
+// blocks, shattering hub-fused graphs back into many small islands at
+// a bounded approximation cost.
+//
+// Cut variables are owned by no block. During a block run their
+// outgoing messages stay frozen at their last values (uniform after
+// NewBP, transplanted after Import, or whatever the previous outer
+// round left), so blocks decouple; between outer rounds the cut
+// variables' messages are refreshed from the blocks' new factor
+// messages and blocks whose boundary moved re-run, until the cut
+// beliefs change by less than BoundaryTolerance or MaxOuterRounds is
+// reached. With an empty cut set this degenerates to one exact pass
+// over the components, bit-identical to the pre-partition code path.
+
+// PartitionOptions tunes hub-cut selection and the frozen-boundary
+// outer loop. Zero values select the defaults noted per field.
+type PartitionOptions struct {
+	// HubDegreePercentile places the degree threshold: variables whose
+	// factor degree strictly exceeds the degree at this percentile of
+	// the graph's degree distribution become cut candidates. Default
+	// 0.99.
+	HubDegreePercentile float64
+	// MinHubDegree is an absolute floor: a variable is never cut unless
+	// its degree exceeds this, whatever the percentile says. It keeps
+	// small or uniformly sparse graphs uncut. Default 8.
+	MinHubDegree int
+	// MaxBlockVars caps block size: after the threshold stage, any block
+	// still larger than this is refined by repeatedly cutting its
+	// highest-degree variables until it splits below the cap (or the
+	// refinement round limit is hit). Realistic graphs need this stage:
+	// the consistency-factor web is an expander, so no small set of
+	// global hubs disconnects it, but cutting the locally densest
+	// variables block by block does. 0 takes the default 256; negative
+	// disables refinement (threshold cuts only).
+	MaxBlockVars int
+	// MaxOuterRounds bounds the block-run / boundary-refresh iterations
+	// of RunPartition. Default 4.
+	MaxOuterRounds int
+	// BoundaryTolerance is the convergence threshold on cut-variable
+	// belief change between outer rounds. Default 0.005.
+	BoundaryTolerance float64
+}
+
+func (o *PartitionOptions) defaults() {
+	if o.HubDegreePercentile <= 0 || o.HubDegreePercentile >= 1 {
+		o.HubDegreePercentile = 0.99
+	}
+	if o.MinHubDegree <= 0 {
+		o.MinHubDegree = 8
+	}
+	if o.MaxBlockVars == 0 {
+		o.MaxBlockVars = 256
+	}
+	if o.MaxOuterRounds <= 0 {
+		o.MaxOuterRounds = 4
+	}
+	if o.BoundaryTolerance <= 0 {
+		o.BoundaryTolerance = 0.005
+	}
+}
+
+// Partition is a decomposition of a finalized graph into blocks of
+// variables plus an optional cut set, together with everything scoped
+// inference needs per block: the block's factors, its boundary (the
+// adjacent cut variables), and memoized per-block message schedules.
+type Partition struct {
+	Blocks  [][]int // variable ids per block, ascending
+	Factors [][]int // factor ids per block, ascending
+	BlockOf []int   // variable id -> block index; cut variables hold -1
+	Cut     []int   // cut variable ids, ascending
+	// CutFactors are factors all of whose variables are cut; they belong
+	// to no block and are updated during the boundary refresh.
+	CutFactors []int
+	// Boundary lists, per block, the cut variable ids adjacent to the
+	// block's factors, ascending.
+	Boundary [][]int
+
+	// MaxOuterRounds / BoundaryTolerance govern RunPartition's frozen-
+	// boundary outer loop (irrelevant when Cut is empty).
+	MaxOuterRounds    int
+	BoundaryTolerance float64
+
+	g           *Graph
+	factorBlock []int   // factor id -> block index (-1 for CutFactors)
+	cutBlocks   [][]int // per index into Cut: blocks bordering that cut variable
+
+	// Per-block schedules filtered from one caller schedule are
+	// precomputed on first use and reused by every scoped run of this
+	// partition (all sweeps and outer rounds of a RunPartition call) —
+	// the per-scoped-run membership maps the old filterGroups rebuilt
+	// showed up in serving profiles.
+	schedMu    sync.Mutex
+	schedFor   *Schedule
+	schedValid bool
+	scheds     []*Schedule
+}
+
+// NewComponentPartition decomposes a finalized graph into its exact
+// connected components: the trivial no-cut partition. RunPartition on
+// it reproduces whole-graph inference bit for bit (see RunComponents).
+func NewComponentPartition(g *Graph) *Partition {
+	opt := PartitionOptions{}
+	opt.defaults()
+	return buildPartition(g, nil, opt)
+}
+
+// NewHubCutPartition decomposes a finalized graph after removing its
+// hub variables, in two degree-driven stages. The threshold stage cuts
+// every variable whose factor degree exceeds both the configured
+// degree percentile and the MinHubDegree floor — the global hubs. The
+// refinement stage then size-caps the blocks: while a residual block
+// exceeds MaxBlockVars, its highest-degree variables are cut too. The
+// second stage is what makes segmentation effective on realistic JOCL
+// graphs: fact-inclusion factors fuse them through popular-phrase
+// hubs, but the consistency-factor web underneath is an expander with
+// no small global separator, so hubs must be cut relative to the block
+// they hold together, not only relative to the whole graph. If nothing
+// qualifies the result is the plain component partition.
+//
+// Selection is deterministic (degree, then variable name), so two
+// builds of the same logical graph cut the same phrases' variables
+// regardless of id shifts — the stability the serving layer's warm
+// reuse depends on.
+func NewHubCutPartition(g *Graph, opt PartitionOptions) *Partition {
+	opt.defaults()
+	n := g.NumVariables()
+	degrees := make([]int, n)
+	for i := 0; i < n; i++ {
+		degrees[i] = len(g.vars[i].factors)
+	}
+	sorted := append([]int(nil), degrees...)
+	sort.Ints(sorted)
+	thr := 0
+	if n > 0 {
+		thr = sorted[int(opt.HubDegreePercentile*float64(n-1))]
+	}
+	if thr < opt.MinHubDegree {
+		thr = opt.MinHubDegree
+	}
+	var isCut []bool
+	for i, d := range degrees {
+		if d > thr {
+			if isCut == nil {
+				isCut = make([]bool, n)
+			}
+			isCut[i] = true
+		}
+	}
+	if opt.MaxBlockVars > 0 {
+		isCut = refineOversized(g, isCut, degrees, opt.MaxBlockVars)
+	}
+	return buildPartition(g, isCut, opt)
+}
+
+// refineOversized cuts, round by round, the highest-degree variables
+// of every residual block still larger than maxBlockVars, until all
+// blocks fit or the round limit is reached (a safety valve). Each
+// round removes ~1/48 of an oversized block (at least
+// ceil(size/maxBlockVars)): the consistency web is an expander, so
+// shattering a fused block takes cuts proportional to its size, and
+// smaller per-round bites would exhaust the round budget before the
+// cap is reached.
+func refineOversized(g *Graph, isCut []bool, degrees []int, maxBlockVars int) []bool {
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		blocks := residualComponents(g, isCut)
+		oversized := false
+		for _, block := range blocks {
+			if len(block) <= maxBlockVars {
+				continue
+			}
+			oversized = true
+			if isCut == nil {
+				isCut = make([]bool, g.NumVariables())
+			}
+			want := (len(block) + maxBlockVars - 1) / maxBlockVars
+			if bite := len(block) / 48; bite > want {
+				want = bite
+			}
+			top := append([]int(nil), block...)
+			sort.Slice(top, func(a, b int) bool {
+				if degrees[top[a]] != degrees[top[b]] {
+					return degrees[top[a]] > degrees[top[b]]
+				}
+				return g.vars[top[a]].Name < g.vars[top[b]].Name
+			})
+			for _, vid := range top[:want] {
+				isCut[vid] = true
+			}
+		}
+		if !oversized {
+			break
+		}
+	}
+	return isCut
+}
+
+// residualComponents returns the connected components of the graph
+// restricted to non-cut variables.
+func residualComponents(g *Graph, isCut []bool) [][]int {
+	cut := func(vid int) bool { return isCut != nil && isCut[vid] }
+	parent := make([]int, len(g.vars))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, f := range g.factors {
+		first := -1
+		for _, vid := range f.Vars {
+			if cut(vid) {
+				continue
+			}
+			if first < 0 {
+				first = vid
+				continue
+			}
+			ra, rb := find(first), find(vid)
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for vid := range g.vars {
+		if cut(vid) {
+			continue
+		}
+		byRoot[find(vid)] = append(byRoot[find(vid)], vid)
+	}
+	out := make([][]int, 0, len(byRoot))
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// buildPartition unions the non-cut variables through shared factors
+// and assembles the block/boundary indexes. A nil isCut means no cuts.
+func buildPartition(g *Graph, isCut []bool, opt PartitionOptions) *Partition {
+	if !g.finalized {
+		panic("factorgraph: partition before Finalize")
+	}
+	cut := func(vid int) bool { return isCut != nil && isCut[vid] }
+
+	p := &Partition{
+		Blocks:            residualComponents(g, isCut),
+		BlockOf:           make([]int, len(g.vars)),
+		MaxOuterRounds:    opt.MaxOuterRounds,
+		BoundaryTolerance: opt.BoundaryTolerance,
+		g:                 g,
+	}
+	for vid := range g.vars {
+		if cut(vid) {
+			p.BlockOf[vid] = -1
+			p.Cut = append(p.Cut, vid)
+		}
+	}
+	for ci, block := range p.Blocks {
+		for _, vid := range block {
+			p.BlockOf[vid] = ci
+		}
+	}
+
+	p.Factors = make([][]int, len(p.Blocks))
+	p.factorBlock = make([]int, len(g.factors))
+	boundarySets := make([]map[int]bool, len(p.Blocks))
+	for _, f := range g.factors {
+		ci := -1
+		for _, vid := range f.Vars {
+			if !cut(vid) {
+				ci = p.BlockOf[vid]
+				break
+			}
+		}
+		p.factorBlock[f.id] = ci
+		if ci < 0 {
+			p.CutFactors = append(p.CutFactors, f.id)
+			continue
+		}
+		p.Factors[ci] = append(p.Factors[ci], f.id)
+		for _, vid := range f.Vars {
+			if cut(vid) {
+				if boundarySets[ci] == nil {
+					boundarySets[ci] = map[int]bool{}
+				}
+				boundarySets[ci][vid] = true
+			}
+		}
+	}
+	p.Boundary = make([][]int, len(p.Blocks))
+	for ci, set := range boundarySets {
+		b := make([]int, 0, len(set))
+		for vid := range set {
+			b = append(b, vid)
+		}
+		sort.Ints(b)
+		p.Boundary[ci] = b
+	}
+
+	if len(p.Cut) > 0 {
+		cutIdx := make(map[int]int, len(p.Cut))
+		for i, vid := range p.Cut {
+			cutIdx[vid] = i
+		}
+		p.cutBlocks = make([][]int, len(p.Cut))
+		for ci, b := range p.Boundary {
+			for _, vid := range b {
+				i := cutIdx[vid]
+				p.cutBlocks[i] = append(p.cutBlocks[i], ci)
+			}
+		}
+	}
+	return p
+}
+
+// NumBlocks returns the number of blocks.
+func (p *Partition) NumBlocks() int { return len(p.Blocks) }
+
+// BlockKey returns a name-based identity for a block that is stable
+// across graph rebuilds (variable ids shift as phrases are inserted;
+// names follow the phrases): the lexicographically smallest variable
+// name in the block. It keys the boundary-belief baselines the
+// serving layer stores in WarmState.
+func (p *Partition) BlockKey(ci int) string {
+	key := ""
+	for _, vid := range p.Blocks[ci] {
+		if name := p.g.vars[vid].Name; key == "" || name < key {
+			key = name
+		}
+	}
+	return key
+}
+
+// blockSchedules filters the caller's schedule into one sub-schedule
+// per block (cut variables fall out of every block, which is what
+// freezes their outgoing messages during block runs). The result is
+// memoized for the schedule pointer, so every scoped run of this
+// partition — all blocks, sweeps, and outer rounds of a RunPartition
+// call — reuses one filtering pass instead of rebuilding membership
+// maps per scoped run. (A partition lives for one build; the memo does
+// not span ingests.)
+func (p *Partition) blockSchedules(sched *Schedule) []*Schedule {
+	p.schedMu.Lock()
+	defer p.schedMu.Unlock()
+	if p.schedValid && p.schedFor == sched {
+		return p.scheds
+	}
+	out := make([]*Schedule, len(p.Blocks))
+	if sched == nil {
+		for ci := range p.Blocks {
+			out[ci] = &Schedule{
+				FactorGroups: [][]int{p.Factors[ci]},
+				VarGroups:    [][]int{p.Blocks[ci]},
+			}
+		}
+	} else {
+		fGroups := p.splitGroups(sched.FactorGroups, true)
+		vGroups := p.splitGroups(sched.VarGroups, false)
+		for ci := range p.Blocks {
+			fg, vg := fGroups[ci], vGroups[ci]
+			if len(fg) == 0 {
+				fg = [][]int{p.Factors[ci]}
+			}
+			if len(vg) == 0 {
+				vg = [][]int{p.Blocks[ci]}
+			}
+			out[ci] = &Schedule{FactorGroups: fg, VarGroups: vg}
+		}
+	}
+	p.schedFor, p.scheds, p.schedValid = sched, out, true
+	return out
+}
+
+// splitGroups buckets each schedule group's members by block,
+// preserving group order and dropping groups that come up empty for a
+// block (mirroring the old filterGroups semantics).
+func (p *Partition) splitGroups(groups [][]int, factorSide bool) [][][]int {
+	out := make([][][]int, len(p.Blocks))
+	for _, grp := range groups {
+		buckets := map[int][]int{}
+		var touched []int
+		for _, id := range grp {
+			var ci int
+			if factorSide {
+				ci = p.factorBlock[id]
+			} else {
+				ci = p.BlockOf[id]
+			}
+			if ci < 0 {
+				continue
+			}
+			if _, ok := buckets[ci]; !ok {
+				touched = append(touched, ci)
+			}
+			buckets[ci] = append(buckets[ci], id)
+		}
+		for _, ci := range touched {
+			out[ci] = append(out[ci], buckets[ci])
+		}
+	}
+	return out
+}
+
+// PartitionRun reports one RunPartition execution.
+type PartitionRun struct {
+	// Blocks holds the latest scoped outcome per block (indexed like
+	// p.Blocks; blocks never selected are zero).
+	Blocks []ComponentRun
+	// OuterRounds counts block-run/boundary-refresh iterations (1 for
+	// no-cut partitions). BlocksRun totals block executions across all
+	// rounds; SweepsTotal/SweepsMax aggregate their sweeps.
+	OuterRounds int
+	BlocksRun   int
+	SweepsTotal int
+	SweepsMax   int
+	// BoundaryResidual is the final refresh's max cut-belief change;
+	// Converged reports whether it fell below BoundaryTolerance (no-cut
+	// partitions: whether every selected block converged).
+	BoundaryResidual float64
+	Converged        bool
+	// Unsettled lists the indexes into p.Cut whose beliefs were still
+	// moving beyond tolerance when MaxOuterRounds ran out: the blocks
+	// bordering them were left with refreshed frozen inputs they never
+	// re-ran against, so callers caching state must not record those
+	// blocks as settled (see RunIncremental's baseline pruning).
+	Unsettled []int
+}
+
+// RunPartition executes scoped inference for the selected blocks (nil
+// selects all) on a bounded worker pool sharing bp's message state.
+// For a no-cut partition this is exactly one RunComponents pass. With
+// cut variables it alternates block runs with boundary refreshes: cut
+// variables' outgoing messages stay frozen while blocks run, then are
+// recomputed from the blocks' new factor messages; blocks bordering a
+// cut variable whose belief moved more than BoundaryTolerance re-run
+// in the next round, until the boundary settles or MaxOuterRounds is
+// reached. An empty (non-nil) selection returns immediately without
+// touching any message.
+func RunPartition(bp *BP, p *Partition, opt RunOptions, workers int, selected []int) PartitionRun {
+	pr := PartitionRun{Blocks: make([]ComponentRun, len(p.Blocks))}
+	if selected == nil {
+		selected = make([]int, len(p.Blocks))
+		for ci := range p.Blocks {
+			selected[ci] = ci
+		}
+	}
+	if len(selected) == 0 {
+		return pr
+	}
+
+	runRound := func(sel []int) {
+		runs := RunComponents(bp, p, opt, workers, sel)
+		for _, ci := range sel {
+			pr.Blocks[ci] = runs[ci]
+			pr.SweepsTotal += runs[ci].Sweeps
+			if runs[ci].Sweeps > pr.SweepsMax {
+				pr.SweepsMax = runs[ci].Sweeps
+			}
+		}
+		pr.BlocksRun += len(sel)
+	}
+
+	if len(p.Cut) == 0 {
+		runRound(selected)
+		pr.OuterRounds = 1
+		pr.Converged = true
+		for _, ci := range selected {
+			if !pr.Blocks[ci].Converged {
+				pr.Converged = false
+				break
+			}
+		}
+		return pr
+	}
+
+	// Baseline the cut beliefs so the first refresh measures real
+	// movement, not distance from the zeroed prevBelief buffers.
+	for _, vid := range p.Cut {
+		copy(bp.prevBelief[vid], bp.VarBelief(vid))
+	}
+	sel := selected
+	for round := 1; ; round++ {
+		runRound(sel)
+		pr.OuterRounds = round
+		residual, moved := bp.refreshBoundary(p, opt.Damping)
+		pr.BoundaryResidual = residual
+		if len(moved) == 0 {
+			pr.Converged = true
+			return pr
+		}
+		if round >= p.MaxOuterRounds {
+			pr.Unsettled = moved
+			return pr
+		}
+		sel = p.BlocksBordering(moved)
+	}
+}
+
+// BlocksBordering returns the sorted block set adjacent to the given
+// indexes into p.Cut.
+func (p *Partition) BlocksBordering(cutIdxs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, i := range cutIdxs {
+		for _, ci := range p.cutBlocks[i] {
+			if !seen[ci] {
+				seen[ci] = true
+				out = append(out, ci)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// refreshBoundary recomputes the cut variables' view of the graph
+// after a round of block runs: factors living entirely between cut
+// variables update first, then every cut variable's outgoing messages
+// are recomputed from the new factor messages. It returns the maximum
+// cut-belief change and the indexes (into p.Cut) of variables that
+// moved more than the boundary tolerance.
+func (bp *BP) refreshBoundary(p *Partition, damping float64) (float64, []int) {
+	for _, fid := range p.CutFactors {
+		bp.updateFactorMessages(fid, damping)
+	}
+	maxDelta := 0.0
+	var moved []int
+	for i, vid := range p.Cut {
+		b := bp.VarBelief(vid)
+		delta := 0.0
+		for s, v := range b {
+			if d := math.Abs(v - bp.prevBelief[vid][s]); d > delta {
+				delta = d
+			}
+		}
+		copy(bp.prevBelief[vid], b)
+		if delta > maxDelta {
+			maxDelta = delta
+		}
+		if delta > p.BoundaryTolerance {
+			moved = append(moved, i)
+		}
+		bp.updateVariableMessages(vid)
+	}
+	return maxDelta, moved
+}
+
+// BoundaryBeliefs snapshots, per block with a non-empty boundary, the
+// current beliefs of the block's adjacent cut variables, keyed by
+// BlockKey and cut-variable name (both stable across the id shifts of
+// a rebuild). The serving layer stores, for each block, the boundary
+// beliefs the block last actually ran against: on a later build the
+// block may be served warm only while the imported cut beliefs stay
+// within BoundaryTolerance of that baseline, so sub-tolerance drift
+// cannot silently accumulate across ingests — the baseline moves only
+// when the block re-runs.
+func (p *Partition) BoundaryBeliefs(bp *BP) map[string]map[string][]float64 {
+	out := map[string]map[string][]float64{}
+	cache := map[int][]float64{}
+	for ci := range p.Blocks {
+		if len(p.Boundary[ci]) == 0 {
+			continue
+		}
+		m := make(map[string][]float64, len(p.Boundary[ci]))
+		for _, vid := range p.Boundary[ci] {
+			b, ok := cache[vid]
+			if !ok {
+				b = bp.VarBelief(vid)
+				cache[vid] = b
+			}
+			m[p.g.vars[vid].Name] = b
+		}
+		out[p.BlockKey(ci)] = m
+	}
+	return out
+}
+
+// WithinBoundaryTolerance reports whether every belief in cur has a
+// counterpart in base within the partition's BoundaryTolerance
+// (L-infinity). Missing or reshaped entries count as out of tolerance.
+func (p *Partition) WithinBoundaryTolerance(base, cur map[string][]float64) bool {
+	if len(base) != len(cur) {
+		return false
+	}
+	for name, c := range cur {
+		b, ok := base[name]
+		if !ok || len(b) != len(c) {
+			return false
+		}
+		for s := range c {
+			if math.Abs(c[s]-b[s]) > p.BoundaryTolerance {
+				return false
+			}
+		}
+	}
+	return true
+}

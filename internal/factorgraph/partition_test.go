@@ -1,0 +1,246 @@
+package factorgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// hubbyGraph builds a seeded hub-heavy graph: one high-degree hub
+// variable coupled by a pairwise factor into each of n otherwise
+// disconnected loopy triangles. Cutting the hub restores the islands;
+// keeping it fuses everything into one component.
+func hubbyGraph(t *testing.T, n int, seed int64) (*Graph, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	hub := g.AddVariable("hub", 2)
+	rnd := func() []float64 {
+		tb := make([]float64, 4)
+		for i := range tb {
+			tb[i] = 0.2 + rng.Float64()
+		}
+		return tb
+	}
+	for island := 0; island < n; island++ {
+		a := g.AddVariable("a", 2)
+		b := g.AddVariable("b", 2)
+		c := g.AddVariable("c", 2)
+		tableFactor(g, "ab", []int{a, b}, rnd())
+		tableFactor(g, "bc", []int{b, c}, rnd())
+		tableFactor(g, "ca", []int{c, a}, rnd())
+		tableFactor(g, "ha", []int{hub, a}, rnd())
+	}
+	g.Finalize()
+	return g, hub
+}
+
+func TestNoCutPartitionMatchesWholeGraphRunBitwise(t *testing.T) {
+	g := loopyIslands(t, 6, 11)
+	// Unreachable tolerance pins the sweep count, so the whole-graph run
+	// and every per-block scoped run perform identical sweeps and their
+	// messages must agree bit for bit.
+	opt := RunOptions{MaxSweeps: 8, Tolerance: 1e-300}
+
+	whole := NewBP(g)
+	whole.Run(opt)
+
+	p := NewComponentPartition(g)
+	if len(p.Cut) != 0 {
+		t.Fatalf("component partition has %d cut variables", len(p.Cut))
+	}
+	beliefs, pr := ParallelBPPartition(g, p, opt, 4)
+	if pr.OuterRounds != 1 {
+		t.Fatalf("no-cut partition ran %d outer rounds", pr.OuterRounds)
+	}
+	for vid := 0; vid < g.NumVariables(); vid++ {
+		want := whole.VarBelief(vid)
+		for s := range want {
+			if beliefs[vid][s] != want[s] {
+				t.Fatalf("var %d state %d: partition %v != whole-graph %v (must be bitwise identical)",
+					vid, s, beliefs[vid], want)
+			}
+		}
+	}
+}
+
+func TestHubCutStaysWithinBoundaryTolerance(t *testing.T) {
+	g, hub := hubbyGraph(t, 24, 5)
+	opt := RunOptions{MaxSweeps: 80, Tolerance: 1e-9}
+
+	exact := NewBP(g)
+	if !exact.Run(opt) {
+		t.Fatalf("exact whole-graph run did not converge")
+	}
+
+	tol := 0.01
+	p := NewHubCutPartition(g, PartitionOptions{
+		MinHubDegree:      4, // the hub's degree is 24; islands are degree <= 3
+		MaxOuterRounds:    8,
+		BoundaryTolerance: tol,
+	})
+	if len(p.Cut) != 1 || p.Cut[0] != hub {
+		t.Fatalf("expected exactly the hub cut, got %v", p.Cut)
+	}
+	if len(p.Blocks) < 24 {
+		t.Fatalf("hub cut left only %d blocks", len(p.Blocks))
+	}
+	beliefs, pr := ParallelBPPartition(g, p, opt, 4)
+	if !pr.Converged {
+		t.Fatalf("frozen-boundary outer loop did not converge (residual %g)", pr.BoundaryResidual)
+	}
+	// The cut bounds the error: frozen-boundary beliefs must stay within
+	// a small multiple of the boundary tolerance of the exact run.
+	worst := 0.0
+	for vid := 0; vid < g.NumVariables(); vid++ {
+		want := exact.VarBelief(vid)
+		for s := range want {
+			if d := math.Abs(beliefs[vid][s] - want[s]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 5*tol {
+		t.Fatalf("hub-cut beliefs drift %g from exact, tolerance %g", worst, tol)
+	}
+}
+
+func TestHubCutRefinementCapsBlockSize(t *testing.T) {
+	// A long chain of pairwise-coupled variables has no degree hubs at
+	// all (every degree <= 2), so only the size-cap refinement stage can
+	// split it.
+	g := New()
+	rng := rand.New(rand.NewSource(9))
+	prev := g.AddVariable("v", 2)
+	for i := 1; i < 120; i++ {
+		cur := g.AddVariable("v", 2)
+		tb := make([]float64, 4)
+		for k := range tb {
+			tb[k] = 0.2 + rng.Float64()
+		}
+		tableFactor(g, "e", []int{prev, cur}, tb)
+		prev = cur
+	}
+	g.Finalize()
+
+	p := NewHubCutPartition(g, PartitionOptions{MaxBlockVars: 30})
+	if len(p.Cut) == 0 {
+		t.Fatalf("refinement cut nothing on an oversized chain")
+	}
+	for ci, block := range p.Blocks {
+		if len(block) > 30 {
+			t.Fatalf("block %d has %d vars, cap 30", ci, len(block))
+		}
+	}
+}
+
+func TestWarmStateSurvivesRepartitioningRebuild(t *testing.T) {
+	// Build the same hub-heavy graph twice with different variable
+	// insertion order; run the first with a hub-cut partition, export,
+	// import into the second, and re-partition. Transplanted messages
+	// must reproduce identical beliefs and identical boundary baselines
+	// without any further sweeps.
+	build := func(reversed bool) *Graph {
+		g := New()
+		names := []string{"p", "q", "hub", "r", "s"}
+		if reversed {
+			names = []string{"s", "r", "hub", "q", "p"}
+		}
+		ids := map[string]int{}
+		for _, n := range names {
+			ids[n] = g.AddVariable(n, 2)
+		}
+		tableFactor(g, "pq", []int{ids["p"], ids["q"]}, []float64{0.9, 0.2, 0.4, 0.8})
+		tableFactor(g, "rs", []int{ids["r"], ids["s"]}, []float64{0.7, 0.3, 0.1, 0.6})
+		tableFactor(g, "hp", []int{ids["hub"], ids["p"]}, []float64{0.5, 0.8, 0.3, 0.9})
+		tableFactor(g, "hq", []int{ids["hub"], ids["q"]}, []float64{0.2, 0.6, 0.7, 0.4})
+		tableFactor(g, "hr", []int{ids["hub"], ids["r"]}, []float64{0.8, 0.1, 0.5, 0.5})
+		tableFactor(g, "hs", []int{ids["hub"], ids["s"]}, []float64{0.3, 0.9, 0.6, 0.2})
+		g.Finalize()
+		return g
+	}
+	popt := PartitionOptions{MinHubDegree: 3, MaxOuterRounds: 6, BoundaryTolerance: 1e-6}
+	opt := RunOptions{MaxSweeps: 60, Tolerance: 1e-10}
+
+	g1 := build(false)
+	p1 := NewHubCutPartition(g1, popt)
+	if len(p1.Cut) != 1 {
+		t.Fatalf("expected one cut variable, got %v", p1.Cut)
+	}
+	bp1 := NewBP(g1)
+	RunPartition(bp1, p1, opt, 2, nil)
+	sigs1 := g1.Signatures()
+	warm := bp1.Export(sigs1)
+	warm.Boundary = p1.BoundaryBeliefs(bp1)
+
+	g2 := build(true)
+	p2 := NewHubCutPartition(g2, popt)
+	bp2 := NewBP(g2)
+	sigs2 := g2.Signatures()
+	if n := bp2.Import(warm, sigs2); n != g2.NumFactors() {
+		t.Fatalf("imported %d of %d factors", n, g2.NumFactors())
+	}
+	for name := range map[string]bool{"p": true, "q": true, "hub": true, "r": true, "s": true} {
+		var v1, v2 int
+		for vid := 0; vid < g1.NumVariables(); vid++ {
+			if g1.Variable(vid).Name == name {
+				v1 = vid
+			}
+		}
+		for vid := 0; vid < g2.NumVariables(); vid++ {
+			if g2.Variable(vid).Name == name {
+				v2 = vid
+			}
+		}
+		b1, b2 := bp1.VarBelief(v1), bp2.VarBelief(v2)
+		for s := range b1 {
+			if b1[s] != b2[s] {
+				t.Fatalf("var %s: transplanted belief %v != original %v", name, b2, b1)
+			}
+		}
+	}
+	// Boundary baselines must match across the rebuild: the serving
+	// layer serves a block warm only while the imported cut beliefs stay
+	// within tolerance of the beliefs the block last ran against.
+	cur := p2.BoundaryBeliefs(bp2)
+	if len(cur) != len(warm.Boundary) {
+		t.Fatalf("baseline count changed across rebuild: %d != %d", len(cur), len(warm.Boundary))
+	}
+	for key, base := range warm.Boundary {
+		if !p2.WithinBoundaryTolerance(base, cur[key]) {
+			t.Errorf("block %q: boundary beliefs drifted across identical rebuild", key)
+		}
+		for name, b := range base {
+			for s := range b {
+				if cur[key][name][s] != b[s] {
+					t.Errorf("block %q cut var %q: belief not bitwise identical across rebuild", key, name)
+				}
+			}
+		}
+	}
+}
+
+func TestRunComponentsSingleBlockFastPathMatchesPool(t *testing.T) {
+	g := loopyIslands(t, 3, 21)
+	p := NewComponentPartition(g)
+	opt := RunOptions{MaxSweeps: 12, Tolerance: 1e-300}
+
+	pooled := NewBP(g)
+	RunComponents(pooled, p, opt, 8, []int{1, 2})
+
+	inline := NewBP(g)
+	// One block at a time exercises the no-goroutine fast path.
+	RunComponents(inline, p, opt, 8, []int{1})
+	RunComponents(inline, p, opt, 8, []int{2})
+
+	for _, ci := range []int{1, 2} {
+		for _, vid := range p.Blocks[ci] {
+			a, b := pooled.VarBelief(vid), inline.VarBelief(vid)
+			for s := range a {
+				if a[s] != b[s] {
+					t.Fatalf("var %d: fast path %v != pooled %v", vid, b, a)
+				}
+			}
+		}
+	}
+}

@@ -3,12 +3,17 @@
 // rebuilding and re-solving the whole pipeline per batch the way the
 // one-shot examples do.
 //
-// The design follows the factor graph's natural decomposition into
-// connected components (the graph-segmentation idea of Jo et al. that
-// internal/factorgraph.Components realizes in shared memory). A batch
-// of triples touches a bounded set of phrases, and therefore a bounded
-// set of components; everything else is untouched, and its posteriors
-// are still valid. A Session therefore maintains three kinds of state:
+// The design follows the factor graph's decomposition into partition
+// blocks (factorgraph.Partition — exact connected components by
+// default, hub-cut blocks under Core.Segment.Enable, realizing the
+// graph-segmentation idea of Jo et al. in shared memory). A batch of
+// triples touches a bounded set of phrases, and therefore a bounded
+// set of blocks; everything else is untouched, and its posteriors are
+// still valid. On hub-fused graphs, where popular relation phrases
+// couple thousands of triples into one giant component, the hub-cut
+// partition is what restores that locality: the hubs are cut out of
+// the blocks and served by frozen-boundary outer rounds instead. A
+// Session therefore maintains three kinds of state:
 //
 //   - the epoch resources: IDF tables, embeddings, paraphrase DB, AMIE
 //     rules, and the KBP classifier, frozen at the last refresh so that
@@ -76,19 +81,36 @@ type IngestStats struct {
 	SweepsTotal     int `json:"sweeps_total"`
 	SweepsMax       int `json:"sweeps_max"`
 
+	// CutVariables, OuterRounds, and BoundaryResidual describe hub-cut
+	// segmentation and are zero unless Core.Segment.Enable cut
+	// something. BlocksRun totals block executions (= DirtyComponents
+	// without segmentation; larger when frozen-boundary rounds re-ran
+	// blocks).
+	CutVariables     int     `json:"cut_variables,omitempty"`
+	OuterRounds      int     `json:"outer_rounds,omitempty"`
+	BlocksRun        int     `json:"blocks_run,omitempty"`
+	BoundaryResidual float64 `json:"boundary_residual,omitempty"`
+
 	ConstructMS float64 `json:"construct_ms"`
 	InferMS     float64 `json:"infer_ms"`
 }
 
 // Stats is the session's cumulative view.
 type Stats struct {
-	Batches      int          `json:"batches"`
-	TotalTriples int          `json:"total_triples"`
-	NPs          int          `json:"nps"`
-	RPs          int          `json:"rps"`
-	Refreshes    int          `json:"refreshes"`
-	CacheEntries int          `json:"cache_entries"`
-	LastIngest   *IngestStats `json:"last_ingest,omitempty"`
+	Batches      int `json:"batches"`
+	TotalTriples int `json:"total_triples"`
+	NPs          int `json:"nps"`
+	RPs          int `json:"rps"`
+	Refreshes    int `json:"refreshes"`
+	CacheEntries int `json:"cache_entries"`
+	// BlocksTouched / BlocksWarm total, across all ingests, the
+	// distinct blocks that ran BP and the blocks served from warm
+	// messages (per ingest the two sum to that build's block count).
+	// CutVariables reports the current build's hub-cut count.
+	BlocksTouched int          `json:"blocks_touched"`
+	BlocksWarm    int          `json:"blocks_warm"`
+	CutVariables  int          `json:"cut_variables"`
+	LastIngest    *IngestStats `json:"last_ingest,omitempty"`
 }
 
 // Session is an incremental JOCL run over a growing OKB. All methods
@@ -113,6 +135,9 @@ type Session struct {
 	batches    int
 	sinceEpoch int // batches since last epoch build
 	nRefresh   int
+	// Cumulative partition counters across ingests.
+	blocksTouched int
+	blocksWarm    int
 
 	// pub guards the read-side state published after each ingest.
 	pub      sync.Mutex
@@ -185,6 +210,10 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	st.WarmFactors = inc.WarmFactors
 	st.SweepsTotal = inc.SweepsTotal
 	st.SweepsMax = inc.SweepsMax
+	st.CutVariables = inc.CutVars
+	st.OuterRounds = inc.OuterRounds
+	st.BlocksRun = inc.BlocksRun
+	st.BoundaryResidual = inc.BoundaryResidual
 
 	// Commit.
 	s.triples = grown
@@ -198,15 +227,20 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	} else {
 		s.sinceEpoch++
 	}
+	s.blocksTouched += inc.Dirty
+	s.blocksWarm += inc.Reused
 
 	// Publish the read-side state.
 	cum := Stats{
-		Batches:      s.batches,
-		TotalTriples: len(s.triples),
-		NPs:          len(res.OKB.NPs()),
-		RPs:          len(res.OKB.RPs()),
-		Refreshes:    s.nRefresh,
-		CacheEntries: cache.Len(),
+		Batches:       s.batches,
+		TotalTriples:  len(s.triples),
+		NPs:           len(res.OKB.NPs()),
+		RPs:           len(res.OKB.RPs()),
+		Refreshes:     s.nRefresh,
+		CacheEntries:  cache.Len(),
+		BlocksTouched: s.blocksTouched,
+		BlocksWarm:    s.blocksWarm,
+		CutVariables:  inc.CutVars,
 	}
 	lastSt := st
 	cum.LastIngest = &lastSt

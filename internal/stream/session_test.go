@@ -229,3 +229,45 @@ func TestSessionOnGeneratedBenchmark(t *testing.T) {
 		t.Errorf("construction cache unused across rebuilds")
 	}
 }
+
+func TestSegmentedSessionReusesBlocksOnHubFusedWorkload(t *testing.T) {
+	// The same generated workload as above, but with hub-cut
+	// segmentation: the fused graph shatters into blocks and later
+	// batches must serve a substantial share of them warm — the
+	// locality the no-cut path cannot provide here.
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Segment.Enable = true
+	sess := New(ds.CKB, ds.Emb, ds.PPDB, Config{Core: cfg})
+	triples := ds.OKB.Triples()
+	n := len(triples)
+	chunks := [][]okb.Triple{triples[:n/2], triples[n/2 : 3*n/4], triples[3*n/4:]}
+	var stats []IngestStats
+	for _, c := range chunks {
+		st, err := sess.Ingest(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = append(stats, st)
+	}
+	last := stats[len(stats)-1]
+	if last.CutVariables == 0 {
+		t.Fatalf("hub-fused workload produced no cut variables: %+v", last)
+	}
+	if last.Components < 4 {
+		t.Fatalf("segmentation left only %d blocks", last.Components)
+	}
+	if last.CleanComponents == 0 {
+		t.Errorf("segmented ingest served no blocks warm: %+v", last)
+	}
+	cum := sess.Stats()
+	if cum.BlocksWarm == 0 || cum.BlocksTouched == 0 || cum.CutVariables != last.CutVariables {
+		t.Errorf("cumulative block counters not reported: %+v", cum)
+	}
+	if res := sess.Snapshot(); res == nil || len(res.NPGroups) == 0 {
+		t.Fatalf("empty snapshot after segmented streaming")
+	}
+}

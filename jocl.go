@@ -176,6 +176,51 @@ func WithRefreshEvery(n int) Option {
 	return func(o *options) { o.refreshEvery = n }
 }
 
+// SegmentOptions tunes hub-cut graph segmentation (WithSegmentation).
+// Zero fields take the defaults noted per field.
+type SegmentOptions struct {
+	// HubDegreePercentile places the cut threshold on the graph's
+	// degree distribution: variables whose factor degree exceeds the
+	// degree at this percentile become cut candidates (default 0.99).
+	HubDegreePercentile float64
+	// MinHubDegree is the absolute degree floor a variable must exceed
+	// to be cut (default 8); it keeps small graphs uncut.
+	MinHubDegree int
+	// MaxBlockVars size-caps the inference blocks: any block larger
+	// than this after the threshold cuts is refined by cutting its
+	// locally highest-degree variables (default 256; negative disables
+	// the refinement).
+	MaxBlockVars int
+	// MaxOuterRounds bounds the block-run / boundary-refresh iterations
+	// per ingest (default 4).
+	MaxOuterRounds int
+	// BoundaryTolerance is the convergence threshold on cut-variable
+	// belief change between outer rounds (default 0.005). It bounds the
+	// approximation the cut introduces.
+	BoundaryTolerance float64
+}
+
+// WithSegmentation makes a Session partition its factor graph with hub
+// cuts: the few highest-degree variables — popular phrases whose
+// fact-inclusion factors fuse realistic graphs into one giant
+// component — are cut out of the inference blocks, their outgoing
+// messages frozen during block runs and refreshed between outer
+// rounds. Ingests then re-run belief propagation only on the small
+// blocks a batch touched, at an approximation cost bounded by
+// BoundaryTolerance. Ignored by batch Pipelines.
+func WithSegmentation(seg SegmentOptions) Option {
+	return func(o *options) {
+		o.cfg.Segment = core.SegmentConfig{
+			Enable:              true,
+			HubDegreePercentile: seg.HubDegreePercentile,
+			MinHubDegree:        seg.MinHubDegree,
+			MaxBlockVars:        seg.MaxBlockVars,
+			MaxOuterRounds:      seg.MaxOuterRounds,
+			BoundaryTolerance:   seg.BoundaryTolerance,
+		}
+	}
+}
+
 // WithMaxCandidates bounds the KB candidates per linking variable.
 func WithMaxCandidates(k int) Option {
 	return func(o *options) { o.cfg.MaxCandidates = k }

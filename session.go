@@ -35,16 +35,22 @@ type IngestStats struct {
 	TotalTriples int
 	Refreshed    bool
 
-	// Components counts the factor graph's connected components;
+	// Components counts the factor graph's partition blocks (exact
+	// connected components, or hub-cut blocks under WithSegmentation);
 	// DirtyComponents of them were touched by the batch and re-ran
 	// belief propagation, CleanComponents were served from cached
 	// message state.
 	Components      int
 	DirtyComponents int
 	CleanComponents int
-	// Sweeps is the slowest dirty component's sweep count (dirty
-	// components run in parallel).
+	// Sweeps is the slowest dirty block's sweep count (dirty blocks run
+	// in parallel).
 	Sweeps int
+	// CutVariables counts the hub variables cut out of the blocks and
+	// OuterRounds the frozen-boundary rounds this ingest ran (both zero
+	// without WithSegmentation).
+	CutVariables int
+	OuterRounds  int
 
 	// ConstructMillis and InferMillis split the batch's wall-clock cost
 	// between graph (re)construction and inference.
@@ -60,7 +66,14 @@ type SessionStats struct {
 	RelPhrases    int
 	Refreshes     int
 	CachedSignals int
-	LastIngest    *IngestStats
+	// BlocksTouched / BlocksServedWarm total, across all ingests, the
+	// partition blocks that re-ran belief propagation and the blocks
+	// served from cached messages; CutVariables is the current build's
+	// hub-cut count (zero without WithSegmentation).
+	BlocksTouched    int
+	BlocksServedWarm int
+	CutVariables     int
+	LastIngest       *IngestStats
 }
 
 // NewSession opens a streaming session against the KB. The same
@@ -115,12 +128,15 @@ func (s *Session) Snapshot() *Result {
 func (s *Session) Stats() SessionStats {
 	st := s.s.Stats()
 	out := SessionStats{
-		Batches:       st.Batches,
-		TotalTriples:  st.TotalTriples,
-		NounPhrases:   st.NPs,
-		RelPhrases:    st.RPs,
-		Refreshes:     st.Refreshes,
-		CachedSignals: st.CacheEntries,
+		Batches:          st.Batches,
+		TotalTriples:     st.TotalTriples,
+		NounPhrases:      st.NPs,
+		RelPhrases:       st.RPs,
+		Refreshes:        st.Refreshes,
+		CachedSignals:    st.CacheEntries,
+		BlocksTouched:    st.BlocksTouched,
+		BlocksServedWarm: st.BlocksWarm,
+		CutVariables:     st.CutVariables,
 	}
 	if st.LastIngest != nil {
 		li := ingestStats(*st.LastIngest)
@@ -143,6 +159,8 @@ func ingestStats(st stream.IngestStats) IngestStats {
 		DirtyComponents: st.DirtyComponents,
 		CleanComponents: st.CleanComponents,
 		Sweeps:          st.SweepsMax,
+		CutVariables:    st.CutVariables,
+		OuterRounds:     st.OuterRounds,
 		ConstructMillis: st.ConstructMS,
 		InferMillis:     st.InferMS,
 	}
