@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-stream bench-segment serve clean
+.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair docs-check serve clean
 
-all: build vet test
+all: build vet test docs-check
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,18 @@ bench-stream:
 bench-segment:
 	$(GO) run ./cmd/jocl-bench -exp segment -segment-out BENCH_segment.json
 
+# Persistent-partition benchmark: repair vs per-build re-partition on
+# a rebuild-heavy stream. Emits the BENCH_repair.json artifact.
+bench-repair:
+	$(GO) run ./cmd/jocl-bench -exp repair -repair-out BENCH_repair.json
+
+# Documentation gate: broken relative links in *.md, undocumented
+# exported identifiers in the public and documented packages.
+docs-check:
+	$(GO) run ./cmd/jocl-docscheck
+
 serve:
 	$(GO) run ./cmd/jocl-serve -addr :8080
 
 clean:
-	rm -f BENCH_stream.json BENCH_segment.json
+	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment]
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair]
 //	           [-stream-batches 6] [-stream-preload 0.6] [-stream-out BENCH_stream.json]
 //	           [-segment-batches 8] [-segment-preload 0.6] [-segment-tol 0.02]
 //	           [-segment-out BENCH_segment.json]
+//	           [-repair-batches 12] [-repair-preload 0.5] [-repair-tol 0.02]
+//	           [-repair-out BENCH_repair.json]
 //
 // scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
 // the default keeps a laptop run under a minute.
@@ -22,6 +24,11 @@
 // measured against exact whole-graph inference; see
 // internal/bench.RunSegment) and, with -segment-out, writes the
 // BENCH_segment.json artifact.
+//
+// -exp repair runs the persistent-partition benchmark (partition
+// repair vs per-build re-partition on a rebuild-heavy stream; see
+// internal/bench.RunRepair) and, with -repair-out, writes the
+// BENCH_repair.json artifact.
 package main
 
 import (
@@ -43,6 +50,10 @@ func main() {
 		segmentPreload = flag.Float64("segment-preload", 0.6, "segment: fraction of triples ingested as the preload batch")
 		segmentTol     = flag.Float64("segment-tol", 0.02, "segment: allowed F1/accuracy delta vs exact inference")
 		segmentOut     = flag.String("segment-out", "", "segment: write the report JSON to this path (e.g. BENCH_segment.json)")
+		repairBatches  = flag.Int("repair-batches", 12, "repair: total batches (1 preload + N-1 rebuild-heavy increments)")
+		repairPreload  = flag.Float64("repair-preload", 0.5, "repair: fraction of triples ingested as the preload batch")
+		repairTol      = flag.Float64("repair-tol", 0.02, "repair: allowed F1/accuracy delta vs exact inference")
+		repairOut      = flag.String("repair-out", "", "repair: write the report JSON to this path (e.g. BENCH_repair.json)")
 	)
 	flag.Parse()
 	if *exp == "stream" {
@@ -54,6 +65,13 @@ func main() {
 	}
 	if *exp == "segment" {
 		if err := runSegment(*scale, *segmentPreload, *segmentBatches, *segmentTol, *segmentOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "repair" {
+		if err := runRepair(*scale, *repairPreload, *repairBatches, *repairTol, *repairOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 			os.Exit(1)
 		}
@@ -88,6 +106,27 @@ func runStream(scale, preload float64, batches int, out string) error {
 
 func runSegment(scale, preload float64, batches int, f1Tol float64, out string) error {
 	report, err := bench.RunSegment("reverb45k", scale, preload, batches, 0, f1Tol)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runRepair(scale, preload float64, batches int, f1Tol float64, out string) error {
+	report, err := bench.RunRepair("reverb45k", scale, preload, batches, 0, f1Tol)
 	if err != nil {
 		return err
 	}

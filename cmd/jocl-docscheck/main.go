@@ -1,0 +1,214 @@
+// Command jocl-docscheck is the documentation gate the CI docs job
+// runs: it fails (exit 1) when a Markdown file contains a broken
+// relative link, or when a checked Go package exports an identifier
+// without a doc comment.
+//
+// Usage:
+//
+//	jocl-docscheck [-root .] [-pkgs .,internal/factorgraph,...]
+//
+// The Markdown pass walks every *.md under the root (skipping .git and
+// the related/ reference mirror), extracts [text](target) links, and
+// resolves non-URL targets against the file's directory (or the root,
+// for /-absolute targets), ignoring pure #anchors. The godoc pass
+// parses each listed package (default: the public jocl package plus
+// internal/factorgraph, internal/core, internal/stream, internal/bench)
+// and reports exported functions, methods, types, and ungrouped
+// const/var specs that carry no doc comment — the same surface the
+// revive exported rule checks, implemented on the standard go/ast so CI
+// needs no third-party linter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var (
+		root = flag.String("root", ".", "repository root to scan")
+		pkgs = flag.String("pkgs", ".,internal/factorgraph,internal/core,internal/stream,internal/bench",
+			"comma-separated package directories to check for exported-identifier docs")
+	)
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(*root)...)
+	for _, dir := range strings.Split(*pkgs, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		problems = append(problems, checkExportedDocs(filepath.Join(*root, dir))...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "jocl-docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("jocl-docscheck: ok")
+}
+
+// linkRe matches inline Markdown links and images; the target is
+// captured without the optional title.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks verifies that every relative link target in every
+// *.md file under root resolves to an existing file or directory.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "related", "node_modules":
+				if path != root {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		inFence := false
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipTarget(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if strings.HasPrefix(m[1], "/") {
+					resolved = filepath.Join(root, target)
+				}
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken relative link %q", path, lineNo+1, m[1]))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walking %s: %v", root, err))
+	}
+	return problems
+}
+
+func skipTarget(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// checkExportedDocs parses the non-test Go files of one package
+// directory and reports exported declarations without doc comments.
+func checkExportedDocs(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("parsing %s: %v", dir, err)}
+	}
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported (unexported receivers need no doc).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+// checkGenDecl reports exported type/const/var specs that carry no doc:
+// a doc comment on the enclosing decl covers a grouped block (the
+// idiomatic style for const enums), and per-spec doc or trailing line
+// comments also count.
+func checkGenDecl(d *ast.GenDecl, report func(pos token.Pos, kind, name string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			documented := d.Doc != nil || s.Doc != nil || s.Comment != nil
+			if documented {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(s.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}

@@ -9,14 +9,20 @@
 //	jocl-serve [-addr :8080] [-profile reverb45k] [-scale 0.02]
 //	           [-workers 0] [-refresh-every 0] [-max-batch 10000]
 //	           [-segment] [-hub-percentile 0.99] [-min-hub-degree 8]
-//	           [-max-block-vars 256] [-outer-rounds 4] [-boundary-tol 0.005]
+//	           [-max-block-vars 0] [-target-blocks-per-worker 4]
+//	           [-outer-rounds 4] [-boundary-tol 0.005] [-no-repair]
 //
 // -segment enables hub-cut graph segmentation: the highest-degree
 // variables (popular phrases that fuse the factor graph into one giant
 // component) are cut out of the inference blocks with frozen boundary
 // messages, so each ingest re-runs belief propagation only on the
 // small blocks it touched; the remaining flags tune the cut threshold
-// and the frozen-boundary outer loop.
+// and the frozen-boundary outer loop. The partition persists across
+// rebuilds: each ingest repairs the previous build's cut set (blocks
+// whose degree profile is unchanged are carried over verbatim, warm
+// state included) unless -no-repair re-derives it per build, and an
+// unset -max-block-vars is auto-tuned toward -target-blocks-per-worker
+// blocks per inference worker.
 //
 // The curated KB and frozen signal resources come from the synthetic
 // benchmark generator (the same substrate the rest of the repo
@@ -56,9 +62,11 @@ func main() {
 		segment      = flag.Bool("segment", false, "enable hub-cut graph segmentation")
 		hubPct       = flag.Float64("hub-percentile", 0, "segmentation: degree percentile above which variables are cut (0 = default 0.99)")
 		minHubDeg    = flag.Int("min-hub-degree", 0, "segmentation: absolute degree floor for cutting (0 = default 8)")
-		maxBlockVars = flag.Int("max-block-vars", 0, "segmentation: size cap on inference blocks (0 = default 256, negative disables)")
+		maxBlockVars = flag.Int("max-block-vars", 0, "segmentation: size cap on inference blocks (0 = auto-tune, negative disables)")
+		targetBPW    = flag.Int("target-blocks-per-worker", 0, "segmentation: blocks-per-worker ratio the auto-tuned size cap aims for (0 = default 4)")
 		outerRounds  = flag.Int("outer-rounds", 0, "segmentation: max frozen-boundary outer rounds per ingest (0 = default 4)")
 		boundaryTol  = flag.Float64("boundary-tol", 0, "segmentation: cut-belief convergence tolerance between rounds (0 = default 0.005)")
+		noRepair     = flag.Bool("no-repair", false, "segmentation: re-derive the partition per rebuild instead of repairing the previous one")
 	)
 	flag.Parse()
 
@@ -70,11 +78,13 @@ func main() {
 	opts := []jocl.Option{jocl.WithWorkers(*workers), jocl.WithRefreshEvery(*refreshEvery)}
 	if *segment {
 		opts = append(opts, jocl.WithSegmentation(jocl.SegmentOptions{
-			HubDegreePercentile: *hubPct,
-			MinHubDegree:        *minHubDeg,
-			MaxBlockVars:        *maxBlockVars,
-			MaxOuterRounds:      *outerRounds,
-			BoundaryTolerance:   *boundaryTol,
+			HubDegreePercentile:   *hubPct,
+			MinHubDegree:          *minHubDeg,
+			MaxBlockVars:          *maxBlockVars,
+			TargetBlocksPerWorker: *targetBPW,
+			MaxOuterRounds:        *outerRounds,
+			BoundaryTolerance:     *boundaryTol,
+			NoRepair:              *noRepair,
 		}))
 	}
 	sess, err := bench.Session(opts...)
@@ -120,18 +130,25 @@ type tripleJSON struct {
 }
 
 type ingestResponse struct {
-	Batch           int     `json:"batch"`
-	BatchTriples    int     `json:"batch_triples"`
-	TotalTriples    int     `json:"total_triples"`
-	Refreshed       bool    `json:"refreshed"`
-	Components      int     `json:"components"`
-	DirtyComponents int     `json:"dirty_components"`
-	CleanComponents int     `json:"clean_components"`
-	Sweeps          int     `json:"sweeps"`
-	CutVariables    int     `json:"cut_variables,omitempty"`
-	OuterRounds     int     `json:"outer_rounds,omitempty"`
-	ConstructMillis float64 `json:"construct_ms"`
-	InferMillis     float64 `json:"infer_ms"`
+	Batch           int  `json:"batch"`
+	BatchTriples    int  `json:"batch_triples"`
+	TotalTriples    int  `json:"total_triples"`
+	Refreshed       bool `json:"refreshed"`
+	Components      int  `json:"components"`
+	DirtyComponents int  `json:"dirty_components"`
+	CleanComponents int  `json:"clean_components"`
+	Sweeps          int  `json:"sweeps"`
+	CutVariables    int  `json:"cut_variables,omitempty"`
+	OuterRounds     int  `json:"outer_rounds,omitempty"`
+	// partition_repaired / repair_blocks_* report persistent-partition
+	// repair: whether this build's partition was repaired from the
+	// previous one, and how many blocks that carried over vs re-cut.
+	PartitionRepaired  bool    `json:"partition_repaired,omitempty"`
+	RepairBlocksReused int     `json:"repair_blocks_reused,omitempty"`
+	RepairBlocksRecut  int     `json:"repair_blocks_recut,omitempty"`
+	PartitionMillis    float64 `json:"partition_ms"`
+	ConstructMillis    float64 `json:"construct_ms"`
+	InferMillis        float64 `json:"infer_ms"`
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -166,18 +183,22 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{
-		Batch:           st.Batch,
-		BatchTriples:    st.BatchTriples,
-		TotalTriples:    st.TotalTriples,
-		Refreshed:       st.Refreshed,
-		Components:      st.Components,
-		DirtyComponents: st.DirtyComponents,
-		CleanComponents: st.CleanComponents,
-		Sweeps:          st.Sweeps,
-		CutVariables:    st.CutVariables,
-		OuterRounds:     st.OuterRounds,
-		ConstructMillis: st.ConstructMillis,
-		InferMillis:     st.InferMillis,
+		Batch:              st.Batch,
+		BatchTriples:       st.BatchTriples,
+		TotalTriples:       st.TotalTriples,
+		Refreshed:          st.Refreshed,
+		Components:         st.Components,
+		DirtyComponents:    st.DirtyComponents,
+		CleanComponents:    st.CleanComponents,
+		Sweeps:             st.Sweeps,
+		CutVariables:       st.CutVariables,
+		OuterRounds:        st.OuterRounds,
+		PartitionRepaired:  st.PartitionRepaired,
+		RepairBlocksReused: st.RepairBlocksReused,
+		RepairBlocksRecut:  st.RepairBlocksRecut,
+		PartitionMillis:    st.PartitionMillis,
+		ConstructMillis:    st.ConstructMillis,
+		InferMillis:        st.InferMillis,
 	})
 }
 
@@ -207,16 +228,18 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Batches          int             `json:"batches"`
-	TotalTriples     int             `json:"total_triples"`
-	NounPhrases      int             `json:"noun_phrases"`
-	RelPhrases       int             `json:"relation_phrases"`
-	Refreshes        int             `json:"refreshes"`
-	CachedSignals    int             `json:"cached_signals"`
-	BlocksTouched    int             `json:"blocks_touched"`
-	BlocksServedWarm int             `json:"blocks_served_warm"`
-	CutVariables     int             `json:"cut_variables"`
-	LastIngest       *ingestResponse `json:"last_ingest,omitempty"`
+	Batches            int             `json:"batches"`
+	TotalTriples       int             `json:"total_triples"`
+	NounPhrases        int             `json:"noun_phrases"`
+	RelPhrases         int             `json:"relation_phrases"`
+	Refreshes          int             `json:"refreshes"`
+	CachedSignals      int             `json:"cached_signals"`
+	BlocksTouched      int             `json:"blocks_touched"`
+	BlocksServedWarm   int             `json:"blocks_served_warm"`
+	CutVariables       int             `json:"cut_variables"`
+	PartitionRepairs   int             `json:"partition_repairs"`
+	RepairBlocksReused int             `json:"repair_blocks_reused"`
+	LastIngest         *ingestResponse `json:"last_ingest,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -226,30 +249,36 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.sess.Stats()
 	resp := statsResponse{
-		Batches:          st.Batches,
-		TotalTriples:     st.TotalTriples,
-		NounPhrases:      st.NounPhrases,
-		RelPhrases:       st.RelPhrases,
-		Refreshes:        st.Refreshes,
-		CachedSignals:    st.CachedSignals,
-		BlocksTouched:    st.BlocksTouched,
-		BlocksServedWarm: st.BlocksServedWarm,
-		CutVariables:     st.CutVariables,
+		Batches:            st.Batches,
+		TotalTriples:       st.TotalTriples,
+		NounPhrases:        st.NounPhrases,
+		RelPhrases:         st.RelPhrases,
+		Refreshes:          st.Refreshes,
+		CachedSignals:      st.CachedSignals,
+		BlocksTouched:      st.BlocksTouched,
+		BlocksServedWarm:   st.BlocksServedWarm,
+		CutVariables:       st.CutVariables,
+		PartitionRepairs:   st.PartitionRepairs,
+		RepairBlocksReused: st.RepairBlocksReused,
 	}
 	if li := st.LastIngest; li != nil {
 		resp.LastIngest = &ingestResponse{
-			Batch:           li.Batch,
-			BatchTriples:    li.BatchTriples,
-			TotalTriples:    li.TotalTriples,
-			Refreshed:       li.Refreshed,
-			Components:      li.Components,
-			DirtyComponents: li.DirtyComponents,
-			CleanComponents: li.CleanComponents,
-			Sweeps:          li.Sweeps,
-			CutVariables:    li.CutVariables,
-			OuterRounds:     li.OuterRounds,
-			ConstructMillis: li.ConstructMillis,
-			InferMillis:     li.InferMillis,
+			Batch:              li.Batch,
+			BatchTriples:       li.BatchTriples,
+			TotalTriples:       li.TotalTriples,
+			Refreshed:          li.Refreshed,
+			Components:         li.Components,
+			DirtyComponents:    li.DirtyComponents,
+			CleanComponents:    li.CleanComponents,
+			Sweeps:             li.Sweeps,
+			CutVariables:       li.CutVariables,
+			OuterRounds:        li.OuterRounds,
+			PartitionRepaired:  li.PartitionRepaired,
+			RepairBlocksReused: li.RepairBlocksReused,
+			RepairBlocksRecut:  li.RepairBlocksRecut,
+			PartitionMillis:    li.PartitionMillis,
+			ConstructMillis:    li.ConstructMillis,
+			InferMillis:        li.InferMillis,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -1,19 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// experimental study (Section 4) over the synthetic benchmark suite:
-//
-//	Table 1  — NP canonicalization, 8 methods × ReVerb45K + NYTimes2018
-//	Table 2  — RP canonicalization, 4 methods × ReVerb45K
-//	Table 3  — OKB entity linking, 6 methods × both data sets
-//	Figure 3 — OKB relation linking, 5 methods × ReVerb45K
-//	Table 4  — interaction ablation (JOCLcano / JOCLlink / JOCL)
-//	Figure 4 — feature ablation (JOCL-single / -double / -all)
-//
-// plus design-choice ablations beyond the paper (message schedule,
-// damping, blocking threshold, candidate-list size). Each runner
-// returns a Table whose cells pair the measured value with the paper's
-// reported value, so EXPERIMENTS.md can be generated mechanically.
-// Absolute numbers are not expected to match (the substrate is
-// synthetic); the comparative shape is the reproduction target.
 package bench
 
 import (

@@ -1,0 +1,29 @@
+// Package bench regenerates every table and figure of the paper's
+// experimental study (Section 4) over the synthetic benchmark suite:
+//
+//	Table 1  — NP canonicalization, 8 methods × ReVerb45K + NYTimes2018
+//	Table 2  — RP canonicalization, 4 methods × ReVerb45K
+//	Table 3  — OKB entity linking, 6 methods × both data sets
+//	Figure 3 — OKB relation linking, 5 methods × ReVerb45K
+//	Table 4  — interaction ablation (JOCLcano / JOCLlink / JOCL)
+//	Figure 4 — feature ablation (JOCL-single / -double / -all)
+//
+// plus design-choice ablations beyond the paper (message schedule,
+// damping, blocking threshold, candidate-list size). Each runner
+// returns a Table whose cells pair the measured value with the paper's
+// reported value, so EXPERIMENTS.md can be generated mechanically.
+// Absolute numbers are not expected to match (the substrate is
+// synthetic); the comparative shape is the reproduction target.
+//
+// Beyond the paper, the package benchmarks the serving subsystem,
+// emitting one JSON artifact per experiment (uploaded by CI, driven by
+// cmd/jocl-bench and the bench-* make targets):
+//
+//   - stream.go — RunStream: incremental ingest vs full per-batch
+//     rebuild (BENCH_stream.json)
+//   - segment.go — RunSegment: hub-cut vs no-cut incremental ingest on
+//     the hub-fused workload, quality measured against exact
+//     whole-graph inference (BENCH_segment.json)
+//   - repair.go — RunRepair: persistent-partition repair vs per-build
+//     re-partition on a rebuild-heavy stream (BENCH_repair.json)
+package bench

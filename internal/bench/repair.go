@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// This file benchmarks persistent-partition repair
+// (factorgraph.RepairPartition, the default under core segmentation)
+// against per-build re-derivation on the workload that stresses it: a
+// rebuild-heavy stream of many small batches, each of which rebuilds
+// the factor graph and therefore re-derives — or repairs — the hub-cut
+// partition. Repair carries the previous cut set across builds and
+// re-runs selection only inside blocks whose degree profile changed, so
+// its per-build partition cost should be a small fraction of the full
+// re-partition's, while preserving block identity (blocks adopted
+// verbatim keep their warm state) at no extra approximation cost.
+
+// RepairStrategy is one side of the repair-vs-repartition comparison.
+type RepairStrategy struct {
+	// Per-batch total ingest wall-clock and the partition-derivation
+	// share of it, ms.
+	IngestMS    []float64 `json:"ingest_ms"`
+	PartitionMS []float64 `json:"partition_ms"`
+	// Post-warm-up means (batches after the first, where both
+	// strategies build cold).
+	MeanIngestMS    float64 `json:"mean_ingest_ms"`
+	MeanPartitionMS float64 `json:"mean_partition_ms"`
+	// Final-build partition shape, final-batch block reuse, and the
+	// repair totals across all post-warm-up batches (zero for the
+	// re-partition strategy).
+	Blocks            int `json:"blocks"`
+	CutVariables      int `json:"cut_variables"`
+	LastDirty         int `json:"last_dirty_blocks"`
+	LastWarm          int `json:"last_warm_blocks"`
+	BlocksReusedTotal int `json:"blocks_reused_total"`
+	BlocksRecutTotal  int `json:"blocks_recut_total"`
+	Repairs           int `json:"repairs"`
+	// Result quality of the final snapshot against the generator's gold
+	// labels, and its delta from the exact reference.
+	NPAvgF1         float64 `json:"np_avg_f1"`
+	EntLinkAcc      float64 `json:"ent_link_acc"`
+	NPAvgF1Delta    float64 `json:"np_avg_f1_delta_vs_exact"`
+	EntLinkAccDelta float64 `json:"ent_link_acc_delta_vs_exact"`
+}
+
+// RepairReport is the repair benchmark's output, emitted as the
+// BENCH_repair.json artifact.
+type RepairReport struct {
+	Profile     string  `json:"profile"`
+	Scale       float64 `json:"scale"`
+	Batches     int     `json:"batches"`
+	Workers     int     `json:"workers"`
+	F1Tolerance float64 `json:"f1_tolerance"`
+
+	// Exact reference: one cold whole-graph solve over the final
+	// accumulated triples.
+	ExactNPAvgF1    float64 `json:"exact_np_avg_f1"`
+	ExactEntLinkAcc float64 `json:"exact_ent_link_acc"`
+
+	Repair      RepairStrategy `json:"repair"`
+	Repartition RepairStrategy `json:"repartition"`
+
+	// PartitionCostRatio is repair's mean post-warm-up partition time
+	// over the full re-partition's (the acceptance target is < 0.5);
+	// IngestSpeedup compares total ingest latency the same way
+	// (repartition over repair).
+	PartitionCostRatio float64 `json:"partition_cost_ratio"`
+	IngestSpeedup      float64 `json:"ingest_speedup"`
+	// WithinTolerance reports whether the repair strategy's F1/accuracy
+	// deltas vs exact stay inside F1Tolerance; MeetsTarget additionally
+	// requires PartitionCostRatio < 0.5 and at least one block reused
+	// by repair.
+	WithinTolerance bool `json:"within_tolerance"`
+	MeetsTarget     bool `json:"meets_target"`
+}
+
+// RunRepair ingests the same rebuild-heavy batch sequence — a preload
+// followed by many small increments, every one of which rebuilds the
+// graph — into two segmented sessions, one repairing its partition
+// across builds (the default) and one re-deriving it per build
+// (Segment.NoRepair), and compares the per-build partition cost, the
+// block reuse, and the final result quality against exact whole-graph
+// inference.
+func RunRepair(profile string, scale, preloadFrac float64, batches, workers int, f1Tol float64) (*RepairReport, error) {
+	ds, triples, cuts, batches, err := ingestPlan(profile, scale, preloadFrac, batches)
+	if err != nil {
+		return nil, err
+	}
+	if f1Tol <= 0 {
+		f1Tol = 0.02
+	}
+	workers = resolveWorkers(workers)
+
+	report := &RepairReport{
+		Profile: profile, Scale: scale, Batches: batches,
+		Workers: workers, F1Tolerance: f1Tol,
+	}
+
+	baseCfg := core.DefaultConfig()
+	baseCfg.BP.MaxSweeps = 40
+	baseCfg.Segment.Enable = true
+	noRepairCfg := baseCfg
+	noRepairCfg.Segment.NoRepair = true
+
+	runStrategy := func(cfg core.Config) (*RepairStrategy, error) {
+		sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers})
+		s := &RepairStrategy{}
+		var last stream.IngestStats
+		for b := 0; b < batches; b++ {
+			t0 := time.Now()
+			st, err := sess.Ingest(triples[cuts[b]:cuts[b+1]])
+			if err != nil {
+				return nil, err
+			}
+			s.IngestMS = append(s.IngestMS, float64(time.Since(t0).Microseconds())/1000)
+			s.PartitionMS = append(s.PartitionMS, st.PartitionMS)
+			if b > 0 {
+				s.BlocksReusedTotal += st.RepairBlocksReused
+				s.BlocksRecutTotal += st.RepairBlocksRecut
+				if st.PartitionRepaired {
+					s.Repairs++
+				}
+			}
+			last = st
+		}
+		for _, ms := range s.IngestMS[1:] {
+			s.MeanIngestMS += ms
+		}
+		s.MeanIngestMS /= float64(len(s.IngestMS) - 1)
+		for _, ms := range s.PartitionMS[1:] {
+			s.MeanPartitionMS += ms
+		}
+		s.MeanPartitionMS /= float64(len(s.PartitionMS) - 1)
+		s.Blocks = last.Components
+		s.CutVariables = last.CutVariables
+		s.LastDirty = last.DirtyComponents
+		s.LastWarm = last.CleanComponents
+		res := sess.Snapshot()
+		s.NPAvgF1 = canonScores(ds, res.NPGroups, true).AverageF1
+		s.EntLinkAcc = linkAccuracy(ds, res.NPLinks, true)
+		return s, nil
+	}
+
+	repair, err := runStrategy(baseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: repair session: %w", err)
+	}
+	repartition, err := runStrategy(noRepairCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: repartition session: %w", err)
+	}
+
+	report.ExactNPAvgF1, report.ExactEntLinkAcc, err = exactReference(ds, triples, baseCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, s := range []*RepairStrategy{repair, repartition} {
+		s.NPAvgF1Delta = s.NPAvgF1 - report.ExactNPAvgF1
+		s.EntLinkAccDelta = s.EntLinkAcc - report.ExactEntLinkAcc
+	}
+	report.Repair = *repair
+	report.Repartition = *repartition
+	if repartition.MeanPartitionMS > 0 {
+		report.PartitionCostRatio = repair.MeanPartitionMS / repartition.MeanPartitionMS
+	}
+	if repair.MeanIngestMS > 0 {
+		report.IngestSpeedup = repartition.MeanIngestMS / repair.MeanIngestMS
+	}
+	report.WithinTolerance = math.Abs(repair.NPAvgF1Delta) <= f1Tol && math.Abs(repair.EntLinkAccDelta) <= f1Tol
+	report.MeetsTarget = report.WithinTolerance &&
+		report.PartitionCostRatio > 0 && report.PartitionCostRatio < 0.5 &&
+		repair.BlocksReusedTotal > 0
+	return report, nil
+}
+
+// WriteJSON emits the report as the BENCH_repair.json artifact.
+func (r *RepairReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned text.
+func (r *RepairReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "REPAIR — partition repair vs per-build re-partition (%s, scale %g, %d workers)\n",
+		r.Profile, r.Scale, r.Workers)
+	fmt.Fprintf(&b, "%8s  %22s  %22s\n", "batch", "repair (part/total)", "repartition (part/total)")
+	for i := range r.Repair.IngestMS {
+		fmt.Fprintf(&b, "%8d  %9.2f / %8.1fms  %9.2f / %8.1fms\n", i+1,
+			r.Repair.PartitionMS[i], r.Repair.IngestMS[i],
+			r.Repartition.PartitionMS[i], r.Repartition.IngestMS[i])
+	}
+	fmt.Fprintf(&b, "mean post-warm-up partition: repair %.2fms, repartition %.2fms (ratio %.2f, target < 0.50)\n",
+		r.Repair.MeanPartitionMS, r.Repartition.MeanPartitionMS, r.PartitionCostRatio)
+	fmt.Fprintf(&b, "mean post-warm-up ingest: repair %.1fms, repartition %.1fms (%.2fx)\n",
+		r.Repair.MeanIngestMS, r.Repartition.MeanIngestMS, r.IngestSpeedup)
+	fmt.Fprintf(&b, "repair reuse: %d blocks reused / %d re-cut across %d repairs (final: %d blocks, %d cuts, last batch %d dirty / %d warm)\n",
+		r.Repair.BlocksReusedTotal, r.Repair.BlocksRecutTotal, r.Repair.Repairs,
+		r.Repair.Blocks, r.Repair.CutVariables, r.Repair.LastDirty, r.Repair.LastWarm)
+	fmt.Fprintf(&b, "quality (NP avg F1 / ent-link acc): exact %.3f/%.3f, repair %+.4f/%+.4f, repartition %+.4f/%+.4f (tolerance %g, within: %v)\n",
+		r.ExactNPAvgF1, r.ExactEntLinkAcc,
+		r.Repair.NPAvgF1Delta, r.Repair.EntLinkAccDelta,
+		r.Repartition.NPAvgF1Delta, r.Repartition.EntLinkAccDelta,
+		r.F1Tolerance, r.WithinTolerance)
+	fmt.Fprintf(&b, "meets target (ratio < 0.5, blocks reused > 0, within tolerance): %v\n", r.MeetsTarget)
+	return b.String()
+}

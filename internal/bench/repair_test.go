@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunRepairSmoke(t *testing.T) {
+	// A tiny run: the assertions cover report plumbing, not the
+	// acceptance thresholds the full-scale artifact run checks.
+	report, err := RunRepair("reverb45k", 0.01, 0.6, 4, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Repair.IngestMS) != report.Batches || len(report.Repair.PartitionMS) != report.Batches {
+		t.Fatalf("repair strategy recorded %d/%d points for %d batches",
+			len(report.Repair.IngestMS), len(report.Repair.PartitionMS), report.Batches)
+	}
+	if report.Repair.Repairs == 0 {
+		t.Errorf("repair strategy never repaired: %+v", report.Repair)
+	}
+	if report.Repartition.Repairs != 0 || report.Repartition.BlocksReusedTotal != 0 {
+		t.Errorf("repartition strategy reported repairs: %+v", report.Repartition)
+	}
+	if report.Repair.BlocksReusedTotal == 0 {
+		t.Errorf("repair reused no blocks: %+v", report.Repair)
+	}
+	if report.Format() == "" {
+		t.Fatalf("empty Format output")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round RepairReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Repair.MeanPartitionMS != report.Repair.MeanPartitionMS {
+		t.Fatalf("JSON round-trip changed the report")
+	}
+}

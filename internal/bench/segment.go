@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datasets"
 	"repro/internal/okb"
 	"repro/internal/signals"
 	"repro/internal/stream"
@@ -81,6 +84,7 @@ func RunSegment(profile string, scale, preloadFrac float64, batches, workers int
 	if f1Tol <= 0 {
 		f1Tol = 0.02
 	}
+	workers = resolveWorkers(workers)
 
 	report := &SegmentReport{
 		Profile: profile, Scale: scale, Batches: batches,
@@ -132,16 +136,10 @@ func RunSegment(profile string, scale, preloadFrac float64, batches, workers int
 		return nil, fmt.Errorf("bench: hub-cut session: %w", err)
 	}
 
-	// Exact reference: cold whole-graph inference over everything, the
-	// way the one-shot pipeline would solve the final state.
-	res := signals.New(okb.NewStore(triples), ds.CKB, ds.Emb, ds.PPDB)
-	sys, err := core.NewSystem(res, baseCfg)
+	report.ExactNPAvgF1, report.ExactEntLinkAcc, err = exactReference(ds, triples, baseCfg)
 	if err != nil {
-		return nil, fmt.Errorf("bench: exact reference: %w", err)
+		return nil, err
 	}
-	exact := sys.Run(nil)
-	report.ExactNPAvgF1 = canonScores(ds, exact.NPGroups, true).AverageF1
-	report.ExactEntLinkAcc = linkAccuracy(ds, exact.NPLinks, true)
 
 	for _, s := range []*SegmentStrategy{noCut, hubCut} {
 		s.NPAvgF1Delta = s.NPAvgF1 - report.ExactNPAvgF1
@@ -152,14 +150,30 @@ func RunSegment(profile string, scale, preloadFrac float64, batches, workers int
 	if hubCut.MeanPostWarmupMS > 0 {
 		report.Speedup = noCut.MeanPostWarmupMS / hubCut.MeanPostWarmupMS
 	}
-	abs := func(x float64) float64 {
-		if x < 0 {
-			return -x
-		}
-		return x
-	}
-	report.WithinTolerance = abs(hubCut.NPAvgF1Delta) <= f1Tol && abs(hubCut.EntLinkAccDelta) <= f1Tol
+	report.WithinTolerance = math.Abs(hubCut.NPAvgF1Delta) <= f1Tol && math.Abs(hubCut.EntLinkAccDelta) <= f1Tol
 	return report, nil
+}
+
+// resolveWorkers mirrors the stream session's worker default so the
+// reports record the pool size the sessions actually ran with.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// exactReference solves the final accumulated triples cold, whole
+// graph — the quality yardstick the streaming strategies are measured
+// against — and returns its NP average F1 and entity-link accuracy.
+func exactReference(ds *datasets.Dataset, triples []okb.Triple, cfg core.Config) (npAvgF1, entLinkAcc float64, err error) {
+	res := signals.New(okb.NewStore(triples), ds.CKB, ds.Emb, ds.PPDB)
+	sys, err := core.NewSystem(res, cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: exact reference: %w", err)
+	}
+	exact := sys.Run(nil)
+	return canonScores(ds, exact.NPGroups, true).AverageF1, linkAccuracy(ds, exact.NPLinks, true), nil
 }
 
 // WriteJSON emits the report as the BENCH_segment.json artifact.

@@ -1,27 +1,3 @@
-// Package core implements JOCL, the paper's contribution: a factor
-// graph that jointly solves OKB canonicalization and OKB linking and
-// makes the two tasks reinforce each other (Section 3).
-//
-// The graph contains, per blocked pair of noun (relation) phrases, a
-// binary canonicalization variable — the paper's x_ij (y_ij, z_ij) —
-// scored by the exponential-linear canonicalization factors F1 (F2,
-// F3); per distinct noun (relation) phrase, a linking variable over
-// its CKB candidates plus a NIL state — the paper's e_si (r_pi, e_oi) —
-// scored by the linking factors F4 (F5, F6); transitive-relation
-// factors U1–U3 over triangles of canonicalization variables; fact-
-// inclusion factors U4 over the three linking variables of each OIE
-// triple; and consistency factors U5–U7 coupling each canonicalization
-// variable with its pair of linking variables, which is where the two
-// tasks interact.
-//
-// One deliberate simplification relative to the paper's notation: the
-// paper distinguishes subject-position from object-position NP
-// variables (x_ij vs z_ij, F1 vs F3, U1 vs U3, U5 vs U7) although both
-// use identical signal sets. This implementation canonicalizes and
-// links at the level of distinct NP surface forms, so each NP pair has
-// one variable regardless of the slots it occupies; F1/F3 (and U1/U3,
-// U5/U7) collapse into one parameter vector. DESIGN.md records this
-// substitution; Table-5-style feature ablations are unaffected.
 package core
 
 import "repro/internal/factorgraph"
@@ -200,14 +176,30 @@ type SegmentConfig struct {
 	HubDegreePercentile float64
 	MinHubDegree        int
 	// MaxBlockVars size-caps the blocks by cutting the locally densest
-	// variables of any block still larger (default 256; negative
-	// disables the refinement stage).
+	// variables of any block still larger (negative disables the
+	// refinement stage). Left 0, the cap is auto-tuned from
+	// TargetBlocksPerWorker (or defaults to 256 when that is also 0).
 	MaxBlockVars int
+	// TargetBlocksPerWorker auto-tunes MaxBlockVars when it is unset:
+	// the cap is chosen so refinement yields roughly this many blocks
+	// per inference worker (factorgraph.AutoTuneMaxBlockVars; default
+	// 4 under DefaultConfig). Repaired partitions keep the cap they
+	// were built under, so graph growth does not churn block
+	// identities. 0 disables auto-tuning; an explicit MaxBlockVars
+	// always wins.
+	TargetBlocksPerWorker int
 	// MaxOuterRounds bounds the block-run / boundary-refresh iterations
 	// (default 4); BoundaryTolerance is the convergence threshold on
 	// cut-variable belief change between rounds (default 0.005).
 	MaxOuterRounds    int
 	BoundaryTolerance float64
+	// NoRepair rebuilds the hub-cut partition from scratch on every
+	// build instead of repairing the previous build's cut set
+	// (factorgraph.RepairPartition). Repair is the default: it skips
+	// re-selection on unchanged blocks and preserves block identity, so
+	// warm state and boundary baselines survive rebuilds. Disabling it
+	// exists for A/B benchmarking (jocl-bench -exp repair).
+	NoRepair bool
 }
 
 // DefaultConfig returns the full JOCL configuration with the paper's
@@ -240,6 +232,9 @@ func DefaultConfig() Config {
 		ConsHigh:              0.55,
 		ConsLow:               0.45,
 		ConflictConfidence:    0.9,
+		Segment: SegmentConfig{
+			TargetBlocksPerWorker: 4,
+		},
 		BP: factorgraph.RunOptions{
 			MaxSweeps: 20,
 			Tolerance: 1e-4,

@@ -1,0 +1,44 @@
+// Package core implements JOCL, the paper's contribution: a factor
+// graph that jointly solves OKB canonicalization and OKB linking and
+// makes the two tasks reinforce each other (Section 3).
+//
+// The graph contains, per blocked pair of noun (relation) phrases, a
+// binary canonicalization variable — the paper's x_ij (y_ij, z_ij) —
+// scored by the exponential-linear canonicalization factors F1 (F2,
+// F3); per distinct noun (relation) phrase, a linking variable over
+// its CKB candidates plus a NIL state — the paper's e_si (r_pi, e_oi) —
+// scored by the linking factors F4 (F5, F6); transitive-relation
+// factors U1–U3 over triangles of canonicalization variables; fact-
+// inclusion factors U4 over the three linking variables of each OIE
+// triple; and consistency factors U5–U7 coupling each canonicalization
+// variable with its pair of linking variables, which is where the two
+// tasks interact.
+//
+// One deliberate simplification relative to the paper's notation: the
+// paper distinguishes subject-position from object-position NP
+// variables (x_ij vs z_ij, F1 vs F3, U1 vs U3, U5 vs U7) although both
+// use identical signal sets. This implementation canonicalizes and
+// links at the level of distinct NP surface forms, so each NP pair has
+// one variable regardless of the slots it occupies; F1/F3 (and U1/U3,
+// U5/U7) collapse into one parameter vector. docs/ARCHITECTURE.md
+// records this substitution; Table-5-style feature ablations are
+// unaffected.
+//
+// # Layout
+//
+//   - config.go — Config, FeatureSet, SegmentConfig, and the paper's
+//     default hyperparameters (DefaultConfig)
+//   - system.go — System: graph construction from signal resources
+//   - infer.go — batch Run: weight learning, inference, decoding,
+//     conflict resolution
+//   - incremental.go — the streaming hooks: SimCache (memoized signal
+//     evaluation across rebuilds) and RunIncremental (dirty-block
+//     inference over a persistent, repairable partition, warm-started
+//     from the previous build's WarmState)
+//
+// Batch pipelines call System.Run once; serving sessions
+// (internal/stream) rebuild the System per ingested batch and call
+// RunIncremental, which re-runs belief propagation only on the
+// partition blocks whose neighborhood fingerprints or boundary
+// baselines changed.
+package core

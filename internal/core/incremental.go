@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/factorgraph"
 )
@@ -149,22 +150,55 @@ type IncrementalStats struct {
 	OuterRounds      int
 	BlocksRun        int
 	BoundaryResidual float64
+	// PartitionMS is the wall-clock cost of deriving this build's
+	// partition. PartitionRepaired marks builds that repaired the
+	// previous build's partition (factorgraph.RepairPartition) instead
+	// of re-deriving it; RepairBlocksReused / RepairBlocksRecut then
+	// split the pre-repair blocks into adopted-verbatim and re-cut.
+	PartitionMS        float64
+	PartitionRepaired  bool
+	RepairBlocksReused int
+	RepairBlocksRecut  int
 }
 
 // partition decomposes the system's graph per the segmentation config:
 // exact connected components by default, hub-cut blocks when enabled.
-func (s *System) partition() *factorgraph.Partition {
+// With segmentation on, an unset MaxBlockVars is auto-tuned toward
+// Segment.TargetBlocksPerWorker blocks per worker, and a previous
+// build's PartitionMemory (riding in the warm state) is repaired
+// instead of re-derived unless Segment.NoRepair. The returned tuned cap
+// is 0 when no auto-tuning applied.
+func (s *System) partition(workers int, mem *factorgraph.PartitionMemory) (*factorgraph.Partition, factorgraph.RepairStats, int) {
 	seg := s.cfg.Segment
 	if !seg.Enable {
-		return factorgraph.NewComponentPartition(s.g)
+		return factorgraph.NewComponentPartition(s.g), factorgraph.RepairStats{}, 0
 	}
-	return factorgraph.NewHubCutPartition(s.g, factorgraph.PartitionOptions{
+	opt := factorgraph.PartitionOptions{
 		HubDegreePercentile: seg.HubDegreePercentile,
 		MinHubDegree:        seg.MinHubDegree,
 		MaxBlockVars:        seg.MaxBlockVars,
 		MaxOuterRounds:      seg.MaxOuterRounds,
 		BoundaryTolerance:   seg.BoundaryTolerance,
-	})
+	}
+	tuned := 0
+	if seg.MaxBlockVars == 0 && seg.TargetBlocksPerWorker > 0 {
+		// A repaired partition keeps the cap its blocks were refined
+		// under: re-tuning per build would dirty every block whose size
+		// straddles the moving cap, churning the identities repair
+		// exists to preserve. Fresh builds (cold start, epoch refresh)
+		// re-tune from the current graph size.
+		if mem != nil && mem.TunedBlockVars > 0 {
+			tuned = mem.TunedBlockVars
+		} else {
+			tuned = factorgraph.AutoTuneMaxBlockVars(s.g.NumVariables(), workers, seg.TargetBlocksPerWorker)
+		}
+		opt.MaxBlockVars = tuned
+	}
+	if mem != nil && !seg.NoRepair {
+		p, rs := factorgraph.RepairPartition(s.g, mem, opt)
+		return p, rs, tuned
+	}
+	return factorgraph.NewHubCutPartition(s.g, opt), factorgraph.RepairStats{}, tuned
 }
 
 // RunIncremental performs joint inference re-running belief propagation
@@ -182,6 +216,13 @@ func (s *System) partition() *factorgraph.Partition {
 // boundary outer rounds when the partition carries cuts. Passing a nil
 // warm state marks everything dirty (a cold run).
 //
+// Under segmentation the partition itself is persistent: the previous
+// build's cut set and block profiles ride in the warm state
+// (WarmState.Partition) and are repaired — selection re-runs only
+// inside blocks that actually changed — rather than re-derived, so
+// block identities, boundary baselines, and warm messages survive
+// rebuilds (Segment.NoRepair restores per-build re-derivation).
+//
 // The incremental path is unsupervised by design: weight learning needs
 // global clamped/free passes, so serving sessions learn weights offline
 // and seed them via Config.InitialWeights. The returned WarmState feeds
@@ -197,7 +238,16 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 		st.WarmFactors = bp.Import(warm, sigs)
 	}
 
-	part := s.partition()
+	var mem *factorgraph.PartitionMemory
+	if warm != nil {
+		mem = warm.Partition
+	}
+	t0 := time.Now()
+	part, repair, tuned := s.partition(workers, mem)
+	st.PartitionMS = float64(time.Since(t0).Microseconds()) / 1000
+	st.PartitionRepaired = repair.Repaired
+	st.RepairBlocksReused = repair.BlocksReused
+	st.RepairBlocksRecut = repair.BlocksRecut
 	st.Components = len(part.Blocks)
 	st.CutVars = len(part.Cut)
 	// Boundary beliefs as imported: a block bordering cut variables may
@@ -211,24 +261,33 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 	if warm != nil && len(part.Cut) > 0 {
 		curBoundary = part.BoundaryBeliefs(bp)
 	}
+	// Per-block fingerprints over the adjacency strings: one comparison
+	// clears an unchanged block, however the partition object came to be
+	// — in particular, a no-op repair (same blocks, new Partition value)
+	// keeps every block warm. Computed once and reused for the export.
+	curFP := part.BlockFingerprints(curAdj)
 	// Non-nil even when empty: for RunPartition nil means "everything",
 	// the empty slice means "nothing to do".
 	dirty := make([]int, 0, len(part.Blocks))
 	for ci, block := range part.Blocks {
 		clean := warm != nil
 		if clean {
-			for _, vid := range block {
-				name := s.g.Variable(vid).Name
-				if prev, ok := warm.VarAdj[name]; !ok || prev != curAdj[name] {
-					clean = false
-					break
+			key := part.BlockKey(ci)
+			if fp, ok := warm.BlockFP[key]; !ok || fp != curFP[key] {
+				// No fingerprint to compare (pre-fingerprint warm state,
+				// or reshaped block): fall back to walking the members.
+				for _, vid := range block {
+					name := s.g.Variable(vid).Name
+					if prev, ok := warm.VarAdj[name]; !ok || prev != curAdj[name] {
+						clean = false
+						break
+					}
 				}
 			}
-		}
-		if clean && len(part.Boundary[ci]) > 0 {
-			key := part.BlockKey(ci)
-			prev, ok := warm.Boundary[key]
-			clean = ok && part.WithinBoundaryTolerance(prev, curBoundary[key])
+			if clean && len(part.Boundary[ci]) > 0 {
+				prev, ok := warm.Boundary[key]
+				clean = ok && part.WithinBoundaryTolerance(prev, curBoundary[key])
+			}
 		}
 		if clean {
 			continue
@@ -260,6 +319,14 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 	s.stats.Sweeps = st.SweepsMax
 	res := s.finish(bp)
 	out := bp.Export(sigs)
+	out.BlockFP = curFP
+	if s.cfg.Segment.Enable {
+		// Persist the partition's identity so the next build repairs it
+		// instead of re-deriving it, under the same auto-tuned cap.
+		pm := part.Memory()
+		pm.TunedBlockVars = tuned
+		out.Partition = pm
+	}
 	if len(part.Cut) > 0 {
 		// Record each block's ran-against baseline: fresh beliefs for
 		// blocks that ran, the imported baseline carried forward for

@@ -214,3 +214,69 @@ func TestSimCacheDoesNotChangeTheGraph(t *testing.T) {
 		}
 	}
 }
+
+func TestNoOpRepairKeepsAllBlocksWarm(t *testing.T) {
+	// The rebuild path must not discard warm state just because the
+	// partition object changed: a repaired partition whose blocks are
+	// identical (fingerprints match) keeps every block warm, with no
+	// re-derivation and no sweeps.
+	res := incResources(t)
+	cfg := DefaultConfig()
+	cfg.Cache = NewSimCache()
+	cfg.Segment.Enable = true
+	cfg.Segment.MaxOuterRounds = 16
+	cfg.Segment.BoundaryTolerance = 0.005
+
+	first, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, warm, st1 := first.RunIncremental(nil, 4)
+	if st1.PartitionRepaired {
+		t.Fatalf("cold run cannot repair a partition: %+v", st1)
+	}
+	if warm.Partition == nil || len(warm.BlockFP) == 0 {
+		t.Fatalf("segmented run exported no partition memory / block fingerprints")
+	}
+	if st1.BoundaryResidual > cfg.Segment.BoundaryTolerance && st1.BoundaryResidual != 0 {
+		t.Fatalf("first run's boundary did not settle (residual %g)", st1.BoundaryResidual)
+	}
+
+	second, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, st2 := second.RunIncremental(warm, 4)
+	if !st2.PartitionRepaired {
+		t.Fatalf("rebuild with memory did not repair the partition: %+v", st2)
+	}
+	if st2.RepairBlocksRecut != 0 || st2.RepairBlocksReused != st2.Components {
+		t.Fatalf("no-op repair re-derived blocks: %+v", st2)
+	}
+	if st2.Dirty != 0 || st2.Reused != st2.Components || st2.SweepsTotal != 0 {
+		t.Fatalf("no-op repair must keep all blocks warm: %+v", st2)
+	}
+	sameOutputs(t, r1, r2, "no-op repair rerun")
+}
+
+func TestNoRepairConfigRederivesPerBuild(t *testing.T) {
+	res := incResources(t)
+	cfg := DefaultConfig()
+	cfg.Cache = NewSimCache()
+	cfg.Segment.Enable = true
+	cfg.Segment.NoRepair = true
+
+	first, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, _ := first.RunIncremental(nil, 4)
+	second, err := NewSystem(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, st2 := second.RunIncremental(warm, 4)
+	if st2.PartitionRepaired || st2.RepairBlocksReused != 0 {
+		t.Fatalf("Segment.NoRepair still repaired the partition: %+v", st2)
+	}
+}

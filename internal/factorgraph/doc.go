@@ -1,0 +1,42 @@
+// Package factorgraph implements the probabilistic-graphical-model
+// substrate of JOCL: discrete factor graphs with exponential-linear
+// factor functions (Formula 1 of the paper), sum-product loopy belief
+// propagation with damping and caller-defined message schedules
+// (Section 3.4), marginal and factor beliefs, exact enumeration for
+// small graphs (used as a test oracle), and maximum-likelihood weight
+// learning via the clamped-vs-free expectation gradient (Formula 6).
+//
+// The package is generic: it knows nothing about canonicalization or
+// linking. JOCL's internal/core package builds its graph on top of it.
+//
+// # Layout
+//
+//   - graph.go — Graph, Variable, Factor construction and Finalize
+//   - bp.go — BP message state, Run, beliefs, Decode
+//   - exact.go, maxproduct.go, learn.go — enumeration oracle, MAP
+//     decoding, weight learning
+//   - components.go — connected components, ParallelBP worker pool,
+//     RunComponents (one scoped pass over selected blocks)
+//   - partition.go — Partition, the single partitioning abstraction
+//     scoped inference runs on: exact components (no cut) or hub-cut
+//     blocks with frozen-boundary outer rounds (RunPartition)
+//   - repair.go — persistent partitions: PartitionMemory,
+//     RepairPartition (incremental cut repair across graph rebuilds),
+//     AutoTuneMaxBlockVars, per-block fingerprints
+//   - incremental.go — RunScoped, factor Signatures, VarAdjacency, and
+//     WarmState: transplantable message state keyed by factor identity,
+//     which is what lets a serving session re-run only the blocks a
+//     triple batch touched
+//
+// # Invariants the streaming path relies on
+//
+// One BP sweep is a pure function of the previous sweep's messages, and
+// messages never cross block boundaries (cut variables' outgoing
+// messages are frozen while blocks run), so scoped runs on disjoint
+// blocks may share one BP's buffers — serially or in parallel — and
+// produce bitwise-identical messages either way. Factor signatures and
+// variable names are stable across rebuilds while variable ids are not;
+// everything that must survive a rebuild (warm messages, block keys,
+// cut sets, boundary baselines) is therefore keyed by name or
+// signature, never by id.
+package factorgraph

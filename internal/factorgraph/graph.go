@@ -1,13 +1,3 @@
-// Package factorgraph implements the probabilistic-graphical-model
-// substrate of JOCL: discrete factor graphs with exponential-linear
-// factor functions (Formula 1 of the paper), sum-product loopy belief
-// propagation with damping and caller-defined message schedules
-// (Section 3.4), marginal and factor beliefs, exact enumeration for
-// small graphs (used as a test oracle), and maximum-likelihood weight
-// learning via the clamped-vs-free expectation gradient (Formula 6).
-//
-// The package is generic: it knows nothing about canonicalization or
-// linking. JOCL's internal/core package builds its graph on top of it.
 package factorgraph
 
 import (

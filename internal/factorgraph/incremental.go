@@ -160,6 +160,18 @@ type WarmState struct {
 	// the block last actually ran against (see
 	// Partition.BoundaryBeliefs). Nil for runs over no-cut partitions.
 	Boundary map[string]map[string][]float64
+	// BlockFP condenses, per block key, the block's variables' VarAdj
+	// strings into one hash (Partition.BlockFingerprints): the next
+	// build clears an unchanged block with a single comparison instead
+	// of walking its members, so a repaired partition whose blocks are
+	// identical keeps every block warm. Nil on states exported before
+	// fingerprinting existed; the importer falls back to per-variable
+	// comparison.
+	BlockFP map[string]uint64
+	// Partition is the persistent partition identity (cut names, block
+	// degree profiles, tuned size cap) RepairPartition carries across
+	// rebuilds. Nil when the exporting run used no hub-cut partition.
+	Partition *PartitionMemory
 }
 
 // Export captures the BP's current messages keyed by the given factor

@@ -2,6 +2,7 @@ package factorgraph
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -138,19 +139,8 @@ func NewComponentPartition(g *Graph) *Partition {
 func NewHubCutPartition(g *Graph, opt PartitionOptions) *Partition {
 	opt.defaults()
 	n := g.NumVariables()
-	degrees := make([]int, n)
-	for i := 0; i < n; i++ {
-		degrees[i] = len(g.vars[i].factors)
-	}
-	sorted := append([]int(nil), degrees...)
-	sort.Ints(sorted)
-	thr := 0
-	if n > 0 {
-		thr = sorted[int(opt.HubDegreePercentile*float64(n-1))]
-	}
-	if thr < opt.MinHubDegree {
-		thr = opt.MinHubDegree
-	}
+	degrees := factorDegrees(g)
+	thr := hubDegreeThreshold(degrees, opt)
 	var isCut []bool
 	for i, d := range degrees {
 		if d > thr {
@@ -173,91 +163,16 @@ func NewHubCutPartition(g *Graph, opt PartitionOptions) *Partition {
 // ceil(size/maxBlockVars)): the consistency web is an expander, so
 // shattering a fused block takes cuts proportional to its size, and
 // smaller per-round bites would exhaust the round budget before the
-// cap is reached.
+// cap is reached. Repairs run the same loop scoped to changed blocks
+// only (refineOversizedScoped in repair.go).
 func refineOversized(g *Graph, isCut []bool, degrees []int, maxBlockVars int) []bool {
-	const maxRounds = 64
-	for round := 0; round < maxRounds; round++ {
-		blocks := residualComponents(g, isCut)
-		oversized := false
-		for _, block := range blocks {
-			if len(block) <= maxBlockVars {
-				continue
-			}
-			oversized = true
-			if isCut == nil {
-				isCut = make([]bool, g.NumVariables())
-			}
-			want := (len(block) + maxBlockVars - 1) / maxBlockVars
-			if bite := len(block) / 48; bite > want {
-				want = bite
-			}
-			top := append([]int(nil), block...)
-			sort.Slice(top, func(a, b int) bool {
-				if degrees[top[a]] != degrees[top[b]] {
-					return degrees[top[a]] > degrees[top[b]]
-				}
-				return g.vars[top[a]].Name < g.vars[top[b]].Name
-			})
-			for _, vid := range top[:want] {
-				isCut[vid] = true
-			}
-		}
-		if !oversized {
-			break
-		}
-	}
-	return isCut
+	return refineOversizedScoped(g, isCut, degrees, maxBlockVars, nil)
 }
 
 // residualComponents returns the connected components of the graph
 // restricted to non-cut variables.
 func residualComponents(g *Graph, isCut []bool) [][]int {
-	cut := func(vid int) bool { return isCut != nil && isCut[vid] }
-	parent := make([]int, len(g.vars))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	for _, f := range g.factors {
-		first := -1
-		for _, vid := range f.Vars {
-			if cut(vid) {
-				continue
-			}
-			if first < 0 {
-				first = vid
-				continue
-			}
-			ra, rb := find(first), find(vid)
-			if ra != rb {
-				parent[rb] = ra
-			}
-		}
-	}
-	byRoot := map[int][]int{}
-	for vid := range g.vars {
-		if cut(vid) {
-			continue
-		}
-		byRoot[find(vid)] = append(byRoot[find(vid)], vid)
-	}
-	out := make([][]int, 0, len(byRoot))
-	roots := make([]int, 0, len(byRoot))
-	for r := range byRoot {
-		roots = append(roots, r)
-	}
-	sort.Ints(roots)
-	for _, r := range roots {
-		out = append(out, byRoot[r])
-	}
-	return out
+	return scopedComponents(g, isCut, nil)
 }
 
 // buildPartition unions the non-cut variables through shared factors
@@ -346,11 +261,18 @@ func (p *Partition) NumBlocks() int { return len(p.Blocks) }
 // across graph rebuilds (variable ids shift as phrases are inserted;
 // names follow the phrases): the lexicographically smallest variable
 // name in the block. It keys the boundary-belief baselines the
-// serving layer stores in WarmState.
+// serving layer stores in WarmState and the block profiles in
+// PartitionMemory.
 func (p *Partition) BlockKey(ci int) string {
+	return minBlockName(p.g, p.Blocks[ci])
+}
+
+// minBlockName is the one definition of the block-key rule; repair
+// looks memory entries up by the same function that produced them.
+func minBlockName(g *Graph, block []int) string {
 	key := ""
-	for _, vid := range p.Blocks[ci] {
-		if name := p.g.vars[vid].Name; key == "" || name < key {
+	for _, vid := range block {
+		if name := g.vars[vid].Name; key == "" || name < key {
 			key = name
 		}
 	}
@@ -508,7 +430,7 @@ func RunPartition(bp *BP, p *Partition, opt RunOptions, workers int, selected []
 	for round := 1; ; round++ {
 		runRound(sel)
 		pr.OuterRounds = round
-		residual, moved := bp.refreshBoundary(p, opt.Damping)
+		residual, moved := bp.refreshBoundary(p, opt.Damping, workers)
 		pr.BoundaryResidual = residual
 		if len(moved) == 0 {
 			pr.Converged = true
@@ -539,34 +461,87 @@ func (p *Partition) BlocksBordering(cutIdxs []int) []int {
 	return out
 }
 
+// minParallelBoundary is the cut-set size below which refreshBoundary
+// runs inline: goroutine fan-out on a handful of cut variables costs
+// more than the message recomputations it spreads.
+const minParallelBoundary = 64
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker and
+// runs fn on the chunks concurrently; small inputs (or one worker) run
+// inline. fn must touch only disjoint state per index.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < minParallelBoundary {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // refreshBoundary recomputes the cut variables' view of the graph
 // after a round of block runs: factors living entirely between cut
 // variables update first, then every cut variable's outgoing messages
 // are recomputed from the new factor messages. It returns the maximum
 // cut-belief change and the indexes (into p.Cut) of variables that
 // moved more than the boundary tolerance.
-func (bp *BP) refreshBoundary(p *Partition, damping float64) (float64, []int) {
-	for _, fid := range p.CutFactors {
-		bp.updateFactorMessages(fid, damping)
-	}
+//
+// Both phases parallelize over the given worker count once the cut set
+// reaches minParallelBoundary. Given frozen block messages the cut
+// variables are independent: a cut factor's update writes only its own
+// outgoing messages, and a cut variable's update writes only its own
+// slices of msgVF (two cut variables sharing a factor write different
+// positions), so each phase's results are bitwise identical to the
+// serial sweep for any worker count. Deltas are collected per index and
+// aggregated serially, keeping the moved list deterministic.
+func (bp *BP) refreshBoundary(p *Partition, damping float64, workers int) (float64, []int) {
+	parallelRanges(len(p.CutFactors), workers, func(lo, hi int) {
+		for _, fid := range p.CutFactors[lo:hi] {
+			bp.updateFactorMessages(fid, damping)
+		}
+	})
+	deltas := make([]float64, len(p.Cut))
+	parallelRanges(len(p.Cut), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vid := p.Cut[i]
+			b := bp.VarBelief(vid)
+			delta := 0.0
+			for s, v := range b {
+				if d := math.Abs(v - bp.prevBelief[vid][s]); d > delta {
+					delta = d
+				}
+			}
+			copy(bp.prevBelief[vid], b)
+			deltas[i] = delta
+			bp.updateVariableMessages(vid)
+		}
+	})
 	maxDelta := 0.0
 	var moved []int
-	for i, vid := range p.Cut {
-		b := bp.VarBelief(vid)
-		delta := 0.0
-		for s, v := range b {
-			if d := math.Abs(v - bp.prevBelief[vid][s]); d > delta {
-				delta = d
-			}
-		}
-		copy(bp.prevBelief[vid], b)
+	for i, delta := range deltas {
 		if delta > maxDelta {
 			maxDelta = delta
 		}
 		if delta > p.BoundaryTolerance {
 			moved = append(moved, i)
 		}
-		bp.updateVariableMessages(vid)
 	}
 	return maxDelta, moved
 }

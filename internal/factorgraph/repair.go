@@ -1,0 +1,392 @@
+package factorgraph
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+)
+
+// This file makes Partition a persistent structure: instead of
+// re-deriving the hub cut from scratch on every graph rebuild — which
+// re-runs the size-cap refinement's global component sweeps and lets
+// percentile jitter re-shuffle block identities — a build exports a
+// PartitionMemory (cut variables by stable name, per-block degree
+// profiles) and the next build repairs it. RepairPartition carries the
+// previous cut set across the id shifts of a rebuild, re-runs hub
+// selection and refinement only inside blocks whose degree profile or
+// size actually changed, and leaves every other block — and therefore
+// its BlockKey, its boundary baseline, and its warm messages — exactly
+// as the previous build left them.
+
+// BlockProfile fingerprints one block for change detection across
+// rebuilds: its variable count plus a hash of the members' (name,
+// factor-degree) pairs. Equal profiles mean the block holds the same
+// phrases' variables with the same factor degrees, so neither the hub
+// threshold stage nor the size-cap refinement could cut it differently
+// than the previous build did.
+type BlockProfile struct {
+	Vars int
+	Hash uint64
+}
+
+// PartitionMemory is the persistent identity of a partition, carried
+// across graph rebuilds inside WarmState. Variable ids shift as phrases
+// are inserted, so everything is keyed by stable phrase-derived names:
+// CutNames lists the cut variables, Blocks the per-block degree
+// profiles under their BlockKey, and TunedBlockVars records the
+// auto-tuned MaxBlockVars in effect (0 when the knob was set
+// explicitly), so a repaired partition keeps the cap its blocks were
+// refined under instead of chasing the graph's growth.
+type PartitionMemory struct {
+	CutNames       []string
+	Blocks         map[string]BlockProfile
+	TunedBlockVars int
+}
+
+// RepairStats reports how much of the previous partition a repair
+// preserved.
+type RepairStats struct {
+	// Repaired is false when the partition was built from scratch (no
+	// memory, or repair disabled).
+	Repaired bool
+	// BlocksReused counts blocks whose degree profile matched the
+	// previous build and were adopted without re-running selection;
+	// BlocksRecut counts blocks re-run through the threshold and
+	// refinement stages (new, changed, or oversized).
+	BlocksReused int
+	BlocksRecut  int
+	// CutCarried / CutAdded split the final cut set into variables
+	// carried over from the previous build and fresh cuts; CutDropped
+	// counts previous cut names that no longer qualify (variable gone,
+	// or degree fell to the un-cut hysteresis floor).
+	CutCarried int
+	CutAdded   int
+	CutDropped int
+}
+
+// Memory exports the partition's persistent identity for the next
+// build's RepairPartition call. TunedBlockVars is left zero; the caller
+// records the auto-tuned cap if one is in effect.
+func (p *Partition) Memory() *PartitionMemory {
+	degrees := factorDegrees(p.g)
+	m := &PartitionMemory{Blocks: make(map[string]BlockProfile, len(p.Blocks))}
+	names := make(map[string]bool, len(p.Cut))
+	for _, vid := range p.Cut {
+		names[p.g.vars[vid].Name] = true
+	}
+	m.CutNames = make([]string, 0, len(names))
+	for name := range names {
+		m.CutNames = append(m.CutNames, name)
+	}
+	sort.Strings(m.CutNames)
+	for ci, block := range p.Blocks {
+		m.Blocks[p.BlockKey(ci)] = blockProfile(p.g, degrees, block)
+	}
+	return m
+}
+
+func factorDegrees(g *Graph) []int {
+	degrees := make([]int, g.NumVariables())
+	for i := range degrees {
+		degrees[i] = len(g.vars[i].factors)
+	}
+	return degrees
+}
+
+// blockProfile hashes the block's (name, degree) pairs order-
+// independently: entries are sorted before hashing so two builds that
+// enumerate the same block in different variable-id order produce the
+// same profile.
+func blockProfile(g *Graph, degrees []int, block []int) BlockProfile {
+	type nd struct {
+		name string
+		deg  int
+	}
+	nds := make([]nd, len(block))
+	for i, vid := range block {
+		nds[i] = nd{g.vars[vid].Name, degrees[vid]}
+	}
+	sort.Slice(nds, func(a, b int) bool {
+		if nds[a].name != nds[b].name {
+			return nds[a].name < nds[b].name
+		}
+		return nds[a].deg < nds[b].deg
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, e := range nds {
+		h.Write([]byte(e.name))
+		buf[0] = 0
+		for k := 0; k < 7; k++ {
+			buf[k+1] = byte(e.deg >> (8 * k))
+		}
+		h.Write(buf[:])
+	}
+	return BlockProfile{Vars: len(block), Hash: h.Sum64()}
+}
+
+// RepairPartition rebuilds a hub-cut partition on a new graph build by
+// repairing the previous build's partition instead of re-deriving it:
+//
+//  1. The previous cut set is re-identified by variable name. A carried
+//     cut survives while its variable exists and its factor degree still
+//     exceeds the MinHubDegree floor — percentile drift alone never
+//     un-cuts a variable (hysteresis), so block identities do not
+//     reshuffle when the degree distribution shifts slightly.
+//  2. The residual blocks under the carried cut are fingerprinted
+//     (BlockProfile) and compared to the memory. A block whose profile
+//     matches and whose size respects MaxBlockVars is adopted as-is.
+//  3. Hub selection (the degree-percentile threshold stage) and the
+//     size-cap refinement re-run only over the variables of changed,
+//     new, or oversized blocks; reused blocks share no variables with
+//     them, so their membership — and thus their BlockKey, boundary
+//     baseline, and warm messages — is untouched.
+//
+// With an unchanged graph the repair is a no-op: every block is reused
+// and the partition is identical to the previous build's. Passing a nil
+// memory falls back to NewHubCutPartition.
+func RepairPartition(g *Graph, mem *PartitionMemory, opt PartitionOptions) (*Partition, RepairStats) {
+	if mem == nil {
+		return NewHubCutPartition(g, opt), RepairStats{}
+	}
+	opt.defaults()
+	degrees := factorDegrees(g)
+	n := g.NumVariables()
+
+	// Stage 1: carry the cut set across the rebuild by name.
+	prevCut := make(map[string]bool, len(mem.CutNames))
+	for _, name := range mem.CutNames {
+		prevCut[name] = true
+	}
+	var isCut []bool
+	carriedNames := make(map[string]bool, len(prevCut))
+	for vid := 0; vid < n; vid++ {
+		name := g.vars[vid].Name
+		if prevCut[name] && degrees[vid] > opt.MinHubDegree {
+			if isCut == nil {
+				isCut = make([]bool, n)
+			}
+			isCut[vid] = true
+			carriedNames[name] = true
+		}
+	}
+
+	// Stage 2: fingerprint the residual blocks and find the changed ones.
+	blocks := residualComponents(g, isCut)
+	st := RepairStats{Repaired: true}
+	var within []bool
+	for _, block := range blocks {
+		key := minBlockName(g, block)
+		prof := blockProfile(g, degrees, block)
+		if prev, ok := mem.Blocks[key]; ok && prev == prof &&
+			(opt.MaxBlockVars <= 0 || len(block) <= opt.MaxBlockVars) {
+			st.BlocksReused++
+			continue
+		}
+		st.BlocksRecut++
+		if within == nil {
+			within = make([]bool, n)
+		}
+		for _, vid := range block {
+			within[vid] = true
+		}
+	}
+
+	// Stage 3: re-run selection scoped to the changed region.
+	if within != nil {
+		thr := hubDegreeThreshold(degrees, opt)
+		for vid := 0; vid < n; vid++ {
+			if within[vid] && degrees[vid] > thr {
+				if isCut == nil {
+					isCut = make([]bool, n)
+				}
+				isCut[vid] = true
+			}
+		}
+		if opt.MaxBlockVars > 0 {
+			isCut = refineOversizedScoped(g, isCut, degrees, opt.MaxBlockVars, within)
+		}
+	}
+
+	p := buildPartition(g, isCut, opt)
+	for _, vid := range p.Cut {
+		if carriedNames[g.vars[vid].Name] {
+			st.CutCarried++
+		} else {
+			st.CutAdded++
+		}
+	}
+	seen := make(map[string]bool, len(p.Cut))
+	for _, vid := range p.Cut {
+		seen[g.vars[vid].Name] = true
+	}
+	for name := range prevCut {
+		if !seen[name] {
+			st.CutDropped++
+		}
+	}
+	return p, st
+}
+
+// hubDegreeThreshold places the threshold-stage cut bar exactly as
+// NewHubCutPartition does: the degree at the configured percentile of
+// the degree distribution, floored by MinHubDegree.
+func hubDegreeThreshold(degrees []int, opt PartitionOptions) int {
+	sorted := append([]int(nil), degrees...)
+	sort.Ints(sorted)
+	thr := 0
+	if len(sorted) > 0 {
+		thr = sorted[int(opt.HubDegreePercentile*float64(len(sorted)-1))]
+	}
+	if thr < opt.MinHubDegree {
+		thr = opt.MinHubDegree
+	}
+	return thr
+}
+
+// AutoTuneMaxBlockVars derives a MaxBlockVars cap from a target
+// blocks-per-worker ratio: roughly numVars/cap blocks come out of the
+// size-cap refinement, so cap = numVars/(workers*targetBlocksPerWorker)
+// aims for targetBlocksPerWorker schedulable blocks per pool worker —
+// enough parallel slack that a straggler block cannot idle the pool,
+// without shattering the graph into cut-dominated fragments. The result
+// is clamped to [64, 384]; workers <= 0 reads GOMAXPROCS and
+// targetBlocksPerWorker <= 0 takes 4.
+func AutoTuneMaxBlockVars(numVars, workers, targetBlocksPerWorker int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if targetBlocksPerWorker <= 0 {
+		targetBlocksPerWorker = 4
+	}
+	cap := numVars / (workers * targetBlocksPerWorker)
+	if cap < 64 {
+		cap = 64
+	}
+	if cap > 384 {
+		cap = 384
+	}
+	return cap
+}
+
+// BlockFingerprints condenses, per block key, the block's variables'
+// neighborhood-adjacency strings (VarAdjacency of the same build) into
+// one hash. Two builds whose fingerprints match for a block key hold an
+// identical block — same variables in bit-identical factor
+// neighborhoods — so the incremental path can clear the whole block
+// with one comparison instead of walking every member variable, and a
+// no-op repair keeps all blocks warm even though the partition object
+// was rebuilt.
+func (p *Partition) BlockFingerprints(adj map[string]string) map[string]uint64 {
+	out := make(map[string]uint64, len(p.Blocks))
+	for ci, block := range p.Blocks {
+		names := make([]string, len(block))
+		for i, vid := range block {
+			names[i] = p.g.vars[vid].Name
+		}
+		sort.Strings(names)
+		h := fnv.New64a()
+		for _, name := range names {
+			h.Write([]byte(name))
+			h.Write([]byte{0})
+			h.Write([]byte(adj[name]))
+			h.Write([]byte{0})
+		}
+		out[p.BlockKey(ci)] = h.Sum64()
+	}
+	return out
+}
+
+// refineOversizedScoped is refineOversized restricted to the variables
+// with within[vid] set: only blocks made entirely of scoped variables
+// are size-capped, and the per-round component sweep unions only the
+// scoped subgraph instead of the whole graph. Reused blocks from a
+// repair share no variables with the scope, so they cannot be touched.
+func refineOversizedScoped(g *Graph, isCut []bool, degrees []int, maxBlockVars int, within []bool) []bool {
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		blocks := scopedComponents(g, isCut, within)
+		oversized := false
+		for _, block := range blocks {
+			if len(block) <= maxBlockVars {
+				continue
+			}
+			oversized = true
+			if isCut == nil {
+				isCut = make([]bool, g.NumVariables())
+			}
+			want := (len(block) + maxBlockVars - 1) / maxBlockVars
+			if bite := len(block) / 48; bite > want {
+				want = bite
+			}
+			top := append([]int(nil), block...)
+			sort.Slice(top, func(a, b int) bool {
+				if degrees[top[a]] != degrees[top[b]] {
+					return degrees[top[a]] > degrees[top[b]]
+				}
+				return g.vars[top[a]].Name < g.vars[top[b]].Name
+			})
+			for _, vid := range top[:want] {
+				isCut[vid] = true
+			}
+		}
+		if !oversized {
+			break
+		}
+	}
+	return isCut
+}
+
+// scopedComponents returns the connected components of the graph
+// restricted to non-cut variables inside the scope. A nil scope means
+// all variables (residualComponents is this with no scope).
+func scopedComponents(g *Graph, isCut []bool, within []bool) [][]int {
+	skip := func(vid int) bool {
+		return (isCut != nil && isCut[vid]) || (within != nil && !within[vid])
+	}
+	parent := make([]int, len(g.vars))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, f := range g.factors {
+		first := -1
+		for _, vid := range f.Vars {
+			if skip(vid) {
+				continue
+			}
+			if first < 0 {
+				first = vid
+				continue
+			}
+			ra, rb := find(first), find(vid)
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for vid := range g.vars {
+		if skip(vid) {
+			continue
+		}
+		byRoot[find(vid)] = append(byRoot[find(vid)], vid)
+	}
+	out := make([][]int, 0, len(byRoot))
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

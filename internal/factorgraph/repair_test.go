@@ -1,0 +1,237 @@
+package factorgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// repairOpt is the partition configuration the repair tests share: the
+// median-degree threshold with a floor of 3 cuts exactly the island
+// hubs of islandWorld (degree 6) and never the leaves (degree <= 3).
+func repairOpt() PartitionOptions {
+	return PartitionOptions{
+		HubDegreePercentile: 0.5,
+		MinHubDegree:        3,
+		MaxOuterRounds:      8,
+		BoundaryTolerance:   1e-4,
+	}
+}
+
+// islandWorld builds n uniquely-named hub islands: island i couples a
+// hub variable hub<i> (degree 6) into a chain of six leaves v<i>_j
+// (degree <= 3). Each island's factor tables are seeded by the island
+// index alone, so island i is bit-identical across builds whatever the
+// total island count — the rebuild shape a streaming ingest produces.
+// extraLeaves > 0 appends that many extra leaves to island 0's chain,
+// modelling a batch that touches an existing region.
+func islandWorld(t *testing.T, n, extraLeaves int) *Graph {
+	t.Helper()
+	g := New()
+	for island := 0; island < n; island++ {
+		rng := rand.New(rand.NewSource(int64(1000 + island)))
+		rnd := func() []float64 {
+			tb := make([]float64, 4)
+			for i := range tb {
+				tb[i] = 0.2 + rng.Float64()
+			}
+			return tb
+		}
+		hub := g.AddVariable(name2("hub", island, -1), 2)
+		leaves := 6
+		if island == 0 {
+			leaves += extraLeaves
+		}
+		prev := -1
+		for j := 0; j < leaves; j++ {
+			v := g.AddVariable(name2("v", island, j), 2)
+			tableFactor(g, name2("h", island, j), []int{hub, v}, rnd())
+			if prev >= 0 {
+				tableFactor(g, name2("c", island, j), []int{prev, v}, rnd())
+			}
+			prev = v
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+func name2(prefix string, i, j int) string {
+	const digits = "0123456789"
+	out := prefix
+	for _, n := range []int{i, j} {
+		if n < 0 {
+			continue
+		}
+		out += "_"
+		if n >= 10 {
+			out += string(digits[n/10])
+		}
+		out += string(digits[n%10])
+	}
+	return out
+}
+
+func cutNames(g *Graph, p *Partition) map[string]bool {
+	out := map[string]bool{}
+	for _, vid := range p.Cut {
+		out[g.Variable(vid).Name] = true
+	}
+	return out
+}
+
+func blockKeySet(p *Partition) map[string]bool {
+	out := map[string]bool{}
+	for ci := range p.Blocks {
+		out[p.BlockKey(ci)] = true
+	}
+	return out
+}
+
+func TestRepairNoOpReusesEveryBlock(t *testing.T) {
+	g1 := islandWorld(t, 8, 0)
+	p1 := NewHubCutPartition(g1, repairOpt())
+	if len(p1.Cut) != 8 {
+		t.Fatalf("expected the 8 hubs cut, got %d cut variables", len(p1.Cut))
+	}
+	mem := p1.Memory()
+
+	// Identical logical graph, fresh build: the repair must adopt every
+	// block verbatim and re-derive nothing.
+	g2 := islandWorld(t, 8, 0)
+	p2, rs := RepairPartition(g2, mem, repairOpt())
+	if !rs.Repaired {
+		t.Fatalf("repair with memory reported Repaired=false")
+	}
+	if rs.BlocksRecut != 0 || rs.BlocksReused != p1.NumBlocks() {
+		t.Fatalf("no-op repair re-cut blocks: %+v (want %d reused)", rs, p1.NumBlocks())
+	}
+	if rs.CutAdded != 0 || rs.CutDropped != 0 || rs.CutCarried != len(p1.Cut) {
+		t.Fatalf("no-op repair changed the cut set: %+v", rs)
+	}
+	want, got := cutNames(g1, p1), cutNames(g2, p2)
+	for name := range want {
+		if !got[name] {
+			t.Errorf("cut variable %q lost across no-op repair", name)
+		}
+	}
+	wantKeys, gotKeys := blockKeySet(p1), blockKeySet(p2)
+	for key := range wantKeys {
+		if !gotKeys[key] {
+			t.Errorf("block key %q lost across no-op repair", key)
+		}
+	}
+}
+
+func TestRepairedPartitionMatchesFromScratchWithinTolerance(t *testing.T) {
+	// Satellite acceptance: after a batched ingest (two new islands plus
+	// growth inside island 0), the repaired partition's beliefs must
+	// stay within the boundary tolerance regime of a from-scratch
+	// partition of the same graph.
+	g1 := islandWorld(t, 8, 0)
+	p1 := NewHubCutPartition(g1, repairOpt())
+	mem := p1.Memory()
+
+	g2 := islandWorld(t, 10, 2)
+	repaired, rs := RepairPartition(g2, mem, repairOpt())
+	if rs.BlocksReused == 0 {
+		t.Fatalf("growth repair reused nothing: %+v", rs)
+	}
+	if rs.BlocksRecut == 0 {
+		t.Fatalf("growth repair re-cut nothing despite new islands: %+v", rs)
+	}
+	scratch := NewHubCutPartition(g2, repairOpt())
+
+	opt := RunOptions{MaxSweeps: 80, Tolerance: 1e-9}
+	repBeliefs, repRun := ParallelBPPartition(g2, repaired, opt, 4)
+	scrBeliefs, scrRun := ParallelBPPartition(g2, scratch, opt, 4)
+	if !repRun.Converged || !scrRun.Converged {
+		t.Fatalf("outer loops did not converge (repaired %v, scratch %v)", repRun.Converged, scrRun.Converged)
+	}
+	tol := repaired.BoundaryTolerance
+	worst := 0.0
+	for vid := 0; vid < g2.NumVariables(); vid++ {
+		for s := range repBeliefs[vid] {
+			if d := math.Abs(repBeliefs[vid][s] - scrBeliefs[vid][s]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 5*tol {
+		t.Fatalf("repaired partition drifts %g from from-scratch partition (tolerance %g)", worst, tol)
+	}
+}
+
+func TestRepairKeepsBlockKeysAcrossThreeConsecutiveRepairs(t *testing.T) {
+	sizes := []int{6, 7, 8, 9}
+	g := islandWorld(t, sizes[0], 0)
+	p := NewHubCutPartition(g, repairOpt())
+	mem := p.Memory()
+	prevKeys := blockKeySet(p)
+	prevCuts := cutNames(g, p)
+
+	for step, n := range sizes[1:] {
+		g = islandWorld(t, n, 0)
+		var rs RepairStats
+		p, rs = RepairPartition(g, mem, repairOpt())
+		if !rs.Repaired || rs.BlocksReused == 0 {
+			t.Fatalf("repair %d: nothing reused: %+v", step+1, rs)
+		}
+		keys := blockKeySet(p)
+		for key := range prevKeys {
+			if !keys[key] {
+				t.Errorf("repair %d: block key %q not preserved", step+1, key)
+			}
+		}
+		cuts := cutNames(g, p)
+		for name := range prevCuts {
+			if !cuts[name] {
+				t.Errorf("repair %d: cut variable %q not preserved", step+1, name)
+			}
+		}
+		mem = p.Memory()
+		prevKeys, prevCuts = keys, cuts
+	}
+}
+
+func TestParallelBoundaryRefreshIsWorkerCountInvariant(t *testing.T) {
+	// 80 cut hubs clears the minParallelBoundary threshold, so the
+	// workers=8 run exercises the chunked parallel refresh while
+	// workers=1 runs it inline; the cut variables are independent given
+	// frozen block messages, so the beliefs must agree bit for bit.
+	g := islandWorld(t, 80, 0)
+	p1 := NewHubCutPartition(g, repairOpt())
+	if len(p1.Cut) < minParallelBoundary {
+		t.Fatalf("world has %d cut variables, need >= %d to exercise the parallel path", len(p1.Cut), minParallelBoundary)
+	}
+	opt := RunOptions{MaxSweeps: 12, Tolerance: 1e-300}
+
+	serial, _ := ParallelBPPartition(g, p1, opt, 1)
+	p2 := NewHubCutPartition(g, repairOpt())
+	parallel, _ := ParallelBPPartition(g, p2, opt, 8)
+
+	for vid := 0; vid < g.NumVariables(); vid++ {
+		for s := range serial[vid] {
+			if serial[vid][s] != parallel[vid][s] {
+				t.Fatalf("var %d state %d: parallel refresh %v != serial %v (must be bitwise identical)",
+					vid, s, parallel[vid], serial[vid])
+			}
+		}
+	}
+}
+
+func TestAutoTuneMaxBlockVars(t *testing.T) {
+	cases := []struct {
+		vars, workers, ratio, want int
+	}{
+		{10000, 8, 4, 312},  // 10000/32
+		{100000, 8, 4, 384}, // clamped high
+		{500, 8, 4, 64},     // clamped low
+		{4096, 4, 0, 256},   // ratio defaults to 4: 4096/16
+	}
+	for _, c := range cases {
+		if got := AutoTuneMaxBlockVars(c.vars, c.workers, c.ratio); got != c.want {
+			t.Errorf("AutoTuneMaxBlockVars(%d, %d, %d) = %d, want %d", c.vars, c.workers, c.ratio, got, c.want)
+		}
+	}
+}

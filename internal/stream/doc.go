@@ -1,0 +1,42 @@
+// Package stream is the incremental serving subsystem: it keeps a JOCL
+// system alive across triple batches arriving over time, instead of
+// rebuilding and re-solving the whole pipeline per batch the way the
+// one-shot examples do.
+//
+// The design follows the factor graph's decomposition into partition
+// blocks (factorgraph.Partition — exact connected components by
+// default, hub-cut blocks under Core.Segment.Enable, realizing the
+// graph-segmentation idea of Jo et al. in shared memory). A batch of
+// triples touches a bounded set of phrases, and therefore a bounded
+// set of blocks; everything else is untouched, and its posteriors are
+// still valid. On hub-fused graphs, where popular relation phrases
+// couple thousands of triples into one giant component, the hub-cut
+// partition is what restores that locality: the hubs are cut out of
+// the blocks and served by frozen-boundary outer rounds instead. A
+// Session therefore maintains three kinds of state:
+//
+//   - the epoch resources: IDF tables, embeddings, paraphrase DB, AMIE
+//     rules, and the KBP classifier, frozen at the last refresh so that
+//     signal values for existing phrases do not drift on every append
+//     (okb.Store.Append(freezeIDF), signals.Resources.Extend);
+//   - the construction cache (core.SimCache), so rebuilding the factor
+//     graph after a batch re-evaluates signals only for new pairs;
+//   - the warm state (factorgraph.WarmState), messages keyed by factor
+//     identity, which lets core.RunIncremental serve unchanged
+//     components verbatim and re-run BP only on dirty ones, warm-started,
+//     on a bounded worker pool. The warm state also carries the
+//     persistent partition identity (factorgraph.PartitionMemory): each
+//     rebuild repairs the previous build's hub cut — re-running
+//     selection only inside blocks whose degree profile changed — so
+//     block identities, and with them the warm messages and boundary
+//     baselines, survive the rebuild.
+//
+// Periodic epoch refreshes (Config.RefreshEvery, or an explicit
+// Refresh call) re-derive the frozen statistics over everything seen so
+// far; the following inference pass is a full re-solve, exactly as if
+// the accumulated triples had arrived in one batch.
+//
+// Session is consumed through the public jocl.Session wrapper; the
+// jocl-serve command exposes it over HTTP. docs/ARCHITECTURE.md walks
+// the whole ingest lifecycle.
+package stream

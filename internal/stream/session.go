@@ -1,35 +1,3 @@
-// Package stream is the incremental serving subsystem: it keeps a JOCL
-// system alive across triple batches arriving over time, instead of
-// rebuilding and re-solving the whole pipeline per batch the way the
-// one-shot examples do.
-//
-// The design follows the factor graph's decomposition into partition
-// blocks (factorgraph.Partition — exact connected components by
-// default, hub-cut blocks under Core.Segment.Enable, realizing the
-// graph-segmentation idea of Jo et al. in shared memory). A batch of
-// triples touches a bounded set of phrases, and therefore a bounded
-// set of blocks; everything else is untouched, and its posteriors are
-// still valid. On hub-fused graphs, where popular relation phrases
-// couple thousands of triples into one giant component, the hub-cut
-// partition is what restores that locality: the hubs are cut out of
-// the blocks and served by frozen-boundary outer rounds instead. A
-// Session therefore maintains three kinds of state:
-//
-//   - the epoch resources: IDF tables, embeddings, paraphrase DB, AMIE
-//     rules, and the KBP classifier, frozen at the last refresh so that
-//     signal values for existing phrases do not drift on every append
-//     (okb.Store.Append(freezeIDF), signals.Resources.Extend);
-//   - the construction cache (core.SimCache), so rebuilding the factor
-//     graph after a batch re-evaluates signals only for new pairs;
-//   - the warm state (factorgraph.WarmState), messages keyed by factor
-//     identity, which lets core.RunIncremental serve unchanged
-//     components verbatim and re-run BP only on dirty ones, warm-started,
-//     on a bounded worker pool.
-//
-// Periodic epoch refreshes (Config.RefreshEvery, or an explicit
-// Refresh call) re-derive the frozen statistics over everything seen so
-// far; the following inference pass is a full re-solve, exactly as if
-// the accumulated triples had arrived in one batch.
 package stream
 
 import (
@@ -91,6 +59,16 @@ type IngestStats struct {
 	BlocksRun        int     `json:"blocks_run,omitempty"`
 	BoundaryResidual float64 `json:"boundary_residual,omitempty"`
 
+	// PartitionMS is the wall-clock spent deriving this build's
+	// partition. PartitionRepaired marks builds that repaired the
+	// previous partition in place of a full re-derivation;
+	// RepairBlocksReused / RepairBlocksRecut then count the blocks
+	// adopted verbatim vs re-cut.
+	PartitionMS        float64 `json:"partition_ms"`
+	PartitionRepaired  bool    `json:"partition_repaired,omitempty"`
+	RepairBlocksReused int     `json:"repair_blocks_reused,omitempty"`
+	RepairBlocksRecut  int     `json:"repair_blocks_recut,omitempty"`
+
 	ConstructMS float64 `json:"construct_ms"`
 	InferMS     float64 `json:"infer_ms"`
 }
@@ -107,10 +85,15 @@ type Stats struct {
 	// distinct blocks that ran BP and the blocks served from warm
 	// messages (per ingest the two sum to that build's block count).
 	// CutVariables reports the current build's hub-cut count.
-	BlocksTouched int          `json:"blocks_touched"`
-	BlocksWarm    int          `json:"blocks_warm"`
-	CutVariables  int          `json:"cut_variables"`
-	LastIngest    *IngestStats `json:"last_ingest,omitempty"`
+	BlocksTouched int `json:"blocks_touched"`
+	BlocksWarm    int `json:"blocks_warm"`
+	CutVariables  int `json:"cut_variables"`
+	// Repairs counts ingests whose partition was repaired from the
+	// previous build's rather than re-derived; RepairBlocksReused
+	// totals the blocks those repairs adopted verbatim.
+	Repairs            int          `json:"repairs"`
+	RepairBlocksReused int          `json:"repair_blocks_reused"`
+	LastIngest         *IngestStats `json:"last_ingest,omitempty"`
 }
 
 // Session is an incremental JOCL run over a growing OKB. All methods
@@ -138,6 +121,8 @@ type Session struct {
 	// Cumulative partition counters across ingests.
 	blocksTouched int
 	blocksWarm    int
+	repairs       int
+	repairReused  int
 
 	// pub guards the read-side state published after each ingest.
 	pub      sync.Mutex
@@ -214,6 +199,10 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	st.OuterRounds = inc.OuterRounds
 	st.BlocksRun = inc.BlocksRun
 	st.BoundaryResidual = inc.BoundaryResidual
+	st.PartitionMS = inc.PartitionMS
+	st.PartitionRepaired = inc.PartitionRepaired
+	st.RepairBlocksReused = inc.RepairBlocksReused
+	st.RepairBlocksRecut = inc.RepairBlocksRecut
 
 	// Commit.
 	s.triples = grown
@@ -229,18 +218,24 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	}
 	s.blocksTouched += inc.Dirty
 	s.blocksWarm += inc.Reused
+	if inc.PartitionRepaired {
+		s.repairs++
+		s.repairReused += inc.RepairBlocksReused
+	}
 
 	// Publish the read-side state.
 	cum := Stats{
-		Batches:       s.batches,
-		TotalTriples:  len(s.triples),
-		NPs:           len(res.OKB.NPs()),
-		RPs:           len(res.OKB.RPs()),
-		Refreshes:     s.nRefresh,
-		CacheEntries:  cache.Len(),
-		BlocksTouched: s.blocksTouched,
-		BlocksWarm:    s.blocksWarm,
-		CutVariables:  inc.CutVars,
+		Batches:            s.batches,
+		TotalTriples:       len(s.triples),
+		NPs:                len(res.OKB.NPs()),
+		RPs:                len(res.OKB.RPs()),
+		Refreshes:          s.nRefresh,
+		CacheEntries:       cache.Len(),
+		BlocksTouched:      s.blocksTouched,
+		BlocksWarm:         s.blocksWarm,
+		CutVariables:       inc.CutVars,
+		Repairs:            s.repairs,
+		RepairBlocksReused: s.repairReused,
 	}
 	lastSt := st
 	cum.LastIngest = &lastSt

@@ -271,3 +271,46 @@ func TestSegmentedSessionReusesBlocksOnHubFusedWorkload(t *testing.T) {
 		t.Fatalf("empty snapshot after segmented streaming")
 	}
 }
+
+func TestSessionRepairsPartitionAcrossIngests(t *testing.T) {
+	// After the first (cold) build, every rebuild must repair the
+	// previous build's partition rather than re-derive it, reuse at
+	// least one block verbatim, and report the repair through both the
+	// per-ingest and cumulative stats.
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Segment.Enable = true
+	sess := New(ds.CKB, ds.Emb, ds.PPDB, Config{Core: cfg})
+	triples := ds.OKB.Triples()
+	n := len(triples)
+	chunks := [][]okb.Triple{triples[:n/2], triples[n/2 : 3*n/4], triples[3*n/4:]}
+	var stats []IngestStats
+	for _, c := range chunks {
+		st, err := sess.Ingest(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = append(stats, st)
+	}
+	if stats[0].PartitionRepaired {
+		t.Fatalf("first ingest cannot repair a partition: %+v", stats[0])
+	}
+	for i, st := range stats[1:] {
+		if !st.PartitionRepaired {
+			t.Errorf("ingest %d did not repair the partition: %+v", i+2, st)
+		}
+		if st.RepairBlocksReused == 0 {
+			t.Errorf("ingest %d reused no blocks during repair: %+v", i+2, st)
+		}
+	}
+	cum := sess.Stats()
+	if cum.Repairs != len(chunks)-1 {
+		t.Errorf("cumulative repairs = %d, want %d", cum.Repairs, len(chunks)-1)
+	}
+	if cum.RepairBlocksReused == 0 {
+		t.Errorf("cumulative repair reuse not reported: %+v", cum)
+	}
+}

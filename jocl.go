@@ -188,9 +188,16 @@ type SegmentOptions struct {
 	MinHubDegree int
 	// MaxBlockVars size-caps the inference blocks: any block larger
 	// than this after the threshold cuts is refined by cutting its
-	// locally highest-degree variables (default 256; negative disables
-	// the refinement).
+	// locally highest-degree variables (negative disables the
+	// refinement). Left 0, the cap is auto-tuned from
+	// TargetBlocksPerWorker.
 	MaxBlockVars int
+	// TargetBlocksPerWorker auto-tunes MaxBlockVars when that knob is
+	// unset: the cap is chosen so the partition yields roughly this
+	// many blocks per inference worker (default 4), keeping the worker
+	// pool saturated without shattering the graph. 0 keeps the default
+	// ratio; set MaxBlockVars explicitly to bypass auto-tuning.
+	TargetBlocksPerWorker int
 	// MaxOuterRounds bounds the block-run / boundary-refresh iterations
 	// per ingest (default 4).
 	MaxOuterRounds int
@@ -198,6 +205,11 @@ type SegmentOptions struct {
 	// belief change between outer rounds (default 0.005). It bounds the
 	// approximation the cut introduces.
 	BoundaryTolerance float64
+	// NoRepair re-derives the partition from scratch on every rebuild
+	// instead of repairing the previous build's cut set. Repair is the
+	// default — it preserves block identity so warm state survives
+	// rebuilds; disabling it exists for A/B comparison.
+	NoRepair bool
 }
 
 // WithSegmentation makes a Session partition its factor graph with hub
@@ -211,12 +223,17 @@ type SegmentOptions struct {
 func WithSegmentation(seg SegmentOptions) Option {
 	return func(o *options) {
 		o.cfg.Segment = core.SegmentConfig{
-			Enable:              true,
-			HubDegreePercentile: seg.HubDegreePercentile,
-			MinHubDegree:        seg.MinHubDegree,
-			MaxBlockVars:        seg.MaxBlockVars,
-			MaxOuterRounds:      seg.MaxOuterRounds,
-			BoundaryTolerance:   seg.BoundaryTolerance,
+			Enable:                true,
+			HubDegreePercentile:   seg.HubDegreePercentile,
+			MinHubDegree:          seg.MinHubDegree,
+			MaxBlockVars:          seg.MaxBlockVars,
+			TargetBlocksPerWorker: seg.TargetBlocksPerWorker,
+			MaxOuterRounds:        seg.MaxOuterRounds,
+			BoundaryTolerance:     seg.BoundaryTolerance,
+			NoRepair:              seg.NoRepair,
+		}
+		if seg.TargetBlocksPerWorker == 0 {
+			o.cfg.Segment.TargetBlocksPerWorker = 4
 		}
 	}
 }

@@ -51,6 +51,16 @@ type IngestStats struct {
 	// without WithSegmentation).
 	CutVariables int
 	OuterRounds  int
+	// PartitionRepaired marks ingests that repaired the previous
+	// build's partition (carrying its cut set and block identities
+	// forward) instead of re-deriving it; RepairBlocksReused /
+	// RepairBlocksRecut then count the blocks adopted verbatim vs
+	// re-cut. PartitionMillis is the wall-clock cost of deriving or
+	// repairing this build's partition.
+	PartitionRepaired  bool
+	RepairBlocksReused int
+	RepairBlocksRecut  int
+	PartitionMillis    float64
 
 	// ConstructMillis and InferMillis split the batch's wall-clock cost
 	// between graph (re)construction and inference.
@@ -73,7 +83,13 @@ type SessionStats struct {
 	BlocksTouched    int
 	BlocksServedWarm int
 	CutVariables     int
-	LastIngest       *IngestStats
+	// PartitionRepairs counts ingests that repaired the previous
+	// build's partition instead of re-deriving it, and
+	// RepairBlocksReused totals the blocks those repairs carried over
+	// verbatim (both zero without WithSegmentation).
+	PartitionRepairs   int
+	RepairBlocksReused int
+	LastIngest         *IngestStats
 }
 
 // NewSession opens a streaming session against the KB. The same
@@ -128,15 +144,17 @@ func (s *Session) Snapshot() *Result {
 func (s *Session) Stats() SessionStats {
 	st := s.s.Stats()
 	out := SessionStats{
-		Batches:          st.Batches,
-		TotalTriples:     st.TotalTriples,
-		NounPhrases:      st.NPs,
-		RelPhrases:       st.RPs,
-		Refreshes:        st.Refreshes,
-		CachedSignals:    st.CacheEntries,
-		BlocksTouched:    st.BlocksTouched,
-		BlocksServedWarm: st.BlocksWarm,
-		CutVariables:     st.CutVariables,
+		Batches:            st.Batches,
+		TotalTriples:       st.TotalTriples,
+		NounPhrases:        st.NPs,
+		RelPhrases:         st.RPs,
+		Refreshes:          st.Refreshes,
+		CachedSignals:      st.CacheEntries,
+		BlocksTouched:      st.BlocksTouched,
+		BlocksServedWarm:   st.BlocksWarm,
+		CutVariables:       st.CutVariables,
+		PartitionRepairs:   st.Repairs,
+		RepairBlocksReused: st.RepairBlocksReused,
 	}
 	if st.LastIngest != nil {
 		li := ingestStats(*st.LastIngest)
@@ -151,17 +169,21 @@ func (s *Session) Refresh() { s.s.Refresh() }
 
 func ingestStats(st stream.IngestStats) IngestStats {
 	return IngestStats{
-		Batch:           st.Batch,
-		BatchTriples:    st.BatchTriples,
-		TotalTriples:    st.TotalTriples,
-		Refreshed:       st.Refreshed,
-		Components:      st.Components,
-		DirtyComponents: st.DirtyComponents,
-		CleanComponents: st.CleanComponents,
-		Sweeps:          st.SweepsMax,
-		CutVariables:    st.CutVariables,
-		OuterRounds:     st.OuterRounds,
-		ConstructMillis: st.ConstructMS,
-		InferMillis:     st.InferMS,
+		Batch:              st.Batch,
+		BatchTriples:       st.BatchTriples,
+		TotalTriples:       st.TotalTriples,
+		Refreshed:          st.Refreshed,
+		Components:         st.Components,
+		DirtyComponents:    st.DirtyComponents,
+		CleanComponents:    st.CleanComponents,
+		Sweeps:             st.SweepsMax,
+		CutVariables:       st.CutVariables,
+		OuterRounds:        st.OuterRounds,
+		PartitionRepaired:  st.PartitionRepaired,
+		RepairBlocksReused: st.RepairBlocksReused,
+		RepairBlocksRecut:  st.RepairBlocksRecut,
+		PartitionMillis:    st.PartitionMS,
+		ConstructMillis:    st.ConstructMS,
+		InferMillis:        st.InferMS,
 	}
 }
