@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair docs-check serve clean
+.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query docs-check serve clean
 
 all: build vet test docs-check
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./cmd/jocl-serve/
+	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./cmd/jocl-serve/
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -35,6 +35,11 @@ bench-segment:
 bench-repair:
 	$(GO) run ./cmd/jocl-bench -exp repair -repair-out BENCH_repair.json
 
+# Read-path benchmark: delta-wise query-index maintenance vs full
+# rebuild, read QPS under concurrent ingest. Emits BENCH_query.json.
+bench-query:
+	$(GO) run ./cmd/jocl-bench -exp query -query-out BENCH_query.json
+
 # Documentation gate: broken relative links in *.md, undocumented
 # exported identifiers in the public and documented packages.
 docs-check:
@@ -44,4 +49,4 @@ serve:
 	$(GO) run ./cmd/jocl-serve -addr :8080
 
 clean:
-	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json
+	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json

@@ -95,6 +95,7 @@ func (b *Benchmark) Session(opts ...Option) (*Session, error) {
 		Core:         o.cfg,
 		Workers:      o.workers,
 		RefreshEvery: o.refreshEvery,
+		Query:        o.queryConfig(),
 	})}, nil
 }
 

@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair]
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair|query]
 //	           [-stream-batches 6] [-stream-preload 0.6] [-stream-out BENCH_stream.json]
 //	           [-segment-batches 8] [-segment-preload 0.6] [-segment-tol 0.02]
 //	           [-segment-out BENCH_segment.json]
 //	           [-repair-batches 12] [-repair-preload 0.5] [-repair-tol 0.02]
 //	           [-repair-out BENCH_repair.json]
+//	           [-query-batches 12] [-query-preload 0.6] [-query-readers 8]
+//	           [-query-out BENCH_query.json]
 //
 // scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
 // the default keeps a laptop run under a minute.
@@ -29,6 +31,11 @@
 // repair vs per-build re-partition on a rebuild-heavy stream; see
 // internal/bench.RunRepair) and, with -repair-out, writes the
 // BENCH_repair.json artifact.
+//
+// -exp query runs the read-path benchmark (delta-wise query-index
+// maintenance vs full per-ingest rebuild, plus read throughput under
+// concurrent ingest; see internal/bench.RunQuery) and, with
+// -query-out, writes the BENCH_query.json artifact.
 package main
 
 import (
@@ -54,6 +61,10 @@ func main() {
 		repairPreload  = flag.Float64("repair-preload", 0.5, "repair: fraction of triples ingested as the preload batch")
 		repairTol      = flag.Float64("repair-tol", 0.02, "repair: allowed F1/accuracy delta vs exact inference")
 		repairOut      = flag.String("repair-out", "", "repair: write the report JSON to this path (e.g. BENCH_repair.json)")
+		queryBatches   = flag.Int("query-batches", 12, "query: total batches (1 preload + N-1 increments)")
+		queryPreload   = flag.Float64("query-preload", 0.6, "query: fraction of triples ingested as the preload batch")
+		queryReaders   = flag.Int("query-readers", 8, "query: concurrent reader goroutines hammering the index")
+		queryOut       = flag.String("query-out", "", "query: write the report JSON to this path (e.g. BENCH_query.json)")
 	)
 	flag.Parse()
 	if *exp == "stream" {
@@ -72,6 +83,13 @@ func main() {
 	}
 	if *exp == "repair" {
 		if err := runRepair(*scale, *repairPreload, *repairBatches, *repairTol, *repairOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "query" {
+		if err := runQuery(*scale, *queryPreload, *queryBatches, *queryReaders, *queryOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 			os.Exit(1)
 		}
@@ -127,6 +145,27 @@ func runSegment(scale, preload float64, batches int, f1Tol float64, out string) 
 
 func runRepair(scale, preload float64, batches int, f1Tol float64, out string) error {
 	report, err := bench.RunRepair("reverb45k", scale, preload, batches, 0, f1Tol)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runQuery(scale, preload float64, batches, readers int, out string) error {
+	report, err := bench.RunQuery("reverb45k", scale, preload, batches, 0, readers)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@
 //	           [-segment] [-hub-percentile 0.99] [-min-hub-degree 8]
 //	           [-max-block-vars 0] [-target-blocks-per-worker 4]
 //	           [-outer-rounds 4] [-boundary-tol 0.005] [-no-repair]
+//	           [-query] [-query-max-results 1000] [-query-max-layers 4]
 //
 // -segment enables hub-cut graph segmentation: the highest-degree
 // variables (popular phrases that fuse the factor graph into one giant
@@ -34,19 +35,40 @@
 //	GET  /stats    -> cumulative session statistics
 //	GET  /healthz  -> liveness (200 once the KB is loaded)
 //
+// With the query index on (-query, the default), reads are served from
+// incrementally-maintained canonical-KB indexes, concurrently with
+// /ingest and without ever waiting behind it (each answer reports the
+// index generation it was served from and how many ingests it trails):
+//
+//	GET  /query/resolve?np=S | ?rp=S        -> canonical cluster + KB link of a surface form
+//	GET  /query/entity?id=E                 -> noun phrases linked to a KB entity
+//	GET  /query/relation?id=R               -> relation phrases linked to a KB relation
+//	GET  /query/cluster?np=S | ?rp=S        -> canonicalization cluster membership
+//	GET  /query/triples?subject=S [&limit=N]  -> triples whose subject is in S's cluster
+//	GET  /query/triples?relation=S [&limit=N] -> triples whose predicate is in S's cluster
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops accepting, in-flight ingests and queries drain, then it exits.
+//
 // Example:
 //
 //	curl -s localhost:8080/ingest -d '{"triples":[{"subject":"barack obama","predicate":"be born in","object":"honolulu"}]}'
-//	curl -s localhost:8080/result | jq .entity_links
+//	curl -s localhost:8080/query/resolve?np=obama | jq .
+//	curl -s localhost:8080/query/triples?subject=obama | jq .triples
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
 
 	"repro"
 )
@@ -67,6 +89,9 @@ func main() {
 		outerRounds  = flag.Int("outer-rounds", 0, "segmentation: max frozen-boundary outer rounds per ingest (0 = default 4)")
 		boundaryTol  = flag.Float64("boundary-tol", 0, "segmentation: cut-belief convergence tolerance between rounds (0 = default 0.005)")
 		noRepair     = flag.Bool("no-repair", false, "segmentation: re-derive the partition per rebuild instead of repairing the previous one")
+		queryOn      = flag.Bool("query", true, "maintain the read-path query index (/query/* endpoints)")
+		queryMaxRes  = flag.Int("query-max-results", 0, "query index: hard cap on triples per enumeration answer (0 = default 1000)")
+		queryLayers  = flag.Int("query-max-layers", 0, "query index: overlay-chain depth before compaction (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -76,6 +101,14 @@ func main() {
 		log.Fatal("jocl-serve: ", err)
 	}
 	opts := []jocl.Option{jocl.WithWorkers(*workers), jocl.WithRefreshEvery(*refreshEvery)}
+	if *queryOn {
+		opts = append(opts, jocl.WithQueryIndex(jocl.QueryIndexOptions{
+			MaxResults: *queryMaxRes,
+			MaxLayers:  *queryLayers,
+		}))
+	} else {
+		opts = append(opts, jocl.WithoutQueryIndex())
+	}
 	if *segment {
 		opts = append(opts, jocl.WithSegmentation(jocl.SegmentOptions{
 			HubDegreePercentile:   *hubPct,
@@ -93,9 +126,28 @@ func main() {
 	}
 	srv := newServer(sess, *maxBatch)
 	log.Printf("serving on %s (%s world, %d generator triples available)", *addr, bench.Name(), len(bench.Triples))
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, let in-flight
+	// ingests and queries drain, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "jocl-serve:", err)
 		os.Exit(1)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("signal received; draining in-flight requests ...")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-serve: shutdown:", err)
+			os.Exit(1)
+		}
+		log.Printf("drained; bye")
 	}
 }
 
@@ -114,6 +166,11 @@ func newServer(sess *jocl.Session, maxBatch int) *server {
 	s.mux.HandleFunc("/result", s.handleResult)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/query/resolve", s.handleQueryResolve)
+	s.mux.HandleFunc("/query/entity", s.handleQueryEntity)
+	s.mux.HandleFunc("/query/relation", s.handleQueryRelation)
+	s.mux.HandleFunc("/query/cluster", s.handleQueryCluster)
+	s.mux.HandleFunc("/query/triples", s.handleQueryTriples)
 	return s
 }
 
@@ -149,6 +206,36 @@ type ingestResponse struct {
 	PartitionMillis    float64 `json:"partition_ms"`
 	ConstructMillis    float64 `json:"construct_ms"`
 	InferMillis        float64 `json:"infer_ms"`
+	// index_ms / index_keys report the read-path query-index
+	// maintenance this batch paid (absent with -query=false);
+	// index_full marks from-scratch index rebuilds.
+	IndexMillis float64 `json:"index_ms,omitempty"`
+	IndexKeys   int     `json:"index_keys,omitempty"`
+	IndexFull   bool    `json:"index_full,omitempty"`
+}
+
+func ingestResponseOf(st jocl.IngestStats) ingestResponse {
+	return ingestResponse{
+		Batch:              st.Batch,
+		BatchTriples:       st.BatchTriples,
+		TotalTriples:       st.TotalTriples,
+		Refreshed:          st.Refreshed,
+		Components:         st.Components,
+		DirtyComponents:    st.DirtyComponents,
+		CleanComponents:    st.CleanComponents,
+		Sweeps:             st.Sweeps,
+		CutVariables:       st.CutVariables,
+		OuterRounds:        st.OuterRounds,
+		PartitionRepaired:  st.PartitionRepaired,
+		RepairBlocksReused: st.RepairBlocksReused,
+		RepairBlocksRecut:  st.RepairBlocksRecut,
+		PartitionMillis:    st.PartitionMillis,
+		ConstructMillis:    st.ConstructMillis,
+		InferMillis:        st.InferMillis,
+		IndexMillis:        st.IndexMillis,
+		IndexKeys:          st.IndexKeys,
+		IndexFull:          st.IndexFull,
+	}
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -182,24 +269,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{
-		Batch:              st.Batch,
-		BatchTriples:       st.BatchTriples,
-		TotalTriples:       st.TotalTriples,
-		Refreshed:          st.Refreshed,
-		Components:         st.Components,
-		DirtyComponents:    st.DirtyComponents,
-		CleanComponents:    st.CleanComponents,
-		Sweeps:             st.Sweeps,
-		CutVariables:       st.CutVariables,
-		OuterRounds:        st.OuterRounds,
-		PartitionRepaired:  st.PartitionRepaired,
-		RepairBlocksReused: st.RepairBlocksReused,
-		RepairBlocksRecut:  st.RepairBlocksRecut,
-		PartitionMillis:    st.PartitionMillis,
-		ConstructMillis:    st.ConstructMillis,
-		InferMillis:        st.InferMillis,
-	})
+	writeJSON(w, http.StatusOK, ingestResponseOf(st))
 }
 
 type resultResponse struct {
@@ -228,18 +298,26 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Batches            int             `json:"batches"`
-	TotalTriples       int             `json:"total_triples"`
-	NounPhrases        int             `json:"noun_phrases"`
-	RelPhrases         int             `json:"relation_phrases"`
-	Refreshes          int             `json:"refreshes"`
-	CachedSignals      int             `json:"cached_signals"`
-	BlocksTouched      int             `json:"blocks_touched"`
-	BlocksServedWarm   int             `json:"blocks_served_warm"`
-	CutVariables       int             `json:"cut_variables"`
-	PartitionRepairs   int             `json:"partition_repairs"`
-	RepairBlocksReused int             `json:"repair_blocks_reused"`
-	LastIngest         *ingestResponse `json:"last_ingest,omitempty"`
+	Batches            int `json:"batches"`
+	TotalTriples       int `json:"total_triples"`
+	NounPhrases        int `json:"noun_phrases"`
+	RelPhrases         int `json:"relation_phrases"`
+	Refreshes          int `json:"refreshes"`
+	CachedSignals      int `json:"cached_signals"`
+	BlocksTouched      int `json:"blocks_touched"`
+	BlocksServedWarm   int `json:"blocks_served_warm"`
+	CutVariables       int `json:"cut_variables"`
+	PartitionRepairs   int `json:"partition_repairs"`
+	RepairBlocksReused int `json:"repair_blocks_reused"`
+	// query_* surface the read-path index: whether it is on, its
+	// current generation and overlay depth, the cumulative maintenance
+	// wall-clock, and the configured limits.
+	QueryEnabled    bool            `json:"query_enabled"`
+	QueryGeneration int64           `json:"query_generation,omitempty"`
+	QueryLayers     int             `json:"query_layers,omitempty"`
+	QueryIndexMS    float64         `json:"query_index_ms,omitempty"`
+	QueryMaxResults int             `json:"query_max_results,omitempty"`
+	LastIngest      *ingestResponse `json:"last_ingest,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -260,26 +338,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CutVariables:       st.CutVariables,
 		PartitionRepairs:   st.PartitionRepairs,
 		RepairBlocksReused: st.RepairBlocksReused,
+		QueryEnabled:       st.QueryEnabled,
+		QueryGeneration:    st.QueryGeneration,
+		QueryLayers:        st.QueryLayers,
+		QueryIndexMS:       st.QueryIndexMillis,
+		QueryMaxResults:    st.QueryMaxResults,
 	}
 	if li := st.LastIngest; li != nil {
-		resp.LastIngest = &ingestResponse{
-			Batch:              li.Batch,
-			BatchTriples:       li.BatchTriples,
-			TotalTriples:       li.TotalTriples,
-			Refreshed:          li.Refreshed,
-			Components:         li.Components,
-			DirtyComponents:    li.DirtyComponents,
-			CleanComponents:    li.CleanComponents,
-			Sweeps:             li.Sweeps,
-			CutVariables:       li.CutVariables,
-			OuterRounds:        li.OuterRounds,
-			PartitionRepaired:  li.PartitionRepaired,
-			RepairBlocksReused: li.RepairBlocksReused,
-			RepairBlocksRecut:  li.RepairBlocksRecut,
-			PartitionMillis:    li.PartitionMillis,
-			ConstructMillis:    li.ConstructMillis,
-			InferMillis:        li.InferMillis,
-		}
+		r := ingestResponseOf(*li)
+		resp.LastIngest = &r
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -289,6 +356,174 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // this handler at all means the service is ready.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// The /query/* handlers below serve reads from the session's
+// incrementally-maintained index: lock-free snapshot lookups that run
+// concurrently with /ingest and never wait behind it. ok=false from
+// the session uniformly means "nothing to answer": index disabled,
+// nothing ingested yet, or unknown key — a 404 either way.
+
+type queryGenJSON struct {
+	Generation int64 `json:"generation"`
+	Triples    int   `json:"triples"`
+	Behind     int   `json:"behind"`
+}
+
+func genJSON(g jocl.QueryGen) queryGenJSON {
+	return queryGenJSON{Generation: g.Generation, Triples: g.Triples, Behind: g.Behind}
+}
+
+type resolveResponse struct {
+	Surface     string       `json:"surface"`
+	Canonical   string       `json:"canonical"`
+	Target      string       `json:"target,omitempty"`
+	ClusterSize int          `json:"cluster_size"`
+	Gen         queryGenJSON `json:"gen"`
+}
+
+func (s *server) handleQueryResolve(w http.ResponseWriter, r *http.Request) {
+	np, rp, ok := queryKind(w, r)
+	if !ok {
+		return
+	}
+	var res jocl.Resolution
+	var found bool
+	if np != "" {
+		res, found = s.sess.QueryEntity(np)
+	} else {
+		res, found = s.sess.QueryRelation(rp)
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown surface (or query index disabled / nothing ingested)")
+		return
+	}
+	writeJSON(w, http.StatusOK, resolveResponse{
+		Surface:     res.Surface,
+		Canonical:   res.Canonical,
+		Target:      res.Target,
+		ClusterSize: res.ClusterSize,
+		Gen:         genJSON(res.Gen),
+	})
+}
+
+type aliasesResponse struct {
+	Target  string       `json:"target"`
+	Aliases []string     `json:"aliases"`
+	Gen     queryGenJSON `json:"gen"`
+}
+
+func (s *server) handleQueryEntity(w http.ResponseWriter, r *http.Request) {
+	s.handleAliases(w, r, s.sess.QueryEntityAliases)
+}
+
+func (s *server) handleQueryRelation(w http.ResponseWriter, r *http.Request) {
+	s.handleAliases(w, r, s.sess.QueryRelationAliases)
+}
+
+func (s *server) handleAliases(w http.ResponseWriter, r *http.Request, lookup func(string) (jocl.AliasSet, bool)) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing ?id=")
+		return
+	}
+	a, found := lookup(id)
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown id (or query index disabled / nothing ingested)")
+		return
+	}
+	writeJSON(w, http.StatusOK, aliasesResponse{Target: a.Target, Aliases: a.Aliases, Gen: genJSON(a.Gen)})
+}
+
+type clusterResponse struct {
+	Canonical string       `json:"canonical"`
+	Members   []string     `json:"members"`
+	Gen       queryGenJSON `json:"gen"`
+}
+
+func (s *server) handleQueryCluster(w http.ResponseWriter, r *http.Request) {
+	np, rp, ok := queryKind(w, r)
+	if !ok {
+		return
+	}
+	var c jocl.ClusterView
+	var found bool
+	if np != "" {
+		c, found = s.sess.QueryEntityCluster(np)
+	} else {
+		c, found = s.sess.QueryRelationCluster(rp)
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown surface (or query index disabled / nothing ingested)")
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterResponse{Canonical: c.Canonical, Members: c.Members, Gen: genJSON(c.Gen)})
+}
+
+type triplesResponse struct {
+	Triples   []tripleJSON `json:"triples"`
+	Total     int          `json:"total"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Gen       queryGenJSON `json:"gen"`
+}
+
+func (s *server) handleQueryTriples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	subject, relation := q.Get("subject"), q.Get("relation")
+	if (subject == "") == (relation == "") {
+		httpError(w, http.StatusBadRequest, "exactly one of ?subject= or ?relation= required")
+		return
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad ?limit=")
+			return
+		}
+		limit = n
+	}
+	var ts jocl.TripleSet
+	var found bool
+	if subject != "" {
+		ts, found = s.sess.QueryTriplesBySubject(subject, limit)
+	} else {
+		ts, found = s.sess.QueryTriplesByRelation(relation, limit)
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown surface (or query index disabled / nothing ingested)")
+		return
+	}
+	resp := triplesResponse{Total: ts.Total, Truncated: ts.Truncated, Gen: genJSON(ts.Gen)}
+	resp.Triples = make([]tripleJSON, len(ts.Triples))
+	for i, t := range ts.Triples {
+		resp.Triples[i] = tripleJSON{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryKind validates a GET with exactly one of ?np= / ?rp= and
+// returns the populated one.
+func queryKind(w http.ResponseWriter, r *http.Request) (np, rp string, ok bool) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return "", "", false
+	}
+	q := r.URL.Query()
+	np, rp = q.Get("np"), q.Get("rp")
+	if (np == "") == (rp == "") {
+		httpError(w, http.StatusBadRequest, "exactly one of ?np= or ?rp= required")
+		return "", "", false
+	}
+	return np, rp, true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -95,6 +95,133 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+func getJSON(t *testing.T, srv http.Handler, path string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code == http.StatusOK && out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: bad JSON: %v", path, err)
+		}
+	}
+	return rec
+}
+
+func TestServeQueryEndpoints(t *testing.T) {
+	srv := testServer(t)
+
+	// Before any ingest every query is a 404 (no generation yet).
+	if rec := getJSON(t, srv, "/query/resolve?np=obama", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("/query/resolve before ingest = %d, want 404", rec.Code)
+	}
+
+	rec, _ := postIngest(t, srv, []tripleJSON{
+		{Subject: "barack obama", Predicate: "be born in", Object: "honolulu"},
+		{Subject: "barack obama", Predicate: "serve as", Object: "president"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", rec.Code, rec.Body)
+	}
+
+	var res resolveResponse
+	if rec := getJSON(t, srv, "/query/resolve?np=barack+obama", &res); rec.Code != http.StatusOK {
+		t.Fatalf("/query/resolve = %d: %s", rec.Code, rec.Body)
+	}
+	if res.Surface != "barack obama" || res.Canonical == "" || res.ClusterSize < 1 || res.Gen.Generation != 1 {
+		t.Errorf("unexpected resolution: %+v", res)
+	}
+
+	var cl clusterResponse
+	if rec := getJSON(t, srv, "/query/cluster?np=barack+obama", &cl); rec.Code != http.StatusOK {
+		t.Fatalf("/query/cluster = %d: %s", rec.Code, rec.Body)
+	}
+	if len(cl.Members) == 0 || cl.Canonical != res.Canonical {
+		t.Errorf("unexpected cluster: %+v", cl)
+	}
+
+	var ts triplesResponse
+	if rec := getJSON(t, srv, "/query/triples?subject=barack+obama", &ts); rec.Code != http.StatusOK {
+		t.Fatalf("/query/triples = %d: %s", rec.Code, rec.Body)
+	}
+	if ts.Total != 2 || len(ts.Triples) != 2 {
+		t.Errorf("unexpected triples: %+v", ts)
+	}
+	if rec := getJSON(t, srv, "/query/triples?subject=barack+obama&limit=1", &ts); rec.Code != http.StatusOK || len(ts.Triples) != 1 || !ts.Truncated {
+		t.Errorf("limited triples = %d: %+v", rec.Code, ts)
+	}
+
+	// Relation side and entity lookup: resolve the relation phrase,
+	// then look its link target (if any) back up.
+	if rec := getJSON(t, srv, "/query/resolve?rp=be+born+in", &res); rec.Code != http.StatusOK {
+		t.Fatalf("/query/resolve?rp = %d: %s", rec.Code, rec.Body)
+	}
+	if res.Target != "" {
+		var al aliasesResponse
+		if rec := getJSON(t, srv, "/query/relation?id="+res.Target, &al); rec.Code != http.StatusOK {
+			t.Fatalf("/query/relation = %d: %s", rec.Code, rec.Body)
+		}
+		found := false
+		for _, a := range al.Aliases {
+			if a == "be born in" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("relation aliases %v miss the linked surface", al.Aliases)
+		}
+	}
+
+	// Bad requests.
+	for path, want := range map[string]int{
+		"/query/resolve":                          http.StatusBadRequest, // neither np nor rp
+		"/query/resolve?np=x&rp=y":                http.StatusBadRequest, // both
+		"/query/entity":                           http.StatusBadRequest, // missing id
+		"/query/triples?subject=x&relation=y":     http.StatusBadRequest,
+		"/query/triples?subject=x&limit=-4":       http.StatusBadRequest,
+		"/query/resolve?np=no+such+phrase+at+all": http.StatusNotFound,
+		"/query/entity?id=no-such-entity":         http.StatusNotFound,
+	} {
+		if rec := getJSON(t, srv, path, nil); rec.Code != want {
+			t.Errorf("%s = %d, want %d", path, rec.Code, want)
+		}
+	}
+
+	// /stats surfaces the index.
+	var st statsResponse
+	if rec := getJSON(t, srv, "/stats", &st); rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	if !st.QueryEnabled || st.QueryGeneration != 1 || st.QueryMaxResults != 1000 || st.QueryLayers < 1 {
+		t.Errorf("stats miss query index fields: %+v", st)
+	}
+	if st.LastIngest == nil || st.LastIngest.IndexKeys == 0 || !st.LastIngest.IndexFull {
+		t.Errorf("last ingest misses index maintenance: %+v", st.LastIngest)
+	}
+}
+
+func TestServeQueryDisabled(t *testing.T) {
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session(jocl.WithoutQueryIndex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sess, 1000)
+	if rec, _ := postIngest(t, srv, []tripleJSON{{Subject: "a corp", Predicate: "buy", Object: "b labs"}}); rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d", rec.Code)
+	}
+	if rec := getJSON(t, srv, "/query/resolve?np=a+corp", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("disabled query = %d, want 404", rec.Code)
+	}
+	var st statsResponse
+	getJSON(t, srv, "/stats", &st)
+	if st.QueryEnabled {
+		t.Errorf("stats claim query enabled: %+v", st)
+	}
+}
+
 func TestServeRejectsBadRequests(t *testing.T) {
 	srv := testServer(t)
 	for _, tc := range []struct {

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunQuerySmoke(t *testing.T) {
+	// A tiny run: the assertions cover report plumbing and the
+	// delta-vs-rebuild accounting, not the acceptance thresholds the
+	// full-scale artifact run checks.
+	report, err := RunQuery("reverb45k", 0.01, 0.6, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != report.Batches {
+		t.Fatalf("recorded %d points for %d batches", len(report.Points), report.Batches)
+	}
+	if !report.Points[0].Full {
+		t.Errorf("first batch must build the index cold: %+v", report.Points[0])
+	}
+	for i, pt := range report.Points[1:] {
+		if pt.Full {
+			t.Errorf("batch %d rebuilt the index from scratch: %+v", i+2, pt)
+		}
+		if pt.TouchedKeys == 0 || pt.FullBuildMS <= 0 {
+			t.Errorf("batch %d missing maintenance accounting: %+v", i+2, pt)
+		}
+	}
+	if report.ConcurrentReads == 0 || report.ConcurrentQPS <= 0 {
+		t.Errorf("no concurrent reads recorded: %+v", report)
+	}
+	if report.IdleQPS <= 0 || report.MaxReadLatencyMS <= 0 {
+		t.Errorf("idle/latency accounting missing: %+v", report)
+	}
+	if report.Generations != int64(report.Batches) {
+		t.Errorf("generation = %d, want %d", report.Generations, report.Batches)
+	}
+	if report.Format() == "" {
+		t.Fatal("empty Format output")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round QueryReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.MeanMaintainMS != report.MeanMaintainMS || round.ConcurrentReads != report.ConcurrentReads {
+		t.Fatal("JSON round-trip changed the report")
+	}
+}

@@ -282,8 +282,20 @@ type Labels struct {
 type Result struct {
 	NPGroups [][]string
 	RPGroups [][]string
-	NPLinks  map[string]string // surface -> entity id ("" = NIL)
-	RPLinks  map[string]string // surface -> relation id ("" = NIL)
+	// NPGroupOf / RPGroupOf index each surface form into its
+	// NPGroups/RPGroups entry — the O(1) membership lookup that lets
+	// the read-path delta maintenance (internal/query) find a touched
+	// phrase's group without scanning the whole grouping.
+	NPGroupOf map[string]int
+	RPGroupOf map[string]int
+	NPLinks   map[string]string // surface -> entity id ("" = NIL)
+	RPLinks   map[string]string // surface -> relation id ("" = NIL)
+
+	// Delta describes which phrases' outputs may differ from the
+	// previous build's. It is populated by RunIncremental only (nil
+	// after a batch Run) and consumed by the read-path index maintenance
+	// in internal/query.
+	Delta *CanonDelta
 
 	Stats Stats
 }

@@ -189,15 +189,18 @@ func TestResolveConflicts(t *testing.T) {
 	phrases := []string{"a", "b", "c", "d"}
 	links := map[string]string{"a": "e1", "b": "e2", "c": "e1", "d": "e1"}
 	// a-b positive but linked differently; e1's group (3 members) wins.
-	fixes := resolveConflicts(phrases, [][2]int{{0, 1}}, links, map[string]float64{})
+	fixes, moved := resolveConflicts(phrases, [][2]int{{0, 1}}, links, map[string]float64{})
 	if fixes != 1 {
 		t.Fatalf("fixes = %d, want 1", fixes)
+	}
+	if len(moved) != 1 || moved[0] != "b" {
+		t.Errorf("moved = %v, want [b]", moved)
 	}
 	if links["b"] != "e1" {
 		t.Errorf("b should adopt e1, got %q", links["b"])
 	}
 	// Agreeing pair: no fix.
-	if resolveConflicts(phrases, [][2]int{{0, 2}}, links, map[string]float64{}) != 0 {
+	if n, _ := resolveConflicts(phrases, [][2]int{{0, 2}}, links, map[string]float64{}); n != 0 {
 		t.Error("agreeing pair should not be fixed")
 	}
 }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/factorgraph"
+)
+
+// CanonDelta describes which phrases' canonical-KB outputs may differ
+// from the previous build's, keyed by the partition blocks that
+// actually ran belief propagation. It is what lets the read-path
+// subsystem (internal/query) maintain its materialized indexes
+// delta-wise instead of re-deriving them over the whole KB per ingest.
+//
+// The touched sets are sound over-approximations of the changed
+// outputs: a clean block's transplanted messages are bit-identical to
+// the previous build's fixed point, so its variables decode — and
+// carry marginals — exactly as before. Only three things can move a
+// phrase's output between builds:
+//
+//   - a variable in a block that ran (new factors, changed potentials,
+//     or a moved frozen boundary) — covered by walking ran blocks;
+//   - a cut variable whose factor neighborhood changed (fingerprint
+//     mismatch) or whose belief the run actually moved, compared
+//     bitwise against the pre-run imported belief — an unchanged
+//     neighborhood transplants the previous build's messages verbatim,
+//     so an unmoved belief decodes and scores identically and hub
+//     phrases are NOT flagged on every ingest;
+//   - the Section 3.5 conflict-resolution post-process, which relabels
+//     links globally — covered by ReassignedNPs/RPs, with the previous
+//     build's reassignments carried forward by the consumer (a relabel
+//     that is NOT re-applied this build reverts the phrase to its
+//     decoded link, which is also a change).
+type CanonDelta struct {
+	// Full marks builds with no previous state to delta against (cold
+	// start, epoch refresh): every output may differ and consumers must
+	// rebuild. The touched sets are left empty.
+	Full bool
+	// TouchedNPs / TouchedRPs list, sorted, the phrases referenced by
+	// any variable of a block that ran (pair variables reference both
+	// endpoint phrases), by any cut variable when the boundary was
+	// refreshed, or by a conflict-resolution relabel this build.
+	TouchedNPs []string
+	TouchedRPs []string
+	// ReassignedNPs / ReassignedRPs list the phrases whose links the
+	// conflict-resolution post-process relabeled in this build (always
+	// subsets of the touched sets). Consumers must treat the previous
+	// build's reassigned phrases as touched too: an un-re-applied
+	// relabel reverts silently.
+	ReassignedNPs []string
+	ReassignedRPs []string
+	// BlocksRan counts the partition blocks that ran BP this build.
+	BlocksRan int
+}
+
+// canonDelta assembles the delta for one RunIncremental build from the
+// partition, the per-block run record, and the conflict-resolution
+// relabels finish recorded on the system.
+func (s *System) canonDelta(part *factorgraph.Partition, pr factorgraph.PartitionRun, bp *factorgraph.BP, cutBefore [][]float64, cutChanged []bool, cold bool) *CanonDelta {
+	d := &CanonDelta{
+		ReassignedNPs: sortedStrings(s.reassignedNPs),
+		ReassignedRPs: sortedStrings(s.reassignedRPs),
+	}
+	if cold {
+		d.Full = true
+		for _, run := range pr.Blocks {
+			if run.Sweeps > 0 {
+				d.BlocksRan++
+			}
+		}
+		return d
+	}
+
+	ranBlock := make([]bool, len(part.Blocks))
+	anyRan := false
+	for ci, run := range pr.Blocks {
+		if run.Sweeps > 0 {
+			ranBlock[ci] = true
+			anyRan = true
+			d.BlocksRan++
+		}
+	}
+	// A refreshed boundary may move any cut variable's belief (cut
+	// factors couple cut variables to each other, so the movement is
+	// not confined to cuts bordering ran blocks). Flag a cut variable
+	// when its neighborhood changed or its belief moved vs the pre-run
+	// snapshot; with no snapshots at all, flag every cut variable once
+	// anything ran.
+	cutMoved := map[int]bool{}
+	for i, vid := range part.Cut {
+		switch {
+		case cutBefore == nil:
+			if anyRan {
+				cutMoved[vid] = true
+			}
+		case cutChanged[i] || !equalBeliefs(cutBefore[i], bp.VarBelief(vid)):
+			cutMoved[vid] = true
+		}
+	}
+	touched := func(vid int) bool {
+		if vid < 0 {
+			return false
+		}
+		if b := part.BlockOf[vid]; b >= 0 {
+			return ranBlock[b]
+		}
+		return cutMoved[vid]
+	}
+
+	nps := make(map[string]bool)
+	rps := make(map[string]bool)
+	for _, p := range s.reassignedNPs {
+		nps[p] = true
+	}
+	for _, p := range s.reassignedRPs {
+		rps[p] = true
+	}
+	if s.cfg.EnableCanon {
+		for pi, p := range s.npPairs {
+			if touched(s.npPairVar[pi]) {
+				nps[s.nps[p.I]] = true
+				nps[s.nps[p.J]] = true
+			}
+		}
+		for pi, p := range s.rpPairs {
+			if touched(s.rpPairVar[pi]) {
+				rps[s.rps[p.I]] = true
+				rps[s.rps[p.J]] = true
+			}
+		}
+	}
+	if s.cfg.EnableLink {
+		for i, v := range s.npLinkVar {
+			if touched(v) {
+				nps[s.nps[i]] = true
+			}
+		}
+		for i, v := range s.rpLinkVar {
+			if touched(v) {
+				rps[s.rps[i]] = true
+			}
+		}
+	}
+	d.TouchedNPs = sortedKeys(nps)
+	d.TouchedRPs = sortedKeys(rps)
+	return d
+}
+
+// equalBeliefs compares two belief vectors bitwise (exact float
+// equality: the touched-set soundness argument rests on bit-identical
+// messages producing bit-identical decodes, nothing weaker).
+func equalBeliefs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStrings(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}

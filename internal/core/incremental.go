@@ -295,6 +295,27 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 		dirty = append(dirty, ci)
 	}
 
+	// Pre-run cut snapshots for the canonicalization delta (canonDelta):
+	// a cut variable whose factor neighborhood transplanted verbatim
+	// (fingerprint match — its imported belief IS the previous build's)
+	// and whose belief the run left bit-identical has bit-identical
+	// decode and marginal, so its phrase's outputs cannot have moved.
+	// Without this, every hub phrase would count as touched on every
+	// ingest and the read-path delta would balloon to the cut set's
+	// clusters.
+	var cutBefore [][]float64
+	var cutChanged []bool
+	if warm != nil && len(part.Cut) > 0 {
+		cutBefore = make([][]float64, len(part.Cut))
+		cutChanged = make([]bool, len(part.Cut))
+		for i, vid := range part.Cut {
+			cutBefore[i] = bp.VarBelief(vid)
+			name := s.g.Variable(vid).Name
+			prev, ok := warm.VarAdj[name]
+			cutChanged[i] = !ok || prev != curAdj[name]
+		}
+	}
+
 	opt := s.cfg.BP
 	opt.Schedule = s.sched
 	pr := factorgraph.RunPartition(bp, part, opt, workers, dirty)
@@ -318,6 +339,7 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 
 	s.stats.Sweeps = st.SweepsMax
 	res := s.finish(bp)
+	res.Delta = s.canonDelta(part, pr, bp, cutBefore, cutChanged, warm == nil)
 	out := bp.Export(sigs)
 	out.BlockFP = curFP
 	if s.cfg.Segment.Enable {

@@ -128,6 +128,7 @@ func (s *System) RunWithSchedule(labels *Labels, sched *factorgraph.Schedule) *R
 // the messages were obtained.
 func (s *System) finish(bp *factorgraph.BP) *Result {
 	decoded := bp.Decode()
+	s.reassignedNPs, s.reassignedRPs = nil, nil
 
 	res := &Result{
 		NPLinks: map[string]string{},
@@ -166,8 +167,10 @@ func (s *System) finish(bp *factorgraph.BP) *Result {
 			npLinkConf := s.linkConfidence(bp, s.nps, s.npLinkVar)
 			rpLinkConf := s.linkConfidence(bp, s.rps, s.rpLinkVar)
 			if s.cfg.EnableConflictRes {
-				s.stats.ConflictFixes = resolveConflicts(s.nps, npConf, res.NPLinks, npLinkConf) +
-					resolveConflicts(s.rps, rpConf, res.RPLinks, rpLinkConf)
+				npFixes, npMoved := resolveConflicts(s.nps, npConf, res.NPLinks, npLinkConf)
+				rpFixes, rpMoved := resolveConflicts(s.rps, rpConf, res.RPLinks, rpLinkConf)
+				s.stats.ConflictFixes = npFixes + rpFixes
+				s.reassignedNPs, s.reassignedRPs = npMoved, rpMoved
 			}
 			if s.cfg.LinkAgreeMerge {
 				npPos = append(npPos, linkAgreementPairs(s.nps, res.NPLinks, npLinkConf, s.cfg.LinkAgreeConfidence)...)
@@ -191,9 +194,26 @@ func (s *System) finish(bp *factorgraph.BP) *Result {
 		res.NPGroups = groupsByLink(s.nps, res.NPLinks)
 		res.RPGroups = groupsByLink(s.rps, res.RPLinks)
 	}
+	res.NPGroupOf = groupIndex(res.NPGroups)
+	res.RPGroupOf = groupIndex(res.RPGroups)
 
 	res.Stats = s.stats
 	return res
+}
+
+// groupIndex inverts a grouping into its membership lookup.
+func groupIndex(groups [][]string) map[string]int {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	out := make(map[string]int, n)
+	for gi, g := range groups {
+		for _, m := range g {
+			out[m] = gi
+		}
+	}
+	return out
 }
 
 // linkAgreementPairs implements Assumption 1 at inference: all phrases
@@ -248,13 +268,17 @@ func (s *System) stateToID(state int, cands []string) string {
 // entity's group being larger says nothing about which of the two
 // links is right. NIL never wins: it is the absence of a linking
 // group, so a NIL-linked phrase adopts its partner's entity.
-// It mutates links in place and returns the number of reassignments.
-func resolveConflicts(phrases []string, positive [][2]int, links map[string]string, conf map[string]float64) int {
+// It mutates links in place and returns the number of reassignments
+// plus the relabeled phrases (duplicates possible when a phrase loses
+// twice) — the read-path delta needs to know which links moved beyond
+// what their variables decoded to.
+func resolveConflicts(phrases []string, positive [][2]int, links map[string]string, conf map[string]float64) (int, []string) {
 	groupSize := map[string]int{}
 	for _, phrase := range phrases {
 		groupSize[links[phrase]]++
 	}
 	fixes := 0
+	var moved []string
 	// Deterministic order: positive pairs are already in blocked order.
 	for _, p := range positive {
 		a, b := phrases[p[0]], phrases[p[1]]
@@ -283,8 +307,9 @@ func resolveConflicts(phrases []string, positive [][2]int, links map[string]stri
 		groupSize[old]--
 		groupSize[winner]++
 		fixes++
+		moved = append(moved, loserPhrase)
 	}
-	return fixes
+	return fixes, moved
 }
 
 // groupsOf forms canonicalization groups as connected components over

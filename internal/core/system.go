@@ -35,6 +35,12 @@ type System struct {
 
 	sched *factorgraph.Schedule
 	stats Stats
+
+	// reassignedNPs / reassignedRPs record the phrases the last finish's
+	// conflict-resolution pass relabeled, feeding the read-path delta
+	// (see CanonDelta).
+	reassignedNPs []string
+	reassignedRPs []string
 }
 
 // weightIDs for the factor families (shared across all factors of a

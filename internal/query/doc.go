@@ -1,0 +1,40 @@
+// Package query is the serving stack's read path: materialized
+// canonical-KB views — alias→canonical-entity resolution, cluster
+// membership, entity/relation alias sets, and triple postings keyed by
+// canonical subject and relation — maintained incrementally as each
+// ingest lands and queried from immutable snapshots concurrent with
+// ingest.
+//
+// # Delta-wise maintenance
+//
+// The write path (internal/core, internal/stream) already computes,
+// per ingest, which partition blocks actually re-ran belief
+// propagation. core.CanonDelta projects that dirty-block set onto
+// phrases: the surfaces referenced by any variable of a ran block,
+// plus the cut variables' phrases when the frozen boundary was
+// refreshed, plus the conflict-resolution relabels (this build's, and
+// the previous build's carried forward, since an un-re-applied relabel
+// reverts silently). Index.Apply expands those seeds to the full set
+// of keys whose answers can have moved —
+//
+//	D1 = seeds ∪ members(previous clusters of seeds)
+//	D  = D1 ∪ members(current groups intersecting D1)
+//
+// — and rewrites only those keys, as a copy-on-write overlay over the
+// previous generation. Per-ingest maintenance therefore scales with
+// the dirty-block set, not the KB; the overlay chain is flattened
+// whenever it exceeds Config.MaxLayers, bounding reader lookup cost at
+// an amortized O(keyspace)/MaxLayers per ingest.
+//
+// # Lock-free snapshot reads
+//
+// Each generation is built privately by the single ingest writer and
+// published with one atomic pointer swap. Query methods load the
+// pointer once and answer entirely from that immutable generation:
+// they never take the session's ingest lock, never block behind an
+// in-flight inference pass, and never observe a half-applied update.
+// Every answer carries GenInfo — the generation id and how many
+// ingests it is behind — so callers can reason about staleness
+// explicitly (the dynamic-query-evaluation discipline of Berkholz et
+// al.: answer under updates from maintained views, not by rescanning).
+package query

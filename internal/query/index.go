@@ -1,0 +1,565 @@
+package query
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/okb"
+)
+
+// Config tunes an Index. The zero value is usable; Enable exists for
+// the serving layers, which treat the whole index as optional.
+type Config struct {
+	// Enable switches index maintenance on in the layers that embed a
+	// Config (stream.Config, jocl options, jocl-serve flags). The query
+	// package itself ignores it: calling New always yields a live index.
+	Enable bool
+	// MaxLayers bounds the copy-on-write overlay chain: when a delta
+	// apply would stack more layers than this, the chain is flattened
+	// into one base layer (an O(keyspace) copy, amortized over
+	// MaxLayers delta-cheap ingests). Default 4 — deep chains tax every
+	// reader lookup and every copy-on-write rebuild, and the flatten is
+	// a fraction of a full rebuild's cost.
+	MaxLayers int
+	// MaxResults hard-caps enumeration answers (triples per query),
+	// whatever limit the caller asks for. Default 1000.
+	MaxResults int
+}
+
+func (c *Config) defaults() {
+	if c.MaxLayers <= 0 {
+		c.MaxLayers = 4
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 1000
+	}
+}
+
+// PhraseInfo is one phrase's canonical-KB view: the canonicalization
+// cluster it belongs to and the curated-KB target it links to.
+type PhraseInfo struct {
+	// Canonical identifies the phrase's canonicalization cluster: the
+	// lexicographically smallest member surface, a deterministic choice
+	// that survives rebuilds.
+	Canonical string
+	// Target is the linked curated-KB identifier ("" = NIL or linking
+	// disabled).
+	Target string
+}
+
+// generation is one immutable snapshot of every maintained index. A
+// generation is built privately by the single ingest writer — full on
+// cold/refresh builds, as a copy-on-write delta over its parent
+// otherwise — and published with one atomic pointer swap; readers
+// holding it never observe later mutations.
+type generation struct {
+	id int64
+	// triples aliases the session's accumulated slice (committed
+	// slices are never mutated below their length, so sharing is
+	// safe and copy-free). A triple's position is its canonical id —
+	// postings store positions, and answers stamp ID on the copy they
+	// return.
+	triples []okb.Triple
+
+	npInfo *layered[PhraseInfo] // NP surface -> cluster + entity link
+	rpInfo *layered[PhraseInfo] // RP surface -> cluster + relation link
+
+	npClusters *layered[[]string] // NP cluster id -> sorted members
+	rpClusters *layered[[]string]
+
+	entAliases *layered[[]string] // CKB entity id -> sorted linked NP surfaces
+	relAliases *layered[[]string] // CKB relation id -> sorted linked RP surfaces
+
+	subjPost *layered[[]int] // NP surface -> ascending ids of triples with that subject
+	relPost  *layered[[]int] // RP surface -> ascending ids of triples with that predicate
+
+	npClusterPost *layered[[]int] // NP cluster id -> ascending ids of triples whose subject is any member
+	rpClusterPost *layered[[]int] // RP cluster id -> ascending ids of triples whose predicate is any member
+
+	// The conflict-resolution relabels applied in this generation's
+	// build; the next delta must treat them as touched (an
+	// un-re-applied relabel reverts silently — see core.CanonDelta).
+	reassignedNPs []string
+	reassignedRPs []string
+}
+
+// Index maintains materialized canonical-KB views — alias resolution,
+// cluster membership, entity/relation alias sets, and triple postings
+// by canonical subject and relation — incrementally as each ingest
+// lands. Apply is called by the single ingest writer (the stream
+// session, under its ingest lock); all Query methods are lock-free:
+// they load the current generation with one atomic pointer read and
+// answer entirely from that immutable snapshot, so readers never block
+// behind an in-flight ingest and always see a consistent generation.
+type Index struct {
+	cfg     Config
+	gen     atomic.Pointer[generation]
+	begun   atomic.Int64 // ingests begun (staleness numerator)
+	applied atomic.Int64 // generations published
+}
+
+// New returns an empty index (no generation yet: queries answer
+// ok=false until the first Apply).
+func New(cfg Config) *Index {
+	cfg.defaults()
+	return &Index{cfg: cfg}
+}
+
+// Begin marks the start of an ingest whose output will later be
+// Applied; the gap between begun and applied ingests is the staleness
+// (GenInfo.Behind) reported with every answer.
+func (ix *Index) Begin() { ix.begun.Add(1) }
+
+// Abort undoes a Begin whose ingest failed before Apply.
+func (ix *Index) Abort() { ix.begun.Add(-1) }
+
+// ApplyStats reports what one index maintenance pass cost.
+type ApplyStats struct {
+	// Generation is the id the pass published.
+	Generation int64 `json:"generation"`
+	// Full marks from-scratch rebuilds (first build, epoch refresh, or
+	// a nil/Full delta).
+	Full bool `json:"full,omitempty"`
+	// TouchedNPs / TouchedRPs count the delta's phrase seeds;
+	// KeysWritten the index keys the pass rewrote or tombstoned across
+	// all maps (the delta-wise cost driver).
+	TouchedNPs  int `json:"touched_nps"`
+	TouchedRPs  int `json:"touched_rps"`
+	KeysWritten int `json:"keys_written"`
+	// Compacted marks passes that flattened the overlay chain
+	// (amortized O(keyspace); see Config.MaxLayers).
+	Compacted bool `json:"compacted,omitempty"`
+	// ApplyMS is the pass's wall-clock cost.
+	ApplyMS float64 `json:"apply_ms"`
+}
+
+// Apply folds one ingest's result into the index and publishes the new
+// generation. triples must be the full accumulated triple slice (the
+// suffix beyond the previous generation is the new batch); it is
+// aliased, not copied, so the caller must never mutate elements below
+// its length after the call — the stream session's capped-append
+// growth guarantees this. Apply is NOT safe for concurrent use with
+// itself — the stream session's ingest lock serializes it — but is
+// safe concurrent with any number of Query readers.
+func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.Triple) ApplyStats {
+	t0 := time.Now()
+	prev := ix.gen.Load()
+	id := ix.applied.Load() + 1
+	st := ApplyStats{Generation: id}
+	var g *generation
+	if prev == nil || delta == nil || delta.Full {
+		g = buildFull(res, delta, triples, id)
+		st.Full = true
+		st.KeysWritten = len(g.npInfo.m) + len(g.rpInfo.m) +
+			len(g.npClusters.m) + len(g.rpClusters.m) +
+			len(g.entAliases.m) + len(g.relAliases.m) +
+			len(g.subjPost.m) + len(g.relPost.m) +
+			len(g.npClusterPost.m) + len(g.rpClusterPost.m)
+	} else {
+		st.TouchedNPs = len(delta.TouchedNPs)
+		st.TouchedRPs = len(delta.TouchedRPs)
+		g = prev.applyDelta(res, delta, triples, id, &st.KeysWritten)
+		if g.npInfo.depth >= ix.cfg.MaxLayers {
+			g = g.compact()
+			st.Compacted = true
+		}
+	}
+	ix.gen.Store(g)
+	ix.applied.Store(id)
+	st.ApplyMS = float64(time.Since(t0).Microseconds()) / 1000
+	return st
+}
+
+// Clone returns a new Index serving the receiver's current generation.
+// Generations are immutable, so the clone is O(1) and both indexes
+// answer identically until one of them Applies; it exists so the
+// benchmark can replay one ingest's Apply repeatedly against the same
+// predecessor state.
+func (ix *Index) Clone() *Index {
+	out := New(ix.cfg)
+	out.gen.Store(ix.gen.Load())
+	out.begun.Store(ix.begun.Load())
+	out.applied.Store(ix.applied.Load())
+	return out
+}
+
+// FullIndex builds a fresh single-generation index from a result and
+// its accumulated triples — the from-scratch comparator the query
+// benchmark prices delta maintenance against (and the cold path Apply
+// takes internally).
+func FullIndex(res *core.Result, triples []okb.Triple, cfg Config) *Index {
+	ix := New(cfg)
+	ix.begun.Store(1)
+	ix.applied.Store(1)
+	ix.gen.Store(buildFull(res, res.Delta, triples, 1))
+	return ix
+}
+
+// buildFull derives every index from scratch.
+func buildFull(res *core.Result, delta *core.CanonDelta, triples []okb.Triple, id int64) *generation {
+	g := &generation{id: id, triples: triples}
+	subj := map[string][]int{}
+	rel := map[string][]int{}
+	for i := range g.triples {
+		t := &g.triples[i]
+		subj[t.Subj] = append(subj[t.Subj], i)
+		rel[t.Pred] = append(rel[t.Pred], i)
+	}
+	g.subjPost = postLayer(subj)
+	g.relPost = postLayer(rel)
+	g.npInfo, g.npClusters, g.entAliases, g.npClusterPost = buildSide(res.NPGroups, res.NPLinks, g.subjPost)
+	g.rpInfo, g.rpClusters, g.relAliases, g.rpClusterPost = buildSide(res.RPGroups, res.RPLinks, g.relPost)
+	if delta != nil {
+		g.reassignedNPs = delta.ReassignedNPs
+		g.reassignedRPs = delta.ReassignedRPs
+	}
+	return g
+}
+
+func postLayer(post map[string][]int) *layered[[]int] {
+	l := newLayer[[]int](nil)
+	for k, ids := range post {
+		l.set(k, ids)
+	}
+	return l
+}
+
+// buildSide derives one phrase kind's full indexes: per-phrase info,
+// cluster membership, alias sets per linked target, and cluster-level
+// triple postings merged from the per-surface postings.
+func buildSide(groups [][]string, links map[string]string, post *layered[[]int]) (info *layered[PhraseInfo], clusters *layered[[]string], aliases *layered[[]string], cpost *layered[[]int]) {
+	info = newLayer[PhraseInfo](nil)
+	clusters = newLayer[[]string](nil)
+	aliases = newLayer[[]string](nil)
+	cpost = newLayer[[]int](nil)
+	byTarget := map[string][]string{}
+	for _, grp := range groups {
+		members := append([]string(nil), grp...)
+		sort.Strings(members)
+		cid := members[0]
+		clusters.set(cid, members)
+		if merged := mergePostings(members, post); len(merged) > 0 {
+			cpost.set(cid, merged)
+		}
+		for _, m := range members {
+			target := links[m]
+			info.set(m, PhraseInfo{Canonical: cid, Target: target})
+			if target != "" {
+				byTarget[target] = append(byTarget[target], m)
+			}
+		}
+	}
+	for target, surfs := range byTarget {
+		sort.Strings(surfs)
+		aliases.set(target, surfs)
+	}
+	return info, clusters, aliases, cpost
+}
+
+// mergePostings unions the members' per-surface posting lists into one
+// ascending id list. Each triple id lives in exactly one surface's
+// list (a triple has one subject, one predicate), so a sort suffices.
+func mergePostings(members []string, post *layered[[]int]) []int {
+	var out []int
+	for _, m := range members {
+		if ids, ok := post.get(m); ok {
+			out = append(out, ids...)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// applyDelta builds the next generation as copy-on-write overlays over
+// prev, rewriting only the keys the delta (plus the new batch and the
+// carried-forward relabels) can have changed. The expansion from the
+// touched phrase seeds to the rewritten keys is:
+//
+//	D1 = seeds ∪ members(previous clusters of seeds)
+//	D  = D1 ∪ members(current groups intersecting D1)
+//
+// which covers every phrase whose cluster membership can have moved: a
+// phrase enters or leaves a cluster only through a changed pair
+// decision incident to itself, changed pair decisions only arise at
+// variables in ran blocks (both endpoint phrases are then seeds), and
+// the mover's old cluster and new group both intersect the seed set.
+func (prev *generation) applyDelta(res *core.Result, delta *core.CanonDelta, all []okb.Triple, id int64, keys *int) *generation {
+	g := &generation{
+		id:            id,
+		triples:       all,
+		reassignedNPs: delta.ReassignedNPs,
+		reassignedRPs: delta.ReassignedRPs,
+	}
+
+	// Surface postings are append-only: only the batch's surfaces gain
+	// entries.
+	subjAdd := map[string][]int{}
+	relAdd := map[string][]int{}
+	batchNP := map[string]bool{}
+	batchRP := map[string]bool{}
+	for i := len(prev.triples); i < len(g.triples); i++ {
+		t := &g.triples[i]
+		subjAdd[t.Subj] = append(subjAdd[t.Subj], i)
+		relAdd[t.Pred] = append(relAdd[t.Pred], i)
+		batchNP[t.Subj] = true
+		batchNP[t.Obj] = true
+		batchRP[t.Pred] = true
+	}
+	g.subjPost = extendPostings(prev.subjPost, subjAdd, keys)
+	g.relPost = extendPostings(prev.relPost, relAdd, keys)
+
+	g.npInfo, g.npClusters, g.entAliases, g.npClusterPost = applySide(sideDelta{
+		seeds:    [][]string{delta.TouchedNPs, prev.reassignedNPs},
+		batch:    batchNP,
+		added:    subjAdd,
+		groups:   res.NPGroups,
+		groupOf:  res.NPGroupOf,
+		links:    res.NPLinks,
+		info:     prev.npInfo,
+		clusters: prev.npClusters,
+		aliases:  prev.entAliases,
+		cpost:    prev.npClusterPost,
+		post:     g.subjPost,
+	}, keys)
+	g.rpInfo, g.rpClusters, g.relAliases, g.rpClusterPost = applySide(sideDelta{
+		seeds:    [][]string{delta.TouchedRPs, prev.reassignedRPs},
+		batch:    batchRP,
+		added:    relAdd,
+		groups:   res.RPGroups,
+		groupOf:  res.RPGroupOf,
+		links:    res.RPLinks,
+		info:     prev.rpInfo,
+		clusters: prev.rpClusters,
+		aliases:  prev.relAliases,
+		cpost:    prev.rpClusterPost,
+		post:     g.relPost,
+	}, keys)
+	return g
+}
+
+// sideDelta carries one phrase kind's inputs through the delta apply.
+type sideDelta struct {
+	seeds             [][]string       // touched phrases + previous generation's relabels
+	batch             map[string]bool  // surfaces appearing in the new batch
+	added             map[string][]int // per-surface triple ids the batch appended
+	groups            [][]string       // the new result's full grouping
+	groupOf           map[string]int   // surface -> index into groups (core.Result.NPGroupOf)
+	links             map[string]string
+	info              *layered[PhraseInfo]
+	clusters, aliases *layered[[]string]
+	cpost             *layered[[]int]
+	post              *layered[[]int] // NEW generation's per-surface postings
+}
+
+func applySide(sd sideDelta, keys *int) (*layered[PhraseInfo], *layered[[]string], *layered[[]string], *layered[[]int]) {
+	// Seed set S, then the two-step expansion to D.
+	D := map[string]bool{}
+	for _, seed := range sd.seeds {
+		for _, p := range seed {
+			D[p] = true
+		}
+	}
+	for p := range sd.batch {
+		D[p] = true
+	}
+	oldCIDs := map[string]bool{}
+	for p := range D {
+		if inf, ok := sd.info.get(p); ok {
+			oldCIDs[inf.Canonical] = true
+		}
+	}
+	for cid := range oldCIDs {
+		if members, ok := sd.clusters.get(cid); ok {
+			for _, m := range members {
+				D[m] = true
+			}
+		}
+	}
+	// Affected current groups, via the result's O(1) membership index
+	// (scanning the whole grouping here would re-introduce an O(KB)
+	// term into every apply).
+	hitGroups := map[int]bool{}
+	for p := range D {
+		if gi, ok := sd.groupOf[p]; ok {
+			hitGroups[gi] = true
+		}
+	}
+	newMembers := map[string][]string{}
+	newCluster := map[string]string{}
+	for gi := range hitGroups {
+		grp := sd.groups[gi]
+		members := append([]string(nil), grp...)
+		sort.Strings(members)
+		cid := members[0]
+		newMembers[cid] = members
+		for _, m := range members {
+			newCluster[m] = cid
+			D[m] = true
+		}
+	}
+	// Re-collect old cluster ids over the fully expanded D: a cluster
+	// can be absorbed through a member that was never a seed (a
+	// link-agreement pair has only one moved endpoint), and its id must
+	// still be rewritten or tombstoned here — a stale entry would later
+	// satisfy the same-membership skip below and serve postings frozen
+	// at the absorption point. The extra ids need no further expansion:
+	// any phrase that separated from its old cluster-mates did so
+	// through a changed pair incident to a seed, so those members are
+	// already in D.
+	for p := range D {
+		if inf, ok := sd.info.get(p); ok {
+			oldCIDs[inf.Canonical] = true
+		}
+	}
+
+	// Per-phrase info, collecting alias moves per linked target.
+	info := newLayer(sd.info)
+	addByTarget := map[string][]string{}
+	delByTarget := map[string][]string{}
+	for p := range D {
+		cur := PhraseInfo{Canonical: newCluster[p], Target: sd.links[p]}
+		old, had := sd.info.get(p)
+		if !had || old != cur {
+			info.set(p, cur)
+			*keys++
+		}
+		switch {
+		case had && old.Target != cur.Target:
+			if old.Target != "" {
+				delByTarget[old.Target] = append(delByTarget[old.Target], p)
+			}
+			if cur.Target != "" {
+				addByTarget[cur.Target] = append(addByTarget[cur.Target], p)
+			}
+		case !had && cur.Target != "":
+			addByTarget[cur.Target] = append(addByTarget[cur.Target], p)
+		}
+	}
+
+	// Cluster membership + cluster postings for every previous or
+	// current affected cluster id. An old id with no surviving group is
+	// tombstoned (its min member migrated, so the current group holding
+	// it is itself affected — the tombstone never hides a live cluster).
+	// Most affected clusters are drive-bys — pulled into D because a
+	// member sat in a ran block, with nothing actually moving — so a
+	// cluster whose membership matches the previous generation and whose
+	// members gained no triples is skipped outright: its stored members
+	// and postings are already exact.
+	clusters := newLayer(sd.clusters)
+	cpost := newLayer(sd.cpost)
+	for cid := range newMembers {
+		oldCIDs[cid] = true
+	}
+	for cid := range oldCIDs {
+		members, ok := newMembers[cid]
+		if !ok {
+			clusters.del(cid)
+			cpost.del(cid)
+			*keys++
+			continue
+		}
+		old, hadOld := sd.clusters.get(cid)
+		same := hadOld && equalStrings(old, members)
+		grew := false
+		for _, m := range members {
+			if _, ok := sd.added[m]; ok {
+				grew = true
+				break
+			}
+		}
+		if same && !grew {
+			continue
+		}
+		if !same {
+			clusters.set(cid, members)
+			*keys++
+		}
+		*keys++
+		if merged := mergePostings(members, sd.post); len(merged) > 0 {
+			cpost.set(cid, merged)
+		} else {
+			cpost.del(cid)
+		}
+	}
+
+	// Alias sets for every target that gained or lost a phrase.
+	aliases := newLayer(sd.aliases)
+	targets := map[string]bool{}
+	for t := range addByTarget {
+		targets[t] = true
+	}
+	for t := range delByTarget {
+		targets[t] = true
+	}
+	for target := range targets {
+		old, _ := sd.aliases.get(target)
+		set := make(map[string]bool, len(old))
+		for _, a := range old {
+			set[a] = true
+		}
+		for _, p := range delByTarget[target] {
+			delete(set, p)
+		}
+		for _, p := range addByTarget[target] {
+			set[p] = true
+		}
+		*keys++
+		if len(set) == 0 {
+			aliases.del(target)
+			continue
+		}
+		surfs := make([]string, 0, len(set))
+		for a := range set {
+			surfs = append(surfs, a)
+		}
+		sort.Strings(surfs)
+		aliases.set(target, surfs)
+	}
+	return info, clusters, aliases, cpost
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extendPostings overlays the batch's new triple ids onto the previous
+// per-surface postings.
+func extendPostings(prev *layered[[]int], add map[string][]int, keys *int) *layered[[]int] {
+	l := newLayer(prev)
+	for s, ids := range add {
+		old, _ := prev.get(s)
+		merged := make([]int, 0, len(old)+len(ids))
+		merged = append(merged, old...)
+		merged = append(merged, ids...)
+		l.set(s, merged)
+		*keys++
+	}
+	return l
+}
+
+// compact flattens every overlay chain into single base layers,
+// bounding reader lookup cost.
+func (g *generation) compact() *generation {
+	out := *g
+	out.npInfo = g.npInfo.flatten()
+	out.rpInfo = g.rpInfo.flatten()
+	out.npClusters = g.npClusters.flatten()
+	out.rpClusters = g.rpClusters.flatten()
+	out.entAliases = g.entAliases.flatten()
+	out.relAliases = g.relAliases.flatten()
+	out.subjPost = g.subjPost.flatten()
+	out.relPost = g.relPost.flatten()
+	out.npClusterPost = g.npClusterPost.flatten()
+	out.rpClusterPost = g.rpClusterPost.flatten()
+	return &out
+}

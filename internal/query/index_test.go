@@ -1,0 +1,394 @@
+package query_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/ckb"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// microWorld mirrors the stream package's test substrate: a tiny CKB
+// of token-disjoint entities and relations.
+func microWorld(t *testing.T) *ckb.Store {
+	t.Helper()
+	store, err := ckb.NewStore(
+		[]ckb.Entity{
+			{ID: "e1", Name: "Alphacorp", Aliases: []string{"alphacorp", "alpha corp"}},
+			{ID: "e2", Name: "Betalabs", Aliases: []string{"betalabs"}},
+			{ID: "e3", Name: "Gammaworks", Aliases: []string{"gammaworks"}},
+			{ID: "e4", Name: "Deltasoft", Aliases: []string{"deltasoft"}},
+			{ID: "e5", Name: "Epsilonics", Aliases: []string{"epsilonics"}},
+			{ID: "e6", Name: "Zetafoundry", Aliases: []string{"zetafoundry"}},
+		},
+		[]ckb.Relation{
+			{ID: "r1", Name: "acquire", Aliases: []string{"acquire", "buy"}},
+			{ID: "r2", Name: "hire", Aliases: []string{"hire"}},
+			{ID: "r3", Name: "sue", Aliases: []string{"sue"}},
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func microSession(t *testing.T, cfg stream.Config) *stream.Session {
+	t.Helper()
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	return stream.New(microWorld(t), emb, ppdb.NewBuilder().Build(), cfg)
+}
+
+// expectSide is the brute-force comparator: everything the index must
+// answer for one phrase kind, derived by scanning the Result and the
+// accumulated triples the way a caller without an index would.
+type expectSide struct {
+	groupOf  map[string][]string // surface -> sorted members of its group
+	links    map[string]string
+	aliases  map[string][]string // target -> sorted linked surfaces
+	postings map[string][]int    // surface -> ascending ids of its cluster's triples
+}
+
+func expect(groups [][]string, links map[string]string, triples []okb.Triple, subj bool) expectSide {
+	e := expectSide{groupOf: map[string][]string{}, links: links, aliases: map[string][]string{}, postings: map[string][]int{}}
+	for _, grp := range groups {
+		members := append([]string(nil), grp...)
+		sort.Strings(members)
+		inCluster := map[string]bool{}
+		for _, m := range members {
+			e.groupOf[m] = members
+			inCluster[m] = true
+			if target := links[m]; target != "" {
+				e.aliases[target] = append(e.aliases[target], m)
+			}
+		}
+		var post []int
+		for i, t := range triples {
+			key := t.Pred
+			if subj {
+				key = t.Subj
+			}
+			if inCluster[key] {
+				post = append(post, i)
+			}
+		}
+		for _, m := range members {
+			e.postings[m] = post
+		}
+	}
+	for _, surfs := range e.aliases {
+		sort.Strings(surfs)
+	}
+	return e
+}
+
+// verify checks every query answer against the brute-force scan of the
+// same generation's result — the bitwise-equivalence contract.
+func verify(t *testing.T, ix *query.Index, res *core.Result, triples []okb.Triple) {
+	t.Helper()
+	npx := expect(res.NPGroups, res.NPLinks, triples, true)
+	rpx := expect(res.RPGroups, res.RPLinks, triples, false)
+
+	checkSide := func(kind string, e expectSide,
+		resolve func(string) (query.Resolution, bool),
+		cluster func(string) (query.ClusterAnswer, bool),
+		aliases func(string) (query.AliasesAnswer, bool),
+		enum func(string, int) (query.TriplesAnswer, bool)) {
+		for surface, members := range e.groupOf {
+			r, ok := resolve(surface)
+			if !ok {
+				t.Fatalf("%s resolve(%q): unknown surface", kind, surface)
+			}
+			if r.Canonical != members[0] || r.Target != e.links[surface] || r.ClusterSize != len(members) {
+				t.Fatalf("%s resolve(%q) = %+v, want canonical %q target %q size %d",
+					kind, surface, r, members[0], e.links[surface], len(members))
+			}
+			c, ok := cluster(surface)
+			if !ok || !reflect.DeepEqual(c.Members, members) {
+				t.Fatalf("%s cluster(%q) = %v (ok=%v), want %v", kind, surface, c.Members, ok, members)
+			}
+			ts, ok := enum(surface, 0)
+			if !ok {
+				t.Fatalf("%s triples(%q): unknown surface", kind, surface)
+			}
+			want := e.postings[surface]
+			if ts.Total != len(want) || len(ts.Triples) != len(want) {
+				t.Fatalf("%s triples(%q): got %d/%d, want %d", kind, surface, len(ts.Triples), ts.Total, len(want))
+			}
+			for i, id := range want {
+				w := triples[id]
+				g := ts.Triples[i]
+				if g.Subj != w.Subj || g.Pred != w.Pred || g.Obj != w.Obj || g.ID != id {
+					t.Fatalf("%s triples(%q)[%d] = %+v, want %+v (id %d)", kind, surface, i, g, w, id)
+				}
+			}
+		}
+		for target, want := range e.aliases {
+			a, ok := aliases(target)
+			if !ok || !reflect.DeepEqual(a.Aliases, want) {
+				t.Fatalf("%s aliases(%q) = %v (ok=%v), want %v", kind, target, a.Aliases, ok, want)
+			}
+		}
+		if _, ok := resolve("no such surface anywhere"); ok {
+			t.Fatalf("%s resolve of unknown surface succeeded", kind)
+		}
+	}
+	checkSide("np", npx, ix.ResolveNP, ix.NPCluster, ix.EntityAliases, ix.TriplesBySubject)
+	checkSide("rp", rpx, ix.ResolveRP, ix.RPCluster, ix.RelationAliases, ix.TriplesByRelation)
+}
+
+func TestQueryMatchesBruteForcePerBatch(t *testing.T) {
+	sess := microSession(t, stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}})
+	batches := [][]okb.Triple{
+		{
+			{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+			{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+		},
+		{
+			{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+			{Subj: "alphacorp", Pred: "acquire", Obj: "deltasoft"},
+		},
+		// "alpha corp" and "buy" join existing clusters via shared
+		// candidates / paraphrase aliases: membership, aliases, and
+		// postings of existing keys must all move delta-wise.
+		{
+			{Subj: "alpha corp", Pred: "buy", Obj: "betalabs"},
+		},
+		{
+			{Subj: "gammaworks", Pred: "sue", Obj: "alphacorp"},
+		},
+	}
+	var accumulated []okb.Triple
+	for i, b := range batches {
+		if _, err := sess.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		accumulated = append(accumulated, b...)
+		res := sess.Snapshot()
+		verify(t, sess.Query(), res, accumulated)
+		gi, ok := sess.Query().Generation()
+		if !ok || gi.Generation != int64(i+1) || gi.Triples != len(accumulated) || gi.Behind != 0 {
+			t.Fatalf("batch %d: generation = %+v (ok=%v)", i+1, gi, ok)
+		}
+	}
+}
+
+func TestQueryMatchesBruteForceTaskAblations(t *testing.T) {
+	// The group shapes differ per mode (union-find groups vs link-target
+	// groups vs singletons); the index must match the brute force in all
+	// of them.
+	for name, cfg := range map[string]core.Config{
+		"canon-only": core.CanonOnlyConfig(),
+		"link-only":  core.LinkOnlyConfig(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			sess := microSession(t, stream.Config{Core: cfg, Query: query.Config{Enable: true}})
+			var accumulated []okb.Triple
+			for _, b := range [][]okb.Triple{
+				{{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"}},
+				{{Subj: "alpha corp", Pred: "buy", Obj: "gammaworks"}},
+				{{Subj: "nobodyheardofit", Pred: "ponder", Obj: "mysteries"}},
+			} {
+				if _, err := sess.Ingest(b); err != nil {
+					t.Fatal(err)
+				}
+				accumulated = append(accumulated, b...)
+				verify(t, sess.Query(), sess.Snapshot(), accumulated)
+			}
+		})
+	}
+}
+
+func TestQueryDeltaMatchesBruteForceOnGeneratedStream(t *testing.T) {
+	// The full serving configuration on a realistic generated workload:
+	// hub-cut segmentation computes small dirty-block sets, the delta
+	// maintenance rides them, and every batch's index must still match
+	// the brute-force scan of the same snapshot. MaxLayers 2 forces
+	// compaction mid-stream, covering that path too.
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Segment.Enable = true
+	sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{
+		Core:  cfg,
+		Query: query.Config{Enable: true, MaxLayers: 2},
+	})
+	triples := ds.OKB.Triples()
+	n := len(triples)
+	cuts := []int{0, n / 2, 5 * n / 8, 3 * n / 4, 7 * n / 8, n}
+	var accumulated []okb.Triple
+	sawDelta := false
+	for i := 1; i < len(cuts); i++ {
+		batch := triples[cuts[i-1]:cuts[i]]
+		st, err := sess.Ingest(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accumulated = append(accumulated, batch...)
+		if st.Index == nil {
+			t.Fatal("ingest reported no index maintenance")
+		}
+		if i > 1 && !st.Index.Full {
+			sawDelta = true
+			if st.Index.KeysWritten == 0 {
+				t.Errorf("batch %d: delta apply wrote no keys", i)
+			}
+		}
+		verify(t, sess.Query(), sess.Snapshot(), accumulated)
+		if l := sess.Query().Layers(); l > 2 {
+			t.Errorf("batch %d: %d layers exceed MaxLayers 2", i, l)
+		}
+	}
+	if !sawDelta {
+		t.Error("no batch exercised the delta path")
+	}
+}
+
+func TestQueryDeltaMatchesFullIndexAndEnumerationLimits(t *testing.T) {
+	sess := microSession(t, stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true, MaxResults: 2}})
+	var accumulated []okb.Triple // session index capped at 2; verified via the uncapped FullIndex below
+	for i := 0; i < 4; i++ {
+		b := []okb.Triple{
+			{Subj: "alphacorp", Pred: "acquire", Obj: fmt.Sprintf("startup %d", i)},
+			{Subj: "alphacorp", Pred: "hire", Obj: "deltasoft"},
+		}
+		if _, err := sess.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		accumulated = append(accumulated, b...)
+	}
+	res := sess.Snapshot()
+
+	// A from-scratch index over the same result must answer identically
+	// to the delta-maintained one (both are held to the same brute-force
+	// comparator; built uncapped so verify sees full enumerations).
+	full := query.FullIndex(res, accumulated, query.Config{})
+	verify(t, full, res, accumulated)
+
+	// MaxResults caps enumeration however large the posting is.
+	ts, ok := sess.Query().TriplesBySubject("alphacorp", 0)
+	if !ok {
+		t.Fatal("alphacorp unknown")
+	}
+	if len(ts.Triples) != 2 || !ts.Truncated || ts.Total < 8 {
+		t.Fatalf("capped enumeration = %d triples (total %d, truncated %v), want 2 of >=8",
+			len(ts.Triples), ts.Total, ts.Truncated)
+	}
+	// An explicit limit below the cap narrows further.
+	ts, _ = sess.Query().TriplesBySubject("alphacorp", 1)
+	if len(ts.Triples) != 1 || !ts.Truncated {
+		t.Fatalf("limit 1 returned %d triples", len(ts.Triples))
+	}
+}
+
+func TestQueryDisabledAndEmpty(t *testing.T) {
+	off := microSession(t, stream.Config{Core: core.DefaultConfig()})
+	if off.Query() != nil {
+		t.Fatal("query index present without Enable")
+	}
+	on := microSession(t, stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}})
+	if _, ok := on.Query().Generation(); ok {
+		t.Fatal("generation reported before first ingest")
+	}
+	if _, ok := on.Query().ResolveNP("anything"); ok {
+		t.Fatal("resolve succeeded before first ingest")
+	}
+}
+
+// synthResult builds a core.Result directly — the absorbed-cluster
+// regression below needs exact control over groups and deltas that no
+// seeded inference run reproduces reliably.
+func synthResult(npGroups, rpGroups [][]string) *core.Result {
+	idx := func(groups [][]string) map[string]int {
+		out := map[string]int{}
+		for gi, g := range groups {
+			for _, m := range g {
+				out[m] = gi
+			}
+		}
+		return out
+	}
+	return &core.Result{
+		NPGroups:  npGroups,
+		RPGroups:  rpGroups,
+		NPGroupOf: idx(npGroups),
+		RPGroupOf: idx(rpGroups),
+		NPLinks:   map[string]string{},
+		RPLinks:   map[string]string{},
+	}
+}
+
+// TestAbsorbedClusterTombstonedAndRebuilt is the regression for a
+// soundness hole in the delta expansion: a cluster can be absorbed
+// through a member that was never a seed (a link-agreement pair has
+// only one moved endpoint), and its old cluster id must still be
+// tombstoned in that generation — otherwise, when the cluster later
+// splits back to its old membership, the stale entry satisfies the
+// same-membership skip and serves postings frozen at the absorption
+// point, silently missing every triple ingested while merged.
+func TestAbsorbedClusterTombstonedAndRebuilt(t *testing.T) {
+	ix := query.New(query.Config{})
+	var triples []okb.Triple
+	step := func(res *core.Result, delta *core.CanonDelta, batch ...okb.Triple) {
+		t.Helper()
+		triples = append(triples, batch...)
+		ix.Begin()
+		ix.Apply(res, delta, triples)
+		verify(t, ix, res, triples)
+	}
+
+	// Gen 1 (cold): {a}, {b1,b2} separate clusters.
+	res1 := synthResult(
+		[][]string{{"a"}, {"b1", "b2"}, {"x"}},
+		[][]string{{"r"}},
+	)
+	step(res1, &core.CanonDelta{Full: true}, okb.Triple{Subj: "b1", Pred: "r", Obj: "x"})
+
+	// Gen 2: {b1,b2} absorbed into a's cluster via a pair whose only
+	// moved endpoint is "a" — b1/b2 are NOT seeds and the batch does
+	// not mention them. Old cluster id "b1" must be tombstoned here.
+	merged := synthResult(
+		[][]string{{"a", "b1", "b2"}, {"x"}, {"z"}},
+		[][]string{{"r"}},
+	)
+	step(merged, &core.CanonDelta{TouchedNPs: []string{"a"}, TouchedRPs: []string{"r"}},
+		okb.Triple{Subj: "a", Pred: "r", Obj: "z"})
+
+	// Gen 3: b1 gains a triple while merged — recorded under the
+	// merged cluster's id.
+	merged3 := synthResult(
+		[][]string{{"a", "b1", "b2"}, {"x"}, {"z"}, {"y"}},
+		[][]string{{"r"}},
+	)
+	step(merged3, &core.CanonDelta{TouchedNPs: []string{"b1"}, TouchedRPs: []string{"r"}},
+		okb.Triple{Subj: "b1", Pred: "r", Obj: "y"})
+
+	// Gen 4: the clusters split back to exactly the gen-1 membership
+	// {b1,b2}, in a batch that adds no b1/b2 triples. A stale gen-1
+	// entry would pass the same-membership skip and drop the gen-3
+	// triple from TriplesBySubject("b1"); the verify inside step
+	// catches that against the brute force.
+	split := synthResult(
+		[][]string{{"a"}, {"b1", "b2"}, {"x"}, {"z"}, {"y"}, {"q"}, {"q2"}},
+		[][]string{{"r"}},
+	)
+	step(split, &core.CanonDelta{TouchedNPs: []string{"a", "b1"}, TouchedRPs: []string{"r"}},
+		okb.Triple{Subj: "q", Pred: "r", Obj: "q2"})
+
+	// And explicitly: b1's postings after the split include the triple
+	// ingested while merged.
+	ts, ok := ix.TriplesBySubject("b1", 0)
+	if !ok || ts.Total != 2 {
+		t.Fatalf("TriplesBySubject(b1) after split = %+v (ok=%v), want both b1 triples", ts, ok)
+	}
+}

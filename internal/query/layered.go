@@ -1,0 +1,69 @@
+package query
+
+// layered is a persistent string-keyed map assembled from copy-on-write
+// overlay layers: each index generation adds one layer holding only the
+// keys that generation rewrote (or tombstoned), sharing everything else
+// with its parent by pointer. Lookups walk the chain newest-first, so a
+// reader holding any published layer sees a frozen, consistent view no
+// matter how many generations are stacked on top of it afterwards.
+//
+// Mutations (set/del) are only legal on the newest layer before its
+// generation is published; after the atomic generation swap a layer is
+// immutable. flatten collapses a chain into a single base layer — the
+// compaction the index runs when the chain exceeds Config.MaxLayers,
+// bounding lookup cost without copying the whole keyspace per ingest.
+type layered[V any] struct {
+	parent *layered[V]
+	m      map[string]entry[V]
+	depth  int // layers below this one
+}
+
+type entry[V any] struct {
+	val V
+	del bool
+}
+
+func newLayer[V any](parent *layered[V]) *layered[V] {
+	l := &layered[V]{parent: parent, m: make(map[string]entry[V])}
+	if parent != nil {
+		l.depth = parent.depth + 1
+	}
+	return l
+}
+
+func (l *layered[V]) get(k string) (V, bool) {
+	for n := l; n != nil; n = n.parent {
+		if e, ok := n.m[k]; ok {
+			if e.del {
+				var zero V
+				return zero, false
+			}
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (l *layered[V]) set(k string, v V) { l.m[k] = entry[V]{val: v} }
+func (l *layered[V]) del(k string)      { l.m[k] = entry[V]{del: true} }
+
+// flatten collapses the overlay chain into a single parentless layer
+// holding exactly the live keys.
+func (l *layered[V]) flatten() *layered[V] {
+	var chain []*layered[V]
+	for n := l; n != nil; n = n.parent {
+		chain = append(chain, n)
+	}
+	out := &layered[V]{m: make(map[string]entry[V], len(chain[len(chain)-1].m))}
+	for i := len(chain) - 1; i >= 0; i-- {
+		for k, e := range chain[i].m {
+			if e.del {
+				delete(out.m, k)
+			} else {
+				out.m[k] = e
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package query
+
+import "repro/internal/okb"
+
+// GenInfo identifies the immutable index generation an answer was
+// served from, plus how stale it is.
+type GenInfo struct {
+	// Generation counts the ingests whose output this generation
+	// reflects (1 = first build).
+	Generation int64 `json:"generation"`
+	// Triples is the number of triples the generation covers.
+	Triples int `json:"triples"`
+	// Behind counts the ingests begun but not reflected in this
+	// generation — 0 when the index is current, 1 while one ingest is
+	// in flight, possibly more when a fast writer publishes newer
+	// generations while an answer is being assembled. Readers are never
+	// blocked by an in-flight ingest; they are served the latest
+	// published generation and told its staleness here.
+	Behind int64 `json:"behind"`
+}
+
+// Resolution is the alias-resolution answer for one surface form.
+type Resolution struct {
+	// Surface echoes the queried surface form.
+	Surface string `json:"surface"`
+	// Canonical is the id of the canonicalization cluster the surface
+	// belongs to (the lexicographically smallest member surface).
+	Canonical string `json:"canonical"`
+	// Target is the linked curated-KB id ("" = NIL / linking disabled).
+	Target string `json:"target,omitempty"`
+	// ClusterSize is the number of surfaces in the cluster.
+	ClusterSize int `json:"cluster_size"`
+	// Gen identifies the generation served.
+	Gen GenInfo `json:"gen"`
+}
+
+// AliasesAnswer lists the surfaces linked to one curated-KB target.
+type AliasesAnswer struct {
+	// Target echoes the queried curated-KB id.
+	Target string `json:"target"`
+	// Aliases are the sorted surface forms currently linked to Target.
+	// The slice is shared with the index generation — treat as
+	// read-only.
+	Aliases []string `json:"aliases"`
+	// Gen identifies the generation served.
+	Gen GenInfo `json:"gen"`
+}
+
+// ClusterAnswer lists one canonicalization cluster's membership.
+type ClusterAnswer struct {
+	// Canonical is the cluster id (lexicographically smallest member).
+	Canonical string `json:"canonical"`
+	// Members are the sorted member surfaces. Shared with the index
+	// generation — treat as read-only.
+	Members []string `json:"members"`
+	// Gen identifies the generation served.
+	Gen GenInfo `json:"gen"`
+}
+
+// TriplesAnswer enumerates triples from a postings lookup.
+type TriplesAnswer struct {
+	// Triples are the enumerated triples in ingest order, capped at the
+	// effective limit.
+	Triples []okb.Triple `json:"triples"`
+	// Total is the posting's full size; Truncated marks answers capped
+	// below it.
+	Total     int  `json:"total"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Gen identifies the generation served.
+	Gen GenInfo `json:"gen"`
+}
+
+func (ix *Index) info(g *generation) GenInfo {
+	return GenInfo{Generation: g.id, Triples: len(g.triples), Behind: ix.begun.Load() - g.id}
+}
+
+// Generation reports the current generation, or ok=false before the
+// first Apply.
+func (ix *Index) Generation() (GenInfo, bool) {
+	g := ix.gen.Load()
+	if g == nil {
+		return GenInfo{}, false
+	}
+	return ix.info(g), true
+}
+
+// Layers reports the current overlay-chain depth (1 after a full build
+// or compaction), a health signal for /stats.
+func (ix *Index) Layers() int {
+	g := ix.gen.Load()
+	if g == nil {
+		return 0
+	}
+	return g.npInfo.depth + 1
+}
+
+// Limits reports the effective configuration (post-defaulting), so the
+// serving layer can surface it.
+func (ix *Index) Limits() Config { return ix.cfg }
+
+// ResolveNP resolves a noun-phrase surface form to its canonical
+// cluster and entity link. ok=false when the index has no generation
+// yet or the surface is unknown.
+func (ix *Index) ResolveNP(surface string) (Resolution, bool) {
+	return ix.resolve(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+		return g.npInfo, g.npClusters
+	})
+}
+
+// ResolveRP resolves a relation-phrase surface form to its canonical
+// cluster and relation link.
+func (ix *Index) ResolveRP(surface string) (Resolution, bool) {
+	return ix.resolve(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+		return g.rpInfo, g.rpClusters
+	})
+}
+
+func (ix *Index) resolve(surface string, side func(*generation) (*layered[PhraseInfo], *layered[[]string])) (Resolution, bool) {
+	g := ix.gen.Load()
+	if g == nil {
+		return Resolution{}, false
+	}
+	info, clusters := side(g)
+	inf, ok := info.get(surface)
+	if !ok {
+		return Resolution{}, false
+	}
+	members, _ := clusters.get(inf.Canonical)
+	return Resolution{
+		Surface:     surface,
+		Canonical:   inf.Canonical,
+		Target:      inf.Target,
+		ClusterSize: len(members),
+		Gen:         ix.info(g),
+	}, true
+}
+
+// EntityAliases lists the noun phrases linked to a curated-KB entity
+// id — the entity-lookup direction of the alias index.
+func (ix *Index) EntityAliases(target string) (AliasesAnswer, bool) {
+	return ix.aliases(target, func(g *generation) *layered[[]string] { return g.entAliases })
+}
+
+// RelationAliases lists the relation phrases linked to a curated-KB
+// relation id.
+func (ix *Index) RelationAliases(target string) (AliasesAnswer, bool) {
+	return ix.aliases(target, func(g *generation) *layered[[]string] { return g.relAliases })
+}
+
+func (ix *Index) aliases(target string, side func(*generation) *layered[[]string]) (AliasesAnswer, bool) {
+	g := ix.gen.Load()
+	if g == nil {
+		return AliasesAnswer{}, false
+	}
+	surfs, ok := side(g).get(target)
+	if !ok {
+		return AliasesAnswer{}, false
+	}
+	return AliasesAnswer{Target: target, Aliases: surfs, Gen: ix.info(g)}, true
+}
+
+// NPCluster lists the canonicalization cluster containing a noun-phrase
+// surface form.
+func (ix *Index) NPCluster(surface string) (ClusterAnswer, bool) {
+	return ix.cluster(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+		return g.npInfo, g.npClusters
+	})
+}
+
+// RPCluster lists the canonicalization cluster containing a
+// relation-phrase surface form.
+func (ix *Index) RPCluster(surface string) (ClusterAnswer, bool) {
+	return ix.cluster(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+		return g.rpInfo, g.rpClusters
+	})
+}
+
+func (ix *Index) cluster(surface string, side func(*generation) (*layered[PhraseInfo], *layered[[]string])) (ClusterAnswer, bool) {
+	g := ix.gen.Load()
+	if g == nil {
+		return ClusterAnswer{}, false
+	}
+	info, clusters := side(g)
+	inf, ok := info.get(surface)
+	if !ok {
+		return ClusterAnswer{}, false
+	}
+	members, _ := clusters.get(inf.Canonical)
+	return ClusterAnswer{Canonical: inf.Canonical, Members: members, Gen: ix.info(g)}, true
+}
+
+// TriplesBySubject enumerates the triples whose subject belongs to the
+// canonicalization cluster of the given noun-phrase surface — the
+// canonical-entity postings view. limit <= 0 (or above the configured
+// MaxResults) takes MaxResults.
+func (ix *Index) TriplesBySubject(surface string, limit int) (TriplesAnswer, bool) {
+	return ix.triples(surface, limit, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
+		return g.npInfo, g.npClusterPost
+	})
+}
+
+// TriplesByRelation enumerates the triples whose predicate belongs to
+// the canonicalization cluster of the given relation-phrase surface.
+func (ix *Index) TriplesByRelation(surface string, limit int) (TriplesAnswer, bool) {
+	return ix.triples(surface, limit, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
+		return g.rpInfo, g.rpClusterPost
+	})
+}
+
+func (ix *Index) triples(surface string, limit int, side func(*generation) (*layered[PhraseInfo], *layered[[]int])) (TriplesAnswer, bool) {
+	g := ix.gen.Load()
+	if g == nil {
+		return TriplesAnswer{}, false
+	}
+	info, cpost := side(g)
+	inf, ok := info.get(surface)
+	if !ok {
+		return TriplesAnswer{}, false
+	}
+	ids, _ := cpost.get(inf.Canonical)
+	ans := TriplesAnswer{Total: len(ids), Gen: ix.info(g)}
+	if limit <= 0 || limit > ix.cfg.MaxResults {
+		limit = ix.cfg.MaxResults
+	}
+	if len(ids) > limit {
+		ids = ids[:limit]
+		ans.Truncated = true
+	}
+	ans.Triples = make([]okb.Triple, len(ids))
+	for i, id := range ids {
+		ans.Triples[i] = g.triples[id]
+		ans.Triples[i].ID = id
+	}
+	return ans, true
+}

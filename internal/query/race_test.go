@@ -1,0 +1,100 @@
+package query_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/okb"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// TestConcurrentIngestAndQuery hammers every query method from many
+// goroutines while a writer streams batches through the session. Under
+// -race this verifies the lock-free publication contract: readers
+// never synchronize with the ingest lock, only with the atomic
+// generation pointer, and every answer they see is internally
+// consistent (a resolution's cluster always contains its surface).
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	sess := microSession(t, stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true, MaxLayers: 2}})
+	if _, err := sess.Ingest([]okb.Triple{{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"}}); err != nil {
+		t.Fatal(err)
+	}
+	ix := sess.Query()
+
+	var stop atomic.Bool
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if res, ok := ix.ResolveNP("alphacorp"); ok {
+					c, ok2 := ix.NPCluster("alphacorp")
+					if !ok2 {
+						t.Error("resolved surface has no cluster")
+						return
+					}
+					found := false
+					for _, m := range c.Members {
+						if m == "alphacorp" {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("cluster %q misses its own surface", res.Canonical)
+						return
+					}
+					// Behind counts ingests begun after this answer's
+					// generation; racing a fast writer it can be any
+					// non-negative value, never negative.
+					if res.Gen.Behind < 0 {
+						t.Errorf("behind = %d, want >= 0", res.Gen.Behind)
+						return
+					}
+				}
+				ix.ResolveRP("acquire")
+				ix.EntityAliases("e1")
+				ix.TriplesBySubject("alphacorp", 0)
+				ix.TriplesByRelation("acquire", 0)
+				ix.Generation()
+				reads.Add(1)
+			}
+		}()
+	}
+
+	for i := 0; i < 12; i++ {
+		batch := []okb.Triple{
+			{Subj: "alphacorp", Pred: "acquire", Obj: fmt.Sprintf("startup %d", i)},
+			{Subj: fmt.Sprintf("founder %d", i), Pred: "sue", Obj: "alphacorp"},
+		}
+		if _, err := sess.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Micro-world ingests can outrun goroutine scheduling; keep the
+	// readers alive until they have demonstrably overlapped the index.
+	for reads.Load() < 256 {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	gi, ok := ix.Generation()
+	if !ok || gi.Generation != 13 || gi.Behind != 0 {
+		t.Fatalf("final generation = %+v (ok=%v), want generation 13 behind 0", gi, ok)
+	}
+	// And the settled index still matches the brute force exactly.
+	var accumulated []okb.Triple
+	accumulated = append(accumulated, okb.Triple{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"})
+	for i := 0; i < 12; i++ {
+		accumulated = append(accumulated,
+			okb.Triple{Subj: "alphacorp", Pred: "acquire", Obj: fmt.Sprintf("startup %d", i)},
+			okb.Triple{Subj: fmt.Sprintf("founder %d", i), Pred: "sue", Obj: "alphacorp"})
+	}
+	verify(t, ix, sess.Snapshot(), accumulated)
+}

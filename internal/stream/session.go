@@ -12,6 +12,7 @@ import (
 	"repro/internal/factorgraph"
 	"repro/internal/okb"
 	"repro/internal/ppdb"
+	"repro/internal/query"
 	"repro/internal/signals"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	// first build. The batch that triggers a refresh pays a full
 	// re-solve.
 	RefreshEvery int
+	// Query configures the read-path index (see internal/query): with
+	// Query.Enable set, every Ingest maintains materialized
+	// canonical-KB views delta-wise and publishes them for lock-free
+	// snapshot reads via Session.Query.
+	Query query.Config
 }
 
 // IngestStats reports what one batch cost.
@@ -71,6 +77,10 @@ type IngestStats struct {
 
 	ConstructMS float64 `json:"construct_ms"`
 	InferMS     float64 `json:"infer_ms"`
+
+	// Index reports the read-path index maintenance this ingest paid
+	// (nil when the query index is disabled).
+	Index *query.ApplyStats `json:"index,omitempty"`
 }
 
 // Stats is the session's cumulative view.
@@ -94,6 +104,17 @@ type Stats struct {
 	Repairs            int          `json:"repairs"`
 	RepairBlocksReused int          `json:"repair_blocks_reused"`
 	LastIngest         *IngestStats `json:"last_ingest,omitempty"`
+
+	// QueryEnabled reports whether the read-path index is maintained;
+	// QueryGeneration / QueryLayers its current generation id and
+	// overlay depth; QueryMaxResults the enumeration cap actually
+	// enforced (post-defaulting); IndexMS the cumulative maintenance
+	// wall-clock across all ingests.
+	QueryEnabled    bool    `json:"query_enabled,omitempty"`
+	QueryGeneration int64   `json:"query_generation,omitempty"`
+	QueryLayers     int     `json:"query_layers,omitempty"`
+	QueryMaxResults int     `json:"query_max_results,omitempty"`
+	IndexMS         float64 `json:"index_ms,omitempty"`
 }
 
 // Session is an incremental JOCL run over a growing OKB. All methods
@@ -123,6 +144,11 @@ type Session struct {
 	blocksWarm    int
 	repairs       int
 	repairReused  int
+	indexMS       float64
+
+	// qidx is the read-path index (nil when Config.Query.Enable is
+	// unset). It is maintained under mu but read lock-free.
+	qidx *query.Index
 
 	// pub guards the read-side state published after each ingest.
 	pub      sync.Mutex
@@ -137,8 +163,17 @@ func New(ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) *Se
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Session{cfg: cfg, ckb: ckbStore, emb: emb, ppdb: db}
+	s := &Session{cfg: cfg, ckb: ckbStore, emb: emb, ppdb: db}
+	if cfg.Query.Enable {
+		s.qidx = query.New(cfg.Query)
+	}
+	return s
 }
+
+// Query exposes the read-path index for lock-free snapshot reads, or
+// nil when Config.Query.Enable is unset. All Index query methods are
+// safe concurrent with Ingest and never block behind it.
+func (s *Session) Query() *query.Index { return s.qidx }
 
 // Ingest folds a batch of triples into the session and re-infers,
 // re-running belief propagation only on the connected components the
@@ -149,6 +184,13 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Staleness accounting: readers of the query index see Behind=1
+	// from here until the new generation is published (or the ingest
+	// fails and aborts).
+	if s.qidx != nil {
+		s.qidx.Begin()
+	}
 
 	st := IngestStats{
 		Batch:        s.batches + 1,
@@ -179,6 +221,9 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	cfg.Cache = cache
 	sys, err := core.NewSystem(res, cfg)
 	if err != nil {
+		if s.qidx != nil {
+			s.qidx.Abort()
+		}
 		return st, fmt.Errorf("stream: rebuilding system: %w", err)
 	}
 	st.ConstructMS = float64(time.Since(t0).Microseconds()) / 1000
@@ -223,6 +268,15 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 		s.repairReused += inc.RepairBlocksReused
 	}
 
+	// Maintain and publish the read-path index. The new generation goes
+	// live here with one atomic swap; concurrent readers were served
+	// the previous generation (marked Behind=1) throughout this ingest.
+	if s.qidx != nil {
+		qs := s.qidx.Apply(result, result.Delta, s.triples)
+		s.indexMS += qs.ApplyMS
+		st.Index = &qs
+	}
+
 	// Publish the read-side state.
 	cum := Stats{
 		Batches:            s.batches,
@@ -236,6 +290,9 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 		CutVariables:       inc.CutVars,
 		Repairs:            s.repairs,
 		RepairBlocksReused: s.repairReused,
+	}
+	if s.qidx != nil {
+		cum.IndexMS = s.indexMS
 	}
 	lastSt := st
 	cum.LastIngest = &lastSt
@@ -267,9 +324,21 @@ func (s *Session) Snapshot() *core.Result {
 }
 
 // Stats returns the cumulative counters as of the last successful
-// Ingest. It never blocks behind an in-flight ingest.
+// Ingest. It never blocks behind an in-flight ingest. The query-index
+// fields are read live from the index (they are accurate even before
+// the first ingest, and the reported MaxResults is the cap the index
+// actually enforces).
 func (s *Session) Stats() Stats {
 	s.pub.Lock()
-	defer s.pub.Unlock()
-	return s.cumStats
+	out := s.cumStats
+	s.pub.Unlock()
+	if s.qidx != nil {
+		out.QueryEnabled = true
+		out.QueryLayers = s.qidx.Layers()
+		out.QueryMaxResults = s.qidx.Limits().MaxResults
+		if gi, ok := s.qidx.Generation(); ok {
+			out.QueryGeneration = gi.Generation
+		}
+	}
+	return out
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/okb"
 	"repro/internal/ppdb"
+	"repro/internal/query"
 	"repro/internal/signals"
 )
 
@@ -138,7 +139,19 @@ type options struct {
 	embedDim     int
 	workers      int
 	refreshEvery int
+	queryOff     bool
+	queryOpts    QueryIndexOptions
 	cfg          core.Config
+}
+
+// queryConfig translates the public query-index options into the
+// internal configuration Sessions hand to the stream layer.
+func (o *options) queryConfig() query.Config {
+	return query.Config{
+		Enable:     !o.queryOff,
+		MaxLayers:  o.queryOpts.MaxLayers,
+		MaxResults: o.queryOpts.MaxResults,
+	}
 }
 
 // WithCorpus supplies a tokenized text corpus used to train the word
@@ -174,6 +187,35 @@ func WithWorkers(n int) Option {
 // refreshing batch pays a full re-solve. Ignored by batch Pipelines.
 func WithRefreshEvery(n int) Option {
 	return func(o *options) { o.refreshEvery = n }
+}
+
+// QueryIndexOptions tunes a Session's read-path query index (on by
+// default; see Session.QueryEntity and friends). Zero fields take the
+// defaults noted per field.
+type QueryIndexOptions struct {
+	// MaxResults hard-caps the triples any single enumeration query
+	// returns, whatever limit the caller asks for (default 1000).
+	MaxResults int
+	// MaxLayers bounds the index's copy-on-write overlay chain before
+	// it is compacted into one base layer (default 4). Smaller values
+	// trade more frequent amortized compaction for cheaper lookups.
+	MaxLayers int
+}
+
+// WithQueryIndex tunes the incrementally-maintained query index
+// Sessions keep by default. Ignored by batch Pipelines.
+func WithQueryIndex(q QueryIndexOptions) Option {
+	return func(o *options) {
+		o.queryOff = false
+		o.queryOpts = q
+	}
+}
+
+// WithoutQueryIndex disables the query index: Query* methods then
+// answer ok=false and ingests skip index maintenance. Ignored by batch
+// Pipelines.
+func WithoutQueryIndex() Option {
+	return func(o *options) { o.queryOff = true }
 }
 
 // SegmentOptions tunes hub-cut graph segmentation (WithSegmentation).

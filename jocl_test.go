@@ -246,3 +246,86 @@ func TestReadTriplesTSV(t *testing.T) {
 		t.Errorf("parsed %+v", ts)
 	}
 }
+
+func TestSessionQueryAPI(t *testing.T) {
+	bench, err := GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sess.QueryGeneration(); ok {
+		t.Fatal("generation reported before first ingest")
+	}
+	n := len(bench.Triples)
+	if _, err := sess.Ingest(bench.Triples[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	subject := bench.Triples[0].Subject
+	r, ok := sess.QueryEntity(subject)
+	if !ok || r.Canonical == "" || r.ClusterSize < 1 || r.Gen.Generation != 1 {
+		t.Fatalf("QueryEntity(%q) = %+v (ok=%v)", subject, r, ok)
+	}
+	c, ok := sess.QueryEntityCluster(subject)
+	if !ok || c.Canonical != r.Canonical {
+		t.Fatalf("QueryEntityCluster(%q) = %+v (ok=%v)", subject, c, ok)
+	}
+	found := false
+	for _, m := range c.Members {
+		if m == subject {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cluster %v misses its own surface %q", c.Members, subject)
+	}
+	ts, ok := sess.QueryTriplesBySubject(subject, 5)
+	if !ok || ts.Total < 1 || len(ts.Triples) < 1 {
+		t.Fatalf("QueryTriplesBySubject(%q) = %+v (ok=%v)", subject, ts, ok)
+	}
+	if r.Target != "" {
+		a, ok := sess.QueryEntityAliases(r.Target)
+		if !ok || len(a.Aliases) == 0 {
+			t.Fatalf("QueryEntityAliases(%q) = %+v (ok=%v)", r.Target, a, ok)
+		}
+	}
+	rp := bench.Triples[0].Predicate
+	if rr, ok := sess.QueryRelation(rp); !ok || rr.Canonical == "" {
+		t.Fatalf("QueryRelation(%q) = %+v (ok=%v)", rp, rr, ok)
+	}
+
+	// A second ingest advances the generation; per-ingest stats carry
+	// the index maintenance cost.
+	st, err := sess.Ingest(bench.Triples[n/2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexKeys == 0 {
+		t.Errorf("second ingest reported no index maintenance: %+v", st)
+	}
+	gen, ok := sess.QueryGeneration()
+	if !ok || gen.Generation != 2 || gen.Behind != 0 {
+		t.Fatalf("generation after 2 ingests = %+v (ok=%v)", gen, ok)
+	}
+	if ss := sess.Stats(); !ss.QueryEnabled || ss.QueryGeneration != 2 {
+		t.Errorf("session stats miss query index: %+v", ss)
+	}
+
+	// Disabled sessions answer ok=false everywhere.
+	off, err := bench.Session(WithoutQueryIndex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Ingest(bench.Triples[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := off.QueryEntity(subject); ok {
+		t.Error("disabled query index answered")
+	}
+	if ss := off.Stats(); ss.QueryEnabled {
+		t.Errorf("disabled session claims query enabled: %+v", ss)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/okb"
 	"repro/internal/ppdb"
+	"repro/internal/query"
 	"repro/internal/stream"
 )
 
@@ -66,6 +67,14 @@ type IngestStats struct {
 	// between graph (re)construction and inference.
 	ConstructMillis float64
 	InferMillis     float64
+
+	// IndexMillis is the read-path query-index maintenance this ingest
+	// paid; IndexKeys the index keys it rewrote and IndexFull whether
+	// it was a from-scratch rebuild (first batch or epoch refresh). All
+	// zero when the query index is disabled.
+	IndexMillis float64
+	IndexKeys   int
+	IndexFull   bool
 }
 
 // SessionStats is a session's cumulative view.
@@ -89,7 +98,17 @@ type SessionStats struct {
 	// verbatim (both zero without WithSegmentation).
 	PartitionRepairs   int
 	RepairBlocksReused int
-	LastIngest         *IngestStats
+	// QueryEnabled reports whether the read-path query index is
+	// maintained; QueryGeneration its current generation id,
+	// QueryLayers its overlay-chain depth, QueryMaxResults the
+	// enumeration cap it enforces, and QueryIndexMillis the cumulative
+	// maintenance wall-clock across all ingests.
+	QueryEnabled     bool
+	QueryGeneration  int64
+	QueryLayers      int
+	QueryMaxResults  int
+	QueryIndexMillis float64
+	LastIngest       *IngestStats
 }
 
 // NewSession opens a streaming session against the KB. The same
@@ -113,6 +132,7 @@ func NewSession(kb *KB, opts ...Option) (*Session, error) {
 		Core:         o.cfg,
 		Workers:      o.workers,
 		RefreshEvery: o.refreshEvery,
+		Query:        o.queryConfig(),
 	})}, nil
 }
 
@@ -155,6 +175,11 @@ func (s *Session) Stats() SessionStats {
 		CutVariables:       st.CutVariables,
 		PartitionRepairs:   st.Repairs,
 		RepairBlocksReused: st.RepairBlocksReused,
+		QueryEnabled:       st.QueryEnabled,
+		QueryGeneration:    st.QueryGeneration,
+		QueryLayers:        st.QueryLayers,
+		QueryMaxResults:    st.QueryMaxResults,
+		QueryIndexMillis:   st.IndexMS,
 	}
 	if st.LastIngest != nil {
 		li := ingestStats(*st.LastIngest)
@@ -168,7 +193,7 @@ func (s *Session) Stats() SessionStats {
 func (s *Session) Refresh() { s.s.Refresh() }
 
 func ingestStats(st stream.IngestStats) IngestStats {
-	return IngestStats{
+	out := IngestStats{
 		Batch:              st.Batch,
 		BatchTriples:       st.BatchTriples,
 		TotalTriples:       st.TotalTriples,
@@ -186,4 +211,208 @@ func ingestStats(st stream.IngestStats) IngestStats {
 		ConstructMillis:    st.ConstructMS,
 		InferMillis:        st.InferMS,
 	}
+	if st.Index != nil {
+		out.IndexMillis = st.Index.ApplyMS
+		out.IndexKeys = st.Index.KeysWritten
+		out.IndexFull = st.Index.Full
+	}
+	return out
+}
+
+// QueryGen identifies the read-path index generation an answer was
+// served from: the generation id (ingests reflected), the triples it
+// covers, and how many ingests it is behind (1 while an ingest is in
+// flight — readers are never blocked, they are served the previous
+// generation and told so).
+type QueryGen struct {
+	Generation int64
+	Triples    int
+	Behind     int
+}
+
+// Resolution is the alias-resolution answer for one surface form: the
+// canonicalization cluster it belongs to (Canonical is the
+// lexicographically smallest member, a stable cluster id) and the
+// curated-KB target it links to ("" = out of KB).
+type Resolution struct {
+	Surface     string
+	Canonical   string
+	Target      string
+	ClusterSize int
+	Gen         QueryGen
+}
+
+// AliasSet lists the surface forms currently linked to one curated-KB
+// identifier — the entity-lookup direction of the alias index.
+type AliasSet struct {
+	Target  string
+	Aliases []string
+	Gen     QueryGen
+}
+
+// ClusterView lists one canonicalization cluster's membership.
+type ClusterView struct {
+	Canonical string
+	Members   []string
+	Gen       QueryGen
+}
+
+// TripleSet enumerates triples from a canonical postings lookup.
+// Total is the posting's full size; Truncated marks answers capped by
+// the limit (or QueryIndexOptions.MaxResults).
+type TripleSet struct {
+	Triples   []Triple
+	Total     int
+	Truncated bool
+	Gen       QueryGen
+}
+
+// All Query* methods answer from the read-path index maintained
+// incrementally by Ingest (see internal/query): they are lock-free,
+// safe for arbitrary concurrency with Ingest, and always see one
+// consistent index generation. They return ok=false when the index is
+// disabled (WithoutQueryIndex), no batch has been ingested yet, or the
+// key is unknown.
+
+// QueryEntity resolves a noun-phrase surface form to its
+// canonicalization cluster and entity link.
+func (s *Session) QueryEntity(surface string) (Resolution, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return Resolution{}, false
+	}
+	r, ok := ix.ResolveNP(surface)
+	return resolutionOf(r), ok
+}
+
+// QueryRelation resolves a relation-phrase surface form to its
+// canonicalization cluster and relation link.
+func (s *Session) QueryRelation(surface string) (Resolution, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return Resolution{}, false
+	}
+	r, ok := ix.ResolveRP(surface)
+	return resolutionOf(r), ok
+}
+
+// QueryEntityAliases lists the noun phrases currently linked to a
+// curated-KB entity id.
+func (s *Session) QueryEntityAliases(entityID string) (AliasSet, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return AliasSet{}, false
+	}
+	a, ok := ix.EntityAliases(entityID)
+	return aliasSetOf(a), ok
+}
+
+// QueryRelationAliases lists the relation phrases currently linked to
+// a curated-KB relation id.
+func (s *Session) QueryRelationAliases(relationID string) (AliasSet, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return AliasSet{}, false
+	}
+	a, ok := ix.RelationAliases(relationID)
+	return aliasSetOf(a), ok
+}
+
+// QueryEntityCluster lists the canonicalization cluster containing a
+// noun-phrase surface form.
+func (s *Session) QueryEntityCluster(surface string) (ClusterView, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return ClusterView{}, false
+	}
+	c, ok := ix.NPCluster(surface)
+	return clusterViewOf(c), ok
+}
+
+// QueryRelationCluster lists the canonicalization cluster containing a
+// relation-phrase surface form.
+func (s *Session) QueryRelationCluster(surface string) (ClusterView, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return ClusterView{}, false
+	}
+	c, ok := ix.RPCluster(surface)
+	return clusterViewOf(c), ok
+}
+
+// QueryTriplesBySubject enumerates the triples whose subject belongs
+// to the canonicalization cluster of the given noun phrase. limit <= 0
+// takes the configured MaxResults.
+func (s *Session) QueryTriplesBySubject(surface string, limit int) (TripleSet, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return TripleSet{}, false
+	}
+	ts, ok := ix.TriplesBySubject(surface, limit)
+	return tripleSetOf(ts), ok
+}
+
+// QueryTriplesByRelation enumerates the triples whose predicate
+// belongs to the canonicalization cluster of the given relation
+// phrase.
+func (s *Session) QueryTriplesByRelation(surface string, limit int) (TripleSet, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return TripleSet{}, false
+	}
+	ts, ok := ix.TriplesByRelation(surface, limit)
+	return tripleSetOf(ts), ok
+}
+
+// QueryGeneration reports the current index generation, or ok=false
+// when the index is disabled or nothing has been ingested.
+func (s *Session) QueryGeneration() (QueryGen, bool) {
+	ix := s.s.Query()
+	if ix == nil {
+		return QueryGen{}, false
+	}
+	gi, ok := ix.Generation()
+	if !ok {
+		return QueryGen{}, false
+	}
+	return queryGenOf(gi), true
+}
+
+func queryGenOf(gi query.GenInfo) QueryGen {
+	return QueryGen{Generation: gi.Generation, Triples: gi.Triples, Behind: int(gi.Behind)}
+}
+
+func resolutionOf(r query.Resolution) Resolution {
+	return Resolution{
+		Surface:     r.Surface,
+		Canonical:   r.Canonical,
+		Target:      r.Target,
+		ClusterSize: r.ClusterSize,
+		Gen:         queryGenOf(r.Gen),
+	}
+}
+
+func aliasSetOf(a query.AliasesAnswer) AliasSet {
+	return AliasSet{
+		Target:  a.Target,
+		Aliases: append([]string(nil), a.Aliases...),
+		Gen:     queryGenOf(a.Gen),
+	}
+}
+
+func clusterViewOf(c query.ClusterAnswer) ClusterView {
+	return ClusterView{
+		Canonical: c.Canonical,
+		Members:   append([]string(nil), c.Members...),
+		Gen:       queryGenOf(c.Gen),
+	}
+}
+
+func tripleSetOf(ts query.TriplesAnswer) TripleSet {
+	out := TripleSet{Total: ts.Total, Truncated: ts.Truncated, Gen: queryGenOf(ts.Gen)}
+	out.Triples = make([]Triple, len(ts.Triples))
+	for i, t := range ts.Triples {
+		out.Triples[i] = Triple{Subject: t.Subj, Predicate: t.Pred, Object: t.Obj}
+	}
+	return out
 }
