@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query docs-check serve clean
+.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query bench-checkpoint docs-check serve clean
 
 all: build vet test docs-check
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./cmd/jocl-serve/
+	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./internal/checkpoint/ ./cmd/jocl-serve/
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -40,6 +40,12 @@ bench-repair:
 bench-query:
 	$(GO) run ./cmd/jocl-bench -exp query -query-out BENCH_query.json
 
+# Durability benchmark: restore-from-checkpoint vs cold full-stream
+# replay (target >= 5x), warm continuation, answer equivalence. Emits
+# BENCH_checkpoint.json.
+bench-checkpoint:
+	$(GO) run ./cmd/jocl-bench -exp checkpoint -checkpoint-out BENCH_checkpoint.json
+
 # Documentation gate: broken relative links in *.md, undocumented
 # exported identifiers in the public and documented packages.
 docs-check:
@@ -49,4 +55,4 @@ serve:
 	$(GO) run ./cmd/jocl-serve -addr :8080
 
 clean:
-	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json
+	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json BENCH_checkpoint.json

@@ -3,6 +3,7 @@ package jocl
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/signals"
@@ -70,10 +71,7 @@ func (b *Benchmark) KB() *KB { return b.kb }
 // resources (trained embeddings, paraphrase DB, anchor statistics) —
 // faster than New, which would retrain them from a corpus.
 func (b *Benchmark) Pipeline(opts ...Option) (*Pipeline, error) {
-	o := &options{cfg: core.DefaultConfig()}
-	for _, opt := range opts {
-		opt(o)
-	}
+	o := applyOptions(opts)
 	res := signals.New(b.ds.OKB, b.ds.CKB, b.ds.Emb, b.ds.PPDB)
 	sys, err := core.NewSystem(res, o.cfg)
 	if err != nil {
@@ -87,16 +85,28 @@ func (b *Benchmark) Pipeline(opts ...Option) (*Pipeline, error) {
 // statistics). Ingest the benchmark's Triples in batches to simulate a
 // stream; see also cmd/jocl-serve, which does exactly that over HTTP.
 func (b *Benchmark) Session(opts ...Option) (*Session, error) {
-	o := &options{cfg: core.DefaultConfig()}
-	for _, opt := range opts {
-		opt(o)
+	o := applyOptions(opts)
+	return &Session{s: stream.New(b.ds.CKB, b.ds.Emb, b.ds.PPDB, o.streamConfig())}, nil
+}
+
+// RestoreSessionFile reconstructs a streaming session from a
+// checkpoint taken against this benchmark's substrate (GenerateBenchmark
+// is deterministic, so a restarted process regenerating the same
+// profile and scale holds the identical KB, embeddings, and paraphrase
+// DB the checkpointing session used). Pass the same options the
+// original session was opened with. See jocl.RestoreSession for the
+// restore semantics.
+func (b *Benchmark) RestoreSessionFile(path string, opts ...Option) (*Session, error) {
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
 	}
-	return &Session{s: stream.New(b.ds.CKB, b.ds.Emb, b.ds.PPDB, stream.Config{
-		Core:         o.cfg,
-		Workers:      o.workers,
-		RefreshEvery: o.refreshEvery,
-		Query:        o.queryConfig(),
-	})}, nil
+	o := applyOptions(opts)
+	sess, err := stream.RestoreSnapshot(snap, b.ds.CKB, b.ds.Emb, b.ds.PPDB, o.streamConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: sess}, nil
 }
 
 // ValidationLabels returns the gold labels of the benchmark's

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair|query]
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair|query|checkpoint]
 //	           [-stream-batches 6] [-stream-preload 0.6] [-stream-out BENCH_stream.json]
 //	           [-segment-batches 8] [-segment-preload 0.6] [-segment-tol 0.02]
 //	           [-segment-out BENCH_segment.json]
@@ -13,6 +13,8 @@
 //	           [-repair-out BENCH_repair.json]
 //	           [-query-batches 12] [-query-preload 0.6] [-query-readers 8]
 //	           [-query-out BENCH_query.json]
+//	           [-checkpoint-batches 8] [-checkpoint-preload 0.6]
+//	           [-checkpoint-out BENCH_checkpoint.json]
 //
 // scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
 // the default keeps a laptop run under a minute.
@@ -36,6 +38,12 @@
 // maintenance vs full per-ingest rebuild, plus read throughput under
 // concurrent ingest; see internal/bench.RunQuery) and, with
 // -query-out, writes the BENCH_query.json artifact.
+//
+// -exp checkpoint runs the durability benchmark (restore a crashed
+// session from its checkpoint vs replaying the whole stream cold, plus
+// warm-continuation and equivalence checks; see
+// internal/bench.RunCheckpoint) and, with -checkpoint-out, writes the
+// BENCH_checkpoint.json artifact.
 package main
 
 import (
@@ -49,7 +57,7 @@ import (
 func main() {
 	var (
 		scale          = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
-		exp            = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream, segment)")
+		exp            = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream, segment, repair, query, checkpoint)")
 		streamBatches  = flag.Int("stream-batches", 6, "stream: total batches (1 preload + N-1 increments)")
 		streamPreload  = flag.Float64("stream-preload", 0.6, "stream: fraction of triples ingested as the preload batch")
 		streamOut      = flag.String("stream-out", "", "stream: write the report JSON to this path (e.g. BENCH_stream.json)")
@@ -65,6 +73,9 @@ func main() {
 		queryPreload   = flag.Float64("query-preload", 0.6, "query: fraction of triples ingested as the preload batch")
 		queryReaders   = flag.Int("query-readers", 8, "query: concurrent reader goroutines hammering the index")
 		queryOut       = flag.String("query-out", "", "query: write the report JSON to this path (e.g. BENCH_query.json)")
+		ckptBatches    = flag.Int("checkpoint-batches", 8, "checkpoint: total batches (the last one lands after the simulated crash)")
+		ckptPreload    = flag.Float64("checkpoint-preload", 0.6, "checkpoint: fraction of triples ingested as the preload batch")
+		ckptOut        = flag.String("checkpoint-out", "", "checkpoint: write the report JSON to this path (e.g. BENCH_checkpoint.json)")
 	)
 	flag.Parse()
 	if *exp == "stream" {
@@ -90,6 +101,13 @@ func main() {
 	}
 	if *exp == "query" {
 		if err := runQuery(*scale, *queryPreload, *queryBatches, *queryReaders, *queryOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "checkpoint" {
+		if err := runCheckpoint(*scale, *ckptPreload, *ckptBatches, *ckptOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 			os.Exit(1)
 		}
@@ -166,6 +184,27 @@ func runRepair(scale, preload float64, batches int, f1Tol float64, out string) e
 
 func runQuery(scale, preload float64, batches, readers int, out string) error {
 	report, err := bench.RunQuery("reverb45k", scale, preload, batches, 0, readers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runCheckpoint(scale, preload float64, batches int, out string) error {
+	report, err := bench.RunCheckpoint("reverb45k", scale, preload, batches, 0)
 	if err != nil {
 		return err
 	}

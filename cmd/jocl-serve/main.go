@@ -8,10 +8,12 @@
 //
 //	jocl-serve [-addr :8080] [-profile reverb45k] [-scale 0.02]
 //	           [-workers 0] [-refresh-every 0] [-max-batch 10000]
+//	           [-max-body-bytes 8388608]
 //	           [-segment] [-hub-percentile 0.99] [-min-hub-degree 8]
 //	           [-max-block-vars 0] [-target-blocks-per-worker 4]
 //	           [-outer-rounds 4] [-boundary-tol 0.005] [-no-repair]
 //	           [-query] [-query-max-results 1000] [-query-max-layers 4]
+//	           [-checkpoint-dir DIR] [-checkpoint-every N]
 //
 // -segment enables hub-cut graph segmentation: the highest-degree
 // variables (popular phrases that fuse the factor graph into one giant
@@ -47,26 +49,47 @@
 //	GET  /query/triples?subject=S [&limit=N]  -> triples whose subject is in S's cluster
 //	GET  /query/triples?relation=S [&limit=N] -> triples whose predicate is in S's cluster
 //
+// With -checkpoint-dir set the session is durable: on startup an
+// existing checkpoint in the directory is restored (the process
+// resumes ingesting warm — adopted blocks stay warm, partition repairs
+// pick up the carried cuts, query generations continue with correct
+// staleness), every N successful ingests (-checkpoint-every) a
+// background goroutine writes a new snapshot off the ingest lock's hot
+// path, POST /checkpoint forces one on demand, and a final snapshot is
+// written during graceful shutdown. Checkpoints are atomic (temp file
+// + fsync + rename), so a crash mid-write never leaves a torn file:
+//
+//	POST /checkpoint  -> {"path": ..., "bytes": ..., "batches": ..., "write_ms": ...}
+//
+// Request bodies are bounded by -max-body-bytes (413 beyond it);
+// -max-batch additionally caps the triples per ingest batch.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
-// stops accepting, in-flight ingests and queries drain, then it exits.
+// stops accepting, in-flight ingests and queries drain, a final
+// checkpoint is written (when -checkpoint-dir is set), then it exits.
 //
 // Example:
 //
 //	curl -s localhost:8080/ingest -d '{"triples":[{"subject":"barack obama","predicate":"be born in","object":"honolulu"}]}'
 //	curl -s localhost:8080/query/resolve?np=obama | jq .
 //	curl -s localhost:8080/query/triples?subject=obama | jq .triples
+//	curl -s -X POST localhost:8080/checkpoint | jq .
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -92,6 +115,9 @@ func main() {
 		queryOn      = flag.Bool("query", true, "maintain the read-path query index (/query/* endpoints)")
 		queryMaxRes  = flag.Int("query-max-results", 0, "query index: hard cap on triples per enumeration answer (0 = default 1000)")
 		queryLayers  = flag.Int("query-max-layers", 0, "query index: overlay-chain depth before compaction (0 = default 4)")
+		maxBody      = flag.Int64("max-body-bytes", 8<<20, "largest accepted request body in bytes (413 beyond it)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for durable session checkpoints (restore on startup, POST /checkpoint, periodic snapshots)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "write a background checkpoint every N successful ingests (0 = manual/shutdown checkpoints only; needs -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -120,11 +146,37 @@ func main() {
 			NoRepair:              *noRepair,
 		}))
 	}
-	sess, err := bench.Session(opts...)
-	if err != nil {
-		log.Fatal("jocl-serve: ", err)
+	var sess *jocl.Session
+	ckptPath := ""
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal("jocl-serve: checkpoint dir: ", err)
+		}
+		ckptPath = filepath.Join(*ckptDir, jocl.CheckpointFileName)
 	}
-	srv := newServer(sess, *maxBatch)
+	if ckptPath != "" {
+		if _, statErr := os.Stat(ckptPath); statErr == nil {
+			t0 := time.Now()
+			sess, err = bench.RestoreSessionFile(ckptPath, opts...)
+			if err != nil {
+				log.Fatal("jocl-serve: restoring checkpoint: ", err)
+			}
+			st := sess.Stats()
+			log.Printf("restored %s: %d batches / %d triples, warm in %.0fms",
+				ckptPath, st.Batches, st.TotalTriples, float64(time.Since(t0).Microseconds())/1000)
+		}
+	}
+	if sess == nil {
+		if sess, err = bench.Session(opts...); err != nil {
+			log.Fatal("jocl-serve: ", err)
+		}
+	}
+	srv := newServer(sess, serveOptions{
+		maxBatch:        *maxBatch,
+		maxBodyBytes:    *maxBody,
+		checkpointPath:  ckptPath,
+		checkpointEvery: *ckptEvery,
+	})
 	log.Printf("serving on %s (%s world, %d generator triples available)", *addr, bench.Name(), len(bench.Triples))
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, let in-flight
@@ -147,25 +199,54 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jocl-serve: shutdown:", err)
 			os.Exit(1)
 		}
+		if ckptPath != "" {
+			if _, err := srv.writeCheckpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "jocl-serve: final checkpoint:", err)
+				os.Exit(1)
+			}
+			log.Printf("final checkpoint written to %s", ckptPath)
+		}
 		log.Printf("drained; bye")
 	}
+}
+
+// serveOptions bundles the server's operational knobs.
+type serveOptions struct {
+	maxBatch     int
+	maxBodyBytes int64
+	// checkpointPath is the durable snapshot file ("" = durability off);
+	// checkpointEvery triggers a background checkpoint every N
+	// successful ingests (0 = manual/shutdown only).
+	checkpointPath  string
+	checkpointEvery int
 }
 
 // server wires a jocl.Session into an http.Handler. Handlers run
 // concurrently; the session serializes ingests internally and serves
 // snapshots from published state, so no extra locking is needed here.
+// Checkpoint writes are single-flight: the periodic trigger skips a
+// cycle rather than queueing behind a slow disk, and manual
+// /checkpoint requests serialize on ckptMu.
 type server struct {
-	mux      *http.ServeMux
-	sess     *jocl.Session
-	maxBatch int
+	mux  *http.ServeMux
+	sess *jocl.Session
+	opt  serveOptions
+
+	ckptMu     sync.Mutex  // serializes checkpoint writes
+	ckptBusy   atomic.Bool // single-flight marker for the periodic trigger
+	ckptErrors atomic.Int64
 }
 
-func newServer(sess *jocl.Session, maxBatch int) *server {
-	s := &server{mux: http.NewServeMux(), sess: sess, maxBatch: maxBatch}
+func newServer(sess *jocl.Session, opt serveOptions) *server {
+	if opt.maxBodyBytes <= 0 {
+		opt.maxBodyBytes = 8 << 20
+	}
+	s := &server{mux: http.NewServeMux(), sess: sess, opt: opt}
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/result", s.handleResult)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/query/resolve", s.handleQueryResolve)
 	s.mux.HandleFunc("/query/entity", s.handleQueryEntity)
 	s.mux.HandleFunc("/query/relation", s.handleQueryRelation)
@@ -243,8 +324,18 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Bound the body before decoding: an unbounded JSON decode would let
+	// one request buffer arbitrary memory. MaxBytesReader also tells the
+	// HTTP server to close the connection when the limit trips.
+	r.Body = http.MaxBytesReader(w, r.Body, s.opt.maxBodyBytes)
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds -max-body-bytes (%d bytes); split the batch or raise the flag", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
@@ -252,8 +343,8 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	if len(req.Triples) > s.maxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d exceeds -max-batch %d", len(req.Triples), s.maxBatch))
+	if len(req.Triples) > s.opt.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d exceeds -max-batch %d", len(req.Triples), s.opt.maxBatch))
 		return
 	}
 	batch := make([]jocl.Triple, len(req.Triples))
@@ -269,7 +360,82 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	s.maybeCheckpoint(st.Batch)
 	writeJSON(w, http.StatusOK, ingestResponseOf(st))
+}
+
+// maybeCheckpoint fires the periodic background checkpoint after every
+// checkpointEvery-th successful ingest. The write runs in its own
+// goroutine — the session's checkpoint capture holds the ingest lock
+// only briefly, so the ingest path never waits on serialization or
+// disk — and is single-flight: if the previous write is still running,
+// this cycle is skipped rather than queued.
+func (s *server) maybeCheckpoint(batch int) {
+	if s.opt.checkpointPath == "" || s.opt.checkpointEvery <= 0 || batch%s.opt.checkpointEvery != 0 {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.ckptBusy.Store(false)
+		if resp, err := s.writeCheckpoint(); err != nil {
+			s.ckptErrors.Add(1)
+			log.Printf("jocl-serve: background checkpoint: %v", err)
+		} else {
+			log.Printf("checkpoint written to %s: %d batches (%.0fms)", resp.Path, resp.Batches, resp.WriteMS)
+		}
+	}()
+}
+
+type checkpointResponse struct {
+	Path    string  `json:"path"`
+	Bytes   int64   `json:"bytes"`
+	Batches int     `json:"batches"`
+	Triples int     `json:"triples"`
+	WriteMS float64 `json:"write_ms"`
+}
+
+// writeCheckpoint persists the session atomically to the configured
+// path. The returned response describes the snapshot that was actually
+// written (its batch/triple counts and on-disk size, all taken under
+// ckptMu), not the session's possibly newer state.
+func (s *server) writeCheckpoint() (checkpointResponse, error) {
+	if s.opt.checkpointPath == "" {
+		return checkpointResponse{}, fmt.Errorf("no -checkpoint-dir configured")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	t0 := time.Now()
+	info, err := s.sess.CheckpointFile(s.opt.checkpointPath)
+	if err != nil {
+		return checkpointResponse{}, err
+	}
+	return checkpointResponse{
+		Path:    s.opt.checkpointPath,
+		Bytes:   info.Bytes,
+		Batches: info.Batches,
+		Triples: info.Triples,
+		WriteMS: float64(time.Since(t0).Microseconds()) / 1000,
+	}, nil
+}
+
+// handleCheckpoint forces a durable snapshot now (POST /checkpoint).
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.opt.checkpointPath == "" {
+		httpError(w, http.StatusBadRequest, "checkpointing disabled: start jocl-serve with -checkpoint-dir")
+		return
+	}
+	resp, err := s.writeCheckpoint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "writing checkpoint: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type resultResponse struct {

@@ -6,8 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -22,7 +26,7 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(sess, 1000)
+	return newServer(sess, serveOptions{maxBatch: 1000})
 }
 
 func postIngest(t *testing.T, srv http.Handler, triples []tripleJSON) (*httptest.ResponseRecorder, ingestResponse) {
@@ -208,7 +212,7 @@ func TestServeQueryDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(sess, 1000)
+	srv := newServer(sess, serveOptions{maxBatch: 1000})
 	if rec, _ := postIngest(t, srv, []tripleJSON{{Subject: "a corp", Predicate: "buy", Object: "b labs"}}); rec.Code != http.StatusOK {
 		t.Fatalf("ingest = %d", rec.Code)
 	}
@@ -242,7 +246,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 		}
 	}
 
-	small := newServer(mustSession(t), 1)
+	small := newServer(mustSession(t), serveOptions{maxBatch: 1})
 	rec, _ := postIngest(t, small, []tripleJSON{
 		{Subject: "a corp", Predicate: "buy", Object: "b corp"},
 		{Subject: "c corp", Predicate: "buy", Object: "d corp"},
@@ -313,5 +317,134 @@ func TestServeConcurrentClients(t *testing.T) {
 	}
 	if st.Batches != 9 || st.TotalTriples != 9 {
 		t.Errorf("after concurrent ingests: %+v", st)
+	}
+}
+
+func TestServeBodyLimit(t *testing.T) {
+	srv := newServer(mustSession(t), serveOptions{maxBatch: 1000, maxBodyBytes: 256})
+	big := make([]tripleJSON, 20)
+	for i := range big {
+		big[i] = tripleJSON{Subject: "some long subject phrase", Predicate: "relate to", Object: "some long object phrase"}
+	}
+	rec, _ := postIngest(t, srv, big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413: %s", rec.Code, rec.Body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e["error"], "max-body-bytes") {
+		t.Errorf("413 message must name the flag: %v %v", e, err)
+	}
+	// Small bodies still pass through the limiter.
+	rec, _ = postIngest(t, srv, []tripleJSON{{Subject: "a corp", Predicate: "buy", Object: "b labs"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small body under limiter = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestServeCheckpointEndpointAndRestore(t *testing.T) {
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, jocl.CheckpointFileName)
+	srv := newServer(sess, serveOptions{maxBatch: 1000, checkpointPath: path})
+
+	// Without data: checkpoint still works (an empty-session snapshot).
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/checkpoint", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /checkpoint = %d, want 405", rec.Code)
+	}
+
+	if rec, _ := postIngest(t, srv, []tripleJSON{
+		{Subject: "barack obama", Predicate: "be born in", Object: "honolulu"},
+		{Subject: "obama", Predicate: "serve as", Object: "president"},
+	}); rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/checkpoint", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /checkpoint = %d: %s", rec.Code, rec.Body)
+	}
+	var cp checkpointResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Path != path || cp.Bytes == 0 || cp.Batches != 1 {
+		t.Errorf("unexpected checkpoint response: %+v", cp)
+	}
+
+	// A second server restores from the file — the kill-and-restart
+	// path — and answers /stats and /query identically, then keeps
+	// ingesting.
+	restored, err := bench.RestoreSessionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := newServer(restored, serveOptions{maxBatch: 1000, checkpointPath: path})
+	var st1, st2 statsResponse
+	getJSON(t, srv, "/stats", &st1)
+	getJSON(t, srv2, "/stats", &st2)
+	if st2.Batches != st1.Batches || st2.TotalTriples != st1.TotalTriples || st2.QueryGeneration != st1.QueryGeneration {
+		t.Errorf("restored stats diverge: %+v vs %+v", st2, st1)
+	}
+	var r1, r2 resolveResponse
+	if rec := getJSON(t, srv2, "/query/resolve?np=barack+obama", &r2); rec.Code != http.StatusOK {
+		t.Fatalf("restored /query/resolve = %d: %s", rec.Code, rec.Body)
+	}
+	getJSON(t, srv, "/query/resolve?np=barack+obama", &r1)
+	if r1.Canonical != r2.Canonical || r1.Target != r2.Target || r1.Gen.Generation != r2.Gen.Generation {
+		t.Errorf("restored query answer diverges: %+v vs %+v", r2, r1)
+	}
+	if rec, ing := postIngest(t, srv2, []tripleJSON{{Subject: "obama", Predicate: "visit", Object: "chicago"}}); rec.Code != http.StatusOK || ing.Batch != 2 {
+		t.Fatalf("restored server cannot ingest: %d %+v", rec.Code, ing)
+	}
+
+	// No -checkpoint-dir: POST /checkpoint is a clear client error.
+	bare := newServer(mustSession(t), serveOptions{maxBatch: 1000})
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/checkpoint", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("POST /checkpoint without dir = %d, want 400", rec.Code)
+	}
+}
+
+func TestServePeriodicCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, jocl.CheckpointFileName)
+	srv := newServer(mustSession(t), serveOptions{maxBatch: 1000, checkpointPath: path, checkpointEvery: 2})
+	names := []string{"a corp", "b corp", "c corp", "d corp"}
+	for i, n := range names {
+		body := []tripleJSON{{Subject: n, Predicate: "acquire", Object: "startup " + n}}
+		if rec, _ := postIngest(t, srv, body); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d = %d", i, rec.Code)
+		}
+	}
+	// The trigger is asynchronous; wait for the single-flight slot to
+	// clear and the file to appear.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if !srv.ckptBusy.Load() {
+			if _, err := os.Stat(path); err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.ckptErrors.Load() != 0 {
+		t.Fatalf("background checkpoint errors: %d", srv.ckptErrors.Load())
+	}
+	snap, err := jocl.RestoreSessionFile(path, nil)
+	if err == nil || snap != nil {
+		t.Fatalf("nil KB must be rejected")
 	}
 }

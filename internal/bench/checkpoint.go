@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// This file benchmarks the durability subsystem (internal/checkpoint,
+// stream.Session.Checkpoint/RestoreSession) in its recovery scenario:
+// a serving process dies mid-stream and a replacement must come back
+// warm. The comparison is restore-from-checkpoint versus the only
+// alternative the stack had before checkpoints existed — replaying the
+// whole accumulated stream cold into a fresh session. Restore pays one
+// epoch re-derivation (signal statistics over the checkpoint's epoch
+// prefix) plus deserialization, while the cold replay pays per-batch
+// graph construction and inference for the entire history; the
+// acceptance target is restore >= 5x faster, with the restored session
+// continuing warm (blocks adopted, partition repaired) and answering
+// queries identically to a process that never died.
+
+// CheckpointReport is the durability benchmark's output, emitted as
+// the BENCH_checkpoint.json artifact.
+type CheckpointReport struct {
+	Profile string  `json:"profile"`
+	Scale   float64 `json:"scale"`
+	Batches int     `json:"batches"`
+	Workers int     `json:"workers"`
+
+	// StreamMS is the wall-clock of ingesting the pre-crash stream
+	// (every batch but the last) into the original session.
+	StreamMS float64 `json:"stream_ms"`
+	// CheckpointMS / CheckpointBytes price one snapshot: serialization
+	// wall-clock (the capture itself holds the ingest lock only
+	// briefly) and the serialized size.
+	CheckpointMS    float64 `json:"checkpoint_ms"`
+	CheckpointBytes int     `json:"checkpoint_bytes"`
+
+	// RestoreMS is the wall-clock from checkpoint bytes to a session
+	// ready to serve; ColdReplayMS re-ingests the same pre-crash stream
+	// into a fresh session — what recovery cost before checkpoints.
+	// Speedup is ColdReplayMS / RestoreMS (the >= 5x target).
+	RestoreMS    float64 `json:"restore_ms"`
+	ColdReplayMS float64 `json:"cold_replay_ms"`
+	Speedup      float64 `json:"speedup"`
+
+	// Post-restore continuation: the final batch ingested into the
+	// restored session. WarmBlocks counts blocks served from the
+	// restored messages, Repaired whether the carried partition was
+	// repaired rather than re-derived.
+	PostRestoreWarmBlocks int  `json:"post_restore_warm_blocks"`
+	PostRestoreRepaired   bool `json:"post_restore_repaired"`
+
+	// Equivalence of the restored path against a process that never
+	// died, after both ingested the final batch: link / cluster
+	// agreement fractions (target >= 1 - 0.02) and whether the query
+	// generations line up.
+	NPLinkAgreement    float64 `json:"np_link_agreement"`
+	RPLinkAgreement    float64 `json:"rp_link_agreement"`
+	NPClusterAgreement float64 `json:"np_cluster_agreement"`
+	RPClusterAgreement float64 `json:"rp_cluster_agreement"`
+	GenerationsMatch   bool    `json:"generations_match"`
+
+	// MeetsTarget: Speedup >= 5, all agreements >= 0.98, generations
+	// aligned, and the continuation actually ran warm.
+	MeetsTarget bool `json:"meets_target"`
+}
+
+// checkpointCanonicalOf maps each surface to its group's smallest
+// member (the stable cluster id used for agreement scoring).
+func checkpointCanonicalOf(groups [][]string) map[string]string {
+	out := map[string]string{}
+	for _, g := range groups {
+		min := g[0]
+		for _, m := range g[1:] {
+			if m < min {
+				min = m
+			}
+		}
+		for _, m := range g {
+			out[m] = min
+		}
+	}
+	return out
+}
+
+// checkpointAgreement returns the fraction of keys (union) two maps
+// agree on.
+func checkpointAgreement(a, b map[string]string) float64 {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	if len(keys) == 0 {
+		return 1
+	}
+	same := 0
+	for k := range keys {
+		if a[k] == b[k] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(keys))
+}
+
+// RunCheckpoint measures crash recovery: ingest all batches but the
+// last, checkpoint, then price (a) restoring the session from the
+// checkpoint against (b) replaying the pre-crash stream cold, and
+// verify the restored session finishes the stream warm and equivalent
+// to an uninterrupted one.
+func RunCheckpoint(profile string, scale, preloadFrac float64, batches, workers int) (*CheckpointReport, error) {
+	ds, triples, cuts, batches, err := ingestPlan(profile, scale, preloadFrac, batches)
+	if err != nil {
+		return nil, err
+	}
+	workers = resolveWorkers(workers)
+	report := &CheckpointReport{Profile: profile, Scale: scale, Batches: batches, Workers: workers}
+
+	cfg := core.DefaultConfig()
+	cfg.BP.MaxSweeps = 40
+	cfg.Segment.Enable = true
+	scfg := stream.Config{Core: cfg, Workers: workers, Query: query.Config{Enable: true}}
+
+	// The pre-crash stream: every batch but the last.
+	preCrash := batches - 1
+	original := stream.New(ds.CKB, ds.Emb, ds.PPDB, scfg)
+	uninterrupted := stream.New(ds.CKB, ds.Emb, ds.PPDB, scfg)
+	t0 := time.Now()
+	for b := 0; b < preCrash; b++ {
+		if _, err := original.Ingest(triples[cuts[b]:cuts[b+1]]); err != nil {
+			return nil, err
+		}
+	}
+	report.StreamMS = float64(time.Since(t0).Microseconds()) / 1000
+	for b := 0; b < preCrash; b++ {
+		if _, err := uninterrupted.Ingest(triples[cuts[b]:cuts[b+1]]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Snapshot the session.
+	var buf bytes.Buffer
+	t1 := time.Now()
+	if err := original.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	report.CheckpointMS = float64(time.Since(t1).Microseconds()) / 1000
+	report.CheckpointBytes = buf.Len()
+
+	// Recovery strategy A: restore from the checkpoint.
+	t2 := time.Now()
+	restored, err := stream.RestoreSession(bytes.NewReader(buf.Bytes()), ds.CKB, ds.Emb, ds.PPDB, scfg)
+	if err != nil {
+		return nil, err
+	}
+	report.RestoreMS = float64(time.Since(t2).Microseconds()) / 1000
+
+	// Recovery strategy B: replay the whole pre-crash stream cold.
+	cold := stream.New(ds.CKB, ds.Emb, ds.PPDB, scfg)
+	t3 := time.Now()
+	for b := 0; b < preCrash; b++ {
+		if _, err := cold.Ingest(triples[cuts[b]:cuts[b+1]]); err != nil {
+			return nil, err
+		}
+	}
+	report.ColdReplayMS = float64(time.Since(t3).Microseconds()) / 1000
+	if report.RestoreMS > 0 {
+		report.Speedup = report.ColdReplayMS / report.RestoreMS
+	}
+
+	// Continuation: the final batch lands on both the restored and the
+	// uninterrupted session.
+	final := triples[cuts[preCrash]:cuts[batches]]
+	stR, err := restored.Ingest(final)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := uninterrupted.Ingest(final); err != nil {
+		return nil, err
+	}
+	report.PostRestoreWarmBlocks = stR.CleanComponents
+	report.PostRestoreRepaired = stR.PartitionRepaired
+
+	a, b := restored.Snapshot(), uninterrupted.Snapshot()
+	report.NPLinkAgreement = checkpointAgreement(a.NPLinks, b.NPLinks)
+	report.RPLinkAgreement = checkpointAgreement(a.RPLinks, b.RPLinks)
+	report.NPClusterAgreement = checkpointAgreement(checkpointCanonicalOf(a.NPGroups), checkpointCanonicalOf(b.NPGroups))
+	report.RPClusterAgreement = checkpointAgreement(checkpointCanonicalOf(a.RPGroups), checkpointCanonicalOf(b.RPGroups))
+	gr, okR := restored.Query().Generation()
+	gu, okU := uninterrupted.Query().Generation()
+	report.GenerationsMatch = okR && okU && gr.Generation == gu.Generation && gr.Behind == 0
+
+	const tol = 0.02
+	report.MeetsTarget = report.Speedup >= 5 &&
+		report.NPLinkAgreement >= 1-tol && report.RPLinkAgreement >= 1-tol &&
+		report.NPClusterAgreement >= 1-tol && report.RPClusterAgreement >= 1-tol &&
+		report.GenerationsMatch &&
+		report.PostRestoreWarmBlocks > 0 && report.PostRestoreRepaired
+	return report, nil
+}
+
+// WriteJSON emits the report as the BENCH_checkpoint.json artifact.
+func (r *CheckpointReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned text.
+func (r *CheckpointReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CHECKPOINT — restore vs cold full-stream replay (%s, scale %g, %d batches, %d workers)\n",
+		r.Profile, r.Scale, r.Batches, r.Workers)
+	fmt.Fprintf(&b, "pre-crash stream: %.0fms across %d batches; snapshot %.1fKB written in %.1fms\n",
+		r.StreamMS, r.Batches-1, float64(r.CheckpointBytes)/1024, r.CheckpointMS)
+	fmt.Fprintf(&b, "recovery: restore %.0fms vs cold replay %.0fms = %.1fx\n",
+		r.RestoreMS, r.ColdReplayMS, r.Speedup)
+	fmt.Fprintf(&b, "continuation: %d blocks warm, partition repaired %v\n",
+		r.PostRestoreWarmBlocks, r.PostRestoreRepaired)
+	fmt.Fprintf(&b, "equivalence vs uninterrupted: links %.4f/%.4f clusters %.4f/%.4f generations match %v\n",
+		r.NPLinkAgreement, r.RPLinkAgreement, r.NPClusterAgreement, r.RPClusterAgreement, r.GenerationsMatch)
+	fmt.Fprintf(&b, "meets target (>=5x, <=0.02 divergence, warm continuation): %v\n", r.MeetsTarget)
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunCheckpointSmoke(t *testing.T) {
+	// A tiny run: the assertions cover the recovery accounting and the
+	// warm continuation, not the >= 5x speedup the full-scale artifact
+	// run checks (at toy scale the epoch re-derivation dominates both
+	// strategies).
+	report, err := RunCheckpoint("reverb45k", 0.01, 0.6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CheckpointBytes == 0 || report.CheckpointMS <= 0 {
+		t.Errorf("snapshot not priced: %+v", report)
+	}
+	if report.RestoreMS <= 0 || report.ColdReplayMS <= 0 || report.Speedup <= 0 {
+		t.Errorf("recovery not priced: %+v", report)
+	}
+	if report.PostRestoreWarmBlocks == 0 || !report.PostRestoreRepaired {
+		t.Errorf("restored continuation ran cold: %+v", report)
+	}
+	if !report.GenerationsMatch {
+		t.Errorf("query generations diverged after restore: %+v", report)
+	}
+	const tol = 0.02
+	if report.NPLinkAgreement < 1-tol || report.RPLinkAgreement < 1-tol ||
+		report.NPClusterAgreement < 1-tol || report.RPClusterAgreement < 1-tol {
+		t.Errorf("restored outputs diverge beyond tolerance: %+v", report)
+	}
+	if report.Format() == "" {
+		t.Fatal("empty Format output")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round CheckpointReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Speedup != report.Speedup || round.CheckpointBytes != report.CheckpointBytes {
+		t.Fatal("JSON round-trip changed the report")
+	}
+}

@@ -1,0 +1,259 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/factorgraph"
+	"repro/internal/okb"
+)
+
+// Version is the current checkpoint format version. Readers accept
+// exactly the versions they know how to decode; an unknown version
+// fails Load rather than guessing.
+const Version = 1
+
+// DefaultFileName is the canonical checkpoint file name inside a
+// checkpoint directory (the serving layer keeps one file per
+// directory, atomically replaced on every checkpoint).
+const DefaultFileName = "checkpoint.jocl"
+
+// magic identifies a checkpoint stream.
+var magic = [8]byte{'J', 'O', 'C', 'L', 'C', 'K', 'P', 'T'}
+
+// maxBodyBytes caps how large a checkpoint body Read will buffer, a
+// guard against a corrupt or hostile length prefix allocating
+// unboundedly (1 GiB is orders of magnitude beyond any session this
+// repo can hold in memory).
+const maxBodyBytes = 1 << 30
+
+// Snapshot is the complete durable state of one streaming session at a
+// ingest boundary. Every field is exactly the incremental state the
+// session already maintains — nothing here is recomputed at save time,
+// which is what keeps Checkpoint cheap enough to run in the background.
+type Snapshot struct {
+	// FormatVersion is stamped by Write and reports, after Read, which
+	// format version the file carried.
+	FormatVersion int
+
+	// Triples is the accumulated stream in ingest order (gold columns
+	// included, so evaluation against a restored session still works).
+	Triples []okb.Triple
+	// EpochTriples is the number of leading triples the current frozen
+	// signal epoch was derived over: restore rebuilds the signal
+	// resources from Triples[:EpochTriples] and frozen-extends them with
+	// the remainder, reproducing the live session's epoch state exactly.
+	EpochTriples int
+	// Batches / SinceEpoch / Refreshes are the session's ingest
+	// counters (SinceEpoch drives the RefreshEvery schedule, so a
+	// restored session refreshes on the same future batch an
+	// uninterrupted one would).
+	Batches    int
+	SinceEpoch int
+	Refreshes  int
+	// PendingRefresh marks sessions whose Refresh() was called after
+	// the last ingest: the epoch resources are already torn down and
+	// the next ingest must re-derive everything. Restore honors it by
+	// leaving the resources unbuilt, so the forced full re-solve
+	// happens on the same batch it would have without the restart.
+	PendingRefresh bool
+
+	// Cumulative serving counters, continued after restore.
+	BlocksTouched int
+	BlocksWarm    int
+	Repairs       int
+	RepairReused  int
+	IndexMS       float64
+
+	// Weights are the factor weights the session was configured with
+	// (learned offline, seeded via InitialWeights). Restore adopts them
+	// when the restoring config carries none, so potentials — and
+	// therefore warm-state signatures — match the checkpointed build.
+	Weights map[string]float64
+
+	// Warm is the factor-graph warm state exported by the last ingest:
+	// transplantable messages keyed by factor signature, variable
+	// adjacency, boundary baselines, block fingerprints, and the
+	// persistent partition memory. A restored session hands it to its
+	// first RunIncremental unchanged, so adopted blocks stay warm and
+	// repairs pick up the carried cuts.
+	Warm *factorgraph.WarmState
+
+	// Result is the last published joint result (groups, links,
+	// membership indexes, and the last build's CanonDelta, whose
+	// reassignments the next delta apply must carry forward).
+	Result *core.Result
+
+	// QueryEnabled records whether the session maintained the read-path
+	// index; QueryGeneration its published generation id, restored so
+	// Behind accounting resumes where it left off.
+	QueryEnabled    bool
+	QueryGeneration int64
+}
+
+// Validate checks the snapshot's internal consistency (the structural
+// invariants restore depends on), returning a descriptive error on the
+// first violation.
+func (s *Snapshot) Validate() error {
+	switch {
+	case s.Batches < 0 || s.SinceEpoch < 0 || s.Refreshes < 0:
+		return fmt.Errorf("checkpoint: negative ingest counters (batches %d, since-epoch %d, refreshes %d)",
+			s.Batches, s.SinceEpoch, s.Refreshes)
+	case s.EpochTriples < 0 || s.EpochTriples > len(s.Triples):
+		return fmt.Errorf("checkpoint: epoch prefix %d outside triples [0, %d]", s.EpochTriples, len(s.Triples))
+	case s.Batches > 0 && len(s.Triples) == 0:
+		return fmt.Errorf("checkpoint: %d batches recorded but no triples", s.Batches)
+	case s.Batches > 0 && s.Result == nil:
+		return fmt.Errorf("checkpoint: %d batches recorded but no result", s.Batches)
+	case s.Batches == 0 && (len(s.Triples) > 0 || s.Result != nil):
+		return fmt.Errorf("checkpoint: state recorded for an empty session")
+	}
+	return nil
+}
+
+// Write serializes the snapshot to w in the versioned on-disk format:
+// magic, version, body length, gob body, FNV-64a body checksum.
+func Write(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("checkpoint: nil snapshot")
+	}
+	stamped := *s
+	stamped.FormatVersion = Version
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&stamped); err != nil {
+		return fmt.Errorf("checkpoint: encoding snapshot: %w", err)
+	}
+	var header [20]byte
+	copy(header[:8], magic[:])
+	binary.LittleEndian.PutUint32(header[8:12], Version)
+	binary.LittleEndian.PutUint64(header[12:20], uint64(body.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("checkpoint: writing header: %w", err)
+	}
+	sum := fnv.New64a()
+	sum.Write(body.Bytes())
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: writing body: %w", err)
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], sum.Sum64())
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("checkpoint: writing checksum: %w", err)
+	}
+	return nil
+}
+
+// Read parses a checkpoint stream written by Write, verifying magic,
+// version, body length, and checksum before decoding, and validates the
+// decoded snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	var header [20]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading header: %w", err)
+	}
+	if !bytes.Equal(header[:8], magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (not a JOCL checkpoint)", header[:8])
+	}
+	version := binary.LittleEndian.Uint32(header[8:12])
+	if version != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (this build reads version %d)", version, Version)
+	}
+	n := binary.LittleEndian.Uint64(header[12:20])
+	if n > maxBodyBytes {
+		return nil, fmt.Errorf("checkpoint: body length %d exceeds the %d-byte sanity cap", n, maxBodyBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %d-byte body: %w", n, err)
+	}
+	var trailer [8]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading checksum: %w", err)
+	}
+	sum := fnv.New64a()
+	sum.Write(body)
+	if got, want := sum.Sum64(), binary.LittleEndian.Uint64(trailer[:]); got != want {
+		return nil, fmt.Errorf("checkpoint: body checksum %016x does not match recorded %016x (truncated or corrupt file)", got, want)
+	}
+	s := &Snapshot{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding snapshot: %w", err)
+	}
+	s.FormatVersion = int(version)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Save writes the snapshot to path atomically: a temp file in the same
+// directory is written, fsynced, and closed, then renamed over path,
+// and the directory is fsynced so the rename itself is durable. A crash
+// at any point leaves either the previous checkpoint or the new one —
+// never a torn file.
+func Save(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := Write(tmp, s); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: closing %s: %w", name, err)
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: publishing %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+// Filesystems that refuse to sync directories (some CI tmpfs mounts) do
+// not fail the save: the rename is already visible, only its crash
+// durability is weakened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// Load reads and verifies the checkpoint at path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,193 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/factorgraph"
+	"repro/internal/okb"
+)
+
+// testSnapshot builds a snapshot exercising every serialized field,
+// with awkward float values that must round-trip bit-exactly.
+func testSnapshot() *Snapshot {
+	third := 1.0 / 3.0
+	tiny := math.Nextafter(0, 1)
+	return &Snapshot{
+		Triples: []okb.Triple{
+			{ID: 0, Subj: "barack obama", Pred: "be born in", Obj: "honolulu", GoldSubj: "e1"},
+			{ID: 1, Subj: "obama", Pred: "be president of", Obj: "united states"},
+		},
+		EpochTriples:  1,
+		Batches:       2,
+		SinceEpoch:    1,
+		Refreshes:     1,
+		BlocksTouched: 5,
+		BlocksWarm:    3,
+		Repairs:       1,
+		RepairReused:  4,
+		IndexMS:       third,
+		Weights:       map[string]float64{"alpha1.idf": third, "beta4.fact": tiny},
+		Warm: &factorgraph.WarmState{
+			Msgs: map[string]factorgraph.FactorMessages{
+				"F1|x(a|b)/2|deadbeef": {
+					FV: [][]float64{{third, 1 - third}},
+					VF: [][]float64{{tiny, 1 - tiny}},
+				},
+			},
+			VarAdj:   map[string]string{"x(1|1|ab)": "F1|..."},
+			Boundary: map[string]map[string][]float64{"blk": {"cut": {0.25, 0.75}}},
+			BlockFP:  map[string]uint64{"blk": 0xdeadbeefcafe},
+			Partition: &factorgraph.PartitionMemory{
+				CutNames:       []string{"e(obama)"},
+				Blocks:         map[string]factorgraph.BlockProfile{"blk": {Vars: 7, Hash: 42}},
+				TunedBlockVars: 128,
+			},
+		},
+		Result: &core.Result{
+			NPGroups:  [][]string{{"barack obama", "obama"}},
+			RPGroups:  [][]string{{"be born in"}, {"be president of"}},
+			NPGroupOf: map[string]int{"barack obama": 0, "obama": 0},
+			RPGroupOf: map[string]int{"be born in": 0, "be president of": 1},
+			NPLinks:   map[string]string{"obama": "e1"},
+			RPLinks:   map[string]string{"be born in": ""},
+			Delta:     &core.CanonDelta{TouchedNPs: []string{"obama"}, ReassignedNPs: []string{"obama"}},
+		},
+		QueryEnabled:    true,
+		QueryGeneration: 2,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	snap := testSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FormatVersion != Version {
+		t.Errorf("FormatVersion = %d, want %d", got.FormatVersion, Version)
+	}
+	want := *snap
+	want.FormatVersion = Version
+	if !reflect.DeepEqual(got, &want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, &want)
+	}
+	// Bit-exact floats: the restored warm messages must be the very
+	// values, not near them — the no-cut equivalence guarantee depends
+	// on it.
+	fm := got.Warm.Msgs["F1|x(a|b)/2|deadbeef"]
+	if math.Float64bits(fm.FV[0][0]) != math.Float64bits(1.0/3.0) {
+		t.Errorf("warm message float not bit-exact: %x", math.Float64bits(fm.FV[0][0]))
+	}
+	if math.Float64bits(fm.VF[0][0]) != math.Float64bits(math.Nextafter(0, 1)) {
+		t.Errorf("subnormal warm message not bit-exact")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	flip := append([]byte(nil), raw...)
+	flip[len(flip)/2] ^= 0x01 // body bit flip
+	if _, err := Read(bytes.NewReader(flip)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt body not rejected: %v", err)
+	}
+
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Errorf("truncated file not rejected")
+	}
+
+	notMine := append([]byte("NOTAJOCL"), raw[8:]...)
+	if _, err := Read(bytes.NewReader(notMine)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("foreign file not rejected: %v", err)
+	}
+
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(future[8:12], Version+1)
+	if _, err := Read(bytes.NewReader(future)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version not rejected: %v", err)
+	}
+
+	huge := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(huge[12:20], 1<<62)
+	if _, err := Read(bytes.NewReader(huge)); err == nil {
+		t.Errorf("absurd body length not rejected")
+	}
+}
+
+func TestValidateRejectsInconsistentSnapshots(t *testing.T) {
+	cases := []func(*Snapshot){
+		func(s *Snapshot) { s.EpochTriples = len(s.Triples) + 1 },
+		func(s *Snapshot) { s.EpochTriples = -1 },
+		func(s *Snapshot) { s.Batches = -1 },
+		func(s *Snapshot) { s.Triples = nil },
+		func(s *Snapshot) { s.Result = nil },
+		func(s *Snapshot) { s.Batches = 0 },
+	}
+	for i, mutate := range cases {
+		snap := testSnapshot()
+		mutate(snap)
+		if err := snap.Validate(); err == nil {
+			t.Errorf("case %d: inconsistent snapshot passed validation", i)
+		}
+	}
+	empty := &Snapshot{}
+	if err := empty.Validate(); err != nil {
+		t.Errorf("empty-session snapshot must validate: %v", err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, DefaultFileName)
+	if err := Save(path, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Batches != 2 || len(got.Triples) != 2 {
+		t.Fatalf("loaded snapshot wrong: %+v", got)
+	}
+	// Overwrite with a newer snapshot: the file is replaced, no temp
+	// files are left behind.
+	newer := testSnapshot()
+	newer.Batches, newer.SinceEpoch = 3, 2
+	newer.Triples = append(newer.Triples, okb.Triple{ID: 2, Subj: "x", Pred: "y", Obj: "z"})
+	if err := Save(path, newer); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Batches != 3 || len(got.Triples) != 3 {
+		t.Fatalf("overwrite did not take: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != DefaultFileName {
+		t.Errorf("stray files after Save: %v", entries)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.jocl")); err == nil {
+		t.Errorf("missing file must error")
+	}
+}

@@ -1,0 +1,34 @@
+// Package checkpoint implements durable snapshots of a streaming
+// session: a versioned, integrity-checked serialization of exactly the
+// incremental state the serving stack maintains — accumulated triples,
+// epoch markers, learned weights, the factor-graph warm state
+// (messages, boundary baselines, block fingerprints, partition
+// memory), the last published result, and the read-path index's
+// generation — so a restarted process resumes ingesting warm instead
+// of replaying the whole stream cold.
+//
+// The on-disk format is
+//
+//	offset  size  field
+//	0       8     magic "JOCLCKPT"
+//	8       4     format version, little-endian uint32
+//	12      8     body length, little-endian uint64
+//	20      n     body: gob-encoded Snapshot
+//	20+n    8     FNV-64a of the body, little-endian uint64
+//
+// Deliberately NOT serialized, because it is derived state the restore
+// path rebuilds deterministically from the triples: the signal
+// resources (IDF tables, AMIE rules, KBP classifier — re-derived over
+// the epoch prefix, then frozen-extended over the suffix), the
+// construction cache (re-filled lazily), and the query index's
+// materialized views (rebuilt from the restored result under the
+// restored generation id). Persisting maintained state and re-deriving
+// derived state is what keeps the format small and the restore exact.
+//
+// Files are written atomically: the snapshot goes to a temp file in the
+// target directory, is fsynced, closed, renamed over the destination,
+// and the directory is fsynced — a crash mid-write leaves either the
+// old checkpoint or the new one, never a torn file. Load verifies
+// magic, version, and checksum before decoding, so a torn or foreign
+// file fails loudly instead of restoring garbage.
+package checkpoint

@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/text"
 )
@@ -75,6 +76,22 @@ type Store struct {
 
 	npIDF *text.IDFTable
 	rpIDF *text.IDFTable
+
+	// parent chains stores built by incremental Append: the mention maps
+	// above then hold only the surfaces the appended suffix touched
+	// (with their full merged lists) and lookups fall through to the
+	// parent. depth bounds the chain; Append flattens it back into a
+	// base store every maxAppendDepth links so misses stay O(1)
+	// amortized.
+	parent *Store
+	depth  int
+
+	// extended marks a store whose triples backing array has been grown
+	// in place by a later Append (the appended elements sit beyond this
+	// store's len and are invisible to it). At most one Append may claim
+	// the spare capacity; every other one copies, which is what keeps
+	// sibling Appends of one store independent.
+	extended atomic.Bool
 }
 
 // NewStore indexes the given triples. Triple IDs are reassigned to the
@@ -134,6 +151,13 @@ func (s *Store) allRPOccurrences() []string {
 	return out
 }
 
+// maxAppendDepth bounds the parent chain incremental Appends build
+// before the store is flattened back into a base store. Deeper chains
+// make every mention-map miss walk more maps; the flatten re-buckets
+// all mentions (no tokenization, no IDF) and is amortized over the
+// chain it collapses.
+const maxAppendDepth = 16
+
 // Append returns a new Store over s's triples followed by more. The
 // receiver is unchanged (stores stay immutable, so concurrent readers
 // of the old epoch are safe). When freezeIDF is true the new store
@@ -143,13 +167,130 @@ func (s *Store) allRPOccurrences() []string {
 // every existing phrase pair and mark the whole factor graph dirty on
 // every batch. Tokens first seen after the freeze score at the unseen-
 // word weight until the next epoch refresh rebuilds the tables.
+//
+// The frozen path grows the indexes incrementally: the receiver's
+// triples, mention lists, and IDF tables are shared, and only the
+// batch's triples are indexed (an overlay holding the touched surfaces'
+// merged lists, collapsed every maxAppendDepth appends), so the cost of
+// an Append tracks the batch, not the accumulated store. Recounting
+// (freezeIDF=false) re-derives everything and is as expensive as
+// NewStore.
 func (s *Store) Append(more []Triple, freezeIDF bool) *Store {
-	grown := NewStore(append(s.Triples(), more...))
-	if freezeIDF {
-		grown.npIDF = s.npIDF
-		grown.rpIDF = s.rpIDF
+	if !freezeIDF {
+		return NewStore(append(s.Triples(), more...))
+	}
+	grown := &Store{
+		triples:    s.appendTriples(more),
+		npMentions: make(map[string][]Mention, 2*len(more)),
+		rpMentions: make(map[string][]int, len(more)),
+		npIDF:      s.npIDF,
+		rpIDF:      s.rpIDF,
+		parent:     s,
+		depth:      s.depth + 1,
+	}
+	var newNPs, newRPs []string
+	seedNP := func(np string) {
+		if _, ok := grown.npMentions[np]; ok {
+			return
+		}
+		prev := s.NPMentions(np)
+		if prev == nil {
+			newNPs = append(newNPs, np)
+		}
+		grown.npMentions[np] = prev[:len(prev):len(prev)]
+	}
+	for i := len(s.triples); i < len(grown.triples); i++ {
+		t := &grown.triples[i]
+		seedNP(t.Subj)
+		grown.npMentions[t.Subj] = append(grown.npMentions[t.Subj], Mention{i, SubjSlot})
+		seedNP(t.Obj)
+		grown.npMentions[t.Obj] = append(grown.npMentions[t.Obj], Mention{i, ObjSlot})
+		if _, ok := grown.rpMentions[t.Pred]; !ok {
+			prev := s.RPMentions(t.Pred)
+			if prev == nil {
+				newRPs = append(newRPs, t.Pred)
+			}
+			grown.rpMentions[t.Pred] = prev[:len(prev):len(prev)]
+		}
+		grown.rpMentions[t.Pred] = append(grown.rpMentions[t.Pred], i)
+	}
+	grown.nps = mergeSortedNew(s.nps, newNPs)
+	grown.rps = mergeSortedNew(s.rps, newRPs)
+	if grown.depth >= maxAppendDepth {
+		grown.flatten()
 	}
 	return grown
+}
+
+// appendTriples produces the grown store's triple slice, ids assigned
+// by position. When the receiver's backing array has spare capacity and
+// no other Append has claimed it, the batch is appended in place
+// (receivers never read past their own len, so sharing the array is
+// safe); otherwise the prefix is copied once into a backing array with
+// headroom, so a chain of Appends pays the copy O(log) times, not per
+// batch.
+func (s *Store) appendTriples(more []Triple) []Triple {
+	n := len(s.triples)
+	var all []Triple
+	if cap(s.triples) >= n+len(more) && s.extended.CompareAndSwap(false, true) {
+		all = s.triples
+	} else {
+		need := n + len(more)
+		all = make([]Triple, n, need+need/4+16)
+		copy(all, s.triples)
+	}
+	all = append(all, more...)
+	for i := n; i < len(all); i++ {
+		all[i].ID = i
+	}
+	return all
+}
+
+// mergeSortedNew merges a sorted list with a batch of surfaces known to
+// be absent from it (in encounter order, possibly with duplicates).
+func mergeSortedNew(sorted, fresh []string) []string {
+	if len(fresh) == 0 {
+		return sorted
+	}
+	sort.Strings(fresh)
+	dedup := fresh[:1]
+	for _, f := range fresh[1:] {
+		if f != dedup[len(dedup)-1] {
+			dedup = append(dedup, f)
+		}
+	}
+	out := make([]string, 0, len(sorted)+len(dedup))
+	i, j := 0, 0
+	for i < len(sorted) && j < len(dedup) {
+		if sorted[i] < dedup[j] {
+			out = append(out, sorted[i])
+			i++
+		} else {
+			out = append(out, dedup[j])
+			j++
+		}
+	}
+	out = append(out, sorted[i:]...)
+	return append(out, dedup[j:]...)
+}
+
+// flatten re-buckets every mention into fresh full maps and drops the
+// parent chain. It runs before the store is published, so no reader
+// ever sees the intermediate state. Unlike NewStore it re-tokenizes
+// nothing: the sorted phrase lists are already merged and the IDF
+// tables stay the frozen epoch's.
+func (s *Store) flatten() {
+	npM := make(map[string][]Mention, len(s.nps))
+	rpM := make(map[string][]int, len(s.rps))
+	for i := range s.triples {
+		t := &s.triples[i]
+		npM[t.Subj] = append(npM[t.Subj], Mention{i, SubjSlot})
+		npM[t.Obj] = append(npM[t.Obj], Mention{i, ObjSlot})
+		rpM[t.Pred] = append(rpM[t.Pred], i)
+	}
+	s.npMentions, s.rpMentions = npM, rpM
+	s.parent = nil
+	s.depth = 0
 }
 
 // Len returns the number of triples.
@@ -171,11 +312,27 @@ func (s *Store) NPs() []string { return s.nps }
 // RPs returns the sorted distinct relation-phrase surface forms.
 func (s *Store) RPs() []string { return s.rps }
 
-// NPMentions returns the occurrences of the NP surface form np.
-func (s *Store) NPMentions(np string) []Mention { return s.npMentions[np] }
+// NPMentions returns the occurrences of the NP surface form np. An
+// incremental store holds full merged lists for the surfaces its
+// appended suffixes touched and defers to its parent for the rest.
+func (s *Store) NPMentions(np string) []Mention {
+	for t := s; t != nil; t = t.parent {
+		if m, ok := t.npMentions[np]; ok {
+			return m
+		}
+	}
+	return nil
+}
 
 // RPMentions returns the indexes of triples whose predicate is rp.
-func (s *Store) RPMentions(rp string) []int { return s.rpMentions[rp] }
+func (s *Store) RPMentions(rp string) []int {
+	for t := s; t != nil; t = t.parent {
+		if m, ok := t.rpMentions[rp]; ok {
+			return m
+		}
+	}
+	return nil
+}
 
 // NPIDF returns the IDF table over all NP occurrences (token frequency
 // counted once per occurrence, as the paper specifies).

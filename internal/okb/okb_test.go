@@ -2,9 +2,11 @@ package okb
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 func sample() []Triple {
@@ -191,5 +193,147 @@ func TestAppendFreezeIDFKeepsEpochTables(t *testing.T) {
 	}
 	if recount.NPIDF().Overlap(a, b) == s.NPIDF().Overlap(a, b) {
 		t.Errorf("recounted overlap unchanged; expected drift from new Maryland occurrences")
+	}
+}
+
+// appendEquivalent asserts that an incrementally grown store answers
+// every lookup exactly like a from-scratch store over the same triples
+// (IDF aside, which the frozen path pins by design).
+func appendEquivalent(t *testing.T, grown *Store, all []Triple) {
+	t.Helper()
+	want := NewStore(all)
+	if grown.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", grown.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if !reflect.DeepEqual(grown.Triple(i), want.Triple(i)) {
+			t.Fatalf("Triple(%d) = %+v, want %+v", i, grown.Triple(i), want.Triple(i))
+		}
+	}
+	if !reflect.DeepEqual(grown.NPs(), want.NPs()) {
+		t.Fatalf("NPs = %v, want %v", grown.NPs(), want.NPs())
+	}
+	if !reflect.DeepEqual(grown.RPs(), want.RPs()) {
+		t.Fatalf("RPs = %v, want %v", grown.RPs(), want.RPs())
+	}
+	for _, np := range want.NPs() {
+		if !reflect.DeepEqual(grown.NPMentions(np), want.NPMentions(np)) {
+			t.Fatalf("NPMentions(%q) = %v, want %v", np, grown.NPMentions(np), want.NPMentions(np))
+		}
+	}
+	for _, rp := range want.RPs() {
+		if !reflect.DeepEqual(grown.RPMentions(rp), want.RPMentions(rp)) {
+			t.Fatalf("RPMentions(%q) = %v, want %v", rp, grown.RPMentions(rp), want.RPMentions(rp))
+		}
+	}
+	if grown.NPMentions("no such surface") != nil || grown.RPMentions("no such surface") != nil {
+		t.Fatalf("unknown surfaces must answer empty")
+	}
+}
+
+func TestAppendIncrementalSharesPrefix(t *testing.T) {
+	base := NewStore(sample())
+	more := []Triple{
+		{Subj: "UVA", Pred: "locate in", Obj: "Virginia"},
+		{Subj: "University of Maryland", Pred: "locate in", Obj: "Maryland"},
+	}
+	grown := base.Append(more, true)
+
+	// The frozen tables are the receiver's, by pointer — no recount.
+	if grown.NPIDF() != base.NPIDF() || grown.RPIDF() != base.RPIDF() {
+		t.Fatalf("frozen Append must share the receiver's IDF tables")
+	}
+	// Untouched surfaces are served from the shared parent index: the
+	// very same slice, not a rebuilt copy.
+	untouched := "University of Virginia"
+	bm, gm := base.NPMentions(untouched), grown.NPMentions(untouched)
+	if len(bm) == 0 || len(gm) != len(bm) || &gm[0] != &bm[0] {
+		t.Fatalf("untouched mention list was re-indexed: base %v grown %v", bm, gm)
+	}
+	// Touched surfaces hold merged lists without mutating the parent.
+	if got := len(grown.NPMentions("University of Maryland")); got != 2 {
+		t.Fatalf("merged mention count = %d, want 2", got)
+	}
+	if got := len(base.NPMentions("University of Maryland")); got != 1 {
+		t.Fatalf("receiver mutated by Append: %d mentions", got)
+	}
+	appendEquivalent(t, grown, append(base.Triples(), more...))
+}
+
+func TestAppendChainFlattensAndStaysEquivalent(t *testing.T) {
+	all := sample()
+	s := NewStore(all)
+	epochNPIDF := s.NPIDF()
+	for i := 0; i < 3*maxAppendDepth; i++ {
+		batch := []Triple{
+			{Subj: fmt.Sprintf("entity %d", i), Pred: "relate to", Obj: "Maryland"},
+			{Subj: "UMD", Pred: fmt.Sprintf("verb %d", i%5), Obj: fmt.Sprintf("entity %d", i)},
+		}
+		s = s.Append(batch, true)
+		all = append(all, batch...)
+		if s.depth > maxAppendDepth {
+			t.Fatalf("append %d: chain depth %d exceeds cap %d", i, s.depth, maxAppendDepth)
+		}
+	}
+	if s.NPIDF() != epochNPIDF {
+		t.Fatalf("flatten must keep the frozen epoch IDF tables")
+	}
+	appendEquivalent(t, s, all)
+}
+
+func TestAppendSiblingsOnOneReceiver(t *testing.T) {
+	// Two Appends on the same store must not interfere, whichever one
+	// claims the receiver's spare backing capacity.
+	base := NewStore(sample()).Append([]Triple{
+		{Subj: "UVA", Pred: "locate in", Obj: "Virginia"},
+	}, true)
+	a := base.Append([]Triple{{Subj: "a corp", Pred: "acquire", Obj: "b corp"}}, true)
+	b := base.Append([]Triple{{Subj: "c corp", Pred: "sue", Obj: "d corp"}}, true)
+	appendEquivalent(t, a, append(base.Triples(), Triple{Subj: "a corp", Pred: "acquire", Obj: "b corp"}))
+	appendEquivalent(t, b, append(base.Triples(), Triple{Subj: "c corp", Pred: "sue", Obj: "d corp"}))
+	if base.Len() != 4 {
+		t.Fatalf("receiver mutated: Len = %d", base.Len())
+	}
+}
+
+// syntheticTriples builds n triples over a vocabulary wide enough that
+// indexing cost is dominated by per-triple work.
+func syntheticTriples(n int) []Triple {
+	out := make([]Triple, n)
+	for i := range out {
+		out[i] = Triple{
+			Subj: fmt.Sprintf("subject phrase %d", i%1500),
+			Pred: fmt.Sprintf("verb phrase %d", i%120),
+			Obj:  fmt.Sprintf("object phrase %d", (i+7)%1500),
+		}
+	}
+	return out
+}
+
+func TestAppendCostTracksBatchNotStore(t *testing.T) {
+	// The old Append re-ran NewStore over the whole collection, so its
+	// cost grew with the accumulated KB. The incremental path indexes
+	// only the batch; appending a small batch to a large store must be
+	// far cheaper than rebuilding that store, with a generous margin so
+	// scheduler noise cannot flake the assertion.
+	big := NewStore(syntheticTriples(20000))
+	batch := syntheticTriples(50)
+
+	best := func(run func()) time.Duration {
+		b := time.Duration(1<<62 - 1)
+		for i := 0; i < 5; i++ {
+			t0 := time.Now()
+			run()
+			if d := time.Since(t0); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	appendCost := best(func() { big.Append(batch, true) })
+	rebuildCost := best(func() { NewStore(big.Triples()) })
+	if appendCost*5 > rebuildCost {
+		t.Errorf("Append(%d triples onto %d) took %v vs %v full rebuild; want at least 5x cheaper",
+			len(batch), big.Len(), appendCost, rebuildCost)
 	}
 }

@@ -172,6 +172,29 @@ func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.T
 	return st
 }
 
+// Restore rebuilds the index from a restored session's last result and
+// accumulated triples, publishing it under the given generation id —
+// the rebuild-on-load half of the durability story. Checkpoints carry
+// the generation id but not the materialized views (they are derived
+// state; a full build from the result is exact, and the delta-vs-full
+// equivalence suite guarantees it answers identically to the
+// incrementally-maintained generation it replaces). Begun and applied
+// counters both restore to gen, so Behind accounting resumes at 0 and
+// the next ingest publishes gen+1, exactly as an uninterrupted session
+// would. Like Apply, Restore must only be called by the single writer.
+func (ix *Index) Restore(res *core.Result, triples []okb.Triple, gen int64) {
+	if gen < 1 {
+		gen = 1
+	}
+	delta := res.Delta
+	if delta == nil {
+		delta = &core.CanonDelta{Full: true}
+	}
+	ix.gen.Store(buildFull(res, delta, triples, gen))
+	ix.begun.Store(gen)
+	ix.applied.Store(gen)
+}
+
 // Clone returns a new Index serving the receiver's current generation.
 // Generations are immutable, so the clone is O(1) and both indexes
 // answer identically until one of them Applies; it exists so the

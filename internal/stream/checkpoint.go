@@ -1,0 +1,187 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/ckb"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/signals"
+)
+
+// This file is the durability boundary of the serving stack: it maps a
+// live Session to and from the checkpoint.Snapshot the internal
+// checkpoint package serializes. The contract is "persist exactly the
+// incremental state we already maintain, re-derive the rest": the
+// snapshot carries the accumulated triples, epoch markers, learned
+// weights, the factor-graph warm state (messages, boundary baselines,
+// block fingerprints, partition memory), the last published result,
+// and the query index's generation id — while the signal resources,
+// construction cache, and materialized query views are rebuilt
+// deterministically on restore. A restored session therefore continues
+// ingesting warm: adopted blocks stay warm, partition repairs pick up
+// the carried cuts, and query generations resume with correct Behind
+// accounting.
+
+// CheckpointState captures the session's durable state as a snapshot.
+// The capture itself holds the ingest lock only long enough to copy
+// counters and grab references to the immutable published structures
+// (committed triple prefixes, exported warm state, and results are
+// never mutated after publication), so serializing and writing the
+// snapshot — the expensive part — runs entirely off the ingest lock's
+// hot path and concurrent Ingest/Query calls proceed undisturbed.
+func (s *Session) CheckpointState() *checkpoint.Snapshot {
+	s.mu.Lock()
+	snap := &checkpoint.Snapshot{
+		Triples:        s.triples[:len(s.triples):len(s.triples)],
+		EpochTriples:   s.epochTriples,
+		Batches:        s.batches,
+		SinceEpoch:     s.sinceEpoch,
+		Refreshes:      s.nRefresh,
+		PendingRefresh: s.res == nil && s.batches > 0,
+		BlocksTouched: s.blocksTouched,
+		BlocksWarm:    s.blocksWarm,
+		Repairs:       s.repairs,
+		RepairReused:  s.repairReused,
+		IndexMS:       s.indexMS,
+		Warm:          s.warm,
+		QueryEnabled:  s.qidx != nil,
+	}
+	if n := len(s.cfg.Core.InitialWeights); n > 0 {
+		snap.Weights = make(map[string]float64, n)
+		for k, v := range s.cfg.Core.InitialWeights {
+			snap.Weights[k] = v
+		}
+	}
+	if s.qidx != nil {
+		if gi, ok := s.qidx.Generation(); ok {
+			snap.QueryGeneration = gi.Generation
+		}
+	}
+	s.pub.Lock()
+	snap.Result = s.last
+	s.pub.Unlock()
+	s.mu.Unlock()
+	return snap
+}
+
+// Checkpoint writes a versioned, integrity-checked snapshot of the
+// session to w (see internal/checkpoint for the format). Only the
+// brief state capture synchronizes with ingests; the serialization and
+// the write happen off the ingest lock.
+func (s *Session) Checkpoint(w io.Writer) error {
+	return checkpoint.Write(w, s.CheckpointState())
+}
+
+// RestoreSession reads a checkpoint written by Session.Checkpoint and
+// reconstructs the session against the same substrate resources the
+// original was built on. The curated KB, embedding model, paraphrase
+// DB, and configuration must match the checkpointing session's — they
+// are intentionally not serialized (they are the offline-trained
+// substrate, shared across restarts) and a mismatch changes factor
+// potentials, silently discarding the warm state via fingerprint
+// mismatches.
+func RestoreSession(r io.Reader, ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) (*Session, error) {
+	snap, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreSnapshot(snap, ckbStore, emb, db, cfg)
+}
+
+// RestoreSnapshot reconstructs a session from an already-decoded
+// snapshot (see RestoreSession). The epoch's frozen signal statistics
+// are re-derived over the snapshot's epoch prefix and frozen-extended
+// over the remainder — bit-identical to the live session's state,
+// because both paths freeze the same IDF tables over the same prefix —
+// the construction cache restarts empty (it refills lazily with
+// identical values), and the query index, when enabled, is rebuilt
+// from the restored result under the restored generation id.
+func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) (*Session, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("stream: nil snapshot")
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	s := New(ckbStore, emb, db, cfg)
+	if snap.Batches == 0 {
+		return s, nil
+	}
+	if snap.EpochTriples == 0 {
+		return nil, fmt.Errorf("stream: snapshot with %d batches has no epoch prefix", snap.Batches)
+	}
+	if len(s.cfg.Core.InitialWeights) == 0 && len(snap.Weights) > 0 {
+		w := make(map[string]float64, len(snap.Weights))
+		for k, v := range snap.Weights {
+			w[k] = v
+		}
+		s.cfg.Core.InitialWeights = w
+	}
+
+	// Re-derive the epoch resources from the prefix, then frozen-extend
+	// with the suffix ingested since the last refresh. A snapshot taken
+	// after Refresh() skips this: the live session had already torn its
+	// resources down, and the restored one must likewise pay the full
+	// epoch rebuild on its next ingest.
+	var res *signals.Resources
+	if !snap.PendingRefresh {
+		epoch := okb.NewStore(snap.Triples[:snap.EpochTriples])
+		res = signals.New(epoch, ckbStore, emb, db)
+		if snap.EpochTriples < len(snap.Triples) {
+			res = res.Extend(epoch.Append(snap.Triples[snap.EpochTriples:], true))
+		}
+	}
+
+	s.triples = snap.Triples[:len(snap.Triples):len(snap.Triples)]
+	s.res = res
+	s.cache = core.NewSimCache()
+	s.warm = snap.Warm
+	s.batches = snap.Batches
+	s.sinceEpoch = snap.SinceEpoch
+	s.nRefresh = snap.Refreshes
+	s.epochTriples = snap.EpochTriples
+	s.blocksTouched = snap.BlocksTouched
+	s.blocksWarm = snap.BlocksWarm
+	s.repairs = snap.Repairs
+	s.repairReused = snap.RepairReused
+	s.indexMS = snap.IndexMS
+	if s.qidx != nil {
+		s.qidx.Restore(snap.Result, s.triples, snap.QueryGeneration)
+	}
+
+	cut := 0
+	if snap.Warm != nil && snap.Warm.Partition != nil {
+		cut = len(snap.Warm.Partition.CutNames)
+	}
+	nps, rps := 0, 0
+	if res != nil {
+		nps, rps = len(res.OKB.NPs()), len(res.OKB.RPs())
+	} else if snap.Result != nil {
+		nps, rps = len(snap.Result.NPLinks), len(snap.Result.RPLinks)
+	}
+	cum := Stats{
+		Batches:            s.batches,
+		TotalTriples:       len(s.triples),
+		NPs:                nps,
+		RPs:                rps,
+		Refreshes:          s.nRefresh,
+		BlocksTouched:      s.blocksTouched,
+		BlocksWarm:         s.blocksWarm,
+		CutVariables:       cut,
+		Repairs:            s.repairs,
+		RepairBlocksReused: s.repairReused,
+	}
+	if s.qidx != nil {
+		cum.IndexMS = s.indexMS
+	}
+	s.pub.Lock()
+	s.last = snap.Result
+	s.cumStats = cum
+	s.pub.Unlock()
+	return s, nil
+}

@@ -1,0 +1,483 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/query"
+)
+
+// sameResults asserts two published results decode identically —
+// groups, links, and membership indexes.
+func sameResults(t *testing.T, label string, a, b *core.Result) {
+	t.Helper()
+	if a == nil || b == nil {
+		t.Fatalf("%s: nil result (a=%v b=%v)", label, a == nil, b == nil)
+	}
+	if !reflect.DeepEqual(a.NPGroups, b.NPGroups) || !reflect.DeepEqual(a.RPGroups, b.RPGroups) {
+		t.Errorf("%s: canonicalization groups diverge", label)
+	}
+	if !reflect.DeepEqual(a.NPLinks, b.NPLinks) || !reflect.DeepEqual(a.RPLinks, b.RPLinks) {
+		t.Errorf("%s: links diverge", label)
+	}
+}
+
+// canonicalOf maps every surface to its group's lexicographically
+// smallest member — the stable cluster id the query layer uses.
+func canonicalOf(groups [][]string) map[string]string {
+	out := map[string]string{}
+	for _, g := range groups {
+		min := g[0]
+		for _, m := range g[1:] {
+			if m < min {
+				min = m
+			}
+		}
+		for _, m := range g {
+			out[m] = min
+		}
+	}
+	return out
+}
+
+// agreement returns the fraction of keys (union of both maps) on which
+// the two maps agree.
+func agreement(a, b map[string]string) float64 {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	if len(keys) == 0 {
+		return 1
+	}
+	same := 0
+	for k := range keys {
+		if a[k] == b[k] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(keys))
+}
+
+// compareQueryAnswers asserts both sessions' query indexes answer every
+// surface identically at the same generation.
+func compareQueryAnswers(t *testing.T, a, b *Session) {
+	t.Helper()
+	ia, ib := a.Query(), b.Query()
+	if ia == nil || ib == nil {
+		t.Fatalf("query index missing (a=%v b=%v)", ia == nil, ib == nil)
+	}
+	ga, okA := ia.Generation()
+	gb, okB := ib.Generation()
+	if !okA || !okB || ga.Generation != gb.Generation || ga.Behind != gb.Behind || ga.Triples != gb.Triples {
+		t.Fatalf("generations diverge: %+v ok=%v vs %+v ok=%v", ga, okA, gb, okB)
+	}
+	for _, np := range a.res.OKB.NPs() {
+		ra, okRA := ia.ResolveNP(np)
+		rb, okRB := ib.ResolveNP(np)
+		if okRA != okRB || !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("ResolveNP(%q) diverges: %+v/%v vs %+v/%v", np, ra, okRA, rb, okRB)
+		}
+		ca, _ := ia.NPCluster(np)
+		cb, _ := ib.NPCluster(np)
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("NPCluster(%q) diverges", np)
+		}
+		ta, _ := ia.TriplesBySubject(np, 0)
+		tb, _ := ib.TriplesBySubject(np, 0)
+		if !reflect.DeepEqual(ta, tb) {
+			t.Fatalf("TriplesBySubject(%q) diverges", np)
+		}
+	}
+	for _, rp := range a.res.OKB.RPs() {
+		ra, okRA := ia.ResolveRP(rp)
+		rb, okRB := ib.ResolveRP(rp)
+		if okRA != okRB || !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("ResolveRP(%q) diverges", rp)
+		}
+		ta, _ := ia.TriplesByRelation(rp, 0)
+		tb, _ := ib.TriplesByRelation(rp, 0)
+		if !reflect.DeepEqual(ta, tb) {
+			t.Fatalf("TriplesByRelation(%q) diverges", rp)
+		}
+	}
+}
+
+func TestIngestFailureLeavesSessionUntouched(t *testing.T) {
+	cfg := Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+	sess := microSession(t, cfg)
+	control := microSession(t, cfg)
+
+	good := [][]okb.Triple{
+		{
+			{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+			{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+		},
+		{
+			{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+		},
+		{
+			{Subj: "alphacorp", Pred: "acquire", Obj: "deltasoft"},
+		},
+	}
+	if _, err := sess.Ingest(good[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Ingest(good[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	before := sess.Stats()
+	snapBefore := sess.Snapshot()
+	genBefore, _ := sess.Query().Generation()
+
+	// Invalid batches must fail without touching epoch state, published
+	// results, or the query index's staleness accounting.
+	bad := [][]okb.Triple{
+		nil,
+		{{Subj: "alphacorp", Pred: "", Obj: "betalabs"}},
+		{{Subj: "", Pred: "acquire", Obj: "betalabs"}},
+		{{Subj: "alphacorp", Pred: "acquire", Obj: ""}},
+	}
+	for i, batch := range bad {
+		if _, err := sess.Ingest(batch); err == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+	}
+	after := sess.Stats()
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("failed ingests moved the stats:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if sess.Snapshot() != snapBefore {
+		t.Errorf("failed ingests replaced the published result")
+	}
+	genAfter, _ := sess.Query().Generation()
+	if genAfter.Behind != 0 || genAfter.Generation != genBefore.Generation {
+		t.Errorf("failed ingests skewed staleness accounting: %+v -> %+v", genBefore, genAfter)
+	}
+
+	// After the failures, the session must behave exactly like one that
+	// never saw them.
+	for _, batch := range good[1:] {
+		if _, err := sess.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := control.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameResults(t, "ingest-after-failure", sess.Snapshot(), control.Snapshot())
+	if got, want := sess.Stats().Batches, control.Stats().Batches; got != want {
+		t.Errorf("batch count diverged: %d vs %d", got, want)
+	}
+	compareQueryAnswers(t, sess, control)
+}
+
+func TestCheckpointRoundTripNoCut(t *testing.T) {
+	// restore(checkpoint(S)) then N more ingests must match a
+	// never-restarted session bitwise: same decoded outputs, same warm
+	// state, same query answers at the same generation.
+	world := microWorld(t)
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	db := ppdb.NewBuilder().Build()
+	cfg := Config{Core: core.DefaultConfig(), RefreshEvery: 4, Query: query.Config{Enable: true}}
+
+	batches := [][]okb.Triple{
+		{
+			{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+			{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+		},
+		{
+			{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+			{Subj: "alphacorp", Pred: "acquire", Obj: "deltasoft"},
+		},
+		{
+			{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"},
+		},
+		{
+			{Subj: "omegaventures", Pred: "acquire", Obj: "alphacorp"},
+		},
+		{
+			{Subj: "gammaworks", Pred: "sue", Obj: "omegaventures"},
+		},
+	}
+	const cutAt = 2 // checkpoint after this many batches
+
+	uninterrupted := New(world, emb, db, cfg)
+	live := New(world, emb, db, cfg)
+	for _, b := range batches[:cutAt] {
+		if _, err := uninterrupted.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := live.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := live.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), world, emb, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Immediately after restore: same published result, same query
+	// answers at the same generation, same counters.
+	sameResults(t, "post-restore", restored.Snapshot(), uninterrupted.Snapshot())
+	compareQueryAnswers(t, restored, uninterrupted)
+	rs, us := restored.Stats(), uninterrupted.Stats()
+	if rs.Batches != us.Batches || rs.TotalTriples != us.TotalTriples || rs.Refreshes != us.Refreshes {
+		t.Fatalf("restored counters diverge: %+v vs %+v", rs, us)
+	}
+
+	// N more ingests on both: bitwise-equal decodes and warm state,
+	// and the restored session's first post-restore batch must reuse
+	// warm components rather than re-run everything (RefreshEvery=4
+	// keeps these batches inside the epoch).
+	for i, b := range batches[cutAt:] {
+		stR, err := restored.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stU, err := uninterrupted.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stR.Refreshed != stU.Refreshed {
+			t.Fatalf("post-restore batch %d: refresh schedule diverged (%v vs %v)", i, stR.Refreshed, stU.Refreshed)
+		}
+		if stR.DirtyComponents != stU.DirtyComponents || stR.CleanComponents != stU.CleanComponents {
+			t.Errorf("post-restore batch %d: dirtiness diverged: restored %d/%d vs uninterrupted %d/%d",
+				i, stR.DirtyComponents, stR.CleanComponents, stU.DirtyComponents, stU.CleanComponents)
+		}
+		if !stR.Refreshed && stR.WarmFactors == 0 {
+			t.Errorf("post-restore batch %d transplanted no warm messages", i)
+		}
+	}
+	sameResults(t, "post-restore stream", restored.Snapshot(), uninterrupted.Snapshot())
+	if !reflect.DeepEqual(restored.warm.Msgs, uninterrupted.warm.Msgs) {
+		t.Errorf("warm message state diverged after restored stream")
+	}
+	compareQueryAnswers(t, restored, uninterrupted)
+}
+
+func TestCheckpointRoundTripHubCut(t *testing.T) {
+	// The hub-cut configuration on a realistic fused workload: a
+	// restored session must keep blocks warm, repair the carried
+	// partition, and track the uninterrupted session within the 0.02
+	// quality tolerance (in practice the restore is exact; the
+	// tolerance guards the assertion, not the mechanism).
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreCfg := core.DefaultConfig()
+	coreCfg.Segment.Enable = true
+	cfg := Config{Core: coreCfg, Query: query.Config{Enable: true}}
+
+	triples := ds.OKB.Triples()
+	n := len(triples)
+	chunks := [][]okb.Triple{triples[:n/2], triples[n/2 : 5*n/8], triples[5*n/8 : 3*n/4], triples[3*n/4:]}
+	const cutAt = 2
+
+	uninterrupted := New(ds.CKB, ds.Emb, ds.PPDB, cfg)
+	live := New(ds.CKB, ds.Emb, ds.PPDB, cfg)
+	for _, c := range chunks[:cutAt] {
+		if _, err := uninterrupted.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := live.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := live.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), ds.CKB, ds.Emb, ds.PPDB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareQueryAnswers(t, restored, uninterrupted)
+
+	for i, c := range chunks[cutAt:] {
+		stR, err := restored.Ingest(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stU, err := uninterrupted.Ingest(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			// The continuation must be warm: the first post-restore build
+			// repairs the carried partition and serves blocks from the
+			// restored messages instead of re-solving cold.
+			if !stR.PartitionRepaired {
+				t.Errorf("first post-restore ingest did not repair the carried partition: %+v", stR)
+			}
+			if stR.CleanComponents == 0 {
+				t.Errorf("first post-restore ingest served no blocks warm: %+v", stR)
+			}
+			if stR.RepairBlocksReused == 0 {
+				t.Errorf("first post-restore ingest adopted no blocks: %+v", stR)
+			}
+		}
+		if stR.CutVariables == 0 || stU.CutVariables == 0 {
+			t.Fatalf("hub-cut workload produced no cuts (restored %d, uninterrupted %d)", stR.CutVariables, stU.CutVariables)
+		}
+	}
+
+	const tol = 0.02
+	a, b := restored.Snapshot(), uninterrupted.Snapshot()
+	if got := agreement(a.NPLinks, b.NPLinks); got < 1-tol {
+		t.Errorf("NP link agreement %.4f below %.4f", got, 1-tol)
+	}
+	if got := agreement(a.RPLinks, b.RPLinks); got < 1-tol {
+		t.Errorf("RP link agreement %.4f below %.4f", got, 1-tol)
+	}
+	if got := agreement(canonicalOf(a.NPGroups), canonicalOf(b.NPGroups)); got < 1-tol {
+		t.Errorf("NP cluster agreement %.4f below %.4f", got, 1-tol)
+	}
+	if got := agreement(canonicalOf(a.RPGroups), canonicalOf(b.RPGroups)); got < 1-tol {
+		t.Errorf("RP cluster agreement %.4f below %.4f", got, 1-tol)
+	}
+	gr, _ := restored.Query().Generation()
+	gu, _ := uninterrupted.Query().Generation()
+	if gr.Generation != gu.Generation || gr.Behind != 0 {
+		t.Errorf("generations diverged after restored stream: %+v vs %+v", gr, gu)
+	}
+}
+
+func TestCheckpointCarriesPendingRefresh(t *testing.T) {
+	// Refresh() tears the epoch down before the next ingest; a
+	// checkpoint taken in that window must restore a session that still
+	// pays the forced full re-solve on the same batch an uninterrupted
+	// one would — not one that quietly resumes the old frozen epoch.
+	world := microWorld(t)
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	db := ppdb.NewBuilder().Build()
+	cfg := Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+
+	live := New(world, emb, db, cfg)
+	control := New(world, emb, db, cfg)
+	first := []okb.Triple{{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"}}
+	for _, s := range []*Session{live, control} {
+		if _, err := s.Ingest(first); err != nil {
+			t.Fatal(err)
+		}
+		s.Refresh()
+	}
+
+	var buf bytes.Buffer
+	if err := live.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), world, emb, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := []okb.Triple{{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"}}
+	stR, err := restored.Ingest(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stC, err := control.Ingest(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stR.Refreshed || !stC.Refreshed {
+		t.Fatalf("pending refresh lost across restore: restored %v, control %v", stR.Refreshed, stC.Refreshed)
+	}
+	if restored.Stats().Refreshes != control.Stats().Refreshes {
+		t.Errorf("refresh counters diverged: %d vs %d", restored.Stats().Refreshes, control.Stats().Refreshes)
+	}
+	sameResults(t, "pending-refresh restore", restored.Snapshot(), control.Snapshot())
+}
+
+func TestCheckpointEmptySessionRoundTrip(t *testing.T) {
+	cfg := Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+	sess := microSession(t, cfg)
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), microWorld(t), emb, ppdb.NewBuilder().Build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Snapshot() != nil || restored.Stats().Batches != 0 {
+		t.Fatalf("restored empty session not empty: %+v", restored.Stats())
+	}
+	if _, err := restored.Ingest([]okb.Triple{{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"}}); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Snapshot() == nil {
+		t.Fatal("restored empty session cannot ingest")
+	}
+}
+
+func TestCheckpointConcurrentWithIngestAndQueries(t *testing.T) {
+	// Checkpoint capture must be safe under concurrent ingest and reads
+	// (exercised by the -race job): the capture grabs published
+	// immutable state under the locks, serialization runs outside them.
+	cfg := Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+	sess := microSession(t, cfg)
+	if _, err := sess.Ingest([]okb.Triple{{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"}}); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"gammaworks", "deltasoft", "epsilonics", "zetafoundry", "omegaventures"}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			batch := []okb.Triple{{Subj: names[i], Pred: "acquire", Obj: names[i+1]}}
+			if _, err := sess.Ingest(batch); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	checkpoints := make([]*bytes.Buffer, 0, 8)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			var buf bytes.Buffer
+			if err := sess.Checkpoint(&buf); err != nil {
+				t.Error(err)
+			}
+			checkpoints = append(checkpoints, &buf)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			sess.Query().ResolveNP("alphacorp")
+			sess.Stats()
+			sess.Snapshot()
+		}
+	}()
+	wg.Wait()
+	// Every captured checkpoint must be restorable.
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	world := microWorld(t)
+	for i, buf := range checkpoints {
+		if _, err := RestoreSession(bytes.NewReader(buf.Bytes()), world, emb, ppdb.NewBuilder().Build(), cfg); err != nil {
+			t.Fatalf("checkpoint %d not restorable: %v", i, err)
+		}
+	}
+}

@@ -139,6 +139,10 @@ type Session struct {
 	batches    int
 	sinceEpoch int // batches since last epoch build
 	nRefresh   int
+	// epochTriples is the triple count the current epoch's frozen
+	// statistics were derived over — what a checkpoint records so
+	// restore can re-derive the identical resources from the prefix.
+	epochTriples int
 	// Cumulative partition counters across ingests.
 	blocksTouched int
 	blocksWarm    int
@@ -178,18 +182,38 @@ func (s *Session) Query() *query.Index { return s.qidx }
 // Ingest folds a batch of triples into the session and re-infers,
 // re-running belief propagation only on the connected components the
 // batch touched.
+//
+// A failed Ingest is free of side effects: the batch is validated
+// before anything is touched, all state is built into locals, and the
+// session's epoch state (resources, counters, warm state, query
+// staleness accounting) is committed only after inference succeeds —
+// so the caller can always retry or skip the batch and the session
+// behaves as if the failed call never happened.
 func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	if len(batch) == 0 {
 		return IngestStats{}, fmt.Errorf("stream: empty batch")
+	}
+	for i, t := range batch {
+		if t.Subj == "" || t.Pred == "" || t.Obj == "" {
+			return IngestStats{}, fmt.Errorf("stream: triple %d: empty subject, predicate, or object", i)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	// Staleness accounting: readers of the query index see Behind=1
-	// from here until the new generation is published (or the ingest
-	// fails and aborts).
+	// from here until the new generation is published. The deferred
+	// Abort rolls the marker back on ANY non-committed exit — error
+	// return or panic — so a failed ingest cannot leave readers
+	// permanently reported as behind.
+	committed := false
 	if s.qidx != nil {
 		s.qidx.Begin()
+		defer func() {
+			if !committed {
+				s.qidx.Abort()
+			}
+		}()
 	}
 
 	st := IngestStats{
@@ -200,8 +224,12 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 
 	// Build everything into locals first: session state is committed
 	// only once inference succeeds, so a failed batch can be retried
-	// without double-counting its triples.
-	grown := append(s.triples[:len(s.triples):len(s.triples)], batch...)
+	// without double-counting its triples. The append may grow in place
+	// (only Ingest, under mu, ever appends, and published views of the
+	// slice never read past their own length), so the amortized cost
+	// tracks the batch; on failure s.triples still ends at the old
+	// length and the next attempt simply overwrites the tail.
+	grown := append(s.triples, batch...)
 	res, cache, warm := s.res, s.cache, s.warm
 	t0 := time.Now()
 	if res == nil || (s.cfg.RefreshEvery > 0 && s.sinceEpoch+1 >= s.cfg.RefreshEvery) {
@@ -221,9 +249,6 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	cfg.Cache = cache
 	sys, err := core.NewSystem(res, cfg)
 	if err != nil {
-		if s.qidx != nil {
-			s.qidx.Abort()
-		}
 		return st, fmt.Errorf("stream: rebuilding system: %w", err)
 	}
 	st.ConstructMS = float64(time.Since(t0).Microseconds()) / 1000
@@ -258,6 +283,7 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	if st.Refreshed {
 		s.sinceEpoch = 0
 		s.nRefresh++
+		s.epochTriples = len(grown)
 	} else {
 		s.sinceEpoch++
 	}
@@ -276,6 +302,7 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 		s.indexMS += qs.ApplyMS
 		st.Index = &qs
 	}
+	committed = true
 
 	// Publish the read-side state.
 	cum := Stats{

@@ -345,10 +345,7 @@ func New(triples []Triple, kb *KB, opts ...Option) (*Pipeline, error) {
 	if kb == nil {
 		return nil, fmt.Errorf("jocl: nil KB")
 	}
-	o := &options{cfg: core.DefaultConfig(), embedDim: 32}
-	for _, opt := range opts {
-		opt(o)
-	}
+	o := applyOptions(opts)
 
 	ts := make([]okb.Triple, len(triples))
 	for i, t := range triples {

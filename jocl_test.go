@@ -1,6 +1,9 @@
 package jocl
 
 import (
+	"bytes"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -327,5 +330,95 @@ func TestSessionQueryAPI(t *testing.T) {
 	}
 	if ss := off.Stats(); ss.QueryEnabled {
 		t.Errorf("disabled session claims query enabled: %+v", ss)
+	}
+}
+
+func TestSessionCheckpointRestore(t *testing.T) {
+	kb, err := NewKB(
+		[]Entity{
+			{ID: "e1", Name: "alphacorp", Aliases: []string{"alphacorp"}},
+			{ID: "e2", Name: "betalabs", Aliases: []string{"betalabs"}},
+			{ID: "e3", Name: "gammaworks", Aliases: []string{"gammaworks"}},
+		},
+		[]Relation{{ID: "r1", Name: "acquire", Aliases: []string{"acquire"}}},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := [][]string{
+		{"alphacorp", "acquires", "betalabs", "today"},
+		{"gammaworks", "hires", "engineers"},
+	}
+	opts := []Option{WithCorpus(corpus)}
+
+	sess, err := NewSession(kb, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := NewSession(kb, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []Triple{
+		{Subject: "alphacorp", Predicate: "acquire", Object: "betalabs"},
+		{Subject: "gammaworks", Predicate: "acquire", Object: "betalabs"},
+	}
+	if _, err := sess.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream checkpoint plus the atomic file variant.
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), CheckpointFileName)
+	info, err := sess.CheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Batches != 1 || info.Triples != 2 || info.Bytes == 0 {
+		t.Fatalf("checkpoint info = %+v", info)
+	}
+
+	fromStream, err := RestoreSession(&buf, kb, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := RestoreSessionFile(path, kb, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := []Triple{{Subject: "alphacorp", Predicate: "acquire", Object: "gammaworks"}}
+	for _, s := range []*Session{fromStream, fromFile, control} {
+		if _, err := s.Ingest(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := control.Snapshot()
+	for i, s := range []*Session{fromStream, fromFile} {
+		got := s.Snapshot()
+		if !reflect.DeepEqual(got.NPGroups, want.NPGroups) || !reflect.DeepEqual(got.EntityLinks, want.EntityLinks) {
+			t.Errorf("restored session %d diverges from uninterrupted run", i)
+		}
+		st := s.Stats()
+		if st.Batches != 2 || st.TotalTriples != 3 {
+			t.Errorf("restored session %d counters: %+v", i, st)
+		}
+		gen, ok := s.QueryGeneration()
+		if !ok || gen.Generation != 2 || gen.Behind != 0 {
+			t.Errorf("restored session %d generation: %+v (ok=%v)", i, gen, ok)
+		}
+	}
+
+	// Restores guard their inputs.
+	if _, err := RestoreSessionFile(path, nil); err == nil {
+		t.Error("nil KB accepted")
+	}
+	if _, err := RestoreSessionFile(filepath.Join(t.TempDir(), "missing"), kb); err == nil {
+		t.Error("missing file accepted")
 	}
 }

@@ -2,7 +2,10 @@ package jocl
 
 import (
 	"fmt"
+	"io"
+	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/embedding"
 	"repro/internal/okb"
@@ -119,21 +122,127 @@ func NewSession(kb *KB, opts ...Option) (*Session, error) {
 	if kb == nil {
 		return nil, fmt.Errorf("jocl: nil KB")
 	}
+	o := applyOptions(opts)
+	emb, db := o.sessionResources()
+	return &Session{s: stream.New(kb.store, emb, db, o.streamConfig())}, nil
+}
+
+// applyOptions folds the options over the session defaults.
+func applyOptions(opts []Option) *options {
 	o := &options{cfg: core.DefaultConfig(), embedDim: 32}
 	for _, opt := range opts {
 		opt(o)
 	}
+	return o
+}
+
+// sessionResources derives the frozen substrate a session is built on:
+// embeddings trained from the corpus option (deterministic given the
+// same corpus and dimensionality) and the paraphrase DB. Restore must
+// receive the same resources the checkpointing session used, which is
+// why both construction and restore share this one derivation.
+func (o *options) sessionResources() (*embedding.Model, *ppdb.DB) {
 	emb := embedding.Train(o.corpus, embedding.Config{Dim: o.embedDim, Seed: 1})
 	pb := ppdb.NewBuilder()
 	for _, g := range o.paraphrases {
 		pb.AddGroup(g...)
 	}
-	return &Session{s: stream.New(kb.store, emb, pb.Build(), stream.Config{
+	return emb, pb.Build()
+}
+
+// streamConfig translates the public options into the internal stream
+// configuration.
+func (o *options) streamConfig() stream.Config {
+	return stream.Config{
 		Core:         o.cfg,
 		Workers:      o.workers,
 		RefreshEvery: o.refreshEvery,
 		Query:        o.queryConfig(),
-	})}, nil
+	}
+}
+
+// CheckpointFileName is the canonical file name for a session
+// checkpoint inside a checkpoint directory (what jocl-serve reads on
+// startup and atomically replaces on every checkpoint).
+const CheckpointFileName = checkpoint.DefaultFileName
+
+// Checkpoint writes a durable snapshot of the session to w: the
+// accumulated triples, epoch markers, learned weights, factor-graph
+// warm state (messages, boundary baselines, partition memory), the
+// last published result, and the query index's generation — a
+// versioned, checksummed format a later RestoreSession resumes from
+// warm. Only a brief state capture synchronizes with ingests; the
+// serialization runs off the ingest lock, so concurrent Ingest and
+// Query* calls proceed undisturbed.
+func (s *Session) Checkpoint(w io.Writer) error {
+	return s.s.Checkpoint(w)
+}
+
+// CheckpointInfo describes a checkpoint that was just written: the
+// ingest state the snapshot actually captured (which may trail a
+// concurrently committing ingest) and its serialized size.
+type CheckpointInfo struct {
+	Batches int
+	Triples int
+	Bytes   int64
+}
+
+// CheckpointFile writes the session checkpoint to path atomically
+// (temp file, fsync, rename): a crash mid-write leaves the previous
+// checkpoint intact, never a torn file. The returned info reports the
+// written snapshot itself, not the session's current state.
+func (s *Session) CheckpointFile(path string) (CheckpointInfo, error) {
+	snap := s.s.CheckpointState()
+	if err := checkpoint.Save(path, snap); err != nil {
+		return CheckpointInfo{}, err
+	}
+	info := CheckpointInfo{Batches: snap.Batches, Triples: len(snap.Triples)}
+	if fi, err := os.Stat(path); err == nil {
+		info.Bytes = fi.Size()
+	}
+	return info, nil
+}
+
+// RestoreSession reconstructs a session from a checkpoint written by
+// Session.Checkpoint. It must be given the same KB and the same
+// options (corpus, paraphrases, weights, segmentation, query index
+// configuration) the checkpointing session was built with: those are
+// the offline-trained substrate, intentionally not serialized, and a
+// mismatch shifts factor potentials so the restored warm state is
+// discarded by fingerprint mismatch instead of served warm. The
+// restored session resumes exactly where the checkpoint was taken —
+// warm blocks stay warm, partition repairs pick up the carried cuts,
+// and Query* generations continue with correct staleness accounting.
+func RestoreSession(r io.Reader, kb *KB, opts ...Option) (*Session, error) {
+	if kb == nil {
+		return nil, fmt.Errorf("jocl: nil KB")
+	}
+	o := applyOptions(opts)
+	emb, db := o.sessionResources()
+	sess, err := stream.RestoreSession(r, kb.store, emb, db, o.streamConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: sess}, nil
+}
+
+// RestoreSessionFile is RestoreSession reading from a checkpoint file
+// (verifying its magic, version, and checksum).
+func RestoreSessionFile(path string, kb *KB, opts ...Option) (*Session, error) {
+	if kb == nil {
+		return nil, fmt.Errorf("jocl: nil KB")
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	o := applyOptions(opts)
+	emb, db := o.sessionResources()
+	sess, err := stream.RestoreSnapshot(snap, kb.store, emb, db, o.streamConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: sess}, nil
 }
 
 // Ingest folds a batch of triples into the session and re-infers
