@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./internal/checkpoint/ ./cmd/jocl-serve/
+	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./internal/checkpoint/ ./internal/telemetry/ ./cmd/jocl-serve/
 
 # Regenerate the paper's tables and figures.
 bench:

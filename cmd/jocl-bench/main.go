@@ -44,6 +44,12 @@
 // warm-continuation and equivalence checks; see
 // internal/bench.RunCheckpoint) and, with -checkpoint-out, writes the
 // BENCH_checkpoint.json artifact.
+//
+// Every streaming artifact additionally carries p50/p95/p99 latency
+// digests (ingest_latency, and read_latency for the query benchmark)
+// read back from the same telemetry histograms the serving stack
+// exports on /metrics; the stream artifact also records a telemetry
+// on/off A/B pricing the instrumentation overhead itself.
 package main
 
 import (

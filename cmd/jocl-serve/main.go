@@ -14,6 +14,7 @@
 //	           [-outer-rounds 4] [-boundary-tol 0.005] [-no-repair]
 //	           [-query] [-query-max-results 1000] [-query-max-layers 4]
 //	           [-checkpoint-dir DIR] [-checkpoint-every N]
+//	           [-log-format text|json] [-trace-ring 64] [-pprof]
 //
 // -segment enables hub-cut graph segmentation: the highest-degree
 // variables (popular phrases that fuse the factor graph into one giant
@@ -64,6 +65,16 @@
 // Request bodies are bounded by -max-body-bytes (413 beyond it);
 // -max-batch additionally caps the triples per ingest batch.
 //
+// Observability (see docs/OBSERVABILITY.md for the full catalogue):
+//
+//	GET  /metrics        -> every session metric in Prometheus text format
+//	GET  /debug/trace    -> the most recent per-ingest stage traces (?n= caps how many)
+//	GET  /debug/pprof/*  -> runtime profiling endpoints (only with -pprof)
+//
+// Every request is logged through log/slog (request id, method, route
+// pattern, status, duration); -log-format json switches the process to
+// machine-readable logs. -trace-ring sizes the retained trace window.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops accepting, in-flight ingests and queries drain, a final
 // checkpoint is written (when -checkpoint-dir is set), then it exits.
@@ -82,8 +93,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -94,6 +106,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -118,15 +131,38 @@ func main() {
 		maxBody      = flag.Int64("max-body-bytes", 8<<20, "largest accepted request body in bytes (413 beyond it)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for durable session checkpoints (restore on startup, POST /checkpoint, periodic snapshots)")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "write a background checkpoint every N successful ingests (0 = manual/shutdown checkpoints only; needs -checkpoint-dir)")
+		logFormat    = flag.String("log-format", "text", "structured log encoding: text | json")
+		traceRing    = flag.Int("trace-ring", 0, "per-ingest stage traces retained for /debug/trace (0 = default 64)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints expose internals)")
 	)
 	flag.Parse()
 
-	log.Printf("generating %s KB at scale %g ...", *profile, *scale)
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "jocl-serve: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
+	logger.Info("generating KB", "profile", *profile, "scale", *scale)
 	bench, err := jocl.GenerateBenchmark(*profile, *scale)
 	if err != nil {
-		log.Fatal("jocl-serve: ", err)
+		fatal("generating benchmark KB", err)
 	}
-	opts := []jocl.Option{jocl.WithWorkers(*workers), jocl.WithRefreshEvery(*refreshEvery)}
+	opts := []jocl.Option{
+		jocl.WithWorkers(*workers),
+		jocl.WithRefreshEvery(*refreshEvery),
+		jocl.WithTelemetry(jocl.TelemetryOptions{TraceRing: *traceRing}),
+	}
 	if *queryOn {
 		opts = append(opts, jocl.WithQueryIndex(jocl.QueryIndexOptions{
 			MaxResults: *queryMaxRes,
@@ -150,7 +186,7 @@ func main() {
 	ckptPath := ""
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			log.Fatal("jocl-serve: checkpoint dir: ", err)
+			fatal("creating checkpoint dir", err)
 		}
 		ckptPath = filepath.Join(*ckptDir, jocl.CheckpointFileName)
 	}
@@ -159,16 +195,17 @@ func main() {
 			t0 := time.Now()
 			sess, err = bench.RestoreSessionFile(ckptPath, opts...)
 			if err != nil {
-				log.Fatal("jocl-serve: restoring checkpoint: ", err)
+				fatal("restoring checkpoint", err)
 			}
 			st := sess.Stats()
-			log.Printf("restored %s: %d batches / %d triples, warm in %.0fms",
-				ckptPath, st.Batches, st.TotalTriples, float64(time.Since(t0).Microseconds())/1000)
+			logger.Info("restored checkpoint", "path", ckptPath,
+				"batches", st.Batches, "triples", st.TotalTriples,
+				"restore_ms", float64(time.Since(t0).Microseconds())/1000)
 		}
 	}
 	if sess == nil {
 		if sess, err = bench.Session(opts...); err != nil {
-			log.Fatal("jocl-serve: ", err)
+			fatal("building session", err)
 		}
 	}
 	srv := newServer(sess, serveOptions{
@@ -176,8 +213,11 @@ func main() {
 		maxBodyBytes:    *maxBody,
 		checkpointPath:  ckptPath,
 		checkpointEvery: *ckptEvery,
+		pprof:           *pprofOn,
+		logger:          logger,
 	})
-	log.Printf("serving on %s (%s world, %d generator triples available)", *addr, bench.Name(), len(bench.Triples))
+	logger.Info("serving", "addr", *addr, "world", bench.Name(),
+		"generator_triples", len(bench.Triples), "pprof", *pprofOn)
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, let in-flight
 	// ingests and queries drain, then exit.
@@ -192,21 +232,19 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills
-		log.Printf("signal received; draining in-flight requests ...")
+		logger.Info("signal received; draining in-flight requests")
 		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
-			fmt.Fprintln(os.Stderr, "jocl-serve: shutdown:", err)
-			os.Exit(1)
+			fatal("shutdown", err)
 		}
 		if ckptPath != "" {
 			if _, err := srv.writeCheckpoint(); err != nil {
-				fmt.Fprintln(os.Stderr, "jocl-serve: final checkpoint:", err)
-				os.Exit(1)
+				fatal("final checkpoint", err)
 			}
-			log.Printf("final checkpoint written to %s", ckptPath)
+			logger.Info("final checkpoint written", "path", ckptPath)
 		}
-		log.Printf("drained; bye")
+		logger.Info("drained; bye")
 	}
 }
 
@@ -219,6 +257,10 @@ type serveOptions struct {
 	// successful ingests (0 = manual/shutdown only).
 	checkpointPath  string
 	checkpointEvery int
+	// pprof mounts net/http/pprof under /debug/pprof/; logger receives
+	// the per-request structured log (nil = discard, for tests).
+	pprof  bool
+	logger *slog.Logger
 }
 
 // server wires a jocl.Session into an http.Handler. Handlers run
@@ -235,11 +277,22 @@ type server struct {
 	ckptMu     sync.Mutex  // serializes checkpoint writes
 	ckptBusy   atomic.Bool // single-flight marker for the periodic trigger
 	ckptErrors atomic.Int64
+
+	// HTTP-layer telemetry, registered on the session's registry so
+	// /metrics exposes one unified catalogue (nil when the session runs
+	// with telemetry disabled — the middleware then only logs).
+	reqID    atomic.Uint64
+	httpReqs *telemetry.CounterVec
+	httpDur  *telemetry.HistogramVec
+	httpBusy *telemetry.Gauge
 }
 
 func newServer(sess *jocl.Session, opt serveOptions) *server {
 	if opt.maxBodyBytes <= 0 {
 		opt.maxBodyBytes = 8 << 20
+	}
+	if opt.logger == nil {
+		opt.logger = slog.New(slog.DiscardHandler)
 	}
 	s := &server{mux: http.NewServeMux(), sess: sess, opt: opt}
 	s.mux.HandleFunc("/ingest", s.handleIngest)
@@ -247,15 +300,123 @@ func newServer(sess *jocl.Session, opt serveOptions) *server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.mux.HandleFunc("/query/resolve", s.handleQueryResolve)
 	s.mux.HandleFunc("/query/entity", s.handleQueryEntity)
 	s.mux.HandleFunc("/query/relation", s.handleQueryRelation)
 	s.mux.HandleFunc("/query/cluster", s.handleQueryCluster)
 	s.mux.HandleFunc("/query/triples", s.handleQueryTriples)
+	if opt.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if tel := sess.Telemetry(); tel != nil {
+		s.httpReqs = tel.Registry.CounterVec("jocl_http_requests_total",
+			"HTTP requests served, by route pattern, method, and status code.",
+			"path", "method", "code")
+		s.httpDur = tel.Registry.HistogramVec("jocl_http_request_duration_seconds",
+			"HTTP request latency by route pattern.", nil, "path")
+		s.httpBusy = tel.Registry.Gauge("jocl_http_in_flight",
+			"HTTP requests currently being served.")
+	}
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the status code a handler wrote so the
+// middleware can label metrics and logs with it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP is the observability middleware around every endpoint: it
+// assigns a request id, tracks in-flight requests, and — after the
+// handler runs — records count/latency/status under the matched route
+// pattern and emits one structured log line per request.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	t0 := time.Now()
+	if s.httpBusy != nil {
+		s.httpBusy.Add(1)
+		defer s.httpBusy.Add(-1)
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	// r.Pattern is only populated once the mux matched a route; label
+	// everything else "unmatched" so unknown paths cannot explode the
+	// series cardinality.
+	pattern := r.Pattern
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	d := time.Since(t0)
+	if s.httpReqs != nil {
+		s.httpReqs.With(pattern, r.Method, strconv.Itoa(sw.code)).Inc()
+		s.httpDur.With(pattern).ObserveDuration(d)
+	}
+	s.opt.logger.Info("request",
+		"id", id, "method", r.Method, "path", r.URL.Path,
+		"endpoint", pattern, "status", sw.code,
+		"duration_ms", float64(d)/float64(time.Millisecond))
+}
+
+// handleMetrics renders every registered metric in Prometheus text
+// exposition format (GET /metrics).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	tel := s.sess.Telemetry()
+	if tel == nil {
+		httpError(w, http.StatusNotFound, "telemetry disabled: the session was built with WithoutTelemetry")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := tel.Registry.WritePrometheus(w); err != nil {
+		s.opt.logger.Error("writing /metrics", "err", err)
+	}
+}
+
+type traceResponse struct {
+	Traces []jocltrace `json:"traces"`
+}
+
+// jocltrace aliases the telemetry trace for JSON encoding.
+type jocltrace = telemetry.Trace
+
+// handleTrace returns the most recent per-ingest stage traces, newest
+// first (GET /debug/trace, ?n= caps how many; default all retained).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	tel := s.sess.Telemetry()
+	if tel == nil {
+		httpError(w, http.StatusNotFound, "telemetry disabled: the session was built with WithoutTelemetry")
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad ?n=")
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, traceResponse{Traces: tel.Traces.Last(n)})
+}
 
 type ingestRequest struct {
 	Triples []tripleJSON `json:"triples"`
@@ -381,9 +542,10 @@ func (s *server) maybeCheckpoint(batch int) {
 		defer s.ckptBusy.Store(false)
 		if resp, err := s.writeCheckpoint(); err != nil {
 			s.ckptErrors.Add(1)
-			log.Printf("jocl-serve: background checkpoint: %v", err)
+			s.opt.logger.Error("background checkpoint", "err", err)
 		} else {
-			log.Printf("checkpoint written to %s: %d batches (%.0fms)", resp.Path, resp.Batches, resp.WriteMS)
+			s.opt.logger.Info("checkpoint written", "path", resp.Path,
+				"batches", resp.Batches, "write_ms", resp.WriteMS)
 		}
 	}()
 }
@@ -696,7 +858,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("jocl-serve: encoding response: %v", err)
+		slog.Error("encoding response", "err", err)
 	}
 }
 

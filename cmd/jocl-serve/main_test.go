@@ -448,3 +448,285 @@ func TestServePeriodicCheckpoint(t *testing.T) {
 		t.Fatalf("nil KB must be rejected")
 	}
 }
+
+// mixedLoad drives every subsystem the telemetry catalogue covers:
+// several ingests (one epoch build plus frozen extensions), reads on
+// each query endpoint, /result, /stats, and a checkpoint when the
+// server has one configured.
+func mixedLoad(t *testing.T, srv *server) {
+	t.Helper()
+	batches := [][]tripleJSON{
+		{
+			{Subject: "barack obama", Predicate: "be born in", Object: "honolulu"},
+			{Subject: "obama", Predicate: "serve as", Object: "president"},
+		},
+		{
+			{Subject: "barack obama", Predicate: "visit", Object: "chicago"},
+			{Subject: "b. obama", Predicate: "be elected in", Object: "2008"},
+		},
+		{
+			{Subject: "a corp", Predicate: "acquire", Object: "b labs"},
+		},
+	}
+	for i, b := range batches {
+		if rec, _ := postIngest(t, srv, b); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d = %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	for _, path := range []string{
+		"/result", "/stats",
+		"/query/resolve?np=obama",
+		"/query/cluster?np=barack+obama",
+		"/query/triples?subject=barack+obama",
+		"/query/resolve?rp=be+born+in",
+	} {
+		getJSON(t, srv, path, nil)
+	}
+	if srv.opt.checkpointPath != "" {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/checkpoint", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("checkpoint during mixed load = %d: %s", rec.Code, rec.Body)
+		}
+	}
+}
+
+// scrapeFamilies GETs /metrics and returns the set of metric family
+// names from the # TYPE lines, plus the raw body.
+func scrapeFamilies(t *testing.T, srv *server) (map[string]string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	fams := map[string]string{}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 4 {
+			t.Errorf("malformed TYPE line: %q", line)
+			continue
+		}
+		fams[parts[2]] = parts[3]
+	}
+	return fams, rec.Body.String()
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv := newServer(mustSession(t), serveOptions{
+		maxBatch:       1000,
+		checkpointPath: filepath.Join(dir, jocl.CheckpointFileName),
+	})
+	mixedLoad(t, srv)
+
+	fams, body := scrapeFamilies(t, srv)
+	if len(fams) < 20 {
+		t.Errorf("/metrics exposes %d families, want >= 20", len(fams))
+	}
+	// One representative per subsystem: ingest, BP, partition, query,
+	// checkpoint, HTTP.
+	for name, kind := range map[string]string{
+		"jocl_ingest_duration_seconds":       "histogram",
+		"jocl_ingest_stage_duration_seconds": "histogram",
+		"jocl_bp_sweeps_total":               "counter",
+		"jocl_partition_blocks":              "gauge",
+		"jocl_query_requests_total":          "counter",
+		"jocl_query_generation":              "gauge",
+		"jocl_checkpoint_total":              "counter",
+		"jocl_checkpoint_age_seconds":        "gauge",
+		"jocl_http_requests_total":           "counter",
+		"jocl_http_request_duration_seconds": "histogram",
+	} {
+		if got, ok := fams[name]; !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+		} else if got != kind {
+			t.Errorf("metric %s has type %s, want %s", name, got, kind)
+		}
+	}
+	// Load-bearing values: the ingests and the HTTP layer's own labels
+	// must be visible.
+	for _, want := range []string{
+		"jocl_ingest_total 3",
+		`jocl_http_requests_total{path="/ingest",method="POST",code="200"} 3`,
+		`jocl_query_requests_total{op="resolve_np"}`,
+		`jocl_ingest_stage_duration_seconds_bucket{stage="bp",le="+Inf"}`,
+		"jocl_checkpoint_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics misses %q", want)
+		}
+	}
+
+	// Unknown paths are labeled "unmatched", not per-path (cardinality).
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/no/such/path/12345", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", rec.Code)
+	}
+	_, body = scrapeFamilies(t, srv)
+	if !strings.Contains(body, `jocl_http_requests_total{path="unmatched",method="GET",code="404"} 1`) {
+		t.Errorf("unmatched request not labeled: %s", grepLines(body, "unmatched"))
+	}
+
+	// POST /metrics is a method error.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+func grepLines(s, sub string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, sub) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// traceJSON mirrors the /debug/trace wire format.
+type traceJSON struct {
+	ID      int64   `json:"id"`
+	Batch   int     `json:"batch"`
+	TotalMS float64 `json:"total_ms"`
+	Spans   []struct {
+		Name    string  `json:"name"`
+		StartMS float64 `json:"start_ms"`
+		MS      float64 `json:"ms"`
+	} `json:"spans"`
+}
+
+func TestServeDebugTrace(t *testing.T) {
+	srv := testServer(t)
+	mixedLoad(t, srv)
+
+	var resp struct {
+		Traces []traceJSON `json:"traces"`
+	}
+	if rec := getJSON(t, srv, "/debug/trace", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(resp.Traces))
+	}
+	// Newest first.
+	if resp.Traces[0].Batch != 3 || resp.Traces[2].Batch != 1 {
+		t.Errorf("traces out of order: batches %d, %d, %d",
+			resp.Traces[0].Batch, resp.Traces[1].Batch, resp.Traces[2].Batch)
+	}
+	for _, tr := range resp.Traces {
+		if len(tr.Spans) == 0 {
+			t.Errorf("trace %d (batch %d) has no spans", tr.ID, tr.Batch)
+			continue
+		}
+		sum := 0.0
+		for _, sp := range tr.Spans {
+			if sp.Name == "" || sp.MS < 0 {
+				t.Errorf("trace %d: bad span %+v", tr.ID, sp)
+			}
+			sum += sp.MS
+		}
+		// Stage durations must account for the ingest: within 5% of the
+		// total (skip sub-millisecond ingests where rounding dominates).
+		if tr.TotalMS >= 1 {
+			if diff := (tr.TotalMS - sum) / tr.TotalMS; diff > 0.05 || diff < -0.05 {
+				t.Errorf("trace %d (batch %d): spans sum to %.3fms of %.3fms total (%.1f%% off)",
+					tr.ID, tr.Batch, sum, tr.TotalMS, 100*diff)
+			}
+		}
+	}
+
+	// ?n= caps the answer, newest first.
+	if rec := getJSON(t, srv, "/debug/trace?n=1", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace?n=1 = %d", rec.Code)
+	}
+	if len(resp.Traces) != 1 || resp.Traces[0].Batch != 3 {
+		t.Errorf("?n=1 gave %d traces (first batch %d)", len(resp.Traces), resp.Traces[0].Batch)
+	}
+	if rec := getJSON(t, srv, "/debug/trace?n=bogus", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ?n= = %d, want 400", rec.Code)
+	}
+}
+
+func TestServeTelemetryDisabled(t *testing.T) {
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session(jocl.WithoutTelemetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sess, serveOptions{maxBatch: 1000})
+	if rec, _ := postIngest(t, srv, []tripleJSON{{Subject: "a corp", Predicate: "buy", Object: "b labs"}}); rec.Code != http.StatusOK {
+		t.Fatalf("ingest without telemetry = %d", rec.Code)
+	}
+	for _, path := range []string{"/metrics", "/debug/trace"} {
+		if rec := getJSON(t, srv, path, nil); rec.Code != http.StatusNotFound {
+			t.Errorf("%s with telemetry off = %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestServePprofGated(t *testing.T) {
+	off := testServer(t)
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without -pprof = %d, want 404", rec.Code)
+	}
+
+	on := newServer(mustSession(t), serveOptions{maxBatch: 1000, pprof: true})
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index with -pprof = %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d, want 200", rec.Code)
+	}
+}
+
+// TestMetricsDocumented is the docs drift gate: every metric family a
+// serving session (plus the HTTP layer) registers must be named in
+// docs/OBSERVABILITY.md. Families are registered up front at
+// construction, so no traffic is needed to see the full catalogue.
+func TestMetricsDocumented(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("reading the observability reference: %v", err)
+	}
+	doc := string(raw)
+
+	srv := newServer(mustSession(t), serveOptions{maxBatch: 1000})
+	tel := srv.sess.Telemetry()
+	if tel == nil {
+		t.Fatal("telemetry-enabled session returned a nil handle")
+	}
+	names := tel.Registry.Names()
+	if len(names) < 20 {
+		t.Fatalf("only %d registered families — catalogue registration broke: %v", len(names), names)
+	}
+	var missing []string
+	for _, name := range names {
+		// Documented names are backticked table cells, bare or with a
+		// {label,...} suffix — either way the backtick abuts the name.
+		if !strings.Contains(doc, "`"+name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("metrics registered but missing from docs/OBSERVABILITY.md: %v", missing)
+	}
+}

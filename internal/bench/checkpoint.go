@@ -35,8 +35,11 @@ type CheckpointReport struct {
 	Workers int     `json:"workers"`
 
 	// StreamMS is the wall-clock of ingesting the pre-crash stream
-	// (every batch but the last) into the original session.
-	StreamMS float64 `json:"stream_ms"`
+	// (every batch but the last) into the original session; the latency
+	// digests come from that session's own telemetry histograms.
+	StreamMS          float64        `json:"stream_ms"`
+	IngestLatency     LatencySummary `json:"ingest_latency"`
+	CheckpointLatency LatencySummary `json:"checkpoint_latency"`
 	// CheckpointMS / CheckpointBytes price one snapshot: serialization
 	// wall-clock (the capture itself holds the ingest lock only
 	// briefly) and the serialized size.
@@ -129,7 +132,7 @@ func RunCheckpoint(profile string, scale, preloadFrac float64, batches, workers 
 	cfg := core.DefaultConfig()
 	cfg.BP.MaxSweeps = 40
 	cfg.Segment.Enable = true
-	scfg := stream.Config{Core: cfg, Workers: workers, Query: query.Config{Enable: true}}
+	scfg := stream.Config{Core: cfg, Workers: workers, Query: query.Config{Enable: true}, Telemetry: benchTelemetry()}
 
 	// The pre-crash stream: every batch but the last.
 	preCrash := batches - 1
@@ -156,6 +159,8 @@ func RunCheckpoint(profile string, scale, preloadFrac float64, batches, workers 
 	}
 	report.CheckpointMS = float64(time.Since(t1).Microseconds()) / 1000
 	report.CheckpointBytes = buf.Len()
+	report.IngestLatency = ingestLatency(original)
+	report.CheckpointLatency = checkpointLatency(original)
 
 	// Recovery strategy A: restore from the checkpoint.
 	t2 := time.Now()
@@ -223,6 +228,7 @@ func (r *CheckpointReport) Format() string {
 		r.Profile, r.Scale, r.Batches, r.Workers)
 	fmt.Fprintf(&b, "pre-crash stream: %.0fms across %d batches; snapshot %.1fKB written in %.1fms\n",
 		r.StreamMS, r.Batches-1, float64(r.CheckpointBytes)/1024, r.CheckpointMS)
+	fmt.Fprintf(&b, "ingest latency: %s; checkpoint latency: %s\n", r.IngestLatency, r.CheckpointLatency)
 	fmt.Fprintf(&b, "recovery: restore %.0fms vs cold replay %.0fms = %.1fx\n",
 		r.RestoreMS, r.ColdReplayMS, r.Speedup)
 	fmt.Fprintf(&b, "continuation: %d blocks warm, partition repaired %v\n",

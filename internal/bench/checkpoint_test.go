@@ -32,6 +32,12 @@ func TestRunCheckpointSmoke(t *testing.T) {
 		report.NPClusterAgreement < 1-tol || report.RPClusterAgreement < 1-tol {
 		t.Errorf("restored outputs diverge beyond tolerance: %+v", report)
 	}
+	if report.IngestLatency.Count != uint64(report.Batches-1) {
+		t.Errorf("ingest latency digest counts %d ingests, want %d", report.IngestLatency.Count, report.Batches-1)
+	}
+	if report.CheckpointLatency.Count != 1 || report.CheckpointLatency.P50MS <= 0 {
+		t.Errorf("checkpoint latency digest malformed: %+v", report.CheckpointLatency)
+	}
 	if report.Format() == "" {
 		t.Fatal("empty Format output")
 	}

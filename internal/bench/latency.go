@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// LatencySummary is the p50/p95/p99 digest every BENCH_*.json artifact
+// reports for its latency distributions. The quantiles are read back
+// from the same telemetry histograms the serving stack exports on
+// /metrics — the benchmarks do not keep a second measurement pipeline —
+// converted from the histograms' seconds to the artifacts'
+// milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// latencySummaryOf digests a telemetry histogram (observed in seconds)
+// into a millisecond summary. A nil histogram — telemetry disabled or
+// the metric never registered — produces the zero summary.
+func latencySummaryOf(h *telemetry.Histogram) LatencySummary {
+	if h == nil {
+		return LatencySummary{}
+	}
+	s := h.Summary()
+	return LatencySummary{
+		Count:  s.Count,
+		MeanMS: s.Mean * 1000,
+		P50MS:  s.P50 * 1000,
+		P95MS:  s.P95 * 1000,
+		P99MS:  s.P99 * 1000,
+	}
+}
+
+// ingestLatency reads a session's jocl_ingest_duration_seconds
+// histogram — the identical series a /metrics scrape of that session
+// would report.
+func ingestLatency(sess *stream.Session) LatencySummary {
+	tel := sess.Telemetry()
+	if tel == nil {
+		return LatencySummary{}
+	}
+	return latencySummaryOf(tel.Registry.FindHistogram("jocl_ingest_duration_seconds"))
+}
+
+// checkpointLatency reads a session's jocl_checkpoint_duration_seconds
+// histogram.
+func checkpointLatency(sess *stream.Session) LatencySummary {
+	tel := sess.Telemetry()
+	if tel == nil {
+		return LatencySummary{}
+	}
+	return latencySummaryOf(tel.Registry.FindHistogram("jocl_checkpoint_duration_seconds"))
+}
+
+// benchTelemetry is the telemetry configuration the benchmark sessions
+// run with: metrics on (the latency summaries come from them), trace
+// retention minimal (the benchmarks never read traces back).
+func benchTelemetry() telemetry.Config {
+	return telemetry.Config{Enable: true, TraceRing: 1}
+}
+
+// String renders the summary for the Format() text reports.
+func (l LatencySummary) String() string {
+	return fmt.Sprintf("p50 %.2fms / p95 %.2fms / p99 %.2fms (mean %.2fms over %d)",
+		l.P50MS, l.P95MS, l.P99MS, l.MeanMS, l.Count)
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/okb"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // QueryPoint is one ingested batch's read-path index cost under the
@@ -79,6 +80,12 @@ type QueryReport struct {
 	MaxReadLatencyMS  float64 `json:"max_read_latency_ms"`
 	MeanReadLatencyMS float64 `json:"mean_read_latency_ms"`
 
+	// Latency digests from telemetry histograms: the session's per-ingest
+	// wall-clock, and the per-read latency during the concurrent phase
+	// (every individual read the hammering goroutines issued).
+	IngestLatency LatencySummary `json:"ingest_latency"`
+	ReadLatency   LatencySummary `json:"read_latency"`
+
 	// Generations is the index generation after the last batch (==
 	// Batches when every ingest published one).
 	Generations int64 `json:"generations"`
@@ -92,10 +99,16 @@ type readStats struct {
 	maxNS   atomic.Int64
 	failed  atomic.Int64
 	stopped atomic.Bool
+	// hist, when set, additionally feeds a telemetry histogram — the
+	// source of the report's p50/p95/p99 read-latency digest.
+	hist *telemetry.Histogram
 }
 
 func (rs *readStats) record(d time.Duration) {
 	rs.reads.Add(1)
+	if rs.hist != nil {
+		rs.hist.ObserveDuration(d)
+	}
 	ns := d.Nanoseconds()
 	rs.sumNS.Add(ns)
 	for {
@@ -170,9 +183,10 @@ func RunQuery(profile string, scale, preloadFrac float64, batches, workers, read
 	cfg.BP.MaxSweeps = 40
 	cfg.Segment.Enable = true
 	sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{
-		Core:    cfg,
-		Workers: workers,
-		Query:   query.Config{Enable: true},
+		Core:      cfg,
+		Workers:   workers,
+		Query:     query.Config{Enable: true},
+		Telemetry: benchTelemetry(),
 	})
 	nps, rps := ds.OKB.NPs(), ds.OKB.RPs()
 
@@ -256,8 +270,11 @@ func RunQuery(profile string, scale, preloadFrac float64, batches, workers, read
 		report.Points = append(report.Points, point(b, st, before))
 	}
 
-	// Concurrent phase: the remaining batches under reader load.
-	rs := &readStats{}
+	// Concurrent phase: the remaining batches under reader load. The
+	// per-read histogram lives in its own registry: it is a benchmark
+	// measurement, not part of the serving session's metric catalogue.
+	rs := &readStats{hist: telemetry.NewRegistry().Histogram(
+		"bench_read_duration_seconds", "Individual read latency during the concurrent phase.", nil)}
 	var wg sync.WaitGroup
 	ix := sess.Query()
 	for r := 0; r < readers; r++ {
@@ -291,6 +308,8 @@ func RunQuery(profile string, scale, preloadFrac float64, batches, workers, read
 		report.MaxReadLatencyMS = float64(rs.maxNS.Load()) / 1e6
 		report.MeanReadLatencyMS = float64(rs.sumNS.Load()) / float64(n) / 1e6
 	}
+	report.IngestLatency = ingestLatency(sess)
+	report.ReadLatency = latencySummaryOf(rs.hist)
 
 	// Idle throughput on the settled index.
 	idle := &readStats{}
@@ -361,5 +380,6 @@ func (r *QueryReport) Format() string {
 		r.MeanMaintainMS, r.MeanFullMS, r.MeanRatio)
 	fmt.Fprintf(&b, "reads: %d during ingest at %.0f qps (max latency %.3fms, mean %.4fms); idle %.0f qps; generation %d\n",
 		r.ConcurrentReads, r.ConcurrentQPS, r.MaxReadLatencyMS, r.MeanReadLatencyMS, r.IdleQPS, r.Generations)
+	fmt.Fprintf(&b, "ingest latency: %s; read latency: %s\n", r.IngestLatency, r.ReadLatency)
 	return b.String()
 }

@@ -37,6 +37,15 @@ func TestRunQuerySmoke(t *testing.T) {
 	if report.Generations != int64(report.Batches) {
 		t.Errorf("generation = %d, want %d", report.Generations, report.Batches)
 	}
+	if report.IngestLatency.Count != uint64(report.Batches) || report.IngestLatency.P99MS < report.IngestLatency.P50MS {
+		t.Errorf("ingest latency digest malformed: %+v", report.IngestLatency)
+	}
+	// Readers drain asynchronously after the concurrent-reads snapshot,
+	// so the histogram may hold a few more observations than the count.
+	if int64(report.ReadLatency.Count) < report.ConcurrentReads || report.ReadLatency.P99MS < report.ReadLatency.P50MS {
+		t.Errorf("read latency digest does not match the concurrent reads: %+v vs %d",
+			report.ReadLatency, report.ConcurrentReads)
+	}
 	if report.Format() == "" {
 		t.Fatal("empty Format output")
 	}

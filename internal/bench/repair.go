@@ -33,6 +33,9 @@ type RepairStrategy struct {
 	// strategies build cold).
 	MeanIngestMS    float64 `json:"mean_ingest_ms"`
 	MeanPartitionMS float64 `json:"mean_partition_ms"`
+	// IngestLatency is the session's own telemetry digest of the same
+	// ingests (p50/p95/p99, includes the cold preload).
+	IngestLatency LatencySummary `json:"ingest_latency"`
 	// Final-build partition shape, final-batch block reuse, and the
 	// repair totals across all post-warm-up batches (zero for the
 	// re-partition strategy).
@@ -111,7 +114,7 @@ func RunRepair(profile string, scale, preloadFrac float64, batches, workers int,
 	noRepairCfg.Segment.NoRepair = true
 
 	runStrategy := func(cfg core.Config) (*RepairStrategy, error) {
-		sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers})
+		sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers, Telemetry: benchTelemetry()})
 		s := &RepairStrategy{}
 		var last stream.IngestStats
 		for b := 0; b < batches; b++ {
@@ -120,8 +123,8 @@ func RunRepair(profile string, scale, preloadFrac float64, batches, workers int,
 			if err != nil {
 				return nil, err
 			}
-			s.IngestMS = append(s.IngestMS, float64(time.Since(t0).Microseconds())/1000)
-			s.PartitionMS = append(s.PartitionMS, st.PartitionMS)
+			s.IngestMS = append(s.IngestMS, float64(time.Since(t0))/float64(time.Millisecond))
+			s.PartitionMS = append(s.PartitionMS, float64(st.PartitionTime)/float64(time.Millisecond))
 			if b > 0 {
 				s.BlocksReusedTotal += st.RepairBlocksReused
 				s.BlocksRecutTotal += st.RepairBlocksRecut
@@ -143,6 +146,7 @@ func RunRepair(profile string, scale, preloadFrac float64, batches, workers int,
 		s.CutVariables = last.CutVariables
 		s.LastDirty = last.DirtyComponents
 		s.LastWarm = last.CleanComponents
+		s.IngestLatency = ingestLatency(sess)
 		res := sess.Snapshot()
 		s.NPAvgF1 = canonScores(ds, res.NPGroups, true).AverageF1
 		s.EntLinkAcc = linkAccuracy(ds, res.NPLinks, true)
@@ -204,6 +208,7 @@ func (r *RepairReport) Format() string {
 		r.Repair.MeanPartitionMS, r.Repartition.MeanPartitionMS, r.PartitionCostRatio)
 	fmt.Fprintf(&b, "mean post-warm-up ingest: repair %.1fms, repartition %.1fms (%.2fx)\n",
 		r.Repair.MeanIngestMS, r.Repartition.MeanIngestMS, r.IngestSpeedup)
+	fmt.Fprintf(&b, "ingest latency: repair %s; repartition %s\n", r.Repair.IngestLatency, r.Repartition.IngestLatency)
 	fmt.Fprintf(&b, "repair reuse: %d blocks reused / %d re-cut across %d repairs (final: %d blocks, %d cuts, last batch %d dirty / %d warm)\n",
 		r.Repair.BlocksReusedTotal, r.Repair.BlocksRecutTotal, r.Repair.Repairs,
 		r.Repair.Blocks, r.Repair.CutVariables, r.Repair.LastDirty, r.Repair.LastWarm)

@@ -26,6 +26,11 @@ func TestRunRepairSmoke(t *testing.T) {
 	if report.Repair.BlocksReusedTotal == 0 {
 		t.Errorf("repair reused no blocks: %+v", report.Repair)
 	}
+	if report.Repair.IngestLatency.Count != uint64(report.Batches) ||
+		report.Repartition.IngestLatency.Count != uint64(report.Batches) {
+		t.Errorf("ingest latency digests miss ingests: %+v vs %+v",
+			report.Repair.IngestLatency, report.Repartition.IngestLatency)
+	}
 	if report.Format() == "" {
 		t.Fatalf("empty Format output")
 	}

@@ -33,6 +33,9 @@ type SegmentStrategy struct {
 	// MeanPostWarmupMS averages the batches after the first (the
 	// preload, where both strategies are cold).
 	MeanPostWarmupMS float64 `json:"mean_post_warmup_ms"`
+	// IngestLatency is the session's own telemetry digest of the same
+	// ingests (p50/p95/p99, includes the cold preload).
+	IngestLatency LatencySummary `json:"ingest_latency"`
 	// Final-build partition shape and final-batch effort.
 	Blocks       int `json:"blocks"`
 	CutVariables int `json:"cut_variables"`
@@ -99,7 +102,7 @@ func RunSegment(profile string, scale, preloadFrac float64, batches, workers int
 	segCfg.Segment.Enable = true
 
 	runStrategy := func(cfg core.Config) (*SegmentStrategy, error) {
-		sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers})
+		sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers, Telemetry: benchTelemetry()})
 		s := &SegmentStrategy{}
 		var last stream.IngestStats
 		for b := 0; b < batches; b++ {
@@ -121,6 +124,7 @@ func RunSegment(profile string, scale, preloadFrac float64, batches, workers int
 		s.LastDirty = last.DirtyComponents
 		s.LastWarm = last.CleanComponents
 		s.LastSweeps = last.SweepsTotal
+		s.IngestLatency = ingestLatency(sess)
 		res := sess.Snapshot()
 		s.NPAvgF1 = canonScores(ds, res.NPGroups, true).AverageF1
 		s.EntLinkAcc = linkAccuracy(ds, res.NPLinks, true)
@@ -194,6 +198,7 @@ func (r *SegmentReport) Format() string {
 	}
 	fmt.Fprintf(&b, "mean post-warm-up ingest: no-cut %.1fms, hub-cut %.1fms (%.2fx)\n",
 		r.NoCut.MeanPostWarmupMS, r.HubCut.MeanPostWarmupMS, r.Speedup)
+	fmt.Fprintf(&b, "ingest latency: no-cut %s; hub-cut %s\n", r.NoCut.IngestLatency, r.HubCut.IngestLatency)
 	fmt.Fprintf(&b, "partition: no-cut %d blocks; hub-cut %d blocks, %d cut variables (last batch: %d dirty / %d warm)\n",
 		r.NoCut.Blocks, r.HubCut.Blocks, r.HubCut.CutVariables, r.HubCut.LastDirty, r.HubCut.LastWarm)
 	fmt.Fprintf(&b, "quality (NP avg F1 / ent-link acc): exact %.3f/%.3f, no-cut %+.4f/%+.4f, hub-cut %+.4f/%+.4f (tolerance %g, within: %v)\n",

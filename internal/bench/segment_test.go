@@ -26,6 +26,10 @@ func TestRunSegmentSmoke(t *testing.T) {
 	if report.ExactNPAvgF1 <= 0 || report.ExactEntLinkAcc <= 0 {
 		t.Errorf("exact reference scores missing: %+v", report)
 	}
+	if report.NoCut.IngestLatency.Count != 3 || report.HubCut.IngestLatency.Count != 3 {
+		t.Errorf("ingest latency digests miss ingests: %+v vs %+v",
+			report.NoCut.IngestLatency, report.HubCut.IngestLatency)
+	}
 	var buf bytes.Buffer
 	if err := report.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/okb"
 	"repro/internal/signals"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // StreamPoint is one ingested batch's cost under the two serving
@@ -49,6 +50,19 @@ type StreamReport struct {
 	ConsecutiveWins int `json:"consecutive_wins"`
 	// MeanSpeedup averages rebuild/incremental over those later batches.
 	MeanSpeedup float64 `json:"mean_speedup"`
+
+	// IngestLatency digests the incremental session's per-ingest
+	// wall-clock from its jocl_ingest_duration_seconds histogram — the
+	// same series a /metrics scrape reports.
+	IngestLatency LatencySummary `json:"ingest_latency"`
+
+	// Telemetry A/B: the same batch sequence replayed into two fresh
+	// incremental sessions, one with telemetry enabled and one without,
+	// pricing the instrumentation itself (the acceptance target is an
+	// overhead under 2%; small negatives are run-to-run noise).
+	TelemetryOnMS        float64 `json:"telemetry_on_ms"`
+	TelemetryOffMS       float64 `json:"telemetry_off_ms"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
 }
 
 // RunStream measures incremental ingest against full rebuild in the
@@ -74,7 +88,7 @@ func RunStream(profile string, scale, preloadFrac float64, batches, workers int)
 	// the same cap applies to both strategies).
 	cfg := core.DefaultConfig()
 	cfg.BP.MaxSweeps = 40
-	sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers})
+	sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers, Telemetry: benchTelemetry()})
 
 	var accumulated []okb.Triple
 	for b := 0; b < batches; b++ {
@@ -130,6 +144,30 @@ func RunStream(profile string, scale, preloadFrac float64, batches, workers int)
 	}
 	if n > 0 {
 		report.MeanSpeedup = sum / float64(n)
+	}
+	report.IngestLatency = ingestLatency(sess)
+
+	// Telemetry A/B: replay the identical stream into fresh sessions with
+	// instrumentation off and on, away from the rebuild interleaving
+	// above so the two passes see the same machine state.
+	replay := func(tcfg telemetry.Config) (float64, error) {
+		s := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers, Telemetry: tcfg})
+		t0 := time.Now()
+		for b := 0; b < batches; b++ {
+			if _, err := s.Ingest(triples[cuts[b]:cuts[b+1]]); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(t0).Microseconds()) / 1000, nil
+	}
+	if report.TelemetryOffMS, err = replay(telemetry.Config{}); err != nil {
+		return nil, err
+	}
+	if report.TelemetryOnMS, err = replay(benchTelemetry()); err != nil {
+		return nil, err
+	}
+	if report.TelemetryOffMS > 0 {
+		report.TelemetryOverheadPct = (report.TelemetryOnMS - report.TelemetryOffMS) / report.TelemetryOffMS * 100
 	}
 	return report, nil
 }
@@ -195,5 +233,8 @@ func (r *StreamReport) Format() string {
 	}
 	fmt.Fprintf(&b, "consecutive incremental wins: %d; mean speedup after warm-up: %.2fx\n",
 		r.ConsecutiveWins, r.MeanSpeedup)
+	fmt.Fprintf(&b, "incremental ingest latency: %s\n", r.IngestLatency)
+	fmt.Fprintf(&b, "telemetry overhead: on %.1fms vs off %.1fms = %+.2f%% (target <= 2%%)\n",
+		r.TelemetryOnMS, r.TelemetryOffMS, r.TelemetryOverheadPct)
 	return b.String()
 }

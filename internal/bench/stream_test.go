@@ -32,6 +32,18 @@ func TestStreamBenchmarkIncrementalBeatsRebuild(t *testing.T) {
 		}
 	}
 
+	// The latency digest comes from the session's telemetry histogram:
+	// one observation per ingest, quantiles ordered.
+	lat := report.IngestLatency
+	if lat.Count != 5 || lat.P50MS <= 0 || lat.P95MS < lat.P50MS || lat.P99MS < lat.P95MS {
+		t.Errorf("ingest latency digest malformed: %+v", lat)
+	}
+	// The telemetry A/B must have run both replays; the overhead number
+	// itself is machine-dependent, so only its inputs are asserted.
+	if report.TelemetryOnMS <= 0 || report.TelemetryOffMS <= 0 {
+		t.Errorf("telemetry A/B missing: on=%.1f off=%.1f", report.TelemetryOnMS, report.TelemetryOffMS)
+	}
+
 	var buf bytes.Buffer
 	if err := report.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -42,5 +54,8 @@ func TestStreamBenchmarkIncrementalBeatsRebuild(t *testing.T) {
 	}
 	if back.ConsecutiveWins != report.ConsecutiveWins || len(back.Points) != len(report.Points) {
 		t.Errorf("artifact round-trip mismatch")
+	}
+	if back.IngestLatency != report.IngestLatency {
+		t.Errorf("latency digest does not round-trip: %+v vs %+v", back.IngestLatency, report.IngestLatency)
 	}
 }

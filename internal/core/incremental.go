@@ -150,12 +150,16 @@ type IncrementalStats struct {
 	OuterRounds      int
 	BlocksRun        int
 	BoundaryResidual float64
-	// PartitionMS is the wall-clock cost of deriving this build's
-	// partition. PartitionRepaired marks builds that repaired the
-	// previous build's partition (factorgraph.RepairPartition) instead
-	// of re-deriving it; RepairBlocksReused / RepairBlocksRecut then
-	// split the pre-repair blocks into adopted-verbatim and re-cut.
-	PartitionMS        float64
+	// PartitionTime is the wall-clock cost of deriving this build's
+	// partition, BPTime the scoped message passing (all outer rounds),
+	// and DeltaTime the decode + canonicalization-delta derivation.
+	// PartitionRepaired marks builds that repaired the previous build's
+	// partition (factorgraph.RepairPartition) instead of re-deriving it;
+	// RepairBlocksReused / RepairBlocksRecut then split the pre-repair
+	// blocks into adopted-verbatim and re-cut.
+	PartitionTime      time.Duration
+	BPTime             time.Duration
+	DeltaTime          time.Duration
 	PartitionRepaired  bool
 	RepairBlocksReused int
 	RepairBlocksRecut  int
@@ -244,7 +248,7 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 	}
 	t0 := time.Now()
 	part, repair, tuned := s.partition(workers, mem)
-	st.PartitionMS = float64(time.Since(t0).Microseconds()) / 1000
+	st.PartitionTime = time.Since(t0)
 	st.PartitionRepaired = repair.Repaired
 	st.RepairBlocksReused = repair.BlocksReused
 	st.RepairBlocksRecut = repair.BlocksRecut
@@ -319,6 +323,7 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 	opt := s.cfg.BP
 	opt.Schedule = s.sched
 	pr := factorgraph.RunPartition(bp, part, opt, workers, dirty)
+	st.BPTime = pr.Elapsed
 	st.SweepsTotal = pr.SweepsTotal
 	st.SweepsMax = pr.SweepsMax
 	st.BlocksRun = pr.BlocksRun
@@ -338,8 +343,10 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 	st.Reused = st.Components - st.Dirty
 
 	s.stats.Sweeps = st.SweepsMax
+	tDelta := time.Now()
 	res := s.finish(bp)
 	res.Delta = s.canonDelta(part, pr, bp, cutBefore, cutChanged, warm == nil)
+	st.DeltaTime = time.Since(tDelta)
 	out := bp.Export(sigs)
 	out.BlockFP = curFP
 	if s.cfg.Segment.Enable {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // This file defines Partition, the single partitioning abstraction the
@@ -366,6 +367,9 @@ type PartitionRun struct {
 	// partitions: whether every selected block converged).
 	BoundaryResidual float64
 	Converged        bool
+	// Elapsed is the wall-clock cost of the whole execution (all outer
+	// rounds and boundary refreshes included).
+	Elapsed time.Duration
 	// Unsettled lists the indexes into p.Cut whose beliefs were still
 	// moving beyond tolerance when MaxOuterRounds ran out: the blocks
 	// bordering them were left with refreshed frozen inputs they never
@@ -385,6 +389,13 @@ type PartitionRun struct {
 // reached. An empty (non-nil) selection returns immediately without
 // touching any message.
 func RunPartition(bp *BP, p *Partition, opt RunOptions, workers int, selected []int) PartitionRun {
+	t0 := time.Now()
+	pr := runPartition(bp, p, opt, workers, selected)
+	pr.Elapsed = time.Since(t0)
+	return pr
+}
+
+func runPartition(bp *BP, p *Partition, opt RunOptions, workers int, selected []int) PartitionRun {
 	pr := PartitionRun{Blocks: make([]ComponentRun, len(p.Blocks))}
 	if selected == nil {
 		selected = make([]int, len(p.Blocks))

@@ -296,6 +296,12 @@ func (s *Store) flatten() {
 // Len returns the number of triples.
 func (s *Store) Len() int { return len(s.triples) }
 
+// OverlayDepth reports how many incremental-Append layers sit between
+// this store and its flattened base (0 = base store). It is a health
+// signal: lookup cost grows with the chain until Append's periodic
+// flatten resets it.
+func (s *Store) OverlayDepth() int { return s.depth }
+
 // Triple returns the i-th triple.
 func (s *Store) Triple(i int) Triple { return s.triples[i] }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/okb"
+	"repro/internal/telemetry"
 )
 
 // Config tunes an Index. The zero value is usable; Enable exists for
@@ -98,6 +99,10 @@ type Index struct {
 	gen     atomic.Pointer[generation]
 	begun   atomic.Int64 // ingests begun (staleness numerator)
 	applied atomic.Int64 // generations published
+	// ops counts reads by operation when the index is instrumented
+	// (Instrument). Set once before the index starts serving and read
+	// lock-free by every Query method; nil means uninstrumented.
+	ops *telemetry.CounterVec
 }
 
 // New returns an empty index (no generation yet: queries answer
@@ -105,6 +110,36 @@ type Index struct {
 func New(cfg Config) *Index {
 	cfg.defaults()
 	return &Index{cfg: cfg}
+}
+
+// Instrument registers the index's per-operation read counters
+// (jocl_query_requests_total{op}) on reg. It must be called before the
+// index starts serving readers — typically right after New — because
+// the hook is installed without synchronization. A nil reg is a no-op.
+func (ix *Index) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	ix.ops = reg.CounterVec("jocl_query_requests_total",
+		"Query-index reads served, by operation.", "op")
+}
+
+// observe counts one read against the instrumented op counter.
+func (ix *Index) observe(op string) {
+	if ix.ops != nil {
+		ix.ops.With(op).Inc()
+	}
+}
+
+// Behind reports how many begun ingests the published generation does
+// not yet reflect (0 = current) — the staleness gauge the telemetry
+// layer exports.
+func (ix *Index) Behind() int64 {
+	g := ix.gen.Load()
+	if g == nil {
+		return ix.begun.Load()
+	}
+	return ix.begun.Load() - g.id
 }
 
 // Begin marks the start of an ingest whose output will later be

@@ -102,6 +102,7 @@ func (ix *Index) Limits() Config { return ix.cfg }
 // cluster and entity link. ok=false when the index has no generation
 // yet or the surface is unknown.
 func (ix *Index) ResolveNP(surface string) (Resolution, bool) {
+	ix.observe("resolve_np")
 	return ix.resolve(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.npInfo, g.npClusters
 	})
@@ -110,6 +111,7 @@ func (ix *Index) ResolveNP(surface string) (Resolution, bool) {
 // ResolveRP resolves a relation-phrase surface form to its canonical
 // cluster and relation link.
 func (ix *Index) ResolveRP(surface string) (Resolution, bool) {
+	ix.observe("resolve_rp")
 	return ix.resolve(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.rpInfo, g.rpClusters
 	})
@@ -138,12 +140,14 @@ func (ix *Index) resolve(surface string, side func(*generation) (*layered[Phrase
 // EntityAliases lists the noun phrases linked to a curated-KB entity
 // id — the entity-lookup direction of the alias index.
 func (ix *Index) EntityAliases(target string) (AliasesAnswer, bool) {
+	ix.observe("entity_aliases")
 	return ix.aliases(target, func(g *generation) *layered[[]string] { return g.entAliases })
 }
 
 // RelationAliases lists the relation phrases linked to a curated-KB
 // relation id.
 func (ix *Index) RelationAliases(target string) (AliasesAnswer, bool) {
+	ix.observe("relation_aliases")
 	return ix.aliases(target, func(g *generation) *layered[[]string] { return g.relAliases })
 }
 
@@ -162,6 +166,7 @@ func (ix *Index) aliases(target string, side func(*generation) *layered[[]string
 // NPCluster lists the canonicalization cluster containing a noun-phrase
 // surface form.
 func (ix *Index) NPCluster(surface string) (ClusterAnswer, bool) {
+	ix.observe("np_cluster")
 	return ix.cluster(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.npInfo, g.npClusters
 	})
@@ -170,6 +175,7 @@ func (ix *Index) NPCluster(surface string) (ClusterAnswer, bool) {
 // RPCluster lists the canonicalization cluster containing a
 // relation-phrase surface form.
 func (ix *Index) RPCluster(surface string) (ClusterAnswer, bool) {
+	ix.observe("rp_cluster")
 	return ix.cluster(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.rpInfo, g.rpClusters
 	})
@@ -194,6 +200,7 @@ func (ix *Index) cluster(surface string, side func(*generation) (*layered[Phrase
 // canonical-entity postings view. limit <= 0 (or above the configured
 // MaxResults) takes MaxResults.
 func (ix *Index) TriplesBySubject(surface string, limit int) (TriplesAnswer, bool) {
+	ix.observe("triples_by_subject")
 	return ix.triples(surface, limit, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
 		return g.npInfo, g.npClusterPost
 	})
@@ -202,6 +209,7 @@ func (ix *Index) TriplesBySubject(surface string, limit int) (TriplesAnswer, boo
 // TriplesByRelation enumerates the triples whose predicate belongs to
 // the canonicalization cluster of the given relation-phrase surface.
 func (ix *Index) TriplesByRelation(surface string, limit int) (TriplesAnswer, bool) {
+	ix.observe("triples_by_relation")
 	return ix.triples(surface, limit, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
 		return g.rpInfo, g.rpClusterPost
 	})

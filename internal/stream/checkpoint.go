@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/ckb"
@@ -43,13 +44,13 @@ func (s *Session) CheckpointState() *checkpoint.Snapshot {
 		SinceEpoch:     s.sinceEpoch,
 		Refreshes:      s.nRefresh,
 		PendingRefresh: s.res == nil && s.batches > 0,
-		BlocksTouched: s.blocksTouched,
-		BlocksWarm:    s.blocksWarm,
-		Repairs:       s.repairs,
-		RepairReused:  s.repairReused,
-		IndexMS:       s.indexMS,
-		Warm:          s.warm,
-		QueryEnabled:  s.qidx != nil,
+		BlocksTouched:  s.blocksTouched,
+		BlocksWarm:     s.blocksWarm,
+		Repairs:        s.repairs,
+		RepairReused:   s.repairReused,
+		IndexMS:        s.indexMS,
+		Warm:           s.warm,
+		QueryEnabled:   s.qidx != nil,
 	}
 	if n := len(s.cfg.Core.InitialWeights); n > 0 {
 		snap.Weights = make(map[string]float64, n)
@@ -72,9 +73,15 @@ func (s *Session) CheckpointState() *checkpoint.Snapshot {
 // Checkpoint writes a versioned, integrity-checked snapshot of the
 // session to w (see internal/checkpoint for the format). Only the
 // brief state capture synchronizes with ingests; the serialization and
-// the write happen off the ingest lock.
+// the write happen off the ingest lock. Size, duration, and outcome
+// feed the checkpoint telemetry when enabled.
 func (s *Session) Checkpoint(w io.Writer) error {
-	return checkpoint.Write(w, s.CheckpointState())
+	t0 := time.Now()
+	snap := s.CheckpointState()
+	cw := &countWriter{w: w}
+	err := checkpoint.Write(cw, snap)
+	s.ObserveCheckpoint(cw.n, snap.Batches, time.Since(t0), err)
+	return err
 }
 
 // RestoreSession reads a checkpoint written by Session.Checkpoint and

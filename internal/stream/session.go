@@ -1,9 +1,11 @@
 package stream
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckb"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/ppdb"
 	"repro/internal/query"
 	"repro/internal/signals"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a Session.
@@ -35,6 +38,11 @@ type Config struct {
 	// canonical-KB views delta-wise and publishes them for lock-free
 	// snapshot reads via Session.Query.
 	Query query.Config
+	// Telemetry configures the session's metrics registry and ingest
+	// trace ring (see internal/telemetry): with Telemetry.Enable set,
+	// every layer of each Ingest feeds Prometheus-style metrics and a
+	// per-stage trace, exposed via Session.Telemetry.
+	Telemetry telemetry.Config
 }
 
 // IngestStats reports what one batch cost.
@@ -65,22 +73,46 @@ type IngestStats struct {
 	BlocksRun        int     `json:"blocks_run,omitempty"`
 	BoundaryResidual float64 `json:"boundary_residual,omitempty"`
 
-	// PartitionMS is the wall-clock spent deriving this build's
-	// partition. PartitionRepaired marks builds that repaired the
-	// previous partition in place of a full re-derivation;
-	// RepairBlocksReused / RepairBlocksRecut then count the blocks
-	// adopted verbatim vs re-cut.
-	PartitionMS        float64 `json:"partition_ms"`
-	PartitionRepaired  bool    `json:"partition_repaired,omitempty"`
-	RepairBlocksReused int     `json:"repair_blocks_reused,omitempty"`
-	RepairBlocksRecut  int     `json:"repair_blocks_recut,omitempty"`
+	// PartitionRepaired marks builds that repaired the previous
+	// partition in place of a full re-derivation; RepairBlocksReused /
+	// RepairBlocksRecut then count the blocks adopted verbatim vs
+	// re-cut.
+	PartitionRepaired  bool `json:"partition_repaired,omitempty"`
+	RepairBlocksReused int  `json:"repair_blocks_reused,omitempty"`
+	RepairBlocksRecut  int  `json:"repair_blocks_recut,omitempty"`
 
-	ConstructMS float64 `json:"construct_ms"`
-	InferMS     float64 `json:"infer_ms"`
+	// Stage timings, recorded as durations so they sum exactly.
+	// ConstructTime covers resource extension and graph (re)build,
+	// InferTime the whole incremental inference pass — of which
+	// PartitionTime derived or repaired the partition and BPTime ran
+	// the scoped message passing — and TotalTime the whole ingest.
+	// JSON serialization derives millisecond floats from these at the
+	// boundary (see MarshalJSON); nothing is truncated internally.
+	ConstructTime time.Duration `json:"-"`
+	InferTime     time.Duration `json:"-"`
+	PartitionTime time.Duration `json:"-"`
+	BPTime        time.Duration `json:"-"`
+	TotalTime     time.Duration `json:"-"`
 
 	// Index reports the read-path index maintenance this ingest paid
 	// (nil when the query index is disabled).
 	Index *query.ApplyStats `json:"index,omitempty"`
+}
+
+// MarshalJSON renders the stage timings as millisecond floats next to
+// the counter fields — the only place durations become floats, so the
+// serialized stages are exact fractions of the serialized total.
+func (st IngestStats) MarshalJSON() ([]byte, error) {
+	type alias IngestStats // shed the method, keep the tags
+	return json.Marshal(struct {
+		alias
+		ConstructMS float64 `json:"construct_ms"`
+		InferMS     float64 `json:"infer_ms"`
+		PartitionMS float64 `json:"partition_ms"`
+		BPMS        float64 `json:"bp_ms"`
+		TotalMS     float64 `json:"total_ms"`
+	}{alias(st), durMS(st.ConstructTime), durMS(st.InferTime),
+		durMS(st.PartitionTime), durMS(st.BPTime), durMS(st.TotalTime)})
 }
 
 // Stats is the session's cumulative view.
@@ -154,6 +186,15 @@ type Session struct {
 	// unset). It is maintained under mu but read lock-free.
 	qidx *query.Index
 
+	// tel/met are the telemetry substrate (nil when
+	// Config.Telemetry.Enable is unset); both are set once at
+	// construction and never mutated, so the hot path reads them
+	// without synchronization. lastCkpt is the unix-nano time of the
+	// last successful checkpoint, feeding the age gauge.
+	tel      *telemetry.Telemetry
+	met      *sessionMetrics
+	lastCkpt atomic.Int64
+
 	// pub guards the read-side state published after each ingest.
 	pub      sync.Mutex
 	last     *core.Result
@@ -170,6 +211,10 @@ func New(ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) *Se
 	s := &Session{cfg: cfg, ckb: ckbStore, emb: emb, ppdb: db}
 	if cfg.Query.Enable {
 		s.qidx = query.New(cfg.Query)
+	}
+	if cfg.Telemetry.Enable {
+		s.tel = telemetry.New(cfg.Telemetry)
+		s.met = newSessionMetrics(s)
 	}
 	return s
 }
@@ -191,15 +236,30 @@ func (s *Session) Query() *query.Index { return s.qidx }
 // behaves as if the failed call never happened.
 func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	if len(batch) == 0 {
+		if s.met != nil {
+			s.met.ingestErrors.Inc()
+		}
 		return IngestStats{}, fmt.Errorf("stream: empty batch")
 	}
 	for i, t := range batch {
 		if t.Subj == "" || t.Pred == "" || t.Obj == "" {
+			if s.met != nil {
+				s.met.ingestErrors.Inc()
+			}
 			return IngestStats{}, fmt.Errorf("stream: triple %d: empty subject, predicate, or object", i)
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Trace from here: the validated batch is the unit the stage spans
+	// decompose. tb is nil with telemetry off and every span degrades to
+	// a no-op closure.
+	start := time.Now()
+	var tb *telemetry.TraceBuilder
+	if s.tel != nil {
+		tb = telemetry.StartTrace(s.batches + 1)
+	}
 
 	// Staleness accounting: readers of the query index see Behind=1
 	// from here until the new generation is published. The deferred
@@ -237,25 +297,50 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 		// so far. Cached signal evaluations and warm messages are stale
 		// by construction (potentials shift with the new IDF/AMIE), so
 		// drop them; fingerprint mismatches would discard them anyway.
+		done := span(tb, "signal-eval")
 		res = signals.New(okb.NewStore(grown), s.ckb, s.emb, s.ppdb)
+		done()
 		cache = core.NewSimCache()
 		warm = nil
 		st.Refreshed = true
 	} else {
-		res = res.Extend(res.OKB.Append(batch, true))
+		done := span(tb, "okb-append")
+		appended := res.OKB.Append(batch, true)
+		done()
+		done = span(tb, "signal-eval")
+		res = res.Extend(appended)
+		done()
 	}
 
 	cfg := s.cfg.Core
 	cfg.Cache = cache
+	doneBuild := span(tb, "graph-build")
 	sys, err := core.NewSystem(res, cfg)
+	doneBuild()
 	if err != nil {
+		if s.met != nil {
+			s.met.ingestErrors.Inc()
+		}
 		return st, fmt.Errorf("stream: rebuilding system: %w", err)
 	}
-	st.ConstructMS = float64(time.Since(t0).Microseconds()) / 1000
+	st.ConstructTime = time.Since(t0)
 
 	t1 := time.Now()
 	result, nextWarm, inc := sys.RunIncremental(warm, s.cfg.Workers)
-	st.InferMS = float64(time.Since(t1).Microseconds()) / 1000
+	st.InferTime = time.Since(t1)
+	if tb != nil {
+		// The inference pass's sub-stages, placed back-to-back from the
+		// pass's start (the offsets are synthesized — only the durations
+		// are measured): partition derivation/repair, scoped BP, the
+		// decode + canonicalization delta, and the residual glue (warm
+		// import, adjacency fingerprints, message export).
+		base := t1.Sub(tb.Begin())
+		tb.Span("partition-repair", base, inc.PartitionTime)
+		tb.Span("bp", base+inc.PartitionTime, inc.BPTime)
+		tb.Span("canon-delta", base+inc.PartitionTime+inc.BPTime, inc.DeltaTime)
+		covered := inc.PartitionTime + inc.BPTime + inc.DeltaTime
+		tb.Span("infer-other", base+covered, st.InferTime-covered)
+	}
 
 	st.Components = inc.Components
 	st.DirtyComponents = inc.Dirty
@@ -269,7 +354,8 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	st.OuterRounds = inc.OuterRounds
 	st.BlocksRun = inc.BlocksRun
 	st.BoundaryResidual = inc.BoundaryResidual
-	st.PartitionMS = inc.PartitionMS
+	st.PartitionTime = inc.PartitionTime
+	st.BPTime = inc.BPTime
 	st.PartitionRepaired = inc.PartitionRepaired
 	st.RepairBlocksReused = inc.RepairBlocksReused
 	st.RepairBlocksRecut = inc.RepairBlocksRecut
@@ -298,13 +384,16 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	// live here with one atomic swap; concurrent readers were served
 	// the previous generation (marked Behind=1) throughout this ingest.
 	if s.qidx != nil {
+		done := span(tb, "index-apply")
 		qs := s.qidx.Apply(result, result.Delta, s.triples)
+		done()
 		s.indexMS += qs.ApplyMS
 		st.Index = &qs
 	}
 	committed = true
 
 	// Publish the read-side state.
+	donePub := span(tb, "publish")
 	cum := Stats{
 		Batches:            s.batches,
 		TotalTriples:       len(s.triples),
@@ -321,12 +410,20 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	if s.qidx != nil {
 		cum.IndexMS = s.indexMS
 	}
+	st.TotalTime = time.Since(start)
 	lastSt := st
 	cum.LastIngest = &lastSt
 	s.pub.Lock()
 	s.last = result
 	s.cumStats = cum
 	s.pub.Unlock()
+	donePub()
+
+	if s.met != nil {
+		tr := tb.Finish(s.tel.Traces)
+		s.met.observeIngest(&st, inc, len(res.OKB.NPs()), len(res.OKB.RPs()),
+			res.OKB.OverlayDepth(), st.Index, tr)
+	}
 	return st, nil
 }
 

@@ -1,0 +1,248 @@
+package stream
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/telemetry"
+)
+
+// This file wires the session into the telemetry substrate. Every
+// metric family the session will ever feed is registered up front at
+// construction — a scrape (or the docs drift check) sees the complete
+// catalogue before any traffic arrives — and the handles are cached in
+// sessionMetrics so the ingest hot path pays one atomic op per
+// observation, never a registry lookup. The full catalogue is
+// documented in docs/OBSERVABILITY.md; cmd/jocl-serve's drift test
+// asserts the two stay in sync.
+
+// durMS converts a duration to fractional milliseconds exactly (no
+// Microseconds() truncation) — the one conversion every ms-reporting
+// boundary in the session uses.
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// sessionMetrics caches the session's metric handles.
+type sessionMetrics struct {
+	// Ingest path.
+	ingests      *telemetry.Counter
+	ingestErrors *telemetry.Counter
+	triples      *telemetry.Counter
+	refreshes    *telemetry.Counter
+	ingestDur    *telemetry.Histogram
+	stageDur     *telemetry.HistogramVec
+	batchSize    *telemetry.Histogram
+	sessTriples  *telemetry.Gauge
+	sessBatches  *telemetry.Gauge
+
+	// OKB store.
+	okbNPs   *telemetry.Gauge
+	okbRPs   *telemetry.Gauge
+	okbDepth *telemetry.Gauge
+
+	// Factor graph / BP.
+	bpSweeps       *telemetry.Counter
+	bpSweepsIngest *telemetry.Histogram
+	bpOuterRounds  *telemetry.Histogram
+	bpResidual     *telemetry.Gauge
+	bpWarmFactors  *telemetry.Gauge
+	bpDur          *telemetry.Histogram
+
+	// Partition.
+	partBlocks     *telemetry.Gauge
+	partCutVars    *telemetry.Gauge
+	partBlocksRun  *telemetry.Counter
+	partBlocksWarm *telemetry.Counter
+	partRepairs    *telemetry.Counter
+	partAdopted    *telemetry.Counter
+	partRecut      *telemetry.Counter
+	partDur        *telemetry.Histogram
+
+	// Query-index maintenance (write side; read-side counters live in
+	// query.Index.Instrument).
+	qApplyDur    *telemetry.Histogram
+	qKeys        *telemetry.Counter
+	qCompactions *telemetry.Counter
+	qFullBuilds  *telemetry.Counter
+
+	// Checkpoints.
+	ckpts      *telemetry.Counter
+	ckptErrors *telemetry.Counter
+	ckptBytes  *telemetry.Gauge
+	ckptBatch  *telemetry.Gauge
+	ckptDur    *telemetry.Histogram
+}
+
+// newSessionMetrics registers the session's whole metric catalogue on
+// its registry and returns the cached handles.
+func newSessionMetrics(s *Session) *sessionMetrics {
+	r := s.tel.Registry
+	m := &sessionMetrics{
+		ingests:      r.Counter("jocl_ingest_total", "Batches ingested successfully."),
+		ingestErrors: r.Counter("jocl_ingest_errors_total", "Ingest calls that returned an error."),
+		triples:      r.Counter("jocl_ingest_triples_total", "Triples accepted across all ingests."),
+		refreshes:    r.Counter("jocl_epoch_refreshes_total", "Ingests that rebuilt the epoch resources from scratch."),
+		ingestDur:    r.Histogram("jocl_ingest_duration_seconds", "End-to-end wall clock of one ingest.", nil),
+		stageDur: r.HistogramVec("jocl_ingest_stage_duration_seconds",
+			"Per-stage wall clock of one ingest (stage = trace span name).", nil, "stage"),
+		batchSize:   r.Histogram("jocl_ingest_batch_triples", "Triples per ingested batch.", telemetry.CountBuckets),
+		sessTriples: r.Gauge("jocl_session_triples", "Triples accumulated in the session."),
+		sessBatches: r.Gauge("jocl_session_batches", "Batches committed to the session."),
+
+		okbNPs:   r.Gauge("jocl_okb_nps", "Distinct noun-phrase surfaces in the open KB."),
+		okbRPs:   r.Gauge("jocl_okb_rps", "Distinct relation-phrase surfaces in the open KB."),
+		okbDepth: r.Gauge("jocl_okb_overlay_depth", "Incremental-append overlay depth of the OKB store (0 = flattened base)."),
+
+		bpSweeps:       r.Counter("jocl_bp_sweeps_total", "BP sweeps summed over all block runs and ingests."),
+		bpSweepsIngest: r.Histogram("jocl_bp_sweeps_per_ingest", "BP sweeps one ingest paid.", telemetry.CountBuckets),
+		bpOuterRounds:  r.Histogram("jocl_bp_outer_rounds", "Frozen-boundary outer rounds per ingest (1 without cuts).", telemetry.CountBuckets),
+		bpResidual:     r.Gauge("jocl_bp_boundary_residual", "Last ingest's final max cut-belief change."),
+		bpWarmFactors:  r.Gauge("jocl_bp_warm_factors", "Factors whose messages transplanted warm in the last ingest."),
+		bpDur:          r.Histogram("jocl_bp_duration_seconds", "Scoped message passing wall clock per ingest.", nil),
+
+		partBlocks:     r.Gauge("jocl_partition_blocks", "Partition blocks in the last build's graph."),
+		partCutVars:    r.Gauge("jocl_partition_cut_variables", "Hub variables cut out of the blocks in the last build."),
+		partBlocksRun:  r.Counter("jocl_partition_blocks_run_total", "Block executions across all ingests."),
+		partBlocksWarm: r.Counter("jocl_partition_blocks_warm_total", "Blocks served from warm messages across all ingests."),
+		partRepairs:    r.Counter("jocl_partition_repairs_total", "Ingests that repaired the previous partition instead of re-deriving it."),
+		partAdopted:    r.Counter("jocl_partition_blocks_adopted_total", "Blocks repairs adopted verbatim."),
+		partRecut:      r.Counter("jocl_partition_blocks_recut_total", "Blocks repairs re-cut."),
+		partDur:        r.Histogram("jocl_partition_duration_seconds", "Partition derivation or repair wall clock per ingest.", nil),
+
+		qApplyDur:    r.Histogram("jocl_query_apply_duration_seconds", "Query-index maintenance wall clock per ingest.", nil),
+		qKeys:        r.Counter("jocl_query_keys_written_total", "Index keys rewritten or tombstoned across all applies."),
+		qCompactions: r.Counter("jocl_query_compactions_total", "Applies that flattened the overlay chain."),
+		qFullBuilds:  r.Counter("jocl_query_full_rebuilds_total", "Applies that rebuilt the index from scratch."),
+
+		ckpts:      r.Counter("jocl_checkpoint_total", "Checkpoints written successfully."),
+		ckptErrors: r.Counter("jocl_checkpoint_errors_total", "Checkpoint attempts that failed."),
+		ckptBytes:  r.Gauge("jocl_checkpoint_bytes", "Serialized size of the last checkpoint."),
+		ckptBatch:  r.Gauge("jocl_checkpoint_batches", "Batches captured by the last checkpoint."),
+		ckptDur:    r.Histogram("jocl_checkpoint_duration_seconds", "Wall clock of one checkpoint capture+write.", nil),
+	}
+	r.GaugeFunc("jocl_checkpoint_age_seconds",
+		"Seconds since the last successful checkpoint (0 before the first).",
+		func() float64 {
+			ns := s.lastCkpt.Load()
+			if ns == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+	if s.qidx != nil {
+		s.qidx.Instrument(r)
+		r.GaugeFunc("jocl_query_generation", "Published query-index generation id.",
+			func() float64 {
+				gi, ok := s.qidx.Generation()
+				if !ok {
+					return 0
+				}
+				return float64(gi.Generation)
+			})
+		r.GaugeFunc("jocl_query_behind", "Ingests begun but not yet reflected in the published generation.",
+			func() float64 { return float64(s.qidx.Behind()) })
+		r.GaugeFunc("jocl_query_overlay_layers", "Copy-on-write overlay depth of the published generation.",
+			func() float64 { return float64(s.qidx.Layers()) })
+	}
+	return m
+}
+
+// observeIngest feeds one committed ingest into the metrics. nps/rps/
+// depth describe the post-commit OKB store; qs is nil when the query
+// index is disabled; tr is the finished stage trace.
+func (m *sessionMetrics) observeIngest(st *IngestStats, inc core.IncrementalStats, nps, rps, depth int, qs *query.ApplyStats, tr telemetry.Trace) {
+	m.ingests.Inc()
+	m.triples.Add(uint64(st.BatchTriples))
+	m.batchSize.Observe(float64(st.BatchTriples))
+	m.ingestDur.ObserveDuration(st.TotalTime)
+	if st.Refreshed {
+		m.refreshes.Inc()
+	}
+	m.sessTriples.Set(float64(st.TotalTriples))
+	m.sessBatches.Set(float64(st.Batch))
+
+	m.okbNPs.Set(float64(nps))
+	m.okbRPs.Set(float64(rps))
+	m.okbDepth.Set(float64(depth))
+
+	m.bpSweeps.Add(uint64(inc.SweepsTotal))
+	m.bpSweepsIngest.Observe(float64(inc.SweepsTotal))
+	m.bpOuterRounds.Observe(float64(inc.OuterRounds))
+	m.bpResidual.Set(inc.BoundaryResidual)
+	m.bpWarmFactors.Set(float64(inc.WarmFactors))
+	m.bpDur.ObserveDuration(inc.BPTime)
+
+	m.partBlocks.Set(float64(inc.Components))
+	m.partCutVars.Set(float64(inc.CutVars))
+	m.partBlocksRun.Add(uint64(inc.BlocksRun))
+	m.partBlocksWarm.Add(uint64(inc.Reused))
+	if inc.PartitionRepaired {
+		m.partRepairs.Inc()
+	}
+	m.partAdopted.Add(uint64(inc.RepairBlocksReused))
+	m.partRecut.Add(uint64(inc.RepairBlocksRecut))
+	m.partDur.ObserveDuration(inc.PartitionTime)
+
+	if qs != nil {
+		m.qApplyDur.Observe(qs.ApplyMS / 1000)
+		m.qKeys.Add(uint64(qs.KeysWritten))
+		if qs.Compacted {
+			m.qCompactions.Inc()
+		}
+		if qs.Full {
+			m.qFullBuilds.Inc()
+		}
+	}
+	for _, sp := range tr.Spans {
+		m.stageDur.With(sp.Name).ObserveDuration(sp.Duration)
+	}
+}
+
+// Telemetry exposes the session's metrics registry and ingest-trace
+// ring, or nil when Config.Telemetry.Enable is unset. The serving
+// layer renders the registry at /metrics and the ring at /debug/trace;
+// the bench digests the same histograms into p50/p95/p99 summaries.
+func (s *Session) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// ObserveCheckpoint records one checkpoint attempt: serialized size,
+// the batch count the snapshot captured, wall clock, and outcome. The
+// serving layers call it for checkpoint paths that bypass
+// Session.Checkpoint (e.g. atomic file saves); with telemetry disabled
+// it is a no-op.
+func (s *Session) ObserveCheckpoint(bytes int64, batches int, d time.Duration, err error) {
+	if s.met == nil {
+		return
+	}
+	if err != nil {
+		s.met.ckptErrors.Inc()
+		return
+	}
+	s.met.ckpts.Inc()
+	s.met.ckptBytes.Set(float64(bytes))
+	s.met.ckptBatch.Set(float64(batches))
+	s.met.ckptDur.ObserveDuration(d)
+	s.lastCkpt.Store(time.Now().UnixNano())
+}
+
+// countWriter counts the bytes written through it, so Checkpoint can
+// report the serialized size without buffering the snapshot.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// span opens a named trace span, degrading to a no-op when tracing is
+// off so the ingest path stays branch-cheap.
+func span(tb *telemetry.TraceBuilder, name string) func() time.Duration {
+	if tb == nil {
+		return func() time.Duration { return 0 }
+	}
+	return tb.StartSpan(name)
+}

@@ -1,0 +1,25 @@
+// Package telemetry is jocl's zero-dependency observability substrate:
+// a metrics registry (counters, gauges, fixed-bucket histograms) with a
+// Prometheus text-format exporter and p50/p95/p99 quantile summaries,
+// plus a per-ingest stage tracer that retains a ring of recent traces.
+//
+// Every serving-stack layer reports through one shared Telemetry
+// carried by the stream session: stream.Session.Ingest emits a span
+// per stage (okb-append, signal-eval, graph-build, partition-repair,
+// bp, canon-delta, index-apply) and feeds the
+// jocl_ingest_duration_seconds histograms; factorgraph contributes BP
+// sweep/round/residual metrics; the query index exposes generation,
+// staleness, and per-operation counters; checkpoints report size,
+// duration, and age. jocl-serve renders the registry at GET /metrics
+// and the trace ring at GET /debug/trace, and jocl-bench digests the
+// same histograms into p50/p95/p99 summaries for its BENCH_*.json
+// artifacts.
+//
+// The registry is deliberately small: registration is idempotent by
+// (name, kind, label schema); updates are lock-free atomics so the
+// ingest hot path pays nanoseconds per observation; quantiles are
+// estimated from fixed bucket bounds by linear interpolation rather
+// than kept as exact samples. The full metric catalogue is documented
+// in docs/OBSERVABILITY.md, and a drift test asserts the two stay in
+// sync.
+package telemetry

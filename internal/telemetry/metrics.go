@@ -1,0 +1,423 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the Telemetry a serving session carries. The zero value
+// is usable; Enable exists for the layers that embed a Config
+// (stream.Config, jocl options) and treat the whole subsystem as
+// optional — the telemetry package itself ignores it.
+type Config struct {
+	// Enable switches telemetry on in the embedding layers. Sessions
+	// enable it by default; disabling removes every instrumentation
+	// branch from the ingest path (the overhead A/B the bench measures).
+	Enable bool
+	// TraceRing is the number of recent ingest traces retained for
+	// /debug/trace (default 64).
+	TraceRing int
+}
+
+// Telemetry bundles the metrics registry and the ingest-trace ring one
+// serving session (or process) reports through.
+type Telemetry struct {
+	// Registry holds every metric the session and the layers below it
+	// register.
+	Registry *Registry
+	// Traces retains the most recent per-ingest stage traces.
+	Traces *TraceRing
+}
+
+// New builds a Telemetry with an empty registry and a trace ring of
+// cfg.TraceRing entries (default 64).
+func New(cfg Config) *Telemetry {
+	n := cfg.TraceRing
+	if n <= 0 {
+		n = 64
+	}
+	return &Telemetry{Registry: NewRegistry(), Traces: NewTraceRing(n)}
+}
+
+// DurationBuckets are the default histogram bounds (seconds) for
+// latency metrics: 1µs to 10s in a 1-2.5-5 ladder, wide enough to span
+// sub-microsecond index lookups and multi-second epoch rebuilds.
+var DurationBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CountBuckets are default histogram bounds for small-count
+// distributions (sweeps, rounds, batch sizes): powers of two up to 16k.
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+// kind discriminates the metric families a Registry holds.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing count. All methods are safe
+// for concurrent use and lock-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (callers must keep counters monotone).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use and lock-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observation counts per
+// upper bound (a final +Inf bucket is implicit), plus total sum and
+// count. Observations are lock-free; quantiles are estimated from the
+// bucket counts by linear interpolation (see Quantile).
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket
+// counts: the target rank's bucket is located on the cumulative
+// distribution and the value interpolated linearly between the
+// bucket's bounds. Observations in the +Inf bucket report the largest
+// finite bound (the estimate saturates there). With no observations it
+// returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) { // +Inf bucket: saturate at last bound
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Summary is the quantile digest of one histogram, the p50/p95/p99
+// reporting discipline every latency artifact follows.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary digests the histogram into count/mean/p50/p95/p99.
+func (h *Histogram) Summary() Summary {
+	s := Summary{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Mean = h.Sum() / float64(s.Count)
+	}
+	return s
+}
+
+// family is one registered metric name: a help string, a kind, a label
+// schema, and the series (one for unlabeled metrics, one per label
+// combination for vecs).
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+
+	gaugeFn func() float64
+}
+
+// series is one (metric name, label values) time series.
+type series struct {
+	labelVals []string
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+}
+
+// Registry holds metric families by name and renders them in
+// Prometheus text format. Registration is idempotent: asking for an
+// already-registered name with the same kind and label schema returns
+// the existing collector, so independent layers can share one metric.
+// Registering a name with a conflicting kind or label schema panics —
+// it is a programming error, caught by any test that touches the path.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+	ord  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, k kind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != k || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %v%v (was %v%v)",
+				name, k, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, labels: labels, bounds: bounds,
+		series: map[string]*series{}}
+	r.fams[name] = f
+	r.ord = append(r.ord, name)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesFor returns (creating if needed) the series for the given
+// label values.
+func (f *family) seriesFor(vals []string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelVals: append([]string(nil), vals...)}
+	switch f.kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).seriesFor(nil).counter
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).seriesFor(nil).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time (e.g. an age derived from a stored timestamp). Re-registering
+// the same name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGaugeFunc, nil, nil)
+	f.mu.Lock()
+	f.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the
+// given ascending bucket upper bounds (+Inf implicit; nil takes
+// DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	return r.family(name, help, kindHistogram, nil, bounds).seriesFor(nil).hist
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (created on
+// first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.seriesFor(values).counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.seriesFor(values).gauge
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labeled histogram family with
+// the given bucket bounds (nil takes DurationBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	return &HistogramVec{r.family(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.seriesFor(values).hist
+}
+
+// Names returns every registered metric name, sorted — the surface the
+// docs drift check compares against docs/OBSERVABILITY.md.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	out := append([]string(nil), r.ord...)
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// FindHistogram returns the registered histogram for name (and label
+// values, for vecs), or nil — how the bench and tests read back the
+// same histograms the serving path feeds.
+func (r *Registry) FindHistogram(name string, values ...string) *Histogram {
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	r.mu.Unlock()
+	if !ok || f.kind != kindHistogram || len(values) != len(f.labels) {
+		return nil
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	s, ok := f.series[key]
+	f.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.hist
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, then one sample line per series — histogram families expand
+// into cumulative _bucket{le=...} lines plus _sum and _count.
+// Families render in registration order so scrapes are stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.ord...)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.fams[name]
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+
+	if f.kind == kindGaugeFunc {
+		f.mu.Lock()
+		fn := f.gaugeFn
+		f.mu.Unlock()
+		v := 0.0
+		if fn != nil {
+			v = fn()
+		}
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(v))
+		return err
+	}
+
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	series := make([]*series, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	for _, s := range series {
+		base := labelSet(f.labels, s.labelVals)
+		switch f.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, base, s.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, base, formatValue(s.gauge.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := s.hist.write(w, f.name, f.labels, s.labelVals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) write(w io.Writer, name string, labels, vals []string) error {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := labelSet(append(labels, "le"), append(vals, formatValue(b)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := labelSet(append(labels, "le"), append(vals, "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+		return err
+	}
+	base := labelSet(labels, vals)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.Count())
+	return err
+}
+
+// labelSet renders {k="v",...} or "" for no labels.
+func labelSet(labels, vals []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes backslash, double-quote, and newline per the
+// exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same collector.
+	if c2 := r.Counter("c_total", "a counter"); c2 != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", got)
+	}
+}
+
+func TestRegistrationConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 16 {
+		t.Fatalf("sum = %v, want 16", got)
+	}
+	// Bucket assignment: le=1 gets {0.5, 1}, le=2 gets {1.5}, le=5
+	// gets {3}, +Inf gets {10}.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{10, 20, 30, 40})
+	// 100 observations uniform over (0, 40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-20) > 1 {
+		t.Fatalf("p50 = %v, want ~20", got)
+	}
+	if got := h.Quantile(0.95); math.Abs(got-38) > 1 {
+		t.Fatalf("p95 = %v, want ~38", got)
+	}
+	// Observations beyond the last bound saturate at the last bound.
+	h2 := r.Histogram("h2", "", []float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("saturated quantile = %v, want 1", got)
+	}
+	// Empty histogram reports 0.
+	h3 := r.Histogram("h3", "", []float64{1})
+	if got := h3.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Mean <= 0 || s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+}
+
+// TestPrometheusRoundTrip renders a mixed registry and re-parses the
+// text format, checking structural validity and the rendered values.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jocl_a_total", "counts a").Add(7)
+	r.Gauge("jocl_b", "level of b").Set(1.5)
+	r.GaugeFunc("jocl_f", "computed", func() float64 { return 42 })
+	h := r.Histogram("jocl_h_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	v := r.CounterVec("jocl_req_total", "requests", "path", "code")
+	v.With("/ingest", "200").Add(3)
+	v.With(`/we"ird`, "500").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	samples := map[string]float64{}
+	types := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		f, err := strconv.ParseFloat(strings.TrimPrefix(val, "+"), 64)
+		if err != nil && val != "+Inf" {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[key] = f
+	}
+
+	if samples["jocl_a_total"] != 7 {
+		t.Fatalf("jocl_a_total = %v", samples["jocl_a_total"])
+	}
+	if samples["jocl_b"] != 1.5 || samples["jocl_f"] != 42 {
+		t.Fatalf("gauges wrong: b=%v f=%v", samples["jocl_b"], samples["jocl_f"])
+	}
+	if types["jocl_h_seconds"] != "histogram" || types["jocl_a_total"] != "counter" ||
+		types["jocl_b"] != "gauge" || types["jocl_f"] != "gauge" {
+		t.Fatalf("types wrong: %v", types)
+	}
+	// Histogram buckets are cumulative and _count matches +Inf.
+	if samples[`jocl_h_seconds_bucket{le="0.1"}`] != 1 ||
+		samples[`jocl_h_seconds_bucket{le="1"}`] != 2 ||
+		samples[`jocl_h_seconds_bucket{le="+Inf"}`] != 3 ||
+		samples["jocl_h_seconds_count"] != 3 {
+		t.Fatalf("histogram lines wrong: %v", samples)
+	}
+	if math.Abs(samples["jocl_h_seconds_sum"]-5.55) > 1e-9 {
+		t.Fatalf("histogram sum = %v", samples["jocl_h_seconds_sum"])
+	}
+	if samples[`jocl_req_total{path="/ingest",code="200"}`] != 3 {
+		t.Fatalf("labeled counter missing: %v", samples)
+	}
+	// Label escaping: the quote must be escaped in the output.
+	if !strings.Contains(text, `path="/we\"ird"`) {
+		t.Fatalf("label not escaped:\n%s", text)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{1, 10})
+	v := r.CounterVec("v_total", "", "k")
+	g := r.Gauge("g", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+				v.With(strconv.Itoa(w % 3)).Inc()
+				g.Add(1)
+			}
+		}(w)
+	}
+	// Concurrent scrapes while updates run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+	total := uint64(0)
+	for k := 0; k < 3; k++ {
+		total += v.With(strconv.Itoa(k)).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("vec total = %d, want 8000", total)
+	}
+}
+
+func TestNamesAndFindHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "")
+	h := r.Histogram("a_seconds", "", nil)
+	hv := r.HistogramVec("c_seconds", "", nil, "op")
+	hv.With("x").Observe(1)
+	names := r.Names()
+	want := []string{"a_seconds", "b_total", "c_seconds"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	if r.FindHistogram("a_seconds") != h {
+		t.Fatal("FindHistogram missed unlabeled histogram")
+	}
+	if r.FindHistogram("c_seconds", "x") == nil {
+		t.Fatal("FindHistogram missed labeled histogram")
+	}
+	if r.FindHistogram("b_total") != nil {
+		t.Fatal("FindHistogram returned non-histogram")
+	}
+	if r.FindHistogram("missing") != nil {
+		t.Fatal("FindHistogram invented a histogram")
+	}
+}
+
+func TestDurationBucketsSorted(t *testing.T) {
+	for i := 1; i < len(DurationBuckets); i++ {
+		if DurationBuckets[i] <= DurationBuckets[i-1] {
+			t.Fatalf("DurationBuckets not ascending at %d", i)
+		}
+	}
+	h := NewRegistry().Histogram("d_seconds", "", nil)
+	h.ObserveDuration(1500 * time.Microsecond)
+	if h.Count() != 1 || math.Abs(h.Sum()-0.0015) > 1e-12 {
+		t.Fatalf("ObserveDuration recorded %v/%v", h.Count(), h.Sum())
+	}
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named stage inside an ingest trace: its offset from the
+// trace start and how long it ran.
+type Span struct {
+	Name     string
+	Start    time.Duration // offset from Trace.Begin
+	Duration time.Duration
+}
+
+// MarshalJSON emits offsets and durations as millisecond floats, the
+// unit every other jocl artifact reports in.
+func (s Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name    string  `json:"name"`
+		StartMS float64 `json:"start_ms"`
+		MS      float64 `json:"ms"`
+	}{s.Name, durMS(s.Start), durMS(s.Duration)})
+}
+
+// Trace is the stage breakdown of one ingest: a monotonically
+// increasing id, the batch number it processed, wall-clock begin,
+// total duration, and the ordered spans.
+type Trace struct {
+	ID    uint64
+	Batch int
+	Begin time.Time
+	Total time.Duration
+	Spans []Span
+}
+
+// MarshalJSON emits the total as a millisecond float next to the spans.
+func (t Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID      uint64    `json:"id"`
+		Batch   int       `json:"batch"`
+		Begin   time.Time `json:"begin"`
+		TotalMS float64   `json:"total_ms"`
+		Spans   []Span    `json:"spans"`
+	}{t.ID, t.Batch, t.Begin, durMS(t.Total), t.Spans})
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// TraceRing retains the most recent N traces. Push and Last are safe
+// for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next int // index of the next write
+	full bool
+	seq  atomic.Uint64
+}
+
+// NewTraceRing returns a ring holding up to n traces (n >= 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]Trace, n)}
+}
+
+// Push assigns the trace the next id and stores it, evicting the
+// oldest entry once the ring is full. It returns the assigned id.
+func (r *TraceRing) Push(t Trace) uint64 {
+	t.ID = r.seq.Add(1)
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+	return t.ID
+}
+
+// Last returns up to n traces, newest first. n <= 0 means all retained.
+func (r *TraceRing) Last(n int) []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.buf) + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// TraceBuilder accumulates the spans of one ingest. It is used by a
+// single goroutine (the ingest holds the session lock) and is not
+// concurrency-safe.
+type TraceBuilder struct {
+	batch int
+	begin time.Time
+	spans []Span
+}
+
+// StartTrace opens a builder for the given batch number.
+func StartTrace(batch int) *TraceBuilder {
+	return &TraceBuilder{batch: batch, begin: time.Now()}
+}
+
+// Begin returns the trace's start time.
+func (b *TraceBuilder) Begin() time.Time { return b.begin }
+
+// StartSpan opens a named span and returns a closure that ends it,
+// recording the elapsed time. Bracket style:
+//
+//	done := tb.StartSpan("okb-append")
+//	... stage ...
+//	done()
+func (b *TraceBuilder) StartSpan(name string) func() time.Duration {
+	t0 := time.Now()
+	return func() time.Duration {
+		d := time.Since(t0)
+		b.spans = append(b.spans, Span{Name: name, Start: t0.Sub(b.begin), Duration: d})
+		return d
+	}
+}
+
+// Span records an already-measured stage at an explicit offset — for
+// sub-stage durations reported back by a lower layer rather than
+// bracketed in place.
+func (b *TraceBuilder) Span(name string, start time.Duration, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b.spans = append(b.spans, Span{Name: name, Start: start, Duration: d})
+}
+
+// Finish seals the trace with the given total duration and pushes it
+// onto the ring (if any), returning the finished trace.
+func (b *TraceBuilder) Finish(ring *TraceRing) Trace {
+	t := Trace{Batch: b.batch, Begin: b.begin, Total: time.Since(b.begin), Spans: b.spans}
+	if ring != nil {
+		t.ID = ring.Push(t)
+	}
+	return t
+}

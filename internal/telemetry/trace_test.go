@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceBuilderSpans(t *testing.T) {
+	ring := NewTraceRing(4)
+	tb := StartTrace(7)
+	done := tb.StartSpan("okb-append")
+	time.Sleep(2 * time.Millisecond)
+	if d := done(); d < time.Millisecond {
+		t.Fatalf("span duration %v too short", d)
+	}
+	tb.Span("bp", 5*time.Millisecond, 3*time.Millisecond)
+	tb.Span("neg", 0, -time.Millisecond) // clamped to 0
+	tr := tb.Finish(ring)
+	if tr.ID != 1 || tr.Batch != 7 {
+		t.Fatalf("trace id/batch = %d/%d", tr.ID, tr.Batch)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(tr.Spans))
+	}
+	if tr.Spans[0].Name != "okb-append" || tr.Spans[1].Duration != 3*time.Millisecond {
+		t.Fatalf("bad spans: %+v", tr.Spans)
+	}
+	if tr.Spans[2].Duration != 0 {
+		t.Fatalf("negative duration not clamped: %v", tr.Spans[2].Duration)
+	}
+	if tr.Total < 2*time.Millisecond {
+		t.Fatalf("total %v too short", tr.Total)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	ring := NewTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		ring.Push(Trace{Batch: i})
+	}
+	got := ring.Last(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	// Newest first: batches 5, 4, 3; ids assigned sequentially.
+	for i, wantBatch := range []int{5, 4, 3} {
+		if got[i].Batch != wantBatch {
+			t.Fatalf("Last[%d].Batch = %d, want %d", i, got[i].Batch, wantBatch)
+		}
+		if got[i].ID != uint64(6-1-i) {
+			t.Fatalf("Last[%d].ID = %d, want %d", i, got[i].ID, 6-1-i)
+		}
+	}
+	if n := len(ring.Last(2)); n != 2 {
+		t.Fatalf("Last(2) returned %d", n)
+	}
+	if n := len(ring.Last(10)); n != 3 {
+		t.Fatalf("Last(10) returned %d", n)
+	}
+}
+
+func TestTraceRingPartial(t *testing.T) {
+	ring := NewTraceRing(8)
+	ring.Push(Trace{Batch: 1})
+	ring.Push(Trace{Batch: 2})
+	got := ring.Last(0)
+	if len(got) != 2 || got[0].Batch != 2 || got[1].Batch != 1 {
+		t.Fatalf("partial ring wrong: %+v", got)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	ring := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ring.Push(Trace{Batch: i})
+				ring.Last(8)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ring.seq.Load(); got != 800 {
+		t.Fatalf("seq = %d, want 800", got)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := Trace{
+		ID:    3,
+		Batch: 9,
+		Begin: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		Total: 12500 * time.Microsecond,
+		Spans: []Span{{Name: "bp", Start: 2 * time.Millisecond, Duration: 1500 * time.Microsecond}},
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"total_ms":12.5`, `"name":"bp"`, `"start_ms":2`, `"ms":1.5`, `"batch":9`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, s)
+		}
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+}
+
+func TestNewTelemetry(t *testing.T) {
+	tel := New(Config{})
+	if tel.Registry == nil || tel.Traces == nil {
+		t.Fatal("New left fields nil")
+	}
+	if n := len(tel.Traces.buf); n != 64 {
+		t.Fatalf("default ring size = %d, want 64", n)
+	}
+	tel2 := New(Config{TraceRing: 5})
+	if n := len(tel2.Traces.buf); n != 5 {
+		t.Fatalf("ring size = %d, want 5", n)
+	}
+}
+
+func ExampleTraceBuilder() {
+	tb := StartTrace(1)
+	done := tb.StartSpan("stage")
+	done()
+	tr := tb.Finish(nil)
+	fmt.Println(len(tr.Spans))
+	// Output: 1
+}

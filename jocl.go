@@ -134,14 +134,16 @@ type Stats struct {
 type Option func(*options)
 
 type options struct {
-	corpus       [][]string
-	paraphrases  [][]string
-	embedDim     int
-	workers      int
-	refreshEvery int
-	queryOff     bool
-	queryOpts    QueryIndexOptions
-	cfg          core.Config
+	corpus        [][]string
+	paraphrases   [][]string
+	embedDim      int
+	workers       int
+	refreshEvery  int
+	queryOff      bool
+	queryOpts     QueryIndexOptions
+	telemetryOff  bool
+	telemetryOpts TelemetryOptions
+	cfg           core.Config
 }
 
 // queryConfig translates the public query-index options into the
@@ -216,6 +218,31 @@ func WithQueryIndex(q QueryIndexOptions) Option {
 // Pipelines.
 func WithoutQueryIndex() Option {
 	return func(o *options) { o.queryOff = true }
+}
+
+// TelemetryOptions tunes a Session's telemetry (on by default; see
+// Session.Telemetry). Zero fields take the defaults noted per field.
+type TelemetryOptions struct {
+	// TraceRing is the number of recent per-ingest stage traces
+	// retained for inspection (default 64).
+	TraceRing int
+}
+
+// WithTelemetry tunes the metrics registry and ingest tracing Sessions
+// keep by default. Ignored by batch Pipelines.
+func WithTelemetry(t TelemetryOptions) Option {
+	return func(o *options) {
+		o.telemetryOff = false
+		o.telemetryOpts = t
+	}
+}
+
+// WithoutTelemetry disables metrics and ingest tracing: ingests skip
+// every observation and Session.Telemetry returns nil. It exists for
+// overhead A/B measurement; the per-ingest cost of telemetry is a few
+// atomic ops per stage. Ignored by batch Pipelines.
+func WithoutTelemetry() Option {
+	return func(o *options) { o.telemetryOff = true }
 }
 
 // SegmentOptions tunes hub-cut graph segmentation (WithSegmentation).

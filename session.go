@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/ppdb"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Session is the streaming counterpart of Pipeline: it accepts triple
@@ -67,9 +69,11 @@ type IngestStats struct {
 	PartitionMillis    float64
 
 	// ConstructMillis and InferMillis split the batch's wall-clock cost
-	// between graph (re)construction and inference.
+	// between graph (re)construction and inference; TotalMillis is the
+	// whole ingest, end to end.
 	ConstructMillis float64
 	InferMillis     float64
+	TotalMillis     float64
 
 	// IndexMillis is the read-path query-index maintenance this ingest
 	// paid; IndexKeys the index keys it rewrote and IndexFull whether
@@ -158,8 +162,20 @@ func (o *options) streamConfig() stream.Config {
 		Workers:      o.workers,
 		RefreshEvery: o.refreshEvery,
 		Query:        o.queryConfig(),
+		Telemetry: telemetry.Config{
+			Enable:    !o.telemetryOff,
+			TraceRing: o.telemetryOpts.TraceRing,
+		},
 	}
 }
+
+// Telemetry exposes the session's metrics registry and ingest-trace
+// ring (see internal/telemetry): every ingest feeds latency histograms,
+// per-stage spans, and subsystem gauges through it, jocl-serve renders
+// it at GET /metrics and GET /debug/trace, and jocl-bench digests the
+// same histograms into p50/p95/p99 summaries. It returns nil when the
+// session was built WithoutTelemetry.
+func (s *Session) Telemetry() *telemetry.Telemetry { return s.s.Telemetry() }
 
 // CheckpointFileName is the canonical file name for a session
 // checkpoint inside a checkpoint directory (what jocl-serve reads on
@@ -192,14 +208,17 @@ type CheckpointInfo struct {
 // checkpoint intact, never a torn file. The returned info reports the
 // written snapshot itself, not the session's current state.
 func (s *Session) CheckpointFile(path string) (CheckpointInfo, error) {
+	t0 := time.Now()
 	snap := s.s.CheckpointState()
 	if err := checkpoint.Save(path, snap); err != nil {
+		s.s.ObserveCheckpoint(0, snap.Batches, time.Since(t0), err)
 		return CheckpointInfo{}, err
 	}
 	info := CheckpointInfo{Batches: snap.Batches, Triples: len(snap.Triples)}
 	if fi, err := os.Stat(path); err == nil {
 		info.Bytes = fi.Size()
 	}
+	s.s.ObserveCheckpoint(info.Bytes, snap.Batches, time.Since(t0), nil)
 	return info, nil
 }
 
@@ -301,6 +320,10 @@ func (s *Session) Stats() SessionStats {
 // statistics over every triple seen so far and re-solve from scratch.
 func (s *Session) Refresh() { s.s.Refresh() }
 
+// millis converts a duration to fractional milliseconds exactly — the
+// public stats structs report ms floats derived at this boundary only.
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 func ingestStats(st stream.IngestStats) IngestStats {
 	out := IngestStats{
 		Batch:              st.Batch,
@@ -316,9 +339,10 @@ func ingestStats(st stream.IngestStats) IngestStats {
 		PartitionRepaired:  st.PartitionRepaired,
 		RepairBlocksReused: st.RepairBlocksReused,
 		RepairBlocksRecut:  st.RepairBlocksRecut,
-		PartitionMillis:    st.PartitionMS,
-		ConstructMillis:    st.ConstructMS,
-		InferMillis:        st.InferMS,
+		PartitionMillis:    millis(st.PartitionTime),
+		ConstructMillis:    millis(st.ConstructTime),
+		InferMillis:        millis(st.InferTime),
+		TotalMillis:        millis(st.TotalTime),
 	}
 	if st.Index != nil {
 		out.IndexMillis = st.Index.ApplyMS
