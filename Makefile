@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query bench-checkpoint docs-check serve clean
+.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query bench-checkpoint bench-intern bench-intern-gate bench-profile docs-check serve clean
+
+# The streaming benchmark matrix runs at scale 0.1 with a multi-worker
+# session — large enough that identity-layer and allocator costs are
+# measurable, matching the committed BENCH_intern.json baseline.
+BENCH_SCALE ?= 0.1
+BENCH_WORKERS ?= 4
 
 all: build vet test docs-check
 
@@ -23,28 +29,47 @@ bench:
 # Streaming-ingest benchmark: incremental session vs full rebuild.
 # Emits the BENCH_stream.json artifact.
 bench-stream:
-	$(GO) run ./cmd/jocl-bench -exp stream -stream-out BENCH_stream.json
+	$(GO) run ./cmd/jocl-bench -exp stream -scale $(BENCH_SCALE) -stream-out BENCH_stream.json
 
 # Segmentation benchmark: hub-cut vs no-cut incremental ingest on the
 # hub-fused workload. Emits the BENCH_segment.json artifact.
 bench-segment:
-	$(GO) run ./cmd/jocl-bench -exp segment -segment-out BENCH_segment.json
+	$(GO) run ./cmd/jocl-bench -exp segment -scale $(BENCH_SCALE) -segment-out BENCH_segment.json
 
 # Persistent-partition benchmark: repair vs per-build re-partition on
 # a rebuild-heavy stream. Emits the BENCH_repair.json artifact.
 bench-repair:
-	$(GO) run ./cmd/jocl-bench -exp repair -repair-out BENCH_repair.json
+	$(GO) run ./cmd/jocl-bench -exp repair -scale $(BENCH_SCALE) -repair-out BENCH_repair.json
 
 # Read-path benchmark: delta-wise query-index maintenance vs full
 # rebuild, read QPS under concurrent ingest. Emits BENCH_query.json.
 bench-query:
-	$(GO) run ./cmd/jocl-bench -exp query -query-out BENCH_query.json
+	$(GO) run ./cmd/jocl-bench -exp query -scale $(BENCH_SCALE) -query-out BENCH_query.json
 
 # Durability benchmark: restore-from-checkpoint vs cold full-stream
 # replay (target >= 5x), warm continuation, answer equivalence. Emits
 # BENCH_checkpoint.json.
 bench-checkpoint:
-	$(GO) run ./cmd/jocl-bench -exp checkpoint -checkpoint-out BENCH_checkpoint.json
+	$(GO) run ./cmd/jocl-bench -exp checkpoint -scale $(BENCH_SCALE) -checkpoint-out BENCH_checkpoint.json
+
+# Interning benchmark: steady-state ingest cost (wall clock + allocator
+# traffic) of the id-keyed serving stack against the recorded
+# string-keyed baseline, at scale 0.1 with a 0.5 spot check. Overwrites
+# the committed BENCH_intern.json baseline artifact.
+bench-intern:
+	$(GO) run ./cmd/jocl-bench -exp intern -intern-scale $(BENCH_SCALE) -intern-workers $(BENCH_WORKERS) -intern-out BENCH_intern.json
+
+# CI regression gate: re-measure (no spot check, for time) and fail on
+# a >20% steady-state allocs/ingest regression against the committed
+# BENCH_intern.json.
+bench-intern-gate:
+	$(GO) run ./cmd/jocl-bench -exp intern -intern-scale $(BENCH_SCALE) -intern-workers $(BENCH_WORKERS) -intern-spot 0 -intern-gate BENCH_intern.json
+
+# CPU + heap pprof profiles of the steady-state ingest path (the
+# interning benchmark without its spot check). Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+bench-profile:
+	$(GO) run ./cmd/jocl-bench -exp intern -intern-scale $(BENCH_SCALE) -intern-workers $(BENCH_WORKERS) -intern-spot 0 -cpuprofile cpu.pprof -memprofile mem.pprof
 
 # Documentation gate: broken relative links in *.md, undocumented
 # exported identifiers in the public and documented packages.
@@ -55,4 +80,4 @@ serve:
 	$(GO) run ./cmd/jocl-serve -addr :8080
 
 clean:
-	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json BENCH_checkpoint.json
+	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json BENCH_checkpoint.json cpu.pprof mem.pprof

@@ -56,6 +56,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -82,8 +84,52 @@ func main() {
 		ckptBatches    = flag.Int("checkpoint-batches", 8, "checkpoint: total batches (the last one lands after the simulated crash)")
 		ckptPreload    = flag.Float64("checkpoint-preload", 0.6, "checkpoint: fraction of triples ingested as the preload batch")
 		ckptOut        = flag.String("checkpoint-out", "", "checkpoint: write the report JSON to this path (e.g. BENCH_checkpoint.json)")
+		internScale    = flag.Float64("intern-scale", 0.1, "intern: fraction of the paper's data set sizes (the raised default matrix)")
+		internBatches  = flag.Int("intern-batches", 25, "intern: total batches (1 preload + N-1 steady increments)")
+		internPreload  = flag.Float64("intern-preload", 0.6, "intern: fraction of triples ingested as the preload batch")
+		internWorkers  = flag.Int("intern-workers", 4, "intern: session worker pool size (>1 to exercise the parallel path)")
+		internSpot     = flag.Float64("intern-spot", 0.5, "intern: larger-scale confirmation point (0 disables)")
+		internOut      = flag.String("intern-out", "", "intern: write the report JSON to this path (e.g. BENCH_intern.json)")
+		internGate     = flag.String("intern-gate", "", "intern: committed BENCH_intern.json to gate against (fail on >intern-tol% alloc regression)")
+		internTol      = flag.Float64("intern-tol", 20, "intern: allowed steady-state allocs/ingest regression vs the gate baseline, percent")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU pprof profile of the experiment to this path")
+		memProfile     = flag.String("memprofile", "", "write a heap pprof profile (after the experiment) to this path")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			}
+		}()
+	}
+	if *exp == "intern" {
+		if err := runIntern(*internScale, *internPreload, *internBatches, *internWorkers, *internSpot, *internOut, *internGate, *internTol); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "stream" {
 		if err := runStream(*scale, *streamPreload, *streamBatches, *streamOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
@@ -123,6 +169,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func runIntern(scale, preload float64, batches, workers int, spot float64, out, gate string, tol float64) error {
+	report, err := bench.RunIntern("reverb45k", scale, preload, batches, workers, spot)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if gate != "" {
+		if err := bench.GateFile(report, gate, tol); err != nil {
+			return err
+		}
+		fmt.Printf("intern gate passed (<=%.0f%% alloc regression vs %s)\n", tol, gate)
+	}
+	return nil
 }
 
 func runStream(scale, preload float64, batches int, out string) error {

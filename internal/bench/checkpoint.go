@@ -40,6 +40,11 @@ type CheckpointReport struct {
 	StreamMS          float64        `json:"stream_ms"`
 	IngestLatency     LatencySummary `json:"ingest_latency"`
 	CheckpointLatency LatencySummary `json:"checkpoint_latency"`
+	// IngestAllocBytes / IngestAllocs echo the original session's
+	// cumulative jocl_ingest_alloc_bytes_total / jocl_ingest_allocs_total
+	// counters over the pre-crash stream.
+	IngestAllocBytes uint64 `json:"ingest_alloc_bytes_total"`
+	IngestAllocs     uint64 `json:"ingest_allocs_total"`
 	// CheckpointMS / CheckpointBytes price one snapshot: serialization
 	// wall-clock (the capture itself holds the ingest lock only
 	// briefly) and the serialized size.
@@ -161,6 +166,7 @@ func RunCheckpoint(profile string, scale, preloadFrac float64, batches, workers 
 	report.CheckpointBytes = buf.Len()
 	report.IngestLatency = ingestLatency(original)
 	report.CheckpointLatency = checkpointLatency(original)
+	report.IngestAllocBytes, report.IngestAllocs = sessionAllocCounters(original)
 
 	// Recovery strategy A: restore from the checkpoint.
 	t2 := time.Now()

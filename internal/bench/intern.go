@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// The interning benchmark prices the identity layer: steady-state
+// incremental ingest cost — wall clock and allocator traffic — at a
+// scale where the string hot path actually hurts. Unlike the stream
+// benchmark it never runs full rebuilds; every measured number is the
+// warm serving path (preload once, then a stream of small batches),
+// which is exactly the path the symbol-table refactor targets.
+//
+// The committed BENCH_intern.json doubles as the CI regression
+// baseline: GateFile compares a fresh run's steady-state allocations
+// per ingest against the committed artifact and fails the build on a
+// >20% regression.
+
+// InternNumbers is one configuration's steady-state ingest cost. The
+// latency digest comes from the session's own
+// jocl_ingest_duration_seconds telemetry histogram (the same series
+// /metrics reports); the allocation numbers are runtime.MemStats
+// deltas measured around each steady-state ingest, so they are exact
+// allocator counters, not sampled profiles.
+type InternNumbers struct {
+	// SteadyIngests is how many post-preload batches the numbers
+	// average over.
+	SteadyIngests int `json:"steady_ingests"`
+	// MeanMS is the mean wall clock of one steady-state ingest.
+	MeanMS float64 `json:"mean_ms"`
+	// Ingest latency quantiles from the telemetry histogram. The
+	// histogram includes the preload batch (it records every ingest,
+	// like a production scrape would), which with >=20 steady batches
+	// perturbs only the tail.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// AllocsPerIngest / BytesPerIngest are the mean allocator deltas
+	// (runtime.MemStats Mallocs / TotalAlloc) of one steady-state
+	// ingest.
+	AllocsPerIngest float64 `json:"allocs_per_ingest"`
+	BytesPerIngest  float64 `json:"bytes_per_ingest"`
+}
+
+// InternReport is the interning benchmark's output, emitted as the
+// BENCH_intern.json artifact.
+type InternReport struct {
+	Profile string  `json:"profile"`
+	Scale   float64 `json:"scale"`
+	Batches int     `json:"batches"`
+	Workers int     `json:"workers"`
+
+	// Baseline is the string-keyed implementation's cost, measured
+	// with this same harness immediately before the symbol-table
+	// refactor landed (see stringKeyedBaseline). Zero when no baseline
+	// was recorded for this configuration.
+	Baseline InternNumbers `json:"baseline"`
+	// Current is this run's cost.
+	Current InternNumbers `json:"current"`
+
+	// Speedup is Baseline.MeanMS / Current.MeanMS; the reduction
+	// percentages are (1 - current/baseline) * 100. All zero when no
+	// baseline exists.
+	Speedup           float64 `json:"speedup"`
+	AllocReductionPct float64 `json:"alloc_reduction_pct"`
+	BytesReductionPct float64 `json:"bytes_reduction_pct"`
+
+	// SessionAllocBytes / SessionAllocs echo the session's own
+	// jocl_ingest_alloc_bytes_total / jocl_ingest_allocs_total
+	// counters after the run — the /metrics view of the same
+	// allocator traffic Current measures externally (these include
+	// the preload batch).
+	SessionAllocBytes uint64 `json:"session_alloc_bytes_total"`
+	SessionAllocs     uint64 `json:"session_allocs_total"`
+
+	// SpotCheck is a shorter confirmation run at a larger scale
+	// (default 0.5), guarding against wins that only exist at the
+	// default scale. Omitted when disabled.
+	SpotCheck *InternSpot `json:"spot_check,omitempty"`
+}
+
+// InternSpot is the larger-scale confirmation point.
+type InternSpot struct {
+	Scale   float64       `json:"scale"`
+	Batches int           `json:"batches"`
+	Current InternNumbers `json:"current"`
+	// Baseline mirrors InternReport.Baseline at the spot scale.
+	Baseline InternNumbers `json:"baseline"`
+	Speedup  float64       `json:"speedup"`
+}
+
+// stringKeyedBaseline holds the pre-interning implementation's numbers,
+// measured with this exact harness (same profile, scale, preload,
+// batch plan, workers, and single-core CI-class machine) at the commit
+// immediately before the symbol-table refactor. Keyed by
+// "profile/scale/workers". These are the "before" column of the
+// artifact; the CI regression gate uses the committed artifact's
+// Current numbers instead, so drift in these constants can never mask
+// a regression.
+var stringKeyedBaseline = map[string]InternNumbers{
+	"reverb45k/0.1/4": {
+		SteadyIngests:   24,
+		MeanMS:          3555.69,
+		P50MS:           3671.875,
+		P95MS:           8437.5,
+		P99MS:           9687.5,
+		AllocsPerIngest: 6948231,
+		BytesPerIngest:  251239967,
+	},
+	// The 0.5 spot check saturates the latency histogram's 10s top
+	// bucket on the string-keyed build, so its quantiles carry no
+	// information; MeanMS and the allocator counters are exact.
+	"reverb45k/0.5/4": {
+		SteadyIngests:   5,
+		MeanMS:          38430.92,
+		P50MS:           10000,
+		P95MS:           10000,
+		P99MS:           10000,
+		AllocsPerIngest: 29000519,
+		BytesPerIngest:  993562632,
+	},
+}
+
+func baselineKey(profile string, scale float64, workers int) string {
+	return fmt.Sprintf("%s/%g/%d", profile, scale, workers)
+}
+
+// RunIntern measures steady-state incremental ingest at the given
+// scale, plus an optional spot check at spotScale (0 disables it).
+func RunIntern(profile string, scale, preloadFrac float64, batches, workers int, spotScale float64) (*InternReport, error) {
+	report := &InternReport{Profile: profile, Scale: scale, Batches: batches, Workers: workers}
+	cur, allocBytes, allocs, err := measureIntern(profile, scale, preloadFrac, batches, workers)
+	if err != nil {
+		return nil, err
+	}
+	report.Current = cur
+	report.SessionAllocBytes = allocBytes
+	report.SessionAllocs = allocs
+	if base, ok := stringKeyedBaseline[baselineKey(profile, scale, workers)]; ok {
+		report.Baseline = base
+		report.Speedup, report.AllocReductionPct, report.BytesReductionPct = internDeltas(base, cur)
+	}
+	if spotScale > 0 {
+		// A larger corpus needs fewer steady batches to average
+		// meaningfully, and each is far more expensive.
+		spotBatches := 6
+		spot, _, _, err := measureIntern(profile, spotScale, preloadFrac, spotBatches, workers)
+		if err != nil {
+			return nil, err
+		}
+		sc := &InternSpot{Scale: spotScale, Batches: spotBatches, Current: spot}
+		if base, ok := stringKeyedBaseline[baselineKey(profile, spotScale, workers)]; ok {
+			sc.Baseline = base
+			sc.Speedup, _, _ = internDeltas(base, spot)
+		}
+		report.SpotCheck = sc
+	}
+	return report, nil
+}
+
+func internDeltas(base, cur InternNumbers) (speedup, allocRed, bytesRed float64) {
+	if cur.MeanMS > 0 {
+		speedup = base.MeanMS / cur.MeanMS
+	}
+	if base.AllocsPerIngest > 0 {
+		allocRed = (1 - cur.AllocsPerIngest/base.AllocsPerIngest) * 100
+	}
+	if base.BytesPerIngest > 0 {
+		bytesRed = (1 - cur.BytesPerIngest/base.BytesPerIngest) * 100
+	}
+	return
+}
+
+// measureIntern runs one preload-plus-steady-stream plan through a
+// fresh incremental session and returns the steady-state cost, plus
+// the session's cumulative ingest allocation counters (0 on builds
+// that predate them).
+func measureIntern(profile string, scale, preloadFrac float64, batches, workers int) (InternNumbers, uint64, uint64, error) {
+	ds, triples, cuts, batches, err := ingestPlan(profile, scale, preloadFrac, batches)
+	if err != nil {
+		return InternNumbers{}, 0, 0, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.BP.MaxSweeps = 40
+	sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers, Telemetry: benchTelemetry()})
+
+	// Preload: the accumulated corpus, ingested cold as batch 1.
+	if _, err := sess.Ingest(triples[cuts[0]:cuts[1]]); err != nil {
+		return InternNumbers{}, 0, 0, err
+	}
+
+	var (
+		n       = batches - 1
+		sumMS   float64
+		mallocs uint64
+		bytes   uint64
+		ms0     runtime.MemStats
+		ms1     runtime.MemStats
+	)
+	for b := 1; b < batches; b++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		if _, err := sess.Ingest(triples[cuts[b]:cuts[b+1]]); err != nil {
+			return InternNumbers{}, 0, 0, err
+		}
+		sumMS += durMSB(time.Since(t0))
+		runtime.ReadMemStats(&ms1)
+		mallocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
+	}
+
+	lat := ingestLatency(sess)
+	out := InternNumbers{
+		SteadyIngests:   n,
+		MeanMS:          sumMS / float64(n),
+		P50MS:           lat.P50MS,
+		P95MS:           lat.P95MS,
+		P99MS:           lat.P99MS,
+		AllocsPerIngest: float64(mallocs) / float64(n),
+		BytesPerIngest:  float64(bytes) / float64(n),
+	}
+	ab, ac := sessionAllocCounters(sess)
+	return out, ab, ac, nil
+}
+
+// sessionAllocCounters reads the session's cumulative per-ingest
+// allocation counters from its registry (satellite of the interning
+// work: the same numbers /metrics exports).
+func sessionAllocCounters(sess *stream.Session) (allocBytes, allocs uint64) {
+	tel := sess.Telemetry()
+	if tel == nil {
+		return 0, 0
+	}
+	if c := tel.Registry.FindCounter("jocl_ingest_alloc_bytes_total"); c != nil {
+		allocBytes = c.Value()
+	}
+	if c := tel.Registry.FindCounter("jocl_ingest_allocs_total"); c != nil {
+		allocs = c.Value()
+	}
+	return
+}
+
+// durMSB converts a duration to fractional milliseconds (bench-local
+// twin of the stream package's durMS).
+func durMSB(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Gate compares a fresh run against the committed artifact and
+// returns an error when steady-state allocations per ingest regressed
+// more than tolPct percent — the CI regression gate. Wall-clock is
+// reported but never gated: shared CI runners make time noisy, while
+// allocator counters are deterministic for a fixed workload.
+func Gate(fresh *InternReport, committed *InternReport, tolPct float64) error {
+	base := committed.Current.AllocsPerIngest
+	got := fresh.Current.AllocsPerIngest
+	if base <= 0 {
+		return fmt.Errorf("intern gate: committed baseline has no allocs_per_ingest")
+	}
+	regressPct := (got/base - 1) * 100
+	if regressPct > tolPct {
+		return fmt.Errorf("intern gate: steady-state allocs/ingest regressed %.1f%% (%.0f vs committed %.0f, tolerance %.0f%%)",
+			regressPct, got, base, tolPct)
+	}
+	return nil
+}
+
+// GateFile loads the committed artifact and runs Gate against it.
+func GateFile(fresh *InternReport, path string, tolPct float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("intern gate: %w", err)
+	}
+	defer f.Close()
+	var committed InternReport
+	if err := json.NewDecoder(f).Decode(&committed); err != nil {
+		return fmt.Errorf("intern gate: decode %s: %w", path, err)
+	}
+	return Gate(fresh, &committed, tolPct)
+}
+
+// WriteJSON emits the report as the BENCH_intern.json artifact.
+func (r *InternReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned text.
+func (r *InternReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INTERN — steady-state ingest cost (%s, scale %g, %d batches, %d workers)\n",
+		r.Profile, r.Scale, r.Batches, r.Workers)
+	row := func(label string, n InternNumbers) {
+		fmt.Fprintf(&b, "%-12s  %8.1fms mean  p50 %.1f / p95 %.1f / p99 %.1f ms  %10.0f allocs  %12.0f B\n",
+			label, n.MeanMS, n.P50MS, n.P95MS, n.P99MS, n.AllocsPerIngest, n.BytesPerIngest)
+	}
+	if r.Baseline.SteadyIngests > 0 {
+		row("string-keyed", r.Baseline)
+	}
+	row("interned", r.Current)
+	if r.Speedup > 0 {
+		fmt.Fprintf(&b, "speedup %.2fx; allocs −%.1f%%; bytes −%.1f%%\n",
+			r.Speedup, r.AllocReductionPct, r.BytesReductionPct)
+	}
+	if r.SpotCheck != nil {
+		fmt.Fprintf(&b, "spot check @ scale %g (%d batches):\n", r.SpotCheck.Scale, r.SpotCheck.Batches)
+		if r.SpotCheck.Baseline.SteadyIngests > 0 {
+			row("string-keyed", r.SpotCheck.Baseline)
+		}
+		row("interned", r.SpotCheck.Current)
+		if r.SpotCheck.Speedup > 0 {
+			fmt.Fprintf(&b, "spot speedup %.2fx\n", r.SpotCheck.Speedup)
+		}
+	}
+	return b.String()
+}

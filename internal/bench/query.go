@@ -86,6 +86,11 @@ type QueryReport struct {
 	IngestLatency LatencySummary `json:"ingest_latency"`
 	ReadLatency   LatencySummary `json:"read_latency"`
 
+	// IngestAllocBytes / IngestAllocs echo the session's cumulative
+	// jocl_ingest_alloc_bytes_total / jocl_ingest_allocs_total counters.
+	IngestAllocBytes uint64 `json:"ingest_alloc_bytes_total"`
+	IngestAllocs     uint64 `json:"ingest_allocs_total"`
+
 	// Generations is the index generation after the last batch (==
 	// Batches when every ingest published one).
 	Generations int64 `json:"generations"`
@@ -233,17 +238,17 @@ func RunQuery(profile string, scale, preloadFrac float64, batches, workers, read
 		}
 		if before == nil || st.Index == nil || st.Index.Full {
 			pt.MaintainMS = amortized(func() {
-				query.FullIndex(res, accumulated, query.Config{})
+				query.FullIndex(res, accumulated, query.Config{}, sess.Symbols())
 			})
 		} else {
 			pt.MaintainMS = amortized(func() {
-				before.Clone().Apply(res, res.Delta, accumulated)
+				before.Clone().Apply(res, res.Delta, accumulated, sess.Symbols())
 			})
 		}
 		// Comparator: build the whole index from this snapshot, the way
 		// a non-incremental read path would per ingest.
 		pt.FullBuildMS = amortized(func() {
-			query.FullIndex(res, accumulated, query.Config{})
+			query.FullIndex(res, accumulated, query.Config{}, sess.Symbols())
 		})
 		if pt.FullBuildMS > 0 {
 			pt.Ratio = pt.MaintainMS / pt.FullBuildMS
@@ -310,6 +315,7 @@ func RunQuery(profile string, scale, preloadFrac float64, batches, workers, read
 	}
 	report.IngestLatency = ingestLatency(sess)
 	report.ReadLatency = latencySummaryOf(rs.hist)
+	report.IngestAllocBytes, report.IngestAllocs = sessionAllocCounters(sess)
 
 	// Idle throughput on the settled index.
 	idle := &readStats{}

@@ -36,6 +36,10 @@ type RepairStrategy struct {
 	// IngestLatency is the session's own telemetry digest of the same
 	// ingests (p50/p95/p99, includes the cold preload).
 	IngestLatency LatencySummary `json:"ingest_latency"`
+	// IngestAllocBytes / IngestAllocs echo the session's cumulative
+	// jocl_ingest_alloc_bytes_total / jocl_ingest_allocs_total counters.
+	IngestAllocBytes uint64 `json:"ingest_alloc_bytes_total"`
+	IngestAllocs     uint64 `json:"ingest_allocs_total"`
 	// Final-build partition shape, final-batch block reuse, and the
 	// repair totals across all post-warm-up batches (zero for the
 	// re-partition strategy).
@@ -147,6 +151,7 @@ func RunRepair(profile string, scale, preloadFrac float64, batches, workers int,
 		s.LastDirty = last.DirtyComponents
 		s.LastWarm = last.CleanComponents
 		s.IngestLatency = ingestLatency(sess)
+		s.IngestAllocBytes, s.IngestAllocs = sessionAllocCounters(sess)
 		res := sess.Snapshot()
 		s.NPAvgF1 = canonScores(ds, res.NPGroups, true).AverageF1
 		s.EntLinkAcc = linkAccuracy(ds, res.NPLinks, true)

@@ -36,6 +36,10 @@ type SegmentStrategy struct {
 	// IngestLatency is the session's own telemetry digest of the same
 	// ingests (p50/p95/p99, includes the cold preload).
 	IngestLatency LatencySummary `json:"ingest_latency"`
+	// IngestAllocBytes / IngestAllocs echo the session's cumulative
+	// jocl_ingest_alloc_bytes_total / jocl_ingest_allocs_total counters.
+	IngestAllocBytes uint64 `json:"ingest_alloc_bytes_total"`
+	IngestAllocs     uint64 `json:"ingest_allocs_total"`
 	// Final-build partition shape and final-batch effort.
 	Blocks       int `json:"blocks"`
 	CutVariables int `json:"cut_variables"`
@@ -125,6 +129,7 @@ func RunSegment(profile string, scale, preloadFrac float64, batches, workers int
 		s.LastWarm = last.CleanComponents
 		s.LastSweeps = last.SweepsTotal
 		s.IngestLatency = ingestLatency(sess)
+		s.IngestAllocBytes, s.IngestAllocs = sessionAllocCounters(sess)
 		res := sess.Snapshot()
 		s.NPAvgF1 = canonScores(ds, res.NPGroups, true).AverageF1
 		s.EntLinkAcc = linkAccuracy(ds, res.NPLinks, true)

@@ -17,8 +17,11 @@ import (
 
 // Version is the current checkpoint format version. Readers accept
 // exactly the versions they know how to decode; an unknown version
-// fails Load rather than guessing.
-const Version = 1
+// fails Load rather than guessing. Version 2 added the okb symbol
+// table (Symbols) and rekeyed the warm state on symbol ids / factor
+// signature hashes; version-1 files carry string-keyed warm state that
+// cannot be mapped onto the id-keyed stack, so they are rejected.
+const Version = 2
 
 // DefaultFileName is the canonical checkpoint file name inside a
 // checkpoint directory (the serving layer keeps one file per
@@ -46,6 +49,12 @@ type Snapshot struct {
 	// Triples is the accumulated stream in ingest order (gold columns
 	// included, so evaluation against a restored session still works).
 	Triples []okb.Triple
+	// Symbols is the session's interning table (see okb.SymbolTable):
+	// every symbol id the warm state, partition memory, and result delta
+	// carry resolves through it. Ids are assigned in first-intern order,
+	// which depends on ingest history, so the table cannot be re-derived
+	// on restore — it must ride along.
+	Symbols *okb.SymbolSnapshot
 	// EpochTriples is the number of leading triples the current frozen
 	// signal epoch was derived over: restore rebuilds the signal
 	// resources from Triples[:EpochTriples] and frozen-extends them with

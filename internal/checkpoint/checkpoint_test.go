@@ -25,6 +25,11 @@ func testSnapshot() *Snapshot {
 			{ID: 0, Subj: "barack obama", Pred: "be born in", Obj: "honolulu", GoldSubj: "e1"},
 			{ID: 1, Subj: "obama", Pred: "be president of", Obj: "united states"},
 		},
+		Symbols: &okb.SymbolSnapshot{Entries: []okb.SymbolEntry{
+			{Surface: "barack obama"},
+			{Surface: "obama"},
+			{Kind: 'x', A: 0, B: 1},
+		}},
 		EpochTriples:  1,
 		Batches:       2,
 		SinceEpoch:    1,
@@ -36,18 +41,18 @@ func testSnapshot() *Snapshot {
 		IndexMS:       third,
 		Weights:       map[string]float64{"alpha1.idf": third, "beta4.fact": tiny},
 		Warm: &factorgraph.WarmState{
-			Msgs: map[string]factorgraph.FactorMessages{
-				"F1|x(a|b)/2|deadbeef": {
+			Msgs: map[factorgraph.SigKey]factorgraph.FactorMessages{
+				{H: 0xdeadbeef, Dup: 1}: {
 					FV: [][]float64{{third, 1 - third}},
 					VF: [][]float64{{tiny, 1 - tiny}},
 				},
 			},
-			VarAdj:   map[string]string{"x(1|1|ab)": "F1|..."},
-			Boundary: map[string]map[string][]float64{"blk": {"cut": {0.25, 0.75}}},
-			BlockFP:  map[string]uint64{"blk": 0xdeadbeefcafe},
+			VarAdj:   map[int32]uint64{2: 0xfeedface},
+			Boundary: map[int32]map[int32][]float64{2: {2: {0.25, 0.75}}},
+			BlockFP:  map[int32]uint64{2: 0xdeadbeefcafe},
 			Partition: &factorgraph.PartitionMemory{
-				CutNames:       []string{"e(obama)"},
-				Blocks:         map[string]factorgraph.BlockProfile{"blk": {Vars: 7, Hash: 42}},
+				CutSyms:        []int32{2},
+				Blocks:         map[int32]factorgraph.BlockProfile{2: {Vars: 7, Hash: 42}},
 				TunedBlockVars: 128,
 			},
 		},
@@ -58,7 +63,7 @@ func testSnapshot() *Snapshot {
 			RPGroupOf: map[string]int{"be born in": 0, "be president of": 1},
 			NPLinks:   map[string]string{"obama": "e1"},
 			RPLinks:   map[string]string{"be born in": ""},
-			Delta:     &core.CanonDelta{TouchedNPs: []string{"obama"}, ReassignedNPs: []string{"obama"}},
+			Delta:     &core.CanonDelta{TouchedNPs: []int32{1}, ReassignedNPs: []int32{1}},
 		},
 		QueryEnabled:    true,
 		QueryGeneration: 2,
@@ -86,7 +91,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	// Bit-exact floats: the restored warm messages must be the very
 	// values, not near them — the no-cut equivalence guarantee depends
 	// on it.
-	fm := got.Warm.Msgs["F1|x(a|b)/2|deadbeef"]
+	fm := got.Warm.Msgs[factorgraph.SigKey{H: 0xdeadbeef, Dup: 1}]
 	if math.Float64bits(fm.FV[0][0]) != math.Float64bits(1.0/3.0) {
 		t.Errorf("warm message float not bit-exact: %x", math.Float64bits(fm.FV[0][0]))
 	}
@@ -121,6 +126,15 @@ func TestReadRejectsCorruption(t *testing.T) {
 	binary.LittleEndian.PutUint32(future[8:12], Version+1)
 	if _, err := Read(bytes.NewReader(future)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("future version not rejected: %v", err)
+	}
+
+	// Version-1 files carry string-keyed warm state that cannot be mapped
+	// onto the id-keyed stack; they must be rejected explicitly, not
+	// half-decoded.
+	v1 := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(v1[8:12], 1)
+	if _, err := Read(bytes.NewReader(v1)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version-1 checkpoint not rejected: %v", err)
 	}
 
 	huge := append([]byte(nil), raw...)

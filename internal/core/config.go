@@ -150,6 +150,12 @@ type Config struct {
 	// nil for one-shot batch runs; see core.SimCache.
 	Cache *SimCache
 
+	// Pool recycles BP message slabs across repeated inference runs
+	// (streaming rebuilds): with a pool, a steady-state ingest's message
+	// buffers are reused allocations, not fresh ones. Leave nil for
+	// one-shot batch runs; see factorgraph.NewBufferPool.
+	Pool *factorgraph.BufferPool
+
 	// Segment controls hub-cut graph segmentation for the incremental
 	// path (RunIncremental). Disabled, inference partitions the graph
 	// into exact connected components; enabled, the highest-degree

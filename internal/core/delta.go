@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/factorgraph"
 )
@@ -11,6 +11,10 @@ import (
 // actually ran belief propagation. It is what lets the read-path
 // subsystem (internal/query) maintain its materialized indexes
 // delta-wise instead of re-deriving them over the whole KB per ingest.
+//
+// Phrases are identified by their okb symbol ids — the serving stack's
+// hot path never builds per-ingest strings; consumers resolve ids back
+// to surfaces at the read API boundary (okb.SymbolTable.Surface).
 //
 // The touched sets are sound over-approximations of the changed
 // outputs: a clean block's transplanted messages are bit-identical to
@@ -36,19 +40,20 @@ type CanonDelta struct {
 	// start, epoch refresh): every output may differ and consumers must
 	// rebuild. The touched sets are left empty.
 	Full bool
-	// TouchedNPs / TouchedRPs list, sorted, the phrases referenced by
-	// any variable of a block that ran (pair variables reference both
-	// endpoint phrases), by any cut variable when the boundary was
-	// refreshed, or by a conflict-resolution relabel this build.
-	TouchedNPs []string
-	TouchedRPs []string
-	// ReassignedNPs / ReassignedRPs list the phrases whose links the
-	// conflict-resolution post-process relabeled in this build (always
-	// subsets of the touched sets). Consumers must treat the previous
-	// build's reassigned phrases as touched too: an un-re-applied
-	// relabel reverts silently.
-	ReassignedNPs []string
-	ReassignedRPs []string
+	// TouchedNPs / TouchedRPs list, sorted, the symbol ids of phrases
+	// referenced by any variable of a block that ran (pair variables
+	// reference both endpoint phrases), by any cut variable when the
+	// boundary was refreshed, or by a conflict-resolution relabel this
+	// build.
+	TouchedNPs []int32
+	TouchedRPs []int32
+	// ReassignedNPs / ReassignedRPs list the symbol ids of phrases whose
+	// links the conflict-resolution post-process relabeled in this build
+	// (always subsets of the touched sets). Consumers must treat the
+	// previous build's reassigned phrases as touched too: an
+	// un-re-applied relabel reverts silently.
+	ReassignedNPs []int32
+	ReassignedRPs []int32
 	// BlocksRan counts the partition blocks that ran BP this build.
 	BlocksRan int
 }
@@ -58,8 +63,8 @@ type CanonDelta struct {
 // relabels finish recorded on the system.
 func (s *System) canonDelta(part *factorgraph.Partition, pr factorgraph.PartitionRun, bp *factorgraph.BP, cutBefore [][]float64, cutChanged []bool, cold bool) *CanonDelta {
 	d := &CanonDelta{
-		ReassignedNPs: sortedStrings(s.reassignedNPs),
-		ReassignedRPs: sortedStrings(s.reassignedRPs),
+		ReassignedNPs: s.internSorted(s.reassignedNPs),
+		ReassignedRPs: s.internSorted(s.reassignedRPs),
 	}
 	if cold {
 		d.Full = true
@@ -107,42 +112,42 @@ func (s *System) canonDelta(part *factorgraph.Partition, pr factorgraph.Partitio
 		return cutMoved[vid]
 	}
 
-	nps := make(map[string]bool)
-	rps := make(map[string]bool)
-	for _, p := range s.reassignedNPs {
-		nps[p] = true
+	nps := make(map[int32]bool)
+	rps := make(map[int32]bool)
+	for _, sym := range d.ReassignedNPs {
+		nps[sym] = true
 	}
-	for _, p := range s.reassignedRPs {
-		rps[p] = true
+	for _, sym := range d.ReassignedRPs {
+		rps[sym] = true
 	}
 	if s.cfg.EnableCanon {
 		for pi, p := range s.npPairs {
 			if touched(s.npPairVar[pi]) {
-				nps[s.nps[p.I]] = true
-				nps[s.nps[p.J]] = true
+				nps[s.npSyms[p.I]] = true
+				nps[s.npSyms[p.J]] = true
 			}
 		}
 		for pi, p := range s.rpPairs {
 			if touched(s.rpPairVar[pi]) {
-				rps[s.rps[p.I]] = true
-				rps[s.rps[p.J]] = true
+				rps[s.rpSyms[p.I]] = true
+				rps[s.rpSyms[p.J]] = true
 			}
 		}
 	}
 	if s.cfg.EnableLink {
 		for i, v := range s.npLinkVar {
 			if touched(v) {
-				nps[s.nps[i]] = true
+				nps[s.npSyms[i]] = true
 			}
 		}
 		for i, v := range s.rpLinkVar {
 			if touched(v) {
-				rps[s.rps[i]] = true
+				rps[s.rpSyms[i]] = true
 			}
 		}
 	}
-	d.TouchedNPs = sortedKeys(nps)
-	d.TouchedRPs = sortedKeys(rps)
+	d.TouchedNPs = sortedSyms(nps)
+	d.TouchedRPs = sortedSyms(rps)
 	return d
 }
 
@@ -161,23 +166,28 @@ func equalBeliefs(a, b []float64) bool {
 	return true
 }
 
-func sortedKeys(m map[string]bool) []string {
-	if len(m) == 0 {
+// internSorted maps phrase surfaces to their symbol ids, sorted. The
+// phrases were interned at construction, so this is a pure lookup.
+func (s *System) internSorted(phrases []string) []int32 {
+	if len(phrases) == 0 {
 		return nil
 	}
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+	out := make([]int32, len(phrases))
+	for i, p := range phrases {
+		out[i] = s.syms.Intern(p)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
-func sortedStrings(in []string) []string {
-	if len(in) == 0 {
+func sortedSyms(m map[int32]bool) []int32 {
+	if len(m) == 0 {
 		return nil
 	}
-	out := append([]string(nil), in...)
-	sort.Strings(out)
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
 	return out
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"strings"
 	"sync"
 	"time"
 
@@ -24,17 +23,31 @@ import (
 //     the same BP fixed point, so its transplanted messages already ARE
 //     the answer and only components the batch touched need sweeps.
 
+// simKey identifies one memoized signal evaluation. Phrase and
+// candidate identities are okb symbol ids, not surfaces: the key is a
+// small value type (no per-lookup string building or hashing of long
+// surfaces), and two builds of the same epoch hit the same entries
+// however the phrase lists shifted. kind separates the feature
+// families sharing a feat name ('N'/'R' canonicalization, 'E' entity
+// linking, 'L' relation linking); feat strings are package-level
+// constants, so comparing them is cheap.
+type simKey struct {
+	kind byte
+	feat string
+	a, b int32
+}
+
 // SimCache memoizes signal evaluations across System constructions of
 // one resource epoch. It must be dropped whenever the underlying
 // resources change (the stream session does this on epoch refresh).
 type SimCache struct {
 	mu sync.Mutex
-	m  map[string]float64
+	m  map[simKey]float64
 }
 
 // NewSimCache returns an empty construction cache.
 func NewSimCache() *SimCache {
-	return &SimCache{m: make(map[string]float64)}
+	return &SimCache{m: make(map[simKey]float64)}
 }
 
 // Len reports the number of memoized evaluations.
@@ -44,36 +57,25 @@ func (c *SimCache) Len() int {
 	return len(c.m)
 }
 
-func simKey(kind byte, feat, a, b string) string {
-	var sb strings.Builder
-	sb.Grow(len(feat) + len(a) + len(b) + 4)
-	sb.WriteByte(kind)
-	sb.WriteString(feat)
-	sb.WriteByte(0)
-	sb.WriteString(a)
-	sb.WriteByte(0)
-	sb.WriteString(b)
-	return sb.String()
-}
-
-func (c *SimCache) get(key string) (float64, bool) {
+func (c *SimCache) get(key simKey) (float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.m[key]
 	return v, ok
 }
 
-func (c *SimCache) put(key string, v float64) {
+func (c *SimCache) put(key simKey, v float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = v
 }
 
 // entLinkSim evaluates one entity-linking feature, through the cache
-// when configured.
-func (s *System) entLinkSim(feat, np, eid string) float64 {
+// when configured. npSym and eidSym are the phrase's and candidate's
+// symbol ids (candidate ids are interned into the same table).
+func (s *System) entLinkSim(feat, np, eid string, npSym, eidSym int32) float64 {
 	if c := s.cfg.Cache; c != nil {
-		key := simKey('E', feat, np, eid)
+		key := simKey{kind: 'E', feat: feat, a: npSym, b: eidSym}
 		if v, ok := c.get(key); ok {
 			return v
 		}
@@ -100,9 +102,9 @@ func (s *System) entLinkSimUncached(feat, np, eid string) float64 {
 
 // relLinkSim evaluates one relation-linking feature, through the cache
 // when configured.
-func (s *System) relLinkSim(feat, rp, rid string) float64 {
+func (s *System) relLinkSim(feat, rp, rid string, rpSym, ridSym int32) float64 {
 	if c := s.cfg.Cache; c != nil {
-		key := simKey('L', feat, rp, rid)
+		key := simKey{kind: 'L', feat: feat, a: rpSym, b: ridSym}
 		if v, ok := c.get(key); ok {
 			return v
 		}
@@ -233,7 +235,8 @@ func (s *System) partition(workers int, mem *factorgraph.PartitionMemory) (*fact
 // the next call.
 func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Result, *factorgraph.WarmState, IncrementalStats) {
 	s.g.UnclampAll()
-	bp := factorgraph.NewBP(s.g)
+	bp := factorgraph.NewBPWithPool(s.g, s.cfg.Pool)
+	defer bp.Release()
 	sigs := s.g.Signatures()
 	curAdj := factorgraph.VarAdjacency(s.g, sigs)
 
@@ -261,7 +264,7 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 	// drift cannot accumulate unboundedly across ingests, while a hub
 	// merely gaining factors elsewhere dirties nothing — the point of
 	// cutting through hubs.
-	var curBoundary map[string]map[string][]float64
+	var curBoundary map[int32]map[int32][]float64
 	if warm != nil && len(part.Cut) > 0 {
 		curBoundary = part.BoundaryBeliefs(bp)
 	}
@@ -281,8 +284,8 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 				// No fingerprint to compare (pre-fingerprint warm state,
 				// or reshaped block): fall back to walking the members.
 				for _, vid := range block {
-					name := s.g.Variable(vid).Name
-					if prev, ok := warm.VarAdj[name]; !ok || prev != curAdj[name] {
+					sym := s.g.Variable(vid).Sym
+					if prev, ok := warm.VarAdj[sym]; !ok || prev != curAdj[sym] {
 						clean = false
 						break
 					}
@@ -314,9 +317,9 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 		cutChanged = make([]bool, len(part.Cut))
 		for i, vid := range part.Cut {
 			cutBefore[i] = bp.VarBelief(vid)
-			name := s.g.Variable(vid).Name
-			prev, ok := warm.VarAdj[name]
-			cutChanged[i] = !ok || prev != curAdj[name]
+			sym := s.g.Variable(vid).Sym
+			prev, ok := warm.VarAdj[sym]
+			cutChanged[i] = !ok || prev != curAdj[sym]
 		}
 	}
 
@@ -347,7 +350,42 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 	res := s.finish(bp)
 	res.Delta = s.canonDelta(part, pr, bp, cutBefore, cutChanged, warm == nil)
 	st.DeltaTime = time.Since(tDelta)
-	out := bp.Export(sigs)
+	// Export the next build's warm state, carrying clean factors'
+	// messages over from the previous state by reference: a factor is
+	// provably untouched when its messages transplanted verbatim
+	// (Imported), its block never swept this run, and — if any boundary
+	// refresh ran — it neither is a cut factor nor touches a cut
+	// variable (the refresh rewrites cut factors' outgoing messages and
+	// cut variables' messages into every adjacent factor). With a steady
+	// stream this makes the export's copy cost O(dirty), not O(graph).
+	var cleanF []bool
+	if warm != nil {
+		refreshRan := len(part.Cut) > 0 && pr.BlocksRun > 0
+		cleanF = make([]bool, s.g.NumFactors())
+		for fid := range cleanF {
+			if !bp.Imported(fid) {
+				continue
+			}
+			ci := part.FactorBlock(fid)
+			if ci < 0 || pr.Blocks[ci].Sweeps > 0 {
+				continue
+			}
+			if refreshRan {
+				cutAdjacent := false
+				for _, vid := range s.g.Factor(fid).Vars {
+					if part.BlockOf[vid] < 0 {
+						cutAdjacent = true
+						break
+					}
+				}
+				if cutAdjacent {
+					continue
+				}
+			}
+			cleanF[fid] = true
+		}
+	}
+	out := bp.ExportReusing(sigs, curAdj, warm, cleanF)
 	out.BlockFP = curFP
 	if s.cfg.Segment.Enable {
 		// Persist the partition's identity so the next build repairs it
@@ -365,7 +403,7 @@ func (s *System) RunIncremental(warm *factorgraph.WarmState, workers int) (*Resu
 		// ran out get no baseline at all, forcing a re-run on the next
 		// build instead of freezing the beyond-tolerance error in.
 		final := part.BoundaryBeliefs(bp)
-		out.Boundary = make(map[string]map[string][]float64, len(final))
+		out.Boundary = make(map[int32]map[int32][]float64, len(final))
 		for ci := range part.Blocks {
 			if len(part.Boundary[ci]) == 0 {
 				continue

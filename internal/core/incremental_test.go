@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/datasets"
+	"repro/internal/factorgraph"
 	"repro/internal/signals"
 )
 
@@ -205,7 +206,9 @@ func TestSimCacheDoesNotChangeTheGraph(t *testing.T) {
 	}
 
 	want := noCache.Graph().Signatures()
-	for name, g := range map[string]interface{ Signatures() []string }{
+	for name, g := range map[string]interface {
+		Signatures() []factorgraph.SigKey
+	}{
 		"first cached build":  withCache.Graph(),
 		"second cached build": again.Graph(),
 	} {

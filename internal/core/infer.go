@@ -111,12 +111,13 @@ func (s *System) RunWithSchedule(labels *Labels, sched *factorgraph.Schedule) *R
 		s.g.Clamp(vid, state)
 	}
 
-	bp := factorgraph.NewBP(s.g)
+	bp := factorgraph.NewBPWithPool(s.g, s.cfg.Pool)
 	opt := s.cfg.BP
 	opt.Schedule = sched
 	bp.Run(opt)
 	s.stats.Sweeps = bp.Sweeps()
 	res := s.finish(bp)
+	bp.Release()
 	s.g.UnclampAll()
 	return res
 }

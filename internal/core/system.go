@@ -6,8 +6,19 @@ import (
 
 	"repro/internal/embedding"
 	"repro/internal/factorgraph"
+	"repro/internal/okb"
 	"repro/internal/signals"
 	"repro/internal/text"
+)
+
+// Derived-symbol kinds for the graph's variables (see
+// okb.SymbolTable.InternDerived): NP/RP pair variables and NP/RP
+// linking variables, built from phrase symbol ids.
+const (
+	symKindNPPair  = 'x'
+	symKindRPPair  = 'y'
+	symKindEntLink = 'e'
+	symKindRelLink = 'r'
 )
 
 // System is a constructed JOCL factor graph over one OKB + CKB pair,
@@ -16,6 +27,13 @@ type System struct {
 	res *signals.Resources
 	cfg Config
 	g   *factorgraph.Graph
+
+	// syms is the OKB's interning table; every variable the system adds
+	// carries a symbol id derived from it, so identities survive the
+	// per-ingest rebuilds of the streaming path.
+	syms   *okb.SymbolTable
+	npSyms []int32 // symbol id per NP surface (parallel to nps)
+	rpSyms []int32
 
 	nps []string
 	rps []string
@@ -76,6 +94,18 @@ func NewSystem(res *signals.Resources, cfg Config) (*System, error) {
 		nps: res.OKB.NPs(),
 		rps: res.OKB.RPs(),
 	}
+	s.syms = res.OKB.Symbols()
+	if s.syms == nil {
+		s.syms = okb.NewSymbolTable()
+	}
+	s.npSyms = make([]int32, len(s.nps))
+	for i, np := range s.nps {
+		s.npSyms[i] = s.syms.Intern(np)
+	}
+	s.rpSyms = make([]int32, len(s.rps))
+	for i, rp := range s.rps {
+		s.rpSyms[i] = s.syms.Intern(rp)
+	}
 	w := s.registerWeights()
 	if len(cfg.InitialWeights) > 0 {
 		for id := 0; id < len(s.g.Weights()); id++ {
@@ -127,23 +157,24 @@ func NewSystem(res *signals.Resources, cfg Config) (*System, error) {
 		s.stats.NPPairVars = len(s.npPairs)
 		s.stats.RPPairVars = len(s.rpPairs)
 
-		// Variable names embed the surface forms, not the phrase indexes:
-		// streaming rebuilds insert phrases into the sorted lists and
-		// shift every index, and the warm-start machinery (see
-		// RunIncremental) matches state across builds by name.
+		// Variable identities derive from the phrases' symbol ids, not
+		// the phrase indexes: streaming rebuilds insert phrases into the
+		// sorted lists and shift every index, and the warm-start
+		// machinery (see RunIncremental) matches state across builds by
+		// sym.
 		s.npPairVar = make([]int, len(s.npPairs))
 		for pi, pair := range s.npPairs {
-			v := s.g.AddVariable(pairVarName("x", s.nps[pair.I], s.nps[pair.J]), 2)
+			v := s.g.AddVariableSym(s.syms.InternDerived(symKindNPPair, s.npSyms[pair.I], s.npSyms[pair.J]), 2)
 			s.npPairVar[pi] = v
 			canonVars = append(canonVars, v)
-			canonF = append(canonF, s.addCanonFactor("F1", v, s.nps[pair.I], s.nps[pair.J], cfg.Features.NPCanon, w.npCanon, true))
+			canonF = append(canonF, s.addCanonFactor("F1", v, pair.I, pair.J, cfg.Features.NPCanon, w.npCanon, true))
 		}
 		s.rpPairVar = make([]int, len(s.rpPairs))
 		for pi, pair := range s.rpPairs {
-			v := s.g.AddVariable(pairVarName("y", s.rps[pair.I], s.rps[pair.J]), 2)
+			v := s.g.AddVariableSym(s.syms.InternDerived(symKindRPPair, s.rpSyms[pair.I], s.rpSyms[pair.J]), 2)
 			s.rpPairVar[pi] = v
 			canonVars = append(canonVars, v)
-			canonF = append(canonF, s.addCanonFactor("F2", v, s.rps[pair.I], s.rps[pair.J], cfg.Features.RPCanon, w.rpCanon, false))
+			canonF = append(canonF, s.addCanonFactor("F2", v, pair.I, pair.J, cfg.Features.RPCanon, w.rpCanon, false))
 		}
 		if cfg.EnableTransitive {
 			transF = append(transF, s.addTransitiveFactors("U1", s.npPairs, s.npPairVar, w.transNP)...)
@@ -155,20 +186,20 @@ func NewSystem(res *signals.Resources, cfg Config) (*System, error) {
 		s.npLinkVar = make([]int, len(s.nps))
 		for i, np := range s.nps {
 			ids := s.npCands[i]
-			v := s.g.AddVariable(fmt.Sprintf("e(%s)", np), 1+len(ids))
+			v := s.g.AddVariableSym(s.syms.InternDerived(symKindEntLink, s.npSyms[i], -1), 1+len(ids))
 			s.npLinkVar[i] = v
 			linkVars = append(linkVars, v)
-			linkF = append(linkF, s.addEntLinkFactor(v, np, ids, w))
+			linkF = append(linkF, s.addEntLinkFactor(v, np, s.npSyms[i], ids, w))
 		}
 		s.stats.NPLinkVars = len(s.nps)
 
 		s.rpLinkVar = make([]int, len(s.rps))
 		for i, rp := range s.rps {
 			ids := s.rpCands[i]
-			v := s.g.AddVariable(fmt.Sprintf("r(%s)", rp), 1+len(ids))
+			v := s.g.AddVariableSym(s.syms.InternDerived(symKindRelLink, s.rpSyms[i], -1), 1+len(ids))
 			s.rpLinkVar[i] = v
 			linkVars = append(linkVars, v)
-			linkF = append(linkF, s.addRelLinkFactor(v, rp, ids, w))
+			linkF = append(linkF, s.addRelLinkFactor(v, rp, s.rpSyms[i], ids, w))
 		}
 		s.stats.RPLinkVars = len(s.rps)
 
@@ -201,15 +232,6 @@ func NewSystem(res *signals.Resources, cfg Config) (*System, error) {
 		}
 	}
 	return s, nil
-}
-
-// pairVarName builds an unambiguous pair-variable name. Surface forms
-// are arbitrary strings (they arrive over HTTP in the serving path), so
-// they are length-prefixed: a separator character inside a phrase must
-// not make two different pairs collide, because these names key the
-// warm-start state across graph rebuilds.
-func pairVarName(kind, a, b string) string {
-	return fmt.Sprintf("%s(%d|%d|%s%s)", kind, len(a), len(b), a, b)
 }
 
 func (s *System) registerWeights() *weights {
@@ -362,14 +384,16 @@ func (s *System) blockPairs(phrases []string, idf *text.IDFTable, cands [][]stri
 }
 
 // canonSim evaluates one canonicalization feature for a phrase pair,
-// consulting the construction cache when one is configured.
-func (s *System) canonSim(feat, a, b string, np bool) float64 {
+// consulting the construction cache when one is configured. sa and sb
+// are the phrases' symbol ids — the cache keys on them, so a hit costs
+// no string hashing or key building.
+func (s *System) canonSim(feat, a, b string, sa, sb int32, np bool) float64 {
 	if c := s.cfg.Cache; c != nil {
 		kind := byte('R')
 		if np {
 			kind = 'N'
 		}
-		key := simKey(kind, feat, a, b)
+		key := simKey{kind: kind, feat: feat, a: sa, b: sb}
 		if v, ok := c.get(key); ok {
 			return v
 		}
@@ -402,37 +426,40 @@ func (s *System) canonSimUncached(feat, a, b string, np bool) float64 {
 }
 
 // addCanonFactor adds an F1/F2/F3-style factor over one binary
-// canonicalization variable. Feature k takes value sim_k when the
-// variable is 1 and 1-sim_k when it is 0, per the paper's f definitions.
-func (s *System) addCanonFactor(name string, v int, a, b string, feats []string, wids []int, np bool) int {
-	sims := make([]float64, len(feats))
+// canonicalization variable for the pair (i, j) of the NP or RP phrase
+// list. Feature k takes value sim_k when the variable is 1 and 1-sim_k
+// when it is 0, per the paper's f definitions.
+func (s *System) addCanonFactor(name string, v, i, j int, feats []string, wids []int, np bool) int {
+	var a, b string
+	var sa, sb int32
+	if np {
+		a, b, sa, sb = s.nps[i], s.nps[j], s.npSyms[i], s.npSyms[j]
+	} else {
+		a, b, sa, sb = s.rps[i], s.rps[j], s.rpSyms[i], s.rpSyms[j]
+	}
+	rows := [2][]float64{make([]float64, len(feats)), make([]float64, len(feats))}
 	for k, f := range feats {
-		sims[k] = s.canonSim(f, a, b, np)
+		sim := s.canonSim(f, a, b, sa, sb, np)
+		rows[0][k] = 1 - sim
+		rows[1][k] = sim
 	}
 	return s.g.AddFactor(name, []int{v}, wids, func(states []int) []float64 {
-		out := make([]float64, len(sims))
-		for k, sim := range sims {
-			if states[0] == 1 {
-				out[k] = sim
-			} else {
-				out[k] = 1 - sim
-			}
-		}
-		return out
+		return rows[states[0]]
 	})
 }
 
 // addEntLinkFactor adds an F4/F6-style factor over one entity-linking
 // variable: per candidate state the enabled linking features, plus the
 // NIL-bias feature that fires only in state 0.
-func (s *System) addEntLinkFactor(v int, np string, cands []string, w *weights) int {
+func (s *System) addEntLinkFactor(v int, np string, npSym int32, cands []string, w *weights) int {
 	feats := s.cfg.Features.EntLink
 	table := make([][]float64, 1+len(cands))
 	table[0] = make([]float64, len(feats)+1)
 	for ci, eid := range cands {
+		eidSym := s.syms.Intern(eid)
 		row := make([]float64, len(feats)+1)
 		for k, f := range feats {
-			row[k] = s.entLinkSim(f, np, eid)
+			row[k] = s.entLinkSim(f, np, eid, npSym, eidSym)
 		}
 		table[1+ci] = row
 	}
@@ -469,14 +496,15 @@ func nilEvidence(candRows [][]float64, nFeats int) float64 {
 
 // addRelLinkFactor adds the F5-style factor for one relation-linking
 // variable.
-func (s *System) addRelLinkFactor(v int, rp string, cands []string, w *weights) int {
+func (s *System) addRelLinkFactor(v int, rp string, rpSym int32, cands []string, w *weights) int {
 	feats := s.cfg.Features.RelLink
 	table := make([][]float64, 1+len(cands))
 	table[0] = make([]float64, len(feats)+1)
 	for ci, rid := range cands {
+		ridSym := s.syms.Intern(rid)
 		row := make([]float64, len(feats)+1)
 		for k, f := range feats {
-			row[k] = s.relLinkSim(f, rp, rid)
+			row[k] = s.relLinkSim(f, rp, rid, rpSym, ridSym)
 		}
 		table[1+ci] = row
 	}
@@ -505,6 +533,9 @@ func (s *System) addTransitiveFactors(name string, pairs []signals.Pair, pairVar
 		return pi, ok
 	}
 	high, mid, low := s.cfg.TransHigh, s.cfg.TransMid, s.cfg.TransLow
+	// The rows are constants of the call: share one set across every
+	// triangle factor instead of allocating a fresh slice per assignment.
+	highRow, midRow, lowRow := []float64{high}, []float64{mid}, []float64{low}
 	var out []int
 	for pi, p := range pairs {
 		if len(out) >= s.cfg.MaxTriangles {
@@ -526,11 +557,11 @@ func (s *System) addTransitiveFactors(name string, pairs []signals.Pair, pairVar
 				ones := states[0] + states[1] + states[2]
 				switch ones {
 				case 3:
-					return []float64{high}
+					return highRow
 				case 2:
-					return []float64{low}
+					return lowRow
 				default:
-					return []float64{mid}
+					return midRow
 				}
 			}))
 			if len(out) >= s.cfg.MaxTriangles {
@@ -553,6 +584,7 @@ func (s *System) addFactInclusionFactors(wid int) []int {
 		rpIdx[rp] = i
 	}
 	high, low := s.cfg.FactHigh, s.cfg.FactLow
+	highRow, lowRow := []float64{high}, []float64{low}
 	var out []int
 	for ti := 0; ti < s.res.OKB.Len(); ti++ {
 		t := s.res.OKB.Triple(ti)
@@ -564,12 +596,12 @@ func (s *System) addFactInclusionFactors(wid int) []int {
 		vars := []int{s.npLinkVar[si], s.rpLinkVar[pi], s.npLinkVar[oi]}
 		out = append(out, s.g.AddFactor("U4", vars, []int{wid}, func(states []int) []float64 {
 			if states[0] == 0 || states[1] == 0 || states[2] == 0 {
-				return []float64{low}
+				return lowRow
 			}
 			if s.res.CKB.HasFact(subjCands[states[0]-1], relCands[states[1]-1], objCands[states[2]-1]) {
-				return []float64{high}
+				return highRow
 			}
-			return []float64{low}
+			return lowRow
 		}))
 	}
 	return out
@@ -592,24 +624,26 @@ func (s *System) addConsistencyFactors(name string, pairs []signals.Pair, pairVa
 	mid := (high + low) / 2
 	var cands [][]string
 	var phrases []string
+	var syms []int32
 	var feats []string
 	np := name == "U5"
 	if np {
-		cands, phrases, feats = s.npCands, s.nps, s.cfg.Features.NPCanon
+		cands, phrases, syms, feats = s.npCands, s.nps, s.npSyms, s.cfg.Features.NPCanon
 	} else {
-		cands, phrases, feats = s.rpCands, s.rps, s.cfg.Features.RPCanon
+		cands, phrases, syms, feats = s.rpCands, s.rps, s.rpSyms, s.cfg.Features.RPCanon
 	}
+	midRow := []float64{mid}
 	var out []int
 	for pi, p := range pairs {
 		gate := 0.0
 		if len(feats) > 0 {
 			for _, f := range feats {
-				gate += s.canonSim(f, phrases[p.I], phrases[p.J], np)
+				gate += s.canonSim(f, phrases[p.I], phrases[p.J], syms[p.I], syms[p.J], np)
 			}
 			gate /= float64(len(feats))
 		}
-		gHigh := mid + gate*(high-mid)
-		gLow := mid + gate*(low-mid)
+		gHighRow := []float64{mid + gate*(high-mid)}
+		gLowRow := []float64{mid + gate*(low-mid)}
 		ca, cb := cands[p.I], cands[p.J]
 		vars := []int{linkVar[p.I], linkVar[p.J], pairVar[pi]}
 		out = append(out, s.g.AddFactor(name, vars, []int{wid}, func(states []int) []float64 {
@@ -622,18 +656,18 @@ func (s *System) addConsistencyFactors(name string, pairs []signals.Pair, pairVa
 				// phrases would be pushed to adopt the same wrong
 				// candidate just to satisfy consistency.
 				if states[2] == 1 {
-					return []float64{gHigh}
+					return gHighRow
 				}
-				return []float64{mid}
+				return midRow
 			case states[0] == 0 || states[1] == 0:
-				return []float64{mid}
+				return midRow
 			}
 			same := ca[states[0]-1] == cb[states[1]-1]
 			consistent := (same && states[2] == 1) || (!same && states[2] == 0)
 			if consistent {
-				return []float64{gHigh}
+				return gHighRow
 			}
-			return []float64{gLow}
+			return gLowRow
 		}))
 	}
 	return out

@@ -30,88 +30,117 @@ func (o *RunOptions) defaults() {
 	}
 }
 
+// Stack-scratch bounds for the message-update hot loops. Factors wider
+// than stackArity variables or states beyond stackCard fall back to a
+// heap buffer; every factor family the JOCL system builds (arity <= 3,
+// card <= candidates+1) fits comfortably.
+const (
+	stackArity = 8
+	stackCard  = 16
+)
+
 // BP holds message state for loopy belief propagation over a finalized
 // graph. Create with NewBP; reusable across runs (Reset re-initializes
 // messages, Run iterates to convergence).
+//
+// All message and belief state lives in one flat float64 slab indexed
+// by the geometry Finalize computed (Factor.off/posOff, Graph.varOff),
+// so a steady-state ingest that recycles slabs through a BufferPool
+// performs O(1) buffer allocations per graph instead of O(factors).
 type BP struct {
 	g *Graph
-	// msgFV[f][i][s]: message from factor f to the i-th of its
-	// variables, for state s. msgVF is the reverse direction.
-	msgFV [][][]float64
-	msgVF [][][]float64
+	// slab = msgFV | msgVF | prevBelief. msgFV[msgBase(f,i)+s] is the
+	// message from factor f to its i-th variable for state s; msgVF is
+	// the reverse direction; prevBelief[varOff[v]+s] is the belief
+	// snapshot convergence is measured against.
+	slab       []float64
+	msgFV      []float64
+	msgVF      []float64
+	prevBelief []float64
 
-	// varPos[f][i] caches, for factor f's i-th variable, that factor's
-	// position within the variable's adjacency list (unused today but
-	// kept symmetric); posInFactor[v] maps factor id -> position of v.
-	posInFactor []map[int]int
+	// imported[f] records that factor f's messages were seeded from a
+	// WarmState (Import matched its signature). Export uses it to
+	// decide which factors' messages can be carried over by reference.
+	imported []bool
 
-	prevBelief [][]float64
-	sweepsRun  int
+	pool      *BufferPool
+	sweepsRun int
 }
 
 // NewBP allocates message state for g, which must be finalized.
-func NewBP(g *Graph) *BP {
+func NewBP(g *Graph) *BP { return NewBPWithPool(g, nil) }
+
+// NewBPWithPool allocates message state for g, drawing the message slab
+// from pool when non-nil. Call Release when done with the BP to return
+// the slab; the exported WarmState never aliases it.
+func NewBPWithPool(g *Graph, pool *BufferPool) *BP {
 	if !g.finalized {
 		panic("factorgraph: NewBP before Finalize")
 	}
-	bp := &BP{g: g}
-	bp.msgFV = make([][][]float64, len(g.factors))
-	bp.msgVF = make([][][]float64, len(g.factors))
-	for fi, f := range g.factors {
-		bp.msgFV[fi] = make([][]float64, len(f.Vars))
-		bp.msgVF[fi] = make([][]float64, len(f.Vars))
-		for i, vid := range f.Vars {
-			card := g.vars[vid].Card
-			bp.msgFV[fi][i] = make([]float64, card)
-			bp.msgVF[fi][i] = make([]float64, card)
-		}
+	need := 2*g.msgSlots + int(g.varOff[len(g.vars)])
+	var slab []float64
+	if pool != nil {
+		slab = pool.get(need)
+	} else {
+		slab = make([]float64, need)
 	}
-	bp.posInFactor = make([]map[int]int, len(g.vars))
-	for _, v := range g.vars {
-		bp.posInFactor[v.id] = make(map[int]int, len(v.factors))
+	bp := &BP{g: g, slab: slab, pool: pool}
+	bp.msgFV = slab[:g.msgSlots:g.msgSlots]
+	bp.msgVF = slab[g.msgSlots : 2*g.msgSlots : 2*g.msgSlots]
+	bp.prevBelief = slab[2*g.msgSlots:need:need]
+	for i := range bp.prevBelief {
+		bp.prevBelief[i] = 0
 	}
-	for _, f := range g.factors {
-		for i, vid := range f.Vars {
-			bp.posInFactor[vid][f.id] = i
-		}
-	}
-	bp.prevBelief = make([][]float64, len(g.vars))
-	for _, v := range g.vars {
-		bp.prevBelief[v.id] = make([]float64, v.Card)
-	}
+	bp.imported = make([]bool, len(g.factors))
 	bp.Reset()
 	return bp
+}
+
+// Release returns the BP's slab to its pool (a no-op for unpooled BPs)
+// and drops the buffers. The BP must not be used afterwards.
+func (bp *BP) Release() {
+	if bp.pool != nil && bp.slab != nil {
+		bp.pool.put(bp.slab)
+	}
+	bp.slab, bp.msgFV, bp.msgVF, bp.prevBelief = nil, nil, nil, nil
 }
 
 // Reset re-initializes all messages to uniform (respecting clamps on
 // the variable-to-factor side).
 func (bp *BP) Reset() {
-	for fi, f := range bp.g.factors {
+	for _, f := range bp.g.factors {
 		for i, vid := range f.Vars {
-			card := bp.g.vars[vid].Card
+			card := f.cards[i]
+			base := msgBase(f, i)
+			u := 1.0 / float64(card)
 			for s := 0; s < card; s++ {
-				bp.msgFV[fi][i][s] = 1.0 / float64(card)
+				bp.msgFV[base+s] = u
 			}
-			bp.setVFMessage(fi, i, vid)
+			bp.setVFMessage(f, i, vid)
 		}
+	}
+	for i := range bp.imported {
+		bp.imported[i] = false
 	}
 	bp.sweepsRun = 0
 }
 
 // setVFMessage initializes/refreshes msgVF for a clamped or uniform
 // start state.
-func (bp *BP) setVFMessage(fi, i, vid int) {
+func (bp *BP) setVFMessage(f *Factor, i, vid int) {
 	v := bp.g.vars[vid]
-	msg := bp.msgVF[fi][i]
+	base := msgBase(f, i)
+	card := f.cards[i]
 	if v.clamp >= 0 {
-		for s := range msg {
-			msg[s] = 0
+		for s := 0; s < card; s++ {
+			bp.msgVF[base+s] = 0
 		}
-		msg[v.clamp] = 1
+		bp.msgVF[base+v.clamp] = 1
 		return
 	}
-	for s := range msg {
-		msg[s] = 1.0 / float64(len(msg))
+	u := 1.0 / float64(card)
+	for s := 0; s < card; s++ {
+		bp.msgVF[base+s] = u
 	}
 }
 
@@ -159,26 +188,44 @@ func (bp *BP) Run(opt RunOptions) bool {
 // updateFactorMessages recomputes the messages from factor fid to each
 // of its variables: m_{a->i}(x_i) = sum over the factor's assignments
 // consistent with x_i of pot * prod of incoming messages from the
-// other variables.
+// other variables. Safe to call concurrently for factors whose message
+// blocks (and incoming variables' blocks) are disjoint — the partition
+// runner relies on this.
 func (bp *BP) updateFactorMessages(fid int, damping float64) {
 	f := bp.g.factors[fid]
 	n := len(f.Vars)
-	states := make([]int, n)
+	var stStack [stackArity]int
+	var outStack [stackCard]float64
+	states := stStack[:n:n]
+	if n > stackArity {
+		states = make([]int, n)
+	}
 	for i := range f.Vars {
-		out := make([]float64, f.cards[i])
+		card := f.cards[i]
+		out := outStack[:card:card]
+		if card > stackCard {
+			out = make([]float64, card)
+		}
+		for s := range out {
+			out[s] = 0
+		}
+		for s := range states {
+			states[s] = 0
+		}
 		for a := range f.pot {
-			f.assignment(a, states)
 			p := f.pot[a]
 			for j := 0; j < n; j++ {
 				if j == i {
 					continue
 				}
-				p *= bp.msgVF[fid][j][states[j]]
+				p *= bp.msgVF[int(f.off+f.posOff[j])+states[j]]
 			}
 			out[states[i]] += p
+			nextAssignment(states, f.cards)
 		}
 		normalize(out)
-		old := bp.msgFV[fid][i]
+		base := msgBase(f, i)
+		old := bp.msgFV[base : base+card]
 		if damping > 0 {
 			for s := range out {
 				out[s] = damping*old[s] + (1-damping)*out[s]
@@ -194,9 +241,11 @@ func (bp *BP) updateFactorMessages(fid int, damping float64) {
 // (times the clamp indicator when observed).
 func (bp *BP) updateVariableMessages(vid int) {
 	v := bp.g.vars[vid]
-	for _, fid := range v.factors {
-		i := bp.posInFactor[vid][fid]
-		msg := bp.msgVF[fid][i]
+	g := bp.g
+	for ai, fid := range v.factors {
+		f := g.factors[fid]
+		base := int(f.off + f.posOff[v.pos[ai]])
+		msg := bp.msgVF[base : base+v.Card]
 		if v.clamp >= 0 {
 			for s := range msg {
 				msg[s] = 0
@@ -206,11 +255,12 @@ func (bp *BP) updateVariableMessages(vid int) {
 		}
 		for s := 0; s < v.Card; s++ {
 			p := 1.0
-			for _, ofid := range v.factors {
+			for aj, ofid := range v.factors {
 				if ofid == fid {
 					continue
 				}
-				p *= bp.msgFV[ofid][bp.posInFactor[vid][ofid]][s]
+				of := g.factors[ofid]
+				p *= bp.msgFV[int(of.off+of.posOff[v.pos[aj]])+s]
 			}
 			msg[s] = p
 		}
@@ -221,21 +271,37 @@ func (bp *BP) updateVariableMessages(vid int) {
 // VarBelief returns the (approximate) marginal distribution of a
 // variable under the current messages.
 func (bp *BP) VarBelief(vid int) []float64 {
+	return bp.varBeliefInto(vid, make([]float64, bp.g.vars[vid].Card))
+}
+
+// varBeliefInto computes the marginal of vid into b (len >= Card) and
+// returns b[:Card]. The non-allocating core of VarBelief.
+func (bp *BP) varBeliefInto(vid int, b []float64) []float64 {
 	v := bp.g.vars[vid]
-	b := make([]float64, v.Card)
+	b = b[:v.Card]
 	if v.clamp >= 0 {
+		for s := range b {
+			b[s] = 0
+		}
 		b[v.clamp] = 1
 		return b
 	}
+	g := bp.g
 	for s := 0; s < v.Card; s++ {
 		p := 1.0
-		for _, fid := range v.factors {
-			p *= bp.msgFV[fid][bp.posInFactor[vid][fid]][s]
+		for ai, fid := range v.factors {
+			f := g.factors[fid]
+			p *= bp.msgFV[int(f.off+f.posOff[v.pos[ai]])+s]
 		}
 		b[s] = p
 	}
 	normalize(b)
 	return b
+}
+
+// prevVar returns variable vid's block of the prevBelief snapshot.
+func (bp *BP) prevVar(vid int) []float64 {
+	return bp.prevBelief[bp.g.varOff[vid]:bp.g.varOff[vid+1]]
 }
 
 // FactorBelief returns the (approximate) joint distribution over a
@@ -247,12 +313,12 @@ func (bp *BP) FactorBelief(fid int) []float64 {
 	states := make([]int, n)
 	b := make([]float64, len(f.pot))
 	for a := range f.pot {
-		f.assignment(a, states)
 		p := f.pot[a]
 		for j := 0; j < n; j++ {
-			p *= bp.msgVF[fid][j][states[j]]
+			p *= bp.msgVF[int(f.off+f.posOff[j])+states[j]]
 		}
 		b[a] = p
+		nextAssignment(states, f.cards)
 	}
 	normalize(b)
 	return b
@@ -261,8 +327,9 @@ func (bp *BP) FactorBelief(fid int) []float64 {
 // Decode returns the max-marginal state of every variable.
 func (bp *BP) Decode() []int {
 	out := make([]int, len(bp.g.vars))
+	var buf [stackCard]float64
 	for _, v := range bp.g.vars {
-		b := bp.VarBelief(v.id)
+		b := bp.varBeliefInto(v.id, beliefScratch(buf[:], v.Card))
 		best, arg := -1.0, 0
 		for s, p := range b {
 			if p > best {
@@ -274,18 +341,31 @@ func (bp *BP) Decode() []int {
 	return out
 }
 
+// beliefScratch returns a belief buffer of the given cardinality,
+// preferring the caller's stack array.
+func beliefScratch(stack []float64, card int) []float64 {
+	if card <= len(stack) {
+		return stack[:card]
+	}
+	return make([]float64, card)
+}
+
 func (bp *BP) snapshotBeliefs() {
+	var buf [stackCard]float64
 	for _, v := range bp.g.vars {
-		copy(bp.prevBelief[v.id], bp.VarBelief(v.id))
+		b := bp.varBeliefInto(v.id, beliefScratch(buf[:], v.Card))
+		copy(bp.prevVar(v.id), b)
 	}
 }
 
 func (bp *BP) beliefDelta() float64 {
 	max := 0.0
+	var buf [stackCard]float64
 	for _, v := range bp.g.vars {
-		b := bp.VarBelief(v.id)
+		b := bp.varBeliefInto(v.id, beliefScratch(buf[:], v.Card))
+		prev := bp.prevVar(v.id)
 		for s, p := range b {
-			d := math.Abs(p - bp.prevBelief[v.id][s])
+			d := math.Abs(p - prev[s])
 			if d > max {
 				max = d
 			}

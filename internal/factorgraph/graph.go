@@ -9,10 +9,21 @@ import (
 type Variable struct {
 	Name string
 	Card int
+	// Sym is the variable's stable external identity: an okb symbol id
+	// for graphs built over an interned store. Warm state, partitions
+	// and deltas are keyed on Sym, so a variable keeps its identity
+	// across per-ingest graph rebuilds even though its dense id (and
+	// the surrounding graph) changes. Graphs built with AddVariable get
+	// Sym = id.
+	Sym int32
 
 	id      int
 	factors []int // factor ids touching this variable
-	clamp   int   // observed/clamped state, or -1
+	// pos[i] is this variable's position within factor factors[i] (its
+	// index in that factor's Vars). Parallel to factors; precomputed at
+	// AddFactor time so message passing never consults a map.
+	pos   []int32
+	clamp int // observed/clamped state, or -1
 }
 
 // ID returns the variable's id in its graph.
@@ -38,11 +49,21 @@ type Factor struct {
 
 	id    int
 	cards []int // cached cardinalities of Vars
-	// feats[a][k]: feature k of assignment index a (mixed-radix over
-	// Vars). Precomputed once; features never change, only weights do.
-	feats [][]float64
+	// feats holds feature k of assignment a (mixed-radix over Vars) at
+	// feats[a*nf+k]. Precomputed once; features never change, only
+	// weights do.
+	feats []float64
+	nf    int
 	// pot[a]: exp potential of assignment a for the current weights.
 	pot []float64
+
+	// Message-buffer layout, filled in by Finalize: the factor's
+	// messages live in a flat per-graph array at [off, off+totCard),
+	// with position i's block starting at off+posOff[i] and spanning
+	// cards[i] slots.
+	off     int32
+	posOff  []int32
+	totCard int32
 }
 
 // ID returns the factor's id in its graph.
@@ -50,6 +71,9 @@ func (f *Factor) ID() int { return f.id }
 
 // NumAssignments returns the number of joint assignments of the factor.
 func (f *Factor) NumAssignments() int { return len(f.pot) }
+
+// featAt returns feature k of assignment a.
+func (f *Factor) featAt(a, k int) float64 { return f.feats[a*f.nf+k] }
 
 // assignment decodes index a into the per-variable states buffer.
 func (f *Factor) assignment(a int, states []int) {
@@ -69,6 +93,19 @@ func (f *Factor) index(states []int) int {
 	return a
 }
 
+// nextAssignment advances states to the next mixed-radix assignment
+// (little-endian, matching assignment's decode order) without the per
+// position div/mod a full decode pays.
+func nextAssignment(states, cards []int) {
+	for i := 0; i < len(cards); i++ {
+		states[i]++
+		if states[i] < cards[i] {
+			return
+		}
+		states[i] = 0
+	}
+}
+
 // Graph is a factor graph under construction or inference. Build the
 // structure with AddVariable / AddWeight / AddFactor, then call
 // Finalize once before running inference.
@@ -79,6 +116,14 @@ type Graph struct {
 	weights     []float64
 	weightNames []string
 
+	// Flat message-buffer geometry, computed by Finalize. msgSlots is
+	// the total factor->variable (equivalently variable->factor)
+	// message slots across all factor positions; varOff[v]..varOff[v+1]
+	// is variable v's belief block; maxCard bounds stack scratch.
+	msgSlots int
+	varOff   []int32
+	maxCard  int
+
 	finalized bool
 }
 
@@ -86,12 +131,21 @@ type Graph struct {
 func New() *Graph { return &Graph{} }
 
 // AddVariable adds a latent variable with the given state count and
-// returns its id.
+// returns its id. The variable's Sym defaults to its id; use
+// AddVariableSym when the variable has a stable cross-graph identity.
 func (g *Graph) AddVariable(name string, card int) int {
+	id := g.AddVariableSym(int32(len(g.vars)), card)
+	g.vars[id].Name = name
+	return id
+}
+
+// AddVariableSym adds a latent variable carrying the given symbol id as
+// its stable identity and returns its graph-local id.
+func (g *Graph) AddVariableSym(sym int32, card int) int {
 	if card < 1 {
-		panic(fmt.Sprintf("factorgraph: variable %q needs card >= 1, got %d", name, card))
+		panic(fmt.Sprintf("factorgraph: variable sym %d needs card >= 1, got %d", sym, card))
 	}
-	v := &Variable{Name: name, Card: card, id: len(g.vars), clamp: -1}
+	v := &Variable{Sym: sym, Card: card, id: len(g.vars), clamp: -1}
 	g.vars = append(g.vars, v)
 	return v.id
 }
@@ -121,30 +175,62 @@ func (g *Graph) AddFactor(name string, vars []int, weightIDs []int, feat Feature
 		f.cards[i] = g.vars[vid].Card
 		n *= f.cards[i]
 	}
-	f.feats = make([][]float64, n)
+	f.nf = len(weightIDs)
+	f.feats = make([]float64, n*f.nf)
 	f.pot = make([]float64, n)
 	states := make([]int, len(vars))
 	for a := 0; a < n; a++ {
-		f.assignment(a, states)
 		fv := feat(states)
 		if len(fv) != len(weightIDs) {
 			panic(fmt.Sprintf("factorgraph: factor %q: %d features for %d weights", name, len(fv), len(weightIDs)))
 		}
-		f.feats[a] = append([]float64(nil), fv...)
+		copy(f.feats[a*f.nf:(a+1)*f.nf], fv)
+		nextAssignment(states, f.cards)
 	}
 	g.factors = append(g.factors, f)
-	for _, vid := range vars {
-		g.vars[vid].factors = append(g.vars[vid].factors, f.id)
+	for i, vid := range vars {
+		v := g.vars[vid]
+		v.factors = append(v.factors, f.id)
+		v.pos = append(v.pos, int32(i))
 	}
 	return f.id
 }
 
-// Finalize freezes the structure and computes initial potentials. It
-// must be called once, after all variables and factors are added.
+// Finalize freezes the structure, lays out the flat message-buffer
+// geometry, and computes initial potentials. It must be called once,
+// after all variables and factors are added.
 func (g *Graph) Finalize() {
+	off := int32(0)
+	for _, f := range g.factors {
+		f.off = off
+		f.posOff = make([]int32, len(f.Vars))
+		o := int32(0)
+		for i, c := range f.cards {
+			f.posOff[i] = o
+			o += int32(c)
+		}
+		f.totCard = o
+		off += o
+	}
+	g.msgSlots = int(off)
+	g.varOff = make([]int32, len(g.vars)+1)
+	g.maxCard = 0
+	bo := int32(0)
+	for i, v := range g.vars {
+		g.varOff[i] = bo
+		bo += int32(v.Card)
+		if v.Card > g.maxCard {
+			g.maxCard = v.Card
+		}
+	}
+	g.varOff[len(g.vars)] = bo
 	g.finalized = true
 	g.RefreshPotentials()
 }
+
+// msgBase returns the offset of factor f's position-i message block in
+// the graph's flat message arrays.
+func msgBase(f *Factor, i int) int { return int(f.off + f.posOff[i]) }
 
 // RefreshPotentials recomputes every factor's potential table from the
 // current weights. Call after changing weights.
@@ -152,8 +238,9 @@ func (g *Graph) RefreshPotentials() {
 	for _, f := range g.factors {
 		for a := range f.pot {
 			s := 0.0
+			base := a * f.nf
 			for k, wid := range f.WeightIDs {
-				s += g.weights[wid] * f.feats[a][k]
+				s += g.weights[wid] * f.feats[base+k]
 			}
 			f.pot[a] = math.Exp(s)
 		}
@@ -188,7 +275,7 @@ func (g *Graph) SetWeight(id int, v float64) { g.weights[id] = v }
 func (g *Graph) Clamp(varID, state int) {
 	v := g.vars[varID]
 	if state >= v.Card {
-		panic(fmt.Sprintf("factorgraph: clamp %q to %d, card %d", v.Name, state, v.Card))
+		panic(fmt.Sprintf("factorgraph: clamp var %d (sym %d) to %d, card %d", varID, v.Sym, state, v.Card))
 	}
 	v.clamp = state
 }

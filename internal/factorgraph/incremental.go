@@ -1,11 +1,8 @@
 package factorgraph
 
 import (
-	"fmt"
-	"hash/fnv"
 	"math"
-	"sort"
-	"strings"
+	"slices"
 )
 
 // This file is the factor-graph half of the streaming subsystem: it
@@ -23,6 +20,12 @@ import (
 // sweeps over disjoint blocks commute — scoped runs on disjoint
 // blocks may safely share one BP's message buffers, serially or in
 // parallel, and produce bitwise-identical messages either way.
+//
+// Identity across builds is numeric end to end: variables carry okb
+// symbol ids (Variable.Sym), factors are identified by SigKey (a
+// 64-bit FNV over the factor's family name, its variables' (sym, card)
+// pairs and its potential bits, plus a duplicate counter), and all
+// warm state is keyed on those. No per-ingest string building.
 
 // RunScoped iterates scheduled message passing confined to one scope
 // (vars + factors) until the scope's beliefs change by less than
@@ -47,8 +50,10 @@ func (bp *BP) RunScoped(opt RunOptions, vars, factors []int) (bool, int) {
 // sub-schedule per block and reuse it across sweeps and ingests.
 func (bp *BP) runScopedScheduled(opt RunOptions, vars []int, sub *Schedule) (bool, int) {
 	opt.defaults()
+	var buf [stackCard]float64
 	for _, vid := range vars {
-		copy(bp.prevBelief[vid], bp.VarBelief(vid))
+		b := bp.varBeliefInto(vid, beliefScratch(buf[:], bp.g.vars[vid].Card))
+		copy(bp.prevVar(vid), b)
 	}
 	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
 		for _, group := range sub.FactorGroups {
@@ -63,13 +68,14 @@ func (bp *BP) runScopedScheduled(opt RunOptions, vars []int, sub *Schedule) (boo
 		}
 		delta := 0.0
 		for _, vid := range vars {
-			b := bp.VarBelief(vid)
+			b := bp.varBeliefInto(vid, beliefScratch(buf[:], bp.g.vars[vid].Card))
+			prev := bp.prevVar(vid)
 			for s, p := range b {
-				if d := math.Abs(p - bp.prevBelief[vid][s]); d > delta {
+				if d := math.Abs(p - prev[s]); d > delta {
 					delta = d
 				}
 			}
-			copy(bp.prevBelief[vid], b)
+			copy(prev, b)
 		}
 		if delta < opt.Tolerance {
 			return true, sweep + 1
@@ -78,66 +84,81 @@ func (bp *BP) runScopedScheduled(opt RunOptions, vars []int, sub *Schedule) (boo
 	return false, opt.MaxSweeps
 }
 
-// Signatures returns a stable identity string for every factor: its
-// name, the names and cardinalities of its variables, and a hash of its
-// current potential table, with a disambiguating counter appended to
-// duplicates (e.g. two fact-inclusion factors of a repeated triple).
-// Two factors from different graph builds with equal signatures are
-// interchangeable for inference, which is what lets message state
-// survive a rebuild: variable ids may shift as phrases are inserted,
-// but signatures follow the phrase-derived names.
-//
-// Potentials depend on the graph's weights, so signatures must be taken
-// after Finalize/RefreshPotentials with the weights that inference will
-// use.
-func (g *Graph) Signatures() []string {
-	out := make([]string, len(g.factors))
-	seen := map[string]int{}
-	var b strings.Builder
+// SigKey is the stable identity of a factor across graph builds: a
+// 64-bit FNV-1a hash over the factor's name, its variables' (sym,
+// card) pairs in position order, and its potential table's bits, plus
+// a counter disambiguating byte-identical duplicates (e.g. two
+// fact-inclusion factors of a repeated triple). Two factors from
+// different builds with equal keys are interchangeable for inference,
+// which is what lets message state survive a rebuild.
+type SigKey struct {
+	H   uint64
+	Dup int32
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a hash, byte by byte in
+// little-endian order.
+func fnvMix(h, v uint64) uint64 {
+	for k := 0; k < 64; k += 8 {
+		h = (h ^ ((v >> k) & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// sigHash condenses a SigKey to a single word for adjacency hashing.
+func sigHash(k SigKey) uint64 { return fnvMix(k.H, uint64(uint32(k.Dup))) }
+
+// Signatures returns the SigKey of every factor. Potentials depend on
+// the graph's weights, so signatures must be taken after
+// Finalize/RefreshPotentials with the weights that inference will use.
+func (g *Graph) Signatures() []SigKey {
+	out := make([]SigKey, len(g.factors))
+	seen := make(map[uint64]int32, len(g.factors))
 	for fi, f := range g.factors {
-		b.Reset()
-		b.WriteString(f.Name)
+		h := uint64(fnvOffset64)
+		for i := 0; i < len(f.Name); i++ {
+			h = (h ^ uint64(f.Name[i])) * fnvPrime64
+		}
 		for _, vid := range f.Vars {
 			v := g.vars[vid]
-			fmt.Fprintf(&b, "|%s/%d", v.Name, v.Card)
+			h = fnvMix(h, uint64(uint32(v.Sym)))
+			h = fnvMix(h, uint64(v.Card))
 		}
-		h := fnv.New64a()
-		var buf [8]byte
 		for _, p := range f.pot {
-			bits := math.Float64bits(p)
-			for k := 0; k < 8; k++ {
-				buf[k] = byte(bits >> (8 * k))
-			}
-			h.Write(buf[:])
+			h = fnvMix(h, math.Float64bits(p))
 		}
-		fmt.Fprintf(&b, "|%016x", h.Sum64())
-		sig := b.String()
-		if n := seen[sig]; n > 0 {
-			seen[sig] = n + 1
-			sig = fmt.Sprintf("%s#%d", sig, n)
-		} else {
-			seen[sig] = 1
-		}
-		out[fi] = sig
+		dup := seen[h]
+		seen[h] = dup + 1
+		out[fi] = SigKey{H: h, Dup: dup}
 	}
 	return out
 }
 
-// VarAdjacency returns, per variable name, the sorted concatenation of
-// the signatures of its adjacent factors. Equal adjacency strings
-// across two builds mean the variable sits in an identical subgraph
+// VarAdjacency returns, per variable sym, a hash of the sorted
+// signatures of its adjacent factors. Equal adjacency hashes across
+// two builds mean the variable sits in an identical subgraph
 // neighborhood; when that holds for every variable of a component, the
 // component's BP fixed point is unchanged and its cached messages can
 // be served as-is.
-func VarAdjacency(g *Graph, sigs []string) map[string]string {
-	out := make(map[string]string, len(g.vars))
+func VarAdjacency(g *Graph, sigs []SigKey) map[int32]uint64 {
+	out := make(map[int32]uint64, len(g.vars))
+	scratch := make([]uint64, 0, 32)
 	for _, v := range g.vars {
-		adj := make([]string, len(v.factors))
-		for i, fid := range v.factors {
-			adj[i] = sigs[fid]
+		scratch = scratch[:0]
+		for _, fid := range v.factors {
+			scratch = append(scratch, sigHash(sigs[fid]))
 		}
-		sort.Strings(adj)
-		out[v.Name] = strings.Join(adj, "\n")
+		slices.Sort(scratch)
+		h := uint64(fnvOffset64)
+		for _, x := range scratch {
+			h = fnvMix(h, x)
+		}
+		out[v.Sym] = h
 	}
 	return out
 }
@@ -152,43 +173,72 @@ type FactorMessages struct {
 
 // WarmState is the exportable inference state of one graph build, keyed
 // by factor signature so it can be re-imported into a later build whose
-// variable ids differ.
+// variable ids differ. All keys are numeric (SigKey / symbol id); the
+// state owns its buffers — it never aliases a BP's pooled slab — so it
+// stays valid after the BP is released, including inside checkpoints.
 type WarmState struct {
-	Msgs   map[string]FactorMessages
-	VarAdj map[string]string
+	Msgs   map[SigKey]FactorMessages
+	VarAdj map[int32]uint64
 	// Boundary holds, per block key, the boundary cut-variable beliefs
-	// the block last actually ran against (see
+	// (by cut-variable sym) the block last actually ran against (see
 	// Partition.BoundaryBeliefs). Nil for runs over no-cut partitions.
-	Boundary map[string]map[string][]float64
+	Boundary map[int32]map[int32][]float64
 	// BlockFP condenses, per block key, the block's variables' VarAdj
-	// strings into one hash (Partition.BlockFingerprints): the next
+	// hashes into one hash (Partition.BlockFingerprints): the next
 	// build clears an unchanged block with a single comparison instead
 	// of walking its members, so a repaired partition whose blocks are
-	// identical keeps every block warm. Nil on states exported before
-	// fingerprinting existed; the importer falls back to per-variable
-	// comparison.
-	BlockFP map[string]uint64
-	// Partition is the persistent partition identity (cut names, block
+	// identical keeps every block warm.
+	BlockFP map[int32]uint64
+	// Partition is the persistent partition identity (cut syms, block
 	// degree profiles, tuned size cap) RepairPartition carries across
 	// rebuilds. Nil when the exporting run used no hub-cut partition.
 	Partition *PartitionMemory
 }
 
 // Export captures the BP's current messages keyed by the given factor
-// signatures (from Graph.Signatures on the same graph).
-func (bp *BP) Export(sigs []string) *WarmState {
+// signatures (from Graph.Signatures on the same graph). Every factor's
+// messages are deep-copied.
+func (bp *BP) Export(sigs []SigKey) *WarmState {
+	return bp.ExportReusing(sigs, VarAdjacency(bp.g, sigs), nil, nil)
+}
+
+// ExportReusing is Export with two steady-state shortcuts: the caller
+// supplies the adjacency map (typically already computed for dirty
+// detection), and may pass the previous build's WarmState together
+// with a per-factor clean mask. A clean factor's messages are carried
+// into the new state by reference instead of copied — sound because
+// WarmState buffers are immutable once exported and a clean factor is
+// one whose messages this run provably did not touch (imported intact,
+// block never swept, boundary refresh never wrote to it). With a
+// steady stream, the copy cost per ingest is O(dirty), not O(graph).
+func (bp *BP) ExportReusing(sigs []SigKey, adj map[int32]uint64, prev *WarmState, clean []bool) *WarmState {
 	w := &WarmState{
-		Msgs:   make(map[string]FactorMessages, len(bp.g.factors)),
-		VarAdj: VarAdjacency(bp.g, sigs),
+		Msgs:   make(map[SigKey]FactorMessages, len(bp.g.factors)),
+		VarAdj: adj,
+	}
+	if w.VarAdj == nil {
+		w.VarAdj = VarAdjacency(bp.g, sigs)
 	}
 	for fi, f := range bp.g.factors {
-		fm := FactorMessages{
-			FV: make([][]float64, len(f.Vars)),
-			VF: make([][]float64, len(f.Vars)),
+		if clean != nil && clean[fi] && prev != nil {
+			if fm, ok := prev.Msgs[sigs[fi]]; ok {
+				w.Msgs[sigs[fi]] = fm
+				continue
+			}
 		}
-		for i := range f.Vars {
-			fm.FV[i] = append([]float64(nil), bp.msgFV[fi][i]...)
-			fm.VF[i] = append([]float64(nil), bp.msgVF[fi][i]...)
+		n := len(f.Vars)
+		tc := int(f.totCard)
+		buf := make([]float64, 2*tc)
+		copy(buf[:tc], bp.msgFV[f.off:int(f.off)+tc])
+		copy(buf[tc:], bp.msgVF[f.off:int(f.off)+tc])
+		fm := FactorMessages{
+			FV: make([][]float64, n),
+			VF: make([][]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			lo, hi := f.posOff[i], f.posOff[i]+int32(f.cards[i])
+			fm.FV[i] = buf[lo:hi:hi]
+			fm.VF[i] = buf[tc+int(lo) : tc+int(hi) : tc+int(hi)]
 		}
 		w.Msgs[sigs[fi]] = fm
 	}
@@ -199,7 +249,7 @@ func (bp *BP) Export(sigs []string) *WarmState {
 // BP for every factor whose signature matches, leaving the rest at
 // their current (uniform) initialization. It returns the number of
 // factors warm-started.
-func (bp *BP) Import(w *WarmState, sigs []string) int {
+func (bp *BP) Import(w *WarmState, sigs []SigKey) int {
 	if w == nil {
 		return 0
 	}
@@ -210,8 +260,8 @@ func (bp *BP) Import(w *WarmState, sigs []string) int {
 			continue
 		}
 		fits := true
-		for i, vid := range f.Vars {
-			if len(fm.FV[i]) != bp.g.vars[vid].Card || len(fm.VF[i]) != bp.g.vars[vid].Card {
+		for i := range f.Vars {
+			if len(fm.FV[i]) != f.cards[i] || len(fm.VF[i]) != f.cards[i] {
 				fits = false
 				break
 			}
@@ -220,10 +270,16 @@ func (bp *BP) Import(w *WarmState, sigs []string) int {
 			continue
 		}
 		for i := range f.Vars {
-			copy(bp.msgFV[fi][i], fm.FV[i])
-			copy(bp.msgVF[fi][i], fm.VF[i])
+			base := msgBase(f, i)
+			copy(bp.msgFV[base:base+f.cards[i]], fm.FV[i])
+			copy(bp.msgVF[base:base+f.cards[i]], fm.VF[i])
 		}
+		bp.imported[fi] = true
 		matched++
 	}
 	return matched
 }
+
+// Imported reports whether factor fid's messages were seeded from a
+// WarmState by Import.
+func (bp *BP) Imported(fid int) bool { return bp.imported[fid] }

@@ -75,8 +75,8 @@ func TestWarmStartConvergesInFewerSweeps(t *testing.T) {
 
 func TestWarmStateTransplantAcrossRebuild(t *testing.T) {
 	// Build the same graph twice with different variable insertion order;
-	// signatures key on names, so messages must transplant and reproduce
-	// identical beliefs without any further sweeps.
+	// signatures key on symbol ids, so messages must transplant and
+	// reproduce identical beliefs without any further sweeps.
 	build := func(reversed bool) *Graph {
 		g := New()
 		names := []string{"p", "q"}
@@ -85,7 +85,7 @@ func TestWarmStateTransplantAcrossRebuild(t *testing.T) {
 		}
 		ids := map[string]int{}
 		for _, n := range names {
-			ids[n] = g.AddVariable(n, 2)
+			ids[n] = namedVar(g, n, 2)
 		}
 		tableFactor(g, "f", []int{ids["p"], ids["q"]}, []float64{0.9, 0.2, 0.4, 0.8})
 		tableFactor(g, "u", []int{ids["p"]}, []float64{0.3, 0.7})
@@ -127,9 +127,9 @@ func TestWarmStateTransplantAcrossRebuild(t *testing.T) {
 	// exported ones (same neighborhoods), the cleanliness criterion the
 	// serving layer uses.
 	adj2 := VarAdjacency(g2, sigs2)
-	for name, a := range warm.VarAdj {
-		if adj2[name] != a {
-			t.Errorf("var %s: adjacency fingerprint changed across identical rebuild", name)
+	for sym, a := range warm.VarAdj {
+		if adj2[sym] != a {
+			t.Errorf("var sym %d: adjacency fingerprint changed across identical rebuild", sym)
 		}
 	}
 }
@@ -142,7 +142,7 @@ func TestSignaturesDisambiguateDuplicates(t *testing.T) {
 	g.Finalize()
 	sigs := g.Signatures()
 	if sigs[0] == sigs[1] {
-		t.Errorf("duplicate factors share a signature: %q", sigs[0])
+		t.Errorf("duplicate factors share a signature: %+v", sigs[0])
 	}
 }
 

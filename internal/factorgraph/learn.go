@@ -47,7 +47,7 @@ func ExpectedFeatures(g *Graph, bp *BP, opt RunOptions) []float64 {
 				continue
 			}
 			for k, wid := range f.WeightIDs {
-				exp[wid] += p * f.feats[a][k]
+				exp[wid] += p * f.featAt(a, k)
 			}
 		}
 	}

@@ -15,7 +15,6 @@ type MaxProduct struct {
 	g     *Graph
 	msgFV [][][]float64
 	msgVF [][][]float64
-	pos   []map[int]int
 }
 
 // NewMaxProduct allocates max-product state for a finalized graph.
@@ -33,15 +32,6 @@ func NewMaxProduct(g *Graph) *MaxProduct {
 			card := g.vars[vid].Card
 			mp.msgFV[fi][i] = uniform(card)
 			mp.msgVF[fi][i] = uniform(card)
-		}
-	}
-	mp.pos = make([]map[int]int, len(g.vars))
-	for _, v := range g.vars {
-		mp.pos[v.id] = make(map[int]int, len(v.factors))
-	}
-	for _, f := range g.factors {
-		for i, vid := range f.Vars {
-			mp.pos[vid][f.id] = i
 		}
 	}
 	mp.resetClamps()
@@ -112,9 +102,8 @@ func (mp *MaxProduct) Run(opt RunOptions) []int {
 		}
 		// Variable -> factor.
 		for _, v := range g.vars {
-			for _, fid := range v.factors {
-				i := mp.pos[v.id][fid]
-				msg := mp.msgVF[fid][i]
+			for ai, fid := range v.factors {
+				msg := mp.msgVF[fid][v.pos[ai]]
 				if v.clamp >= 0 {
 					for s := range msg {
 						msg[s] = 0
@@ -124,11 +113,11 @@ func (mp *MaxProduct) Run(opt RunOptions) []int {
 				}
 				for s := 0; s < v.Card; s++ {
 					p := 1.0
-					for _, ofid := range v.factors {
+					for aj, ofid := range v.factors {
 						if ofid == fid {
 							continue
 						}
-						p *= mp.msgFV[ofid][mp.pos[v.id][ofid]][s]
+						p *= mp.msgFV[ofid][v.pos[aj]][s]
 					}
 					msg[s] = p
 				}
@@ -155,8 +144,8 @@ func (mp *MaxProduct) Decode() []int {
 		best, arg := -1.0, 0
 		for s := 0; s < v.Card; s++ {
 			p := 1.0
-			for _, fid := range v.factors {
-				p *= mp.msgFV[fid][mp.pos[v.id][fid]][s]
+			for ai, fid := range v.factors {
+				p *= mp.msgFV[fid][v.pos[ai]][s]
 			}
 			if p > best {
 				best, arg = p, s

@@ -133,7 +133,7 @@ func NewComponentPartition(g *Graph) *Partition {
 // they hold together, not only relative to the whole graph. If nothing
 // qualifies the result is the plain component partition.
 //
-// Selection is deterministic (degree, then variable name), so two
+// Selection is deterministic (degree, then variable sym), so two
 // builds of the same logical graph cut the same phrases' variables
 // regardless of id shifts — the stability the serving layer's warm
 // reuse depends on.
@@ -258,27 +258,31 @@ func buildPartition(g *Graph, isCut []bool, opt PartitionOptions) *Partition {
 // NumBlocks returns the number of blocks.
 func (p *Partition) NumBlocks() int { return len(p.Blocks) }
 
-// BlockKey returns a name-based identity for a block that is stable
+// BlockKey returns a sym-based identity for a block that is stable
 // across graph rebuilds (variable ids shift as phrases are inserted;
-// names follow the phrases): the lexicographically smallest variable
-// name in the block. It keys the boundary-belief baselines the
-// serving layer stores in WarmState and the block profiles in
-// PartitionMemory.
-func (p *Partition) BlockKey(ci int) string {
-	return minBlockName(p.g, p.Blocks[ci])
+// syms follow the phrases): the smallest variable sym in the block.
+// It keys the boundary-belief baselines the serving layer stores in
+// WarmState and the block profiles in PartitionMemory.
+func (p *Partition) BlockKey(ci int) int32 {
+	return minBlockSym(p.g, p.Blocks[ci])
 }
 
-// minBlockName is the one definition of the block-key rule; repair
+// minBlockSym is the one definition of the block-key rule; repair
 // looks memory entries up by the same function that produced them.
-func minBlockName(g *Graph, block []int) string {
-	key := ""
+func minBlockSym(g *Graph, block []int) int32 {
+	key := int32(-1)
 	for _, vid := range block {
-		if name := g.vars[vid].Name; key == "" || name < key {
-			key = name
+		if sym := g.vars[vid].Sym; key == -1 || sym < key {
+			key = sym
 		}
 	}
 	return key
 }
+
+// FactorBlock returns the block index owning factor fid, or -1 for cut
+// factors. The serving layer uses it to decide which factors' exported
+// messages can be carried over by reference.
+func (p *Partition) FactorBlock(fid int) int { return p.factorBlock[fid] }
 
 // blockSchedules filters the caller's schedule into one sub-schedule
 // per block (cut variables fall out of every block, which is what
@@ -434,8 +438,10 @@ func runPartition(bp *BP, p *Partition, opt RunOptions, workers int, selected []
 
 	// Baseline the cut beliefs so the first refresh measures real
 	// movement, not distance from the zeroed prevBelief buffers.
+	var buf [stackCard]float64
 	for _, vid := range p.Cut {
-		copy(bp.prevBelief[vid], bp.VarBelief(vid))
+		b := bp.varBeliefInto(vid, beliefScratch(buf[:], bp.g.vars[vid].Card))
+		copy(bp.prevVar(vid), b)
 	}
 	sel := selected
 	for round := 1; ; round++ {
@@ -530,16 +536,18 @@ func (bp *BP) refreshBoundary(p *Partition, damping float64, workers int) (float
 	})
 	deltas := make([]float64, len(p.Cut))
 	parallelRanges(len(p.Cut), workers, func(lo, hi int) {
+		var buf [stackCard]float64
 		for i := lo; i < hi; i++ {
 			vid := p.Cut[i]
-			b := bp.VarBelief(vid)
+			b := bp.varBeliefInto(vid, beliefScratch(buf[:], bp.g.vars[vid].Card))
+			prev := bp.prevVar(vid)
 			delta := 0.0
 			for s, v := range b {
-				if d := math.Abs(v - bp.prevBelief[vid][s]); d > delta {
+				if d := math.Abs(v - prev[s]); d > delta {
 					delta = d
 				}
 			}
-			copy(bp.prevBelief[vid], b)
+			copy(prev, b)
 			deltas[i] = delta
 			bp.updateVariableMessages(vid)
 		}
@@ -559,28 +567,28 @@ func (bp *BP) refreshBoundary(p *Partition, damping float64, workers int) (float
 
 // BoundaryBeliefs snapshots, per block with a non-empty boundary, the
 // current beliefs of the block's adjacent cut variables, keyed by
-// BlockKey and cut-variable name (both stable across the id shifts of
+// BlockKey and cut-variable sym (both stable across the id shifts of
 // a rebuild). The serving layer stores, for each block, the boundary
 // beliefs the block last actually ran against: on a later build the
 // block may be served warm only while the imported cut beliefs stay
 // within BoundaryTolerance of that baseline, so sub-tolerance drift
 // cannot silently accumulate across ingests — the baseline moves only
 // when the block re-runs.
-func (p *Partition) BoundaryBeliefs(bp *BP) map[string]map[string][]float64 {
-	out := map[string]map[string][]float64{}
+func (p *Partition) BoundaryBeliefs(bp *BP) map[int32]map[int32][]float64 {
+	out := map[int32]map[int32][]float64{}
 	cache := map[int][]float64{}
 	for ci := range p.Blocks {
 		if len(p.Boundary[ci]) == 0 {
 			continue
 		}
-		m := make(map[string][]float64, len(p.Boundary[ci]))
+		m := make(map[int32][]float64, len(p.Boundary[ci]))
 		for _, vid := range p.Boundary[ci] {
 			b, ok := cache[vid]
 			if !ok {
 				b = bp.VarBelief(vid)
 				cache[vid] = b
 			}
-			m[p.g.vars[vid].Name] = b
+			m[p.g.vars[vid].Sym] = b
 		}
 		out[p.BlockKey(ci)] = m
 	}
@@ -590,12 +598,12 @@ func (p *Partition) BoundaryBeliefs(bp *BP) map[string]map[string][]float64 {
 // WithinBoundaryTolerance reports whether every belief in cur has a
 // counterpart in base within the partition's BoundaryTolerance
 // (L-infinity). Missing or reshaped entries count as out of tolerance.
-func (p *Partition) WithinBoundaryTolerance(base, cur map[string][]float64) bool {
+func (p *Partition) WithinBoundaryTolerance(base, cur map[int32][]float64) bool {
 	if len(base) != len(cur) {
 		return false
 	}
-	for name, c := range cur {
-		b, ok := base[name]
+	for sym, c := range cur {
+		b, ok := base[sym]
 		if !ok || len(b) != len(c) {
 			return false
 		}

@@ -148,7 +148,7 @@ func TestWarmStateSurvivesRepartitioningRebuild(t *testing.T) {
 		}
 		ids := map[string]int{}
 		for _, n := range names {
-			ids[n] = g.AddVariable(n, 2)
+			ids[n] = namedVar(g, n, 2)
 		}
 		tableFactor(g, "pq", []int{ids["p"], ids["q"]}, []float64{0.9, 0.2, 0.4, 0.8})
 		tableFactor(g, "rs", []int{ids["r"], ids["s"]}, []float64{0.7, 0.3, 0.1, 0.6})
@@ -208,12 +208,12 @@ func TestWarmStateSurvivesRepartitioningRebuild(t *testing.T) {
 	}
 	for key, base := range warm.Boundary {
 		if !p2.WithinBoundaryTolerance(base, cur[key]) {
-			t.Errorf("block %q: boundary beliefs drifted across identical rebuild", key)
+			t.Errorf("block %d: boundary beliefs drifted across identical rebuild", key)
 		}
-		for name, b := range base {
+		for sym, b := range base {
 			for s := range b {
-				if cur[key][name][s] != b[s] {
-					t.Errorf("block %q cut var %q: belief not bitwise identical across rebuild", key, name)
+				if cur[key][sym][s] != b[s] {
+					t.Errorf("block %d cut var sym %d: belief not bitwise identical across rebuild", key, sym)
 				}
 			}
 		}

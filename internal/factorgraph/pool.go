@@ -1,0 +1,33 @@
+package factorgraph
+
+import "sync"
+
+// BufferPool recycles BP message slabs across inference runs. A serving
+// session constructs one graph per ingest; with a pool, the slab for
+// each run is the previous run's (grown only when the graph outgrows
+// it), so steady-state ingest allocates message buffers O(1) per run
+// instead of O(factors).
+//
+// Safe for concurrent use. Slabs are handed out uninitialized beyond
+// what NewBPWithPool resets itself; callers never see stale data.
+type BufferPool struct {
+	p sync.Pool
+}
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool { return &BufferPool{} }
+
+func (p *BufferPool) get(n int) []float64 {
+	if v := p.p.Get(); v != nil {
+		s := *(v.(*[]float64))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func (p *BufferPool) put(s []float64) {
+	s = s[:0]
+	p.p.Put(&s)
+}

@@ -1,8 +1,8 @@
 package factorgraph
 
 import (
-	"hash/fnv"
 	"runtime"
+	"slices"
 	"sort"
 )
 
@@ -10,7 +10,7 @@ import (
 // re-deriving the hub cut from scratch on every graph rebuild — which
 // re-runs the size-cap refinement's global component sweeps and lets
 // percentile jitter re-shuffle block identities — a build exports a
-// PartitionMemory (cut variables by stable name, per-block degree
+// PartitionMemory (cut variables by stable sym, per-block degree
 // profiles) and the next build repairs it. RepairPartition carries the
 // previous cut set across the id shifts of a rebuild, re-runs hub
 // selection and refinement only inside blocks whose degree profile or
@@ -19,7 +19,7 @@ import (
 // as the previous build left them.
 
 // BlockProfile fingerprints one block for change detection across
-// rebuilds: its variable count plus a hash of the members' (name,
+// rebuilds: its variable count plus a hash of the members' (sym,
 // factor-degree) pairs. Equal profiles mean the block holds the same
 // phrases' variables with the same factor degrees, so neither the hub
 // threshold stage nor the size-cap refinement could cut it differently
@@ -31,15 +31,15 @@ type BlockProfile struct {
 
 // PartitionMemory is the persistent identity of a partition, carried
 // across graph rebuilds inside WarmState. Variable ids shift as phrases
-// are inserted, so everything is keyed by stable phrase-derived names:
-// CutNames lists the cut variables, Blocks the per-block degree
-// profiles under their BlockKey, and TunedBlockVars records the
-// auto-tuned MaxBlockVars in effect (0 when the knob was set
-// explicitly), so a repaired partition keeps the cap its blocks were
-// refined under instead of chasing the graph's growth.
+// are inserted, so everything is keyed by stable symbol ids: CutSyms
+// lists the cut variables, Blocks the per-block degree profiles under
+// their BlockKey, and TunedBlockVars records the auto-tuned
+// MaxBlockVars in effect (0 when the knob was set explicitly), so a
+// repaired partition keeps the cap its blocks were refined under
+// instead of chasing the graph's growth.
 type PartitionMemory struct {
-	CutNames       []string
-	Blocks         map[string]BlockProfile
+	CutSyms        []int32
+	Blocks         map[int32]BlockProfile
 	TunedBlockVars int
 }
 
@@ -57,7 +57,7 @@ type RepairStats struct {
 	BlocksRecut  int
 	// CutCarried / CutAdded split the final cut set into variables
 	// carried over from the previous build and fresh cuts; CutDropped
-	// counts previous cut names that no longer qualify (variable gone,
+	// counts previous cut syms that no longer qualify (variable gone,
 	// or degree fell to the un-cut hysteresis floor).
 	CutCarried int
 	CutAdded   int
@@ -69,16 +69,16 @@ type RepairStats struct {
 // records the auto-tuned cap if one is in effect.
 func (p *Partition) Memory() *PartitionMemory {
 	degrees := factorDegrees(p.g)
-	m := &PartitionMemory{Blocks: make(map[string]BlockProfile, len(p.Blocks))}
-	names := make(map[string]bool, len(p.Cut))
+	m := &PartitionMemory{Blocks: make(map[int32]BlockProfile, len(p.Blocks))}
+	syms := make(map[int32]bool, len(p.Cut))
 	for _, vid := range p.Cut {
-		names[p.g.vars[vid].Name] = true
+		syms[p.g.vars[vid].Sym] = true
 	}
-	m.CutNames = make([]string, 0, len(names))
-	for name := range names {
-		m.CutNames = append(m.CutNames, name)
+	m.CutSyms = make([]int32, 0, len(syms))
+	for sym := range syms {
+		m.CutSyms = append(m.CutSyms, sym)
 	}
-	sort.Strings(m.CutNames)
+	slices.Sort(m.CutSyms)
 	for ci, block := range p.Blocks {
 		m.Blocks[p.BlockKey(ci)] = blockProfile(p.g, degrees, block)
 	}
@@ -93,42 +93,37 @@ func factorDegrees(g *Graph) []int {
 	return degrees
 }
 
-// blockProfile hashes the block's (name, degree) pairs order-
+// blockProfile hashes the block's (sym, degree) pairs order-
 // independently: entries are sorted before hashing so two builds that
 // enumerate the same block in different variable-id order produce the
 // same profile.
 func blockProfile(g *Graph, degrees []int, block []int) BlockProfile {
-	type nd struct {
-		name string
-		deg  int
+	type sd struct {
+		sym int32
+		deg int
 	}
-	nds := make([]nd, len(block))
+	sds := make([]sd, len(block))
 	for i, vid := range block {
-		nds[i] = nd{g.vars[vid].Name, degrees[vid]}
+		sds[i] = sd{g.vars[vid].Sym, degrees[vid]}
 	}
-	sort.Slice(nds, func(a, b int) bool {
-		if nds[a].name != nds[b].name {
-			return nds[a].name < nds[b].name
+	sort.Slice(sds, func(a, b int) bool {
+		if sds[a].sym != sds[b].sym {
+			return sds[a].sym < sds[b].sym
 		}
-		return nds[a].deg < nds[b].deg
+		return sds[a].deg < sds[b].deg
 	})
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, e := range nds {
-		h.Write([]byte(e.name))
-		buf[0] = 0
-		for k := 0; k < 7; k++ {
-			buf[k+1] = byte(e.deg >> (8 * k))
-		}
-		h.Write(buf[:])
+	h := uint64(fnvOffset64)
+	for _, e := range sds {
+		h = fnvMix(h, uint64(uint32(e.sym)))
+		h = fnvMix(h, uint64(e.deg))
 	}
-	return BlockProfile{Vars: len(block), Hash: h.Sum64()}
+	return BlockProfile{Vars: len(block), Hash: h}
 }
 
 // RepairPartition rebuilds a hub-cut partition on a new graph build by
 // repairing the previous build's partition instead of re-deriving it:
 //
-//  1. The previous cut set is re-identified by variable name. A carried
+//  1. The previous cut set is re-identified by variable sym. A carried
 //     cut survives while its variable exists and its factor degree still
 //     exceeds the MinHubDegree floor — percentile drift alone never
 //     un-cuts a variable (hysteresis), so block identities do not
@@ -153,21 +148,21 @@ func RepairPartition(g *Graph, mem *PartitionMemory, opt PartitionOptions) (*Par
 	degrees := factorDegrees(g)
 	n := g.NumVariables()
 
-	// Stage 1: carry the cut set across the rebuild by name.
-	prevCut := make(map[string]bool, len(mem.CutNames))
-	for _, name := range mem.CutNames {
-		prevCut[name] = true
+	// Stage 1: carry the cut set across the rebuild by sym.
+	prevCut := make(map[int32]bool, len(mem.CutSyms))
+	for _, sym := range mem.CutSyms {
+		prevCut[sym] = true
 	}
 	var isCut []bool
-	carriedNames := make(map[string]bool, len(prevCut))
+	carried := make(map[int32]bool, len(prevCut))
 	for vid := 0; vid < n; vid++ {
-		name := g.vars[vid].Name
-		if prevCut[name] && degrees[vid] > opt.MinHubDegree {
+		sym := g.vars[vid].Sym
+		if prevCut[sym] && degrees[vid] > opt.MinHubDegree {
 			if isCut == nil {
 				isCut = make([]bool, n)
 			}
 			isCut[vid] = true
-			carriedNames[name] = true
+			carried[sym] = true
 		}
 	}
 
@@ -176,7 +171,7 @@ func RepairPartition(g *Graph, mem *PartitionMemory, opt PartitionOptions) (*Par
 	st := RepairStats{Repaired: true}
 	var within []bool
 	for _, block := range blocks {
-		key := minBlockName(g, block)
+		key := minBlockSym(g, block)
 		prof := blockProfile(g, degrees, block)
 		if prev, ok := mem.Blocks[key]; ok && prev == prof &&
 			(opt.MaxBlockVars <= 0 || len(block) <= opt.MaxBlockVars) {
@@ -210,18 +205,18 @@ func RepairPartition(g *Graph, mem *PartitionMemory, opt PartitionOptions) (*Par
 
 	p := buildPartition(g, isCut, opt)
 	for _, vid := range p.Cut {
-		if carriedNames[g.vars[vid].Name] {
+		if carried[g.vars[vid].Sym] {
 			st.CutCarried++
 		} else {
 			st.CutAdded++
 		}
 	}
-	seen := make(map[string]bool, len(p.Cut))
+	seen := make(map[int32]bool, len(p.Cut))
 	for _, vid := range p.Cut {
-		seen[g.vars[vid].Name] = true
+		seen[g.vars[vid].Sym] = true
 	}
-	for name := range prevCut {
-		if !seen[name] {
+	for sym := range prevCut {
+		if !seen[sym] {
 			st.CutDropped++
 		}
 	}
@@ -270,29 +265,28 @@ func AutoTuneMaxBlockVars(numVars, workers, targetBlocksPerWorker int) int {
 }
 
 // BlockFingerprints condenses, per block key, the block's variables'
-// neighborhood-adjacency strings (VarAdjacency of the same build) into
+// neighborhood-adjacency hashes (VarAdjacency of the same build) into
 // one hash. Two builds whose fingerprints match for a block key hold an
 // identical block — same variables in bit-identical factor
 // neighborhoods — so the incremental path can clear the whole block
 // with one comparison instead of walking every member variable, and a
 // no-op repair keeps all blocks warm even though the partition object
 // was rebuilt.
-func (p *Partition) BlockFingerprints(adj map[string]string) map[string]uint64 {
-	out := make(map[string]uint64, len(p.Blocks))
+func (p *Partition) BlockFingerprints(adj map[int32]uint64) map[int32]uint64 {
+	out := make(map[int32]uint64, len(p.Blocks))
+	syms := make([]int32, 0, 64)
 	for ci, block := range p.Blocks {
-		names := make([]string, len(block))
-		for i, vid := range block {
-			names[i] = p.g.vars[vid].Name
+		syms = syms[:0]
+		for _, vid := range block {
+			syms = append(syms, p.g.vars[vid].Sym)
 		}
-		sort.Strings(names)
-		h := fnv.New64a()
-		for _, name := range names {
-			h.Write([]byte(name))
-			h.Write([]byte{0})
-			h.Write([]byte(adj[name]))
-			h.Write([]byte{0})
+		slices.Sort(syms)
+		h := uint64(fnvOffset64)
+		for _, sym := range syms {
+			h = fnvMix(h, uint64(uint32(sym)))
+			h = fnvMix(h, adj[sym])
 		}
-		out[p.BlockKey(ci)] = h.Sum64()
+		out[p.BlockKey(ci)] = h
 	}
 	return out
 }
@@ -324,7 +318,7 @@ func refineOversizedScoped(g *Graph, isCut []bool, degrees []int, maxBlockVars i
 				if degrees[top[a]] != degrees[top[b]] {
 					return degrees[top[a]] > degrees[top[b]]
 				}
-				return g.vars[top[a]].Name < g.vars[top[b]].Name
+				return g.vars[top[a]].Sym < g.vars[top[b]].Sym
 			})
 			for _, vid := range top[:want] {
 				isCut[vid] = true

@@ -3,8 +3,38 @@ package factorgraph
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
+
+// testSyms assigns stable symbol ids by variable name, standing in for
+// the okb interning table the serving layer feeds AddVariableSym. The
+// repair and transplant tests rebuild the "same" logical graph in
+// different shapes and insertion orders, and cross-build identity lives
+// in the sym — positional AddVariable ids would shift with the shape.
+var (
+	testSymMu sync.Mutex
+	testSymID = map[string]int32{}
+)
+
+func testSym(name string) int32 {
+	testSymMu.Lock()
+	defer testSymMu.Unlock()
+	id, ok := testSymID[name]
+	if !ok {
+		id = int32(len(testSymID))
+		testSymID[name] = id
+	}
+	return id
+}
+
+// namedVar adds a variable whose sym is interned from its name, so
+// rebuilding the graph with the same names yields the same identities.
+func namedVar(g *Graph, name string, card int) int {
+	id := g.AddVariableSym(testSym(name), card)
+	g.vars[id].Name = name
+	return id
+}
 
 // repairOpt is the partition configuration the repair tests share: the
 // median-degree threshold with a floor of 3 cuts exactly the island
@@ -37,14 +67,14 @@ func islandWorld(t *testing.T, n, extraLeaves int) *Graph {
 			}
 			return tb
 		}
-		hub := g.AddVariable(name2("hub", island, -1), 2)
+		hub := namedVar(g, name2("hub", island, -1), 2)
 		leaves := 6
 		if island == 0 {
 			leaves += extraLeaves
 		}
 		prev := -1
 		for j := 0; j < leaves; j++ {
-			v := g.AddVariable(name2("v", island, j), 2)
+			v := namedVar(g, name2("v", island, j), 2)
 			tableFactor(g, name2("h", island, j), []int{hub, v}, rnd())
 			if prev >= 0 {
 				tableFactor(g, name2("c", island, j), []int{prev, v}, rnd())
@@ -80,8 +110,8 @@ func cutNames(g *Graph, p *Partition) map[string]bool {
 	return out
 }
 
-func blockKeySet(p *Partition) map[string]bool {
-	out := map[string]bool{}
+func blockKeySet(p *Partition) map[int32]bool {
+	out := map[int32]bool{}
 	for ci := range p.Blocks {
 		out[p.BlockKey(ci)] = true
 	}
@@ -118,7 +148,7 @@ func TestRepairNoOpReusesEveryBlock(t *testing.T) {
 	wantKeys, gotKeys := blockKeySet(p1), blockKeySet(p2)
 	for key := range wantKeys {
 		if !gotKeys[key] {
-			t.Errorf("block key %q lost across no-op repair", key)
+			t.Errorf("block key %d lost across no-op repair", key)
 		}
 	}
 }
@@ -180,7 +210,7 @@ func TestRepairKeepsBlockKeysAcrossThreeConsecutiveRepairs(t *testing.T) {
 		keys := blockKeySet(p)
 		for key := range prevKeys {
 			if !keys[key] {
-				t.Errorf("repair %d: block key %q not preserved", step+1, key)
+				t.Errorf("repair %d: block key %d not preserved", step+1, key)
 			}
 		}
 		cuts := cutNames(g, p)

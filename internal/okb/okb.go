@@ -77,6 +77,13 @@ type Store struct {
 	npIDF *text.IDFTable
 	rpIDF *text.IDFTable
 
+	// syms interns every phrase surface form at append time, in triple
+	// order, so the same stream of triples yields the same ids no matter
+	// how it is batched. Stores derived from one another (Append, epoch
+	// refresh via NewStoreWithSymbols) share one table for the life of a
+	// session; the inference stack above keys everything on these ids.
+	syms *SymbolTable
+
 	// parent chains stores built by incremental Append: the mention maps
 	// above then hold only the surfaces the appended suffix touched
 	// (with their full merged lists) and lookups fall through to the
@@ -97,15 +104,31 @@ type Store struct {
 // NewStore indexes the given triples. Triple IDs are reassigned to the
 // slice index so downstream code can use them interchangeably.
 func NewStore(triples []Triple) *Store {
+	return NewStoreWithSymbols(triples, nil)
+}
+
+// NewStoreWithSymbols indexes the given triples, interning their
+// surface forms into syms (a fresh table when nil). Passing the table
+// of a previous epoch's store keeps phrase ids stable across an epoch
+// refresh, which is what lets warm inference state keyed on those ids
+// survive the rebuild.
+func NewStoreWithSymbols(triples []Triple, syms *SymbolTable) *Store {
+	if syms == nil {
+		syms = NewSymbolTable()
+	}
 	s := &Store{
 		triples:    make([]Triple, len(triples)),
 		npMentions: make(map[string][]Mention),
 		rpMentions: make(map[string][]int),
+		syms:       syms,
 	}
 	copy(s.triples, triples)
 	for i := range s.triples {
 		s.triples[i].ID = i
 		t := &s.triples[i]
+		syms.Intern(t.Subj)
+		syms.Intern(t.Pred)
+		syms.Intern(t.Obj)
 		s.npMentions[t.Subj] = append(s.npMentions[t.Subj], Mention{i, SubjSlot})
 		s.npMentions[t.Obj] = append(s.npMentions[t.Obj], Mention{i, ObjSlot})
 		s.rpMentions[t.Pred] = append(s.rpMentions[t.Pred], i)
@@ -177,7 +200,7 @@ const maxAppendDepth = 16
 // NewStore.
 func (s *Store) Append(more []Triple, freezeIDF bool) *Store {
 	if !freezeIDF {
-		return NewStore(append(s.Triples(), more...))
+		return NewStoreWithSymbols(append(s.Triples(), more...), s.syms)
 	}
 	grown := &Store{
 		triples:    s.appendTriples(more),
@@ -185,8 +208,15 @@ func (s *Store) Append(more []Triple, freezeIDF bool) *Store {
 		rpMentions: make(map[string][]int, len(more)),
 		npIDF:      s.npIDF,
 		rpIDF:      s.rpIDF,
+		syms:       s.syms,
 		parent:     s,
 		depth:      s.depth + 1,
+	}
+	for i := len(s.triples); i < len(grown.triples); i++ {
+		t := &grown.triples[i]
+		s.syms.Intern(t.Subj)
+		s.syms.Intern(t.Pred)
+		s.syms.Intern(t.Obj)
 	}
 	var newNPs, newRPs []string
 	seedNP := func(np string) {
@@ -339,6 +369,11 @@ func (s *Store) RPMentions(rp string) []int {
 	}
 	return nil
 }
+
+// Symbols returns the store's interning table. Every phrase surface
+// form in the store is guaranteed to be interned; stores produced by
+// Append (and by NewStoreWithSymbols given this table) share it.
+func (s *Store) Symbols() *SymbolTable { return s.syms }
 
 // NPIDF returns the IDF table over all NP occurrences (token frequency
 // counted once per occurrence, as the paper specifies).

@@ -1,0 +1,176 @@
+package okb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SymbolTable is the persistent string<->int32 interning layer of the
+// serving stack. Phrase surface forms are interned once, at the moment
+// a triple enters a Store (NewStore/Append), and keep their dense id
+// for the lifetime of the table; derived identities (pair variables,
+// linking variables — anything built from other symbols rather than
+// from text) are interned by (kind, a, b) into the same id space.
+// Every layer above — factor signatures, warm message state, partition
+// memory, boundary baselines, read-path deltas — keys on these ids
+// instead of hashing length-prefixed surface strings per ingest.
+//
+// Ids are assigned in first-intern order, so a table grown by one
+// triple stream is deterministic regardless of batch boundaries. Ids
+// are never reused or reassigned; the table only grows. A table rides
+// in the session checkpoint (Snapshot/NewSymbolTableFromSnapshot), so
+// a restored session resolves the saved warm state's ids without
+// re-deriving them.
+//
+// All methods are safe for concurrent use.
+type SymbolTable struct {
+	mu      sync.RWMutex
+	byStr   map[string]int32
+	derived map[DerivedKey]int32
+	entries []SymbolEntry
+}
+
+// DerivedKey identifies a derived symbol: a caller-chosen kind byte
+// plus up to two operand symbol ids (use -1 for an absent operand).
+type DerivedKey struct {
+	Kind uint8
+	A, B int32
+}
+
+// SymbolEntry is the serializable definition of one symbol: either a
+// surface form (Kind 0) or a derived identity (Kind != 0, built from
+// operand ids A and B).
+type SymbolEntry struct {
+	Surface string
+	Kind    uint8
+	A, B    int32
+}
+
+// SymbolSnapshot is the gob-serializable image of a SymbolTable, in id
+// order. It is what checkpoints persist.
+type SymbolSnapshot struct {
+	Entries []SymbolEntry
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{
+		byStr:   make(map[string]int32),
+		derived: make(map[DerivedKey]int32),
+	}
+}
+
+// Intern returns the id of the surface form s, assigning the next
+// dense id on first sight.
+func (t *SymbolTable) Intern(s string) int32 {
+	t.mu.RLock()
+	id, ok := t.byStr[s]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byStr[s]; ok {
+		return id
+	}
+	id = int32(len(t.entries))
+	t.byStr[s] = id
+	t.entries = append(t.entries, SymbolEntry{Surface: s})
+	return id
+}
+
+// Lookup returns the id of the surface form s, if interned.
+func (t *SymbolTable) Lookup(s string) (int32, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.byStr[s]
+	return id, ok
+}
+
+// InternDerived returns the id of the derived identity (kind, a, b),
+// assigning the next dense id on first sight. kind must be non-zero
+// (zero marks surface entries).
+func (t *SymbolTable) InternDerived(kind uint8, a, b int32) int32 {
+	if kind == 0 {
+		panic("okb: derived symbol kind must be non-zero")
+	}
+	k := DerivedKey{Kind: kind, A: a, B: b}
+	t.mu.RLock()
+	id, ok := t.derived[k]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.derived[k]; ok {
+		return id
+	}
+	id = int32(len(t.entries))
+	t.derived[k] = id
+	t.entries = append(t.entries, SymbolEntry{Kind: kind, A: a, B: b})
+	return id
+}
+
+// Surface resolves an id back to text: the interned surface form for
+// plain symbols, a synthesized "k(a|b)" rendering for derived ones,
+// and "sym(<id>)" for ids the table does not hold. Only plain symbols
+// round-trip; derived renderings are for diagnostics.
+func (t *SymbolTable) Surface(id int32) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.entries) {
+		return fmt.Sprintf("sym(%d)", id)
+	}
+	e := t.entries[id]
+	if e.Kind == 0 {
+		return e.Surface
+	}
+	return fmt.Sprintf("%c(%d|%d)", e.Kind, e.A, e.B)
+}
+
+// Len returns the number of symbols interned so far.
+func (t *SymbolTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Snapshot captures the table's entries in id order for serialization.
+// The snapshot is an independent copy; the table may keep growing.
+func (t *SymbolTable) Snapshot() *SymbolSnapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sn := &SymbolSnapshot{Entries: make([]SymbolEntry, len(t.entries))}
+	copy(sn.Entries, t.entries)
+	return sn
+}
+
+// NewSymbolTableFromSnapshot rebuilds a table from a snapshot, with
+// every id exactly where the snapshot recorded it. A nil snapshot
+// yields an empty table.
+func NewSymbolTableFromSnapshot(sn *SymbolSnapshot) (*SymbolTable, error) {
+	t := NewSymbolTable()
+	if sn == nil {
+		return t, nil
+	}
+	t.entries = make([]SymbolEntry, len(sn.Entries))
+	copy(t.entries, sn.Entries)
+	for i, e := range t.entries {
+		id := int32(i)
+		if e.Kind == 0 {
+			if prev, dup := t.byStr[e.Surface]; dup {
+				return nil, fmt.Errorf("okb: symbol snapshot defines surface %q at both %d and %d", e.Surface, prev, id)
+			}
+			t.byStr[e.Surface] = id
+			continue
+		}
+		k := DerivedKey{Kind: e.Kind, A: e.A, B: e.B}
+		if prev, dup := t.derived[k]; dup {
+			return nil, fmt.Errorf("okb: symbol snapshot defines derived (%d,%d,%d) at both %d and %d", e.Kind, e.A, e.B, prev, id)
+		}
+		t.derived[k] = id
+	}
+	return t, nil
+}

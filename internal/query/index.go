@@ -175,17 +175,21 @@ type ApplyStats struct {
 // suffix beyond the previous generation is the new batch); it is
 // aliased, not copied, so the caller must never mutate elements below
 // its length after the call — the stream session's capped-append
-// growth guarantees this. Apply is NOT safe for concurrent use with
+// growth guarantees this. syms is the OKB's symbol table: the delta
+// identifies phrases by symbol id (the inference stack is numeric end
+// to end), and the index — the read API boundary — is where ids turn
+// back into surfaces. Apply is NOT safe for concurrent use with
 // itself — the stream session's ingest lock serializes it — but is
 // safe concurrent with any number of Query readers.
-func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.Triple) ApplyStats {
+func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.Triple, syms *okb.SymbolTable) ApplyStats {
 	t0 := time.Now()
 	prev := ix.gen.Load()
 	id := ix.applied.Load() + 1
 	st := ApplyStats{Generation: id}
+	rd := resolveDelta(delta, syms)
 	var g *generation
-	if prev == nil || delta == nil || delta.Full {
-		g = buildFull(res, delta, triples, id)
+	if prev == nil || rd == nil || rd.full {
+		g = buildFull(res, rd, triples, id)
 		st.Full = true
 		st.KeysWritten = len(g.npInfo.m) + len(g.rpInfo.m) +
 			len(g.npClusters.m) + len(g.rpClusters.m) +
@@ -193,9 +197,9 @@ func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.T
 			len(g.subjPost.m) + len(g.relPost.m) +
 			len(g.npClusterPost.m) + len(g.rpClusterPost.m)
 	} else {
-		st.TouchedNPs = len(delta.TouchedNPs)
-		st.TouchedRPs = len(delta.TouchedRPs)
-		g = prev.applyDelta(res, delta, triples, id, &st.KeysWritten)
+		st.TouchedNPs = len(rd.touchedNPs)
+		st.TouchedRPs = len(rd.touchedRPs)
+		g = prev.applyDelta(res, rd, triples, id, &st.KeysWritten)
 		if g.npInfo.depth >= ix.cfg.MaxLayers {
 			g = g.compact()
 			st.Compacted = true
@@ -205,6 +209,41 @@ func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.T
 	ix.applied.Store(id)
 	st.ApplyMS = float64(time.Since(t0).Microseconds()) / 1000
 	return st
+}
+
+// resolvedDelta is a CanonDelta with its symbol ids resolved back to
+// phrase surfaces — the form the surface-keyed indexes consume.
+type resolvedDelta struct {
+	full                         bool
+	touchedNPs, touchedRPs       []string
+	reassignedNPs, reassignedRPs []string
+}
+
+func resolveDelta(d *core.CanonDelta, syms *okb.SymbolTable) *resolvedDelta {
+	if d == nil {
+		return nil
+	}
+	return &resolvedDelta{
+		full:          d.Full,
+		touchedNPs:    resolveSyms(syms, d.TouchedNPs),
+		touchedRPs:    resolveSyms(syms, d.TouchedRPs),
+		reassignedNPs: resolveSyms(syms, d.ReassignedNPs),
+		reassignedRPs: resolveSyms(syms, d.ReassignedRPs),
+	}
+}
+
+func resolveSyms(syms *okb.SymbolTable, ids []int32) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	if syms == nil {
+		panic("query: delta carries symbol ids but no symbol table was supplied")
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = syms.Surface(id)
+	}
+	return out
 }
 
 // Restore rebuilds the index from a restored session's last result and
@@ -217,15 +256,15 @@ func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.T
 // counters both restore to gen, so Behind accounting resumes at 0 and
 // the next ingest publishes gen+1, exactly as an uninterrupted session
 // would. Like Apply, Restore must only be called by the single writer.
-func (ix *Index) Restore(res *core.Result, triples []okb.Triple, gen int64) {
+func (ix *Index) Restore(res *core.Result, triples []okb.Triple, gen int64, syms *okb.SymbolTable) {
 	if gen < 1 {
 		gen = 1
 	}
-	delta := res.Delta
-	if delta == nil {
-		delta = &core.CanonDelta{Full: true}
+	rd := resolveDelta(res.Delta, syms)
+	if rd == nil {
+		rd = &resolvedDelta{full: true}
 	}
-	ix.gen.Store(buildFull(res, delta, triples, gen))
+	ix.gen.Store(buildFull(res, rd, triples, gen))
 	ix.begun.Store(gen)
 	ix.applied.Store(gen)
 }
@@ -247,16 +286,16 @@ func (ix *Index) Clone() *Index {
 // its accumulated triples — the from-scratch comparator the query
 // benchmark prices delta maintenance against (and the cold path Apply
 // takes internally).
-func FullIndex(res *core.Result, triples []okb.Triple, cfg Config) *Index {
+func FullIndex(res *core.Result, triples []okb.Triple, cfg Config, syms *okb.SymbolTable) *Index {
 	ix := New(cfg)
 	ix.begun.Store(1)
 	ix.applied.Store(1)
-	ix.gen.Store(buildFull(res, res.Delta, triples, 1))
+	ix.gen.Store(buildFull(res, resolveDelta(res.Delta, syms), triples, 1))
 	return ix
 }
 
 // buildFull derives every index from scratch.
-func buildFull(res *core.Result, delta *core.CanonDelta, triples []okb.Triple, id int64) *generation {
+func buildFull(res *core.Result, delta *resolvedDelta, triples []okb.Triple, id int64) *generation {
 	g := &generation{id: id, triples: triples}
 	subj := map[string][]int{}
 	rel := map[string][]int{}
@@ -270,8 +309,8 @@ func buildFull(res *core.Result, delta *core.CanonDelta, triples []okb.Triple, i
 	g.npInfo, g.npClusters, g.entAliases, g.npClusterPost = buildSide(res.NPGroups, res.NPLinks, g.subjPost)
 	g.rpInfo, g.rpClusters, g.relAliases, g.rpClusterPost = buildSide(res.RPGroups, res.RPLinks, g.relPost)
 	if delta != nil {
-		g.reassignedNPs = delta.ReassignedNPs
-		g.reassignedRPs = delta.ReassignedRPs
+		g.reassignedNPs = delta.reassignedNPs
+		g.reassignedRPs = delta.reassignedRPs
 	}
 	return g
 }
@@ -343,12 +382,12 @@ func mergePostings(members []string, post *layered[[]int]) []int {
 // decision incident to itself, changed pair decisions only arise at
 // variables in ran blocks (both endpoint phrases are then seeds), and
 // the mover's old cluster and new group both intersect the seed set.
-func (prev *generation) applyDelta(res *core.Result, delta *core.CanonDelta, all []okb.Triple, id int64, keys *int) *generation {
+func (prev *generation) applyDelta(res *core.Result, delta *resolvedDelta, all []okb.Triple, id int64, keys *int) *generation {
 	g := &generation{
 		id:            id,
 		triples:       all,
-		reassignedNPs: delta.ReassignedNPs,
-		reassignedRPs: delta.ReassignedRPs,
+		reassignedNPs: delta.reassignedNPs,
+		reassignedRPs: delta.reassignedRPs,
 	}
 
 	// Surface postings are append-only: only the batch's surfaces gain
@@ -369,7 +408,7 @@ func (prev *generation) applyDelta(res *core.Result, delta *core.CanonDelta, all
 	g.relPost = extendPostings(prev.relPost, relAdd, keys)
 
 	g.npInfo, g.npClusters, g.entAliases, g.npClusterPost = applySide(sideDelta{
-		seeds:    [][]string{delta.TouchedNPs, prev.reassignedNPs},
+		seeds:    [][]string{delta.touchedNPs, prev.reassignedNPs},
 		batch:    batchNP,
 		added:    subjAdd,
 		groups:   res.NPGroups,
@@ -382,7 +421,7 @@ func (prev *generation) applyDelta(res *core.Result, delta *core.CanonDelta, all
 		post:     g.subjPost,
 	}, keys)
 	g.rpInfo, g.rpClusters, g.relAliases, g.rpClusterPost = applySide(sideDelta{
-		seeds:    [][]string{delta.TouchedRPs, prev.reassignedRPs},
+		seeds:    [][]string{delta.touchedRPs, prev.reassignedRPs},
 		batch:    batchRP,
 		added:    relAdd,
 		groups:   res.RPGroups,

@@ -272,7 +272,7 @@ func TestQueryDeltaMatchesFullIndexAndEnumerationLimits(t *testing.T) {
 	// A from-scratch index over the same result must answer identically
 	// to the delta-maintained one (both are held to the same brute-force
 	// comparator; built uncapped so verify sees full enumerations).
-	full := query.FullIndex(res, accumulated, query.Config{})
+	full := query.FullIndex(res, accumulated, query.Config{}, sess.Symbols())
 	verify(t, full, res, accumulated)
 
 	// MaxResults caps enumeration however large the posting is.
@@ -338,12 +338,20 @@ func synthResult(npGroups, rpGroups [][]string) *core.Result {
 // point, silently missing every triple ingested while merged.
 func TestAbsorbedClusterTombstonedAndRebuilt(t *testing.T) {
 	ix := query.New(query.Config{})
+	syms := okb.NewSymbolTable()
+	ids := func(names ...string) []int32 {
+		out := make([]int32, len(names))
+		for i, n := range names {
+			out[i] = syms.Intern(n)
+		}
+		return out
+	}
 	var triples []okb.Triple
 	step := func(res *core.Result, delta *core.CanonDelta, batch ...okb.Triple) {
 		t.Helper()
 		triples = append(triples, batch...)
 		ix.Begin()
-		ix.Apply(res, delta, triples)
+		ix.Apply(res, delta, triples, syms)
 		verify(t, ix, res, triples)
 	}
 
@@ -361,7 +369,7 @@ func TestAbsorbedClusterTombstonedAndRebuilt(t *testing.T) {
 		[][]string{{"a", "b1", "b2"}, {"x"}, {"z"}},
 		[][]string{{"r"}},
 	)
-	step(merged, &core.CanonDelta{TouchedNPs: []string{"a"}, TouchedRPs: []string{"r"}},
+	step(merged, &core.CanonDelta{TouchedNPs: ids("a"), TouchedRPs: ids("r")},
 		okb.Triple{Subj: "a", Pred: "r", Obj: "z"})
 
 	// Gen 3: b1 gains a triple while merged — recorded under the
@@ -370,7 +378,7 @@ func TestAbsorbedClusterTombstonedAndRebuilt(t *testing.T) {
 		[][]string{{"a", "b1", "b2"}, {"x"}, {"z"}, {"y"}},
 		[][]string{{"r"}},
 	)
-	step(merged3, &core.CanonDelta{TouchedNPs: []string{"b1"}, TouchedRPs: []string{"r"}},
+	step(merged3, &core.CanonDelta{TouchedNPs: ids("b1"), TouchedRPs: ids("r")},
 		okb.Triple{Subj: "b1", Pred: "r", Obj: "y"})
 
 	// Gen 4: the clusters split back to exactly the gen-1 membership
@@ -382,7 +390,7 @@ func TestAbsorbedClusterTombstonedAndRebuilt(t *testing.T) {
 		[][]string{{"a"}, {"b1", "b2"}, {"x"}, {"z"}, {"y"}, {"q"}, {"q2"}},
 		[][]string{{"r"}},
 	)
-	step(split, &core.CanonDelta{TouchedNPs: []string{"a", "b1"}, TouchedRPs: []string{"r"}},
+	step(split, &core.CanonDelta{TouchedNPs: ids("a", "b1"), TouchedRPs: ids("r")},
 		okb.Triple{Subj: "q", Pred: "r", Obj: "q2"})
 
 	// And explicitly: b1's postings after the split include the triple

@@ -50,6 +50,7 @@ func (s *Session) CheckpointState() *checkpoint.Snapshot {
 		RepairReused:   s.repairReused,
 		IndexMS:        s.indexMS,
 		Warm:           s.warm,
+		Symbols:        s.syms.Snapshot(),
 		QueryEnabled:   s.qidx != nil,
 	}
 	if n := len(s.cfg.Core.InitialWeights); n > 0 {
@@ -122,6 +123,17 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedd
 	if snap.EpochTriples == 0 {
 		return nil, fmt.Errorf("stream: snapshot with %d batches has no epoch prefix", snap.Batches)
 	}
+	// Install the checkpointed interning table before anything re-interns
+	// a phrase: the warm state, partition memory, and result delta carry
+	// its ids, and ids are assigned in first-intern order, so rebuilding
+	// resources against a fresh table would silently mismatch them all.
+	if snap.Symbols != nil {
+		syms, err := okb.NewSymbolTableFromSnapshot(snap.Symbols)
+		if err != nil {
+			return nil, fmt.Errorf("stream: restoring symbol table: %w", err)
+		}
+		s.syms = syms
+	}
 	if len(s.cfg.Core.InitialWeights) == 0 && len(snap.Weights) > 0 {
 		w := make(map[string]float64, len(snap.Weights))
 		for k, v := range snap.Weights {
@@ -137,7 +149,7 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedd
 	// epoch rebuild on its next ingest.
 	var res *signals.Resources
 	if !snap.PendingRefresh {
-		epoch := okb.NewStore(snap.Triples[:snap.EpochTriples])
+		epoch := okb.NewStoreWithSymbols(snap.Triples[:snap.EpochTriples], s.syms)
 		res = signals.New(epoch, ckbStore, emb, db)
 		if snap.EpochTriples < len(snap.Triples) {
 			res = res.Extend(epoch.Append(snap.Triples[snap.EpochTriples:], true))
@@ -158,12 +170,12 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedd
 	s.repairReused = snap.RepairReused
 	s.indexMS = snap.IndexMS
 	if s.qidx != nil {
-		s.qidx.Restore(snap.Result, s.triples, snap.QueryGeneration)
+		s.qidx.Restore(snap.Result, s.triples, snap.QueryGeneration, s.syms)
 	}
 
 	cut := 0
 	if snap.Warm != nil && snap.Warm.Partition != nil {
-		cut = len(snap.Warm.Partition.CutNames)
+		cut = len(snap.Warm.Partition.CutSyms)
 	}
 	nps, rps := 0, 0
 	if res != nil {

@@ -481,3 +481,66 @@ func TestCheckpointConcurrentWithIngestAndQueries(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckpointRoundTripsSymbolTable(t *testing.T) {
+	// The interning table must ride through a checkpoint with every id
+	// exactly where the live session assigned it: the warm state,
+	// partition memory, and result delta all carry these ids, and ids
+	// are assigned in first-intern order, so a re-derived table would
+	// silently mismatch them all.
+	world := microWorld(t)
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	db := ppdb.NewBuilder().Build()
+	cfg := Config{Core: core.DefaultConfig()}
+
+	live := New(world, emb, db, cfg)
+	batches := [][]okb.Triple{
+		{
+			{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+			{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+		},
+		{
+			{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"},
+		},
+	}
+	for _, b := range batches {
+		if _, err := live.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live.Symbols().Len() == 0 {
+		t.Fatal("ingests interned no symbols")
+	}
+
+	var buf bytes.Buffer
+	if err := live.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), world, emb, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ls, rs := live.Symbols(), restored.Symbols()
+	if ls.Len() != rs.Len() {
+		t.Fatalf("symbol table length changed across restore: %d vs %d", rs.Len(), ls.Len())
+	}
+	for id := int32(0); int(id) < ls.Len(); id++ {
+		if got, want := rs.Surface(id), ls.Surface(id); got != want {
+			t.Fatalf("id %d resolves to %q after restore, was %q", id, got, want)
+		}
+	}
+	// Surfaces keep their ids: re-interning an already-known phrase in
+	// the restored session must be a pure lookup, never a new id.
+	for _, b := range batches {
+		for _, tr := range b {
+			want, ok := ls.Lookup(tr.Subj)
+			if !ok {
+				t.Fatalf("live session never interned %q", tr.Subj)
+			}
+			if got := rs.Intern(tr.Subj); got != want {
+				t.Fatalf("restored table re-interned %q at %d, live had %d", tr.Subj, got, want)
+			}
+		}
+	}
+}

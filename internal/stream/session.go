@@ -81,6 +81,15 @@ type IngestStats struct {
 	RepairBlocksReused int  `json:"repair_blocks_reused,omitempty"`
 	RepairBlocksRecut  int  `json:"repair_blocks_recut,omitempty"`
 
+	// AllocBytes / Allocs are the Go-runtime allocation deltas across
+	// the whole ingest (runtime.MemStats TotalAlloc / Mallocs, sampled
+	// under the ingest lock): the steady-state allocation cost the
+	// interning + pooling layers exist to bound. Concurrent reader
+	// goroutines' allocations land in the same counters, so treat the
+	// numbers as an upper bound on a loaded session.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Allocs     uint64 `json:"allocs"`
+
 	// Stage timings, recorded as durations so they sum exactly.
 	// ConstructTime covers resource extension and graph (re)build,
 	// InferTime the whole incremental inference pass — of which
@@ -160,6 +169,18 @@ type Session struct {
 	emb  *embedding.Model
 	ppdb *ppdb.DB
 
+	// syms is the session-lifetime interning table: every phrase,
+	// candidate id, and derived variable identity gets a dense int32 id
+	// at first sight, and all warm/incremental state is keyed on those
+	// ids. It survives epoch refreshes (ids are never reused — a refresh
+	// invalidates messages, not identities) and rides through
+	// checkpoints. A failed ingest may intern its batch's phrases before
+	// erroring; the stray ids are harmless garbage.
+	syms *okb.SymbolTable
+	// pool recycles BP message slabs across ingests, so steady-state
+	// inference reuses buffers instead of allocating O(graph) per batch.
+	pool *factorgraph.BufferPool
+
 	// mu serializes ingests and guards the epoch state below. A failed
 	// Ingest leaves all of it untouched (batches are committed only
 	// after inference succeeds), so the caller may retry the batch.
@@ -208,7 +229,14 @@ func New(ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) *Se
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Session{cfg: cfg, ckb: ckbStore, emb: emb, ppdb: db}
+	s := &Session{
+		cfg:  cfg,
+		ckb:  ckbStore,
+		emb:  emb,
+		ppdb: db,
+		syms: okb.NewSymbolTable(),
+		pool: factorgraph.NewBufferPool(),
+	}
 	if cfg.Query.Enable {
 		s.qidx = query.New(cfg.Query)
 	}
@@ -223,6 +251,11 @@ func New(ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) *Se
 // nil when Config.Query.Enable is unset. All Index query methods are
 // safe concurrent with Ingest and never block behind it.
 func (s *Session) Query() *query.Index { return s.qidx }
+
+// Symbols exposes the session's interning table. Read-side consumers
+// resolve the symbol ids carried by result deltas through it; the
+// table only grows, and lookups are safe concurrent with Ingest.
+func (s *Session) Symbols() *okb.SymbolTable { return s.syms }
 
 // Ingest folds a batch of triples into the session and re-infers,
 // re-running belief propagation only on the connected components the
@@ -260,6 +293,8 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	if s.tel != nil {
 		tb = telemetry.StartTrace(s.batches + 1)
 	}
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 
 	// Staleness accounting: readers of the query index see Behind=1
 	// from here until the new generation is published. The deferred
@@ -298,7 +333,7 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 		// by construction (potentials shift with the new IDF/AMIE), so
 		// drop them; fingerprint mismatches would discard them anyway.
 		done := span(tb, "signal-eval")
-		res = signals.New(okb.NewStore(grown), s.ckb, s.emb, s.ppdb)
+		res = signals.New(okb.NewStoreWithSymbols(grown, s.syms), s.ckb, s.emb, s.ppdb)
 		done()
 		cache = core.NewSimCache()
 		warm = nil
@@ -314,6 +349,7 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 
 	cfg := s.cfg.Core
 	cfg.Cache = cache
+	cfg.Pool = s.pool
 	doneBuild := span(tb, "graph-build")
 	sys, err := core.NewSystem(res, cfg)
 	doneBuild()
@@ -385,7 +421,7 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	// the previous generation (marked Behind=1) throughout this ingest.
 	if s.qidx != nil {
 		done := span(tb, "index-apply")
-		qs := s.qidx.Apply(result, result.Delta, s.triples)
+		qs := s.qidx.Apply(result, result.Delta, s.triples, s.syms)
 		done()
 		s.indexMS += qs.ApplyMS
 		st.Index = &qs
@@ -410,6 +446,11 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	if s.qidx != nil {
 		cum.IndexMS = s.indexMS
 	}
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	st.AllocBytes = mem1.TotalAlloc - mem0.TotalAlloc
+	st.Allocs = mem1.Mallocs - mem0.Mallocs
+
 	st.TotalTime = time.Since(start)
 	lastSt := st
 	cum.LastIngest = &lastSt

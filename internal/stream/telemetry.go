@@ -33,6 +33,8 @@ type sessionMetrics struct {
 	ingestDur    *telemetry.Histogram
 	stageDur     *telemetry.HistogramVec
 	batchSize    *telemetry.Histogram
+	allocBytes   *telemetry.Counter
+	allocs       *telemetry.Counter
 	sessTriples  *telemetry.Gauge
 	sessBatches  *telemetry.Gauge
 
@@ -87,6 +89,8 @@ func newSessionMetrics(s *Session) *sessionMetrics {
 		stageDur: r.HistogramVec("jocl_ingest_stage_duration_seconds",
 			"Per-stage wall clock of one ingest (stage = trace span name).", nil, "stage"),
 		batchSize:   r.Histogram("jocl_ingest_batch_triples", "Triples per ingested batch.", telemetry.CountBuckets),
+		allocBytes:  r.Counter("jocl_ingest_alloc_bytes_total", "Heap bytes allocated during ingests (runtime.MemStats.TotalAlloc deltas)."),
+		allocs:      r.Counter("jocl_ingest_allocs_total", "Heap objects allocated during ingests (runtime.MemStats.Mallocs deltas)."),
 		sessTriples: r.Gauge("jocl_session_triples", "Triples accumulated in the session."),
 		sessBatches: r.Gauge("jocl_session_batches", "Batches committed to the session."),
 
@@ -156,6 +160,8 @@ func (m *sessionMetrics) observeIngest(st *IngestStats, inc core.IncrementalStat
 	m.triples.Add(uint64(st.BatchTriples))
 	m.batchSize.Observe(float64(st.BatchTriples))
 	m.ingestDur.ObserveDuration(st.TotalTime)
+	m.allocBytes.Add(st.AllocBytes)
+	m.allocs.Add(st.Allocs)
 	if st.Refreshed {
 		m.refreshes.Inc()
 	}

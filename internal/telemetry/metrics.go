@@ -402,6 +402,26 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// FindCounter returns the registered counter for name (and label
+// values, for vecs), or nil — the counter twin of FindHistogram, used
+// by the bench artifacts to echo cumulative session counters.
+func (r *Registry) FindCounter(name string, values ...string) *Counter {
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	r.mu.Unlock()
+	if !ok || f.kind != kindCounter || len(values) != len(f.labels) {
+		return nil
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	s, ok := f.series[key]
+	f.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.counter
+}
+
 // FindHistogram returns the registered histogram for name (and label
 // values, for vecs), or nil — how the bench and tests read back the
 // same histograms the serving path feeds.
