@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query bench-checkpoint bench-intern bench-intern-gate bench-profile docs-check serve clean
+.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query bench-checkpoint bench-intern bench-intern-gate bench-traffic bench-profile docs-check serve clean
 
 # The streaming benchmark matrix runs at scale 0.1 with a multi-worker
 # session — large enough that identity-layer and allocator costs are
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./internal/checkpoint/ ./internal/telemetry/ ./cmd/jocl-serve/
+	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./internal/checkpoint/ ./internal/telemetry/ ./internal/ingress/ ./cmd/jocl-serve/
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -65,6 +65,13 @@ bench-intern:
 bench-intern-gate:
 	$(GO) run ./cmd/jocl-bench -exp intern -intern-scale $(BENCH_SCALE) -intern-workers $(BENCH_WORKERS) -intern-spot 0 -intern-gate BENCH_intern.json
 
+# Ingress benchmark: open-loop traffic replay against the async
+# coalescing ingest queue vs a synchronous session at equal offered
+# load (coalescing must cut mean per-batch ingest cost >= 1.3x, shed
+# rate 0 below the high-water mark). Emits BENCH_traffic.json.
+bench-traffic:
+	$(GO) run ./cmd/jocl-bench -exp traffic -scale $(BENCH_SCALE) -traffic-clients 8 -traffic-out BENCH_traffic.json
+
 # CPU + heap pprof profiles of the steady-state ingest path (the
 # interning benchmark without its spot check). Inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
@@ -80,4 +87,4 @@ serve:
 	$(GO) run ./cmd/jocl-serve -addr :8080
 
 clean:
-	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json BENCH_checkpoint.json cpu.pprof mem.pprof
+	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json BENCH_checkpoint.json BENCH_traffic.json cpu.pprof mem.pprof

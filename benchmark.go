@@ -86,7 +86,7 @@ func (b *Benchmark) Pipeline(opts ...Option) (*Pipeline, error) {
 // stream; see also cmd/jocl-serve, which does exactly that over HTTP.
 func (b *Benchmark) Session(opts ...Option) (*Session, error) {
 	o := applyOptions(opts)
-	return &Session{s: stream.New(b.ds.CKB, b.ds.Emb, b.ds.PPDB, o.streamConfig())}, nil
+	return newPublicSession(stream.New(b.ds.CKB, b.ds.Emb, b.ds.PPDB, o.streamConfig()), o), nil
 }
 
 // RestoreSessionFile reconstructs a streaming session from a
@@ -106,7 +106,7 @@ func (b *Benchmark) RestoreSessionFile(path string, opts ...Option) (*Session, e
 	if err != nil {
 		return nil, err
 	}
-	return &Session{s: sess}, nil
+	return newPublicSession(sess, o), nil
 }
 
 // ValidationLabels returns the gold labels of the benchmark's

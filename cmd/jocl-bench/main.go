@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair|query|checkpoint]
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair|query|checkpoint|traffic]
 //	           [-stream-batches 6] [-stream-preload 0.6] [-stream-out BENCH_stream.json]
 //	           [-segment-batches 8] [-segment-preload 0.6] [-segment-tol 0.02]
 //	           [-segment-out BENCH_segment.json]
@@ -15,6 +15,8 @@
 //	           [-query-out BENCH_query.json]
 //	           [-checkpoint-batches 8] [-checkpoint-preload 0.6]
 //	           [-checkpoint-out BENCH_checkpoint.json]
+//	           [-traffic-batches 41] [-traffic-preload 0.6] [-traffic-clients 8]
+//	           [-traffic-out BENCH_traffic.json]
 //
 // scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
 // the default keeps a laptop run under a minute.
@@ -45,6 +47,14 @@
 // internal/bench.RunCheckpoint) and, with -checkpoint-out, writes the
 // BENCH_checkpoint.json artifact.
 //
+// -exp traffic runs the ingress traffic benchmark: the same open-loop
+// mixed ingest/query schedule, offered at twice the synchronous
+// per-batch capacity, replayed against the synchronous ingest path and
+// the coalescing ingress pipeline (see internal/bench.RunTraffic).
+// With -traffic-out it writes the BENCH_traffic.json artifact: client
+// p50/p95/p99 ingest and read latencies, shed rate, coalescing factor,
+// and the per-batch session cost ratio.
+//
 // Every streaming artifact additionally carries p50/p95/p99 latency
 // digests (ingest_latency, and read_latency for the query benchmark)
 // read back from the same telemetry histograms the serving stack
@@ -65,7 +75,7 @@ import (
 func main() {
 	var (
 		scale          = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
-		exp            = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream, segment, repair, query, checkpoint)")
+		exp            = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream, segment, repair, query, checkpoint, traffic)")
 		streamBatches  = flag.Int("stream-batches", 6, "stream: total batches (1 preload + N-1 increments)")
 		streamPreload  = flag.Float64("stream-preload", 0.6, "stream: fraction of triples ingested as the preload batch")
 		streamOut      = flag.String("stream-out", "", "stream: write the report JSON to this path (e.g. BENCH_stream.json)")
@@ -84,6 +94,10 @@ func main() {
 		ckptBatches    = flag.Int("checkpoint-batches", 8, "checkpoint: total batches (the last one lands after the simulated crash)")
 		ckptPreload    = flag.Float64("checkpoint-preload", 0.6, "checkpoint: fraction of triples ingested as the preload batch")
 		ckptOut        = flag.String("checkpoint-out", "", "checkpoint: write the report JSON to this path (e.g. BENCH_checkpoint.json)")
+		trafficBatches = flag.Int("traffic-batches", 41, "traffic: total batches (1 preload + 3 calibration + N-4 open-loop)")
+		trafficPreload = flag.Float64("traffic-preload", 0.6, "traffic: fraction of triples ingested as the preload batch")
+		trafficClients = flag.Int("traffic-clients", 8, "traffic: concurrent ingest clients (and as many query clients)")
+		trafficOut     = flag.String("traffic-out", "", "traffic: write the report JSON to this path (e.g. BENCH_traffic.json)")
 		internScale    = flag.Float64("intern-scale", 0.1, "intern: fraction of the paper's data set sizes (the raised default matrix)")
 		internBatches  = flag.Int("intern-batches", 25, "intern: total batches (1 preload + N-1 steady increments)")
 		internPreload  = flag.Float64("intern-preload", 0.6, "intern: fraction of triples ingested as the preload batch")
@@ -160,6 +174,13 @@ func main() {
 	}
 	if *exp == "checkpoint" {
 		if err := runCheckpoint(*scale, *ckptPreload, *ckptBatches, *ckptOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "traffic" {
+		if err := runTraffic(*scale, *trafficPreload, *trafficBatches, *trafficClients, *trafficOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 			os.Exit(1)
 		}
@@ -283,6 +304,27 @@ func runQuery(scale, preload float64, batches, readers int, out string) error {
 
 func runCheckpoint(scale, preload float64, batches int, out string) error {
 	report, err := bench.RunCheckpoint("reverb45k", scale, preload, batches, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runTraffic(scale, preload float64, batches, clients int, out string) error {
+	report, err := bench.RunTraffic("reverb45k", scale, preload, batches, 0, clients)
 	if err != nil {
 		return err
 	}

@@ -13,7 +13,8 @@
 // for /-absolute targets), ignoring pure #anchors. The godoc pass
 // parses each listed package (default: the public jocl package plus
 // internal/factorgraph, internal/core, internal/stream, internal/bench,
-// internal/query, internal/checkpoint, internal/telemetry)
+// internal/query, internal/checkpoint, internal/telemetry,
+// internal/ingress)
 // and reports exported functions, methods, types, and ungrouped
 // const/var specs that carry no doc comment — the same surface the
 // revive exported rule checks, implemented on the standard go/ast so CI
@@ -36,7 +37,7 @@ import (
 func main() {
 	var (
 		root = flag.String("root", ".", "repository root to scan")
-		pkgs = flag.String("pkgs", ".,internal/factorgraph,internal/core,internal/stream,internal/bench,internal/query,internal/checkpoint,internal/telemetry",
+		pkgs = flag.String("pkgs", ".,internal/factorgraph,internal/core,internal/stream,internal/bench,internal/query,internal/checkpoint,internal/telemetry,internal/ingress",
 			"comma-separated package directories to check for exported-identifier docs")
 	)
 	flag.Parse()

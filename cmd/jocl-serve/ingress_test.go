@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The tests below drive the server with the async ingress queue
+// enabled (the -ingest-queue path). They use the pipeline's own
+// control points — a long coalesce window holds a group open until a
+// sealing batch arrives, and a large epoch batch keeps the preparer
+// busy long enough to observe queued state — so every scenario is
+// deterministic rather than a timing lottery.
+
+func ingressServer(t *testing.T, in jocl.IngressOptions) (*server, *jocl.Session) {
+	t.Helper()
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session(jocl.WithIngress(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sess.Close(ctx); err != nil {
+			t.Errorf("closing ingress session: %v", err)
+		}
+	})
+	return newServer(sess, serveOptions{maxBatch: 1000}), sess
+}
+
+// pollStats GETs /stats until cond accepts the response or the
+// deadline passes.
+func pollStats(t *testing.T, srv *server, what string, cond func(statsResponse) bool) statsResponse {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	var st statsResponse
+	for {
+		st = statsResponse{}
+		getJSON(t, srv, "/stats", &st)
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; last stats: %+v (ingress %+v)", what, st, st.Ingress)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// asyncIngest fires one POST /ingest in the background and returns a
+// channel carrying the recorder once the handler finishes.
+func asyncIngest(srv *server, ctx context.Context, triples []tripleJSON) chan *httptest.ResponseRecorder {
+	out := make(chan *httptest.ResponseRecorder, 1)
+	body, _ := json.Marshal(ingestRequest{Triples: triples})
+	req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+	if ctx != nil {
+		req = req.WithContext(ctx)
+	}
+	go func() {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		out <- rec
+	}()
+	return out
+}
+
+func oneTriple(i int) []tripleJSON {
+	return []tripleJSON{{
+		Subject:   fmt.Sprintf("holding %d", i),
+		Predicate: "acquire",
+		Object:    fmt.Sprintf("subsidiary %d", i),
+	}}
+}
+
+// TestServeIngressCoalescesAndCountsInFlight holds a coalesce group
+// open with a long window, parks three ingests in it, and proves (a)
+// jocl_http_in_flight counts queued-but-unstarted ingests — the
+// session has committed nothing while the gauge reads them — and (b)
+// the sealing fourth batch rides the same merged ingest, reported via
+// coalesced_batches on every response and the ingress block of
+// /stats.
+func TestServeIngressCoalescesAndCountsInFlight(t *testing.T) {
+	srv, _ := ingressServer(t, jocl.IngressOptions{
+		QueueDepth:     8,
+		CoalesceDepth:  4,
+		CoalesceWindow: time.Minute,
+	})
+
+	var waiting []chan *httptest.ResponseRecorder
+	for i := 0; i < 3; i++ {
+		waiting = append(waiting, asyncIngest(srv, nil, oneTriple(i)))
+	}
+
+	// The gauge must reach 4: the three parked ingests plus the
+	// /metrics scrape reading it. Nothing may commit while they wait.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		_, body := scrapeFamilies(t, srv)
+		if strings.Contains(body, "jocl_http_in_flight 4\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge never saw the queued ingests:\n%s", grepLines(body, "jocl_http_in_flight"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := pollStats(t, srv, "stats while ingests parked", func(statsResponse) bool { return true }); st.Batches != 0 {
+		t.Fatalf("session committed %d batches while all ingests were queued", st.Batches)
+	}
+
+	// The fourth batch fills the group to CoalesceDepth and seals it.
+	rec, ing := postIngest(t, srv, oneTriple(3))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sealing ingest = %d: %s", rec.Code, rec.Body)
+	}
+	if ing.CoalescedBatches != 4 {
+		t.Errorf("sealing ingest coalesced_batches = %d, want 4", ing.CoalescedBatches)
+	}
+	for i, ch := range waiting {
+		rec := <-ch
+		if rec.Code != http.StatusOK {
+			t.Fatalf("parked ingest %d = %d: %s", i, rec.Code, rec.Body)
+		}
+		var resp ingestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.CoalescedBatches != 4 {
+			t.Errorf("parked ingest %d coalesced_batches = %d, want 4", i, resp.CoalescedBatches)
+		}
+	}
+
+	var st statsResponse
+	getJSON(t, srv, "/stats", &st)
+	if st.Batches != 1 || st.TotalTriples != 4 {
+		t.Errorf("after coalesced ingest: batches=%d triples=%d, want 1/4", st.Batches, st.TotalTriples)
+	}
+	in := st.Ingress
+	if in == nil {
+		t.Fatal("/stats misses the ingress block with -ingest-queue on")
+	}
+	if in.Submitted != 4 || in.MergedIngests != 1 || in.CoalescedBatches != 4 || in.CoalescingFactor != 4 {
+		t.Errorf("ingress stats: %+v, want submitted=4 merged=1 coalesced=4 factor=4", in)
+	}
+
+	// The ingress metric families are on /metrics alongside the rest.
+	fams, body := scrapeFamilies(t, srv)
+	for name, kind := range map[string]string{
+		"jocl_ingress_queue_depth":             "gauge",
+		"jocl_ingress_submitted_total":         "counter",
+		"jocl_ingress_shed_total":              "counter",
+		"jocl_ingress_cancelled_total":         "counter",
+		"jocl_ingress_merged_ingests_total":    "counter",
+		"jocl_ingress_coalesced_batches_total": "counter",
+		"jocl_ingress_splits_total":            "counter",
+		"jocl_ingress_coalesce_batches":        "histogram",
+		"jocl_ingress_queue_wait_seconds":      "histogram",
+	} {
+		if got, ok := fams[name]; !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+		} else if got != kind {
+			t.Errorf("metric %s has type %s, want %s", name, got, kind)
+		}
+	}
+	for _, want := range []string{
+		"jocl_ingress_merged_ingests_total 1",
+		"jocl_ingress_coalesced_batches_total 4",
+		"jocl_ingress_submitted_total 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics misses %q:\n%s", want, grepLines(body, "jocl_ingress"))
+		}
+	}
+}
+
+// bigBatch builds n distinct synthetic triples: enough fresh noun and
+// relation phrases that the epoch ingest carrying them keeps the
+// preparer busy for a macroscopic stretch.
+func bigBatch(tag string, n int) []tripleJSON {
+	out := make([]tripleJSON, n)
+	for i := range out {
+		out[i] = tripleJSON{
+			Subject:   fmt.Sprintf("%s conglomerate %d", tag, i),
+			Predicate: "take over",
+			Object:    fmt.Sprintf("%s venture %d", tag, i),
+		}
+	}
+	return out
+}
+
+// TestServeOverloadShedsAndCancelsQueued wedges the preparer with a
+// large two-batch epoch merge, stacks the queue to its high-water
+// mark, and proves the HTTP mappings: a submission past the mark gets
+// 429 with a sane Retry-After header, a client that disconnects while
+// queued gets 408 and its batch never reaches the session, and the
+// accepted work all lands.
+func TestServeOverloadShedsAndCancelsQueued(t *testing.T) {
+	srv, _ := ingressServer(t, jocl.IngressOptions{
+		QueueDepth:     4,
+		CoalesceDepth:  2,
+		CoalesceWindow: time.Minute,
+		ShedDepth:      2,
+	})
+
+	// Two 400-triple batches coalesce into the epoch ingest; while it
+	// prepares, the preparer cannot claim anything else.
+	a := asyncIngest(srv, nil, bigBatch("alpha", 400))
+	b := asyncIngest(srv, nil, bigBatch("beta", 400))
+	pollStats(t, srv, "epoch merge sealed", func(st statsResponse) bool {
+		return st.Ingress != nil && st.Ingress.Submitted == 2 && st.Ingress.QueueDepth == 0 && st.Batches == 0
+	})
+
+	// Queue two singles behind the wedge: the second reaches the
+	// ShedDepth=2 high-water mark.
+	cctx, cancelC := context.WithCancel(context.Background())
+	defer cancelC()
+	c := asyncIngest(srv, cctx, oneTriple(100))
+	pollStats(t, srv, "first single queued", func(st statsResponse) bool {
+		return st.Ingress != nil && st.Ingress.QueueDepth == 1
+	})
+	d := asyncIngest(srv, nil, oneTriple(101))
+	pollStats(t, srv, "second single queued", func(st statsResponse) bool {
+		return st.Ingress != nil && st.Ingress.QueueDepth == 2
+	})
+
+	// At the high-water mark a fresh submission is shed.
+	rec, _ := postIngest(t, srv, oneTriple(102))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("submission past high-water = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	ra := rec.Header().Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Errorf("Retry-After = %q, want an integer in [1,30]", ra)
+	}
+
+	// A client cancelling while queued is withdrawn before the session
+	// sees its batch.
+	cancelC()
+	if rec := <-c; rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("cancelled-while-queued ingest = %d, want 408: %s", rec.Code, rec.Body)
+	}
+
+	// The epoch merge lands for both members.
+	for name, ch := range map[string]chan *httptest.ResponseRecorder{"alpha": a, "beta": b} {
+		rec := <-ch
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s epoch batch = %d: %s", name, rec.Code, rec.Body)
+		}
+		var resp ingestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.CoalescedBatches != 2 {
+			t.Errorf("%s epoch batch coalesced_batches = %d, want 2", name, resp.CoalescedBatches)
+		}
+	}
+
+	// The surviving single is now the lead of an open group; a sealing
+	// partner lets it commit. Wait for the queue to drain first so the
+	// sealer is not itself shed against the stale backlog.
+	pollStats(t, srv, "queue drained after epoch", func(st statsResponse) bool {
+		return st.Ingress != nil && st.Ingress.QueueDepth == 0 && st.Batches == 1
+	})
+	rec, ing := postIngest(t, srv, oneTriple(103))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sealing ingest = %d: %s", rec.Code, rec.Body)
+	}
+	if ing.CoalescedBatches != 2 {
+		t.Errorf("sealing ingest coalesced_batches = %d, want 2", ing.CoalescedBatches)
+	}
+	if rec := <-d; rec.Code != http.StatusOK {
+		t.Fatalf("queued single = %d: %s", rec.Code, rec.Body)
+	}
+
+	st := pollStats(t, srv, "final state", func(st statsResponse) bool {
+		return st.Batches == 2
+	})
+	if st.TotalTriples != 802 {
+		t.Errorf("total triples = %d, want 802 (the cancelled and shed batches must not land)", st.TotalTriples)
+	}
+	in := st.Ingress
+	if in.Submitted != 5 || in.Shed != 1 || in.Cancelled != 1 || in.MergedIngests != 2 || in.CoalescedBatches != 4 || in.Splits != 0 {
+		t.Errorf("ingress counters: %+v, want submitted=5 shed=1 cancelled=1 merged=2 coalesced=4 splits=0", in)
+	}
+	_, body := scrapeFamilies(t, srv)
+	for _, want := range []string{
+		"jocl_ingress_shed_total 1",
+		"jocl_ingress_cancelled_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics misses %q:\n%s", want, grepLines(body, "jocl_ingress"))
+		}
+	}
+}
+
+// TestServeClosedSessionReturns503 proves the shutdown path: once the
+// session's ingress pipeline is closed, /ingest answers 503 instead
+// of hanging or crashing, while the read path stays up.
+func TestServeClosedSessionReturns503(t *testing.T) {
+	srv, sess := ingressServer(t, jocl.IngressOptions{QueueDepth: 4})
+	if rec, _ := postIngest(t, srv, oneTriple(0)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest before close = %d", rec.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := postIngest(t, srv, oneTriple(1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("ingest after close = %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if rec := getJSON(t, srv, "/stats", nil); rec.Code != http.StatusOK {
+		t.Errorf("/stats after close = %d", rec.Code)
+	}
+}

@@ -9,12 +9,28 @@
 //	jocl-serve [-addr :8080] [-profile reverb45k] [-scale 0.02]
 //	           [-workers 0] [-refresh-every 0] [-max-batch 10000]
 //	           [-max-body-bytes 8388608]
+//	           [-ingest-queue 64] [-coalesce-depth 16]
+//	           [-coalesce-window 0] [-shed-depth 0]
 //	           [-segment] [-hub-percentile 0.99] [-min-hub-degree 8]
 //	           [-max-block-vars 0] [-target-blocks-per-worker 4]
 //	           [-outer-rounds 4] [-boundary-tol 0.005] [-no-repair]
 //	           [-query] [-query-max-results 1000] [-query-max-layers 4]
 //	           [-checkpoint-dir DIR] [-checkpoint-every N]
 //	           [-log-format text|json] [-trace-ring 64] [-pprof]
+//
+// Ingest runs through a bounded asynchronous queue by default
+// (-ingest-queue, 0 restores fully synchronous ingest): batches that
+// arrive while the session is busy coalesce into one merged ingest (up
+// to -coalesce-depth per merge; -coalesce-window optionally lingers
+// for stragglers), the next batch's signal evaluation and graph build
+// overlap the previous batch's belief propagation, and once queue
+// depth reaches -shed-depth (default: the queue size) further /ingest
+// requests are shed with 429 and a Retry-After estimate instead of
+// queueing without bound. Merging is equivalence-tested against serial
+// ingest — the response then reports the merged ingest's statistics
+// with coalesced_batches > 1. Graceful shutdown drains the queue
+// before the final checkpoint; queue pressure is visible as the
+// jocl_ingress_* families on /metrics and the ingress block of /stats.
 //
 // -segment enables hub-cut graph segmentation: the highest-degree
 // variables (popular phrases that fuse the factor graph into one giant
@@ -94,6 +110,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -117,6 +134,10 @@ func main() {
 		workers      = flag.Int("workers", 0, "inference worker pool (0 = GOMAXPROCS)")
 		refreshEvery = flag.Int("refresh-every", 0, "rebuild frozen signal statistics every N batches (0 = never)")
 		maxBatch     = flag.Int("max-batch", 10000, "largest accepted ingest batch")
+		ingestQueue  = flag.Int("ingest-queue", 64, "bounded async ingest queue depth (0 = synchronous ingest, no coalescing or shedding)")
+		coalesceDep  = flag.Int("coalesce-depth", 0, "max queued batches merged into one ingest (0 = default 16; 1 disables merging, keeps pipelining)")
+		coalesceWin  = flag.Duration("coalesce-window", 0, "how long to linger for straggler batches before sealing a merged ingest (0 = merge only already-queued batches)")
+		shedDepth    = flag.Int("shed-depth", 0, "queue high-water mark past which /ingest sheds with 429 (0 = the queue depth)")
 		segment      = flag.Bool("segment", false, "enable hub-cut graph segmentation")
 		hubPct       = flag.Float64("hub-percentile", 0, "segmentation: degree percentile above which variables are cut (0 = default 0.99)")
 		minHubDeg    = flag.Int("min-hub-degree", 0, "segmentation: absolute degree floor for cutting (0 = default 8)")
@@ -170,6 +191,14 @@ func main() {
 		}))
 	} else {
 		opts = append(opts, jocl.WithoutQueryIndex())
+	}
+	if *ingestQueue > 0 {
+		opts = append(opts, jocl.WithIngress(jocl.IngressOptions{
+			QueueDepth:     *ingestQueue,
+			CoalesceDepth:  *coalesceDep,
+			CoalesceWindow: *coalesceWin,
+			ShedDepth:      *shedDepth,
+		}))
 	}
 	if *segment {
 		opts = append(opts, jocl.WithSegmentation(jocl.SegmentOptions{
@@ -237,6 +266,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			fatal("shutdown", err)
+		}
+		// Drain the ingest queue before the final checkpoint: every batch
+		// a client was told "accepted" must be committed and captured.
+		if err := sess.Close(sctx); err != nil {
+			logger.Error("draining ingest queue", "err", err)
 		}
 		if ckptPath != "" {
 			if _, err := srv.writeCheckpoint(); err != nil {
@@ -454,6 +488,10 @@ type ingestResponse struct {
 	IndexMillis float64 `json:"index_ms,omitempty"`
 	IndexKeys   int     `json:"index_keys,omitempty"`
 	IndexFull   bool    `json:"index_full,omitempty"`
+	// coalesced_batches reports how many queued batches the session
+	// ingest carrying this one merged (1 = it rode alone); when > 1 the
+	// statistics above describe the whole merged ingest.
+	CoalescedBatches int `json:"coalesced_batches,omitempty"`
 }
 
 func ingestResponseOf(st jocl.IngestStats) ingestResponse {
@@ -477,6 +515,7 @@ func ingestResponseOf(st jocl.IngestStats) ingestResponse {
 		IndexMillis:        st.IndexMillis,
 		IndexKeys:          st.IndexKeys,
 		IndexFull:          st.IndexFull,
+		CoalescedBatches:   st.CoalescedBatches,
 	}
 }
 
@@ -516,9 +555,26 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = jocl.Triple{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}
 	}
-	st, err := s.sess.Ingest(batch)
+	st, err := s.sess.IngestContext(r.Context(), batch)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		var over *jocl.OverloadedError
+		switch {
+		case errors.As(err, &over):
+			// Load shed: tell the client when the backlog should have
+			// drained. Retry-After is whole seconds, rounded up.
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(over.RetryAfter.Seconds()))))
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("ingest queue overloaded (depth %d); retry after %s", over.QueueDepth, over.RetryAfter))
+		case errors.Is(err, jocl.ErrSessionClosed):
+			httpError(w, http.StatusServiceUnavailable, "shutting down")
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client went away while the batch was queued; it was
+			// withdrawn before the session saw it. 499-style: nobody is
+			// listening, but the status keeps the logs honest.
+			httpError(w, http.StatusRequestTimeout, "client cancelled while queued")
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	s.maybeCheckpoint(st.Batch)
@@ -645,7 +701,21 @@ type statsResponse struct {
 	QueryLayers     int             `json:"query_layers,omitempty"`
 	QueryIndexMS    float64         `json:"query_index_ms,omitempty"`
 	QueryMaxResults int             `json:"query_max_results,omitempty"`
-	LastIngest      *ingestResponse `json:"last_ingest,omitempty"`
+	// ingress surfaces the async ingest queue's counters (absent with
+	// -ingest-queue 0).
+	Ingress    *ingressStatsJSON `json:"ingress,omitempty"`
+	LastIngest *ingestResponse   `json:"last_ingest,omitempty"`
+}
+
+type ingressStatsJSON struct {
+	QueueDepth       int     `json:"queue_depth"`
+	Submitted        uint64  `json:"submitted"`
+	Shed             uint64  `json:"shed"`
+	Cancelled        uint64  `json:"cancelled"`
+	MergedIngests    uint64  `json:"merged_ingests"`
+	CoalescedBatches uint64  `json:"coalesced_batches"`
+	Splits           uint64  `json:"splits"`
+	CoalescingFactor float64 `json:"coalescing_factor"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -671,6 +741,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueryLayers:        st.QueryLayers,
 		QueryIndexMS:       st.QueryIndexMillis,
 		QueryMaxResults:    st.QueryMaxResults,
+	}
+	if in, ok := s.sess.IngressStats(); ok {
+		resp.Ingress = &ingressStatsJSON{
+			QueueDepth:       in.QueueDepth,
+			Submitted:        in.Submitted,
+			Shed:             in.Shed,
+			Cancelled:        in.Cancelled,
+			MergedIngests:    in.MergedIngests,
+			CoalescedBatches: in.CoalescedBatches,
+			Splits:           in.Splits,
+			CoalescingFactor: in.CoalescingFactor(),
+		}
 	}
 	if li := st.LastIngest; li != nil {
 		r := ingestResponseOf(*li)

@@ -702,6 +702,8 @@ func TestServePprofGated(t *testing.T) {
 // serving session (plus the HTTP layer) registers must be named in
 // docs/OBSERVABILITY.md. Families are registered up front at
 // construction, so no traffic is needed to see the full catalogue.
+// The session runs with the ingress queue enabled — the production
+// default — so the jocl_ingress_* families are covered too.
 func TestMetricsDocumented(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
 	if err != nil {
@@ -709,7 +711,15 @@ func TestMetricsDocumented(t *testing.T) {
 	}
 	doc := string(raw)
 
-	srv := newServer(mustSession(t), serveOptions{maxBatch: 1000})
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session(jocl.WithIngress(jocl.IngressOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sess, serveOptions{maxBatch: 1000})
 	tel := srv.sess.Telemetry()
 	if tel == nil {
 		t.Fatal("telemetry-enabled session returned a nil handle")

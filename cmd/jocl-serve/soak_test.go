@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/checkpoint"
+)
+
+// TestServeSoakReplayEquivalence runs the full serving stack — real
+// listener, ingress queue, periodic checkpoints — under concurrent
+// open-loop traffic, then proves the end state honest two ways:
+//
+//  1. The checkpoint's accumulated triple log is exactly the multiset
+//     of batches clients got a 200 for — nothing accepted was lost,
+//     nothing shed or errored leaked in.
+//  2. A fresh session serially replaying that log (epoch first, then
+//     the remainder) reaches the same canonical groups, links, and
+//     query answers as the live session that absorbed the traffic
+//     through coalesced merges.
+//
+// Along the way it asserts liveness (acceptances keep happening, no
+// shed-storm livelock) and that every shed response carries a usable
+// Retry-After. Run with -race: the point of the soak is to churn the
+// claim/cancel/commit interleavings.
+func TestServeSoakReplayEquivalence(t *testing.T) {
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session(jocl.WithIngress(jocl.IngressOptions{
+		QueueDepth:    32,
+		CoalesceDepth: 8,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sess.Close(ctx)
+	})
+	dir := t.TempDir()
+	path := filepath.Join(dir, jocl.CheckpointFileName)
+	srv := newServer(sess, serveOptions{maxBatch: 1000, checkpointPath: path})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	soak := 2 * time.Second
+	if testing.Short() {
+		soak = 500 * time.Millisecond
+	}
+	deadline := time.Now().Add(soak)
+
+	const writers = 4
+	var (
+		wg       sync.WaitGroup
+		accepted [writers][][]tripleJSON // per-writer batches that got a 200
+		oks      atomic.Int64
+		sheds    atomic.Int64
+		failures = make(chan string, 256)
+	)
+	fail := func(format string, args ...any) {
+		select {
+		case failures <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				batch := []tripleJSON{{
+					Subject:   fmt.Sprintf("w%d firm %d", w, seq),
+					Predicate: "absorb",
+					Object:    fmt.Sprintf("w%d target %d", w, seq),
+				}}
+				if seq%3 == 0 {
+					batch = append(batch, tripleJSON{
+						Subject:   fmt.Sprintf("w%d firm %d", w, seq),
+						Predicate: "retain",
+						Object:    fmt.Sprintf("w%d advisor %d", w, seq),
+					})
+				}
+				body, _ := json.Marshal(ingestRequest{Triples: batch})
+				resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fail("writer %d: %v", w, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					accepted[w] = append(accepted[w], batch)
+					oks.Add(1)
+				case http.StatusTooManyRequests:
+					sheds.Add(1)
+					ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+					if err != nil || ra < 1 || ra > 30 {
+						fail("writer %d: 429 with Retry-After %q", w, resp.Header.Get("Retry-After"))
+					}
+					// An open-loop client would keep firing; backing off
+					// briefly keeps the soak from being a pure shed storm.
+					time.Sleep(5 * time.Millisecond)
+				default:
+					fail("writer %d: unexpected status %d", w, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+
+	// Readers hammer the query surface concurrently with the writers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			paths := []string{
+				"/stats", "/result", "/metrics",
+				fmt.Sprintf("/query/resolve?np=w%d+firm+0", r),
+				fmt.Sprintf("/query/triples?subject=w%d+firm+1", r),
+			}
+			for i := 0; time.Now().Before(deadline); i++ {
+				resp, err := client.Get(ts.URL + paths[i%len(paths)])
+				if err != nil {
+					fail("reader %d: %v", r, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// 404 is fine (nothing ingested yet / unknown surface);
+				// server errors are not.
+				if resp.StatusCode >= 500 {
+					fail("reader %d %s: %d", r, paths[i%len(paths)], resp.StatusCode)
+				}
+			}
+		}(r)
+	}
+
+	// A checkpoint client snapshots mid-traffic, racing the quiesce
+	// logic against in-flight merges.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			resp, err := client.Post(ts.URL+"/checkpoint", "application/json", nil)
+			if err != nil {
+				fail("checkpointer: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("checkpointer: status %d", resp.StatusCode)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Error(f)
+	}
+	if oks.Load() < writers {
+		t.Fatalf("only %d accepted ingests across %d writers (%d shed) — the pipeline made no progress",
+			oks.Load(), writers, sheds.Load())
+	}
+	t.Logf("soak: %d accepted, %d shed", oks.Load(), sheds.Load())
+
+	// Every writer has returned, so every accepted batch has committed.
+	// Take the final checkpoint and compare its log against what the
+	// clients believe was accepted.
+	resp, err := client.Post(ts.URL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final checkpoint = %d", resp.StatusCode)
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []string
+	for w := range accepted {
+		for _, b := range accepted[w] {
+			for _, tr := range b {
+				want = append(want, tr.Subject+"|"+tr.Predicate+"|"+tr.Object)
+			}
+		}
+	}
+	got := make([]string, len(snap.Triples))
+	for i, tr := range snap.Triples {
+		got[i] = tr.Subj + "|" + tr.Pred + "|" + tr.Obj
+	}
+	sort.Strings(want)
+	sorted := append([]string(nil), got...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(want, sorted) {
+		t.Fatalf("checkpoint log is not the multiset of accepted batches: %d accepted triples vs %d checkpointed",
+			len(want), len(got))
+	}
+
+	// Serial replay: the epoch slice first (reproducing the frozen
+	// signal statistics exactly), then the remainder as one batch —
+	// the post-epoch merge the equivalence suite proves invisible.
+	replay, err := bench.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := make([]jocl.Triple, 0, snap.EpochTriples)
+	rest := make([]jocl.Triple, 0, len(snap.Triples)-snap.EpochTriples)
+	for i, tr := range snap.Triples {
+		jt := jocl.Triple{Subject: tr.Subj, Predicate: tr.Pred, Object: tr.Obj}
+		if i < snap.EpochTriples {
+			epoch = append(epoch, jt)
+		} else {
+			rest = append(rest, jt)
+		}
+	}
+	if len(epoch) > 0 {
+		if _, err := replay.Ingest(epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rest) > 0 {
+		if _, err := replay.Ingest(rest); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	live := sess.Snapshot()
+	rep := replay.Snapshot()
+	if live == nil || rep == nil {
+		t.Fatalf("missing snapshot (live=%v replay=%v)", live == nil, rep == nil)
+	}
+	for _, c := range []struct {
+		name string
+		a, b interface{}
+	}{
+		{"NPGroups", live.NPGroups, rep.NPGroups},
+		{"RPGroups", live.RPGroups, rep.RPGroups},
+		{"EntityLinks", live.EntityLinks, rep.EntityLinks},
+		{"RelationLinks", live.RelationLinks, rep.RelationLinks},
+	} {
+		if !reflect.DeepEqual(c.a, c.b) {
+			t.Errorf("live vs serial replay: %s diverge", c.name)
+		}
+	}
+	if lt, rt := sess.Stats().TotalTriples, replay.Stats().TotalTriples; lt != rt {
+		t.Errorf("total triples diverge: live %d vs replay %d", lt, rt)
+	}
+
+	// Spot-check the read path on every writer's first accepted subject.
+	for w := range accepted {
+		if len(accepted[w]) == 0 {
+			continue
+		}
+		surface := accepted[w][0][0].Subject
+		la, lok := sess.QueryEntity(surface)
+		ra, rok := replay.QueryEntity(surface)
+		if lok != rok {
+			t.Errorf("QueryEntity(%q) ok diverges (%v vs %v)", surface, lok, rok)
+			continue
+		}
+		la.Gen, ra.Gen = jocl.QueryGen{}, jocl.QueryGen{}
+		if !reflect.DeepEqual(la, ra) {
+			t.Errorf("QueryEntity(%q) diverges\nlive:   %+v\nreplay: %+v", surface, la, ra)
+		}
+		lts, _ := sess.QueryTriplesBySubject(surface, 0)
+		rts, _ := replay.QueryTriplesBySubject(surface, 0)
+		if !reflect.DeepEqual(lts.Triples, rts.Triples) || lts.Total != rts.Total {
+			t.Errorf("QueryTriplesBySubject(%q) diverges (%d vs %d)", surface, lts.Total, rts.Total)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/ingress"
+	"repro/internal/okb"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// TrafficSide is one mode's measurements under the shared open-loop
+// schedule: "sync" submits each arrival straight to the session (the
+// pre-ingress serving path, every batch paying a full inference run),
+// "coalesced" submits through the ingress pipeline (queued arrivals
+// merge into shared ingests).
+type TrafficSide struct {
+	Mode string `json:"mode"`
+
+	// Accepted / Shed partition the offered batches; ShedRate is
+	// Shed/(Accepted+Shed). Below the high-water mark the rate is 0 —
+	// the queue absorbs the backlog instead of refusing it.
+	Accepted int64   `json:"accepted"`
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+
+	// WallMS is the phase wall-clock from first arrival to last
+	// completion; AchievedQPS is Accepted over that wall.
+	WallMS      float64 `json:"wall_ms"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	// IngestLatency digests the client-observed submit-to-commit
+	// latency (queue wait included); ReadLatency the individual reads
+	// the concurrent query clients issued.
+	IngestLatency LatencySummary `json:"ingest_latency"`
+	ReadLatency   LatencySummary `json:"read_latency"`
+	Reads         int64          `json:"reads"`
+
+	// MergedIngests / CoalescedBatches mirror the pipeline counters
+	// (on the sync side every batch is its own ingest, factor 1).
+	MergedIngests    uint64  `json:"merged_ingests"`
+	CoalescedBatches uint64  `json:"coalesced_batches"`
+	CoalescingFactor float64 `json:"coalescing_factor"`
+
+	// SessionIngestMS is the session-side mean wall per ingest it ran
+	// (a merged ingest is one); PerBatchCostMS divides the same total
+	// session wall by accepted client batches — the number coalescing
+	// is supposed to cut.
+	SessionIngestMS float64 `json:"session_ingest_ms"`
+	PerBatchCostMS  float64 `json:"per_batch_cost_ms"`
+}
+
+// TrafficReport is the ingress traffic benchmark's output, emitted as
+// the BENCH_traffic.json artifact: the same open-loop mixed
+// ingest/query schedule replayed against the synchronous path and the
+// coalescing pipeline, at an offered load calibrated to twice what
+// the synchronous path sustains.
+type TrafficReport struct {
+	Profile string  `json:"profile"`
+	Scale   float64 `json:"scale"`
+	Batches int     `json:"batches"`
+	Workers int     `json:"workers"`
+	Clients int     `json:"clients"`
+
+	// CalibrationMS is the measured synchronous per-batch ingest wall;
+	// InterarrivalMS = CalibrationMS/2, i.e. batches are offered at 2x
+	// the synchronous capacity.
+	CalibrationMS  float64 `json:"calibration_ms"`
+	InterarrivalMS float64 `json:"interarrival_ms"`
+
+	Sync      TrafficSide `json:"sync"`
+	Coalesced TrafficSide `json:"coalesced"`
+
+	// CostRatio is sync per-batch session cost over coalesced
+	// per-batch session cost: how much cheaper coalescing makes the
+	// average accepted batch at equal offered load.
+	CostRatio float64 `json:"cost_ratio"`
+}
+
+// trafficSession builds one benchmark session in the serving
+// configuration: hub-cut segmentation, query index, telemetry on.
+func trafficSession(ds *datasets.Dataset, workers int) *stream.Session {
+	cfg := core.DefaultConfig()
+	cfg.BP.MaxSweeps = 40
+	cfg.Segment.Enable = true
+	return stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{
+		Core:      cfg,
+		Workers:   workers,
+		Query:     query.Config{Enable: true},
+		Telemetry: benchTelemetry(),
+	})
+}
+
+// sessionWall reads the cumulative session-side ingest wall-clock and
+// ingest count from the telemetry histogram /metrics exports.
+func sessionWall(sess *stream.Session) (sum float64, count uint64) {
+	tel := sess.Telemetry()
+	if tel == nil {
+		return 0, 0
+	}
+	h := tel.Registry.FindHistogram("jocl_ingest_duration_seconds")
+	if h == nil {
+		return 0, 0
+	}
+	return h.Sum(), h.Summary().Count
+}
+
+// runTrafficSide replays the open-loop schedule: a dispatcher
+// releases one batch every interarrival, `clients` ingest clients
+// consume them through submit, and as many query clients hammer the
+// read path until the last batch lands. Returns the side's filled
+// measurements.
+func runTrafficSide(mode string, sess *stream.Session, work [][]okb.Triple, nps, rps []string,
+	clients int, interarrival time.Duration, submit func([]okb.Triple) error) (TrafficSide, error) {
+
+	side := TrafficSide{Mode: mode}
+	reg := telemetry.NewRegistry()
+	// The overloaded sync side queues submissions for minutes, far past
+	// the 10s default latency ladder — extend it so the tail percentiles
+	// report real values instead of clamping to the top bucket.
+	bounds := append(append([]float64(nil), telemetry.DurationBuckets...), 25, 50, 100, 250, 500)
+	ingestHist := reg.Histogram("bench_traffic_ingest_seconds",
+		"Client-observed submit-to-commit latency.", bounds)
+	baseSum, baseCount := sessionWall(sess)
+
+	arrivals := make(chan []okb.Triple, len(work))
+	go func() {
+		defer close(arrivals)
+		next := time.Now()
+		for _, b := range work {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			arrivals <- b
+			next = next.Add(interarrival)
+		}
+	}()
+
+	rs := &readStats{hist: reg.Histogram("bench_traffic_read_seconds",
+		"Individual read latency under ingest traffic.", nil)}
+	var readWG sync.WaitGroup
+	ix := sess.Query()
+	for r := 0; r < clients; r++ {
+		readWG.Add(1)
+		go func(offset int) {
+			defer readWG.Done()
+			hammer(ix, nps, rps, rs, offset)
+		}(r * 1013)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		accepted atomic.Int64
+		shed     atomic.Int64
+		firstErr atomic.Value
+	)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range arrivals {
+				tb := time.Now()
+				err := submit(b)
+				switch {
+				case err == nil:
+					ingestHist.ObserveDuration(time.Since(tb))
+					accepted.Add(1)
+				case isShed(err):
+					shed.Add(1)
+				default:
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	rs.stopped.Store(true)
+	readWG.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return side, err
+	}
+
+	side.Accepted = accepted.Load()
+	side.Shed = shed.Load()
+	if n := side.Accepted + side.Shed; n > 0 {
+		side.ShedRate = float64(side.Shed) / float64(n)
+	}
+	side.WallMS = float64(wall.Microseconds()) / 1000
+	if s := wall.Seconds(); s > 0 {
+		side.AchievedQPS = float64(side.Accepted) / s
+	}
+	side.IngestLatency = latencySummaryOf(ingestHist)
+	side.ReadLatency = latencySummaryOf(rs.hist)
+	side.Reads = rs.reads.Load()
+
+	sum, count := sessionWall(sess)
+	dSum, dCount := sum-baseSum, count-baseCount
+	if dCount > 0 {
+		side.SessionIngestMS = dSum * 1000 / float64(dCount)
+	}
+	if side.Accepted > 0 {
+		side.PerBatchCostMS = dSum * 1000 / float64(side.Accepted)
+	}
+	side.MergedIngests = dCount
+	side.CoalescedBatches = uint64(side.Accepted)
+	if dCount > 0 {
+		side.CoalescingFactor = float64(side.Accepted) / float64(dCount)
+	}
+	return side, nil
+}
+
+// isShed reports whether submit refused the batch at the high-water
+// mark (as opposed to failing it).
+func isShed(err error) bool {
+	var s *ingress.ShedError
+	return errors.As(err, &s)
+}
+
+// RunTraffic prices the ingress pipeline in its serving scenario.
+// Both sides share the substrate, the batch plan, and the schedule:
+// after the epoch preload and a few serial calibration batches, the
+// remaining batches are offered open-loop at twice the synchronous
+// per-batch rate, with `clients` concurrent ingest clients and as
+// many query clients. The synchronous side pays one full inference
+// run per batch and answers the overload by convoying on the session
+// lock; the coalescing side merges the backlog into shared ingests.
+// CostRatio reports how much session wall-clock the average accepted
+// batch saves.
+func RunTraffic(profile string, scale, preloadFrac float64, batches, workers, clients int) (*TrafficReport, error) {
+	ds, triples, cuts, batches, err := ingestPlan(profile, scale, preloadFrac, batches)
+	if err != nil {
+		return nil, err
+	}
+	if clients < 2 {
+		clients = 8
+	}
+	const calibration = 3
+	if batches-1 < calibration+2 {
+		return nil, fmt.Errorf("bench: traffic needs at least %d batches after the preload, got %d", calibration+2, batches-1)
+	}
+	report := &TrafficReport{Profile: profile, Scale: scale, Batches: batches, Workers: workers, Clients: clients}
+	nps, rps := ds.OKB.NPs(), ds.OKB.RPs()
+
+	syncSess := trafficSession(ds, workers)
+	coalSess := trafficSession(ds, workers)
+
+	// Epoch preload plus serial calibration batches on both sessions,
+	// timing the synchronous per-batch cost to set the offered load.
+	for b := 0; b < 1+calibration; b++ {
+		batch := triples[cuts[b]:cuts[b+1]]
+		t0 := time.Now()
+		if _, err := syncSess.Ingest(batch); err != nil {
+			return nil, err
+		}
+		if b > 0 {
+			report.CalibrationMS += float64(time.Since(t0).Microseconds()) / 1000
+		}
+		if _, err := coalSess.Ingest(batch); err != nil {
+			return nil, err
+		}
+	}
+	report.CalibrationMS /= calibration
+	interarrival := time.Duration(report.CalibrationMS / 2 * float64(time.Millisecond))
+	if interarrival <= 0 {
+		interarrival = time.Millisecond
+	}
+	report.InterarrivalMS = float64(interarrival.Microseconds()) / 1000
+
+	work := make([][]okb.Triple, 0, batches-1-calibration)
+	for b := 1 + calibration; b < batches; b++ {
+		work = append(work, triples[cuts[b]:cuts[b+1]])
+	}
+
+	report.Sync, err = runTrafficSide("sync", syncSess, work, nps, rps, clients, interarrival,
+		func(b []okb.Triple) error { _, err := syncSess.Ingest(b); return err })
+	if err != nil {
+		return nil, err
+	}
+
+	// The queue is sized past the whole offered schedule, so below the
+	// high-water mark nothing sheds — the acceptance criterion the
+	// artifact records as shed_rate 0.
+	depth := 2 * len(work)
+	if depth < 64 {
+		depth = 64
+	}
+	pipe := ingress.NewSession(coalSess, ingress.Config{
+		QueueDepth:    depth,
+		CoalesceDepth: 16,
+	})
+	report.Coalesced, err = runTrafficSide("coalesced", coalSess, work, nps, rps, clients, interarrival,
+		func(b []okb.Triple) error { _, err := pipe.Submit(context.Background(), b); return err })
+	closeCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if cerr := pipe.Close(closeCtx); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The pipeline's own counters are authoritative for the merge
+	// bookkeeping (the histogram delta also counts nothing else, but
+	// the counters are what /metrics exports).
+	st := pipe.Stats()
+	report.Coalesced.MergedIngests = st.MergedIngests
+	report.Coalesced.CoalescedBatches = st.CoalescedBatches
+	report.Coalesced.CoalescingFactor = st.CoalescingFactor()
+	report.Coalesced.Shed = int64(st.Shed)
+
+	if report.Coalesced.PerBatchCostMS > 0 {
+		report.CostRatio = report.Sync.PerBatchCostMS / report.Coalesced.PerBatchCostMS
+	}
+	return report, nil
+}
+
+// WriteJSON emits the report as the BENCH_traffic.json artifact.
+func (r *TrafficReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned text.
+func (r *TrafficReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TRAFFIC — open-loop ingest at 2x synchronous capacity, sync vs coalescing ingress (%s, scale %g, %d clients)\n",
+		r.Profile, r.Scale, r.Clients)
+	fmt.Fprintf(&b, "calibration %.2fms/batch -> interarrival %.2fms\n", r.CalibrationMS, r.InterarrivalMS)
+	for _, s := range []TrafficSide{r.Sync, r.Coalesced} {
+		fmt.Fprintf(&b, "%-9s  accepted %d shed %d (rate %.3f)  wall %.0fms  %.1f batches/s  factor %.2f\n",
+			s.Mode, s.Accepted, s.Shed, s.ShedRate, s.WallMS, s.AchievedQPS, s.CoalescingFactor)
+		fmt.Fprintf(&b, "           ingest %s\n", s.IngestLatency)
+		fmt.Fprintf(&b, "           reads  %s (%d reads)\n", s.ReadLatency, s.Reads)
+		fmt.Fprintf(&b, "           session %.2fms/ingest, %.2fms per accepted batch\n", s.SessionIngestMS, s.PerBatchCostMS)
+	}
+	fmt.Fprintf(&b, "per-batch session cost: sync %.2fms vs coalesced %.2fms — %.2fx\n",
+		r.Sync.PerBatchCostMS, r.Coalesced.PerBatchCostMS, r.CostRatio)
+	return b.String()
+}

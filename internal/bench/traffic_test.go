@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunTrafficSmoke(t *testing.T) {
+	// A tiny run: the assertions cover the harness plumbing — equal
+	// offered load on both sides, coalescing accounting, latency
+	// digests — not the ≥1.3x cost-ratio threshold the full-scale
+	// artifact run checks.
+	report, err := RunTraffic("reverb45k", 0.01, 0.5, 12, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CalibrationMS <= 0 || report.InterarrivalMS <= 0 {
+		t.Fatalf("calibration missing: %+v", report)
+	}
+	wantWork := int64(report.Batches - 1 - 3) // preload + 3 calibration batches
+	for _, s := range []TrafficSide{report.Sync, report.Coalesced} {
+		if s.Accepted != wantWork {
+			t.Errorf("%s accepted %d of %d offered batches", s.Mode, s.Accepted, wantWork)
+		}
+		if s.Shed != 0 || s.ShedRate != 0 {
+			t.Errorf("%s shed %d below the high-water mark", s.Mode, s.Shed)
+		}
+		if s.IngestLatency.Count != uint64(s.Accepted) || s.IngestLatency.P99MS < s.IngestLatency.P50MS {
+			t.Errorf("%s ingest latency digest malformed: %+v", s.Mode, s.IngestLatency)
+		}
+		if s.Reads == 0 || s.ReadLatency.Count == 0 {
+			t.Errorf("%s recorded no concurrent reads", s.Mode)
+		}
+		if s.PerBatchCostMS <= 0 || s.SessionIngestMS <= 0 {
+			t.Errorf("%s session cost accounting missing: %+v", s.Mode, s)
+		}
+	}
+	// The sync side runs one session ingest per batch, factor exactly 1.
+	if report.Sync.MergedIngests != uint64(wantWork) || report.Sync.CoalescingFactor != 1 {
+		t.Errorf("sync side merged %d ingests for %d batches (factor %.2f)",
+			report.Sync.MergedIngests, wantWork, report.Sync.CoalescingFactor)
+	}
+	// The coalescing side must never run MORE ingests than batches, and
+	// its counters must reconcile.
+	c := report.Coalesced
+	if c.MergedIngests == 0 || c.MergedIngests > uint64(wantWork) {
+		t.Errorf("coalesced side ran %d ingests for %d batches", c.MergedIngests, wantWork)
+	}
+	if c.CoalescedBatches != uint64(c.Accepted) {
+		t.Errorf("coalesced batches %d != accepted %d", c.CoalescedBatches, c.Accepted)
+	}
+	if c.CoalescingFactor < 1 {
+		t.Errorf("coalescing factor %.2f < 1", c.CoalescingFactor)
+	}
+	if report.CostRatio <= 0 {
+		t.Errorf("cost ratio missing: %+v", report)
+	}
+	if report.Format() == "" {
+		t.Fatal("empty Format output")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round TrafficReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.CostRatio != report.CostRatio || round.Coalesced.Accepted != report.Coalesced.Accepted {
+		t.Errorf("JSON round-trip diverges: %+v vs %+v", round, report)
+	}
+}

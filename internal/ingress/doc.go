@@ -1,0 +1,47 @@
+// Package ingress is the production front door of the streaming
+// serving stack: a bounded ingest queue in front of stream.Session
+// that turns many small concurrent submissions into few large session
+// ingests without changing what the session computes.
+//
+// # Coalescing
+//
+// Batches submitted while the session is busy pile up in the queue;
+// when the preparer goroutine comes free it drains everything queued
+// (up to CoalesceDepth, optionally waiting CoalesceWindow for
+// stragglers) and merges the batches, in arrival order, into one
+// session ingest. Merging is semantics-preserving: ingesting A++B++C
+// as one batch yields the same canonical groups, links, and query
+// answers as ingesting A, B, C serially, because the epoch's frozen
+// statistics do not depend on post-epoch batch boundaries (the
+// equivalence suite in this package locks that in). The win is
+// amortization — signal evaluation, graph construction, and the BP
+// pass are paid once per merged group instead of once per batch.
+//
+// # Pipelining
+//
+// The session's ingest is two-phase (stream.Session.Prepare /
+// Prepared.Commit), and the pipeline runs the phases on separate
+// goroutines connected by an unbuffered channel: while batch N runs
+// belief propagation in the committer, the preparer is already
+// evaluating signals and building the graph for batch N+1. Commits
+// happen strictly in prepare order, so the result stream is identical
+// to a serial execution.
+//
+// # Backpressure and shedding
+//
+// The queue is bounded. Once its depth crosses the ShedDepth
+// high-water mark, Submit fails fast with a ShedError carrying a
+// Retry-After estimate derived from the queue depth and the smoothed
+// ingest cost, instead of letting latency grow without bound. A
+// submission whose context is cancelled while still queued is skipped
+// entirely — it never reaches the session. An invalid batch inside a
+// coalesced group fails alone: the merged prepare is split and each
+// member batch is ingested individually, so one poisoned batch cannot
+// reject its neighbors.
+//
+// # Shutdown
+//
+// Close stops new submissions, drains every queued batch through the
+// session, and waits for the final commit, so a graceful shutdown
+// never drops accepted work.
+package ingress

@@ -1,0 +1,249 @@
+package ingress
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/ckb"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// The coalescing pipeline's whole claim is that merging queued batches
+// is invisible: a session fed A+B+C as one merged ingest must end in
+// the same state as a session fed A, B, C serially. These tests pin
+// that down at the session level — canonical groups, links, query
+// answers, and the accumulated triple log — for both the no-cut and
+// the hub-cut inference paths. The merge is only equivalence-preserving
+// after the epoch is built (the first batch freezes IDF statistics over
+// whatever it contains), which is why every scenario preloads an epoch
+// batch before the batches under test; the pipeline inherits the same
+// caveat from the session it fronts.
+
+func microWorld(t *testing.T) *ckb.Store {
+	t.Helper()
+	store, err := ckb.NewStore(
+		[]ckb.Entity{
+			{ID: "e1", Name: "Alphacorp", Aliases: []string{"alphacorp"}},
+			{ID: "e2", Name: "Betalabs", Aliases: []string{"betalabs"}},
+			{ID: "e3", Name: "Gammaworks", Aliases: []string{"gammaworks"}},
+			{ID: "e4", Name: "Deltasoft", Aliases: []string{"deltasoft"}},
+			{ID: "e5", Name: "Epsilonics", Aliases: []string{"epsilonics"}},
+			{ID: "e6", Name: "Zetafoundry", Aliases: []string{"zetafoundry"}},
+		},
+		[]ckb.Relation{
+			{ID: "r1", Name: "acquire", Aliases: []string{"acquire"}},
+			{ID: "r2", Name: "hire", Aliases: []string{"hire"}},
+			{ID: "r3", Name: "sue", Aliases: []string{"sue"}},
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func microSession(t *testing.T, cfg stream.Config) *stream.Session {
+	t.Helper()
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	return stream.New(microWorld(t), emb, ppdb.NewBuilder().Build(), cfg)
+}
+
+// sameResult asserts the discrete canonicalization outputs of two
+// sessions are identical: groups, group membership maps, and links.
+func sameResult(t *testing.T, serial, merged *core.Result, label string) {
+	t.Helper()
+	if serial == nil || merged == nil {
+		t.Fatalf("%s: nil snapshot (serial=%v merged=%v)", label, serial == nil, merged == nil)
+	}
+	checks := []struct {
+		name string
+		a, b interface{}
+	}{
+		{"NPGroups", serial.NPGroups, merged.NPGroups},
+		{"RPGroups", serial.RPGroups, merged.RPGroups},
+		{"NPGroupOf", serial.NPGroupOf, merged.NPGroupOf},
+		{"RPGroupOf", serial.RPGroupOf, merged.RPGroupOf},
+		{"NPLinks", serial.NPLinks, merged.NPLinks},
+		{"RPLinks", serial.RPLinks, merged.RPLinks},
+	}
+	for _, c := range checks {
+		if !reflect.DeepEqual(c.a, c.b) {
+			t.Errorf("%s: %s diverge\nserial: %v\nmerged: %v", label, c.name, c.a, c.b)
+		}
+	}
+}
+
+// sameQueryAnswers asserts both sessions' read paths serve identical
+// content for every noun-phrase surface the serial session knows:
+// resolutions, clusters, and subject postings (generation ids are
+// intentionally excluded — batch counts legitimately differ).
+func sameQueryAnswers(t *testing.T, serial, merged *stream.Session, label string) {
+	t.Helper()
+	a, b := serial.Query(), merged.Query()
+	if a == nil || b == nil {
+		t.Fatalf("%s: query index missing", label)
+	}
+	surfaces := make([]string, 0, len(serial.Snapshot().NPLinks))
+	for s := range serial.Snapshot().NPLinks {
+		surfaces = append(surfaces, s)
+	}
+	sort.Strings(surfaces)
+	for _, s := range surfaces {
+		ra, okA := a.ResolveNP(s)
+		rb, okB := b.ResolveNP(s)
+		if okA != okB {
+			t.Errorf("%s: ResolveNP(%q) ok diverges (%v vs %v)", label, s, okA, okB)
+			continue
+		}
+		ra.Gen, rb.Gen = query.GenInfo{}, query.GenInfo{}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Errorf("%s: ResolveNP(%q) diverges\nserial: %+v\nmerged: %+v", label, s, ra, rb)
+		}
+		ca, _ := a.NPCluster(s)
+		cb, _ := b.NPCluster(s)
+		ca.Gen, cb.Gen = query.GenInfo{}, query.GenInfo{}
+		if !reflect.DeepEqual(ca, cb) {
+			t.Errorf("%s: NPCluster(%q) diverges\nserial: %+v\nmerged: %+v", label, s, ca, cb)
+		}
+		ta, _ := a.TriplesBySubject(s, 0)
+		tb, _ := b.TriplesBySubject(s, 0)
+		if !reflect.DeepEqual(ta.Triples, tb.Triples) || ta.Total != tb.Total {
+			t.Errorf("%s: TriplesBySubject(%q) diverges (%d vs %d triples)", label, s, ta.Total, tb.Total)
+		}
+	}
+}
+
+// sameCheckpointLog asserts both sessions accumulated the same triple
+// log with the same epoch boundary — the durable state a checkpoint
+// would serialize, minus the batch counters that legitimately differ.
+func sameCheckpointLog(t *testing.T, serial, merged *stream.Session, label string) {
+	t.Helper()
+	sa, sb := serial.CheckpointState(), merged.CheckpointState()
+	if !reflect.DeepEqual(sa.Triples, sb.Triples) {
+		t.Errorf("%s: checkpoint triple logs diverge (%d vs %d)", label, len(sa.Triples), len(sb.Triples))
+	}
+	if sa.EpochTriples != sb.EpochTriples {
+		t.Errorf("%s: epoch boundary diverges (%d vs %d)", label, sa.EpochTriples, sb.EpochTriples)
+	}
+}
+
+func TestCoalescedIngestEqualsSerialNoCut(t *testing.T) {
+	cfg := stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+	serial := microSession(t, cfg)
+	merged := microSession(t, cfg)
+
+	preload := []okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+		{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+	}
+	batchA := []okb.Triple{{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"}}
+	batchB := []okb.Triple{{Subj: "gammaworks", Pred: "hire", Obj: "zetafoundry"}}
+	batchC := []okb.Triple{{Subj: "omegaventures", Pred: "acquire", Obj: "alphacorp"}}
+
+	for _, s := range []*stream.Session{serial, merged} {
+		if _, err := s.Ingest(preload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range [][]okb.Triple{batchA, batchB, batchC} {
+		if _, err := serial.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drive the real pipeline: a generous coalesce window with
+	// CoalesceDepth=3 seals the group exactly when the third batch
+	// arrives, so A+B+C coalesce into one merged session ingest in
+	// submission order.
+	p := NewSession(merged, Config{QueueDepth: 8, CoalesceDepth: 3, CoalesceWindow: time.Minute})
+	type res struct {
+		r   Result
+		err error
+	}
+	var results []chan res
+	for i, b := range [][]okb.Triple{batchA, batchB, batchC} {
+		out := make(chan res, 1)
+		results = append(results, out)
+		go func() {
+			r, err := p.Submit(context.Background(), b)
+			out <- res{r, err}
+		}()
+		// Wait until the preparer has pulled this batch into the open
+		// group before submitting the next, pinning the merge order.
+		want := uint64(i + 1)
+		waitFor(t, fmt.Sprintf("batch %d claimed", i+1), func() bool {
+			return p.Stats().Submitted == want && p.Depth() == 0
+		})
+	}
+	for i, out := range results {
+		r := <-out
+		if r.err != nil {
+			t.Fatalf("batch %d: %v", i+1, r.err)
+		}
+		if r.r.Coalesced != 3 {
+			t.Errorf("batch %d coalesced = %d, want 3", i+1, r.r.Coalesced)
+		}
+	}
+	closePipeline(t, p)
+	if merged.Stats().Batches != 2 {
+		t.Fatalf("merged session committed %d batches, want 2", merged.Stats().Batches)
+	}
+
+	sameResult(t, serial.Snapshot(), merged.Snapshot(), "no-cut")
+	sameQueryAnswers(t, serial, merged, "no-cut")
+	sameCheckpointLog(t, serial, merged, "no-cut")
+}
+
+func TestCoalescedIngestEqualsSerialHubCut(t *testing.T) {
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreCfg := core.DefaultConfig()
+	coreCfg.Segment.Enable = true
+	cfg := stream.Config{Core: coreCfg, Query: query.Config{Enable: true}}
+	serial := stream.New(ds.CKB, ds.Emb, ds.PPDB, cfg)
+	merged := stream.New(ds.CKB, ds.Emb, ds.PPDB, cfg)
+
+	triples := ds.OKB.Triples()
+	n := len(triples)
+	preload := triples[:n/2]
+	chunks := [][]okb.Triple{triples[n/2 : 5*n/8], triples[5*n/8 : 6*n/8], triples[6*n/8:]}
+
+	for _, s := range []*stream.Session{serial, merged} {
+		if _, err := s.Ingest(preload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range chunks {
+		if _, err := serial.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := make([]okb.Triple, 0, n-n/2)
+	for _, c := range chunks {
+		all = append(all, c...)
+	}
+	st, err := merged.Ingest(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CutVariables == 0 {
+		t.Fatalf("hub-cut config produced no cuts — test is not exercising segmentation: %+v", st)
+	}
+
+	sameResult(t, serial.Snapshot(), merged.Snapshot(), "hub-cut")
+	sameQueryAnswers(t, serial, merged, "hub-cut")
+	sameCheckpointLog(t, serial, merged, "hub-cut")
+}

@@ -1,0 +1,538 @@
+package ingress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/okb"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// Committable is the second half of a two-phase ingest: the prepared
+// batch's inference pass, runnable exactly once and unable to fail.
+// stream.Prepared satisfies it.
+type Committable interface {
+	// Commit runs inference over the prepared batch and publishes the
+	// result, returning the per-ingest statistics.
+	Commit() stream.IngestStats
+}
+
+// Backend is what the pipeline drives: the prepare half of a
+// two-phase ingest. A stream.Session wrapped by NewSession is the
+// production backend; tests substitute fakes to script failures and
+// observe call order.
+type Backend interface {
+	// Prepare validates a batch and runs the parallelizable front half
+	// of its ingest (signal evaluation, graph construction). The
+	// returned Committable finishes the ingest. Prepare for batch N+1
+	// may be called while batch N's Commit is still running, but
+	// Prepare itself is never called concurrently with itself, and
+	// Commits happen in Prepare order.
+	Prepare(batch []okb.Triple) (Committable, error)
+}
+
+// sessionBackend adapts a stream.Session to the Backend interface.
+type sessionBackend struct{ s *stream.Session }
+
+func (b sessionBackend) Prepare(batch []okb.Triple) (Committable, error) {
+	p, err := b.s.Prepare(batch)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Config tunes a Pipeline. The zero value is usable: every field
+// falls back to the package default noted on it.
+type Config struct {
+	// QueueDepth bounds the number of accepted-but-unprepared batches
+	// (default 64). Submissions beyond it are shed.
+	QueueDepth int
+	// CoalesceDepth caps how many queued batches one merged ingest may
+	// absorb (default 16; 1 disables merging but keeps pipelining).
+	CoalesceDepth int
+	// CoalesceWindow, when positive, is how long the preparer lingers
+	// for stragglers after draining the queue before sealing a merged
+	// group that is still below CoalesceDepth. Zero (the default)
+	// seals immediately: only batches already queued coalesce.
+	CoalesceWindow time.Duration
+	// ShedDepth is the high-water mark: Submit sheds once queue depth
+	// reaches it (default QueueDepth). Values above QueueDepth are
+	// moot — a full queue sheds regardless.
+	ShedDepth int
+	// Registry, when non-nil, receives the jocl_ingress_* metric
+	// families (see docs/OBSERVABILITY.md).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CoalesceDepth <= 0 {
+		c.CoalesceDepth = 16
+	}
+	if c.ShedDepth <= 0 {
+		c.ShedDepth = c.QueueDepth
+	}
+	return c
+}
+
+// ErrClosed is returned by Submit after Close has begun: the pipeline
+// no longer accepts work.
+var ErrClosed = errors.New("ingress: pipeline closed")
+
+// ShedError reports a submission refused because the queue crossed
+// its high-water mark. RetryAfter is the pipeline's estimate of when
+// the queue will have drained enough to accept work, suitable for an
+// HTTP Retry-After header.
+type ShedError struct {
+	// Depth is the queue depth observed at the shed decision.
+	Depth int
+	// RetryAfter estimates the time until the backlog drains below
+	// the high-water mark (clamped to [1s, 30s]).
+	RetryAfter time.Duration
+}
+
+// Error describes the shed decision.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("ingress: queue overloaded (depth %d), retry after %s", e.Depth, e.RetryAfter)
+}
+
+// Result reports one successfully ingested submission.
+type Result struct {
+	// Stats are the session's statistics for the ingest that carried
+	// this batch. When batches were coalesced, the merged ingest's
+	// stats are shared verbatim by every member submission.
+	Stats stream.IngestStats
+	// Coalesced is the number of submitted batches the carrying ingest
+	// merged (1 = this batch rode alone).
+	Coalesced int
+}
+
+// Stats is a point-in-time snapshot of the pipeline's cumulative
+// counters, mirroring the jocl_ingress_* metric families for callers
+// without a registry (the bench harness).
+type Stats struct {
+	// Submitted counts batches accepted into the queue.
+	Submitted uint64
+	// Shed counts submissions refused past the high-water mark.
+	Shed uint64
+	// Cancelled counts queued batches whose context was cancelled
+	// before the preparer claimed them.
+	Cancelled uint64
+	// MergedIngests counts session ingests issued.
+	MergedIngests uint64
+	// CoalescedBatches counts submitted batches carried by those
+	// ingests (CoalescedBatches/MergedIngests = coalescing factor).
+	CoalescedBatches uint64
+	// Splits counts merged prepares that failed and were re-prepared
+	// member-by-member to isolate the poisoned batch.
+	Splits uint64
+}
+
+// CoalescingFactor is the mean number of submitted batches per
+// session ingest (0 before the first ingest).
+func (s Stats) CoalescingFactor() float64 {
+	if s.MergedIngests == 0 {
+		return 0
+	}
+	return float64(s.CoalescedBatches) / float64(s.MergedIngests)
+}
+
+// item claim states. The preparer claims items out of the queue; a
+// cancelling submitter races it with a single CAS, so a batch is
+// either ingested or cleanly skipped, never half-done.
+const (
+	itemQueued    int32 = iota // in the queue, outcome open
+	itemClaimed                // preparer owns it; it will be ingested
+	itemCancelled              // submitter withdrew it; preparer skips
+)
+
+// item is one queued submission.
+type item struct {
+	batch []okb.Triple
+	enq   time.Time
+	state atomic.Int32
+	done  chan outcome // buffered(1); exactly one delivery if claimed
+}
+
+// outcome is what the committer delivers back to each submitter.
+type outcome struct {
+	st        stream.IngestStats
+	coalesced int
+	err       error
+}
+
+// group is one prepared ingest in flight between preparer and
+// committer: the members it carries and their shared Committable.
+type group struct {
+	items     []*item
+	prep      Committable
+	coalesced int
+}
+
+// Pipeline is the bounded, coalescing, two-stage ingest queue in
+// front of a session. Construct with New or NewSession; Submit from
+// any number of goroutines; Close exactly once at shutdown.
+type Pipeline struct {
+	cfg Config
+	be  Backend
+
+	ch    chan *item
+	depth atomic.Int64 // queued (undequeued) items
+
+	closeMu sync.RWMutex // guards closed vs in-flight Submits
+	closed  bool
+	quit    chan struct{}
+
+	commitCh   chan *group
+	commitDone chan struct{}
+
+	ewmaBits atomic.Uint64 // smoothed ingest seconds (float64 bits)
+
+	submitted atomic.Uint64
+	shed      atomic.Uint64
+	cancelled atomic.Uint64
+	merged    atomic.Uint64
+	coalesced atomic.Uint64
+	splits    atomic.Uint64
+
+	met *pipelineMetrics
+}
+
+// pipelineMetrics caches the registered metric handles (nil when
+// Config.Registry is nil).
+type pipelineMetrics struct {
+	submitted    *telemetry.Counter
+	shed         *telemetry.Counter
+	cancelled    *telemetry.Counter
+	merged       *telemetry.Counter
+	coalesced    *telemetry.Counter
+	splits       *telemetry.Counter
+	coalesceSize *telemetry.Histogram
+	queueWait    *telemetry.Histogram
+}
+
+func newPipelineMetrics(r *telemetry.Registry, p *Pipeline) *pipelineMetrics {
+	r.GaugeFunc("jocl_ingress_queue_depth",
+		"Batches queued in the ingress pipeline, not yet picked up by the preparer.",
+		func() float64 { return float64(p.depth.Load()) })
+	return &pipelineMetrics{
+		submitted:    r.Counter("jocl_ingress_submitted_total", "Batches accepted into the ingress queue."),
+		shed:         r.Counter("jocl_ingress_shed_total", "Submissions shed past the queue high-water mark (HTTP 429)."),
+		cancelled:    r.Counter("jocl_ingress_cancelled_total", "Queued batches withdrawn by context cancellation before the session saw them."),
+		merged:       r.Counter("jocl_ingress_merged_ingests_total", "Session ingests issued by the pipeline."),
+		coalesced:    r.Counter("jocl_ingress_coalesced_batches_total", "Submitted batches carried by those ingests (ratio to merged = coalescing factor)."),
+		splits:       r.Counter("jocl_ingress_splits_total", "Merged prepares that failed and were retried batch-by-batch to isolate a poisoned member."),
+		coalesceSize: r.Histogram("jocl_ingress_coalesce_batches", "Submitted batches merged into one session ingest.", telemetry.CountBuckets),
+		queueWait:    r.Histogram("jocl_ingress_queue_wait_seconds", "Time a batch waited in the queue before the preparer claimed it.", nil),
+	}
+}
+
+// New builds a pipeline over an arbitrary backend and starts its
+// preparer and committer goroutines.
+func New(be Backend, cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		cfg:        cfg,
+		be:         be,
+		ch:         make(chan *item, cfg.QueueDepth),
+		quit:       make(chan struct{}),
+		commitCh:   make(chan *group),
+		commitDone: make(chan struct{}),
+	}
+	if cfg.Registry != nil {
+		p.met = newPipelineMetrics(cfg.Registry, p)
+	}
+	go p.prepareLoop()
+	go p.commitLoop()
+	return p
+}
+
+// NewSession builds a pipeline in front of a stream.Session.
+func NewSession(s *stream.Session, cfg Config) *Pipeline {
+	return New(sessionBackend{s}, cfg)
+}
+
+// Depth reports the current queue depth (queued, unclaimed batches).
+func (p *Pipeline) Depth() int { return int(p.depth.Load()) }
+
+// Stats snapshots the pipeline's cumulative counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Submitted:        p.submitted.Load(),
+		Shed:             p.shed.Load(),
+		Cancelled:        p.cancelled.Load(),
+		MergedIngests:    p.merged.Load(),
+		CoalescedBatches: p.coalesced.Load(),
+		Splits:           p.splits.Load(),
+	}
+}
+
+// Submit queues one batch and blocks until the ingest that carries it
+// commits, the batch alone fails validation or prepare, the queue
+// sheds it (*ShedError), the pipeline is closed (ErrClosed), or ctx
+// is cancelled while the batch is still queued — in which case the
+// batch is withdrawn before the session ever sees it and ctx.Err() is
+// returned. Once the preparer has claimed the batch, cancellation no
+// longer withdraws it: Submit then waits for (and reports) the real
+// outcome, so a reported success is never rolled back.
+func (p *Pipeline) Submit(ctx context.Context, batch []okb.Triple) (Result, error) {
+	// Reject invalid batches at the door: an empty or malformed batch
+	// must not burn a queue slot, let alone a session lock.
+	if err := stream.ValidateBatch(batch); err != nil {
+		return Result{}, err
+	}
+
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	if d := p.depth.Load(); d >= int64(p.cfg.ShedDepth) {
+		p.closeMu.RUnlock()
+		return Result{}, p.shedError(int(d))
+	}
+	it := &item{batch: batch, enq: time.Now(), done: make(chan outcome, 1)}
+	p.depth.Add(1)
+	select {
+	case p.ch <- it:
+	default:
+		// Channel full despite the depth check (racing submitters).
+		p.depth.Add(-1)
+		d := p.depth.Load()
+		p.closeMu.RUnlock()
+		return Result{}, p.shedError(int(d))
+	}
+	p.submitted.Add(1)
+	if p.met != nil {
+		p.met.submitted.Inc()
+	}
+	p.closeMu.RUnlock()
+
+	select {
+	case out := <-it.done:
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		return Result{Stats: out.st, Coalesced: out.coalesced}, nil
+	case <-ctx.Done():
+		if it.state.CompareAndSwap(itemQueued, itemCancelled) {
+			p.cancelled.Add(1)
+			if p.met != nil {
+				p.met.cancelled.Inc()
+			}
+			return Result{}, ctx.Err()
+		}
+		// Claimed first: the ingest is happening; report its outcome.
+		out := <-it.done
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		return Result{Stats: out.st, Coalesced: out.coalesced}, nil
+	}
+}
+
+// shedError builds the 429 payload: Retry-After estimates how long
+// the backlog takes to drain at the smoothed per-ingest cost, given
+// how many merged ingests the queue will collapse into.
+func (p *Pipeline) shedError(depth int) *ShedError {
+	p.shed.Add(1)
+	if p.met != nil {
+		p.met.shed.Inc()
+	}
+	ew := math.Float64frombits(p.ewmaBits.Load())
+	if ew <= 0 {
+		ew = 1.0 // no ingest observed yet: guess a second
+	}
+	drains := (depth + p.cfg.CoalesceDepth) / p.cfg.CoalesceDepth // ceil, ≥1
+	ra := time.Duration(ew * float64(drains) * float64(time.Second))
+	if ra < time.Second {
+		ra = time.Second
+	} else if ra > 30*time.Second {
+		ra = 30 * time.Second
+	}
+	return &ShedError{Depth: depth, RetryAfter: ra}
+}
+
+// claim dequeues bookkeeping for it: returns true when the preparer
+// owns the item, false when a cancelling submitter got there first.
+func (p *Pipeline) claim(it *item) bool {
+	p.depth.Add(-1)
+	if !it.state.CompareAndSwap(itemQueued, itemClaimed) {
+		return false // cancelled while queued; never reaches the session
+	}
+	if p.met != nil {
+		p.met.queueWait.ObserveDuration(time.Since(it.enq))
+	}
+	return true
+}
+
+// prepareLoop is the pipeline's first stage: it claims queued items,
+// coalesces them into merged groups, runs Backend.Prepare, and ships
+// prepared groups to the committer. On quit it drains everything
+// still queued before closing the commit channel — graceful shutdown
+// never drops accepted work.
+func (p *Pipeline) prepareLoop() {
+	defer close(p.commitCh)
+	for {
+		select {
+		case it := <-p.ch:
+			if !p.claim(it) {
+				continue
+			}
+			p.handle(it, false)
+		case <-p.quit:
+			for {
+				select {
+				case it := <-p.ch:
+					if !p.claim(it) {
+						continue
+					}
+					p.handle(it, true)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handle seals one merged group seeded by lead, prepares it, and
+// ships it. draining suppresses the coalesce window (shutdown should
+// not linger for stragglers that cannot arrive).
+func (p *Pipeline) handle(lead *item, draining bool) {
+	grp := p.collect(lead, draining)
+	merged := grp[0].batch
+	if len(grp) > 1 {
+		n := 0
+		for _, it := range grp {
+			n += len(it.batch)
+		}
+		merged = make([]okb.Triple, 0, n)
+		for _, it := range grp {
+			merged = append(merged, it.batch...)
+		}
+	}
+	prep, err := p.be.Prepare(merged)
+	if err != nil {
+		if len(grp) == 1 {
+			grp[0].done <- outcome{err: err}
+			return
+		}
+		// A poisoned member rejected the whole merge: re-prepare each
+		// batch alone so only the culprit fails.
+		p.splits.Add(1)
+		if p.met != nil {
+			p.met.splits.Inc()
+		}
+		for _, it := range grp {
+			prep, err := p.be.Prepare(it.batch)
+			if err != nil {
+				it.done <- outcome{err: err}
+				continue
+			}
+			p.ship(&group{items: []*item{it}, prep: prep, coalesced: 1})
+		}
+		return
+	}
+	p.ship(&group{items: grp, prep: prep, coalesced: len(grp)})
+}
+
+// collect greedily drains queued items into lead's group, up to
+// CoalesceDepth, optionally lingering CoalesceWindow for stragglers.
+func (p *Pipeline) collect(lead *item, draining bool) []*item {
+	grp := []*item{lead}
+	for len(grp) < p.cfg.CoalesceDepth {
+		select {
+		case it := <-p.ch:
+			if p.claim(it) {
+				grp = append(grp, it)
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !draining && p.cfg.CoalesceWindow > 0 && len(grp) < p.cfg.CoalesceDepth {
+		timer := time.NewTimer(p.cfg.CoalesceWindow)
+		defer timer.Stop()
+	window:
+		for len(grp) < p.cfg.CoalesceDepth {
+			select {
+			case it := <-p.ch:
+				if p.claim(it) {
+					grp = append(grp, it)
+				}
+			case <-timer.C:
+				break window
+			case <-p.quit:
+				break window
+			}
+		}
+	}
+	return grp
+}
+
+// ship hands a prepared group to the committer and records the
+// coalescing telemetry. The send blocks while the previous commit
+// runs — that handoff is exactly the depth-1 pipeline overlap.
+func (p *Pipeline) ship(g *group) {
+	p.merged.Add(1)
+	p.coalesced.Add(uint64(g.coalesced))
+	if p.met != nil {
+		p.met.merged.Inc()
+		p.met.coalesced.Add(uint64(g.coalesced))
+		p.met.coalesceSize.Observe(float64(g.coalesced))
+	}
+	p.commitCh <- g
+}
+
+// commitLoop is the pipeline's second stage: it commits prepared
+// groups in prepare order, feeds the smoothed ingest cost behind
+// Retry-After, and delivers each group's shared outcome to every
+// member submitter.
+func (p *Pipeline) commitLoop() {
+	defer close(p.commitDone)
+	for g := range p.commitCh {
+		st := g.prep.Commit()
+		if st.TotalTime > 0 {
+			old := math.Float64frombits(p.ewmaBits.Load())
+			cur := st.TotalTime.Seconds()
+			if old > 0 {
+				cur = 0.75*old + 0.25*cur
+			}
+			p.ewmaBits.Store(math.Float64bits(cur))
+		}
+		out := outcome{st: st, coalesced: g.coalesced}
+		for _, it := range g.items {
+			it.done <- out
+		}
+	}
+}
+
+// Close stops accepting submissions, drains every queued batch
+// through the backend, and waits for the final commit (or ctx). A
+// second Close just waits. After Close, Submit returns ErrClosed.
+func (p *Pipeline) Close(ctx context.Context) error {
+	p.closeMu.Lock()
+	first := !p.closed
+	p.closed = true
+	p.closeMu.Unlock()
+	if first {
+		close(p.quit)
+	}
+	select {
+	case <-p.commitDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,414 @@
+package ingress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/okb"
+	"repro/internal/stream"
+)
+
+// fakeBackend scripts the prepare half of an ingest: it records every
+// Prepare/Commit with its batch, optionally blocks Prepare on a gate
+// (so tests can pile submissions into the queue deterministically),
+// and fails any Prepare whose batch contains a poisoned subject.
+type fakeBackend struct {
+	mu        sync.Mutex
+	prepared  [][]okb.Triple
+	committed [][]okb.Triple
+	batchNo   int
+
+	gate    chan struct{} // when non-nil, Prepare blocks until closed
+	entered chan struct{} // when non-nil, signalled on Prepare entry
+	failOn  string        // Subj that poisons a Prepare
+}
+
+func (b *fakeBackend) Prepare(batch []okb.Triple) (Committable, error) {
+	if b.entered != nil {
+		select {
+		case b.entered <- struct{}{}:
+		default:
+		}
+	}
+	if b.gate != nil {
+		<-b.gate
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failOn != "" {
+		for _, tr := range batch {
+			if tr.Subj == b.failOn {
+				return nil, fmt.Errorf("poisoned subject %q", tr.Subj)
+			}
+		}
+	}
+	cp := append([]okb.Triple(nil), batch...)
+	b.prepared = append(b.prepared, cp)
+	b.batchNo++
+	return &fakeCommittable{
+		be:    b,
+		batch: cp,
+		stats: stream.IngestStats{Batch: b.batchNo, BatchTriples: len(batch), TotalTime: time.Millisecond},
+	}, nil
+}
+
+// saw reports whether any prepared or committed batch contains a
+// triple with the given subject.
+func (b *fakeBackend) saw(subj string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, set := range [][][]okb.Triple{b.prepared, b.committed} {
+		for _, batch := range set {
+			for _, tr := range batch {
+				if tr.Subj == subj {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+type fakeCommittable struct {
+	be    *fakeBackend
+	batch []okb.Triple
+	stats stream.IngestStats
+}
+
+func (c *fakeCommittable) Commit() stream.IngestStats {
+	c.be.mu.Lock()
+	c.be.committed = append(c.be.committed, c.batch)
+	c.be.mu.Unlock()
+	return c.stats
+}
+
+func tr(subj string) okb.Triple { return okb.Triple{Subj: subj, Pred: "p", Obj: "o"} }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func closePipeline(t *testing.T, p *Pipeline) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSubmitSingleBatch(t *testing.T) {
+	be := &fakeBackend{}
+	p := New(be, Config{})
+	res, err := p.Submit(context.Background(), []okb.Triple{tr("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coalesced != 1 || res.Stats.BatchTriples != 1 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	closePipeline(t, p)
+	if len(be.committed) != 1 || len(be.committed[0]) != 1 {
+		t.Fatalf("backend committed %v", be.committed)
+	}
+	st := p.Stats()
+	if st.Submitted != 1 || st.MergedIngests != 1 || st.CoalescedBatches != 1 || st.Shed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueuedBatchesCoalesceInArrivalOrder(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 16)}
+	p := New(be, Config{QueueDepth: 8, CoalesceDepth: 8})
+
+	type res struct {
+		r   Result
+		err error
+	}
+	submit := func(subj string) chan res {
+		out := make(chan res, 1)
+		go func() {
+			r, err := p.Submit(context.Background(), []okb.Triple{tr(subj)})
+			out <- res{r, err}
+		}()
+		return out
+	}
+
+	// The lead batch is claimed immediately and blocks inside Prepare;
+	// the next three pile up in the queue in submission order.
+	lead := submit("lead")
+	<-be.entered
+	var followers []chan res
+	for i, subj := range []string{"b1", "b2", "b3"} {
+		followers = append(followers, submit(subj))
+		depth := i + 1
+		waitFor(t, fmt.Sprintf("queue depth %d", depth), func() bool { return p.Depth() == depth })
+	}
+	close(be.gate)
+
+	lr := <-lead
+	if lr.err != nil || lr.r.Coalesced != 1 {
+		t.Fatalf("lead: %+v, %v", lr.r, lr.err)
+	}
+	var got []res
+	for _, f := range followers {
+		got = append(got, <-f)
+	}
+	for i, g := range got {
+		if g.err != nil {
+			t.Fatalf("follower %d: %v", i, g.err)
+		}
+		if g.r.Coalesced != 3 {
+			t.Errorf("follower %d coalesced = %d, want 3", i, g.r.Coalesced)
+		}
+		if g.r.Stats.Batch != got[0].r.Stats.Batch {
+			t.Errorf("followers did not share one ingest: %+v", g.r.Stats)
+		}
+	}
+	closePipeline(t, p)
+
+	// The merged prepare must hold the followers' triples in arrival
+	// order, and commits must land in prepare order.
+	want := []okb.Triple{tr("b1"), tr("b2"), tr("b3")}
+	if len(be.prepared) != 2 || !reflect.DeepEqual(be.prepared[1], want) {
+		t.Fatalf("prepared = %v", be.prepared)
+	}
+	if !reflect.DeepEqual(be.committed, be.prepared) {
+		t.Fatalf("commit order diverged from prepare order:\n%v\n%v", be.committed, be.prepared)
+	}
+	st := p.Stats()
+	if st.MergedIngests != 2 || st.CoalescedBatches != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if f := st.CoalescingFactor(); f != 2 {
+		t.Errorf("coalescing factor = %v, want 2", f)
+	}
+}
+
+func TestInvalidBatchRejectedAtTheDoor(t *testing.T) {
+	be := &fakeBackend{}
+	p := New(be, Config{})
+	defer closePipeline(t, p)
+
+	if _, err := p.Submit(context.Background(), nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := p.Submit(context.Background(), []okb.Triple{{Subj: "", Pred: "p", Obj: "o"}}); err == nil {
+		t.Error("malformed triple accepted")
+	}
+	if st := p.Stats(); st.Submitted != 0 {
+		t.Errorf("invalid batches consumed queue slots: %+v", st)
+	}
+	if len(be.prepared) != 0 {
+		t.Errorf("invalid batches reached the backend: %v", be.prepared)
+	}
+}
+
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 16)}
+	p := New(be, Config{QueueDepth: 2, ShedDepth: 2, CoalesceDepth: 8})
+
+	done := make(chan error, 3)
+	go func() {
+		_, err := p.Submit(context.Background(), []okb.Triple{tr("lead")})
+		done <- err
+	}()
+	<-be.entered
+	for i, subj := range []string{"q1", "q2"} {
+		go func() {
+			_, err := p.Submit(context.Background(), []okb.Triple{tr(subj)})
+			done <- err
+		}()
+		waitFor(t, "queued submission", func() bool { return p.Depth() == i+1 })
+	}
+
+	// The queue sits at the high-water mark: the next submission must
+	// shed, leaving the session side-effect-free.
+	_, err := p.Submit(context.Background(), []okb.Triple{tr("shed-me")})
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected *ShedError, got %v", err)
+	}
+	if shed.Depth < 2 {
+		t.Errorf("shed at depth %d", shed.Depth)
+	}
+	if shed.RetryAfter < time.Second || shed.RetryAfter > 30*time.Second {
+		t.Errorf("unreasonable Retry-After %s", shed.RetryAfter)
+	}
+
+	close(be.gate)
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("accepted submission failed: %v", err)
+		}
+	}
+	closePipeline(t, p)
+	if be.saw("shed-me") {
+		t.Error("shed batch reached the backend")
+	}
+	if st := p.Stats(); st.Shed != 1 || st.Submitted != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCancelledWhileQueuedNeverReachesSession(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 16)}
+	p := New(be, Config{QueueDepth: 8})
+
+	leadDone := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(context.Background(), []okb.Triple{tr("lead")})
+		leadDone <- err
+	}()
+	<-be.entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	qDone := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(ctx, []okb.Triple{tr("withdrawn")})
+		qDone <- err
+	}()
+	waitFor(t, "submission queued", func() bool { return p.Depth() == 1 })
+	cancel()
+	if err := <-qDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit returned %v", err)
+	}
+
+	close(be.gate)
+	if err := <-leadDone; err != nil {
+		t.Fatal(err)
+	}
+	closePipeline(t, p)
+	if be.saw("withdrawn") {
+		t.Error("cancelled batch reached the backend")
+	}
+	if st := p.Stats(); st.Cancelled != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPoisonedBatchFailsAloneInCoalescedGroup(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 16), failOn: "poison"}
+	p := New(be, Config{QueueDepth: 8, CoalesceDepth: 8})
+
+	type res struct {
+		r   Result
+		err error
+	}
+	submit := func(subj string) chan res {
+		out := make(chan res, 1)
+		go func() {
+			r, err := p.Submit(context.Background(), []okb.Triple{tr(subj)})
+			out <- res{r, err}
+		}()
+		return out
+	}
+
+	lead := submit("lead")
+	<-be.entered
+	good1 := submit("good1")
+	waitFor(t, "depth 1", func() bool { return p.Depth() == 1 })
+	poison := submit("poison")
+	waitFor(t, "depth 2", func() bool { return p.Depth() == 2 })
+	good2 := submit("good2")
+	waitFor(t, "depth 3", func() bool { return p.Depth() == 3 })
+	close(be.gate)
+
+	if lr := <-lead; lr.err != nil {
+		t.Fatalf("lead: %v", lr.err)
+	}
+	for name, ch := range map[string]chan res{"good1": good1, "good2": good2} {
+		r := <-ch
+		if r.err != nil {
+			t.Errorf("%s failed alongside the poisoned batch: %v", name, r.err)
+		}
+		if r.err == nil && r.r.Coalesced != 1 {
+			t.Errorf("%s re-prepared with coalesced=%d, want 1", name, r.r.Coalesced)
+		}
+	}
+	if pr := <-poison; pr.err == nil {
+		t.Error("poisoned batch reported success")
+	}
+	closePipeline(t, p)
+
+	if be.saw("poison") {
+		t.Error("poisoned batch left state in the backend")
+	}
+	st := p.Stats()
+	if st.Splits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// lead alone, then the two survivors re-prepared individually.
+	if st.MergedIngests != 3 || st.CoalescedBatches != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCloseDrainsQueueAndRejectsNewWork(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 16)}
+	p := New(be, Config{QueueDepth: 8})
+
+	done := make(chan error, 3)
+	go func() {
+		_, err := p.Submit(context.Background(), []okb.Triple{tr("lead")})
+		done <- err
+	}()
+	<-be.entered
+	for i, subj := range []string{"q1", "q2"} {
+		go func() {
+			_, err := p.Submit(context.Background(), []okb.Triple{tr(subj)})
+			done <- err
+		}()
+		waitFor(t, "queued submission", func() bool { return p.Depth() == i+1 })
+	}
+
+	closeErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		closeErr <- p.Close(ctx)
+	}()
+	waitFor(t, "pipeline marked closed", func() bool {
+		p.closeMu.RLock()
+		defer p.closeMu.RUnlock()
+		return p.closed
+	})
+	if _, err := p.Submit(context.Background(), []okb.Triple{tr("late")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit returned %v, want ErrClosed", err)
+	}
+
+	// Unblock the backend: the drain must push every queued batch
+	// through before Close returns.
+	close(be.gate)
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("accepted batch dropped at shutdown: %v", err)
+		}
+	}
+	for _, subj := range []string{"lead", "q1", "q2"} {
+		if !be.saw(subj) {
+			t.Errorf("accepted batch %q not drained", subj)
+		}
+	}
+	if be.saw("late") {
+		t.Error("post-close batch reached the backend")
+	}
+	// A second Close is a no-op wait.
+	closePipeline(t, p)
+}

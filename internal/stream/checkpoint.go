@@ -29,13 +29,30 @@ import (
 // accounting.
 
 // CheckpointState captures the session's durable state as a snapshot.
-// The capture itself holds the ingest lock only long enough to copy
+// The capture itself holds the ingest locks only long enough to copy
 // counters and grab references to the immutable published structures
 // (committed triple prefixes, exported warm state, and results are
 // never mutated after publication), so serializing and writing the
-// snapshot — the expensive part — runs entirely off the ingest lock's
+// snapshot — the expensive part — runs entirely off the ingest locks'
 // hot path and concurrent Ingest/Query calls proceed undisturbed.
+//
+// With the two-phase ingest pipeline, the capture first quiesces:
+// holding prepMu blocks new prepares, then the capture waits for every
+// prepared-but-uncommitted batch to commit before reading state. A
+// snapshot therefore never records triples whose inference has not
+// landed — prepare-side and commit-side state are captured at the same
+// batch boundary.
 func (s *Session) CheckpointState() *checkpoint.Snapshot {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	s.pendMu.Lock()
+	for s.pending > 0 {
+		s.pendCond.Wait()
+	}
+	// pending can only fall while prepMu is held, so dropping the leaf
+	// lock here (before taking mu, which commits acquire first) cannot
+	// let a new batch slip in ahead of the capture.
+	s.pendMu.Unlock()
 	s.mu.Lock()
 	snap := &checkpoint.Snapshot{
 		Triples:        s.triples[:len(s.triples):len(s.triples)],
@@ -161,6 +178,7 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedd
 	s.cache = core.NewSimCache()
 	s.warm = snap.Warm
 	s.batches = snap.Batches
+	s.prepSeq = snap.Batches
 	s.sinceEpoch = snap.SinceEpoch
 	s.nRefresh = snap.Refreshes
 	s.epochTriples = snap.EpochTriples

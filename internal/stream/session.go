@@ -159,10 +159,14 @@ type Stats struct {
 }
 
 // Session is an incremental JOCL run over a growing OKB. All methods
-// are safe for concurrent use: Ingest and Refresh serialize on one
-// lock, while Snapshot and Stats read the state published at the end
-// of the last successful ingest — they never wait behind an in-flight
-// inference pass.
+// are safe for concurrent use: ingests are two-phase — Prepare
+// (validation, OKB growth, signal evaluation, graph construction)
+// serializes on one lock and Commit (scoped belief propagation, index
+// maintenance, publication) on another, so one ingest's front half can
+// overlap the previous ingest's inference pass — while Snapshot and
+// Stats read the state published at the end of the last committed
+// ingest and never wait behind an in-flight pass. Ingest runs both
+// phases back to back; internal/ingress pipelines them.
 type Session struct {
 	cfg  Config
 	ckb  *ckb.Store
@@ -181,21 +185,41 @@ type Session struct {
 	// inference reuses buffers instead of allocating O(graph) per batch.
 	pool *factorgraph.BufferPool
 
-	// mu serializes ingests and guards the epoch state below. A failed
-	// Ingest leaves all of it untouched (batches are committed only
-	// after inference succeeds), so the caller may retry the batch.
-	mu         sync.Mutex
+	// prepMu serializes the prepare half of ingests and guards the
+	// accumulated-triple/epoch state below. A failed Prepare leaves all
+	// of it untouched (state is committed only after graph construction
+	// succeeds), so the caller may retry the batch. Everything a
+	// successful Prepare installs here is immutable once installed —
+	// stores and resources are copy-on-grow — which is what lets the
+	// next Prepare run while the previous ingest's Commit is still
+	// inside belief propagation.
+	prepMu     sync.Mutex
 	triples    []okb.Triple
 	res        *signals.Resources // current epoch's resources
 	cache      *core.SimCache
-	warm       *factorgraph.WarmState
-	batches    int
 	sinceEpoch int // batches since last epoch build
-	nRefresh   int
+	// prepSeq numbers prepared batches; commits happen in prepare
+	// order, so it equals batches once the pipeline drains.
+	prepSeq int
 	// epochTriples is the triple count the current epoch's frozen
 	// statistics were derived over — what a checkpoint records so
 	// restore can re-derive the identical resources from the prefix.
 	epochTriples int
+
+	// pendMu/pendCond guard pending, the count of batches prepared but
+	// not yet committed. CheckpointState quiesces on it (with prepMu
+	// held) so a snapshot never captures triples whose inference has
+	// not landed. pendMu is a leaf lock: nothing is acquired under it.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  int
+
+	// mu serializes the commit half of ingests (inference, counters,
+	// index maintenance, publication) and guards the state below.
+	mu       sync.Mutex
+	warm     *factorgraph.WarmState
+	batches  int
+	nRefresh int
 	// Cumulative partition counters across ingests.
 	blocksTouched int
 	blocksWarm    int
@@ -237,6 +261,7 @@ func New(ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) *Se
 		syms: okb.NewSymbolTable(),
 		pool: factorgraph.NewBufferPool(),
 	}
+	s.pendCond = sync.NewCond(&s.pendMu)
 	if cfg.Query.Enable {
 		s.qidx = query.New(cfg.Query)
 	}
@@ -257,33 +282,60 @@ func (s *Session) Query() *query.Index { return s.qidx }
 // table only grows, and lookups are safe concurrent with Ingest.
 func (s *Session) Symbols() *okb.SymbolTable { return s.syms }
 
-// Ingest folds a batch of triples into the session and re-infers,
-// re-running belief propagation only on the connected components the
-// batch touched.
-//
-// A failed Ingest is free of side effects: the batch is validated
-// before anything is touched, all state is built into locals, and the
-// session's epoch state (resources, counters, warm state, query
-// staleness accounting) is committed only after inference succeeds —
-// so the caller can always retry or skip the batch and the session
-// behaves as if the failed call never happened.
-func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
+// ValidateBatch rejects batches the session would refuse before any
+// state is touched: empty batches and triples with an empty subject,
+// predicate, or object. Ingress layers call it before queueing a
+// batch, so invalid submissions are refused at the door instead of
+// occupying queue slots and prepare cycles.
+func ValidateBatch(batch []okb.Triple) error {
 	if len(batch) == 0 {
-		if s.met != nil {
-			s.met.ingestErrors.Inc()
-		}
-		return IngestStats{}, fmt.Errorf("stream: empty batch")
+		return fmt.Errorf("stream: empty batch")
 	}
 	for i, t := range batch {
 		if t.Subj == "" || t.Pred == "" || t.Obj == "" {
-			if s.met != nil {
-				s.met.ingestErrors.Inc()
-			}
-			return IngestStats{}, fmt.Errorf("stream: triple %d: empty subject, predicate, or object", i)
+			return fmt.Errorf("stream: triple %d: empty subject, predicate, or object", i)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return nil
+}
+
+// Prepared is the front half of one ingest: the batch's triples
+// appended to the OKB, its signals evaluated, and the factor graph
+// rebuilt — everything except inference. A Prepared must be Committed
+// exactly once, and Prepared batches commit in prepare order; Commit
+// cannot fail (the fallible work all happens in Prepare). The
+// prepare/commit split exists so a pipelined caller (internal/ingress)
+// can overlap batch N+1's construction with batch N's belief
+// propagation; plain callers use Ingest, which runs both phases.
+type Prepared struct {
+	s       *Session
+	st      IngestStats
+	sys     *core.System
+	res     *signals.Resources
+	cache   *core.SimCache
+	triples []okb.Triple // accumulated triples as of this batch
+	tb      *telemetry.TraceBuilder
+	start   time.Time
+	mem0    runtime.MemStats
+}
+
+// Prepare runs the front half of an ingest: it validates the batch,
+// grows the accumulated OKB, evaluates the batch's signals against the
+// epoch's frozen statistics (or rebuilds the epoch when due), and
+// constructs the factor graph. On success the session's prepare-side
+// state is advanced and the returned Prepared carries everything
+// Commit needs; on error the session is untouched and the batch can be
+// retried — a failed Prepare has no side effects beyond harmless
+// symbol interning.
+func (s *Session) Prepare(batch []okb.Triple) (*Prepared, error) {
+	if err := ValidateBatch(batch); err != nil {
+		if s.met != nil {
+			s.met.ingestErrors.Inc()
+		}
+		return nil, err
+	}
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
 
 	// Trace from here: the validated batch is the unit the stage spans
 	// decompose. tb is nil with telemetry off and every span degrades to
@@ -291,41 +343,42 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	start := time.Now()
 	var tb *telemetry.TraceBuilder
 	if s.tel != nil {
-		tb = telemetry.StartTrace(s.batches + 1)
+		tb = telemetry.StartTrace(s.prepSeq + 1)
 	}
 	var mem0 runtime.MemStats
 	runtime.ReadMemStats(&mem0)
 
-	// Staleness accounting: readers of the query index see Behind=1
-	// from here until the new generation is published. The deferred
-	// Abort rolls the marker back on ANY non-committed exit — error
-	// return or panic — so a failed ingest cannot leave readers
-	// permanently reported as behind.
-	committed := false
+	// Staleness accounting: readers of the query index see Behind grow
+	// from here until the new generation is published at Commit. The
+	// deferred Abort rolls the marker back on ANY failed exit — error
+	// return or panic — so a failed prepare cannot leave readers
+	// permanently reported as behind. (A successful Prepare is always
+	// followed by a Commit, which publishes the generation.)
+	ok := false
 	if s.qidx != nil {
 		s.qidx.Begin()
 		defer func() {
-			if !committed {
+			if !ok {
 				s.qidx.Abort()
 			}
 		}()
 	}
 
 	st := IngestStats{
-		Batch:        s.batches + 1,
+		Batch:        s.prepSeq + 1,
 		BatchTriples: len(batch),
 		TotalTriples: len(s.triples) + len(batch),
 	}
 
-	// Build everything into locals first: session state is committed
-	// only once inference succeeds, so a failed batch can be retried
+	// Build everything into locals first: session state is advanced
+	// only once construction succeeds, so a failed batch can be retried
 	// without double-counting its triples. The append may grow in place
-	// (only Ingest, under mu, ever appends, and published views of the
-	// slice never read past their own length), so the amortized cost
-	// tracks the batch; on failure s.triples still ends at the old
+	// (only Prepare, under prepMu, ever appends, and published views of
+	// the slice never read past their own length), so the amortized
+	// cost tracks the batch; on failure s.triples still ends at the old
 	// length and the next attempt simply overwrites the tail.
 	grown := append(s.triples, batch...)
-	res, cache, warm := s.res, s.cache, s.warm
+	res, cache := s.res, s.cache
 	t0 := time.Now()
 	if res == nil || (s.cfg.RefreshEvery > 0 && s.sinceEpoch+1 >= s.cfg.RefreshEvery) {
 		// Epoch build: derive every frozen statistic over all triples seen
@@ -336,7 +389,6 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 		res = signals.New(okb.NewStoreWithSymbols(grown, s.syms), s.ckb, s.emb, s.ppdb)
 		done()
 		cache = core.NewSimCache()
-		warm = nil
 		st.Refreshed = true
 	} else {
 		done := span(tb, "okb-append")
@@ -357,12 +409,59 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 		if s.met != nil {
 			s.met.ingestErrors.Inc()
 		}
-		return st, fmt.Errorf("stream: rebuilding system: %w", err)
+		return nil, fmt.Errorf("stream: rebuilding system: %w", err)
 	}
 	st.ConstructTime = time.Since(t0)
 
+	// Advance the prepare-side state. Everything installed here is
+	// immutable once installed, so the next Prepare can proceed while
+	// this batch's Commit is still running inference.
+	s.triples = grown
+	s.res = res
+	s.cache = cache
+	s.prepSeq++
+	if st.Refreshed {
+		s.sinceEpoch = 0
+		s.epochTriples = len(grown)
+	} else {
+		s.sinceEpoch++
+	}
+	ok = true
+	s.pendMu.Lock()
+	s.pending++
+	s.pendMu.Unlock()
+	return &Prepared{
+		s:       s,
+		st:      st,
+		sys:     sys,
+		res:     res,
+		cache:   cache,
+		triples: grown,
+		tb:      tb,
+		start:   start,
+		mem0:    mem0,
+	}, nil
+}
+
+// Commit runs the back half of the prepared ingest — scoped belief
+// propagation warm-started from the previous commit, cumulative
+// counters, query-index maintenance, and publication of the read-side
+// state. It cannot fail. Prepared batches must be committed exactly
+// once each, in prepare order; internal/ingress enforces that, and
+// Ingest trivially satisfies it.
+func (p *Prepared) Commit() IngestStats {
+	s, st, tb := p.s, p.st, p.tb
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	warm := s.warm
+	if st.Refreshed {
+		// The epoch rebuild shifted every potential; warm messages are
+		// stale by construction.
+		warm = nil
+	}
 	t1 := time.Now()
-	result, nextWarm, inc := sys.RunIncremental(warm, s.cfg.Workers)
+	result, nextWarm, inc := p.sys.RunIncremental(warm, s.cfg.Workers)
 	st.InferTime = time.Since(t1)
 	if tb != nil {
 		// The inference pass's sub-stages, placed back-to-back from the
@@ -397,17 +496,10 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	st.RepairBlocksRecut = inc.RepairBlocksRecut
 
 	// Commit.
-	s.triples = grown
-	s.res = res
-	s.cache = cache
 	s.warm = nextWarm
-	s.batches++
+	s.batches = st.Batch
 	if st.Refreshed {
-		s.sinceEpoch = 0
 		s.nRefresh++
-		s.epochTriples = len(grown)
-	} else {
-		s.sinceEpoch++
 	}
 	s.blocksTouched += inc.Dirty
 	s.blocksWarm += inc.Reused
@@ -418,25 +510,27 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 
 	// Maintain and publish the read-path index. The new generation goes
 	// live here with one atomic swap; concurrent readers were served
-	// the previous generation (marked Behind=1) throughout this ingest.
+	// the previous generation (marked behind) throughout this ingest.
+	// p.triples is the accumulated slice as of this batch — a later
+	// Prepare may already have grown the backing array past it, but the
+	// index never reads past the length captured here.
 	if s.qidx != nil {
 		done := span(tb, "index-apply")
-		qs := s.qidx.Apply(result, result.Delta, s.triples, s.syms)
+		qs := s.qidx.Apply(result, result.Delta, p.triples, s.syms)
 		done()
 		s.indexMS += qs.ApplyMS
 		st.Index = &qs
 	}
-	committed = true
 
 	// Publish the read-side state.
 	donePub := span(tb, "publish")
 	cum := Stats{
 		Batches:            s.batches,
-		TotalTriples:       len(s.triples),
-		NPs:                len(res.OKB.NPs()),
-		RPs:                len(res.OKB.RPs()),
+		TotalTriples:       len(p.triples),
+		NPs:                len(p.res.OKB.NPs()),
+		RPs:                len(p.res.OKB.RPs()),
 		Refreshes:          s.nRefresh,
-		CacheEntries:       cache.Len(),
+		CacheEntries:       p.cache.Len(),
 		BlocksTouched:      s.blocksTouched,
 		BlocksWarm:         s.blocksWarm,
 		CutVariables:       inc.CutVars,
@@ -448,10 +542,10 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 	}
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
-	st.AllocBytes = mem1.TotalAlloc - mem0.TotalAlloc
-	st.Allocs = mem1.Mallocs - mem0.Mallocs
+	st.AllocBytes = mem1.TotalAlloc - p.mem0.TotalAlloc
+	st.Allocs = mem1.Mallocs - p.mem0.Mallocs
 
-	st.TotalTime = time.Since(start)
+	st.TotalTime = time.Since(p.start)
 	lastSt := st
 	cum.LastIngest = &lastSt
 	s.pub.Lock()
@@ -462,16 +556,42 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 
 	if s.met != nil {
 		tr := tb.Finish(s.tel.Traces)
-		s.met.observeIngest(&st, inc, len(res.OKB.NPs()), len(res.OKB.RPs()),
-			res.OKB.OverlayDepth(), st.Index, tr)
+		s.met.observeIngest(&st, inc, len(p.res.OKB.NPs()), len(p.res.OKB.RPs()),
+			p.res.OKB.OverlayDepth(), st.Index, tr)
 	}
-	return st, nil
+
+	// Release the checkpoint quiesce: this batch is fully committed.
+	s.pendMu.Lock()
+	s.pending--
+	s.pendCond.Broadcast()
+	s.pendMu.Unlock()
+	return st
+}
+
+// Ingest folds a batch of triples into the session and re-infers,
+// re-running belief propagation only on the connected components the
+// batch touched. It is Prepare followed immediately by Commit.
+//
+// A failed Ingest is free of side effects: the batch is validated
+// before anything is touched, all state is built into locals, and the
+// session's epoch state (resources, counters, warm state, query
+// staleness accounting) is advanced only after construction succeeds —
+// so the caller can always retry or skip the batch and the session
+// behaves as if the failed call never happened.
+func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
+	p, err := s.Prepare(batch)
+	if err != nil {
+		return IngestStats{}, err
+	}
+	return p.Commit(), nil
 }
 
 // Refresh forces an epoch rebuild on the next Ingest: the frozen
 // statistics are re-derived over every triple seen so far and the next
 // inference pass is a full re-solve.
 func (s *Session) Refresh() {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.res = nil

@@ -20,6 +20,7 @@ package jocl
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/ckb"
 	"repro/internal/core"
@@ -143,6 +144,8 @@ type options struct {
 	queryOpts     QueryIndexOptions
 	telemetryOff  bool
 	telemetryOpts TelemetryOptions
+	ingressOn     bool
+	ingressOpts   IngressOptions
 	cfg           core.Config
 }
 
@@ -243,6 +246,43 @@ func WithTelemetry(t TelemetryOptions) Option {
 // atomic ops per stage. Ignored by batch Pipelines.
 func WithoutTelemetry() Option {
 	return func(o *options) { o.telemetryOff = true }
+}
+
+// IngressOptions tunes a Session's asynchronous ingest pipeline
+// (WithIngress). Zero fields take the defaults noted per field.
+type IngressOptions struct {
+	// QueueDepth bounds the batches accepted but not yet prepared
+	// (default 64). Submissions beyond it are shed with an
+	// OverloadedError.
+	QueueDepth int
+	// CoalesceDepth caps how many queued batches one merged session
+	// ingest may absorb (default 16; 1 disables merging but keeps the
+	// prepare/commit pipelining).
+	CoalesceDepth int
+	// CoalesceWindow, when positive, lets the pipeline linger this
+	// long for straggler batches before sealing a merged ingest that
+	// is still below CoalesceDepth. Zero (the default) merges only
+	// batches already queued — no added latency.
+	CoalesceWindow time.Duration
+	// ShedDepth is the queue's high-water mark: IngestContext sheds
+	// once queue depth reaches it (default QueueDepth).
+	ShedDepth int
+}
+
+// WithIngress puts a bounded asynchronous ingest queue in front of the
+// session: IngestContext submissions queue, adjacent queued batches
+// coalesce into one merged ingest (amortizing per-ingest overhead
+// without changing the result — merging is equivalence-tested against
+// serial ingest), the next batch's signal evaluation and graph build
+// overlap the previous batch's belief propagation, and submissions
+// beyond the high-water mark are shed with an OverloadedError instead
+// of queueing without bound. Close drains the queue. Ignored by batch
+// Pipelines.
+func WithIngress(in IngressOptions) Option {
+	return func(o *options) {
+		o.ingressOn = true
+		o.ingressOpts = in
+	}
 }
 
 // SegmentOptions tunes hub-cut graph segmentation (WithSegmentation).

@@ -1,6 +1,8 @@
 package jocl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/embedding"
+	"repro/internal/ingress"
 	"repro/internal/okb"
 	"repro/internal/ppdb"
 	"repro/internal/query"
@@ -27,7 +30,29 @@ import (
 // Sessions do not learn weights online: learn them offline with a
 // labeled Pipeline.Run, then seed them via WithWeights.
 type Session struct {
-	s *stream.Session
+	s  *stream.Session
+	in *ingress.Pipeline // nil unless WithIngress
+}
+
+// ErrSessionClosed is returned by IngestContext after Close: the
+// session's ingest pipeline no longer accepts batches.
+var ErrSessionClosed = errors.New("jocl: session closed")
+
+// OverloadedError is returned by IngestContext when the session's
+// ingest queue (WithIngress) is past its high-water mark: the batch
+// was shed without touching the session. RetryAfter is the pipeline's
+// estimate of when the backlog will have drained — serving layers map
+// it onto HTTP 429 + Retry-After.
+type OverloadedError struct {
+	// QueueDepth is the queue depth observed at the shed decision.
+	QueueDepth int
+	// RetryAfter estimates the backlog's drain time (1s–30s).
+	RetryAfter time.Duration
+}
+
+// Error describes the shed decision.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("jocl: session overloaded (queue depth %d), retry after %s", e.QueueDepth, e.RetryAfter)
 }
 
 // IngestStats reports what one ingested batch cost and how much of the
@@ -82,6 +107,12 @@ type IngestStats struct {
 	IndexMillis float64
 	IndexKeys   int
 	IndexFull   bool
+
+	// CoalescedBatches is the number of submitted batches the session
+	// ingest carrying this one merged (1 = this batch rode alone; >1
+	// means the stats above describe the merged ingest and are shared
+	// by every member batch). Always 1 without WithIngress.
+	CoalescedBatches int
 }
 
 // SessionStats is a session's cumulative view.
@@ -128,7 +159,28 @@ func NewSession(kb *KB, opts ...Option) (*Session, error) {
 	}
 	o := applyOptions(opts)
 	emb, db := o.sessionResources()
-	return &Session{s: stream.New(kb.store, emb, db, o.streamConfig())}, nil
+	return newPublicSession(stream.New(kb.store, emb, db, o.streamConfig()), o), nil
+}
+
+// newPublicSession wraps a stream session, standing up the ingress
+// pipeline when WithIngress asked for one. The pipeline reports its
+// jocl_ingress_* metrics through the session's registry, so one
+// /metrics scrape covers queue pressure alongside ingest cost.
+func newPublicSession(s *stream.Session, o *options) *Session {
+	ps := &Session{s: s}
+	if o.ingressOn {
+		cfg := ingress.Config{
+			QueueDepth:     o.ingressOpts.QueueDepth,
+			CoalesceDepth:  o.ingressOpts.CoalesceDepth,
+			CoalesceWindow: o.ingressOpts.CoalesceWindow,
+			ShedDepth:      o.ingressOpts.ShedDepth,
+		}
+		if tel := s.Telemetry(); tel != nil {
+			cfg.Registry = tel.Registry
+		}
+		ps.in = ingress.NewSession(s, cfg)
+	}
+	return ps
 }
 
 // applyOptions folds the options over the session defaults.
@@ -242,7 +294,7 @@ func RestoreSession(r io.Reader, kb *KB, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{s: sess}, nil
+	return newPublicSession(sess, o), nil
 }
 
 // RestoreSessionFile is RestoreSession reading from a checkpoint file
@@ -261,21 +313,115 @@ func RestoreSessionFile(path string, kb *KB, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{s: sess}, nil
+	return newPublicSession(sess, o), nil
 }
 
 // Ingest folds a batch of triples into the session and re-infers
-// incrementally.
+// incrementally. It is IngestContext with a background context.
 func (s *Session) Ingest(triples []Triple) (IngestStats, error) {
+	return s.IngestContext(context.Background(), triples)
+}
+
+// IngestContext folds a batch of triples into the session and blocks
+// until its inference has committed. Without WithIngress this is a
+// synchronous ingest (ctx is only checked up front). With WithIngress
+// the batch is queued: it may coalesce with adjacent queued batches
+// into one merged ingest (the returned stats then describe the merged
+// ingest, with CoalescedBatches > 1), an overloaded queue sheds it
+// with an *OverloadedError, cancelling ctx while it is still queued
+// withdraws it before the session ever sees it, and after Close it is
+// refused with ErrSessionClosed.
+func (s *Session) IngestContext(ctx context.Context, triples []Triple) (IngestStats, error) {
 	ts := make([]okb.Triple, len(triples))
 	for i, t := range triples {
 		ts[i] = okb.Triple{Subj: t.Subject, Pred: t.Predicate, Obj: t.Object}
 	}
-	st, err := s.s.Ingest(ts)
+	if s.in == nil {
+		if err := ctx.Err(); err != nil {
+			return IngestStats{}, err
+		}
+		st, err := s.s.Ingest(ts)
+		if err != nil {
+			return IngestStats{}, err
+		}
+		out := ingestStats(st)
+		out.CoalescedBatches = 1
+		return out, nil
+	}
+	res, err := s.in.Submit(ctx, ts)
 	if err != nil {
+		var shed *ingress.ShedError
+		if errors.As(err, &shed) {
+			return IngestStats{}, &OverloadedError{QueueDepth: shed.Depth, RetryAfter: shed.RetryAfter}
+		}
+		if errors.Is(err, ingress.ErrClosed) {
+			return IngestStats{}, ErrSessionClosed
+		}
 		return IngestStats{}, err
 	}
-	return ingestStats(st), nil
+	out := ingestStats(res.Stats)
+	out.CoalescedBatches = res.Coalesced
+	return out, nil
+}
+
+// Close shuts the session's ingest pipeline down: it stops accepting
+// batches, drains everything queued through the session, and waits
+// for the final commit (or ctx expiry — the drain continues in the
+// background if ctx wins). Without WithIngress it is a no-op. Query*
+// and Checkpoint* remain usable after Close.
+func (s *Session) Close(ctx context.Context) error {
+	if s.in == nil {
+		return nil
+	}
+	return s.in.Close(ctx)
+}
+
+// IngressStats is a point-in-time snapshot of the ingest pipeline's
+// cumulative counters (WithIngress), mirroring the jocl_ingress_*
+// metric families.
+type IngressStats struct {
+	// QueueDepth is the current number of queued, unstarted batches.
+	QueueDepth int
+	// Submitted counts batches accepted into the queue; Shed those
+	// refused past the high-water mark; Cancelled those withdrawn by
+	// context cancellation while still queued.
+	Submitted uint64
+	Shed      uint64
+	Cancelled uint64
+	// MergedIngests counts session ingests the pipeline issued and
+	// CoalescedBatches the submitted batches they carried; Splits
+	// counts merged prepares that failed and were retried
+	// batch-by-batch to isolate a poisoned member.
+	MergedIngests    uint64
+	CoalescedBatches uint64
+	Splits           uint64
+}
+
+// CoalescingFactor is the mean number of submitted batches per session
+// ingest (0 before the first ingest).
+func (st IngressStats) CoalescingFactor() float64 {
+	if st.MergedIngests == 0 {
+		return 0
+	}
+	return float64(st.CoalescedBatches) / float64(st.MergedIngests)
+}
+
+// IngressStats reports the ingest pipeline's counters, or ok=false
+// without WithIngress.
+func (s *Session) IngressStats() (IngressStats, bool) {
+	if s.in == nil {
+		return IngressStats{}, false
+	}
+	st := s.in.Stats()
+	return IngressStats{
+		QueueDepth:       s.in.Depth(),
+		Submitted:        st.Submitted,
+		Shed:             st.Shed,
+		Cancelled:        st.Cancelled,
+		MergedIngests:    st.MergedIngests,
+		CoalescedBatches: st.CoalescedBatches,
+		Splits:           st.Splits,
+	}, true
 }
 
 // Snapshot returns the current joint result over everything ingested so
