@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./internal/checkpoint/ ./internal/telemetry/ ./internal/ingress/ ./cmd/jocl-serve/
+	$(GO) test -race ./internal/stream/ ./internal/factorgraph/ ./internal/query/ ./internal/core/ ./internal/checkpoint/ ./internal/telemetry/ ./internal/trace/ ./internal/ingress/ ./cmd/jocl-serve/
 
 # Regenerate the paper's tables and figures.
 bench:

@@ -37,7 +37,7 @@ import (
 func main() {
 	var (
 		root = flag.String("root", ".", "repository root to scan")
-		pkgs = flag.String("pkgs", ".,internal/factorgraph,internal/core,internal/stream,internal/bench,internal/query,internal/checkpoint,internal/telemetry,internal/ingress",
+		pkgs = flag.String("pkgs", ".,internal/factorgraph,internal/core,internal/stream,internal/bench,internal/query,internal/checkpoint,internal/telemetry,internal/trace,internal/ingress",
 			"comma-separated package directories to check for exported-identifier docs")
 	)
 	flag.Parse()

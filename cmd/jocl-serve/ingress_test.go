@@ -22,13 +22,13 @@ import (
 // busy long enough to observe queued state — so every scenario is
 // deterministic rather than a timing lottery.
 
-func ingressServer(t *testing.T, in jocl.IngressOptions) (*server, *jocl.Session) {
+func ingressServer(t *testing.T, in jocl.IngressOptions, extra ...jocl.Option) (*server, *jocl.Session) {
 	t.Helper()
 	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := bench.Session(jocl.WithIngress(in))
+	sess, err := bench.Session(append([]jocl.Option{jocl.WithIngress(in)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,9 @@
 //	           [-query] [-query-max-results 1000] [-query-max-layers 4]
 //	           [-checkpoint-dir DIR] [-checkpoint-every N]
 //	           [-log-format text|json] [-trace-ring 64] [-pprof]
+//	           [-trace] [-trace-slow 1s] [-trace-requests 128]
+//	           [-stall-after 60s] [-slo-availability 0.999]
+//	           [-slo-latency-pct 0.95] [-slo-latency-threshold 500ms]
 //
 // Ingest runs through a bounded asynchronous queue by default
 // (-ingest-queue, 0 restores fully synchronous ingest): batches that
@@ -83,13 +86,34 @@
 //
 // Observability (see docs/OBSERVABILITY.md for the full catalogue):
 //
-//	GET  /metrics        -> every session metric in Prometheus text format
-//	GET  /debug/trace    -> the most recent per-ingest stage traces (?n= caps how many)
-//	GET  /debug/pprof/*  -> runtime profiling endpoints (only with -pprof)
+//	GET  /metrics         -> every session metric in Prometheus text format
+//	GET  /debug/trace     -> the most recent per-ingest stage traces (?n= caps how many)
+//	GET  /debug/requests  -> tail-sampled request traces (?trace=<id> retrieves one, ?n= caps)
+//	GET  /debug/watchdog  -> pipeline liveness accounting + last stall's flight recorder
+//	GET  /debug/pprof/*   -> runtime profiling endpoints (only with -pprof)
+//
+// Request tracing is on by default (-trace=false disables it): every
+// ingest request gets a span tree under a W3C trace id — adopted from
+// an incoming traceparent header or minted here, echoed back as
+// X-Trace-Id and reported as trace_id in the ingest response and the
+// request log line. Batches that coalesce into one merged session
+// ingest link their request traces to a shared group trace carrying
+// the per-stage spans. Requests slower than -trace-slow or ending
+// abnormally (shed, cancelled, poisoned) are retained for
+// /debug/requests; -trace-requests bounds the store.
+//
+// The /metrics families include SLO accounting over /ingest —
+// jocl_slo_error_budget_remaining and multi-window jocl_slo_burn_rate
+// against the -slo-availability and -slo-latency-* objectives — and,
+// with the async queue on, a pipeline watchdog that declares a stall
+// (jocl_watchdog_stalled) after -stall-after of heartbeat silence with
+// work pending, capturing a flight-recorder snapshot for
+// /debug/watchdog.
 //
 // Every request is logged through log/slog (request id, method, route
-// pattern, status, duration); -log-format json switches the process to
-// machine-readable logs. -trace-ring sizes the retained trace window.
+// pattern, status, duration, trace id); -log-format json switches the
+// process to machine-readable logs. -trace-ring sizes the retained
+// trace window.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops accepting, in-flight ingests and queries drain, a final
@@ -124,6 +148,7 @@ import (
 
 	"repro"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -155,6 +180,13 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "structured log encoding: text | json")
 		traceRing    = flag.Int("trace-ring", 0, "per-ingest stage traces retained for /debug/trace (0 = default 64)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints expose internals)")
+		tracingOn    = flag.Bool("trace", true, "request-scoped tracing: every ingest gets a span tree, slow/failed requests are retained for /debug/requests")
+		traceSlow    = flag.Duration("trace-slow", 0, "tail-sampling latency bar: requests at least this slow are retained (0 = default 1s; negative retains everything)")
+		traceReqs    = flag.Int("trace-requests", 0, "retained request and group traces, each (0 = default 128)")
+		stallAfter   = flag.Duration("stall-after", 0, "ingest watchdog: declare a stall after this much heartbeat silence with work pending (0 = default 60s; negative disables)")
+		sloAvail     = flag.Float64("slo-availability", 0, "availability SLO target over /ingest (0 = default 0.999)")
+		sloLatPct    = flag.Float64("slo-latency-pct", 0, "latency SLO target: fraction of /ingest requests under -slo-latency-threshold (0 = default 0.95)")
+		sloLatThresh = flag.Duration("slo-latency-threshold", 0, "latency SLO threshold (0 = default 500ms)")
 	)
 	flag.Parse()
 
@@ -184,6 +216,14 @@ func main() {
 		jocl.WithRefreshEvery(*refreshEvery),
 		jocl.WithTelemetry(jocl.TelemetryOptions{TraceRing: *traceRing}),
 	}
+	if *tracingOn {
+		opts = append(opts, jocl.WithTracing(jocl.TraceOptions{
+			SlowThreshold: *traceSlow,
+			Capacity:      *traceReqs,
+		}))
+	} else {
+		opts = append(opts, jocl.WithoutTracing())
+	}
 	if *queryOn {
 		opts = append(opts, jocl.WithQueryIndex(jocl.QueryIndexOptions{
 			MaxResults: *queryMaxRes,
@@ -198,6 +238,7 @@ func main() {
 			CoalesceDepth:  *coalesceDep,
 			CoalesceWindow: *coalesceWin,
 			ShedDepth:      *shedDepth,
+			StallAfter:     *stallAfter,
 		}))
 	}
 	if *segment {
@@ -244,6 +285,11 @@ func main() {
 		checkpointEvery: *ckptEvery,
 		pprof:           *pprofOn,
 		logger:          logger,
+		slo: telemetry.SLOConfig{
+			Availability:     *sloAvail,
+			LatencyObjective: *sloLatPct,
+			LatencyThreshold: *sloLatThresh,
+		},
 	})
 	logger.Info("serving", "addr", *addr, "world", bench.Name(),
 		"generator_triples", len(bench.Triples), "pprof", *pprofOn)
@@ -295,6 +341,10 @@ type serveOptions struct {
 	// the per-request structured log (nil = discard, for tests).
 	pprof  bool
 	logger *slog.Logger
+	// slo configures the availability and latency objectives computed
+	// over the jocl_http_* families (zero fields take the defaults in
+	// telemetry.SLOConfig). Ignored when telemetry is disabled.
+	slo telemetry.SLOConfig
 }
 
 // server wires a jocl.Session into an http.Handler. Handlers run
@@ -319,6 +369,9 @@ type server struct {
 	httpReqs *telemetry.CounterVec
 	httpDur  *telemetry.HistogramVec
 	httpBusy *telemetry.Gauge
+	// slo derives error-budget and burn-rate gauges from the families
+	// above; each /metrics scrape ticks it (nil without telemetry).
+	slo *telemetry.SLO
 }
 
 func newServer(sess *jocl.Session, opt serveOptions) *server {
@@ -336,6 +389,8 @@ func newServer(sess *jocl.Session, opt serveOptions) *server {
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.mux.HandleFunc("/debug/requests", s.handleRequests)
+	s.mux.HandleFunc("/debug/watchdog", s.handleWatchdog)
 	s.mux.HandleFunc("/query/resolve", s.handleQueryResolve)
 	s.mux.HandleFunc("/query/entity", s.handleQueryEntity)
 	s.mux.HandleFunc("/query/relation", s.handleQueryRelation)
@@ -356,6 +411,7 @@ func newServer(sess *jocl.Session, opt serveOptions) *server {
 			"HTTP request latency by route pattern.", nil, "path")
 		s.httpBusy = tel.Registry.Gauge("jocl_http_in_flight",
 			"HTTP requests currently being served.")
+		s.slo = telemetry.NewSLO(tel.Registry, opt.slo)
 	}
 	return s
 }
@@ -373,15 +429,31 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // ServeHTTP is the observability middleware around every endpoint: it
-// assigns a request id, tracks in-flight requests, and — after the
-// handler runs — records count/latency/status under the matched route
-// pattern and emits one structured log line per request.
+// assigns a request id, resolves the request's trace identity (adopting
+// an incoming W3C traceparent header or minting a fresh one, echoed
+// back as X-Trace-Id so clients can correlate with /debug/requests),
+// tracks in-flight requests, and — after the handler runs — records
+// count/latency/status under the matched route pattern and emits one
+// structured log line per request.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := s.reqID.Add(1)
 	t0 := time.Now()
 	if s.httpBusy != nil {
 		s.httpBusy.Add(1)
 		defer s.httpBusy.Add(-1)
+	}
+	traceID := ""
+	if s.sess.Tracer() != nil {
+		sc, ok := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			// Mint the trace identity here rather than at ingest so the
+			// response header and log line carry it even for requests
+			// that fail before reaching the session.
+			sc = trace.NewSpanContext()
+		}
+		traceID = sc.TraceID.String()
+		w.Header().Set("X-Trace-Id", traceID)
+		r = r.WithContext(trace.ContextWith(r.Context(), sc))
 	}
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r)
@@ -397,10 +469,15 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.httpReqs.With(pattern, r.Method, strconv.Itoa(sw.code)).Inc()
 		s.httpDur.With(pattern).ObserveDuration(d)
 	}
-	s.opt.logger.Info("request",
+	attrs := []any{
 		"id", id, "method", r.Method, "path", r.URL.Path,
 		"endpoint", pattern, "status", sw.code,
-		"duration_ms", float64(d)/float64(time.Millisecond))
+		"duration_ms", float64(d) / float64(time.Millisecond),
+	}
+	if traceID != "" {
+		attrs = append(attrs, "trace_id", traceID)
+	}
+	s.opt.logger.Info("request", attrs...)
 }
 
 // handleMetrics renders every registered metric in Prometheus text
@@ -415,6 +492,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "telemetry disabled: the session was built with WithoutTelemetry")
 		return
 	}
+	// Scrape-driven SLO sampling: each scrape refreshes the budget and
+	// burn-rate gauges (rate-limited inside Tick), so the exported
+	// values are at most one scrape interval stale and no background
+	// goroutine is needed.
+	s.slo.Tick(time.Now())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := tel.Registry.WritePrometheus(w); err != nil {
 		s.opt.logger.Error("writing /metrics", "err", err)
@@ -450,6 +532,90 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	writeJSON(w, http.StatusOK, traceResponse{Traces: tel.Traces.Last(n)})
+}
+
+type requestsResponse struct {
+	// SlowThresholdMS is the tail-sampling bar in effect (negative =
+	// every request trace is retained).
+	SlowThresholdMS float64 `json:"slow_threshold_ms"`
+	// Requests are the retained request traces, newest first; Groups
+	// the retained merged-group traces the requests link to.
+	Requests []trace.Finished `json:"requests"`
+	Groups   []trace.Finished `json:"groups"`
+}
+
+// handleRequests serves the tail-sampled request traces (GET
+// /debug/requests): slow and abnormally-terminated ingest requests with
+// their full span trees, plus the merged-group traces they link to.
+// ?n= caps how many of each; ?trace=<32-hex id> retrieves one specific
+// trace (request or group) by id.
+func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	tracer := s.sess.Tracer()
+	if tracer == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled: the session was built with WithoutTelemetry or WithoutTracing")
+		return
+	}
+	q := r.URL.Query()
+	if raw := q.Get("trace"); raw != "" {
+		id, ok := trace.ParseTraceID(raw)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "bad ?trace=: want 32 hex characters")
+			return
+		}
+		f, ok := tracer.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "trace not retained (not sampled, or evicted)")
+			return
+		}
+		writeJSON(w, http.StatusOK, f)
+		return
+	}
+	n := 0
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad ?n=")
+			return
+		}
+		n = v
+	}
+	resp := requestsResponse{
+		SlowThresholdMS: float64(tracer.SlowThreshold()) / float64(time.Millisecond),
+		Requests:        tracer.Recent(n),
+		Groups:          tracer.RecentGroups(n),
+	}
+	if resp.Requests == nil {
+		resp.Requests = []trace.Finished{}
+	}
+	if resp.Groups == nil {
+		resp.Groups = []trace.Finished{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type watchdogResponse struct {
+	Watchdog  jocl.WatchdogStatus `json:"watchdog"`
+	LastStall *jocl.StallReport   `json:"last_stall,omitempty"`
+}
+
+// handleWatchdog serves the ingest pipeline's liveness accounting and,
+// when a stall has been declared, the flight-recorder snapshot captured
+// at that moment (GET /debug/watchdog).
+func (s *server) handleWatchdog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st, ok := s.sess.Watchdog()
+	if !ok {
+		httpError(w, http.StatusNotFound, "ingress disabled: start jocl-serve with -ingest-queue > 0")
+		return
+	}
+	writeJSON(w, http.StatusOK, watchdogResponse{Watchdog: st, LastStall: s.sess.LastStall()})
 }
 
 type ingestRequest struct {
@@ -492,6 +658,10 @@ type ingestResponse struct {
 	// ingest carrying this one merged (1 = it rode alone); when > 1 the
 	// statistics above describe the whole merged ingest.
 	CoalescedBatches int `json:"coalesced_batches,omitempty"`
+	// trace_id identifies this request's trace (also echoed in the
+	// X-Trace-Id response header): look it up at /debug/requests?trace=
+	// when it was slow or failed. Absent with -trace=false.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func ingestResponseOf(st jocl.IngestStats) ingestResponse {
@@ -516,6 +686,7 @@ func ingestResponseOf(st jocl.IngestStats) ingestResponse {
 		IndexKeys:          st.IndexKeys,
 		IndexFull:          st.IndexFull,
 		CoalescedBatches:   st.CoalescedBatches,
+		TraceID:            st.TraceID,
 	}
 }
 
@@ -716,6 +887,11 @@ type ingressStatsJSON struct {
 	CoalescedBatches uint64  `json:"coalesced_batches"`
 	Splits           uint64  `json:"splits"`
 	CoalescingFactor float64 `json:"coalescing_factor"`
+	// queue_oldest_age_ms / queue_oldest_enqueued report the oldest
+	// still-queued submission — the head-of-line wait a new submission
+	// is behind. Absent when the queue is empty.
+	QueueOldestAgeMS    float64    `json:"queue_oldest_age_ms,omitempty"`
+	QueueOldestEnqueued *time.Time `json:"queue_oldest_enqueued,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -752,6 +928,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CoalescedBatches: in.CoalescedBatches,
 			Splits:           in.Splits,
 			CoalescingFactor: in.CoalescingFactor(),
+		}
+		if !in.QueueOldestEnqueued.IsZero() {
+			enq := in.QueueOldestEnqueued
+			resp.Ingress.QueueOldestEnqueued = &enq
+			resp.Ingress.QueueOldestAgeMS = float64(in.QueueOldestAge) / float64(time.Millisecond)
 		}
 	}
 	if li := st.LastIngest; li != nil {

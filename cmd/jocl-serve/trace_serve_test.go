@@ -1,0 +1,401 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The tests below exercise the request-tracing surface end to end:
+// traceparent headers in, X-Trace-Id and trace_id out, span trees for
+// coalesced groups on /debug/requests, shed requests retrievable by
+// trace id, the SLO gauges on /metrics, and the pipeline watchdog on
+// /debug/watchdog.
+
+// finishedJSON / spanJSON mirror the /debug/requests wire format.
+type finishedJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Kind       string     `json:"kind"`
+	Status     string     `json:"status"`
+	SampledFor string     `json:"sampled_for"`
+	TotalMS    float64    `json:"total_ms"`
+	Spans      []spanJSON `json:"spans"`
+}
+
+type spanJSON struct {
+	Name    string  `json:"name"`
+	SpanID  string  `json:"span_id"`
+	Parent  string  `json:"parent_id"`
+	StartMS float64 `json:"start_ms"`
+	MS      float64 `json:"ms"`
+	Status  string  `json:"status"`
+	Note    string  `json:"note"`
+	Links   []struct {
+		TraceID string `json:"trace_id"`
+		SpanID  string `json:"span_id"`
+	} `json:"links"`
+	Attrs map[string]string `json:"attrs"`
+}
+
+type requestsJSON struct {
+	SlowThresholdMS float64        `json:"slow_threshold_ms"`
+	Requests        []finishedJSON `json:"requests"`
+	Groups          []finishedJSON `json:"groups"`
+}
+
+// traceparentFor builds a deterministic valid W3C traceparent header
+// and returns it with its trace and span ids.
+func traceparentFor(i int) (header, traceID, spanID string) {
+	traceID = fmt.Sprintf("%032x", 0xabc1000+i)
+	spanID = fmt.Sprintf("%016x", 0xdef1000+i)
+	return "00-" + traceID + "-" + spanID + "-01", traceID, spanID
+}
+
+// asyncIngestTraced is asyncIngest with a traceparent request header.
+func asyncIngestTraced(srv *server, header string, triples []tripleJSON) chan *httptest.ResponseRecorder {
+	out := make(chan *httptest.ResponseRecorder, 1)
+	body, _ := json.Marshal(ingestRequest{Triples: triples})
+	req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+	req.Header.Set("traceparent", header)
+	go func() {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		out <- rec
+	}()
+	return out
+}
+
+// findSpanJSON returns the first span with the given name, or nil.
+func findSpanJSON(f finishedJSON, name string) *spanJSON {
+	for i := range f.Spans {
+		if f.Spans[i].Name == name {
+			return &f.Spans[i]
+		}
+	}
+	return nil
+}
+
+// TestServeRequestTracing drives three concurrent ingests carrying
+// traceparent headers into one coalesced group and proves the wire
+// contract: every response echoes its caller's trace id (header and
+// body), /debug/requests serves complete request span trees whose
+// roots are parented under the caller's span and link to the shared
+// group trace, the group trace carries the per-stage spans and the
+// coalesce count, and individual traces are retrievable by id.
+func TestServeRequestTracing(t *testing.T) {
+	srv, _ := ingressServer(t, jocl.IngressOptions{
+		QueueDepth:     8,
+		CoalesceDepth:  3,
+		CoalesceWindow: time.Minute,
+	}, jocl.WithTracing(jocl.TraceOptions{SlowThreshold: -1}))
+
+	type sent struct {
+		traceID, spanID string
+		ch              chan *httptest.ResponseRecorder
+	}
+	var subs []sent
+	for i := 0; i < 2; i++ {
+		h, tid, sid := traceparentFor(i)
+		subs = append(subs, sent{tid, sid, asyncIngestTraced(srv, h, oneTriple(i))})
+	}
+	// Wait for both to be parked in the open group before the sealer,
+	// so the group membership is deterministic.
+	pollStats(t, srv, "two ingests parked", func(st statsResponse) bool {
+		return st.Ingress != nil && st.Ingress.Submitted == 2 && st.Batches == 0
+	})
+	h, tid, sid := traceparentFor(2)
+	subs = append(subs, sent{tid, sid, asyncIngestTraced(srv, h, oneTriple(2))})
+
+	for i, sub := range subs {
+		rec := <-sub.ch
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d = %d: %s", i, rec.Code, rec.Body)
+		}
+		if got := rec.Header().Get("X-Trace-Id"); got != sub.traceID {
+			t.Errorf("ingest %d X-Trace-Id = %q, want %q", i, got, sub.traceID)
+		}
+		var resp ingestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.TraceID != sub.traceID {
+			t.Errorf("ingest %d trace_id = %q, want %q", i, resp.TraceID, sub.traceID)
+		}
+		if resp.CoalescedBatches != 3 {
+			t.Errorf("ingest %d coalesced_batches = %d, want 3", i, resp.CoalescedBatches)
+		}
+	}
+
+	var reqs requestsJSON
+	if rec := getJSON(t, srv, "/debug/requests", &reqs); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/requests = %d: %s", rec.Code, rec.Body)
+	}
+	if reqs.SlowThresholdMS >= 0 {
+		t.Errorf("slow_threshold_ms = %v, want negative (retain everything)", reqs.SlowThresholdMS)
+	}
+	if len(reqs.Requests) != 3 || len(reqs.Groups) != 1 {
+		t.Fatalf("retained %d requests / %d groups, want 3 / 1", len(reqs.Requests), len(reqs.Groups))
+	}
+
+	group := reqs.Groups[0]
+	groupRoot := findSpanJSON(group, "ingest-group")
+	if group.Kind != "group" || groupRoot == nil {
+		t.Fatalf("malformed group trace: %+v", group)
+	}
+	if groupRoot.Attrs["coalesced"] != "3" {
+		t.Errorf("group coalesced attr = %q, want 3", groupRoot.Attrs["coalesced"])
+	}
+	for _, stage := range []string{"prepare", "commit", "publish"} {
+		sp := findSpanJSON(group, stage)
+		if sp == nil {
+			t.Errorf("group trace misses the %s span", stage)
+			continue
+		}
+		if sp.Parent != groupRoot.SpanID {
+			t.Errorf("%s span parented to %q, not the group root %q", stage, sp.Parent, groupRoot.SpanID)
+		}
+	}
+
+	for _, sub := range subs {
+		var f finishedJSON
+		for _, r := range reqs.Requests {
+			if r.TraceID == sub.traceID {
+				f = r
+				break
+			}
+		}
+		if f.TraceID == "" {
+			t.Fatalf("trace %s not in /debug/requests", sub.traceID)
+		}
+		if f.Kind != "request" || f.Status != "ok" || f.SampledFor != "all" {
+			t.Errorf("trace %s: kind=%q status=%q sampled_for=%q", sub.traceID, f.Kind, f.Status, f.SampledFor)
+		}
+		root := findSpanJSON(f, "ingest")
+		if root == nil {
+			t.Fatalf("trace %s has no ingest root: %+v", sub.traceID, f.Spans)
+		}
+		// The root is parented under the caller's traceparent span and
+		// links to the shared group trace.
+		if root.Parent != sub.spanID {
+			t.Errorf("trace %s root parent = %q, want the caller's span %q", sub.traceID, root.Parent, sub.spanID)
+		}
+		if len(root.Links) != 1 || root.Links[0].TraceID != group.TraceID {
+			t.Errorf("trace %s root links = %+v, want one link to group %s", sub.traceID, root.Links, group.TraceID)
+		}
+		enq := findSpanJSON(f, "enqueue")
+		if enq == nil || enq.Parent != root.SpanID {
+			t.Errorf("trace %s: enqueue span missing or mis-parented: %+v", sub.traceID, enq)
+		}
+	}
+
+	// Retrieval by id: a request, the group, an unknown id, a bad id.
+	var one finishedJSON
+	if rec := getJSON(t, srv, "/debug/requests?trace="+subs[0].traceID, &one); rec.Code != http.StatusOK || one.TraceID != subs[0].traceID {
+		t.Errorf("?trace=<request> = %d, trace %q", rec.Code, one.TraceID)
+	}
+	if rec := getJSON(t, srv, "/debug/requests?trace="+group.TraceID, &one); rec.Code != http.StatusOK || one.Kind != "group" {
+		t.Errorf("?trace=<group> = %d, kind %q", rec.Code, one.Kind)
+	}
+	if rec := getJSON(t, srv, "/debug/requests?trace="+strings.Repeat("9", 32), nil); rec.Code != http.StatusNotFound {
+		t.Errorf("?trace=<unknown> = %d, want 404", rec.Code)
+	}
+	if rec := getJSON(t, srv, "/debug/requests?trace=nope", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("?trace=<malformed> = %d, want 400", rec.Code)
+	}
+
+	// The tracing and SLO families are on /metrics; the SLO gauges are
+	// materialized at construction, before any sampling.
+	_, body := scrapeFamilies(t, srv)
+	for _, want := range []string{
+		"jocl_trace_requests_total 3",
+		"jocl_trace_groups_total 1",
+		`jocl_trace_sampled_total{reason="all"} 3`,
+		`jocl_slo_target{slo="availability"} 0.999`,
+		`jocl_slo_target{slo="latency"} 0.95`,
+		`jocl_slo_error_budget_remaining{slo="availability"}`,
+		`jocl_slo_burn_rate{slo="availability",window=`,
+		"jocl_ingress_queue_oldest_age_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics misses %q:\n%s", want, grepLines(body, "jocl_slo"))
+		}
+	}
+}
+
+// TestServeShedTraceRetrievable wedges the preparer, sheds a request
+// past the high-water mark, and proves the shed request's trace is
+// retained and retrievable by its trace id — the "why did my request
+// bounce" forensic path. It also checks the /stats ingress block
+// reports the oldest queued submission's age while batches wait.
+func TestServeShedTraceRetrievable(t *testing.T) {
+	srv, _ := ingressServer(t, jocl.IngressOptions{
+		QueueDepth:     4,
+		CoalesceDepth:  2,
+		CoalesceWindow: time.Minute,
+		ShedDepth:      2,
+	}, jocl.WithTracing(jocl.TraceOptions{SlowThreshold: -1}))
+
+	// Two large batches coalesce into the epoch ingest and wedge the
+	// preparer; two singles stack the queue to the high-water mark.
+	a := asyncIngest(srv, nil, bigBatch("gamma", 400))
+	b := asyncIngest(srv, nil, bigBatch("delta", 400))
+	pollStats(t, srv, "epoch merge sealed", func(st statsResponse) bool {
+		return st.Ingress != nil && st.Ingress.Submitted == 2 && st.Ingress.QueueDepth == 0 && st.Batches == 0
+	})
+	c := asyncIngest(srv, nil, oneTriple(200))
+	d := asyncIngest(srv, nil, oneTriple(201))
+	st := pollStats(t, srv, "queue at high-water mark", func(st statsResponse) bool {
+		return st.Ingress != nil && st.Ingress.QueueDepth == 2
+	})
+	if st.Ingress.QueueOldestEnqueued == nil || st.Ingress.QueueOldestAgeMS < 0 {
+		t.Errorf("/stats ingress misses the oldest-queued age while batches wait: %+v", st.Ingress)
+	}
+
+	h, tid, _ := traceparentFor(77)
+	rec := <-asyncIngestTraced(srv, h, oneTriple(202))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("submission past high-water = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != tid {
+		t.Errorf("shed response X-Trace-Id = %q, want %q", got, tid)
+	}
+	var f finishedJSON
+	if rec := getJSON(t, srv, "/debug/requests?trace="+tid, &f); rec.Code != http.StatusOK {
+		t.Fatalf("shed trace not retrievable: %d %s", rec.Code, rec.Body)
+	}
+	if f.Status != "shed" || f.SampledFor != "shed" {
+		t.Errorf("shed trace status=%q sampled_for=%q, want shed/shed", f.Status, f.SampledFor)
+	}
+	root := findSpanJSON(f, "ingest")
+	if root == nil || !strings.Contains(root.Note, "high-water") {
+		t.Errorf("shed trace root misses the shed note: %+v", root)
+	}
+
+	// Drain everything accepted.
+	for name, ch := range map[string]chan *httptest.ResponseRecorder{"gamma": a, "delta": b, "c": c, "d": d} {
+		if rec := <-ch; rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", name, rec.Code, rec.Body)
+		}
+	}
+}
+
+type watchdogJSON struct {
+	Watchdog struct {
+		Stalled    bool   `json:"stalled"`
+		Preparing  bool   `json:"preparing"`
+		Committing bool   `json:"committing"`
+		QueueDepth int    `json:"queue_depth"`
+		Stalls     uint64 `json:"stalls"`
+	} `json:"watchdog"`
+	LastStall *struct {
+		Status struct {
+			Stalled bool `json:"stalled"`
+		} `json:"status"`
+		Goroutines string `json:"goroutines"`
+	} `json:"last_stall"`
+}
+
+// TestServeWatchdogStallAndRecovery runs the pipeline with a tiny
+// stall bar so a large epoch prepare trips the watchdog, then proves
+// /debug/watchdog reports the stall with its flight-recorder snapshot,
+// the jocl_watchdog_* metrics move, and recovery clears the flag once
+// the ingest lands.
+func TestServeWatchdogStallAndRecovery(t *testing.T) {
+	srv, _ := ingressServer(t, jocl.IngressOptions{
+		QueueDepth:    4,
+		CoalesceDepth: 1,
+		StallAfter:    10 * time.Millisecond,
+	})
+
+	var wd watchdogJSON
+	if rec := getJSON(t, srv, "/debug/watchdog", &wd); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/watchdog = %d: %s", rec.Code, rec.Body)
+	}
+	if wd.Watchdog.Stalled || wd.Watchdog.Stalls != 0 {
+		t.Fatalf("idle pipeline reports a stall: %+v", wd.Watchdog)
+	}
+
+	// A 600-triple epoch prepare is far longer than the 10ms bar; the
+	// preparer heartbeats only at claim and completion, so the watchdog
+	// must declare a stall mid-prepare.
+	ch := asyncIngest(srv, nil, bigBatch("epsilon", 600))
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		wd = watchdogJSON{}
+		getJSON(t, srv, "/debug/watchdog", &wd)
+		if wd.Watchdog.Stalls >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never declared a stall: %+v", wd.Watchdog)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if wd.LastStall == nil {
+		t.Fatal("no flight-recorder snapshot on /debug/watchdog")
+	}
+	if !wd.LastStall.Status.Stalled {
+		t.Errorf("stall report not marked stalled: %+v", wd.LastStall.Status)
+	}
+	if !strings.Contains(wd.LastStall.Goroutines, "goroutine") {
+		t.Error("stall report has no goroutine dump")
+	}
+
+	if rec := <-ch; rec.Code != http.StatusOK {
+		t.Fatalf("epoch ingest = %d: %s", rec.Code, rec.Body)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		wd = watchdogJSON{}
+		getJSON(t, srv, "/debug/watchdog", &wd)
+		if !wd.Watchdog.Stalled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never recovered: %+v", wd.Watchdog)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, body := scrapeFamilies(t, srv)
+	if !strings.Contains(body, "jocl_watchdog_stalled 0") {
+		t.Errorf("jocl_watchdog_stalled not 0 after recovery:\n%s", grepLines(body, "jocl_watchdog"))
+	}
+	if strings.Contains(body, "jocl_watchdog_stalls_total 0") {
+		t.Errorf("jocl_watchdog_stalls_total still 0 after a stall:\n%s", grepLines(body, "jocl_watchdog"))
+	}
+}
+
+// TestServeTracingDisabled proves the gating: with -trace=false the
+// debug endpoint 404s and responses carry no trace identity, and
+// /debug/watchdog 404s without the ingress queue.
+func TestServeTracingDisabled(t *testing.T) {
+	bench, err := jocl.GenerateBenchmark("reverb45k", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bench.Session(jocl.WithoutTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sess, serveOptions{maxBatch: 1000})
+	rec, resp := postIngest(t, srv, []tripleJSON{{Subject: "a corp", Predicate: "buy", Object: "b labs"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest without tracing = %d", rec.Code)
+	}
+	if resp.TraceID != "" || rec.Header().Get("X-Trace-Id") != "" {
+		t.Errorf("tracing-off response carries a trace id: %q / %q", resp.TraceID, rec.Header().Get("X-Trace-Id"))
+	}
+	if rec := getJSON(t, srv, "/debug/requests", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("/debug/requests with tracing off = %d, want 404", rec.Code)
+	}
+	if rec := getJSON(t, srv, "/debug/watchdog", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("/debug/watchdog without ingress = %d, want 404", rec.Code)
+	}
+}

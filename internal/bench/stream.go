@@ -13,6 +13,7 @@ import (
 	"repro/internal/signals"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // StreamPoint is one ingested batch's cost under the two serving
@@ -66,6 +67,12 @@ type StreamReport struct {
 	TelemetryOnMS        float64 `json:"telemetry_on_ms"`
 	TelemetryOffMS       float64 `json:"telemetry_off_ms"`
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+
+	// Tracing A/B: a third interleaved arm replays with request-scoped
+	// tracing on top of telemetry, pricing the span layer itself
+	// against the telemetry-on arm (same ≤2% acceptance target).
+	TracingOnMS        float64 `json:"tracing_on_ms"`
+	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
 
 	// IngestAllocBytes / IngestAllocs echo the measured session's
 	// jocl_ingest_alloc_bytes_total / jocl_ingest_allocs_total counters
@@ -165,8 +172,8 @@ func RunStream(profile string, scale, preloadFrac float64, batches, workers int)
 	// effect being measured; instead one untimed replay warms the path,
 	// then the arms alternate off/on so drift lands on both equally, and
 	// each arm reports its mean.
-	replay := func(tcfg telemetry.Config) (float64, error) {
-		s := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers, Telemetry: tcfg})
+	replay := func(tcfg telemetry.Config, trcfg trace.Config) (float64, error) {
+		s := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{Core: cfg, Workers: workers, Telemetry: tcfg, Trace: trcfg})
 		t0 := time.Now()
 		for b := 0; b < batches; b++ {
 			if _, err := s.Ingest(triples[cuts[b]:cuts[b+1]]); err != nil {
@@ -175,25 +182,36 @@ func RunStream(profile string, scale, preloadFrac float64, batches, workers int)
 		}
 		return float64(time.Since(t0).Microseconds()) / 1000, nil
 	}
+	// The tracing arm retains every trace (negative threshold) in a
+	// small ring — the worst case for the span layer's bookkeeping.
+	benchTracing := trace.Config{Enable: true, SlowThreshold: -1, Capacity: 64}
 	const telemetryReps = 2
 	report.TelemetryReps = telemetryReps
-	if _, err := replay(telemetry.Config{}); err != nil { // warmup, untimed
+	if _, err := replay(telemetry.Config{}, trace.Config{}); err != nil { // warmup, untimed
 		return nil, err
 	}
 	for i := 0; i < telemetryReps; i++ {
-		off, err := replay(telemetry.Config{})
+		off, err := replay(telemetry.Config{}, trace.Config{})
 		if err != nil {
 			return nil, err
 		}
-		on, err := replay(benchTelemetry())
+		on, err := replay(benchTelemetry(), trace.Config{})
+		if err != nil {
+			return nil, err
+		}
+		traced, err := replay(benchTelemetry(), benchTracing)
 		if err != nil {
 			return nil, err
 		}
 		report.TelemetryOffMS += off / telemetryReps
 		report.TelemetryOnMS += on / telemetryReps
+		report.TracingOnMS += traced / telemetryReps
 	}
 	if report.TelemetryOffMS > 0 {
 		report.TelemetryOverheadPct = (report.TelemetryOnMS - report.TelemetryOffMS) / report.TelemetryOffMS * 100
+	}
+	if report.TelemetryOnMS > 0 {
+		report.TracingOverheadPct = (report.TracingOnMS - report.TelemetryOnMS) / report.TelemetryOnMS * 100
 	}
 	return report, nil
 }
@@ -262,5 +280,7 @@ func (r *StreamReport) Format() string {
 	fmt.Fprintf(&b, "incremental ingest latency: %s\n", r.IngestLatency)
 	fmt.Fprintf(&b, "telemetry overhead: on %.1fms vs off %.1fms = %+.2f%% (target <= 2%%; mean of %d interleaved reps)\n",
 		r.TelemetryOnMS, r.TelemetryOffMS, r.TelemetryOverheadPct, r.TelemetryReps)
+	fmt.Fprintf(&b, "tracing overhead: traced %.1fms vs telemetry-only %.1fms = %+.2f%% (target <= 2%%)\n",
+		r.TracingOnMS, r.TelemetryOnMS, r.TracingOverheadPct)
 	return b.String()
 }

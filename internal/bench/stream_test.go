@@ -38,10 +38,14 @@ func TestStreamBenchmarkIncrementalBeatsRebuild(t *testing.T) {
 	if lat.Count != 5 || lat.P50MS <= 0 || lat.P95MS < lat.P50MS || lat.P99MS < lat.P95MS {
 		t.Errorf("ingest latency digest malformed: %+v", lat)
 	}
-	// The telemetry A/B must have run both replays; the overhead number
-	// itself is machine-dependent, so only its inputs are asserted.
+	// The telemetry A/B must have run all three arms; the overhead
+	// numbers themselves are machine-dependent, so only their inputs
+	// are asserted.
 	if report.TelemetryOnMS <= 0 || report.TelemetryOffMS <= 0 {
 		t.Errorf("telemetry A/B missing: on=%.1f off=%.1f", report.TelemetryOnMS, report.TelemetryOffMS)
+	}
+	if report.TracingOnMS <= 0 {
+		t.Errorf("tracing arm missing: traced=%.1f", report.TracingOnMS)
 	}
 
 	var buf bytes.Buffer

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/okb"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Committable is the second half of a two-phase ingest: the prepared
@@ -30,18 +32,20 @@ type Committable interface {
 type Backend interface {
 	// Prepare validates a batch and runs the parallelizable front half
 	// of its ingest (signal evaluation, graph construction). The
-	// returned Committable finishes the ingest. Prepare for batch N+1
-	// may be called while batch N's Commit is still running, but
-	// Prepare itself is never called concurrently with itself, and
-	// Commits happen in Prepare order.
-	Prepare(batch []okb.Triple) (Committable, error)
+	// returned Committable finishes the ingest. sp, when non-nil, is
+	// the merged-group trace span the ingest runs under — the backend
+	// threads it through so the session's stage breakdown lands in the
+	// group trace. Prepare for batch N+1 may be called while batch N's
+	// Commit is still running, but Prepare itself is never called
+	// concurrently with itself, and Commits happen in Prepare order.
+	Prepare(batch []okb.Triple, sp *trace.Span) (Committable, error)
 }
 
 // sessionBackend adapts a stream.Session to the Backend interface.
 type sessionBackend struct{ s *stream.Session }
 
-func (b sessionBackend) Prepare(batch []okb.Triple) (Committable, error) {
-	p, err := b.s.Prepare(batch)
+func (b sessionBackend) Prepare(batch []okb.Triple, sp *trace.Span) (Committable, error) {
+	p, err := b.s.PrepareSpan(batch, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +73,16 @@ type Config struct {
 	// Registry, when non-nil, receives the jocl_ingress_* metric
 	// families (see docs/OBSERVABILITY.md).
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, gives every submission a request trace
+	// (enqueue span, terminal shed/cancel/poison events) and every
+	// merged ingest a group trace each member links to. Nil disables
+	// tracing — every span call degrades to a no-op.
+	Tracer *trace.Tracer
+	// StallAfter is the watchdog's liveness bar: with work pending and
+	// no preparer/committer heartbeat for this long, the pipeline is
+	// declared stalled and a flight-recorder snapshot is captured
+	// (default 60s; negative disables the watchdog).
+	StallAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShedDepth <= 0 {
 		c.ShedDepth = c.QueueDepth
+	}
+	if c.StallAfter == 0 {
+		c.StallAfter = 60 * time.Second
 	}
 	return c
 }
@@ -114,6 +131,10 @@ type Result struct {
 	// Coalesced is the number of submitted batches the carrying ingest
 	// merged (1 = this batch rode alone).
 	Coalesced int
+	// TraceID is the hex id of THIS submission's request trace (empty
+	// with tracing off). It differs from Stats.TraceID, which names the
+	// shared merged-group trace the submission links to.
+	TraceID string
 }
 
 // Stats is a point-in-time snapshot of the pipeline's cumulative
@@ -161,6 +182,13 @@ type item struct {
 	enq   time.Time
 	state atomic.Int32
 	done  chan outcome // buffered(1); exactly one delivery if claimed
+
+	// root is the submission's request trace span; enqSpan its queue
+	// wait. Both may be nil (tracing off). enqSpan is ended exactly
+	// once: by the preparer on claim (the state CAS makes the claim
+	// exclusive) or by the cancelling submitter that won the CAS.
+	root    *trace.Span
+	enqSpan *trace.Span
 }
 
 // outcome is what the committer delivers back to each submitter.
@@ -168,14 +196,19 @@ type outcome struct {
 	st        stream.IngestStats
 	coalesced int
 	err       error
+	// poisoned marks a prepare rejection (the batch itself was bad),
+	// distinguishing the trace terminal status from transport errors.
+	poisoned bool
 }
 
 // group is one prepared ingest in flight between preparer and
-// committer: the members it carries and their shared Committable.
+// committer: the members it carries, their shared Committable, and
+// the group trace span the commit finishes.
 type group struct {
 	items     []*item
 	prep      Committable
 	coalesced int
+	root      *trace.Span // may be nil
 }
 
 // Pipeline is the bounded, coalescing, two-stage ingest queue in
@@ -187,6 +220,13 @@ type Pipeline struct {
 
 	ch    chan *item
 	depth atomic.Int64 // queued (undequeued) items
+
+	// ageMu guards ages, the FIFO of queued items behind the
+	// oldest-submission age accounting. Items are pushed under ageMu
+	// *while sending* (so deque order equals channel order) and popped
+	// front on claim.
+	ageMu sync.Mutex
+	ages  []*item
 
 	closeMu sync.RWMutex // guards closed vs in-flight Submits
 	closed  bool
@@ -204,7 +244,19 @@ type Pipeline struct {
 	coalesced atomic.Uint64
 	splits    atomic.Uint64
 
-	met *pipelineMetrics
+	// Watchdog state: lastBeat is the unix-nano time of the last
+	// preparer/committer heartbeat; preparing/committing mark a stage
+	// actively inside the backend (a long Prepare is progress, not a
+	// stall, until StallAfter passes without its completion beat).
+	lastBeat   atomic.Int64
+	preparing  atomic.Bool
+	committing atomic.Bool
+	wdStalled  atomic.Bool
+	stalls     atomic.Uint64
+	lastStall  atomic.Pointer[StallReport]
+
+	tracer *trace.Tracer
+	met    *pipelineMetrics
 }
 
 // pipelineMetrics caches the registered metric handles (nil when
@@ -218,13 +270,33 @@ type pipelineMetrics struct {
 	splits       *telemetry.Counter
 	coalesceSize *telemetry.Histogram
 	queueWait    *telemetry.Histogram
+	wdStalls     *telemetry.Counter
 }
 
 func newPipelineMetrics(r *telemetry.Registry, p *Pipeline) *pipelineMetrics {
 	r.GaugeFunc("jocl_ingress_queue_depth",
 		"Batches queued in the ingress pipeline, not yet picked up by the preparer.",
 		func() float64 { return float64(p.depth.Load()) })
+	r.GaugeFunc("jocl_ingress_queue_oldest_age_seconds",
+		"Age of the oldest submission still waiting in the ingress queue (0 when empty).",
+		func() float64 {
+			_, age, ok := p.QueueAge()
+			if !ok {
+				return 0
+			}
+			return age.Seconds()
+		})
+	r.GaugeFunc("jocl_watchdog_stalled",
+		"1 while the ingress watchdog considers the pipeline stalled (work pending, no heartbeat for StallAfter).",
+		func() float64 {
+			if p.wdStalled.Load() {
+				return 1
+			}
+			return 0
+		})
 	return &pipelineMetrics{
+		wdStalls: r.Counter("jocl_watchdog_stalls_total",
+			"Stalls the ingress watchdog has declared (rising edges of jocl_watchdog_stalled)."),
 		submitted:    r.Counter("jocl_ingress_submitted_total", "Batches accepted into the ingress queue."),
 		shed:         r.Counter("jocl_ingress_shed_total", "Submissions shed past the queue high-water mark (HTTP 429)."),
 		cancelled:    r.Counter("jocl_ingress_cancelled_total", "Queued batches withdrawn by context cancellation before the session saw them."),
@@ -247,12 +319,17 @@ func New(be Backend, cfg Config) *Pipeline {
 		quit:       make(chan struct{}),
 		commitCh:   make(chan *group),
 		commitDone: make(chan struct{}),
+		tracer:     cfg.Tracer,
 	}
+	p.lastBeat.Store(time.Now().UnixNano())
 	if cfg.Registry != nil {
 		p.met = newPipelineMetrics(cfg.Registry, p)
 	}
 	go p.prepareLoop()
 	go p.commitLoop()
+	if cfg.StallAfter > 0 {
+		go p.watchdogLoop()
+	}
 	return p
 }
 
@@ -263,6 +340,18 @@ func NewSession(s *stream.Session, cfg Config) *Pipeline {
 
 // Depth reports the current queue depth (queued, unclaimed batches).
 func (p *Pipeline) Depth() int { return int(p.depth.Load()) }
+
+// QueueAge reports the enqueue time and age of the oldest submission
+// still waiting in the queue; ok is false when the queue is empty.
+func (p *Pipeline) QueueAge() (oldest time.Time, age time.Duration, ok bool) {
+	p.ageMu.Lock()
+	defer p.ageMu.Unlock()
+	if len(p.ages) == 0 {
+		return time.Time{}, 0, false
+	}
+	enq := p.ages[0].enq
+	return enq, time.Since(enq), true
+}
 
 // Stats snapshots the pipeline's cumulative counters.
 func (p *Pipeline) Stats() Stats {
@@ -291,24 +380,50 @@ func (p *Pipeline) Submit(ctx context.Context, batch []okb.Triple) (Result, erro
 		return Result{}, err
 	}
 
+	// The request trace: rooted at the caller's span context (a
+	// traceparent header threaded through ctx) or a fresh trace id.
+	// Every exit below ends root with the submission's terminal state.
+	root := p.tracer.StartRequest("ingest", trace.FromContext(ctx))
+	var tid string
+	if sc := root.Context(); sc.Valid() {
+		tid = sc.TraceID.String()
+	}
+
 	p.closeMu.RLock()
 	if p.closed {
 		p.closeMu.RUnlock()
+		root.EndStatus(trace.StatusError, "pipeline closed")
 		return Result{}, ErrClosed
 	}
 	if d := p.depth.Load(); d >= int64(p.cfg.ShedDepth) {
 		p.closeMu.RUnlock()
+		root.EndStatus(trace.StatusShed, "queue past high-water mark")
 		return Result{}, p.shedError(int(d))
 	}
-	it := &item{batch: batch, enq: time.Now(), done: make(chan outcome, 1)}
+	it := &item{batch: batch, enq: time.Now(), done: make(chan outcome, 1), root: root}
+	// The enqueue span must exist before the item is visible to the
+	// preparer: the claim that ends it can race an unsynchronized
+	// create otherwise.
+	it.enqSpan = root.StartChild("enqueue")
 	p.depth.Add(1)
+	// Push + send under ageMu so the age deque's order matches channel
+	// order exactly (claim pops the front once per receive).
+	p.ageMu.Lock()
+	sent := false
 	select {
 	case p.ch <- it:
+		p.ages = append(p.ages, it)
+		sent = true
 	default:
 		// Channel full despite the depth check (racing submitters).
+	}
+	p.ageMu.Unlock()
+	if !sent {
 		p.depth.Add(-1)
 		d := p.depth.Load()
 		p.closeMu.RUnlock()
+		it.enqSpan.EndStatus(trace.StatusShed, "queue full")
+		root.EndStatus(trace.StatusShed, "queue full (racing submitters)")
 		return Result{}, p.shedError(int(d))
 	}
 	p.submitted.Add(1)
@@ -317,26 +432,36 @@ func (p *Pipeline) Submit(ctx context.Context, batch []okb.Triple) (Result, erro
 	}
 	p.closeMu.RUnlock()
 
-	select {
-	case out := <-it.done:
+	finish := func(out outcome) (Result, error) {
 		if out.err != nil {
+			status := trace.StatusError
+			if out.poisoned {
+				status = trace.StatusPoisoned
+			}
+			root.EndStatus(status, out.err.Error())
 			return Result{}, out.err
 		}
-		return Result{Stats: out.st, Coalesced: out.coalesced}, nil
+		root.End()
+		return Result{Stats: out.st, Coalesced: out.coalesced, TraceID: tid}, nil
+	}
+	select {
+	case out := <-it.done:
+		return finish(out)
 	case <-ctx.Done():
 		if it.state.CompareAndSwap(itemQueued, itemCancelled) {
 			p.cancelled.Add(1)
 			if p.met != nil {
 				p.met.cancelled.Inc()
 			}
+			// Winning the CAS makes this submitter the enqueue span's
+			// exclusive owner: the preparer's claim lost and never
+			// touches the item's spans.
+			it.enqSpan.EndStatus(trace.StatusCancelled, "withdrawn while queued")
+			root.EndStatus(trace.StatusCancelled, "withdrawn while queued")
 			return Result{}, ctx.Err()
 		}
 		// Claimed first: the ingest is happening; report its outcome.
-		out := <-it.done
-		if out.err != nil {
-			return Result{}, out.err
-		}
-		return Result{Stats: out.st, Coalesced: out.coalesced}, nil
+		return finish(<-it.done)
 	}
 }
 
@@ -364,15 +489,38 @@ func (p *Pipeline) shedError(depth int) *ShedError {
 
 // claim dequeues bookkeeping for it: returns true when the preparer
 // owns the item, false when a cancelling submitter got there first.
+// Either way the item leaves the depth count and the age deque —
+// claim runs exactly once per channel receive.
 func (p *Pipeline) claim(it *item) bool {
+	p.beat()
 	p.depth.Add(-1)
+	p.agePop(it)
 	if !it.state.CompareAndSwap(itemQueued, itemClaimed) {
 		return false // cancelled while queued; never reaches the session
 	}
+	it.enqSpan.End()
 	if p.met != nil {
 		p.met.queueWait.ObserveDuration(time.Since(it.enq))
 	}
 	return true
+}
+
+// agePop removes it from the age deque. The deque order matches
+// channel order, so the front hit is the common case; the search
+// fallback is pure defense.
+func (p *Pipeline) agePop(it *item) {
+	p.ageMu.Lock()
+	defer p.ageMu.Unlock()
+	if len(p.ages) > 0 && p.ages[0] == it {
+		p.ages = p.ages[1:]
+		return
+	}
+	for i, x := range p.ages {
+		if x == it {
+			p.ages = append(p.ages[:i], p.ages[i+1:]...)
+			return
+		}
+	}
 }
 
 // prepareLoop is the pipeline's first stage: it claims queued items,
@@ -410,6 +558,16 @@ func (p *Pipeline) prepareLoop() {
 // not linger for stragglers that cannot arrive).
 func (p *Pipeline) handle(lead *item, draining bool) {
 	grp := p.collect(lead, draining)
+
+	// One group trace per merged ingest; every member submission's
+	// request trace links to it, which is how a request's latency is
+	// attributed to the shared Prepare/Commit it rode.
+	groupRoot := p.tracer.StartGroup("ingest-group")
+	groupRoot.SetAttr("coalesced", strconv.Itoa(len(grp)))
+	for _, it := range grp {
+		it.root.Link(groupRoot.Context())
+	}
+
 	merged := grp[0].batch
 	if len(grp) > 1 {
 		n := 0
@@ -421,29 +579,52 @@ func (p *Pipeline) handle(lead *item, draining bool) {
 			merged = append(merged, it.batch...)
 		}
 	}
-	prep, err := p.be.Prepare(merged)
+	prep, err := p.prepare(merged, groupRoot)
 	if err != nil {
 		if len(grp) == 1 {
-			grp[0].done <- outcome{err: err}
+			groupRoot.EndStatus(trace.StatusPoisoned, err.Error())
+			grp[0].done <- outcome{err: err, poisoned: true}
 			return
 		}
 		// A poisoned member rejected the whole merge: re-prepare each
-		// batch alone so only the culprit fails.
+		// batch alone so only the culprit fails. Each retry gets its
+		// own group trace (the member re-links to it).
+		groupRoot.EndStatus(trace.StatusPoisoned, "merged prepare failed; split: "+err.Error())
 		p.splits.Add(1)
 		if p.met != nil {
 			p.met.splits.Inc()
 		}
 		for _, it := range grp {
-			prep, err := p.be.Prepare(it.batch)
+			solo := p.tracer.StartGroup("ingest-group")
+			solo.SetAttr("coalesced", "1")
+			it.root.Link(solo.Context())
+			prep, err := p.prepare(it.batch, solo)
 			if err != nil {
-				it.done <- outcome{err: err}
+				solo.EndStatus(trace.StatusPoisoned, err.Error())
+				it.done <- outcome{err: err, poisoned: true}
 				continue
 			}
-			p.ship(&group{items: []*item{it}, prep: prep, coalesced: 1})
+			p.ship(&group{items: []*item{it}, prep: prep, coalesced: 1, root: solo})
 		}
 		return
 	}
-	p.ship(&group{items: grp, prep: prep, coalesced: len(grp)})
+	p.ship(&group{items: grp, prep: prep, coalesced: len(grp), root: groupRoot})
+}
+
+// prepare runs one Backend.Prepare under the group trace's "prepare"
+// child span and the watchdog's preparing flag + heartbeats.
+func (p *Pipeline) prepare(batch []okb.Triple, groupRoot *trace.Span) (Committable, error) {
+	sp := groupRoot.StartChild("prepare")
+	p.preparing.Store(true)
+	prep, err := p.be.Prepare(batch, groupRoot)
+	p.preparing.Store(false)
+	p.beat()
+	if err != nil {
+		sp.EndStatus(trace.StatusError, err.Error())
+		return nil, err
+	}
+	sp.End()
+	return prep, nil
 }
 
 // collect greedily drains queued items into lead's group, up to
@@ -502,7 +683,16 @@ func (p *Pipeline) ship(g *group) {
 func (p *Pipeline) commitLoop() {
 	defer close(p.commitDone)
 	for g := range p.commitCh {
+		p.beat()
+		p.committing.Store(true)
+		csp := g.root.StartChild("commit")
 		st := g.prep.Commit()
+		csp.End()
+		// The group trace is complete: the session replayed its stage
+		// breakdown into g.root during Commit.
+		g.root.End()
+		p.committing.Store(false)
+		p.beat()
 		if st.TotalTime > 0 {
 			old := math.Float64frombits(p.ewmaBits.Load())
 			cur := st.TotalTime.Seconds()

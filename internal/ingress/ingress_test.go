@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/okb"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // fakeBackend scripts the prepare half of an ingest: it records every
@@ -23,12 +24,13 @@ type fakeBackend struct {
 	committed [][]okb.Triple
 	batchNo   int
 
-	gate    chan struct{} // when non-nil, Prepare blocks until closed
-	entered chan struct{} // when non-nil, signalled on Prepare entry
-	failOn  string        // Subj that poisons a Prepare
+	gate       chan struct{} // when non-nil, Prepare blocks until closed
+	entered    chan struct{} // when non-nil, signalled on Prepare entry
+	failOn     string        // Subj that poisons a Prepare
+	commitGate chan struct{} // when non-nil, Commit blocks until closed
 }
 
-func (b *fakeBackend) Prepare(batch []okb.Triple) (Committable, error) {
+func (b *fakeBackend) Prepare(batch []okb.Triple, _ *trace.Span) (Committable, error) {
 	if b.entered != nil {
 		select {
 		case b.entered <- struct{}{}:
@@ -81,6 +83,9 @@ type fakeCommittable struct {
 }
 
 func (c *fakeCommittable) Commit() stream.IngestStats {
+	if c.be.commitGate != nil {
+		<-c.be.commitGate
+	}
 	c.be.mu.Lock()
 	c.be.committed = append(c.be.committed, c.batch)
 	c.be.mu.Unlock()

@@ -1,0 +1,322 @@
+package ingress
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/okb"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// findSpan returns the first span with the given name, or nil.
+func findSpan(f trace.Finished, name string) *trace.SpanRecord {
+	for i := range f.Spans {
+		if f.Spans[i].Name == name {
+			return &f.Spans[i]
+		}
+	}
+	return nil
+}
+
+// TestTracePropagationCoalesced drives three traceparent-carrying
+// submissions into one merged ingest against a real session and
+// asserts the full tentpole contract: every request trace is complete
+// and retained, links point at the one shared group trace, the group
+// trace carries the session's stage breakdown, and the span times
+// reconcile with the IngestStats the submitters got back.
+func TestTracePropagationCoalesced(t *testing.T) {
+	cfg := stream.Config{
+		Core:      core.DefaultConfig(),
+		Query:     query.Config{Enable: true},
+		Telemetry: telemetry.Config{Enable: true},
+		Trace:     trace.Config{Enable: true, SlowThreshold: -1},
+	}
+	sess := microSession(t, cfg)
+	// Epoch preload, traced like any other ingest.
+	if _, err := sess.Ingest([]okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tracer := sess.Tracer()
+	if tracer == nil {
+		t.Fatal("session has no tracer despite Trace.Enable")
+	}
+
+	p := NewSession(sess, Config{
+		QueueDepth: 8, CoalesceDepth: 3, CoalesceWindow: time.Minute,
+		Registry: sess.Telemetry().Registry, Tracer: tracer,
+	})
+
+	batches := [][]okb.Triple{
+		{{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"}},
+		{{Subj: "gammaworks", Pred: "hire", Obj: "zetafoundry"}},
+		{{Subj: "omegaventures", Pred: "acquire", Obj: "alphacorp"}},
+	}
+	parents := make([]trace.SpanContext, len(batches))
+	outs := make([]chan Result, len(batches))
+	for i, b := range batches {
+		parents[i] = trace.NewSpanContext()
+		outs[i] = make(chan Result, 1)
+		ctx := trace.ContextWith(context.Background(), parents[i])
+		go func(b []okb.Triple, out chan Result) {
+			r, err := p.Submit(ctx, b)
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+			out <- r
+		}(b, outs[i])
+		want := uint64(i + 1)
+		waitFor(t, fmt.Sprintf("batch %d claimed", i+1), func() bool {
+			return p.Stats().Submitted == want && p.Depth() == 0
+		})
+	}
+
+	var results []Result
+	for _, out := range outs {
+		results = append(results, <-out)
+	}
+	closePipeline(t, p)
+
+	groupID := results[0].Stats.TraceID
+	if groupID == "" {
+		t.Fatal("IngestStats carry no group trace id")
+	}
+	for i, r := range results {
+		if r.Coalesced != 3 {
+			t.Errorf("batch %d coalesced = %d, want 3", i, r.Coalesced)
+		}
+		if r.Stats.TraceID != groupID {
+			t.Errorf("batch %d group id %s, want shared %s", i, r.Stats.TraceID, groupID)
+		}
+		// The submission's own trace id is the traceparent's, not the
+		// group's.
+		if want := parents[i].TraceID.String(); r.TraceID != want {
+			t.Errorf("batch %d request trace id %s, want traceparent's %s", i, r.TraceID, want)
+		}
+
+		fin, ok := tracer.Get(parents[i].TraceID)
+		if !ok {
+			t.Fatalf("batch %d request trace not retained", i)
+		}
+		if fin.Kind != "request" || fin.Status != trace.StatusOK {
+			t.Fatalf("batch %d request trace: %+v", i, fin)
+		}
+		root := findSpan(fin, "ingest")
+		enq := findSpan(fin, "enqueue")
+		if root == nil || enq == nil {
+			t.Fatalf("batch %d tree incomplete: %+v", i, fin.Spans)
+		}
+		if root.Parent != parents[i].SpanID {
+			t.Errorf("batch %d root not parented to traceparent span", i)
+		}
+		if enq.Parent != root.ID || enq.Status != trace.StatusOK {
+			t.Errorf("batch %d enqueue span wrong: %+v", i, enq)
+		}
+		if len(root.Links) != 1 || root.Links[0].TraceID.String() != groupID {
+			t.Errorf("batch %d link does not point at group %s: %+v", i, groupID, root.Links)
+		}
+	}
+
+	gid, ok := trace.ParseTraceID(groupID)
+	if !ok {
+		t.Fatalf("bad group id %q", groupID)
+	}
+	gfin, ok := tracer.Get(gid)
+	if !ok {
+		t.Fatal("group trace not retained")
+	}
+	if gfin.Kind != "group" || gfin.Status != trace.StatusOK {
+		t.Fatalf("group trace: %+v", gfin)
+	}
+	groot := findSpan(gfin, "ingest-group")
+	prep := findSpan(gfin, "prepare")
+	commit := findSpan(gfin, "commit")
+	if groot == nil || prep == nil || commit == nil {
+		t.Fatalf("group tree incomplete: %+v", gfin.Spans)
+	}
+	if groot.Attrs["coalesced"] != "3" {
+		t.Errorf("group coalesced attr = %q, want 3", groot.Attrs["coalesced"])
+	}
+	// The session's stage breakdown was replayed into the group trace.
+	for _, stage := range []string{"graph-build", "bp", "publish"} {
+		if findSpan(gfin, stage) == nil {
+			t.Errorf("group trace missing replayed stage %q: %+v", stage, gfin.Spans)
+		}
+	}
+
+	// Span-time reconciliation: prepare + commit cover the ingest
+	// wall-to-wall (the committer was idle, so the handoff gap is
+	// noise), and IngestStats.TotalTime spans the same interval.
+	total := results[0].Stats.TotalTime
+	covered := prep.Duration + commit.Duration
+	diff := covered - total
+	if diff < 0 {
+		diff = -diff
+	}
+	slack := total / 20 // 5%
+	if slack < 2*time.Millisecond {
+		slack = 2 * time.Millisecond // absolute floor for tiny ingests
+	}
+	if diff > slack {
+		t.Errorf("span times do not reconcile: prepare+commit=%v vs TotalTime=%v (diff %v > slack %v)",
+			covered, total, diff, slack)
+	}
+}
+
+// TestTraceTerminalStatuses covers the abnormal exits: shed, cancel,
+// and poison all leave retained traces with the right terminal status.
+func TestTraceTerminalStatuses(t *testing.T) {
+	tracer := trace.New(trace.Config{SlowThreshold: -1, Capacity: 32}, nil)
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	p := New(be, Config{QueueDepth: 1, ShedDepth: 1, CoalesceDepth: 1, Tracer: tracer})
+
+	// First submission occupies the preparer (blocked on the gate).
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(context.Background(), []okb.Triple{tr("a")})
+		firstDone <- err
+	}()
+	<-be.entered
+
+	// Second submission sits in the queue.
+	secondCtx, cancelSecond := context.WithCancel(context.Background())
+	secondParent := trace.NewSpanContext()
+	secondDone := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(trace.ContextWith(secondCtx, secondParent), []okb.Triple{tr("b")})
+		secondDone <- err
+	}()
+	waitFor(t, "second submission queued", func() bool { return p.Depth() == 1 })
+
+	// Third submission sheds at the high-water mark.
+	shedParent := trace.NewSpanContext()
+	_, err := p.Submit(trace.ContextWith(context.Background(), shedParent), []okb.Triple{tr("c")})
+	if _, ok := err.(*ShedError); !ok {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	fin, ok := tracer.Get(shedParent.TraceID)
+	if !ok || fin.Status != trace.StatusShed || fin.SampledFor != "shed" {
+		t.Fatalf("shed trace wrong: %+v ok=%v", fin, ok)
+	}
+
+	// Cancel the queued submission: terminal cancelled spans.
+	cancelSecond()
+	if err := <-secondDone; err != context.Canceled {
+		t.Fatalf("cancelled submit returned %v", err)
+	}
+	fin, ok = tracer.Get(secondParent.TraceID)
+	if !ok || fin.Status != trace.StatusCancelled {
+		t.Fatalf("cancelled trace wrong: %+v ok=%v", fin, ok)
+	}
+	enq := findSpan(fin, "enqueue")
+	if enq == nil || enq.Status != trace.StatusCancelled {
+		t.Fatalf("cancelled enqueue span wrong: %+v", fin.Spans)
+	}
+
+	close(be.gate)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+
+	// Poisoned single submission: prepare rejects it.
+	be.failOn = "bad"
+	poisonParent := trace.NewSpanContext()
+	if _, err := p.Submit(trace.ContextWith(context.Background(), poisonParent), []okb.Triple{tr("bad")}); err == nil {
+		t.Fatal("poisoned submit succeeded")
+	}
+	waitFor(t, "poisoned trace retained", func() bool {
+		_, ok := tracer.Get(poisonParent.TraceID)
+		return ok
+	})
+	fin, _ = tracer.Get(poisonParent.TraceID)
+	if fin.Status != trace.StatusPoisoned {
+		t.Fatalf("poisoned trace status %q", fin.Status)
+	}
+	closePipeline(t, p)
+}
+
+// TestTracePoisonedSplit asserts the split-retry path: the merged
+// group trace ends poisoned, the healthy members re-link to fresh solo
+// groups and succeed, and only the culprit's trace ends poisoned.
+func TestTracePoisonedSplit(t *testing.T) {
+	tracer := trace.New(trace.Config{SlowThreshold: -1, Capacity: 32}, nil)
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 1), failOn: "bad"}
+	p := New(be, Config{QueueDepth: 8, CoalesceDepth: 3, Tracer: tracer})
+
+	// Occupy the preparer so the next two queue up and coalesce.
+	leadDone := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(context.Background(), []okb.Triple{tr("lead")})
+		leadDone <- err
+	}()
+	<-be.entered
+
+	goodParent, badParent := trace.NewSpanContext(), trace.NewSpanContext()
+	goodDone, badDone := make(chan Result, 1), make(chan error, 1)
+	go func() {
+		r, err := p.Submit(trace.ContextWith(context.Background(), goodParent), []okb.Triple{tr("good")})
+		if err != nil {
+			t.Errorf("good member: %v", err)
+		}
+		goodDone <- r
+	}()
+	waitFor(t, "good queued", func() bool { return p.Depth() == 1 })
+	go func() {
+		_, err := p.Submit(trace.ContextWith(context.Background(), badParent), []okb.Triple{tr("bad")})
+		badDone <- err
+	}()
+	waitFor(t, "bad queued", func() bool { return p.Depth() == 2 })
+	close(be.gate)
+
+	if err := <-leadDone; err != nil {
+		t.Fatalf("lead: %v", err)
+	}
+	good := <-goodDone
+	if err := <-badDone; err == nil {
+		t.Fatal("poisoned member succeeded")
+	}
+	if p.Stats().Splits != 1 {
+		t.Fatalf("splits = %d, want 1", p.Stats().Splits)
+	}
+
+	// Good member: ok, linked twice — first to the doomed merged
+	// group, then to its solo retry group.
+	gfin, ok := tracer.Get(goodParent.TraceID)
+	if !ok || gfin.Status != trace.StatusOK {
+		t.Fatalf("good member trace: %+v ok=%v", gfin, ok)
+	}
+	root := findSpan(gfin, "ingest")
+	if root == nil || len(root.Links) != 2 {
+		t.Fatalf("good member links wrong: %+v", gfin.Spans)
+	}
+	mergedGroup, ok := tracer.Get(root.Links[0].TraceID)
+	if !ok || mergedGroup.Status != trace.StatusPoisoned {
+		t.Fatalf("merged group trace: %+v ok=%v", mergedGroup, ok)
+	}
+	soloGroup, ok := tracer.Get(root.Links[1].TraceID)
+	if !ok || soloGroup.Status != trace.StatusOK {
+		t.Fatalf("solo group trace: %+v ok=%v", soloGroup, ok)
+	}
+	if good.Stats.TraceID != "" && good.Stats.TraceID != root.Links[1].TraceID.String() {
+		t.Errorf("good member stats trace id %s != solo group %s", good.Stats.TraceID, root.Links[1].TraceID)
+	}
+
+	// Bad member: poisoned, linked to both doomed groups.
+	bfin, ok := tracer.Get(badParent.TraceID)
+	if !ok || bfin.Status != trace.StatusPoisoned {
+		t.Fatalf("bad member trace: %+v ok=%v", bfin, ok)
+	}
+	broot := findSpan(bfin, "ingest")
+	if broot == nil || len(broot.Links) != 2 {
+		t.Fatalf("bad member links wrong: %+v", bfin.Spans)
+	}
+	closePipeline(t, p)
+}

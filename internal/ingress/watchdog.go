@@ -1,0 +1,161 @@
+package ingress
+
+import (
+	"bytes"
+	"log/slog"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// WatchdogStatus is a point-in-time view of the pipeline's liveness
+// accounting — what /debug/watchdog serves.
+type WatchdogStatus struct {
+	// Stalled is true while the watchdog considers the pipeline stuck:
+	// work pending and no heartbeat for StallAfter.
+	Stalled bool `json:"stalled"`
+	// LastBeat is the time of the last preparer/committer heartbeat.
+	LastBeat time.Time `json:"last_beat"`
+	// StallAfter is the liveness bar in effect.
+	StallAfter time.Duration `json:"stall_after_ns"`
+	// QueueDepth is the current queue depth; OldestAge the age of the
+	// oldest submission still waiting (0 when the queue is empty).
+	QueueDepth int           `json:"queue_depth"`
+	OldestAge  time.Duration `json:"oldest_age_ns"`
+	// Preparing/Committing mark a stage currently inside the backend.
+	Preparing  bool `json:"preparing"`
+	Committing bool `json:"committing"`
+	// Stalls counts stalls declared over the pipeline's lifetime.
+	Stalls uint64 `json:"stalls"`
+}
+
+// StallReport is the flight-recorder snapshot the watchdog captures at
+// the moment it declares a stall: enough context to diagnose a wedged
+// pipeline after the fact, without a debugger attached at the time.
+type StallReport struct {
+	// At is when the stall was declared.
+	At time.Time `json:"at"`
+	// Status is the liveness accounting at declaration time.
+	Status WatchdogStatus `json:"status"`
+	// Stats are the pipeline's cumulative counters.
+	Stats Stats `json:"stats"`
+	// ActiveTraces are the traces in flight at capture time — what the
+	// stalled pipeline was in the middle of. RecentRequests /
+	// RecentGroups are the most recent retained finished traces. All
+	// nil with tracing off.
+	ActiveTraces   []trace.Finished `json:"active_traces,omitempty"`
+	RecentRequests []trace.Finished `json:"recent_requests,omitempty"`
+	RecentGroups   []trace.Finished `json:"recent_groups,omitempty"`
+	// Goroutines is a full goroutine dump (truncated to 64KiB) — the
+	// "where is everything blocked" answer.
+	Goroutines string `json:"goroutines"`
+}
+
+// beat records preparer/committer progress. Called at every claim,
+// prepare completion, and commit boundary; the watchdog measures
+// silence between beats.
+func (p *Pipeline) beat() { p.lastBeat.Store(time.Now().UnixNano()) }
+
+// Watchdog snapshots the pipeline's liveness accounting.
+func (p *Pipeline) Watchdog() WatchdogStatus {
+	st := WatchdogStatus{
+		Stalled:    p.wdStalled.Load(),
+		LastBeat:   time.Unix(0, p.lastBeat.Load()),
+		StallAfter: p.cfg.StallAfter,
+		QueueDepth: p.Depth(),
+		Preparing:  p.preparing.Load(),
+		Committing: p.committing.Load(),
+		Stalls:     p.stalls.Load(),
+	}
+	if _, age, ok := p.QueueAge(); ok {
+		st.OldestAge = age
+	}
+	return st
+}
+
+// LastStall returns the flight-recorder snapshot of the most recently
+// declared stall, or nil if the pipeline never stalled.
+func (p *Pipeline) LastStall() *StallReport { return p.lastStall.Load() }
+
+// watchdogLoop polls the liveness accounting until Close. A stall is
+// declared on the rising edge of "work pending and no beat for
+// StallAfter"; recovery (any beat, or the work draining) clears it.
+func (p *Pipeline) watchdogLoop() {
+	interval := p.cfg.StallAfter / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	} else if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-tick.C:
+			p.checkStall()
+		}
+	}
+}
+
+// checkStall evaluates the stall predicate once and handles the
+// rising/falling edges.
+func (p *Pipeline) checkStall() {
+	pending := p.depth.Load() > 0 || p.preparing.Load() || p.committing.Load()
+	silent := time.Since(time.Unix(0, p.lastBeat.Load())) > p.cfg.StallAfter
+	stalled := pending && silent
+	was := p.wdStalled.Swap(stalled)
+	if stalled && !was {
+		p.stalls.Add(1)
+		if p.met != nil {
+			p.met.wdStalls.Inc()
+		}
+		rep := p.captureStall()
+		p.lastStall.Store(rep)
+		// The log line carries a trimmed dump; the full snapshot stays
+		// on LastStall for the /debug/watchdog endpoint.
+		dump := rep.Goroutines
+		if len(dump) > 4096 {
+			dump = dump[:4096] + "\n... truncated (full dump at /debug/watchdog)"
+		}
+		slog.Default().Warn("ingress pipeline stalled",
+			"since_last_beat", time.Since(rep.Status.LastBeat),
+			"queue_depth", rep.Status.QueueDepth,
+			"oldest_age", rep.Status.OldestAge,
+			"preparing", rep.Status.Preparing,
+			"committing", rep.Status.Committing,
+			"active_traces", len(rep.ActiveTraces),
+			"goroutines", dump)
+	}
+	if !stalled && was {
+		slog.Default().Info("ingress pipeline recovered from stall")
+	}
+}
+
+// captureStall builds the flight-recorder snapshot: liveness state,
+// counters, recent traces, and a goroutine dump.
+func (p *Pipeline) captureStall() *StallReport {
+	rep := &StallReport{
+		At:     time.Now(),
+		Status: p.Watchdog(),
+		Stats:  p.Stats(),
+	}
+	if p.tracer != nil {
+		rep.ActiveTraces = p.tracer.Active()
+		rep.RecentRequests = p.tracer.Recent(16)
+		rep.RecentGroups = p.tracer.RecentGroups(16)
+	}
+	var buf bytes.Buffer
+	if prof := pprof.Lookup("goroutine"); prof != nil {
+		_ = prof.WriteTo(&buf, 1)
+	}
+	const maxDump = 64 << 10
+	dump := buf.String()
+	if len(dump) > maxDump {
+		dump = dump[:maxDump] + "\n... truncated"
+	}
+	rep.Goroutines = dump
+	return rep
+}

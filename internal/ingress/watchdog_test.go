@@ -1,0 +1,126 @@
+package ingress
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/okb"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TestWatchdogDetectsStalledCommitter wedges the committer behind a
+// gate and asserts the watchdog declares a stall, captures a
+// flight-recorder snapshot, exports the metric, and recovers once the
+// commit completes.
+func TestWatchdogDetectsStalledCommitter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := trace.New(trace.Config{SlowThreshold: -1}, reg)
+	be := &fakeBackend{commitGate: make(chan struct{})}
+	p := New(be, Config{StallAfter: 20 * time.Millisecond, Registry: reg, Tracer: tracer})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(context.Background(), []okb.Triple{tr("a")})
+		done <- err
+	}()
+
+	waitFor(t, "watchdog to declare a stall", func() bool { return p.Watchdog().Stalled })
+	st := p.Watchdog()
+	if !st.Committing {
+		t.Errorf("stalled status does not show the committer busy: %+v", st)
+	}
+	if st.Stalls != 1 {
+		t.Errorf("stalls = %d, want 1", st.Stalls)
+	}
+	rep := p.LastStall()
+	if rep == nil {
+		t.Fatal("no stall report captured")
+	}
+	if !rep.Status.Stalled || rep.Stats.Submitted != 1 {
+		t.Errorf("stall report wrong: %+v", rep.Status)
+	}
+	if !strings.Contains(rep.Goroutines, "goroutine") {
+		t.Errorf("stall report has no goroutine dump: %q", rep.Goroutines[:min(len(rep.Goroutines), 80)])
+	}
+	// The wedged group trace is still in flight — it must show up in
+	// the active-trace snapshot, not the finished rings.
+	foundGroup := false
+	for _, f := range rep.ActiveTraces {
+		if f.Kind == "group" && f.Status == trace.StatusActive {
+			foundGroup = true
+		}
+	}
+	if !foundGroup {
+		t.Errorf("stall report's active traces missing the in-flight group: %+v", rep.ActiveTraces)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "jocl_watchdog_stalled 1") {
+		t.Error("jocl_watchdog_stalled not 1 during stall")
+	}
+	if !strings.Contains(b.String(), "jocl_watchdog_stalls_total 1") {
+		t.Error("jocl_watchdog_stalls_total not 1 during stall")
+	}
+
+	close(be.commitGate)
+	if err := <-done; err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	waitFor(t, "watchdog to recover", func() bool { return !p.Watchdog().Stalled })
+	b.Reset()
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "jocl_watchdog_stalled 0") {
+		t.Error("jocl_watchdog_stalled not 0 after recovery")
+	}
+	closePipeline(t, p)
+}
+
+// TestQueueAge asserts the oldest-submission accounting: a queued
+// batch ages, the gauge reports it, and draining clears it.
+func TestQueueAge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	be := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	p := New(be, Config{QueueDepth: 4, CoalesceDepth: 1, Registry: reg})
+
+	if _, _, ok := p.QueueAge(); ok {
+		t.Fatal("empty queue reports an oldest age")
+	}
+
+	done := make(chan struct{}, 2)
+	go func() {
+		p.Submit(context.Background(), []okb.Triple{tr("a")})
+		done <- struct{}{}
+	}()
+	<-be.entered // preparer busy on "a"
+	go func() {
+		p.Submit(context.Background(), []okb.Triple{tr("b")})
+		done <- struct{}{}
+	}()
+	waitFor(t, "second submission queued", func() bool { return p.Depth() == 1 })
+
+	enq, age, ok := p.QueueAge()
+	if !ok || enq.IsZero() || age < 0 {
+		t.Fatalf("QueueAge = (%v, %v, %v)", enq, age, ok)
+	}
+	time.Sleep(5 * time.Millisecond)
+	_, age2, _ := p.QueueAge()
+	if age2 <= age {
+		t.Errorf("oldest age did not grow: %v then %v", age, age2)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "jocl_ingress_queue_oldest_age_seconds") {
+		t.Error("oldest-age gauge not exported")
+	}
+
+	close(be.gate)
+	<-done
+	<-done
+	if _, _, ok := p.QueueAge(); ok {
+		t.Error("drained queue still reports an oldest age")
+	}
+	closePipeline(t, p)
+}

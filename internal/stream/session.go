@@ -17,6 +17,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/signals"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config tunes a Session.
@@ -43,6 +44,12 @@ type Config struct {
 	// every layer of each Ingest feeds Prometheus-style metrics and a
 	// per-stage trace, exposed via Session.Telemetry.
 	Telemetry telemetry.Config
+	// Trace configures request-scoped span tracing (see internal/trace):
+	// with Trace.Enable set (requires Telemetry.Enable), the session
+	// owns a Tracer, each traced ingest's stage breakdown is replayed
+	// into its trace, and slow/abnormal request traces are retained for
+	// /debug/requests.
+	Trace trace.Config
 }
 
 // IngestStats reports what one batch cost.
@@ -106,6 +113,12 @@ type IngestStats struct {
 	// Index reports the read-path index maintenance this ingest paid
 	// (nil when the query index is disabled).
 	Index *query.ApplyStats `json:"index,omitempty"`
+
+	// TraceID is the hex id of the trace this ingest ran under (empty
+	// when tracing is disabled or the ingest was untraced). For
+	// coalesced ingests it names the merged-group trace; each member
+	// submission's own trace links to it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // MarshalJSON renders the stage timings as millisecond floats next to
@@ -240,6 +253,10 @@ type Session struct {
 	met      *sessionMetrics
 	lastCkpt atomic.Int64
 
+	// tracer is the request-scoped span tracer (nil when tracing is
+	// disabled); like tel/met it is set once at construction.
+	tracer *trace.Tracer
+
 	// pub guards the read-side state published after each ingest.
 	pub      sync.Mutex
 	last     *core.Result
@@ -268,9 +285,17 @@ func New(ckbStore *ckb.Store, emb *embedding.Model, db *ppdb.DB, cfg Config) *Se
 	if cfg.Telemetry.Enable {
 		s.tel = telemetry.New(cfg.Telemetry)
 		s.met = newSessionMetrics(s)
+		if cfg.Trace.Enable {
+			s.tracer = trace.New(cfg.Trace, s.tel.Registry)
+		}
 	}
 	return s
 }
+
+// Tracer exposes the session's request-scoped span tracer, or nil when
+// tracing (or telemetry) is disabled. All Tracer methods are
+// nil-receiver-safe, so callers thread the result without checking.
+func (s *Session) Tracer() *trace.Tracer { return s.tracer }
 
 // Query exposes the read-path index for lock-free snapshot reads, or
 // nil when Config.Query.Enable is unset. All Index query methods are
@@ -315,6 +340,7 @@ type Prepared struct {
 	cache   *core.SimCache
 	triples []okb.Triple // accumulated triples as of this batch
 	tb      *telemetry.TraceBuilder
+	span    *trace.Span // trace span this ingest runs under (may be nil)
 	start   time.Time
 	mem0    runtime.MemStats
 }
@@ -328,6 +354,14 @@ type Prepared struct {
 // retried — a failed Prepare has no side effects beyond harmless
 // symbol interning.
 func (s *Session) Prepare(batch []okb.Triple) (*Prepared, error) {
+	return s.PrepareSpan(batch, nil)
+}
+
+// PrepareSpan is Prepare running under a trace span: the ingest's
+// stage breakdown is replayed into sp as child spans at Commit, and
+// the committed IngestStats carry sp's trace id. A nil sp makes it
+// exactly Prepare. internal/ingress passes the merged-group span here.
+func (s *Session) PrepareSpan(batch []okb.Triple, sp *trace.Span) (*Prepared, error) {
 	if err := ValidateBatch(batch); err != nil {
 		if s.met != nil {
 			s.met.ingestErrors.Inc()
@@ -438,6 +472,7 @@ func (s *Session) Prepare(batch []okb.Triple) (*Prepared, error) {
 		cache:   cache,
 		triples: grown,
 		tb:      tb,
+		span:    sp,
 		start:   start,
 		mem0:    mem0,
 	}, nil
@@ -451,6 +486,9 @@ func (s *Session) Prepare(batch []okb.Triple) (*Prepared, error) {
 // Ingest trivially satisfies it.
 func (p *Prepared) Commit() IngestStats {
 	s, st, tb := p.s, p.st, p.tb
+	if p.span != nil {
+		st.TraceID = p.span.Context().TraceID.String()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -556,6 +594,15 @@ func (p *Prepared) Commit() IngestStats {
 
 	if s.met != nil {
 		tr := tb.Finish(s.tel.Traces)
+		// Replay the stage breakdown into the ingest's trace span: the
+		// TraceBuilder's per-stage offsets become child spans of the
+		// merged-group (or request) trace, so /debug/requests shows the
+		// same decomposition /debug/trace does, keyed by trace id.
+		if p.span != nil {
+			for _, sp := range tr.Spans {
+				p.span.AddSpan(sp.Name, tb.Begin().Add(sp.Start), sp.Duration)
+			}
+		}
 		s.met.observeIngest(&st, inc, len(p.res.OKB.NPs()), len(p.res.OKB.RPs()),
 			p.res.OKB.OverlayDepth(), st.Index, tr)
 	}
@@ -579,11 +626,24 @@ func (p *Prepared) Commit() IngestStats {
 // so the caller can always retry or skip the batch and the session
 // behaves as if the failed call never happened.
 func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
-	p, err := s.Prepare(batch)
+	return s.IngestTraced(trace.SpanContext{}, batch)
+}
+
+// IngestTraced is Ingest running under a request trace: a request
+// trace rooted at parent (a fresh trace id when parent is invalid) is
+// opened around the whole ingest, the stage breakdown lands in it, and
+// it is tail-sampled on End. With tracing disabled the span is nil and
+// the call is exactly Ingest.
+func (s *Session) IngestTraced(parent trace.SpanContext, batch []okb.Triple) (IngestStats, error) {
+	sp := s.tracer.StartRequest("ingest", parent)
+	p, err := s.PrepareSpan(batch, sp)
 	if err != nil {
+		sp.EndStatus(trace.StatusError, err.Error())
 		return IngestStats{}, err
 	}
-	return p.Commit(), nil
+	st := p.Commit()
+	sp.End()
+	return st, nil
 }
 
 // Refresh forces an epoch rebuild on the next Ingest: the frozen

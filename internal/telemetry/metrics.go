@@ -45,11 +45,14 @@ func New(cfg Config) *Telemetry {
 }
 
 // DurationBuckets are the default histogram bounds (seconds) for
-// latency metrics: 1µs to 10s in a 1-2.5-5 ladder, wide enough to span
-// sub-microsecond index lookups and multi-second epoch rebuilds.
+// latency metrics: 1µs to 120s in a 1-2.5-5 ladder, wide enough to
+// span sub-microsecond index lookups and the multi-ten-second sync
+// ingests the scale-0.1 corpus produces (the ladder used to stop at
+// 10s, which collapsed those p95/p99s into the +Inf bucket).
 var DurationBuckets = []float64{
 	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	25, 60, 120,
 }
 
 // CountBuckets are default histogram bounds for small-count
@@ -145,6 +148,26 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// InfCount returns the number of observations that overflowed every
+// finite bucket — the saturation signal the bucket self-check watches.
+func (h *Histogram) InfCount() uint64 { return h.counts[len(h.bounds)].Load() }
+
+// CountUnder returns the number of observations at or below bound.
+// bound should align with a bucket upper bound; otherwise the count of
+// the nearest bucket at or below it is returned (bucket resolution is
+// all a fixed-bucket histogram can offer). Used by the SLO module to
+// count "fast enough" requests.
+func (h *Histogram) CountUnder(bound float64) uint64 {
+	var n uint64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		n += h.counts[i].Load()
+	}
+	return n
+}
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
@@ -440,4 +463,67 @@ func (r *Registry) FindHistogram(name string, values ...string) *Histogram {
 		return nil
 	}
 	return s.hist
+}
+
+// SeriesValue is one (label values, value) sample of a metric family,
+// the form CounterSeries returns for cross-series aggregation.
+type SeriesValue struct {
+	// Labels are the series' label values, in the family's label order.
+	Labels []string
+	// Value is the series' current value.
+	Value float64
+}
+
+// CounterSeries snapshots every series of the named counter family
+// (nil if the name is unregistered or not a counter). The SLO module
+// uses it to fold jocl_http_requests_total over status codes.
+func (r *Registry) CounterSeries(name string) []SeriesValue {
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	r.mu.Unlock()
+	if !ok || f.kind != kindCounter {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SeriesValue, 0, len(f.order))
+	for _, key := range f.order {
+		s := f.series[key]
+		out = append(out, SeriesValue{Labels: s.labelVals, Value: float64(s.counter.Value())})
+	}
+	return out
+}
+
+// SaturatedHistograms returns the histogram series whose +Inf bucket
+// holds more than minFrac of at least minCount observations — series
+// whose fixed buckets no longer resolve the distribution and whose
+// quantile estimates saturate at the top bound. Each entry is
+// "name" or "name{l1,l2}" for labeled series.
+func (r *Registry) SaturatedHistograms(minFrac float64, minCount uint64) []string {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.ord))
+	for _, name := range r.ord {
+		if f := r.fams[name]; f.kind == kindHistogram {
+			fams = append(fams, f)
+		}
+	}
+	r.mu.Unlock()
+	var out []string
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, key := range f.order {
+			s := f.series[key]
+			total := s.hist.Count()
+			inf := s.hist.InfCount()
+			if total >= minCount && float64(inf) > minFrac*float64(total) {
+				name := f.name
+				if len(s.labelVals) > 0 {
+					name += "{" + strings.Join(s.labelVals, ",") + "}"
+				}
+				out = append(out, name)
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
 }

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// SLOConfig defines the serving objectives the SLO monitor tracks.
+// The zero value takes the documented defaults.
+type SLOConfig struct {
+	// Availability is the availability target (fraction of requests
+	// that must not fail), default 0.999.
+	Availability float64
+	// LatencyObjective is the fraction of ingest requests that must
+	// complete under LatencyThreshold, default 0.95.
+	LatencyObjective float64
+	// LatencyThreshold is the latency bar for the latency objective,
+	// default 500ms. It should align with a DurationBuckets bound —
+	// good-request counts come from the fixed-bucket histogram.
+	LatencyThreshold time.Duration
+	// FastWindow and SlowWindow are the two burn-rate windows
+	// (defaults 5m and 1h) — the classic multi-window pairing: the
+	// fast window catches sudden burns, the slow window filters noise.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// SampleEvery rate-limits sampling under Tick (default 10s).
+	SampleEvery time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = 0.999
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+		c.LatencyObjective = 0.95
+	}
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 500 * time.Millisecond
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= c.FastWindow {
+		c.SlowWindow = time.Hour
+		if c.SlowWindow <= c.FastWindow {
+			c.SlowWindow = 2 * c.FastWindow
+		}
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 10 * time.Second
+	}
+	return c
+}
+
+// sloSample is one cumulative (good, total) observation of an
+// objective at time t. Burn rates difference two samples.
+type sloSample struct {
+	t           time.Time
+	good, total float64
+}
+
+// objective tracks one SLO: where its good/total counts come from, its
+// target, and a ring of cumulative samples spanning SlowWindow.
+type objective struct {
+	name    string
+	target  float64
+	read    func() (good, total float64)
+	samples []sloSample
+
+	budget   *Gauge
+	burnFast *Gauge
+	burnSlow *Gauge
+}
+
+// SLO computes error-budget and multi-window burn-rate gauges from the
+// metric families the serving path already feeds. It keeps no
+// background goroutine: the /metrics handler calls Tick before each
+// scrape, which samples at most once per SampleEvery. All methods are
+// nil-receiver-safe.
+type SLO struct {
+	cfg  SLOConfig
+	reg  *Registry
+	mu   sync.Mutex
+	last time.Time
+	objs []*objective
+
+	satWarned map[string]bool
+}
+
+// NewSLO registers the jocl_slo_* gauge families on r and returns the
+// monitor. Two objectives are defined:
+//
+//   - "availability": non-failing fraction of all HTTP requests,
+//     folded from jocl_http_requests_total (5xx and 429 are bad).
+//   - "latency": fraction of /ingest requests completing under
+//     cfg.LatencyThreshold, from jocl_http_request_duration_seconds.
+func NewSLO(r *Registry, cfg SLOConfig) *SLO {
+	cfg = cfg.withDefaults()
+	s := &SLO{cfg: cfg, reg: r, satWarned: map[string]bool{}}
+
+	target := r.GaugeVec("jocl_slo_target",
+		"Objective target (fraction of good requests required), by SLO.", "slo")
+	budget := r.GaugeVec("jocl_slo_error_budget_remaining",
+		"Fraction of the lifetime error budget remaining, by SLO (1 = untouched, <0 = overspent).", "slo")
+	burn := r.GaugeVec("jocl_slo_burn_rate",
+		"Error-budget burn rate over a trailing window, by SLO (1 = burning exactly the budget).", "slo", "window")
+
+	fastLbl := windowLabel(cfg.FastWindow)
+	slowLbl := windowLabel(cfg.SlowWindow)
+
+	add := func(name string, tgt float64, read func() (float64, float64)) {
+		target.With(name).Set(tgt)
+		o := &objective{
+			name: name, target: tgt, read: read,
+			budget:   budget.With(name),
+			burnFast: burn.With(name, fastLbl),
+			burnSlow: burn.With(name, slowLbl),
+		}
+		o.budget.Set(1)
+		s.objs = append(s.objs, o)
+	}
+
+	add("availability", cfg.Availability, func() (float64, float64) {
+		var good, total float64
+		for _, sv := range r.CounterSeries("jocl_http_requests_total") {
+			if len(sv.Labels) != 3 {
+				continue
+			}
+			total += sv.Value
+			if !badStatusCode(sv.Labels[2]) {
+				good += sv.Value
+			}
+		}
+		return good, total
+	})
+	thr := cfg.LatencyThreshold.Seconds()
+	add("latency", cfg.LatencyObjective, func() (float64, float64) {
+		h := r.FindHistogram("jocl_http_request_duration_seconds", "/ingest")
+		if h == nil {
+			return 0, 0
+		}
+		return float64(h.CountUnder(thr)), float64(h.Count())
+	})
+	return s
+}
+
+// badStatusCode reports whether a status-code label counts against the
+// availability budget: server errors and backpressure sheds (429).
+// Client errors (other 4xx) are the caller's fault, not unavailability.
+func badStatusCode(code string) bool {
+	return len(code) == 3 && (code[0] == '5' || code == "429")
+}
+
+// windowLabel formats a burn-rate window as a compact label ("5m",
+// "1h", "90s").
+func windowLabel(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+}
+
+// Config returns the (defaulted) configuration in effect.
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return SLOConfig{}
+	}
+	return s.cfg
+}
+
+// Tick samples the objectives if at least SampleEvery has passed since
+// the last sample — the /metrics handler calls it before every scrape
+// so the gauges stay fresh without a background goroutine. It also
+// runs the histogram bucket-saturation self-check.
+func (s *SLO) Tick(now time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	due := s.last.IsZero() || now.Sub(s.last) >= s.cfg.SampleEvery
+	s.mu.Unlock()
+	if due {
+		s.Sample(now)
+	}
+}
+
+// Sample takes one cumulative sample of every objective at now and
+// recomputes the gauges. Exposed (rather than only Tick) so tests can
+// drive synthetic timelines.
+func (s *SLO) Sample(now time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = now
+	for _, o := range s.objs {
+		good, total := o.read()
+		o.samples = append(o.samples, sloSample{t: now, good: good, total: total})
+		// Keep one sample older than SlowWindow so the slow burn rate
+		// can difference across its full span.
+		cut := 0
+		for cut < len(o.samples)-1 && now.Sub(o.samples[cut+1].t) >= s.cfg.SlowWindow {
+			cut++
+		}
+		o.samples = o.samples[cut:]
+
+		if total > 0 {
+			badFrac := (total - good) / total
+			o.budget.Set(1 - badFrac/(1-o.target))
+		}
+		o.burnFast.Set(o.burnRate(now, s.cfg.FastWindow))
+		o.burnSlow.Set(o.burnRate(now, s.cfg.SlowWindow))
+	}
+	s.checkSaturationLocked()
+}
+
+// burnRate computes how fast the objective burned error budget over
+// the trailing window: the bad fraction of requests in the window
+// divided by the budgeted bad fraction (1 - target). 1.0 means burning
+// exactly at budget; 0 with no traffic.
+func (o *objective) burnRate(now time.Time, window time.Duration) float64 {
+	if len(o.samples) == 0 {
+		return 0
+	}
+	latest := o.samples[len(o.samples)-1]
+	// Oldest sample still inside the window (or the earliest we have).
+	base := o.samples[0]
+	for _, smp := range o.samples {
+		if now.Sub(smp.t) <= window {
+			base = smp
+			break
+		}
+		base = smp
+	}
+	dTotal := latest.total - base.total
+	dGood := latest.good - base.good
+	if dTotal <= 0 {
+		return 0
+	}
+	badFrac := (dTotal - dGood) / dTotal
+	return badFrac / (1 - o.target)
+}
+
+// checkSaturationLocked warns (once per series) when a histogram's
+// +Inf bucket holds more than 1% of its observations — the signal that
+// the fixed bucket ladder no longer covers the latency distribution
+// and quantile estimates are saturating.
+func (s *SLO) checkSaturationLocked() {
+	for _, name := range s.reg.SaturatedHistograms(0.01, 100) {
+		if s.satWarned[name] {
+			continue
+		}
+		s.satWarned[name] = true
+		slog.Default().Warn("histogram buckets saturated: >1% of observations in +Inf; quantiles are underestimates",
+			"series", name)
+	}
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOGaugesRenderBeforeFirstSample(t *testing.T) {
+	r := NewRegistry()
+	NewSLO(r, SLOConfig{})
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`jocl_slo_target{slo="availability"} 0.999`,
+		`jocl_slo_target{slo="latency"} 0.95`,
+		`jocl_slo_error_budget_remaining{slo="availability"} 1`,
+		`jocl_slo_burn_rate{slo="availability",window="5m"}`,
+		`jocl_slo_burn_rate{slo="latency",window="1h"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSLOBudgetAndBurn(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("jocl_http_requests_total", "t", "path", "method", "code")
+	r.HistogramVec("jocl_http_request_duration_seconds", "t", nil, "path")
+
+	cfg := SLOConfig{Availability: 0.9, FastWindow: time.Minute, SlowWindow: 10 * time.Minute}
+	s := NewSLO(r, cfg)
+
+	t0 := time.Unix(1_700_000_000, 0)
+	// 100 good requests at t0.
+	ok := reqs.With("/ingest", "POST", "200")
+	for i := 0; i < 100; i++ {
+		ok.Inc()
+	}
+	s.Sample(t0)
+
+	// 50 more good + 50 bad within the fast window: bad fraction 0.5,
+	// budget 0.1 → burn rate 5.
+	bad := reqs.With("/ingest", "POST", "500")
+	for i := 0; i < 50; i++ {
+		ok.Inc()
+		bad.Inc()
+	}
+	s.Sample(t0.Add(30 * time.Second))
+
+	avail := s.objs[0]
+	if avail.name != "availability" {
+		t.Fatalf("objective order changed: %q", avail.name)
+	}
+	if got := avail.burnFast.Value(); got < 4.9 || got > 5.1 {
+		t.Errorf("fast burn = %v, want ~5", got)
+	}
+	// Lifetime: 50 bad of 200 → badFrac 0.25, budget 1 - 0.25/0.1 = -1.5.
+	if got := avail.budget.Value(); got < -1.6 || got > -1.4 {
+		t.Errorf("budget remaining = %v, want ~-1.5", got)
+	}
+	// 429 counts as bad, 404 does not.
+	if !badStatusCode("429") || !badStatusCode("503") || badStatusCode("404") || badStatusCode("200") {
+		t.Error("badStatusCode classification wrong")
+	}
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("jocl_http_requests_total", "t", "path", "method", "code")
+	dur := r.HistogramVec("jocl_http_request_duration_seconds", "t", nil, "path")
+	s := NewSLO(r, SLOConfig{LatencyObjective: 0.5, LatencyThreshold: 500 * time.Millisecond})
+
+	h := dur.With("/ingest")
+	for i := 0; i < 90; i++ {
+		h.Observe(0.01) // fast
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(2.0) // slow
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	s.Sample(t0)
+	s.Sample(t0.Add(time.Minute))
+
+	lat := s.objs[1]
+	if lat.name != "latency" {
+		t.Fatalf("objective order changed: %q", lat.name)
+	}
+	// badFrac 0.1, budget (1-0.5)=0.5 → remaining 1-0.2 = 0.8.
+	if got := lat.budget.Value(); got < 0.79 || got > 0.81 {
+		t.Errorf("latency budget = %v, want ~0.8", got)
+	}
+}
+
+func TestSLOTickRateLimits(t *testing.T) {
+	r := NewRegistry()
+	s := NewSLO(r, SLOConfig{SampleEvery: 10 * time.Second})
+	t0 := time.Unix(1_700_000_000, 0)
+	s.Tick(t0)
+	s.Tick(t0.Add(time.Second)) // suppressed
+	s.Tick(t0.Add(11 * time.Second))
+	if got := len(s.objs[0].samples); got != 2 {
+		t.Fatalf("Tick took %d samples, want 2", got)
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var s *SLO
+	s.Tick(time.Now())
+	s.Sample(time.Now())
+	if s.Config() != (SLOConfig{}) {
+		t.Fatal("nil SLO has config")
+	}
+}
+
+func TestSaturatedHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("short_hist_seconds", "t", []float64{0.1, 1})
+	for i := 0; i < 200; i++ {
+		h.Observe(0.05)
+	}
+	if got := r.SaturatedHistograms(0.01, 100); len(got) != 0 {
+		t.Fatalf("unsaturated histogram flagged: %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100) // > top bound → +Inf
+	}
+	got := r.SaturatedHistograms(0.01, 100)
+	if len(got) != 1 || got[0] != "short_hist_seconds" {
+		t.Fatalf("saturated histogram not flagged: %v", got)
+	}
+
+	hv := r.HistogramVec("short_vec_seconds", "t", []float64{0.1}, "path")
+	hs := hv.With("/x")
+	for i := 0; i < 100; i++ {
+		hs.Observe(5)
+	}
+	got = r.SaturatedHistograms(0.01, 100)
+	want := "short_vec_seconds{/x}"
+	found := false
+	for _, g := range got {
+		if g == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("labeled saturated series missing %q: %v", want, got)
+	}
+}
+
+func TestCountUnderAndInfCount(t *testing.T) {
+	h := newHistogram([]float64{0.1, 0.5, 1})
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(0.7)
+	h.Observe(2)
+	if got := h.CountUnder(0.5); got != 2 {
+		t.Errorf("CountUnder(0.5) = %d, want 2", got)
+	}
+	if got := h.CountUnder(1); got != 3 {
+		t.Errorf("CountUnder(1) = %d, want 3", got)
+	}
+	if got := h.InfCount(); got != 1 {
+		t.Errorf("InfCount = %d, want 1", got)
+	}
+}
+
+func TestCounterSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("reqs_total", "t", "path", "code")
+	v.With("/a", "200").Add(3)
+	v.With("/a", "500").Add(1)
+	got := r.CounterSeries("reqs_total")
+	if len(got) != 2 {
+		t.Fatalf("want 2 series, got %d", len(got))
+	}
+	var total float64
+	for _, sv := range got {
+		total += sv.Value
+	}
+	if total != 4 {
+		t.Fatalf("sum = %v, want 4", total)
+	}
+	if r.CounterSeries("nope") != nil {
+		t.Fatal("unknown family returned series")
+	}
+	r.Gauge("a_gauge", "t")
+	if r.CounterSeries("a_gauge") != nil {
+		t.Fatal("non-counter family returned series")
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"math/rand/v2"
+)
+
+// TraceID identifies one request or merged-group trace: 16 bytes,
+// rendered as 32 lowercase hex characters on the wire (the W3C
+// trace-id). The all-zero value is invalid.
+type TraceID [16]byte
+
+// String renders the id as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsValid reports whether the id is non-zero (the W3C invalid value is
+// all zeroes).
+func (t TraceID) IsValid() bool { return t != TraceID{} }
+
+// SpanID identifies one span within a trace: 8 bytes, 16 hex
+// characters on the wire. The all-zero value is invalid.
+type SpanID [8]byte
+
+// String renders the id as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsValid reports whether the id is non-zero.
+func (s SpanID) IsValid() bool { return s != SpanID{} }
+
+// SpanContext is the wire identity of one span: the trace it belongs
+// to and its own span id. It is what crosses layer boundaries — the
+// traceparent header, the context.Context, a span Link.
+type SpanContext struct {
+	// TraceID is the trace the span belongs to.
+	TraceID TraceID
+	// SpanID is the span's own id within the trace.
+	SpanID SpanID
+}
+
+// Valid reports whether both ids are non-zero.
+func (sc SpanContext) Valid() bool { return sc.TraceID.IsValid() && sc.SpanID.IsValid() }
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set): "00-<trace id>-<span id>-01".
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// MarshalJSON renders the context as {"trace_id": hex, "span_id": hex}.
+func (sc SpanContext) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		TraceID string `json:"trace_id"`
+		SpanID  string `json:"span_id"`
+	}{sc.TraceID.String(), sc.SpanID.String()})
+}
+
+// ParseTraceparent parses a W3C traceparent header value,
+// "<2 hex version>-<32 hex trace id>-<16 hex span id>-<2 hex flags>".
+// ok is false for a malformed value, an unknown version, or all-zero
+// ids — callers then synthesize a fresh context instead.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	if h[0] != '0' || h[1] != '0' { // only version 00 is understood
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(make([]byte, 1), []byte(h[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// ParseTraceID parses a 32-hex-character trace id (the form /debug
+// endpoints accept for lookups). ok is false for malformed or all-zero
+// input.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return t, t.IsValid()
+}
+
+// NewSpanContext returns a fresh random span context — what a serving
+// layer synthesizes when a request arrives without a traceparent
+// header. Ids come from math/rand/v2 (concurrency-safe, not
+// cryptographic): trace ids need uniqueness, not unpredictability.
+func NewSpanContext() SpanContext {
+	return SpanContext{TraceID: newTraceID(), SpanID: newSpanID()}
+}
+
+func newTraceID() TraceID {
+	var t TraceID
+	for !t.IsValid() {
+		binary.BigEndian.PutUint64(t[:8], rand.Uint64())
+		binary.BigEndian.PutUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	for !s.IsValid() {
+		binary.BigEndian.PutUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+// ctxKey keys the SpanContext a request carries through its
+// context.Context.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying sc, for FromContext to
+// recover at a lower layer. An invalid sc returns ctx unchanged.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the SpanContext carried by ctx, or the zero
+// (invalid) context when none is attached.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -1,0 +1,31 @@
+// Package trace is the request-scoped span tracer of the serving
+// stack: where internal/telemetry's TraceBuilder records the stage
+// breakdown of one *session ingest*, this package follows one
+// *submission* — from the HTTP request (or IngestContext call) that
+// carried it, through the ingress queue, into the merged group the
+// coalescing preparer sealed it into, down to commit and publication.
+//
+// The model is a deliberately small subset of W3C Trace Context /
+// OpenTelemetry, with zero dependencies:
+//
+//   - A SpanContext is a (trace id, span id) pair. Incoming requests
+//     may carry one as a `traceparent` header (ParseTraceparent);
+//     requests without one get a fresh id (NewSpanContext). The ids
+//     ride a context.Context via ContextWith/FromContext.
+//   - A Tracer starts request traces (one per submission) and group
+//     traces (one per merged session ingest). Spans nest via
+//     StartChild, carry terminal statuses (ok, error, shed, cancelled,
+//     poisoned), and may Link to another trace's SpanContext — the
+//     edge that makes cost attribution across coalescing explicit:
+//     each member submission's root span links to the shared group
+//     trace whose Prepare/Commit actually carried it.
+//   - Finished traces land in two bounded newest-first stores. Group
+//     traces are always retained; request traces are *tail-sampled* —
+//     kept only when the request was slow (Config.SlowThreshold) or
+//     ended abnormally — so the store holds exactly the traces worth
+//     debugging. jocl-serve serves both at GET /debug/requests.
+//
+// Every method on Tracer and Span is nil-receiver-safe: with tracing
+// disabled the serving layers hold nil pointers and every call
+// degrades to a no-op, keeping the hot path free of conditionals.
+package trace

@@ -1,0 +1,513 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config tunes a Tracer. The zero value is usable; Enable exists for
+// the embedding layers (stream.Config, jocl options) that treat
+// tracing as optional — the trace package itself ignores it.
+type Config struct {
+	// Enable switches request tracing on in the embedding layers.
+	// Sessions with telemetry enable it by default.
+	Enable bool
+	// SlowThreshold is the tail-sampling latency bar: a request trace
+	// is retained when its end-to-end duration reaches it, or when the
+	// request ended abnormally (shed, cancelled, poisoned, error).
+	// 0 takes the default (1s); a negative value retains every request
+	// trace, which is what tests and low-traffic debugging want.
+	SlowThreshold time.Duration
+	// Capacity bounds each of the two finished-trace stores (request
+	// and group), default 128. Oldest entries are evicted first.
+	Capacity int
+}
+
+// DefaultSlowThreshold is the tail-sampling latency bar when
+// Config.SlowThreshold is zero.
+const DefaultSlowThreshold = time.Second
+
+func (c Config) withDefaults() Config {
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = DefaultSlowThreshold
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 128
+	}
+	return c
+}
+
+// Status is a span's (and thereby a trace's) terminal state.
+type Status string
+
+// The span terminal states. Everything except StatusOK marks a request
+// worth retaining in the tail-sample store.
+const (
+	// StatusOK is a span that completed normally.
+	StatusOK Status = "ok"
+	// StatusError is a span that ended in an error outside the more
+	// specific states below.
+	StatusError Status = "error"
+	// StatusShed marks a submission refused past the ingress
+	// high-water mark.
+	StatusShed Status = "shed"
+	// StatusCancelled marks a submission withdrawn by context
+	// cancellation while still queued.
+	StatusCancelled Status = "cancelled"
+	// StatusPoisoned marks a submission whose batch was rejected by
+	// Prepare (alone, or isolated out of a merged group by the split
+	// retry).
+	StatusPoisoned Status = "poisoned"
+	// StatusActive appears only in flight-recorder snapshots
+	// (Tracer.Active): the trace had not finished when it was captured.
+	StatusActive Status = "active"
+)
+
+// SpanRecord is one finished span inside a Finished trace. Start is
+// the offset from the trace's begin time.
+type SpanRecord struct {
+	// Name is the span's stage name (e.g. "enqueue", "prepare", "bp").
+	Name string
+	// ID is the span's id; Parent is the parent span's id (zero for
+	// the trace root).
+	ID     SpanID
+	Parent SpanID
+	// Start is the span's offset from the trace begin; Duration its
+	// wall clock.
+	Start    time.Duration
+	Duration time.Duration
+	// Status is the span's terminal state and Note an optional human
+	// detail (typically the error message).
+	Status Status
+	Note   string
+	// Links point at spans in *other* traces — a member submission's
+	// root links to the merged-group trace that carried it.
+	Links []SpanContext
+	// Attrs are optional small key/value annotations (batch sizes,
+	// coalesce counts).
+	Attrs map[string]string
+}
+
+// MarshalJSON renders offsets and durations as millisecond floats, the
+// unit every other jocl artifact reports in.
+func (s SpanRecord) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Name    string            `json:"name"`
+		ID      string            `json:"span_id"`
+		Parent  string            `json:"parent_id,omitempty"`
+		StartMS float64           `json:"start_ms"`
+		MS      float64           `json:"ms"`
+		Status  Status            `json:"status"`
+		Note    string            `json:"note,omitempty"`
+		Links   []SpanContext     `json:"links,omitempty"`
+		Attrs   map[string]string `json:"attrs,omitempty"`
+	}{
+		Name: s.Name, ID: s.ID.String(),
+		StartMS: durMS(s.Start), MS: durMS(s.Duration),
+		Status: s.Status, Note: s.Note, Links: s.Links, Attrs: s.Attrs,
+	}
+	if s.Parent.IsValid() {
+		out.Parent = s.Parent.String()
+	}
+	return json.Marshal(out)
+}
+
+// Finished is one completed trace: the root's identity and terminal
+// state plus every recorded span, sorted by start offset.
+type Finished struct {
+	// TraceID identifies the trace; Kind is "request" (one submission)
+	// or "group" (one merged session ingest).
+	TraceID TraceID
+	Kind    string
+	// Status is the root span's terminal state; SampledFor is why the
+	// tail sampler kept a request trace ("slow", "error", "shed",
+	// "cancelled", "poisoned", or "all" under a negative threshold).
+	// Group traces are always retained and report "group".
+	Status     Status
+	SampledFor string
+	// Begin is the trace's wall-clock start; Duration the root span's
+	// end-to-end wall clock.
+	Begin    time.Time
+	Duration time.Duration
+	// Spans are the recorded spans, sorted by start offset; the root
+	// span has a zero Parent.
+	Spans []SpanRecord
+}
+
+// MarshalJSON renders the total as a millisecond float next to the
+// spans.
+func (f Finished) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		TraceID    string       `json:"trace_id"`
+		Kind       string       `json:"kind"`
+		Status     Status       `json:"status"`
+		SampledFor string       `json:"sampled_for,omitempty"`
+		Begin      time.Time    `json:"begin"`
+		TotalMS    float64      `json:"total_ms"`
+		Spans      []SpanRecord `json:"spans"`
+	}{f.TraceID.String(), f.Kind, f.Status, f.SampledFor, f.Begin, durMS(f.Duration), f.Spans})
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// state is one in-flight trace's accumulator.
+type state struct {
+	id    TraceID
+	kind  string
+	begin time.Time
+	spans []SpanRecord
+}
+
+// Span is one live span. A Span is owned by the goroutine that drives
+// its stage; the happens-before edges of the ingress pipeline (channel
+// handoffs) order the cross-goroutine uses. All methods are safe on a
+// nil receiver — a disabled tracer hands out nil spans and every call
+// degrades to a no-op.
+type Span struct {
+	tr     *Tracer
+	st     *state
+	name   string
+	sc     SpanContext
+	parent SpanID
+	start  time.Time
+	root   bool
+
+	links []SpanContext
+	attrs map[string]string
+	ended bool
+}
+
+// Context returns the span's wire identity (zero on a nil span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// StartChild opens a child span under s. On a nil span it returns nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tr: s.tr, st: s.st, name: name,
+		sc:     SpanContext{TraceID: s.sc.TraceID, SpanID: newSpanID()},
+		parent: s.sc.SpanID,
+		start:  time.Now(),
+	}
+}
+
+// Link attaches a cross-trace edge: sc identifies a span in another
+// trace (the merged-group trace a member submission was carried by).
+// Invalid contexts and nil spans are ignored.
+func (s *Span) Link(sc SpanContext) {
+	if s == nil || !sc.Valid() {
+		return
+	}
+	s.links = append(s.links, sc)
+}
+
+// SetAttr annotates the span with a small key/value pair.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[k] = v
+}
+
+// AddSpan records an already-measured child stage at an explicit wall
+// clock start — how the session's TraceBuilder stage spans are
+// replayed into the group trace at commit time.
+func (s *Span) AddSpan(name string, start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	rec := SpanRecord{
+		Name: name, ID: newSpanID(), Parent: s.sc.SpanID,
+		Start: start.Sub(s.st.begin), Duration: d, Status: StatusOK,
+	}
+	s.tr.record(s.st, rec, false, StatusOK)
+}
+
+// End seals the span with StatusOK. Ending the trace's root span
+// finishes the trace (and, for request traces, runs the tail sampler).
+func (s *Span) End() { s.EndStatus(StatusOK, "") }
+
+// EndStatus seals the span with an explicit terminal state and an
+// optional note. Double ends are ignored.
+func (s *Span) EndStatus(status Status, note string) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		Name: s.name, ID: s.sc.SpanID, Parent: s.parent,
+		Start: s.start.Sub(s.st.begin), Duration: time.Since(s.start),
+		Status: status, Note: note, Links: s.links, Attrs: s.attrs,
+	}
+	s.tr.record(s.st, rec, s.root, status)
+}
+
+// Tracer owns the in-flight trace states and the two bounded
+// finished-trace stores. All methods are safe for concurrent use and
+// on a nil receiver (every call is then a no-op).
+type Tracer struct {
+	cfg Config
+
+	mu       sync.Mutex
+	active   map[*state]struct{}
+	requests *ring
+	groups   *ring
+
+	reqTotal   *telemetry.Counter
+	groupTotal *telemetry.Counter
+	spanTotal  *telemetry.Counter
+	sampled    *telemetry.CounterVec
+}
+
+// New builds a Tracer and registers its jocl_trace_* metric families
+// on r (skipped when r is nil).
+func New(cfg Config, r *telemetry.Registry) *Tracer {
+	cfg = cfg.withDefaults()
+	t := &Tracer{
+		cfg:      cfg,
+		active:   map[*state]struct{}{},
+		requests: newRing(cfg.Capacity),
+		groups:   newRing(cfg.Capacity),
+	}
+	if r != nil {
+		t.reqTotal = r.Counter("jocl_trace_requests_total",
+			"Request traces finished (sampled or not).")
+		t.groupTotal = r.Counter("jocl_trace_groups_total",
+			"Merged-group traces finished (always retained).")
+		t.spanTotal = r.Counter("jocl_trace_spans_total",
+			"Spans recorded across all traces.")
+		t.sampled = r.CounterVec("jocl_trace_sampled_total",
+			"Request traces retained by the tail sampler, by reason.", "reason")
+		r.GaugeFunc("jocl_trace_active",
+			"Traces started but not yet finished.",
+			func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				return float64(len(t.active))
+			})
+	}
+	return t
+}
+
+// SlowThreshold reports the tail-sampling latency bar in effect
+// (negative = every request trace is retained; 0 on a nil tracer).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.cfg.SlowThreshold
+}
+
+// StartRequest opens a request trace for one submission. A valid
+// parent (from an incoming traceparent header) pins the trace id and
+// becomes the root span's parent; otherwise a fresh trace id is
+// drawn. Nil tracers return nil spans.
+func (t *Tracer) StartRequest(name string, parent SpanContext) *Span {
+	return t.start(name, "request", parent)
+}
+
+// StartGroup opens a group trace for one merged session ingest — the
+// shared trace every member submission links to.
+func (t *Tracer) StartGroup(name string) *Span {
+	return t.start(name, "group", SpanContext{})
+}
+
+func (t *Tracer) start(name, kind string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	tid := parent.TraceID
+	if !tid.IsValid() {
+		tid = newTraceID()
+	}
+	st := &state{id: tid, kind: kind, begin: time.Now()}
+	t.mu.Lock()
+	t.active[st] = struct{}{}
+	t.mu.Unlock()
+	return &Span{
+		tr: t, st: st, name: name,
+		sc:     SpanContext{TraceID: tid, SpanID: newSpanID()},
+		parent: parent.SpanID,
+		start:  st.begin,
+		root:   true,
+	}
+}
+
+// record stores one finished span, and — when it was the trace root —
+// finishes the trace.
+func (t *Tracer) record(st *state, rec SpanRecord, root bool, status Status) {
+	t.mu.Lock()
+	st.spans = append(st.spans, rec)
+	if t.spanTotal != nil {
+		t.spanTotal.Inc()
+	}
+	if !root {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.active, st)
+	spans := st.spans
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	fin := Finished{
+		TraceID: st.id, Kind: st.kind, Status: status,
+		Begin: st.begin, Duration: rec.Duration, Spans: spans,
+	}
+	if st.kind == "group" {
+		fin.SampledFor = "group"
+		t.groups.push(fin)
+		if t.groupTotal != nil {
+			t.groupTotal.Inc()
+		}
+		t.mu.Unlock()
+		return
+	}
+	if t.reqTotal != nil {
+		t.reqTotal.Inc()
+	}
+	reason := ""
+	switch {
+	case status != StatusOK:
+		reason = string(status)
+	case t.cfg.SlowThreshold < 0:
+		reason = "all"
+	case rec.Duration >= t.cfg.SlowThreshold:
+		reason = "slow"
+	}
+	if reason != "" {
+		fin.SampledFor = reason
+		t.requests.push(fin)
+		if t.sampled != nil {
+			t.sampled.With(reason).Inc()
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Active snapshots every in-flight trace (StatusActive, Duration =
+// elapsed so far, spans recorded so far), newest first — the
+// flight-recorder view of what a stalled pipeline was in the middle
+// of. Nil on a nil tracer.
+func (t *Tracer) Active() []Finished {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Finished, 0, len(t.active))
+	for st := range t.active {
+		spans := append([]SpanRecord(nil), st.spans...)
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		out = append(out, Finished{
+			TraceID: st.id, Kind: st.kind, Status: StatusActive,
+			Begin: st.begin, Duration: time.Since(st.begin), Spans: spans,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Begin.After(out[j].Begin) })
+	return out
+}
+
+// Recent returns up to n retained request traces, newest first
+// (n <= 0 means all retained; nil on a nil tracer).
+func (t *Tracer) Recent(n int) []Finished {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests.last(n)
+}
+
+// RecentGroups returns up to n retained group traces, newest first.
+func (t *Tracer) RecentGroups(n int) []Finished {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.groups.last(n)
+}
+
+// Get looks a retained trace up by id, searching requests then groups.
+func (t *Tracer) Get(id TraceID) (Finished, bool) {
+	if t == nil {
+		return Finished{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.requests.get(id); ok {
+		return f, true
+	}
+	return t.groups.get(id)
+}
+
+// ring is a bounded newest-first store of finished traces. It is
+// guarded by the owning Tracer's mutex.
+type ring struct {
+	buf  []Finished
+	next int
+	full bool
+}
+
+func newRing(n int) *ring {
+	if n < 1 {
+		n = 1
+	}
+	return &ring{buf: make([]Finished, n)}
+}
+
+func (r *ring) push(f Finished) {
+	r.buf[r.next] = f
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *ring) size() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+func (r *ring) last(n int) []Finished {
+	size := r.size()
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Finished, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+func (r *ring) get(id TraceID) (Finished, bool) {
+	size := r.size()
+	for i := 0; i < size; i++ {
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		if r.buf[idx].TraceID == id {
+			return r.buf[idx], true
+		}
+	}
+	return Finished{}, false
+}

@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	sc := NewSpanContext()
+	h := sc.Traceparent()
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("round-trip parse failed for %q", h)
+	}
+	if got != sc {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, sc)
+	}
+
+	bad := []string{
+		"",
+		"00-" + sc.TraceID.String() + "-" + sc.SpanID.String(),          // missing flags
+		"01-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01",  // unknown version
+		"00-" + strings.Repeat("0", 32) + "-" + sc.SpanID.String() + "-01", // zero trace id
+		"00-" + sc.TraceID.String() + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.Repeat("g", 32) + "-" + sc.SpanID.String() + "-01",  // non-hex
+		h + "0", // wrong length
+	}
+	for _, b := range bad {
+		if _, ok := ParseTraceparent(b); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", b)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	sc := NewSpanContext()
+	id, ok := ParseTraceID(sc.TraceID.String())
+	if !ok || id != sc.TraceID {
+		t.Fatalf("round trip failed: %v %v", id, ok)
+	}
+	for _, b := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("x", 32)} {
+		if _, ok := ParseTraceID(b); ok {
+			t.Errorf("ParseTraceID(%q) accepted malformed input", b)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	ctx := ContextWith(context.Background(), sc)
+	if got := FromContext(ctx); got != sc {
+		t.Fatalf("FromContext = %+v, want %+v", got, sc)
+	}
+	if got := FromContext(context.Background()); got.Valid() {
+		t.Fatalf("empty context yielded valid span context %+v", got)
+	}
+	if ctx2 := ContextWith(context.Background(), SpanContext{}); FromContext(ctx2).Valid() {
+		t.Fatal("invalid span context was attached")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRequest("x", SpanContext{})
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// All of these must be no-ops, not panics.
+	sp.SetAttr("k", "v")
+	sp.Link(NewSpanContext())
+	sp.AddSpan("stage", time.Now(), time.Millisecond)
+	child := sp.StartChild("c")
+	child.End()
+	sp.EndStatus(StatusError, "boom")
+	if sp.Context().Valid() {
+		t.Fatal("nil span has valid context")
+	}
+	if got := tr.Recent(10); got != nil {
+		t.Fatal("nil tracer returned traces")
+	}
+	if _, ok := tr.Get(TraceID{1}); ok {
+		t.Fatal("nil tracer found a trace")
+	}
+	if tr.SlowThreshold() != 0 {
+		t.Fatal("nil tracer has a threshold")
+	}
+}
+
+func TestRequestTraceLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(Config{SlowThreshold: -1, Capacity: 8}, reg)
+
+	parent := NewSpanContext()
+	root := tr.StartRequest("ingest", parent)
+	if root.Context().TraceID != parent.TraceID {
+		t.Fatalf("request did not adopt parent trace id")
+	}
+	root.SetAttr("batch", "3")
+	enq := root.StartChild("enqueue")
+	if enq.Context().TraceID != parent.TraceID {
+		t.Fatal("child changed trace id")
+	}
+	time.Sleep(time.Millisecond)
+	enq.End()
+	link := NewSpanContext()
+	root.Link(link)
+	root.End()
+
+	fin, ok := tr.Get(parent.TraceID)
+	if !ok {
+		t.Fatal("finished trace not retained under SlowThreshold<0")
+	}
+	if fin.Kind != "request" || fin.Status != StatusOK || fin.SampledFor != "all" {
+		t.Fatalf("unexpected finished trace: %+v", fin)
+	}
+	if len(fin.Spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(fin.Spans))
+	}
+	// Sorted by start: root first.
+	rootRec := fin.Spans[0]
+	if rootRec.Name != "ingest" || rootRec.Parent != parent.SpanID {
+		t.Fatalf("root record wrong: %+v", rootRec)
+	}
+	if len(rootRec.Links) != 1 || rootRec.Links[0] != link {
+		t.Fatalf("link not recorded: %+v", rootRec.Links)
+	}
+	if rootRec.Attrs["batch"] != "3" {
+		t.Fatalf("attr not recorded: %+v", rootRec.Attrs)
+	}
+	if fin.Spans[1].Parent != rootRec.ID {
+		t.Fatalf("child parented wrong: %+v", fin.Spans[1])
+	}
+
+	// Double End is idempotent.
+	root.End()
+	if got := len(tr.Recent(0)); got != 1 {
+		t.Fatalf("double End duplicated trace: %d retained", got)
+	}
+}
+
+func TestTailSampling(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(Config{SlowThreshold: time.Hour, Capacity: 8}, reg)
+
+	fast := tr.StartRequest("ingest", SpanContext{})
+	fastID := fast.Context().TraceID
+	fast.End()
+	if _, ok := tr.Get(fastID); ok {
+		t.Fatal("fast ok request was retained")
+	}
+
+	shed := tr.StartRequest("ingest", SpanContext{})
+	shedID := shed.Context().TraceID
+	shed.EndStatus(StatusShed, "queue full")
+	fin, ok := tr.Get(shedID)
+	if !ok || fin.Status != StatusShed || fin.SampledFor != "shed" {
+		t.Fatalf("shed request not retained correctly: %+v ok=%v", fin, ok)
+	}
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"jocl_trace_requests_total 2",
+		`jocl_trace_sampled_total{reason="shed"} 1`,
+		"jocl_trace_active 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGroupTracesAlwaysRetained(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Hour}, nil)
+	g := tr.StartGroup("ingest-group")
+	gid := g.Context().TraceID
+	g.AddSpan("bp", time.Now(), 2*time.Millisecond)
+	g.End()
+	fin, ok := tr.Get(gid)
+	if !ok || fin.Kind != "group" || fin.SampledFor != "group" {
+		t.Fatalf("group trace not retained: %+v ok=%v", fin, ok)
+	}
+	if len(fin.Spans) != 2 {
+		t.Fatalf("want root+stage spans, got %d", len(fin.Spans))
+	}
+	if len(tr.RecentGroups(0)) != 1 || len(tr.Recent(0)) != 0 {
+		t.Fatal("group landed in the wrong store")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{SlowThreshold: -1, Capacity: 3}, nil)
+	var ids []TraceID
+	for i := 0; i < 5; i++ {
+		sp := tr.StartRequest("ingest", SpanContext{})
+		ids = append(ids, sp.Context().TraceID)
+		sp.End()
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("capacity not enforced: %d", len(got))
+	}
+	// Newest first.
+	for i := 0; i < 3; i++ {
+		if got[i].TraceID != ids[4-i] {
+			t.Fatalf("order wrong at %d: %v", i, got[i].TraceID)
+		}
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+}
+
+func TestFinishedJSON(t *testing.T) {
+	tr := New(Config{SlowThreshold: -1}, nil)
+	sp := tr.StartRequest("ingest", SpanContext{})
+	sp.Link(NewSpanContext())
+	sp.End()
+	fin := tr.Recent(1)[0]
+	raw, err := json.Marshal(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"trace_id", "kind", "status", "begin", "total_ms", "spans"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("JSON missing %q: %s", k, raw)
+		}
+	}
+	spans := m["spans"].([]any)
+	span0 := spans[0].(map[string]any)
+	if _, ok := span0["links"]; !ok {
+		t.Errorf("span JSON missing links: %s", raw)
+	}
+	if _, ok := span0["parent_id"]; ok {
+		t.Errorf("root span should omit zero parent_id: %s", raw)
+	}
+}
+
+func TestConcurrentTraces(t *testing.T) {
+	tr := New(Config{SlowThreshold: -1, Capacity: 256}, telemetry.NewRegistry())
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				sp := tr.StartRequest("ingest", SpanContext{})
+				c := sp.StartChild("enqueue")
+				c.End()
+				sp.Link(NewSpanContext())
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	got := tr.Recent(0)
+	if len(got) != 256 {
+		t.Fatalf("retained %d, want full ring 256", len(got))
+	}
+	for _, f := range got {
+		if len(f.Spans) != 2 {
+			t.Fatalf("incomplete tree: %+v", f)
+		}
+	}
+}

@@ -144,6 +144,8 @@ type options struct {
 	queryOpts     QueryIndexOptions
 	telemetryOff  bool
 	telemetryOpts TelemetryOptions
+	tracingOff    bool
+	traceOpts     TraceOptions
 	ingressOn     bool
 	ingressOpts   IngressOptions
 	cfg           core.Config
@@ -248,6 +250,43 @@ func WithoutTelemetry() Option {
 	return func(o *options) { o.telemetryOff = true }
 }
 
+// TraceOptions tunes a Session's request-scoped tracing (on by default
+// whenever telemetry is on; see Session.Tracer). Zero fields take the
+// defaults noted per field.
+type TraceOptions struct {
+	// SlowThreshold is the tail-sampling latency bar: a request trace
+	// is retained when the request took at least this long, or ended
+	// abnormally (shed, cancelled, poisoned, error). 0 takes the
+	// default (1s); negative retains every request trace.
+	SlowThreshold time.Duration
+	// Capacity bounds each retained-trace store — slow/abnormal
+	// request traces and merged-group traces (default 128 each).
+	Capacity int
+}
+
+// WithTracing tunes the request-scoped span tracing Sessions keep by
+// default when telemetry is on: every IngestContext call gets a trace
+// id (accepted from the caller's context or generated), its spans
+// thread through the ingress queue and the session's stage breakdown,
+// and slow or abnormal request traces are retained for inspection.
+// Requires telemetry; WithoutTelemetry also disables tracing. Ignored
+// by batch Pipelines.
+func WithTracing(t TraceOptions) Option {
+	return func(o *options) {
+		o.tracingOff = false
+		o.traceOpts = t
+	}
+}
+
+// WithoutTracing disables request-scoped tracing while keeping the
+// rest of telemetry: Session.Tracer returns nil and every span call
+// degrades to a no-op. It exists for overhead A/B measurement (the
+// stream bench's tracing_overhead_pct arm). Ignored by batch
+// Pipelines.
+func WithoutTracing() Option {
+	return func(o *options) { o.tracingOff = true }
+}
+
 // IngressOptions tunes a Session's asynchronous ingest pipeline
 // (WithIngress). Zero fields take the defaults noted per field.
 type IngressOptions struct {
@@ -267,6 +306,12 @@ type IngressOptions struct {
 	// ShedDepth is the queue's high-water mark: IngestContext sheds
 	// once queue depth reaches it (default QueueDepth).
 	ShedDepth int
+	// StallAfter is the pipeline watchdog's liveness bar: with work
+	// pending and no preparer/committer progress for this long, the
+	// pipeline is declared stalled (jocl_watchdog_stalled) and a
+	// flight-recorder snapshot is captured (see Session.LastStall).
+	// 0 takes the default (60s); negative disables the watchdog.
+	StallAfter time.Duration
 }
 
 // WithIngress puts a bounded asynchronous ingest queue in front of the

@@ -17,6 +17,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Session is the streaming counterpart of Pipeline: it accepts triple
@@ -113,6 +114,12 @@ type IngestStats struct {
 	// means the stats above describe the merged ingest and are shared
 	// by every member batch). Always 1 without WithIngress.
 	CoalescedBatches int
+
+	// TraceID identifies this request's trace (32 hex characters, W3C
+	// trace-context format) when tracing is enabled: the id adopted
+	// from the caller's traceparent (see ContextWithTraceParent) or
+	// generated at submission. Empty with tracing off.
+	TraceID string
 }
 
 // SessionStats is a session's cumulative view.
@@ -174,6 +181,8 @@ func newPublicSession(s *stream.Session, o *options) *Session {
 			CoalesceDepth:  o.ingressOpts.CoalesceDepth,
 			CoalesceWindow: o.ingressOpts.CoalesceWindow,
 			ShedDepth:      o.ingressOpts.ShedDepth,
+			StallAfter:     o.ingressOpts.StallAfter,
+			Tracer:         s.Tracer(),
 		}
 		if tel := s.Telemetry(); tel != nil {
 			cfg.Registry = tel.Registry
@@ -217,6 +226,11 @@ func (o *options) streamConfig() stream.Config {
 		Telemetry: telemetry.Config{
 			Enable:    !o.telemetryOff,
 			TraceRing: o.telemetryOpts.TraceRing,
+		},
+		Trace: trace.Config{
+			Enable:        !o.telemetryOff && !o.tracingOff,
+			SlowThreshold: o.traceOpts.SlowThreshold,
+			Capacity:      o.traceOpts.Capacity,
 		},
 	}
 }
@@ -340,7 +354,7 @@ func (s *Session) IngestContext(ctx context.Context, triples []Triple) (IngestSt
 		if err := ctx.Err(); err != nil {
 			return IngestStats{}, err
 		}
-		st, err := s.s.Ingest(ts)
+		st, err := s.s.IngestTraced(trace.FromContext(ctx), ts)
 		if err != nil {
 			return IngestStats{}, err
 		}
@@ -361,6 +375,12 @@ func (s *Session) IngestContext(ctx context.Context, triples []Triple) (IngestSt
 	}
 	out := ingestStats(res.Stats)
 	out.CoalescedBatches = res.Coalesced
+	if res.TraceID != "" {
+		// Report the request's own trace id, not the merged group's:
+		// the caller correlates by the id it sent (or was handed back),
+		// and the request trace links to the group trace.
+		out.TraceID = res.TraceID
+	}
 	return out, nil
 }
 
@@ -395,6 +415,12 @@ type IngressStats struct {
 	MergedIngests    uint64
 	CoalescedBatches uint64
 	Splits           uint64
+	// QueueOldestEnqueued is when the oldest still-queued submission
+	// arrived and QueueOldestAge how long it has been waiting — the
+	// head-of-line latency a new submission is behind. Both zero when
+	// the queue is empty.
+	QueueOldestEnqueued time.Time
+	QueueOldestAge      time.Duration
 }
 
 // CoalescingFactor is the mean number of submitted batches per session
@@ -413,7 +439,7 @@ func (s *Session) IngressStats() (IngressStats, bool) {
 		return IngressStats{}, false
 	}
 	st := s.in.Stats()
-	return IngressStats{
+	out := IngressStats{
 		QueueDepth:       s.in.Depth(),
 		Submitted:        st.Submitted,
 		Shed:             st.Shed,
@@ -421,7 +447,62 @@ func (s *Session) IngressStats() (IngressStats, bool) {
 		MergedIngests:    st.MergedIngests,
 		CoalescedBatches: st.CoalescedBatches,
 		Splits:           st.Splits,
-	}, true
+	}
+	if enq, age, ok := s.in.QueueAge(); ok {
+		out.QueueOldestEnqueued = enq
+		out.QueueOldestAge = age
+	}
+	return out, true
+}
+
+// Tracer exposes the session's request tracer (see internal/trace):
+// every ingest gets a request-scoped span tree, coalesced groups get a
+// shared group trace the member requests link to, and slow or failed
+// requests are tail-sampled into a bounded ring jocl-serve renders at
+// GET /debug/requests. It returns nil when the session was built
+// WithoutTelemetry or WithoutTracing.
+func (s *Session) Tracer() *trace.Tracer { return s.s.Tracer() }
+
+// WatchdogStatus is the ingest pipeline's liveness accounting: queue
+// depth, oldest-submission age, stage activity, and stall state.
+type WatchdogStatus = ingress.WatchdogStatus
+
+// StallReport is the flight-recorder snapshot the pipeline watchdog
+// captures at the moment it declares a stall: liveness state,
+// cumulative counters, the traces in flight, and a goroutine dump.
+type StallReport = ingress.StallReport
+
+// Watchdog reports the ingest pipeline's liveness accounting (queue
+// depth, oldest-submission age, stage activity, stall state), or
+// ok=false without WithIngress.
+func (s *Session) Watchdog() (WatchdogStatus, bool) {
+	if s.in == nil {
+		return WatchdogStatus{}, false
+	}
+	return s.in.Watchdog(), true
+}
+
+// LastStall returns the flight-recorder snapshot of the most recent
+// pipeline stall the watchdog declared, or nil if the pipeline never
+// stalled or WithIngress is off.
+func (s *Session) LastStall() *StallReport {
+	if s.in == nil {
+		return nil
+	}
+	return s.in.LastStall()
+}
+
+// ContextWithTraceParent attaches an incoming W3C traceparent header
+// ("00-<trace-id>-<span-id>-<flags>") to ctx so IngestContext adopts
+// the caller's trace id instead of generating one. It reports whether
+// the header parsed; on false the returned context is ctx unchanged
+// (a fresh trace id is generated at ingest).
+func ContextWithTraceParent(ctx context.Context, header string) (context.Context, bool) {
+	sc, ok := trace.ParseTraceparent(header)
+	if !ok {
+		return ctx, false
+	}
+	return trace.ContextWith(ctx, sc), true
 }
 
 // Snapshot returns the current joint result over everything ingested so
@@ -489,6 +570,7 @@ func ingestStats(st stream.IngestStats) IngestStats {
 		ConstructMillis:    millis(st.ConstructTime),
 		InferMillis:        millis(st.InferTime),
 		TotalMillis:        millis(st.TotalTime),
+		TraceID:            st.TraceID,
 	}
 	if st.Index != nil {
 		out.IndexMillis = st.Index.ApplyMS
