@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query bench-checkpoint bench-intern bench-intern-gate bench-traffic bench-profile docs-check serve clean
+.PHONY: all build vet test test-race bench bench-stream bench-segment bench-repair bench-query bench-checkpoint bench-intern bench-intern-gate bench-traffic bench-retract bench-profile docs-check serve clean
 
 # The streaming benchmark matrix runs at scale 0.1 with a multi-worker
 # session — large enough that identity-layer and allocator costs are
@@ -72,6 +72,12 @@ bench-intern-gate:
 bench-traffic:
 	$(GO) run ./cmd/jocl-bench -exp traffic -scale $(BENCH_SCALE) -traffic-clients 8 -traffic-out BENCH_traffic.json
 
+# Retraction benchmark: retraction cost vs dirty-set size on a loaded
+# session, then as-of read throughput over retained generations vs head
+# reads. Emits BENCH_retract.json.
+bench-retract:
+	$(GO) run ./cmd/jocl-bench -exp retract -scale $(BENCH_SCALE) -retract-out BENCH_retract.json
+
 # CPU + heap pprof profiles of the steady-state ingest path (the
 # interning benchmark without its spot check). Inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
@@ -87,4 +93,4 @@ serve:
 	$(GO) run ./cmd/jocl-serve -addr :8080
 
 clean:
-	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json BENCH_checkpoint.json BENCH_traffic.json cpu.pprof mem.pprof
+	rm -f BENCH_stream.json BENCH_segment.json BENCH_repair.json BENCH_query.json BENCH_checkpoint.json BENCH_traffic.json BENCH_retract.json cpu.pprof mem.pprof

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair|query|checkpoint|traffic]
+//	jocl-bench [-scale 0.02] [-exp all|table1|table2|table3|figure3|table4|figure4|extra|stream|segment|repair|query|checkpoint|traffic|retract]
 //	           [-stream-batches 6] [-stream-preload 0.6] [-stream-out BENCH_stream.json]
 //	           [-segment-batches 8] [-segment-preload 0.6] [-segment-tol 0.02]
 //	           [-segment-out BENCH_segment.json]
@@ -17,6 +17,8 @@
 //	           [-checkpoint-out BENCH_checkpoint.json]
 //	           [-traffic-batches 41] [-traffic-preload 0.6] [-traffic-clients 8]
 //	           [-traffic-out BENCH_traffic.json]
+//	           [-retract-batches 6] [-retract-preload 0.6] [-retract-readers 8]
+//	           [-retract-out BENCH_retract.json]
 //
 // scale 1.0 reproduces the paper's data set sizes (45K/34K triples);
 // the default keeps a laptop run under a minute.
@@ -55,6 +57,13 @@
 // p50/p95/p99 ingest and read latencies, shed rate, coalescing factor,
 // and the per-batch session cost ratio.
 //
+// -exp retract runs the retraction benchmark: retraction batches of
+// geometrically growing size withdrawn from a fully loaded session
+// (pricing retraction cost against the dirty-set size each repair
+// touches), then as-of read throughput over the retained generations
+// measured against head reads (see internal/bench.RunRetract). With
+// -retract-out it writes the BENCH_retract.json artifact.
+//
 // Every streaming artifact additionally carries p50/p95/p99 latency
 // digests (ingest_latency, and read_latency for the query benchmark)
 // read back from the same telemetry histograms the serving stack
@@ -75,7 +84,7 @@ import (
 func main() {
 	var (
 		scale          = flag.Float64("scale", 0.02, "fraction of the paper's data set sizes")
-		exp            = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream, segment, repair, query, checkpoint, traffic)")
+		exp            = flag.String("exp", "all", "experiment id (all, table1, table2, table3, figure3, table4, figure4, extra, stream, segment, repair, query, checkpoint, traffic, retract)")
 		streamBatches  = flag.Int("stream-batches", 6, "stream: total batches (1 preload + N-1 increments)")
 		streamPreload  = flag.Float64("stream-preload", 0.6, "stream: fraction of triples ingested as the preload batch")
 		streamOut      = flag.String("stream-out", "", "stream: write the report JSON to this path (e.g. BENCH_stream.json)")
@@ -98,6 +107,10 @@ func main() {
 		trafficPreload = flag.Float64("traffic-preload", 0.6, "traffic: fraction of triples ingested as the preload batch")
 		trafficClients = flag.Int("traffic-clients", 8, "traffic: concurrent ingest clients (and as many query clients)")
 		trafficOut     = flag.String("traffic-out", "", "traffic: write the report JSON to this path (e.g. BENCH_traffic.json)")
+		retractBatches = flag.Int("retract-batches", 6, "retract: ingest batches loaded before the retractions start")
+		retractPreload = flag.Float64("retract-preload", 0.6, "retract: fraction of triples ingested as the preload batch")
+		retractReaders = flag.Int("retract-readers", 8, "retract: concurrent reader goroutines in the head/as-of phases")
+		retractOut     = flag.String("retract-out", "", "retract: write the report JSON to this path (e.g. BENCH_retract.json)")
 		internScale    = flag.Float64("intern-scale", 0.1, "intern: fraction of the paper's data set sizes (the raised default matrix)")
 		internBatches  = flag.Int("intern-batches", 25, "intern: total batches (1 preload + N-1 steady increments)")
 		internPreload  = flag.Float64("intern-preload", 0.6, "intern: fraction of triples ingested as the preload batch")
@@ -181,6 +194,13 @@ func main() {
 	}
 	if *exp == "traffic" {
 		if err := runTraffic(*scale, *trafficPreload, *trafficBatches, *trafficClients, *trafficOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "retract" {
+		if err := runRetract(*scale, *retractPreload, *retractBatches, *retractReaders, *retractOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jocl-bench:", err)
 			os.Exit(1)
 		}
@@ -325,6 +345,27 @@ func runCheckpoint(scale, preload float64, batches int, out string) error {
 
 func runTraffic(scale, preload float64, batches, clients int, out string) error {
 	report, err := bench.RunTraffic("reverb45k", scale, preload, batches, 0, clients)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Format())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runRetract(scale, preload float64, batches, readers int, out string) error {
+	report, err := bench.RunRetract("reverb45k", scale, preload, batches, 0, readers)
 	if err != nil {
 		return err
 	}

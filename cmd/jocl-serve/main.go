@@ -15,6 +15,7 @@
 //	           [-max-block-vars 0] [-target-blocks-per-worker 4]
 //	           [-outer-rounds 4] [-boundary-tol 0.005] [-no-repair]
 //	           [-query] [-query-max-results 1000] [-query-max-layers 4]
+//	           [-retain-generations 4]
 //	           [-checkpoint-dir DIR] [-checkpoint-every N]
 //	           [-log-format text|json] [-trace-ring 64] [-pprof]
 //	           [-trace] [-trace-slow 1s] [-trace-requests 128]
@@ -53,6 +54,9 @@
 //
 //	POST /ingest   {"triples": [{"subject": s, "predicate": p, "object": o}, ...]}
 //	               -> per-batch ingest statistics (dirty components, sweeps, ms)
+//	POST /retract  {"triples": [...]} -> tombstone every live triple matching a
+//	               member by (s,p,o) and re-infer without the retracted evidence
+//	               (404 when nothing matches; members matching nothing are skipped)
 //	GET  /result   -> current canonicalization groups and KB links
 //	GET  /stats    -> cumulative session statistics
 //	GET  /healthz  -> liveness (200 once the KB is loaded)
@@ -68,6 +72,15 @@
 //	GET  /query/cluster?np=S | ?rp=S        -> canonicalization cluster membership
 //	GET  /query/triples?subject=S [&limit=N]  -> triples whose subject is in S's cluster
 //	GET  /query/triples?relation=S [&limit=N] -> triples whose predicate is in S's cluster
+//
+// Every /query/* answer carries the index generation it was served from
+// in the X-Jocl-Generation response header, and every /query/* endpoint
+// accepts ?as_of=G to answer from a still-retained earlier generation
+// instead of the newest one — the as-of answer is bitwise identical to
+// what the same query returned when G was current. The index retains
+// the last -retain-generations published generations (default 4); /stats
+// lists the retained window as query_retained, and an ?as_of= pointing
+// outside it answers 404.
 //
 // With -checkpoint-dir set the session is durable: on startup an
 // existing checkpoint in the directory is restored (the process
@@ -174,6 +187,7 @@ func main() {
 		queryOn      = flag.Bool("query", true, "maintain the read-path query index (/query/* endpoints)")
 		queryMaxRes  = flag.Int("query-max-results", 0, "query index: hard cap on triples per enumeration answer (0 = default 1000)")
 		queryLayers  = flag.Int("query-max-layers", 0, "query index: overlay-chain depth before compaction (0 = default 4)")
+		retainGens   = flag.Int("retain-generations", 0, "query index: published generations retained for ?as_of= reads (0 = default 4)")
 		maxBody      = flag.Int64("max-body-bytes", 8<<20, "largest accepted request body in bytes (413 beyond it)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for durable session checkpoints (restore on startup, POST /checkpoint, periodic snapshots)")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "write a background checkpoint every N successful ingests (0 = manual/shutdown checkpoints only; needs -checkpoint-dir)")
@@ -226,8 +240,9 @@ func main() {
 	}
 	if *queryOn {
 		opts = append(opts, jocl.WithQueryIndex(jocl.QueryIndexOptions{
-			MaxResults: *queryMaxRes,
-			MaxLayers:  *queryLayers,
+			MaxResults:        *queryMaxRes,
+			MaxLayers:         *queryLayers,
+			RetainGenerations: *retainGens,
 		}))
 	} else {
 		opts = append(opts, jocl.WithoutQueryIndex())
@@ -383,6 +398,7 @@ func newServer(sess *jocl.Session, opt serveOptions) *server {
 	}
 	s := &server{mux: http.NewServeMux(), sess: sess, opt: opt}
 	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/retract", s.handleRetract)
 	s.mux.HandleFunc("/result", s.handleResult)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -654,6 +670,12 @@ type ingestResponse struct {
 	IndexMillis float64 `json:"index_ms,omitempty"`
 	IndexKeys   int     `json:"index_keys,omitempty"`
 	IndexFull   bool    `json:"index_full,omitempty"`
+	// retracted / removed_* report retraction batches (POST /retract):
+	// how many live triples were tombstoned and how many noun / relation
+	// phrases lost their last live mention and left the graph.
+	Retracted  int `json:"retracted,omitempty"`
+	RemovedNPs int `json:"removed_nps,omitempty"`
+	RemovedRPs int `json:"removed_rps,omitempty"`
 	// coalesced_batches reports how many queued batches the session
 	// ingest carrying this one merged (1 = it rode alone); when > 1 the
 	// statistics above describe the whole merged ingest.
@@ -685,16 +707,18 @@ func ingestResponseOf(st jocl.IngestStats) ingestResponse {
 		IndexMillis:        st.IndexMillis,
 		IndexKeys:          st.IndexKeys,
 		IndexFull:          st.IndexFull,
+		Retracted:          st.Retracted,
+		RemovedNPs:         st.RemovedNPs,
+		RemovedRPs:         st.RemovedRPs,
 		CoalescedBatches:   st.CoalescedBatches,
 		TraceID:            st.TraceID,
 	}
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
+// decodeBatch bounds, decodes, and validates a {"triples": [...]} body
+// — the shape /ingest and /retract share. ok=false means the error
+// response has already been written.
+func (s *server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]jocl.Triple, bool) {
 	// Bound the body before decoding: an unbounded JSON decode would let
 	// one request buffer arbitrary memory. MaxBytesReader also tells the
 	// HTTP server to close the connection when the limit trips.
@@ -705,47 +729,92 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds -max-body-bytes (%d bytes); split the batch or raise the flag", tooBig.Limit))
-			return
+			return nil, false
 		}
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
+		return nil, false
 	}
 	if len(req.Triples) == 0 {
 		httpError(w, http.StatusBadRequest, "empty batch")
-		return
+		return nil, false
 	}
 	if len(req.Triples) > s.opt.maxBatch {
 		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d exceeds -max-batch %d", len(req.Triples), s.opt.maxBatch))
-		return
+		return nil, false
 	}
 	batch := make([]jocl.Triple, len(req.Triples))
 	for i, t := range req.Triples {
 		if t.Subject == "" || t.Predicate == "" || t.Object == "" {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("triple %d: subject, predicate, object must be non-empty", i))
-			return
+			return nil, false
 		}
 		batch[i] = jocl.Triple{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}
 	}
+	return batch, true
+}
+
+// writePipelineError maps the ingest pipeline's error taxonomy —
+// shared by /ingest and /retract — onto HTTP statuses.
+func writePipelineError(w http.ResponseWriter, err error) {
+	var over *jocl.OverloadedError
+	switch {
+	case errors.As(err, &over):
+		// Load shed: tell the client when the backlog should have
+		// drained. Retry-After is whole seconds, rounded up.
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(over.RetryAfter.Seconds()))))
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("ingest queue overloaded (depth %d); retry after %s", over.QueueDepth, over.RetryAfter))
+	case errors.Is(err, jocl.ErrSessionClosed):
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away while the batch was queued; it was
+		// withdrawn before the session saw it. 499-style: nobody is
+		// listening, but the status keeps the logs honest.
+		httpError(w, http.StatusRequestTimeout, "client cancelled while queued")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	batch, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
 	st, err := s.sess.IngestContext(r.Context(), batch)
 	if err != nil {
-		var over *jocl.OverloadedError
-		switch {
-		case errors.As(err, &over):
-			// Load shed: tell the client when the backlog should have
-			// drained. Retry-After is whole seconds, rounded up.
-			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(over.RetryAfter.Seconds()))))
-			httpError(w, http.StatusTooManyRequests,
-				fmt.Sprintf("ingest queue overloaded (depth %d); retry after %s", over.QueueDepth, over.RetryAfter))
-		case errors.Is(err, jocl.ErrSessionClosed):
-			httpError(w, http.StatusServiceUnavailable, "shutting down")
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// The client went away while the batch was queued; it was
-			// withdrawn before the session saw it. 499-style: nobody is
-			// listening, but the status keeps the logs honest.
-			httpError(w, http.StatusRequestTimeout, "client cancelled while queued")
-		default:
-			httpError(w, http.StatusInternalServerError, err.Error())
+		writePipelineError(w, err)
+		return
+	}
+	s.maybeCheckpoint(st.Batch)
+	writeJSON(w, http.StatusOK, ingestResponseOf(st))
+}
+
+// handleRetract tombstones every live triple matching a batch member by
+// (subject, predicate, object) and re-infers without the retracted
+// evidence (POST /retract). The body shape, size bounds, and overload
+// behaviour match /ingest; a batch matching no live triple at all is a
+// 404 with no side effects.
+func (s *server) handleRetract(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	batch, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.sess.RetractContext(r.Context(), batch)
+	if err != nil {
+		if errors.Is(err, jocl.ErrRetractNoMatch) {
+			httpError(w, http.StatusNotFound, "retraction matched no live triples; session state unchanged")
+			return
 		}
+		writePipelineError(w, err)
 		return
 	}
 	s.maybeCheckpoint(st.Batch)
@@ -864,14 +933,21 @@ type statsResponse struct {
 	CutVariables       int `json:"cut_variables"`
 	PartitionRepairs   int `json:"partition_repairs"`
 	RepairBlocksReused int `json:"repair_blocks_reused"`
+	// retractions / dead_triples surface the update path: committed
+	// retraction batches and the live triples they tombstoned (total_
+	// triples counts live triples only).
+	Retractions int `json:"retractions,omitempty"`
+	DeadTriples int `json:"dead_triples,omitempty"`
 	// query_* surface the read-path index: whether it is on, its
 	// current generation and overlay depth, the cumulative maintenance
-	// wall-clock, and the configured limits.
-	QueryEnabled    bool            `json:"query_enabled"`
-	QueryGeneration int64           `json:"query_generation,omitempty"`
-	QueryLayers     int             `json:"query_layers,omitempty"`
-	QueryIndexMS    float64         `json:"query_index_ms,omitempty"`
-	QueryMaxResults int             `json:"query_max_results,omitempty"`
+	// wall-clock, and the configured limits. query_retained lists the
+	// generations still answerable via ?as_of=, oldest first.
+	QueryEnabled    bool    `json:"query_enabled"`
+	QueryGeneration int64   `json:"query_generation,omitempty"`
+	QueryLayers     int     `json:"query_layers,omitempty"`
+	QueryIndexMS    float64 `json:"query_index_ms,omitempty"`
+	QueryMaxResults int     `json:"query_max_results,omitempty"`
+	QueryRetained   []int64 `json:"query_retained,omitempty"`
 	// ingress surfaces the async ingest queue's counters (absent with
 	// -ingest-queue 0).
 	Ingress    *ingressStatsJSON `json:"ingress,omitempty"`
@@ -912,11 +988,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CutVariables:       st.CutVariables,
 		PartitionRepairs:   st.PartitionRepairs,
 		RepairBlocksReused: st.RepairBlocksReused,
+		Retractions:        st.Retractions,
+		DeadTriples:        st.DeadTriples,
 		QueryEnabled:       st.QueryEnabled,
 		QueryGeneration:    st.QueryGeneration,
 		QueryLayers:        st.QueryLayers,
 		QueryIndexMS:       st.QueryIndexMillis,
 		QueryMaxResults:    st.QueryMaxResults,
+		QueryRetained:      st.QueryRetained,
 	}
 	if in, ok := s.sess.IngressStats(); ok {
 		resp.Ingress = &ingressStatsJSON{
@@ -965,6 +1044,39 @@ func genJSON(g jocl.QueryGen) queryGenJSON {
 	return queryGenJSON{Generation: g.Generation, Triples: g.Triples, Behind: g.Behind}
 }
 
+// asOfQuery parses the optional ?as_of= parameter every /query/*
+// endpoint accepts: answer from that retained generation instead of the
+// newest one. ok=false means a 400 was already written; asOf reports
+// whether the parameter was present, so a later miss can name the
+// retention window as the likely cause.
+func asOfQuery(w http.ResponseWriter, r *http.Request) (opts []jocl.QueryOpt, asOf, ok bool) {
+	raw := r.URL.Query().Get("as_of")
+	if raw == "" {
+		return nil, false, true
+	}
+	gen, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || gen < 1 {
+		httpError(w, http.StatusBadRequest, "bad ?as_of=: want a positive generation number")
+		return nil, false, false
+	}
+	return []jocl.QueryOpt{jocl.AsOf(gen)}, true, true
+}
+
+// queryNotFound answers a /query/* miss, pointing at the retention
+// window when the request asked for a specific generation.
+func queryNotFound(w http.ResponseWriter, asOf bool, what string) {
+	if asOf {
+		what += "; or the ?as_of= generation is no longer retained (query_retained in /stats lists the window, -retain-generations widens it)"
+	}
+	httpError(w, http.StatusNotFound, what)
+}
+
+// setGeneration stamps the index generation the answer was served from
+// onto the response, so clients can pin follow-up reads with ?as_of=.
+func setGeneration(w http.ResponseWriter, g jocl.QueryGen) {
+	w.Header().Set("X-Jocl-Generation", strconv.FormatInt(g.Generation, 10))
+}
+
 type resolveResponse struct {
 	Surface     string       `json:"surface"`
 	Canonical   string       `json:"canonical"`
@@ -978,17 +1090,22 @@ func (s *server) handleQueryResolve(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	opts, asOf, ok := asOfQuery(w, r)
+	if !ok {
+		return
+	}
 	var res jocl.Resolution
 	var found bool
 	if np != "" {
-		res, found = s.sess.QueryEntity(np)
+		res, found = s.sess.QueryEntity(np, opts...)
 	} else {
-		res, found = s.sess.QueryRelation(rp)
+		res, found = s.sess.QueryRelation(rp, opts...)
 	}
 	if !found {
-		httpError(w, http.StatusNotFound, "unknown surface (or query index disabled / nothing ingested)")
+		queryNotFound(w, asOf, "unknown surface (or query index disabled / nothing ingested)")
 		return
 	}
+	setGeneration(w, res.Gen)
 	writeJSON(w, http.StatusOK, resolveResponse{
 		Surface:     res.Surface,
 		Canonical:   res.Canonical,
@@ -1012,7 +1129,7 @@ func (s *server) handleQueryRelation(w http.ResponseWriter, r *http.Request) {
 	s.handleAliases(w, r, s.sess.QueryRelationAliases)
 }
 
-func (s *server) handleAliases(w http.ResponseWriter, r *http.Request, lookup func(string) (jocl.AliasSet, bool)) {
+func (s *server) handleAliases(w http.ResponseWriter, r *http.Request, lookup func(string, ...jocl.QueryOpt) (jocl.AliasSet, bool)) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -1022,11 +1139,16 @@ func (s *server) handleAliases(w http.ResponseWriter, r *http.Request, lookup fu
 		httpError(w, http.StatusBadRequest, "missing ?id=")
 		return
 	}
-	a, found := lookup(id)
-	if !found {
-		httpError(w, http.StatusNotFound, "unknown id (or query index disabled / nothing ingested)")
+	opts, asOf, ok := asOfQuery(w, r)
+	if !ok {
 		return
 	}
+	a, found := lookup(id, opts...)
+	if !found {
+		queryNotFound(w, asOf, "unknown id (or query index disabled / nothing ingested)")
+		return
+	}
+	setGeneration(w, a.Gen)
 	writeJSON(w, http.StatusOK, aliasesResponse{Target: a.Target, Aliases: a.Aliases, Gen: genJSON(a.Gen)})
 }
 
@@ -1041,17 +1163,22 @@ func (s *server) handleQueryCluster(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	opts, asOf, ok := asOfQuery(w, r)
+	if !ok {
+		return
+	}
 	var c jocl.ClusterView
 	var found bool
 	if np != "" {
-		c, found = s.sess.QueryEntityCluster(np)
+		c, found = s.sess.QueryEntityCluster(np, opts...)
 	} else {
-		c, found = s.sess.QueryRelationCluster(rp)
+		c, found = s.sess.QueryRelationCluster(rp, opts...)
 	}
 	if !found {
-		httpError(w, http.StatusNotFound, "unknown surface (or query index disabled / nothing ingested)")
+		queryNotFound(w, asOf, "unknown surface (or query index disabled / nothing ingested)")
 		return
 	}
+	setGeneration(w, c.Gen)
 	writeJSON(w, http.StatusOK, clusterResponse{Canonical: c.Canonical, Members: c.Members, Gen: genJSON(c.Gen)})
 }
 
@@ -1082,17 +1209,22 @@ func (s *server) handleQueryTriples(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	opts, asOf, ok := asOfQuery(w, r)
+	if !ok {
+		return
+	}
 	var ts jocl.TripleSet
 	var found bool
 	if subject != "" {
-		ts, found = s.sess.QueryTriplesBySubject(subject, limit)
+		ts, found = s.sess.QueryTriplesBySubject(subject, limit, opts...)
 	} else {
-		ts, found = s.sess.QueryTriplesByRelation(relation, limit)
+		ts, found = s.sess.QueryTriplesByRelation(relation, limit, opts...)
 	}
 	if !found {
-		httpError(w, http.StatusNotFound, "unknown surface (or query index disabled / nothing ingested)")
+		queryNotFound(w, asOf, "unknown surface (or query index disabled / nothing ingested)")
 		return
 	}
+	setGeneration(w, ts.Gen)
 	resp := triplesResponse{Total: ts.Total, Truncated: ts.Truncated, Gen: genJSON(ts.Gen)}
 	resp.Triples = make([]tripleJSON, len(ts.Triples))
 	for i, t := range ts.Triples {

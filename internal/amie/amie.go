@@ -58,6 +58,9 @@ func Mine(store *okb.Store, cfg Config) *Miner {
 	// pairsOf[rp] = set of normalized (subject, object) pairs.
 	pairsOf := make(map[string]map[pairKey]bool)
 	for i := 0; i < store.Len(); i++ {
+		if store.Dead(i) {
+			continue
+		}
 		t := store.Triple(i)
 		rp := text.Normalize(t.Pred)
 		pk := pairKey{s: text.Normalize(t.Subj), o: text.Normalize(t.Obj)}

@@ -242,7 +242,7 @@ func RunQuery(profile string, scale, preloadFrac float64, batches, workers, read
 			})
 		} else {
 			pt.MaintainMS = amortized(func() {
-				before.Clone().Apply(res, res.Delta, accumulated, sess.Symbols())
+				before.Clone().Apply(res, res.Delta, accumulated, query.Tombstones{}, sess.Symbols())
 			})
 		}
 		// Comparator: build the whole index from this snapshot, the way

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/okb"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// RetractPoint is one retraction batch's cost against a fully loaded
+// session: how many SPO facts were withdrawn, how many stored positions
+// they tombstoned, how much of the partition the repair had to touch,
+// and the wall-clock the whole retraction (tombstone, repair, publish)
+// took.
+type RetractPoint struct {
+	Batch int `json:"batch"`
+	// Facts is the number of (S,P,O) facts in the retraction batch;
+	// Tombstoned the stored positions they superseded (>= Facts when the
+	// stream held duplicate extractions of a fact).
+	Facts      int `json:"facts"`
+	Tombstoned int `json:"tombstoned"`
+	RemovedNPs int `json:"removed_nps"`
+	RemovedRPs int `json:"removed_rps"`
+	// DirtyBlocks is the partition blocks the retraction dirtied and the
+	// repair re-swept — the dirty-set size the cost is plotted against.
+	DirtyBlocks int `json:"dirty_blocks"`
+	// LiveTriples / TotalTriples after this retraction: dead positions
+	// stay physically present, so Total never shrinks.
+	LiveTriples  int `json:"live_triples"`
+	TotalTriples int `json:"total_triples"`
+	// RetractMS is the one-shot wall-clock of the session retraction.
+	RetractMS float64 `json:"retract_ms"`
+}
+
+// RetractReport is the retraction benchmark's output, emitted as the
+// BENCH_retract.json artifact: retraction cost against dirty-set size
+// on a preloaded knowledge base, then as-of read throughput over
+// retained generations measured against head reads.
+type RetractReport struct {
+	Profile string  `json:"profile"`
+	Scale   float64 `json:"scale"`
+	Batches int     `json:"batches"`
+	Workers int     `json:"workers"`
+	Readers int     `json:"readers"`
+
+	// LoadedTriples is the stream size the retractions run against;
+	// UniqueFacts the distinct (S,P,O) facts available to withdraw.
+	LoadedTriples int `json:"loaded_triples"`
+	UniqueFacts   int `json:"unique_facts"`
+
+	Points []RetractPoint `json:"points"`
+
+	// Totals after the retraction phase.
+	Retractions int64 `json:"retractions"`
+	DeadTriples int   `json:"dead_triples"`
+
+	// Read throughput on the settled post-retraction index: HeadQPS
+	// reads the current generation, AsOfQPS pins each read to one of the
+	// retained generations (cycling over all of them). AsOfHeadRatio is
+	// AsOfQPS / HeadQPS — retained generations are the same immutable
+	// snapshot structure the head is, so the ratio should sit near 1.
+	RetainedGenerations []int64 `json:"retained_generations"`
+	HeadReads           int64   `json:"head_reads"`
+	HeadQPS             float64 `json:"head_qps"`
+	AsOfReads           int64   `json:"asof_reads"`
+	AsOfQPS             float64 `json:"asof_qps"`
+	AsOfHeadRatio       float64 `json:"asof_head_ratio"`
+
+	// Latency digests for the two read phases and the loading ingests.
+	HeadLatency   LatencySummary `json:"head_latency"`
+	AsOfLatency   LatencySummary `json:"asof_latency"`
+	IngestLatency LatencySummary `json:"ingest_latency"`
+}
+
+// hammerAsOf is hammer with every read pinned to a retained generation,
+// cycling through gens so the ring's slots share the load evenly.
+func hammerAsOf(ix *query.Index, nps, rps []string, gens []int64, rs *readStats, offset int) {
+	i := offset
+	for !rs.stopped.Load() {
+		np := nps[i%len(nps)]
+		rp := rps[i%len(rps)]
+		opt := query.AsOf(gens[i%len(gens)])
+		i++
+		for _, op := range []func() bool{
+			func() bool { _, ok := ix.ResolveNP(np, opt); return ok },
+			func() bool { _, ok := ix.NPCluster(np, opt); return ok },
+			func() bool { _, ok := ix.TriplesBySubject(np, 32, opt); return ok },
+			func() bool { _, ok := ix.ResolveRP(rp, opt); return ok },
+			func() bool { _, ok := ix.TriplesByRelation(rp, 32, opt); return ok },
+		} {
+			t0 := time.Now()
+			ok := op()
+			rs.record(time.Since(t0))
+			if !ok {
+				rs.failed.Add(1)
+			}
+		}
+	}
+}
+
+// readPhase runs readers copies of run for window and returns the
+// observed reads and throughput.
+func readPhase(readers int, window time.Duration, run func(rs *readStats, offset int), rs *readStats) (int64, float64) {
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			run(rs, offset)
+		}(r * 1013)
+	}
+	time.Sleep(window)
+	rs.stopped.Store(true)
+	wg.Wait()
+	return rs.reads.Load(), float64(rs.reads.Load()) / window.Seconds()
+}
+
+// RunRetract measures the retraction path in its serving scenario. The
+// whole ingest plan is loaded first, then retraction batches of
+// geometrically growing size — facts strided across the knowledge base
+// so batch size translates into dirty-set size — are withdrawn, each
+// priced by one-shot wall-clock against the partition blocks its repair
+// had to re-sweep. With tombstones and retained generations in place,
+// the read surface is then hammered twice over identical windows: once
+// at the head, once with every read pinned via AsOf to one of the
+// retained generations, yielding the as-of vs head throughput ratio.
+func RunRetract(profile string, scale, preloadFrac float64, batches, workers, readers int) (*RetractReport, error) {
+	ds, triples, cuts, batches, err := ingestPlan(profile, scale, preloadFrac, batches)
+	if err != nil {
+		return nil, err
+	}
+	if readers <= 0 {
+		readers = 8
+	}
+	report := &RetractReport{Profile: profile, Scale: scale, Batches: batches, Workers: workers, Readers: readers}
+
+	cfg := core.DefaultConfig()
+	cfg.BP.MaxSweeps = 40
+	cfg.Segment.Enable = true
+	sess := stream.New(ds.CKB, ds.Emb, ds.PPDB, stream.Config{
+		Core:      cfg,
+		Workers:   workers,
+		Query:     query.Config{Enable: true, RetainGenerations: 8},
+		Telemetry: benchTelemetry(),
+	})
+	for b := 0; b < batches; b++ {
+		if _, err := sess.Ingest(triples[cuts[b]:cuts[b+1]]); err != nil {
+			return nil, err
+		}
+	}
+	report.LoadedTriples = len(triples)
+
+	// The withdrawable universe: distinct (S,P,O) facts, since Retract
+	// supersedes by content and takes every duplicate extraction at once.
+	type spoKey struct{ s, p, o string }
+	seen := make(map[spoKey]bool, len(triples))
+	var facts []okb.Triple
+	for _, tr := range triples {
+		k := spoKey{tr.Subj, tr.Pred, tr.Obj}
+		if !seen[k] {
+			seen[k] = true
+			facts = append(facts, okb.Triple{Subj: tr.Subj, Pred: tr.Pred, Obj: tr.Obj})
+		}
+	}
+	report.UniqueFacts = len(facts)
+
+	// Stride the selection across the stream so a retraction batch spans
+	// unrelated regions of the KB: batch size then drives dirty-set size,
+	// instead of collapsing into one locally-dirty block. The stride is
+	// chosen coprime with the fact count, so the walk is a permutation.
+	stride := 127
+	for gcd(stride, len(facts)) != 1 {
+		stride++
+	}
+	cursor := 0
+	take := func(n int) []okb.Triple {
+		batch := make([]okb.Triple, 0, n)
+		for len(batch) < n && cursor < len(facts) {
+			batch = append(batch, facts[(cursor*stride)%len(facts)])
+			cursor++
+		}
+		return batch
+	}
+
+	// Geometric batch sizes, capped so the retraction phase withdraws at
+	// most half the facts and the read phase still measures a live KB.
+	var sizes []int
+	for sz := 1; len(sizes) < 6 && sz <= len(facts)/4; sz *= 4 {
+		sizes = append(sizes, sz)
+	}
+	if len(sizes) == 0 {
+		sizes = []int{1}
+	}
+
+	for i, sz := range sizes {
+		batch := take(sz)
+		if len(batch) == 0 {
+			break
+		}
+		t0 := time.Now()
+		st, err := sess.Retract(batch)
+		if err != nil {
+			return nil, fmt.Errorf("bench: retraction batch %d (%d facts): %w", i+1, len(batch), err)
+		}
+		elapsed := time.Since(t0)
+		report.Points = append(report.Points, RetractPoint{
+			Batch:        i + 1,
+			Facts:        len(batch),
+			Tombstoned:   st.Retracted,
+			RemovedNPs:   st.RemovedNPs,
+			RemovedRPs:   st.RemovedRPs,
+			DirtyBlocks:  st.DirtyComponents,
+			LiveTriples:  st.TotalTriples - sess.Stats().DeadTriples,
+			TotalTriples: st.TotalTriples,
+			RetractMS:    float64(elapsed.Microseconds()) / 1000,
+		})
+	}
+	report.Retractions = int64(sess.Stats().Retractions)
+	report.DeadTriples = sess.Stats().DeadTriples
+
+	// Read throughput, head vs as-of, over identical idle windows.
+	ix := sess.Query()
+	nps, rps := ds.OKB.NPs(), ds.OKB.RPs()
+	report.RetainedGenerations = ix.Retained()
+	const window = 250 * time.Millisecond
+
+	head := &readStats{hist: telemetry.NewRegistry().Histogram(
+		"bench_head_read_duration_seconds", "Individual head-read latency.", nil)}
+	report.HeadReads, report.HeadQPS = readPhase(readers, window, func(rs *readStats, offset int) {
+		hammer(ix, nps, rps, rs, offset)
+	}, head)
+	report.HeadLatency = latencySummaryOf(head.hist)
+
+	gens := report.RetainedGenerations
+	if len(gens) > 0 {
+		asof := &readStats{hist: telemetry.NewRegistry().Histogram(
+			"bench_asof_read_duration_seconds", "Individual as-of read latency.", nil)}
+		report.AsOfReads, report.AsOfQPS = readPhase(readers, window, func(rs *readStats, offset int) {
+			hammerAsOf(ix, nps, rps, gens, rs, offset)
+		}, asof)
+		report.AsOfLatency = latencySummaryOf(asof.hist)
+	}
+	if report.HeadQPS > 0 {
+		report.AsOfHeadRatio = report.AsOfQPS / report.HeadQPS
+	}
+	report.IngestLatency = ingestLatency(sess)
+	return report, nil
+}
+
+// gcd is Euclid's, for picking a stride coprime with the fact count.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// WriteJSON emits the report as the BENCH_retract.json artifact.
+func (r *RetractReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned text.
+func (r *RetractReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RETRACT — retraction cost vs dirty-set size, as-of vs head reads (%s, scale %g, %d workers, %d readers)\n",
+		r.Profile, r.Scale, r.Workers, r.Readers)
+	fmt.Fprintf(&b, "loaded %d triples (%d distinct facts)\n", r.LoadedTriples, r.UniqueFacts)
+	fmt.Fprintf(&b, "%6s  %6s  %10s  %8s  %8s  %6s  %8s  %10s\n",
+		"batch", "facts", "tombstoned", "rm-nps", "rm-rps", "dirty", "live", "retract")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d  %6d  %10d  %8d  %8d  %6d  %8d  %8.1fms\n",
+			p.Batch, p.Facts, p.Tombstoned, p.RemovedNPs, p.RemovedRPs,
+			p.DirtyBlocks, p.LiveTriples, p.RetractMS)
+	}
+	fmt.Fprintf(&b, "totals: %d retractions, %d dead positions\n", r.Retractions, r.DeadTriples)
+	fmt.Fprintf(&b, "reads: head %.0f qps (%d reads), as-of %.0f qps (%d reads over generations %v) — ratio %.2fx\n",
+		r.HeadQPS, r.HeadReads, r.AsOfQPS, r.AsOfReads, r.RetainedGenerations, r.AsOfHeadRatio)
+	fmt.Fprintf(&b, "head latency: %s; as-of latency: %s; ingest latency: %s\n",
+		r.HeadLatency, r.AsOfLatency, r.IngestLatency)
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunRetractSmoke(t *testing.T) {
+	// A tiny run: the assertions cover report plumbing and the
+	// retraction accounting, not the cost curve the full-scale artifact
+	// run charts.
+	report, err := RunRetract("reverb45k", 0.01, 0.6, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) == 0 {
+		t.Fatal("no retraction points recorded")
+	}
+	if report.UniqueFacts == 0 || report.LoadedTriples < report.UniqueFacts {
+		t.Fatalf("fact universe accounting wrong: %d facts, %d triples",
+			report.UniqueFacts, report.LoadedTriples)
+	}
+	dead := 0
+	for i, pt := range report.Points {
+		if pt.Batch != i+1 {
+			t.Errorf("point %d numbered %d", i, pt.Batch)
+		}
+		if pt.Tombstoned < pt.Facts {
+			t.Errorf("batch %d tombstoned %d positions for %d facts", pt.Batch, pt.Tombstoned, pt.Facts)
+		}
+		if pt.RetractMS <= 0 || pt.DirtyBlocks <= 0 {
+			t.Errorf("batch %d missing cost accounting: %+v", pt.Batch, pt)
+		}
+		dead += pt.Tombstoned
+		if pt.LiveTriples != pt.TotalTriples-dead {
+			t.Errorf("batch %d live/total/dead inconsistent: %+v (dead so far %d)", pt.Batch, pt, dead)
+		}
+		if i > 0 && pt.Facts <= report.Points[i-1].Facts {
+			t.Errorf("batch sizes not growing: %d then %d", report.Points[i-1].Facts, pt.Facts)
+		}
+	}
+	if int(report.Retractions) != len(report.Points) || report.DeadTriples != dead {
+		t.Errorf("totals = %d retractions / %d dead, want %d / %d",
+			report.Retractions, report.DeadTriples, len(report.Points), dead)
+	}
+	if report.HeadReads == 0 || report.HeadQPS <= 0 {
+		t.Errorf("no head reads recorded: %+v", report)
+	}
+	if len(report.RetainedGenerations) == 0 || report.AsOfReads == 0 || report.AsOfQPS <= 0 {
+		t.Errorf("no as-of reads recorded: gens %v, %d reads", report.RetainedGenerations, report.AsOfReads)
+	}
+	if report.AsOfHeadRatio <= 0 {
+		t.Errorf("as-of/head ratio missing: %+v", report)
+	}
+	if report.HeadLatency.Count == 0 || report.AsOfLatency.Count == 0 {
+		t.Errorf("read latency digests missing: %+v / %+v", report.HeadLatency, report.AsOfLatency)
+	}
+	if report.IngestLatency.Count != uint64(report.Batches+len(report.Points)) {
+		t.Errorf("ingest latency count = %d, want %d loads + %d retractions",
+			report.IngestLatency.Count, report.Batches, len(report.Points))
+	}
+	if report.Format() == "" {
+		t.Fatal("empty Format output")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round RetractReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.DeadTriples != report.DeadTriples || round.AsOfHeadRatio != report.AsOfHeadRatio {
+		t.Fatal("JSON round-trip changed the report")
+	}
+}

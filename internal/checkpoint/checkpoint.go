@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/factorgraph"
 	"repro/internal/okb"
+	"repro/internal/query"
 )
 
 // Version is the current checkpoint format version. Readers accept
@@ -21,7 +22,11 @@ import (
 // table (Symbols) and rekeyed the warm state on symbol ids / factor
 // signature hashes; version-1 files carry string-keyed warm state that
 // cannot be mapped onto the id-keyed stack, so they are rejected.
-const Version = 2
+// Version 3 added retraction state (Dead, EpochDead, Retractions) and
+// the query retention ring (QueryGenerations); version-2 files predate
+// tombstones — a session restored from one could silently resurrect
+// retracted triples — so they are rejected too.
+const Version = 3
 
 // DefaultFileName is the canonical checkpoint file name inside a
 // checkpoint directory (the serving layer keeps one file per
@@ -105,6 +110,23 @@ type Snapshot struct {
 	// Behind accounting resumes where it left off.
 	QueryEnabled    bool
 	QueryGeneration int64
+
+	// Dead lists every tombstoned triple position, ascending — the
+	// retraction state of the accumulated stream. EpochDead is the
+	// subset that was already dead when the current epoch's frozen
+	// statistics were derived (the epoch counted live triples only):
+	// restore rebuilds the epoch over (Triples[:EpochTriples], EpochDead),
+	// frozen-extends with the suffix, and re-tombstones Dead - EpochDead,
+	// reproducing the live session's store bit for bit. Retractions is
+	// the committed retraction-batch counter.
+	Dead        []int
+	EpochDead   []int
+	Retractions int
+
+	// QueryGenerations is the retained generation ring, flattened
+	// (oldest first, head last), so as-of reads survive a restart
+	// bitwise-intact. Empty when the query index is disabled.
+	QueryGenerations []query.GenerationSnapshot
 }
 
 // Validate checks the snapshot's internal consistency (the structural
@@ -123,6 +145,26 @@ func (s *Snapshot) Validate() error {
 		return fmt.Errorf("checkpoint: %d batches recorded but no result", s.Batches)
 	case s.Batches == 0 && (len(s.Triples) > 0 || s.Result != nil):
 		return fmt.Errorf("checkpoint: state recorded for an empty session")
+	case s.Retractions < 0:
+		return fmt.Errorf("checkpoint: negative retraction counter %d", s.Retractions)
+	case len(s.EpochDead) > len(s.Dead):
+		return fmt.Errorf("checkpoint: epoch dead set (%d) larger than dead set (%d)", len(s.EpochDead), len(s.Dead))
+	}
+	for i, id := range s.Dead {
+		if id < 0 || id >= len(s.Triples) {
+			return fmt.Errorf("checkpoint: dead id %d outside triples [0, %d)", id, len(s.Triples))
+		}
+		if i > 0 && s.Dead[i-1] >= id {
+			return fmt.Errorf("checkpoint: dead ids not strictly ascending at %d", i)
+		}
+	}
+	for i, id := range s.EpochDead {
+		if id < 0 || id >= s.EpochTriples {
+			return fmt.Errorf("checkpoint: epoch dead id %d outside epoch prefix [0, %d)", id, s.EpochTriples)
+		}
+		if i > 0 && s.EpochDead[i-1] >= id {
+			return fmt.Errorf("checkpoint: epoch dead ids not strictly ascending at %d", i)
+		}
 	}
 	return nil
 }
@@ -172,6 +214,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 	}
 	version := binary.LittleEndian.Uint32(header[8:12])
 	if version != Version {
+		if version == 2 {
+			return nil, fmt.Errorf("checkpoint: format version 2 predates retraction support and cannot be restored safely; re-checkpoint from a live session (this build reads version %d)", Version)
+		}
 		return nil, fmt.Errorf("checkpoint: unsupported format version %d (this build reads version %d)", version, Version)
 	}
 	n := binary.LittleEndian.Uint64(header[12:20])

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/factorgraph"
 	"repro/internal/okb"
+	"repro/internal/query"
 )
 
 // testSnapshot builds a snapshot exercising every serialized field,
@@ -67,6 +68,20 @@ func testSnapshot() *Snapshot {
 		},
 		QueryEnabled:    true,
 		QueryGeneration: 2,
+		Dead:            []int{0},
+		EpochDead:       []int{0},
+		Retractions:     1,
+		QueryGenerations: []query.GenerationSnapshot{
+			{
+				ID:      2,
+				Triples: 2,
+				NPInfo: map[string]query.PhraseInfo{
+					"obama": {Canonical: "barack obama", Target: "e1"},
+				},
+				NPClusters: map[string][]string{"barack obama": {"barack obama", "obama"}},
+				SubjPost:   map[string][]int{"barack obama": {1}},
+			},
+		},
 	}
 }
 
@@ -137,6 +152,16 @@ func TestReadRejectsCorruption(t *testing.T) {
 		t.Errorf("version-1 checkpoint not rejected: %v", err)
 	}
 
+	// Version-2 files predate retraction support: their silently-empty
+	// dead set could resurrect retracted triples on restore, so they are
+	// rejected with an explicit version error, never migrated.
+	v2 := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(v2[8:12], 2)
+	_, err := Read(bytes.NewReader(v2))
+	if err == nil || !strings.Contains(err.Error(), "version 2 predates retraction support") {
+		t.Errorf("version-2 checkpoint not rejected with the retraction-support error: %v", err)
+	}
+
 	huge := append([]byte(nil), raw...)
 	binary.LittleEndian.PutUint64(huge[12:20], 1<<62)
 	if _, err := Read(bytes.NewReader(huge)); err == nil {
@@ -152,6 +177,10 @@ func TestValidateRejectsInconsistentSnapshots(t *testing.T) {
 		func(s *Snapshot) { s.Triples = nil },
 		func(s *Snapshot) { s.Result = nil },
 		func(s *Snapshot) { s.Batches = 0 },
+		func(s *Snapshot) { s.Retractions = -1 },
+		func(s *Snapshot) { s.Dead = []int{1, 1} },
+		func(s *Snapshot) { s.Dead = []int{-1} },
+		func(s *Snapshot) { s.Dead = nil; s.EpochDead = []int{0} },
 	}
 	for i, mutate := range cases {
 		snap := testSnapshot()

@@ -54,8 +54,59 @@ type CanonDelta struct {
 	// un-re-applied relabel reverts silently.
 	ReassignedNPs []int32
 	ReassignedRPs []int32
+	// RemovedNPs / RemovedRPs list, sorted, the symbol ids of phrases
+	// whose last live mention was retracted before this build: the new
+	// graph has no variables for them, so the ran-block walk above
+	// cannot see them and the write path injects them from the store
+	// retraction instead (CanonDelta.AddRemovals). Each removal is a
+	// cluster-split event — the phrase leaves whatever cluster it
+	// belonged to, and consumers must delete its entries and rewrite
+	// the cluster it left behind. Phrases that lost mentions but still
+	// have live ones keep their pair variables and are covered by the
+	// touched sets as usual, which is what keeps downstream maintenance
+	// O(dirty) under retraction.
+	RemovedNPs []int32
+	RemovedRPs []int32
 	// BlocksRan counts the partition blocks that ran BP this build.
 	BlocksRan int
+}
+
+// AddRemovals records phrases retracted out of existence since the
+// previous build. Ids must be sorted; the call merges them into the
+// removed sets (duplicates collapse). The write path calls this after
+// RunIncremental because removed phrases have no variables for the
+// delta derivation to find.
+func (d *CanonDelta) AddRemovals(nps, rps []int32) {
+	d.RemovedNPs = mergeSorted(d.RemovedNPs, nps)
+	d.RemovedRPs = mergeSorted(d.RemovedRPs, rps)
+}
+
+// mergeSorted merges two sorted id slices, dropping duplicates.
+func mergeSorted(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return slices.Clone(b)
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // canonDelta assembles the delta for one RunIncremental build from the

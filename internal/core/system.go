@@ -587,6 +587,9 @@ func (s *System) addFactInclusionFactors(wid int) []int {
 	highRow, lowRow := []float64{high}, []float64{low}
 	var out []int
 	for ti := 0; ti < s.res.OKB.Len(); ti++ {
+		if s.res.OKB.Dead(ti) {
+			continue // retracted: its U4 evidence goes with it
+		}
 		t := s.res.OKB.Triple(ti)
 		si, pi, oi := npIdx[t.Subj], rpIdx[t.Pred], npIdx[t.Obj]
 		if t.Subj == t.Obj {

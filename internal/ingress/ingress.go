@@ -41,11 +41,30 @@ type Backend interface {
 	Prepare(batch []okb.Triple, sp *trace.Span) (Committable, error)
 }
 
+// RetractBackend is a Backend that also prepares retractions. The
+// production sessionBackend implements it; fakes that only script
+// append behavior can skip it (Retract submissions then fail).
+type RetractBackend interface {
+	Backend
+	// PrepareRetract tombstones every live triple matching a batch
+	// member by (subject, predicate, object) and rebuilds the graph
+	// without the retracted evidence. Same calling contract as Prepare.
+	PrepareRetract(batch []okb.Triple, sp *trace.Span) (Committable, error)
+}
+
 // sessionBackend adapts a stream.Session to the Backend interface.
 type sessionBackend struct{ s *stream.Session }
 
 func (b sessionBackend) Prepare(batch []okb.Triple, sp *trace.Span) (Committable, error) {
 	p, err := b.s.PrepareSpan(batch, sp)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (b sessionBackend) PrepareRetract(batch []okb.Triple, sp *trace.Span) (Committable, error) {
+	p, err := b.s.PrepareRetractSpan(batch, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -179,9 +198,16 @@ const (
 // item is one queued submission.
 type item struct {
 	batch []okb.Triple
-	enq   time.Time
-	state atomic.Int32
-	done  chan outcome // buffered(1); exactly one delivery if claimed
+	// retract marks a retraction submission: the batch names triples to
+	// tombstone by (subject, predicate, object) instead of triples to
+	// append. Retract items ride the same FIFO queue — their order
+	// relative to queued appends is preserved — but only coalesce with
+	// adjacent retract items (merging a retraction into an append would
+	// change both batches' meaning).
+	retract bool
+	enq     time.Time
+	state   atomic.Int32
+	done    chan outcome // buffered(1); exactly one delivery if claimed
 
 	// root is the submission's request trace span; enqSpan its queue
 	// wait. Both may be nil (tracing off). enqSpan is ended exactly
@@ -220,6 +246,12 @@ type Pipeline struct {
 
 	ch    chan *item
 	depth atomic.Int64 // queued (undequeued) items
+
+	// held is an item collect dequeued past a kind boundary (an append
+	// group ran into a queued retraction, or vice versa). The preparer
+	// leads the next group with it before receiving from the channel.
+	// Only the preparer goroutine touches it — no synchronization.
+	held *item
 
 	// ageMu guards ages, the FIFO of queued items behind the
 	// oldest-submission age accounting. Items are pushed under ageMu
@@ -374,6 +406,27 @@ func (p *Pipeline) Stats() Stats {
 // longer withdraws it: Submit then waits for (and reports) the real
 // outcome, so a reported success is never rolled back.
 func (p *Pipeline) Submit(ctx context.Context, batch []okb.Triple) (Result, error) {
+	return p.submit(ctx, batch, false)
+}
+
+// Retract queues one retraction batch and blocks like Submit. The
+// batch names triples to tombstone by (subject, predicate, object);
+// its position in the queue is its position in the stream — every
+// append submitted before it is applied first, every append submitted
+// after it sees the tombstones. Adjacent queued retractions may
+// coalesce into one merged retraction (identical to concatenating the
+// batches: members matching no live triple are skipped, and the merge
+// fails only when nothing matches at all — the poison-split machinery
+// then isolates which member batches were empty). Requires a backend
+// implementing RetractBackend; NewSession's always does.
+func (p *Pipeline) Retract(ctx context.Context, batch []okb.Triple) (Result, error) {
+	if _, ok := p.be.(RetractBackend); !ok {
+		return Result{}, fmt.Errorf("ingress: backend does not support retraction")
+	}
+	return p.submit(ctx, batch, true)
+}
+
+func (p *Pipeline) submit(ctx context.Context, batch []okb.Triple, retract bool) (Result, error) {
 	// Reject invalid batches at the door: an empty or malformed batch
 	// must not burn a queue slot, let alone a session lock.
 	if err := stream.ValidateBatch(batch); err != nil {
@@ -383,7 +436,11 @@ func (p *Pipeline) Submit(ctx context.Context, batch []okb.Triple) (Result, erro
 	// The request trace: rooted at the caller's span context (a
 	// traceparent header threaded through ctx) or a fresh trace id.
 	// Every exit below ends root with the submission's terminal state.
-	root := p.tracer.StartRequest("ingest", trace.FromContext(ctx))
+	op := "ingest"
+	if retract {
+		op = "retract"
+	}
+	root := p.tracer.StartRequest(op, trace.FromContext(ctx))
 	var tid string
 	if sc := root.Context(); sc.Valid() {
 		tid = sc.TraceID.String()
@@ -400,7 +457,7 @@ func (p *Pipeline) Submit(ctx context.Context, batch []okb.Triple) (Result, erro
 		root.EndStatus(trace.StatusShed, "queue past high-water mark")
 		return Result{}, p.shedError(int(d))
 	}
-	it := &item{batch: batch, enq: time.Now(), done: make(chan outcome, 1), root: root}
+	it := &item{batch: batch, retract: retract, enq: time.Now(), done: make(chan outcome, 1), root: root}
 	// The enqueue span must exist before the item is visible to the
 	// preparer: the claim that ends it can race an unsynchronized
 	// create otherwise.
@@ -531,6 +588,13 @@ func (p *Pipeline) agePop(it *item) {
 func (p *Pipeline) prepareLoop() {
 	defer close(p.commitCh)
 	for {
+		// A held item (dequeued past a kind boundary by the previous
+		// collect) leads the next group before anything new is received.
+		if it := p.held; it != nil {
+			p.held = nil
+			p.handle(it, false)
+			continue
+		}
 		select {
 		case it := <-p.ch:
 			if !p.claim(it) {
@@ -539,6 +603,11 @@ func (p *Pipeline) prepareLoop() {
 			p.handle(it, false)
 		case <-p.quit:
 			for {
+				if it := p.held; it != nil {
+					p.held = nil
+					p.handle(it, true)
+					continue
+				}
 				select {
 				case it := <-p.ch:
 					if !p.claim(it) {
@@ -558,11 +627,15 @@ func (p *Pipeline) prepareLoop() {
 // not linger for stragglers that cannot arrive).
 func (p *Pipeline) handle(lead *item, draining bool) {
 	grp := p.collect(lead, draining)
+	groupName := "ingest-group"
+	if lead.retract {
+		groupName = "retract-group"
+	}
 
 	// One group trace per merged ingest; every member submission's
 	// request trace links to it, which is how a request's latency is
 	// attributed to the shared Prepare/Commit it rode.
-	groupRoot := p.tracer.StartGroup("ingest-group")
+	groupRoot := p.tracer.StartGroup(groupName)
 	groupRoot.SetAttr("coalesced", strconv.Itoa(len(grp)))
 	for _, it := range grp {
 		it.root.Link(groupRoot.Context())
@@ -579,7 +652,7 @@ func (p *Pipeline) handle(lead *item, draining bool) {
 			merged = append(merged, it.batch...)
 		}
 	}
-	prep, err := p.prepare(merged, groupRoot)
+	prep, err := p.prepare(merged, groupRoot, lead.retract)
 	if err != nil {
 		if len(grp) == 1 {
 			groupRoot.EndStatus(trace.StatusPoisoned, err.Error())
@@ -588,17 +661,21 @@ func (p *Pipeline) handle(lead *item, draining bool) {
 		}
 		// A poisoned member rejected the whole merge: re-prepare each
 		// batch alone so only the culprit fails. Each retry gets its
-		// own group trace (the member re-links to it).
+		// own group trace (the member re-links to it). Each solo
+		// prepare is a fresh Backend call, so a member that fails runs
+		// the backend's own per-prepare rollback (the session's
+		// deferred query-index Abort) — the split must never leave a
+		// failed member counted as a begun-but-never-applied ingest.
 		groupRoot.EndStatus(trace.StatusPoisoned, "merged prepare failed; split: "+err.Error())
 		p.splits.Add(1)
 		if p.met != nil {
 			p.met.splits.Inc()
 		}
 		for _, it := range grp {
-			solo := p.tracer.StartGroup("ingest-group")
+			solo := p.tracer.StartGroup(groupName)
 			solo.SetAttr("coalesced", "1")
 			it.root.Link(solo.Context())
-			prep, err := p.prepare(it.batch, solo)
+			prep, err := p.prepare(it.batch, solo, it.retract)
 			if err != nil {
 				solo.EndStatus(trace.StatusPoisoned, err.Error())
 				it.done <- outcome{err: err, poisoned: true}
@@ -611,12 +688,19 @@ func (p *Pipeline) handle(lead *item, draining bool) {
 	p.ship(&group{items: grp, prep: prep, coalesced: len(grp), root: groupRoot})
 }
 
-// prepare runs one Backend.Prepare under the group trace's "prepare"
-// child span and the watchdog's preparing flag + heartbeats.
-func (p *Pipeline) prepare(batch []okb.Triple, groupRoot *trace.Span) (Committable, error) {
+// prepare runs one Backend.Prepare (or RetractBackend.PrepareRetract)
+// under the group trace's "prepare" child span and the watchdog's
+// preparing flag + heartbeats.
+func (p *Pipeline) prepare(batch []okb.Triple, groupRoot *trace.Span, retract bool) (Committable, error) {
 	sp := groupRoot.StartChild("prepare")
 	p.preparing.Store(true)
-	prep, err := p.be.Prepare(batch, groupRoot)
+	var prep Committable
+	var err error
+	if retract {
+		prep, err = p.be.(RetractBackend).PrepareRetract(batch, groupRoot)
+	} else {
+		prep, err = p.be.Prepare(batch, groupRoot)
+	}
 	p.preparing.Store(false)
 	p.beat()
 	if err != nil {
@@ -629,12 +713,19 @@ func (p *Pipeline) prepare(batch []okb.Triple, groupRoot *trace.Span) (Committab
 
 // collect greedily drains queued items into lead's group, up to
 // CoalesceDepth, optionally lingering CoalesceWindow for stragglers.
+// Groups are kind-homogeneous: an item of the other kind (append vs
+// retraction) seals the group and is held for the next one — merging
+// across the boundary would reorder the stream's updates.
 func (p *Pipeline) collect(lead *item, draining bool) []*item {
 	grp := []*item{lead}
 	for len(grp) < p.cfg.CoalesceDepth {
 		select {
 		case it := <-p.ch:
 			if p.claim(it) {
+				if it.retract != lead.retract {
+					p.held = it
+					return grp
+				}
 				grp = append(grp, it)
 			}
 			continue
@@ -650,6 +741,10 @@ func (p *Pipeline) collect(lead *item, draining bool) []*item {
 			select {
 			case it := <-p.ch:
 				if p.claim(it) {
+					if it.retract != lead.retract {
+						p.held = it
+						return grp
+					}
 					grp = append(grp, it)
 				}
 			case <-timer.C:

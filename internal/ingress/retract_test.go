@@ -1,0 +1,226 @@
+package ingress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/okb"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// submitRes carries one Submit/Retract outcome back from its goroutine.
+type submitRes struct {
+	r   Result
+	err error
+}
+
+// pinned submits one batch (append or retraction) and waits until the
+// preparer has claimed it into the open group before returning, so the
+// coalescing order in a test is exactly the call order.
+func pinned(t *testing.T, p *Pipeline, batch []okb.Triple, retract bool) chan submitRes {
+	t.Helper()
+	out := make(chan submitRes, 1)
+	go func() {
+		var r Result
+		var err error
+		if retract {
+			r, err = p.Retract(context.Background(), batch)
+		} else {
+			r, err = p.Submit(context.Background(), batch)
+		}
+		out <- submitRes{r, err}
+	}()
+	want := p.Stats().Submitted + 1
+	waitFor(t, fmt.Sprintf("submission %d claimed", want), func() bool {
+		return p.Stats().Submitted == want && p.Depth() == 0
+	})
+	return out
+}
+
+// The retraction analogue of the coalescing equivalence claim: two
+// queued retractions merged into one session retraction must leave the
+// session exactly where two serial retractions would — same canonical
+// groups, same query answers, same durable log and dead set.
+func TestCoalescedRetractEqualsSerial(t *testing.T) {
+	cfg := stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+	serial := microSession(t, cfg)
+	merged := microSession(t, cfg)
+
+	preload := []okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+		{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+	}
+	extra := []okb.Triple{
+		{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "zetafoundry"},
+	}
+	retractA := []okb.Triple{{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"}}
+	retractB := []okb.Triple{{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"}}
+
+	for _, s := range []*stream.Session{serial, merged} {
+		if _, err := s.Ingest(preload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Ingest(extra); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range [][]okb.Triple{retractA, retractB} {
+		if _, err := serial.Retract(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drive the real pipeline: CoalesceDepth=2 with a generous window
+	// seals the retract group exactly when the second retraction arrives.
+	p := NewSession(merged, Config{QueueDepth: 8, CoalesceDepth: 2, CoalesceWindow: time.Minute})
+	outA := pinned(t, p, retractA, true)
+	outB := pinned(t, p, retractB, true)
+	for name, out := range map[string]chan submitRes{"A": outA, "B": outB} {
+		r := <-out
+		if r.err != nil {
+			t.Fatalf("retraction %s: %v", name, r.err)
+		}
+		if r.r.Coalesced != 2 {
+			t.Errorf("retraction %s coalesced = %d, want 2", name, r.r.Coalesced)
+		}
+		if r.r.Stats.Retracted != 2 {
+			t.Errorf("retraction %s reported %d tombstones, want the merged group's 2", name, r.r.Stats.Retracted)
+		}
+	}
+	closePipeline(t, p)
+
+	if got := merged.Stats().Retractions; got != 1 {
+		t.Fatalf("merged session ran %d retractions, want 1", got)
+	}
+	if serial.Stats().DeadTriples != 2 || merged.Stats().DeadTriples != 2 {
+		t.Fatalf("dead counts = %d vs %d, want 2 each",
+			serial.Stats().DeadTriples, merged.Stats().DeadTriples)
+	}
+	sameResult(t, serial.Snapshot(), merged.Snapshot(), "retract")
+	sameQueryAnswers(t, serial, merged, "retract")
+	sameCheckpointLog(t, serial, merged, "retract")
+	sa, sb := serial.CheckpointState(), merged.CheckpointState()
+	if fmt.Sprint(sa.Dead) != fmt.Sprint(sb.Dead) || fmt.Sprint(sa.EpochDead) != fmt.Sprint(sb.EpochDead) {
+		t.Errorf("dead sets diverge: %v/%v vs %v/%v", sa.Dead, sa.EpochDead, sb.Dead, sb.EpochDead)
+	}
+}
+
+// Appends and retractions never merge across each other: a queued item
+// of the other kind seals the open group and leads the next one, so
+// queue position stays stream position.
+func TestKindBoundarySealsCoalescedGroups(t *testing.T) {
+	sess := microSession(t, stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}})
+	if _, err := sess.Ingest([]okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewSession(sess, Config{QueueDepth: 8, CoalesceDepth: 8, CoalesceWindow: time.Minute})
+	// append, retract, append: the retract seals the first append group
+	// (despite CoalesceDepth leaving room), and the final append seals
+	// the retract group — three merged operations, coalesced=1 each.
+	outs := []chan submitRes{
+		pinned(t, p, []okb.Triple{{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"}}, false),
+		pinned(t, p, []okb.Triple{{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"}}, true),
+		pinned(t, p, []okb.Triple{{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"}}, false),
+	}
+	closePipeline(t, p)
+	for i, out := range outs {
+		r := <-out
+		if r.err != nil {
+			t.Fatalf("submission %d: %v", i+1, r.err)
+		}
+		if r.r.Coalesced != 1 {
+			t.Errorf("submission %d coalesced = %d, want 1 (kind boundary must seal the group)", i+1, r.r.Coalesced)
+		}
+	}
+	if st := p.Stats(); st.MergedIngests != 3 || st.CoalescedBatches != 3 {
+		t.Errorf("stats = %+v, want 3 separate merged operations", st)
+	}
+
+	// The stream saw the operations in queue order: the retraction
+	// tombstoned the pre-queue triple, and the append after it landed on
+	// a live session.
+	st := sess.Stats()
+	if st.Retractions != 1 || st.DeadTriples != 1 {
+		t.Errorf("session stats = %+v, want 1 retraction / 1 dead triple", st)
+	}
+	ix := sess.Query()
+	if _, ok := ix.ResolveNP("gammaworks"); ok {
+		t.Error("retraction queued between appends did not land")
+	}
+	if _, ok := ix.ResolveNP("alpha corp"); !ok {
+		t.Error("append queued after the retraction did not land")
+	}
+}
+
+// Regression for the split-abort accounting bug: when a merged retract
+// group matches nothing, the split re-prepares each member alone and
+// every solo prepare fails too. Each aborted member must run the query
+// index's per-prepare rollback — otherwise Behind() is left permanently
+// positive and every subsequent read reports a stale index.
+func TestRetractSplitAbortKeepsQueryAccounting(t *testing.T) {
+	sess := microSession(t, stream.Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}})
+	if _, err := sess.Ingest([]okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewSession(sess, Config{QueueDepth: 8, CoalesceDepth: 2, CoalesceWindow: time.Minute})
+	// Two no-match retractions coalesce; the merged prepare fails (no
+	// member matches any live triple), splits, and both solo prepares
+	// fail the same way.
+	outA := pinned(t, p, []okb.Triple{{Subj: "nobody", Pred: "know", Obj: "this"}}, true)
+	outB := pinned(t, p, []okb.Triple{{Subj: "nothing", Pred: "match", Obj: "either"}}, true)
+	for name, out := range map[string]chan submitRes{"A": outA, "B": outB} {
+		r := <-out
+		if r.err == nil {
+			t.Fatalf("no-match retraction %s reported success: %+v", name, r.r)
+		}
+		if !errors.Is(r.err, stream.ErrNoLiveMatch) {
+			t.Errorf("retraction %s error = %v, want ErrNoLiveMatch through the pipeline", name, r.err)
+		}
+	}
+	if st := p.Stats(); st.Splits != 1 {
+		t.Errorf("stats = %+v, want exactly 1 split", st)
+	}
+
+	// The core assertion: every aborted member rolled its Begin back, so
+	// the index does not claim to be behind a write that never happened.
+	ix := sess.Query()
+	if behind := ix.Behind(); behind != 0 {
+		t.Fatalf("Behind() = %d after all-abort split, want 0", behind)
+	}
+	gi, ok := ix.Generation()
+	if !ok || gi.Generation != 1 || gi.Behind != 0 {
+		t.Fatalf("generation after failed retractions = %+v (ok=%v), want unchanged gen 1", gi, ok)
+	}
+
+	// And the session still makes forward progress: the next successful
+	// operations publish at the correct next generations.
+	if _, err := p.Submit(context.Background(), []okb.Triple{{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"}}); err != nil {
+		t.Fatal(err)
+	}
+	if gi, ok := ix.Generation(); !ok || gi.Generation != 2 {
+		t.Errorf("append after failed retractions published generation %+v (ok=%v), want 2", gi, ok)
+	}
+	if _, err := p.Retract(context.Background(), []okb.Triple{{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"}}); err != nil {
+		t.Fatalf("live retraction after failed ones: %v", err)
+	}
+	closePipeline(t, p)
+	gi, ok = ix.Generation()
+	if !ok || gi.Generation != 3 || gi.Behind != 0 {
+		t.Errorf("final generation = %+v (ok=%v), want gen 3 behind 0", gi, ok)
+	}
+}

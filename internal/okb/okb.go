@@ -99,6 +99,16 @@ type Store struct {
 	// the spare capacity; every other one copies, which is what keeps
 	// sibling Appends of one store independent.
 	extended atomic.Bool
+
+	// dead is the complete set of tombstoned triple ids (positions in
+	// triples). Retracted triples keep their array positions — those
+	// positions are load-bearing identities for query postings and
+	// retained read generations — but leave every index: mention lists,
+	// the sorted phrase lists, and (on epoch rebuild) the IDF counts.
+	// The set is shared by pointer between stores derived by Append and
+	// copied, never mutated, by RetractIDs.
+	dead  map[int]struct{}
+	nDead int
 }
 
 // NewStore indexes the given triples. Triple IDs are reassigned to the
@@ -113,6 +123,17 @@ func NewStore(triples []Triple) *Store {
 // refresh, which is what lets warm inference state keyed on those ids
 // survive the rebuild.
 func NewStoreWithSymbols(triples []Triple, syms *SymbolTable) *Store {
+	return NewStoreRetaining(triples, nil, syms)
+}
+
+// NewStoreRetaining indexes the given triples while keeping the listed
+// positions tombstoned: dead triples stay in the array (so positional
+// ids remain valid for as-of readers) but contribute nothing to the
+// mention lists, phrase lists, or IDF counts. Their surface forms are
+// still interned — symbol ids are never reused — and out-of-range ids
+// are ignored. It is how an epoch refresh rebuilds its statistics over
+// only the live triples of a stream that has seen retractions.
+func NewStoreRetaining(triples []Triple, dead []int, syms *SymbolTable) *Store {
 	if syms == nil {
 		syms = NewSymbolTable()
 	}
@@ -123,12 +144,24 @@ func NewStoreWithSymbols(triples []Triple, syms *SymbolTable) *Store {
 		syms:       syms,
 	}
 	copy(s.triples, triples)
+	if len(dead) > 0 {
+		s.dead = make(map[int]struct{}, len(dead))
+		for _, id := range dead {
+			if id >= 0 && id < len(s.triples) {
+				s.dead[id] = struct{}{}
+			}
+		}
+		s.nDead = len(s.dead)
+	}
 	for i := range s.triples {
 		s.triples[i].ID = i
 		t := &s.triples[i]
 		syms.Intern(t.Subj)
 		syms.Intern(t.Pred)
 		syms.Intern(t.Obj)
+		if _, gone := s.dead[i]; gone {
+			continue
+		}
 		s.npMentions[t.Subj] = append(s.npMentions[t.Subj], Mention{i, SubjSlot})
 		s.npMentions[t.Obj] = append(s.npMentions[t.Obj], Mention{i, ObjSlot})
 		s.rpMentions[t.Pred] = append(s.rpMentions[t.Pred], i)
@@ -159,16 +192,22 @@ func sortedKeysInt(m map[string][]int) []string {
 }
 
 func (s *Store) allNPOccurrences() []string {
-	out := make([]string, 0, 2*len(s.triples))
+	out := make([]string, 0, 2*(len(s.triples)-s.nDead))
 	for i := range s.triples {
+		if _, gone := s.dead[i]; gone {
+			continue
+		}
 		out = append(out, s.triples[i].Subj, s.triples[i].Obj)
 	}
 	return out
 }
 
 func (s *Store) allRPOccurrences() []string {
-	out := make([]string, 0, len(s.triples))
+	out := make([]string, 0, len(s.triples)-s.nDead)
 	for i := range s.triples {
+		if _, gone := s.dead[i]; gone {
+			continue
+		}
 		out = append(out, s.triples[i].Pred)
 	}
 	return out
@@ -200,7 +239,7 @@ const maxAppendDepth = 16
 // NewStore.
 func (s *Store) Append(more []Triple, freezeIDF bool) *Store {
 	if !freezeIDF {
-		return NewStoreWithSymbols(append(s.Triples(), more...), s.syms)
+		return NewStoreRetaining(append(s.Triples(), more...), s.DeadIDs(), s.syms)
 	}
 	grown := &Store{
 		triples:    s.appendTriples(more),
@@ -211,6 +250,8 @@ func (s *Store) Append(more []Triple, freezeIDF bool) *Store {
 		syms:       s.syms,
 		parent:     s,
 		depth:      s.depth + 1,
+		dead:       s.dead,
+		nDead:      s.nDead,
 	}
 	for i := len(s.triples); i < len(grown.triples); i++ {
 		t := &grown.triples[i]
@@ -313,6 +354,9 @@ func (s *Store) flatten() {
 	npM := make(map[string][]Mention, len(s.nps))
 	rpM := make(map[string][]int, len(s.rps))
 	for i := range s.triples {
+		if _, gone := s.dead[i]; gone {
+			continue
+		}
 		t := &s.triples[i]
 		npM[t.Subj] = append(npM[t.Subj], Mention{i, SubjSlot})
 		npM[t.Obj] = append(npM[t.Obj], Mention{i, ObjSlot})
@@ -323,8 +367,39 @@ func (s *Store) flatten() {
 	s.depth = 0
 }
 
-// Len returns the number of triples.
+// Len returns the number of triple positions, live and tombstoned:
+// Triple(i) is valid for every i < Len(), including retracted ones
+// (as-of readers still dereference them). LiveLen counts only the
+// triples the indexes see.
 func (s *Store) Len() int { return len(s.triples) }
+
+// LiveLen returns the number of live (non-tombstoned) triples.
+func (s *Store) LiveLen() int { return len(s.triples) - s.nDead }
+
+// Dead reports whether position i holds a retracted triple. Iterators
+// over [0, Len()) that feed inference or mining must skip dead
+// positions.
+func (s *Store) Dead(i int) bool {
+	_, gone := s.dead[i]
+	return gone
+}
+
+// DeadCount returns the number of tombstoned positions.
+func (s *Store) DeadCount() int { return s.nDead }
+
+// DeadIDs returns the tombstoned positions in ascending order (nil
+// when the store has never seen a retraction).
+func (s *Store) DeadIDs() []int {
+	if s.nDead == 0 {
+		return nil
+	}
+	out := make([]int, 0, s.nDead)
+	for id := range s.dead {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // OverlayDepth reports how many incremental-Append layers sit between
 // this store and its flattened base (0 = base store). It is a health

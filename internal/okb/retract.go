@@ -1,0 +1,178 @@
+package okb
+
+import "sort"
+
+// Retraction describes what one Retract/RetractIDs call removed: the
+// tombstoned positions and the surface forms whose last live mention
+// went with them (they leave the store's NPs/RPs lists; their symbol
+// ids remain interned and are never reused).
+type Retraction struct {
+	// IDs are the newly tombstoned triple positions, ascending.
+	IDs []int
+	// RemovedNPs / RemovedRPs are the surfaces with no live mentions
+	// left after this retraction, in sorted order.
+	RemovedNPs []string
+	RemovedRPs []string
+}
+
+// Empty reports whether the retraction removed nothing.
+func (r Retraction) Empty() bool { return len(r.IDs) == 0 }
+
+// Retract supersedes triples by (S,P,O) identity: every live triple
+// whose subject, predicate, and object equal a batch member is
+// tombstoned. Gold columns and positions are ignored for matching —
+// a retraction names content, not a specific occurrence, so duplicate
+// extractions of one fact all go at once. The receiver is unchanged
+// (stores stay immutable); the returned store shares everything except
+// the touched surfaces' mention lists. Batch members that match no
+// live triple are silently skipped — callers that must reject unknown
+// retractions check Retraction.IDs against their own expectations.
+func (s *Store) Retract(batch []Triple) (*Store, Retraction) {
+	seen := make(map[int]struct{})
+	var ids []int
+	for _, b := range batch {
+		for _, m := range s.NPMentions(b.Subj) {
+			if m.Slot != SubjSlot {
+				continue
+			}
+			t := &s.triples[m.Triple]
+			if t.Pred != b.Pred || t.Obj != b.Obj {
+				continue
+			}
+			if _, dup := seen[m.Triple]; dup {
+				continue
+			}
+			seen[m.Triple] = struct{}{}
+			ids = append(ids, m.Triple)
+		}
+	}
+	return s.RetractIDs(ids)
+}
+
+// RetractIDs tombstones the given triple positions. Out-of-range and
+// already-dead positions are ignored. The returned store is a shrink-
+// aware overlay: the physical triples array is shared untouched (dead
+// positions stay dereferenceable for as-of readers), the touched
+// surfaces' mention lists are rewritten without the dead ids, surfaces
+// left without live mentions drop out of NPs/RPs, and the frozen IDF
+// tables are kept as-is — the epoch statistics saw the retracted
+// triples and stay frozen until the next refresh recounts over live
+// triples only (NewStoreRetaining).
+func (s *Store) RetractIDs(ids []int) (*Store, Retraction) {
+	gone := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if id < 0 || id >= len(s.triples) {
+			continue
+		}
+		if _, dead := s.dead[id]; dead {
+			continue
+		}
+		gone[id] = struct{}{}
+	}
+	if len(gone) == 0 {
+		return s, Retraction{}
+	}
+
+	dead := make(map[int]struct{}, s.nDead+len(gone))
+	for id := range s.dead {
+		dead[id] = struct{}{}
+	}
+	for id := range gone {
+		dead[id] = struct{}{}
+	}
+	out := &Store{
+		triples:    s.triples,
+		npMentions: make(map[string][]Mention, 2*len(gone)),
+		rpMentions: make(map[string][]int, len(gone)),
+		npIDF:      s.npIDF,
+		rpIDF:      s.rpIDF,
+		syms:       s.syms,
+		parent:     s,
+		depth:      s.depth + 1,
+		dead:       dead,
+		nDead:      len(dead),
+	}
+	// The overlay shares s's backing array at the same length. Exactly
+	// one store per array may grow it in place: claim s's right if it is
+	// still unclaimed, otherwise force out to copy on its next Append.
+	if !s.extended.CompareAndSwap(false, true) {
+		out.extended.Store(true)
+	}
+
+	ret := Retraction{IDs: make([]int, 0, len(gone))}
+	for id := range gone {
+		ret.IDs = append(ret.IDs, id)
+	}
+	sort.Ints(ret.IDs)
+
+	touchedNP := make(map[string]struct{}, 2*len(gone))
+	touchedRP := make(map[string]struct{}, len(gone))
+	for id := range gone {
+		t := &s.triples[id]
+		touchedNP[t.Subj] = struct{}{}
+		touchedNP[t.Obj] = struct{}{}
+		touchedRP[t.Pred] = struct{}{}
+	}
+	for np := range touchedNP {
+		old := s.NPMentions(np)
+		kept := make([]Mention, 0, len(old))
+		for _, m := range old {
+			if _, g := gone[m.Triple]; !g {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == 0 {
+			// An explicit nil entry: lookups stop here instead of falling
+			// through to the parent's stale list, and a later Append sees
+			// the surface as brand new.
+			out.npMentions[np] = nil
+			ret.RemovedNPs = append(ret.RemovedNPs, np)
+			continue
+		}
+		out.npMentions[np] = kept[:len(kept):len(kept)]
+	}
+	for rp := range touchedRP {
+		old := s.RPMentions(rp)
+		kept := make([]int, 0, len(old))
+		for _, ti := range old {
+			if _, g := gone[ti]; !g {
+				kept = append(kept, ti)
+			}
+		}
+		if len(kept) == 0 {
+			out.rpMentions[rp] = nil
+			ret.RemovedRPs = append(ret.RemovedRPs, rp)
+			continue
+		}
+		out.rpMentions[rp] = kept[:len(kept):len(kept)]
+	}
+	sort.Strings(ret.RemovedNPs)
+	sort.Strings(ret.RemovedRPs)
+	out.nps = removeSorted(s.nps, ret.RemovedNPs)
+	out.rps = removeSorted(s.rps, ret.RemovedRPs)
+	if out.depth >= maxAppendDepth {
+		out.flatten()
+	}
+	return out, ret
+}
+
+// removeSorted returns sorted minus gone (both sorted ascending). The
+// input slices are unchanged; with nothing to remove the original
+// slice is returned as-is.
+func removeSorted(sorted, gone []string) []string {
+	if len(gone) == 0 {
+		return sorted
+	}
+	out := make([]string, 0, len(sorted)-len(gone))
+	j := 0
+	for _, v := range sorted {
+		for j < len(gone) && gone[j] < v {
+			j++
+		}
+		if j < len(gone) && gone[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

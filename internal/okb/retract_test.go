@@ -1,0 +1,165 @@
+package okb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// retractSample has a duplicate extraction of one fact (ids 0 and 2)
+// and a surface ("Maryland") that appears in two triples, so a single
+// retraction exercises supersede-by-content, partial mention rewrites,
+// and last-mention removal at once.
+func retractSample() []Triple {
+	return []Triple{
+		{Subj: "University of Maryland", Pred: "locate in", Obj: "Maryland"},
+		{Subj: "UMD", Pred: "be a member of", Obj: "Universitas 21"},
+		{Subj: "University of Maryland", Pred: "locate in", Obj: "Maryland"},
+		{Subj: "Johns Hopkins", Pred: "locate in", Obj: "Maryland"},
+	}
+}
+
+func TestRetractSupersedesBySPO(t *testing.T) {
+	s := NewStore(retractSample())
+	out, ret := s.Retract([]Triple{{Subj: "University of Maryland", Pred: "locate in", Obj: "Maryland"}})
+
+	// Both duplicate extractions of the fact go at once.
+	if !reflect.DeepEqual(ret.IDs, []int{0, 2}) {
+		t.Fatalf("retracted ids = %v, want [0 2]", ret.IDs)
+	}
+	// "University of Maryland" had no other live mention; "Maryland" and
+	// "locate in" survive through id 3.
+	if !reflect.DeepEqual(ret.RemovedNPs, []string{"University of Maryland"}) {
+		t.Errorf("RemovedNPs = %v, want [University of Maryland]", ret.RemovedNPs)
+	}
+	if len(ret.RemovedRPs) != 0 {
+		t.Errorf("RemovedRPs = %v, want none", ret.RemovedRPs)
+	}
+
+	// Dead positions stay physically present and dereferenceable.
+	if out.Len() != 4 || out.LiveLen() != 2 || out.DeadCount() != 2 {
+		t.Errorf("Len/LiveLen/DeadCount = %d/%d/%d, want 4/2/2", out.Len(), out.LiveLen(), out.DeadCount())
+	}
+	if !out.Dead(0) || out.Dead(1) || !out.Dead(2) || out.Dead(3) {
+		t.Errorf("dead flags wrong: %v", out.DeadIDs())
+	}
+	if got := out.Triple(0).Subj; got != "University of Maryland" {
+		t.Errorf("dead triple no longer dereferenceable: %q", got)
+	}
+
+	// Removed surfaces drop out of the live views; shared surfaces keep
+	// only their live mentions.
+	for _, np := range out.NPs() {
+		if np == "University of Maryland" {
+			t.Errorf("removed NP still listed in NPs()")
+		}
+	}
+	if ms := out.NPMentions("University of Maryland"); len(ms) != 0 {
+		t.Errorf("removed NP still has mentions: %v", ms)
+	}
+	if ms := out.NPMentions("Maryland"); len(ms) != 1 || ms[0].Triple != 3 {
+		t.Errorf("Maryland mentions = %v, want only triple 3", ms)
+	}
+	if ms := out.RPMentions("locate in"); len(ms) != 1 || ms[0] != 3 {
+		t.Errorf("locate in mentions = %v, want [3]", ms)
+	}
+
+	// The receiver is immutable: the pre-retraction store still serves
+	// everything live.
+	if s.DeadCount() != 0 || s.LiveLen() != 4 {
+		t.Errorf("receiver mutated: dead=%d live=%d", s.DeadCount(), s.LiveLen())
+	}
+	if ms := s.NPMentions("University of Maryland"); len(ms) != 2 {
+		t.Errorf("receiver lost mentions: %v", ms)
+	}
+}
+
+func TestRetractIDsIgnoresOutOfRangeAndDead(t *testing.T) {
+	s := NewStore(retractSample())
+	s1, ret := s.RetractIDs([]int{1})
+	if !reflect.DeepEqual(ret.IDs, []int{1}) {
+		t.Fatalf("first retraction = %v", ret.IDs)
+	}
+	// Out-of-range and already-dead ids are skipped; matching nothing
+	// returns the receiver itself with an empty retraction.
+	s2, ret2 := s1.RetractIDs([]int{-1, 99, 1})
+	if !ret2.Empty() {
+		t.Errorf("no-op retraction reported removals: %+v", ret2)
+	}
+	if s2 != s1 {
+		t.Errorf("no-op retraction allocated a new store")
+	}
+}
+
+func TestRetractThenAppendNeverReusesIDs(t *testing.T) {
+	s := NewStore(retractSample())
+	s1, ret := s.Retract([]Triple{{Subj: "UMD", Pred: "be a member of", Obj: "Universitas 21"}})
+	if !reflect.DeepEqual(ret.IDs, []int{1}) {
+		t.Fatalf("retracted ids = %v, want [1]", ret.IDs)
+	}
+	if !reflect.DeepEqual(ret.RemovedNPs, []string{"UMD", "Universitas 21"}) {
+		t.Fatalf("RemovedNPs = %v", ret.RemovedNPs)
+	}
+
+	// Re-adding the same surface appends at a fresh position: the dead
+	// id stays dead, and the surface's mentions list holds only the new
+	// occurrence — it came back as a brand-new phrase.
+	s2 := s1.Append([]Triple{{Subj: "UMD", Pred: "locate in", Obj: "Maryland"}}, true)
+	if s2.Len() != 5 || s2.LiveLen() != 4 {
+		t.Fatalf("Len/LiveLen = %d/%d, want 5/4", s2.Len(), s2.LiveLen())
+	}
+	if !s2.Dead(1) {
+		t.Errorf("dead id resurrected by append")
+	}
+	ms := s2.NPMentions("UMD")
+	if len(ms) != 1 || ms[0].Triple != 4 {
+		t.Errorf("re-added surface mentions = %v, want only the new triple 4", ms)
+	}
+}
+
+func TestRetractOverlayDoesNotShareParentGrowth(t *testing.T) {
+	// The retraction overlay claims the parent's right to grow the
+	// shared backing array: an Append on the parent afterwards must
+	// copy, leaving the overlay's view intact.
+	s := NewStore(retractSample())
+	s1, _ := s.RetractIDs([]int{3})
+	s2 := s.Append([]Triple{{Subj: "Gallaudet", Pred: "locate in", Obj: "Washington"}}, true)
+
+	if s1.Len() != 4 || s1.LiveLen() != 3 {
+		t.Errorf("overlay grew under parent append: Len/LiveLen = %d/%d", s1.Len(), s1.LiveLen())
+	}
+	if s2.Len() != 5 || s2.DeadCount() != 0 {
+		t.Errorf("parent append lost triples or inherited tombstones: Len=%d dead=%d", s2.Len(), s2.DeadCount())
+	}
+	if ms := s2.NPMentions("Johns Hopkins"); len(ms) != 1 {
+		t.Errorf("parent lineage lost the triple the overlay tombstoned: %v", ms)
+	}
+}
+
+func TestNewStoreRetainingMatchesRetractedViews(t *testing.T) {
+	triples := retractSample()
+	s := NewStore(triples)
+	overlay, ret := s.Retract([]Triple{{Subj: "University of Maryland", Pred: "locate in", Obj: "Maryland"}})
+
+	// A from-scratch build excluding the dead set serves the same live
+	// views the overlay does — the restore path depends on it.
+	rebuilt := NewStoreRetaining(s.Triples(), ret.IDs, s.Symbols())
+	if !reflect.DeepEqual(rebuilt.NPs(), overlay.NPs()) {
+		t.Errorf("NPs diverge:\nrebuilt %v\noverlay %v", rebuilt.NPs(), overlay.NPs())
+	}
+	if !reflect.DeepEqual(rebuilt.RPs(), overlay.RPs()) {
+		t.Errorf("RPs diverge:\nrebuilt %v\noverlay %v", rebuilt.RPs(), overlay.RPs())
+	}
+	if !reflect.DeepEqual(rebuilt.DeadIDs(), overlay.DeadIDs()) {
+		t.Errorf("dead sets diverge: %v vs %v", rebuilt.DeadIDs(), overlay.DeadIDs())
+	}
+	for _, np := range rebuilt.NPs() {
+		if !reflect.DeepEqual(rebuilt.NPMentions(np), overlay.NPMentions(np)) {
+			t.Errorf("NPMentions(%q) diverge: %v vs %v", np, rebuilt.NPMentions(np), overlay.NPMentions(np))
+		}
+	}
+	for _, rp := range rebuilt.RPs() {
+		if !reflect.DeepEqual(rebuilt.RPMentions(rp), overlay.RPMentions(rp)) {
+			t.Errorf("RPMentions(%q) diverge: %v vs %v", rp, rebuilt.RPMentions(rp), overlay.RPMentions(rp))
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package query_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/okb"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// capturedAnswers is everything one generation answered at publish
+// time, for later comparison against the same generation via AsOf.
+type capturedAnswers struct {
+	resolutions map[string]query.Resolution
+	clusters    map[string]query.ClusterAnswer
+	triples     map[string]query.TriplesAnswer
+}
+
+func captureHead(ix *query.Index, surfaces []string) capturedAnswers {
+	c := capturedAnswers{
+		resolutions: map[string]query.Resolution{},
+		clusters:    map[string]query.ClusterAnswer{},
+		triples:     map[string]query.TriplesAnswer{},
+	}
+	for _, s := range surfaces {
+		if r, ok := ix.ResolveNP(s); ok {
+			c.resolutions[s] = r
+		}
+		if cl, ok := ix.NPCluster(s); ok {
+			c.clusters[s] = cl
+		}
+		if ts, ok := ix.TriplesBySubject(s, 0); ok {
+			c.triples[s] = ts
+		}
+	}
+	return c
+}
+
+func TestAsOfBitwiseEqualsPublishTimeAnswers(t *testing.T) {
+	sess := microSession(t, stream.Config{
+		Core:  core.DefaultConfig(),
+		Query: query.Config{Enable: true, RetainGenerations: 3},
+	})
+	surfaces := []string{"alphacorp", "alpha corp", "gammaworks", "epsilonics", "betalabs"}
+	batches := [][]okb.Triple{
+		{{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"}},
+		{{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"}},
+		{{Subj: "alpha corp", Pred: "buy", Obj: "betalabs"}},
+		{{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"}},
+	}
+	captured := map[int64]capturedAnswers{}
+	for _, b := range batches {
+		if _, err := sess.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		gi, ok := sess.Query().Generation()
+		if !ok {
+			t.Fatal("no generation after ingest")
+		}
+		captured[gi.Generation] = captureHead(sess.Query(), surfaces)
+	}
+
+	ix := sess.Query()
+	if got := ix.Retained(); !reflect.DeepEqual(got, []int64{2, 3, 4}) {
+		t.Fatalf("Retained() = %v, want [2 3 4]", got)
+	}
+	if ix.HasGeneration(1) || !ix.HasGeneration(2) {
+		t.Fatalf("HasGeneration wrong: 1=%v 2=%v", ix.HasGeneration(1), ix.HasGeneration(2))
+	}
+
+	// Every retained generation answers exactly what it answered when it
+	// was the head — same resolutions, members, postings, and Gen stamp.
+	for _, gen := range ix.Retained() {
+		want := captured[gen]
+		for _, s := range surfaces {
+			r, ok := ix.ResolveNP(s, query.AsOf(gen))
+			wantR, wantOK := want.resolutions[s]
+			if ok != wantOK {
+				t.Fatalf("gen %d ResolveNP(%q) ok=%v, want %v", gen, s, ok, wantOK)
+			}
+			if ok {
+				// Behind was captured live and legitimately differs; the
+				// content and generation id must not.
+				r.Gen.Behind, wantR.Gen.Behind = 0, 0
+				if !reflect.DeepEqual(r, wantR) {
+					t.Errorf("gen %d ResolveNP(%q) = %+v, want %+v", gen, s, r, wantR)
+				}
+			}
+			c, ok := ix.NPCluster(s, query.AsOf(gen))
+			if wantC, wantOK := want.clusters[s]; ok == wantOK && ok {
+				c.Gen.Behind, wantC.Gen.Behind = 0, 0
+				if !reflect.DeepEqual(c, wantC) {
+					t.Errorf("gen %d NPCluster(%q) = %+v, want %+v", gen, s, c, wantC)
+				}
+			} else if ok != wantOK {
+				t.Errorf("gen %d NPCluster(%q) ok=%v, want %v", gen, s, ok, wantOK)
+			}
+			ts, ok := ix.TriplesBySubject(s, 0, query.AsOf(gen))
+			if wantT, wantOK := want.triples[s]; ok == wantOK && ok {
+				ts.Gen.Behind, wantT.Gen.Behind = 0, 0
+				if !reflect.DeepEqual(ts, wantT) {
+					t.Errorf("gen %d TriplesBySubject(%q) = %+v, want %+v", gen, s, ts, wantT)
+				}
+			} else if ok != wantOK {
+				t.Errorf("gen %d TriplesBySubject(%q) ok=%v, want %v", gen, s, ok, wantOK)
+			}
+		}
+	}
+
+	// A rolled-out or never-published generation is a miss, not an
+	// answer from the wrong view.
+	if _, ok := ix.ResolveNP("alphacorp", query.AsOf(1)); ok {
+		t.Error("rolled-out generation 1 still answered")
+	}
+	if _, ok := ix.ResolveNP("alphacorp", query.AsOf(99)); ok {
+		t.Error("unpublished generation answered")
+	}
+}
+
+func TestRetractionTombstonesQueryAnswers(t *testing.T) {
+	sess := microSession(t, stream.Config{
+		Core:  core.DefaultConfig(),
+		Query: query.Config{Enable: true, RetainGenerations: 4},
+	})
+	if _, err := sess.Ingest([]okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Ingest([]okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "deltasoft"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := sess.Retract([]okb.Triple{{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retracted != 1 || st.RemovedRPs != 1 {
+		t.Fatalf("retract stats = %+v, want 1 triple and the rp 'hire' removed", st)
+	}
+
+	ix := sess.Query()
+	gi, ok := ix.Generation()
+	if !ok || gi.Generation != 3 || gi.Behind != 0 {
+		t.Fatalf("generation after retract = %+v (ok=%v), want gen 3 behind 0", gi, ok)
+	}
+
+	// The phrases whose last live mention was retracted are gone from
+	// every view; phrases still alive through other triples remain.
+	if _, ok := ix.ResolveNP("gammaworks"); ok {
+		t.Error("retracted-away NP still resolves")
+	}
+	if _, ok := ix.ResolveRP("hire"); ok {
+		t.Error("retracted-away RP still resolves")
+	}
+	if _, ok := ix.ResolveNP("deltasoft"); !ok {
+		t.Error("NP still live via another triple stopped resolving")
+	}
+
+	// Postings drop the dead id but keep surviving ids stable.
+	ts, ok := ix.TriplesBySubject("alphacorp", 0)
+	if !ok || ts.Total != 2 {
+		t.Fatalf("TriplesBySubject(alphacorp) = %+v (ok=%v), want 2 live triples", ts, ok)
+	}
+	for _, tr := range ts.Triples {
+		if tr.Subj == "gammaworks" {
+			t.Errorf("dead triple surfaced in postings: %+v", tr)
+		}
+	}
+	if ts.Triples[0].ID != 0 || ts.Triples[1].ID != 2 {
+		t.Errorf("surviving triple ids moved: %d, %d (want 0, 2)", ts.Triples[0].ID, ts.Triples[1].ID)
+	}
+
+	// The pre-retraction generation is retained: as-of reads still see
+	// the world before the retraction.
+	r, ok := ix.ResolveNP("gammaworks", query.AsOf(2))
+	if !ok || r.Gen.Generation != 2 {
+		t.Fatalf("as-of read of pre-retraction generation failed: %+v (ok=%v)", r, ok)
+	}
+	ts2, ok := ix.TriplesByRelation("hire", 0, query.AsOf(2))
+	if !ok || ts2.Total != 1 {
+		t.Fatalf("as-of postings of retracted relation = %+v (ok=%v), want the 1 pre-retraction triple", ts2, ok)
+	}
+}

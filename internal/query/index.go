@@ -27,6 +27,12 @@ type Config struct {
 	// MaxResults hard-caps enumeration answers (triples per query),
 	// whatever limit the caller asks for. Default 1000.
 	MaxResults int
+	// RetainGenerations bounds the ring of published generations kept
+	// live for as-of reads (AsOf): the current generation plus its
+	// RetainGenerations-1 predecessors answer queries exactly as they
+	// did at publish time. Default 4; the minimum is 1 (the current
+	// generation is always retained).
+	RetainGenerations int
 }
 
 func (c *Config) defaults() {
@@ -36,6 +42,23 @@ func (c *Config) defaults() {
 	if c.MaxResults <= 0 {
 		c.MaxResults = 1000
 	}
+	if c.RetainGenerations <= 0 {
+		c.RetainGenerations = 4
+	}
+}
+
+// Tombstones carries an ingest's retraction set into Apply. Triple
+// positions are never reused — a retracted triple's id stays valid in
+// every retained generation that predates the retraction — so the sets
+// here are pure additions to the dead set, never moves.
+type Tombstones struct {
+	// Dead lists the triple ids newly tombstoned since the previous
+	// generation, ascending. Empty for append-only ingests.
+	Dead []int
+	// AllDead lists every dead id over the accumulated triples,
+	// ascending (a superset of Dead). Full rebuilds consult it; delta
+	// applies only need Dead.
+	AllDead []int
 }
 
 // PhraseInfo is one phrase's canonical-KB view: the canonicalization
@@ -99,10 +122,19 @@ type Index struct {
 	gen     atomic.Pointer[generation]
 	begun   atomic.Int64 // ingests begun (staleness numerator)
 	applied atomic.Int64 // generations published
+	// ring holds the retained generations, ascending by id with the
+	// current generation last (see Config.RetainGenerations). Published
+	// slices are immutable: Apply swaps in a fresh copy, so readers
+	// iterating a loaded ring never observe later publications.
+	ring atomic.Pointer[[]*generation]
 	// ops counts reads by operation when the index is instrumented
 	// (Instrument). Set once before the index starts serving and read
 	// lock-free by every Query method; nil means uninstrumented.
 	ops *telemetry.CounterVec
+	// asof counts as-of generation lookups by result ("hit" when the
+	// requested generation is retained, "miss" when it has rolled out
+	// of the ring or never existed).
+	asof *telemetry.CounterVec
 }
 
 // New returns an empty index (no generation yet: queries answer
@@ -122,6 +154,16 @@ func (ix *Index) Instrument(reg *telemetry.Registry) {
 	}
 	ix.ops = reg.CounterVec("jocl_query_requests_total",
 		"Query-index reads served, by operation.", "op")
+	ix.asof = reg.CounterVec("jocl_query_asof_requests_total",
+		"As-of generation lookups, by result (hit = generation retained, miss = rolled out of the ring or unknown).", "result")
+	reg.GaugeFunc("jocl_query_retained_generations",
+		"Generations currently retained for as-of reads (including the head).",
+		func() float64 {
+			if r := ix.ring.Load(); r != nil {
+				return float64(len(*r))
+			}
+			return 0
+		})
 }
 
 // observe counts one read against the instrumented op counter.
@@ -163,6 +205,11 @@ type ApplyStats struct {
 	TouchedNPs  int `json:"touched_nps"`
 	TouchedRPs  int `json:"touched_rps"`
 	KeysWritten int `json:"keys_written"`
+	// Retracted counts the triple ids this pass tombstoned out of the
+	// postings; RemovedPhrases the surfaces deleted outright (their
+	// last live mention went with the retraction).
+	Retracted      int `json:"retracted,omitempty"`
+	RemovedPhrases int `json:"removed_phrases,omitempty"`
 	// Compacted marks passes that flattened the overlay chain
 	// (amortized O(keyspace); see Config.MaxLayers).
 	Compacted bool `json:"compacted,omitempty"`
@@ -175,21 +222,27 @@ type ApplyStats struct {
 // suffix beyond the previous generation is the new batch); it is
 // aliased, not copied, so the caller must never mutate elements below
 // its length after the call — the stream session's capped-append
-// growth guarantees this. syms is the OKB's symbol table: the delta
+// growth guarantees this, and retractions tombstone positions without
+// ever rewriting them, so retained generations keep dereferencing the
+// shared array safely. tombs carries the ingest's retraction set (zero
+// for append-only ingests). syms is the OKB's symbol table: the delta
 // identifies phrases by symbol id (the inference stack is numeric end
 // to end), and the index — the read API boundary — is where ids turn
 // back into surfaces. Apply is NOT safe for concurrent use with
 // itself — the stream session's ingest lock serializes it — but is
 // safe concurrent with any number of Query readers.
-func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.Triple, syms *okb.SymbolTable) ApplyStats {
+func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.Triple, tombs Tombstones, syms *okb.SymbolTable) ApplyStats {
 	t0 := time.Now()
 	prev := ix.gen.Load()
 	id := ix.applied.Load() + 1
-	st := ApplyStats{Generation: id}
+	st := ApplyStats{Generation: id, Retracted: len(tombs.Dead)}
 	rd := resolveDelta(delta, syms)
+	if rd != nil {
+		st.RemovedPhrases = len(rd.removedNPs) + len(rd.removedRPs)
+	}
 	var g *generation
 	if prev == nil || rd == nil || rd.full {
-		g = buildFull(res, rd, triples, id)
+		g = buildFull(res, rd, triples, tombs.AllDead, id)
 		st.Full = true
 		st.KeysWritten = len(g.npInfo.m) + len(g.rpInfo.m) +
 			len(g.npClusters.m) + len(g.rpClusters.m) +
@@ -199,16 +252,33 @@ func (ix *Index) Apply(res *core.Result, delta *core.CanonDelta, triples []okb.T
 	} else {
 		st.TouchedNPs = len(rd.touchedNPs)
 		st.TouchedRPs = len(rd.touchedRPs)
-		g = prev.applyDelta(res, rd, triples, id, &st.KeysWritten)
+		g = prev.applyDelta(res, rd, triples, tombs.Dead, id, &st.KeysWritten)
 		if g.npInfo.depth >= ix.cfg.MaxLayers {
 			g = g.compact()
 			st.Compacted = true
 		}
 	}
-	ix.gen.Store(g)
+	ix.publish(g)
 	ix.applied.Store(id)
 	st.ApplyMS = float64(time.Since(t0).Microseconds()) / 1000
 	return st
+}
+
+// publish swaps in the new head generation and appends it to the
+// retention ring, trimming to Config.RetainGenerations. The ring slice
+// is copied, never mutated: readers holding a loaded ring keep a
+// frozen view.
+func (ix *Index) publish(g *generation) {
+	var ring []*generation
+	if old := ix.ring.Load(); old != nil {
+		ring = append(ring, *old...)
+	}
+	ring = append(ring, g)
+	if n := ix.cfg.RetainGenerations; len(ring) > n {
+		ring = ring[len(ring)-n:]
+	}
+	ix.gen.Store(g)
+	ix.ring.Store(&ring)
 }
 
 // resolvedDelta is a CanonDelta with its symbol ids resolved back to
@@ -217,6 +287,7 @@ type resolvedDelta struct {
 	full                         bool
 	touchedNPs, touchedRPs       []string
 	reassignedNPs, reassignedRPs []string
+	removedNPs, removedRPs       []string
 }
 
 func resolveDelta(d *core.CanonDelta, syms *okb.SymbolTable) *resolvedDelta {
@@ -229,6 +300,8 @@ func resolveDelta(d *core.CanonDelta, syms *okb.SymbolTable) *resolvedDelta {
 		touchedRPs:    resolveSyms(syms, d.TouchedRPs),
 		reassignedNPs: resolveSyms(syms, d.ReassignedNPs),
 		reassignedRPs: resolveSyms(syms, d.ReassignedRPs),
+		removedNPs:    resolveSyms(syms, d.RemovedNPs),
+		removedRPs:    resolveSyms(syms, d.RemovedRPs),
 	}
 }
 
@@ -256,7 +329,7 @@ func resolveSyms(syms *okb.SymbolTable, ids []int32) []string {
 // counters both restore to gen, so Behind accounting resumes at 0 and
 // the next ingest publishes gen+1, exactly as an uninterrupted session
 // would. Like Apply, Restore must only be called by the single writer.
-func (ix *Index) Restore(res *core.Result, triples []okb.Triple, gen int64, syms *okb.SymbolTable) {
+func (ix *Index) Restore(res *core.Result, triples []okb.Triple, dead []int, gen int64, syms *okb.SymbolTable) {
 	if gen < 1 {
 		gen = 1
 	}
@@ -264,7 +337,7 @@ func (ix *Index) Restore(res *core.Result, triples []okb.Triple, gen int64, syms
 	if rd == nil {
 		rd = &resolvedDelta{full: true}
 	}
-	ix.gen.Store(buildFull(res, rd, triples, gen))
+	ix.publish(buildFull(res, rd, triples, dead, gen))
 	ix.begun.Store(gen)
 	ix.applied.Store(gen)
 }
@@ -277,6 +350,10 @@ func (ix *Index) Restore(res *core.Result, triples []okb.Triple, gen int64, syms
 func (ix *Index) Clone() *Index {
 	out := New(ix.cfg)
 	out.gen.Store(ix.gen.Load())
+	if r := ix.ring.Load(); r != nil {
+		ring := append([]*generation(nil), *r...)
+		out.ring.Store(&ring)
+	}
 	out.begun.Store(ix.begun.Load())
 	out.applied.Store(ix.applied.Load())
 	return out
@@ -287,19 +364,34 @@ func (ix *Index) Clone() *Index {
 // benchmark prices delta maintenance against (and the cold path Apply
 // takes internally).
 func FullIndex(res *core.Result, triples []okb.Triple, cfg Config, syms *okb.SymbolTable) *Index {
+	return FullIndexRetaining(res, triples, nil, cfg, syms)
+}
+
+// FullIndexRetaining is FullIndex over a store that has seen
+// retractions: dead lists the tombstoned triple positions, which the
+// postings skip — the comparator the retract-equivalence suite prices
+// delta maintenance against.
+func FullIndexRetaining(res *core.Result, triples []okb.Triple, dead []int, cfg Config, syms *okb.SymbolTable) *Index {
 	ix := New(cfg)
 	ix.begun.Store(1)
 	ix.applied.Store(1)
-	ix.gen.Store(buildFull(res, resolveDelta(res.Delta, syms), triples, 1))
+	ix.publish(buildFull(res, resolveDelta(res.Delta, syms), triples, dead, 1))
 	return ix
 }
 
-// buildFull derives every index from scratch.
-func buildFull(res *core.Result, delta *resolvedDelta, triples []okb.Triple, id int64) *generation {
+// buildFull derives every index from scratch, skipping dead positions.
+func buildFull(res *core.Result, delta *resolvedDelta, triples []okb.Triple, dead []int, id int64) *generation {
 	g := &generation{id: id, triples: triples}
+	deadSet := make(map[int]struct{}, len(dead))
+	for _, d := range dead {
+		deadSet[d] = struct{}{}
+	}
 	subj := map[string][]int{}
 	rel := map[string][]int{}
 	for i := range g.triples {
+		if _, d := deadSet[i]; d {
+			continue
+		}
 		t := &g.triples[i]
 		subj[t.Subj] = append(subj[t.Subj], i)
 		rel[t.Pred] = append(rel[t.Pred], i)
@@ -370,9 +462,9 @@ func mergePostings(members []string, post *layered[[]int]) []int {
 }
 
 // applyDelta builds the next generation as copy-on-write overlays over
-// prev, rewriting only the keys the delta (plus the new batch and the
-// carried-forward relabels) can have changed. The expansion from the
-// touched phrase seeds to the rewritten keys is:
+// prev, rewriting only the keys the delta (plus the new batch, the
+// retraction set, and the carried-forward relabels) can have changed.
+// The expansion from the touched phrase seeds to the rewritten keys is:
 //
 //	D1 = seeds ∪ members(previous clusters of seeds)
 //	D  = D1 ∪ members(current groups intersecting D1)
@@ -382,7 +474,14 @@ func mergePostings(members []string, post *layered[[]int]) []int {
 // decision incident to itself, changed pair decisions only arise at
 // variables in ran blocks (both endpoint phrases are then seeds), and
 // the mover's old cluster and new group both intersect the seed set.
-func (prev *generation) applyDelta(res *core.Result, delta *resolvedDelta, all []okb.Triple, id int64, keys *int) *generation {
+//
+// Retraction is not delta-driven through the inference stack — a
+// surviving phrase that merely lost mentions keeps its pair variables
+// (blocking depends on the phrase set, not the mention lists), so no
+// block need have run — which is why the apply itself seeds the dead
+// triples' surfaces: their per-surface and per-cluster postings shrink
+// here, and phrases the delta marks removed are deleted outright.
+func (prev *generation) applyDelta(res *core.Result, delta *resolvedDelta, all []okb.Triple, newDead []int, id int64, keys *int) *generation {
 	g := &generation{
 		id:            id,
 		triples:       all,
@@ -390,10 +489,12 @@ func (prev *generation) applyDelta(res *core.Result, delta *resolvedDelta, all [
 		reassignedRPs: delta.reassignedRPs,
 	}
 
-	// Surface postings are append-only: only the batch's surfaces gain
-	// entries.
+	// Surface postings: the batch's surfaces gain entries, the
+	// retraction's surfaces lose the dead ids.
 	subjAdd := map[string][]int{}
 	relAdd := map[string][]int{}
+	subjDel := map[string]map[int]struct{}{}
+	relDel := map[string]map[int]struct{}{}
 	batchNP := map[string]bool{}
 	batchRP := map[string]bool{}
 	for i := len(prev.triples); i < len(g.triples); i++ {
@@ -404,13 +505,32 @@ func (prev *generation) applyDelta(res *core.Result, delta *resolvedDelta, all [
 		batchNP[t.Obj] = true
 		batchRP[t.Pred] = true
 	}
-	g.subjPost = extendPostings(prev.subjPost, subjAdd, keys)
-	g.relPost = extendPostings(prev.relPost, relAdd, keys)
+	for _, di := range newDead {
+		if di < 0 || di >= len(g.triples) {
+			continue
+		}
+		t := &g.triples[di]
+		if subjDel[t.Subj] == nil {
+			subjDel[t.Subj] = map[int]struct{}{}
+		}
+		subjDel[t.Subj][di] = struct{}{}
+		if relDel[t.Pred] == nil {
+			relDel[t.Pred] = map[int]struct{}{}
+		}
+		relDel[t.Pred][di] = struct{}{}
+		batchNP[t.Subj] = true
+		batchNP[t.Obj] = true
+		batchRP[t.Pred] = true
+	}
+	g.subjPost = rewritePostings(prev.subjPost, subjAdd, subjDel, keys)
+	g.relPost = rewritePostings(prev.relPost, relAdd, relDel, keys)
 
 	g.npInfo, g.npClusters, g.entAliases, g.npClusterPost = applySide(sideDelta{
-		seeds:    [][]string{delta.touchedNPs, prev.reassignedNPs},
+		seeds:    [][]string{delta.touchedNPs, prev.reassignedNPs, delta.removedNPs},
+		removed:  delta.removedNPs,
 		batch:    batchNP,
 		added:    subjAdd,
+		deleted:  subjDel,
 		groups:   res.NPGroups,
 		groupOf:  res.NPGroupOf,
 		links:    res.NPLinks,
@@ -421,9 +541,11 @@ func (prev *generation) applyDelta(res *core.Result, delta *resolvedDelta, all [
 		post:     g.subjPost,
 	}, keys)
 	g.rpInfo, g.rpClusters, g.relAliases, g.rpClusterPost = applySide(sideDelta{
-		seeds:    [][]string{delta.touchedRPs, prev.reassignedRPs},
+		seeds:    [][]string{delta.touchedRPs, prev.reassignedRPs, delta.removedRPs},
+		removed:  delta.removedRPs,
 		batch:    batchRP,
 		added:    relAdd,
+		deleted:  relDel,
 		groups:   res.RPGroups,
 		groupOf:  res.RPGroupOf,
 		links:    res.RPLinks,
@@ -438,11 +560,13 @@ func (prev *generation) applyDelta(res *core.Result, delta *resolvedDelta, all [
 
 // sideDelta carries one phrase kind's inputs through the delta apply.
 type sideDelta struct {
-	seeds             [][]string       // touched phrases + previous generation's relabels
-	batch             map[string]bool  // surfaces appearing in the new batch
-	added             map[string][]int // per-surface triple ids the batch appended
-	groups            [][]string       // the new result's full grouping
-	groupOf           map[string]int   // surface -> index into groups (core.Result.NPGroupOf)
+	seeds             [][]string                  // touched phrases + previous relabels + removals
+	removed           []string                    // phrases retracted out of existence this build
+	batch             map[string]bool             // surfaces appearing in the new batch or retraction
+	added             map[string][]int            // per-surface triple ids the batch appended
+	deleted           map[string]map[int]struct{} // per-surface triple ids the retraction tombstoned
+	groups            [][]string                  // the new result's full grouping
+	groupOf           map[string]int              // surface -> index into groups (core.Result.NPGroupOf)
 	links             map[string]string
 	info              *layered[PhraseInfo]
 	clusters, aliases *layered[[]string]
@@ -511,11 +635,27 @@ func applySide(sd sideDelta, keys *int) (*layered[PhraseInfo], *layered[[]string
 		}
 	}
 
-	// Per-phrase info, collecting alias moves per linked target.
+	// Per-phrase info, collecting alias moves per linked target. A
+	// removed phrase has no current group — it is deleted outright, and
+	// its old link (if any) loses an alias.
+	removed := make(map[string]bool, len(sd.removed))
+	for _, p := range sd.removed {
+		removed[p] = true
+	}
 	info := newLayer(sd.info)
 	addByTarget := map[string][]string{}
 	delByTarget := map[string][]string{}
 	for p := range D {
+		if removed[p] {
+			if old, had := sd.info.get(p); had {
+				info.del(p)
+				*keys++
+				if old.Target != "" {
+					delByTarget[old.Target] = append(delByTarget[old.Target], p)
+				}
+			}
+			continue
+		}
 		cur := PhraseInfo{Canonical: newCluster[p], Target: sd.links[p]}
 		old, had := sd.info.get(p)
 		if !had || old != cur {
@@ -559,14 +699,18 @@ func applySide(sd sideDelta, keys *int) (*layered[PhraseInfo], *layered[[]string
 		}
 		old, hadOld := sd.clusters.get(cid)
 		same := hadOld && equalStrings(old, members)
-		grew := false
+		moved := false
 		for _, m := range members {
 			if _, ok := sd.added[m]; ok {
-				grew = true
+				moved = true
+				break
+			}
+			if _, ok := sd.deleted[m]; ok {
+				moved = true
 				break
 			}
 		}
-		if same && !grew {
+		if same && !moved {
 			continue
 		}
 		if !same {
@@ -629,19 +773,54 @@ func equalStrings(a, b []string) bool {
 	return true
 }
 
-// extendPostings overlays the batch's new triple ids onto the previous
-// per-surface postings.
-func extendPostings(prev *layered[[]int], add map[string][]int, keys *int) *layered[[]int] {
+// rewritePostings overlays the batch's new triple ids — and strips the
+// retraction's dead ids — from the previous per-surface postings. A
+// surface whose postings empty out is tombstoned (its phrase may still
+// be live through object mentions; an empty list and a missing key
+// answer identically).
+func rewritePostings(prev *layered[[]int], add map[string][]int, del map[string]map[int]struct{}, keys *int) *layered[[]int] {
 	l := newLayer(prev)
 	for s, ids := range add {
 		old, _ := prev.get(s)
 		merged := make([]int, 0, len(old)+len(ids))
 		merged = append(merged, old...)
 		merged = append(merged, ids...)
+		if dead := del[s]; len(dead) > 0 {
+			merged = dropDead(merged, dead)
+		}
 		l.set(s, merged)
 		*keys++
 	}
+	for s, dead := range del {
+		if _, also := add[s]; also {
+			continue
+		}
+		old, ok := prev.get(s)
+		if !ok {
+			continue
+		}
+		kept := dropDead(old, dead)
+		*keys++
+		if len(kept) == 0 {
+			l.del(s)
+			continue
+		}
+		l.set(s, kept)
+	}
 	return l
+}
+
+// dropDead filters ids (ascending) down to those not in dead, always
+// returning a fresh slice (the input may be a shared previous-
+// generation posting).
+func dropDead(ids []int, dead map[int]struct{}) []int {
+	kept := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if _, d := dead[id]; !d {
+			kept = append(kept, id)
+		}
+	}
+	return kept
 }
 
 // compact flattens every overlay chain into single base layers,

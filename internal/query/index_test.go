@@ -98,10 +98,10 @@ func verify(t *testing.T, ix *query.Index, res *core.Result, triples []okb.Tripl
 	rpx := expect(res.RPGroups, res.RPLinks, triples, false)
 
 	checkSide := func(kind string, e expectSide,
-		resolve func(string) (query.Resolution, bool),
-		cluster func(string) (query.ClusterAnswer, bool),
-		aliases func(string) (query.AliasesAnswer, bool),
-		enum func(string, int) (query.TriplesAnswer, bool)) {
+		resolve func(string, ...query.Opt) (query.Resolution, bool),
+		cluster func(string, ...query.Opt) (query.ClusterAnswer, bool),
+		aliases func(string, ...query.Opt) (query.AliasesAnswer, bool),
+		enum func(string, int, ...query.Opt) (query.TriplesAnswer, bool)) {
 		for surface, members := range e.groupOf {
 			r, ok := resolve(surface)
 			if !ok {
@@ -351,7 +351,7 @@ func TestAbsorbedClusterTombstonedAndRebuilt(t *testing.T) {
 		t.Helper()
 		triples = append(triples, batch...)
 		ix.Begin()
-		ix.Apply(res, delta, triples, syms)
+		ix.Apply(res, delta, triples, query.Tombstones{}, syms)
 		verify(t, ix, res, triples)
 	}
 

@@ -2,6 +2,82 @@ package query
 
 import "repro/internal/okb"
 
+// Opt adjusts how one query is answered. The zero set of options reads
+// the current (head) generation.
+type Opt func(*queryOpts)
+
+type queryOpts struct {
+	asOf int64
+}
+
+// AsOf pins the query to the retained generation with the given id
+// instead of the head: the answer is bitwise-identical to what the
+// same query returned when that generation was current. Queries
+// against a generation that has rolled out of the retention ring (see
+// Config.RetainGenerations) — or never existed — answer ok=false, the
+// same as an unknown key; serving layers distinguish the two with
+// HasGeneration before dispatch.
+func AsOf(gen int64) Opt {
+	return func(o *queryOpts) { o.asOf = gen }
+}
+
+// genFor resolves the generation a query should answer from: the head
+// by default, a retained generation under AsOf, nil when nothing
+// matches (no generation yet, or the requested one is not retained).
+func (ix *Index) genFor(opts []Opt) *generation {
+	var o queryOpts
+	for _, f := range opts {
+		if f != nil {
+			f(&o)
+		}
+	}
+	if o.asOf == 0 {
+		return ix.gen.Load()
+	}
+	g := ix.genAt(o.asOf)
+	if ix.asof != nil {
+		if g != nil {
+			ix.asof.With("hit").Inc()
+		} else {
+			ix.asof.With("miss").Inc()
+		}
+	}
+	return g
+}
+
+// genAt returns the retained generation with the given id, or nil.
+func (ix *Index) genAt(id int64) *generation {
+	if g := ix.gen.Load(); g != nil && g.id == id {
+		return g
+	}
+	if ring := ix.ring.Load(); ring != nil {
+		for _, g := range *ring {
+			if g.id == id {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// HasGeneration reports whether the given generation id is retained
+// and can serve as-of reads.
+func (ix *Index) HasGeneration(id int64) bool { return ix.genAt(id) != nil }
+
+// Retained lists the retained generation ids, ascending (the last is
+// the head). Empty before the first Apply.
+func (ix *Index) Retained() []int64 {
+	ring := ix.ring.Load()
+	if ring == nil {
+		return nil
+	}
+	out := make([]int64, len(*ring))
+	for i, g := range *ring {
+		out[i] = g.id
+	}
+	return out
+}
+
 // GenInfo identifies the immutable index generation an answer was
 // served from, plus how stale it is.
 type GenInfo struct {
@@ -101,24 +177,24 @@ func (ix *Index) Limits() Config { return ix.cfg }
 // ResolveNP resolves a noun-phrase surface form to its canonical
 // cluster and entity link. ok=false when the index has no generation
 // yet or the surface is unknown.
-func (ix *Index) ResolveNP(surface string) (Resolution, bool) {
+func (ix *Index) ResolveNP(surface string, opts ...Opt) (Resolution, bool) {
 	ix.observe("resolve_np")
-	return ix.resolve(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+	return ix.resolve(surface, opts, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.npInfo, g.npClusters
 	})
 }
 
 // ResolveRP resolves a relation-phrase surface form to its canonical
 // cluster and relation link.
-func (ix *Index) ResolveRP(surface string) (Resolution, bool) {
+func (ix *Index) ResolveRP(surface string, opts ...Opt) (Resolution, bool) {
 	ix.observe("resolve_rp")
-	return ix.resolve(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+	return ix.resolve(surface, opts, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.rpInfo, g.rpClusters
 	})
 }
 
-func (ix *Index) resolve(surface string, side func(*generation) (*layered[PhraseInfo], *layered[[]string])) (Resolution, bool) {
-	g := ix.gen.Load()
+func (ix *Index) resolve(surface string, opts []Opt, side func(*generation) (*layered[PhraseInfo], *layered[[]string])) (Resolution, bool) {
+	g := ix.genFor(opts)
 	if g == nil {
 		return Resolution{}, false
 	}
@@ -139,20 +215,20 @@ func (ix *Index) resolve(surface string, side func(*generation) (*layered[Phrase
 
 // EntityAliases lists the noun phrases linked to a curated-KB entity
 // id — the entity-lookup direction of the alias index.
-func (ix *Index) EntityAliases(target string) (AliasesAnswer, bool) {
+func (ix *Index) EntityAliases(target string, opts ...Opt) (AliasesAnswer, bool) {
 	ix.observe("entity_aliases")
-	return ix.aliases(target, func(g *generation) *layered[[]string] { return g.entAliases })
+	return ix.aliases(target, opts, func(g *generation) *layered[[]string] { return g.entAliases })
 }
 
 // RelationAliases lists the relation phrases linked to a curated-KB
 // relation id.
-func (ix *Index) RelationAliases(target string) (AliasesAnswer, bool) {
+func (ix *Index) RelationAliases(target string, opts ...Opt) (AliasesAnswer, bool) {
 	ix.observe("relation_aliases")
-	return ix.aliases(target, func(g *generation) *layered[[]string] { return g.relAliases })
+	return ix.aliases(target, opts, func(g *generation) *layered[[]string] { return g.relAliases })
 }
 
-func (ix *Index) aliases(target string, side func(*generation) *layered[[]string]) (AliasesAnswer, bool) {
-	g := ix.gen.Load()
+func (ix *Index) aliases(target string, opts []Opt, side func(*generation) *layered[[]string]) (AliasesAnswer, bool) {
+	g := ix.genFor(opts)
 	if g == nil {
 		return AliasesAnswer{}, false
 	}
@@ -165,24 +241,24 @@ func (ix *Index) aliases(target string, side func(*generation) *layered[[]string
 
 // NPCluster lists the canonicalization cluster containing a noun-phrase
 // surface form.
-func (ix *Index) NPCluster(surface string) (ClusterAnswer, bool) {
+func (ix *Index) NPCluster(surface string, opts ...Opt) (ClusterAnswer, bool) {
 	ix.observe("np_cluster")
-	return ix.cluster(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+	return ix.cluster(surface, opts, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.npInfo, g.npClusters
 	})
 }
 
 // RPCluster lists the canonicalization cluster containing a
 // relation-phrase surface form.
-func (ix *Index) RPCluster(surface string) (ClusterAnswer, bool) {
+func (ix *Index) RPCluster(surface string, opts ...Opt) (ClusterAnswer, bool) {
 	ix.observe("rp_cluster")
-	return ix.cluster(surface, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
+	return ix.cluster(surface, opts, func(g *generation) (*layered[PhraseInfo], *layered[[]string]) {
 		return g.rpInfo, g.rpClusters
 	})
 }
 
-func (ix *Index) cluster(surface string, side func(*generation) (*layered[PhraseInfo], *layered[[]string])) (ClusterAnswer, bool) {
-	g := ix.gen.Load()
+func (ix *Index) cluster(surface string, opts []Opt, side func(*generation) (*layered[PhraseInfo], *layered[[]string])) (ClusterAnswer, bool) {
+	g := ix.genFor(opts)
 	if g == nil {
 		return ClusterAnswer{}, false
 	}
@@ -199,24 +275,24 @@ func (ix *Index) cluster(surface string, side func(*generation) (*layered[Phrase
 // canonicalization cluster of the given noun-phrase surface — the
 // canonical-entity postings view. limit <= 0 (or above the configured
 // MaxResults) takes MaxResults.
-func (ix *Index) TriplesBySubject(surface string, limit int) (TriplesAnswer, bool) {
+func (ix *Index) TriplesBySubject(surface string, limit int, opts ...Opt) (TriplesAnswer, bool) {
 	ix.observe("triples_by_subject")
-	return ix.triples(surface, limit, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
+	return ix.triples(surface, limit, opts, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
 		return g.npInfo, g.npClusterPost
 	})
 }
 
 // TriplesByRelation enumerates the triples whose predicate belongs to
 // the canonicalization cluster of the given relation-phrase surface.
-func (ix *Index) TriplesByRelation(surface string, limit int) (TriplesAnswer, bool) {
+func (ix *Index) TriplesByRelation(surface string, limit int, opts ...Opt) (TriplesAnswer, bool) {
 	ix.observe("triples_by_relation")
-	return ix.triples(surface, limit, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
+	return ix.triples(surface, limit, opts, func(g *generation) (*layered[PhraseInfo], *layered[[]int]) {
 		return g.rpInfo, g.rpClusterPost
 	})
 }
 
-func (ix *Index) triples(surface string, limit int, side func(*generation) (*layered[PhraseInfo], *layered[[]int])) (TriplesAnswer, bool) {
-	g := ix.gen.Load()
+func (ix *Index) triples(surface string, limit int, opts []Opt, side func(*generation) (*layered[PhraseInfo], *layered[[]int])) (TriplesAnswer, bool) {
+	g := ix.genFor(opts)
 	if g == nil {
 		return TriplesAnswer{}, false
 	}

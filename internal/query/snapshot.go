@@ -1,0 +1,133 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/okb"
+)
+
+// GenerationSnapshot is one retained index generation flattened into
+// plain maps — the serializable form the checkpoint layer persists so
+// as-of reads survive a restart bitwise-intact. Triples is the prefix
+// length of the accumulated triple slice the generation covers; the
+// slice itself rides in the checkpoint once, not per generation.
+type GenerationSnapshot struct {
+	ID      int64
+	Triples int
+
+	NPInfo map[string]PhraseInfo
+	RPInfo map[string]PhraseInfo
+
+	NPClusters map[string][]string
+	RPClusters map[string][]string
+
+	EntAliases map[string][]string
+	RelAliases map[string][]string
+
+	SubjPost map[string][]int
+	RelPost  map[string][]int
+
+	NPClusterPost map[string][]int
+	RPClusterPost map[string][]int
+
+	ReassignedNPs []string
+	ReassignedRPs []string
+}
+
+// RetainedSnapshot flattens every retained generation for
+// checkpointing, oldest first (the last entry is the head). The
+// flattening copies each generation's live keyspace, so call it off
+// the ingest hot path — the checkpoint capture already quiesces.
+func (ix *Index) RetainedSnapshot() []GenerationSnapshot {
+	ring := ix.ring.Load()
+	if ring == nil {
+		return nil
+	}
+	out := make([]GenerationSnapshot, len(*ring))
+	for i, g := range *ring {
+		out[i] = GenerationSnapshot{
+			ID:            g.id,
+			Triples:       len(g.triples),
+			NPInfo:        flatMap(g.npInfo),
+			RPInfo:        flatMap(g.rpInfo),
+			NPClusters:    flatMap(g.npClusters),
+			RPClusters:    flatMap(g.rpClusters),
+			EntAliases:    flatMap(g.entAliases),
+			RelAliases:    flatMap(g.relAliases),
+			SubjPost:      flatMap(g.subjPost),
+			RelPost:       flatMap(g.relPost),
+			NPClusterPost: flatMap(g.npClusterPost),
+			RPClusterPost: flatMap(g.rpClusterPost),
+			ReassignedNPs: g.reassignedNPs,
+			ReassignedRPs: g.reassignedRPs,
+		}
+	}
+	return out
+}
+
+// RestoreRetained reinstates a checkpointed retention ring verbatim:
+// the last snapshot becomes the head generation and Behind accounting
+// resumes at zero. triples is the restored accumulated slice; each
+// generation aliases its own prefix of it, exactly as it did live.
+// Like Restore, this must only be called by the single writer before
+// the index starts serving.
+func (ix *Index) RestoreRetained(snaps []GenerationSnapshot, triples []okb.Triple) error {
+	if len(snaps) == 0 {
+		return fmt.Errorf("query: empty retention ring")
+	}
+	ring := make([]*generation, len(snaps))
+	var lastID int64
+	for i, sn := range snaps {
+		if sn.ID <= lastID {
+			return fmt.Errorf("query: retention ring ids not ascending (%d after %d)", sn.ID, lastID)
+		}
+		if sn.Triples < 0 || sn.Triples > len(triples) {
+			return fmt.Errorf("query: generation %d covers %d triples, have %d", sn.ID, sn.Triples, len(triples))
+		}
+		lastID = sn.ID
+		ring[i] = &generation{
+			id:            sn.ID,
+			triples:       triples[:sn.Triples:sn.Triples],
+			npInfo:        layerOf(sn.NPInfo),
+			rpInfo:        layerOf(sn.RPInfo),
+			npClusters:    layerOf(sn.NPClusters),
+			rpClusters:    layerOf(sn.RPClusters),
+			entAliases:    layerOf(sn.EntAliases),
+			relAliases:    layerOf(sn.RelAliases),
+			subjPost:      layerOf(sn.SubjPost),
+			relPost:       layerOf(sn.RelPost),
+			npClusterPost: layerOf(sn.NPClusterPost),
+			rpClusterPost: layerOf(sn.RPClusterPost),
+			reassignedNPs: sn.ReassignedNPs,
+			reassignedRPs: sn.ReassignedRPs,
+		}
+	}
+	if n := ix.cfg.RetainGenerations; len(ring) > n {
+		ring = ring[len(ring)-n:]
+	}
+	head := ring[len(ring)-1]
+	ix.gen.Store(head)
+	ix.ring.Store(&ring)
+	ix.begun.Store(head.id)
+	ix.applied.Store(head.id)
+	return nil
+}
+
+// flatMap collapses a layered map into a plain live-keys-only map.
+func flatMap[V any](l *layered[V]) map[string]V {
+	fl := l.flatten()
+	out := make(map[string]V, len(fl.m))
+	for k, e := range fl.m {
+		out[k] = e.val
+	}
+	return out
+}
+
+// layerOf rebuilds a single-layer map from its flattened form.
+func layerOf[V any](m map[string]V) *layered[V] {
+	l := newLayer[V](nil)
+	for k, v := range m {
+		l.set(k, v)
+	}
+	return l
+}

@@ -33,6 +33,9 @@ func (r *Resources) attrSets() map[string]map[string]bool {
 			m[attr] = true
 		}
 		for i := 0; i < r.OKB.Len(); i++ {
+			if r.OKB.Dead(i) {
+				continue
+			}
 			t := r.OKB.Triple(i)
 			rp := text.Normalize(t.Pred)
 			add(t.Subj, rp+"\x00"+text.Normalize(t.Obj))
@@ -84,6 +87,9 @@ func (r *Resources) slotExpectations() map[string]map[string]int {
 			m[typ]++
 		}
 		for i := 0; i < r.OKB.Len(); i++ {
+			if r.OKB.Dead(i) {
+				continue
+			}
 			t := r.OKB.Triple(i)
 			add(t.Subj, relType(t.Pred, true))
 			add(t.Obj, relType(t.Pred, false))

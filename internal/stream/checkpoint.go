@@ -69,6 +69,9 @@ func (s *Session) CheckpointState() *checkpoint.Snapshot {
 		Warm:           s.warm,
 		Symbols:        s.syms.Snapshot(),
 		QueryEnabled:   s.qidx != nil,
+		Dead:           s.dead,
+		EpochDead:      s.epochDead,
+		Retractions:    s.retractions,
 	}
 	if n := len(s.cfg.Core.InitialWeights); n > 0 {
 		snap.Weights = make(map[string]float64, n)
@@ -80,6 +83,12 @@ func (s *Session) CheckpointState() *checkpoint.Snapshot {
 		if gi, ok := s.qidx.Generation(); ok {
 			snap.QueryGeneration = gi.Generation
 		}
+		// The retention ring rides along flattened, so as-of reads answer
+		// bitwise-identically across a restart. The flatten copies each
+		// retained generation's keyspace — the expensive part of the
+		// capture — but runs before mu is released, which is still off
+		// the reader hot path (readers never take mu).
+		snap.QueryGenerations = s.qidx.RetainedSnapshot()
 	}
 	s.pub.Lock()
 	snap.Result = s.last
@@ -159,21 +168,34 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedd
 		s.cfg.Core.InitialWeights = w
 	}
 
-	// Re-derive the epoch resources from the prefix, then frozen-extend
-	// with the suffix ingested since the last refresh. A snapshot taken
-	// after Refresh() skips this: the live session had already torn its
-	// resources down, and the restored one must likewise pay the full
-	// epoch rebuild on its next ingest.
+	// Re-derive the epoch resources from the prefix — excluding the
+	// triples that were already dead at the refresh, exactly as the live
+	// epoch build did — then frozen-extend with the suffix ingested
+	// since (including triples retracted later: their positions are
+	// load-bearing), and finally re-tombstone everything retracted after
+	// the refresh. The store state depends only on (triples, dead,
+	// epoch-time dead), not on the interleaving of appends and
+	// retractions, so this replay is bit-identical to the live
+	// session's. A snapshot taken after Refresh() skips all of it: the
+	// live session had already torn its resources down, and the restored
+	// one must likewise pay the full epoch rebuild on its next ingest.
 	var res *signals.Resources
 	if !snap.PendingRefresh {
-		epoch := okb.NewStoreWithSymbols(snap.Triples[:snap.EpochTriples], s.syms)
+		epoch := okb.NewStoreRetaining(snap.Triples[:snap.EpochTriples], snap.EpochDead, s.syms)
 		res = signals.New(epoch, ckbStore, emb, db)
 		if snap.EpochTriples < len(snap.Triples) {
 			res = res.Extend(epoch.Append(snap.Triples[snap.EpochTriples:], true))
 		}
+		if laterDead := diffInts(snap.Dead, snap.EpochDead); len(laterDead) > 0 {
+			store, _ := res.OKB.RetractIDs(laterDead)
+			res = res.Extend(store)
+		}
 	}
 
 	s.triples = snap.Triples[:len(snap.Triples):len(snap.Triples)]
+	s.dead = snap.Dead
+	s.epochDead = snap.EpochDead
+	s.retractions = snap.Retractions
 	s.res = res
 	s.cache = core.NewSimCache()
 	s.warm = snap.Warm
@@ -188,7 +210,15 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedd
 	s.repairReused = snap.RepairReused
 	s.indexMS = snap.IndexMS
 	if s.qidx != nil {
-		s.qidx.Restore(snap.Result, s.triples, snap.QueryGeneration, s.syms)
+		if len(snap.QueryGenerations) > 0 {
+			// Reinstate the retained ring verbatim: as-of reads answer
+			// bitwise-identically to the checkpointing session's.
+			if err := s.qidx.RestoreRetained(snap.QueryGenerations, s.triples); err != nil {
+				return nil, fmt.Errorf("stream: restoring query generations: %w", err)
+			}
+		} else {
+			s.qidx.Restore(snap.Result, s.triples, snap.Dead, snap.QueryGeneration, s.syms)
+		}
 	}
 
 	cut := 0
@@ -216,9 +246,30 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, ckbStore *ckb.Store, emb *embedd
 	if s.qidx != nil {
 		cum.IndexMS = s.indexMS
 	}
+	cum.Retractions = s.retractions
+	cum.DeadTriples = len(s.dead)
 	s.pub.Lock()
 	s.last = snap.Result
 	s.cumStats = cum
 	s.pub.Unlock()
 	return s, nil
+}
+
+// diffInts returns all - sub for sorted ascending id slices (sub ⊆ all).
+func diffInts(all, sub []int) []int {
+	if len(sub) == 0 {
+		return all
+	}
+	out := make([]int, 0, len(all)-len(sub))
+	j := 0
+	for _, id := range all {
+		for j < len(sub) && sub[j] < id {
+			j++
+		}
+		if j < len(sub) && sub[j] == id {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
 }

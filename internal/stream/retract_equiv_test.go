@@ -1,0 +1,385 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/embedding"
+	"repro/internal/okb"
+	"repro/internal/ppdb"
+	"repro/internal/query"
+)
+
+// The tentpole proof obligation for retraction support: a stream that
+// ingested triples and later retracted some of them must converge to
+// the state of a fresh stream that never contained them. Before the
+// next refresh the two legitimately differ — the dirty stream's frozen
+// epoch statistics still count the retracted evidence — so the claim is
+// convergence at the refresh boundary: bitwise on the no-cut path,
+// within the 0.02 agreement tolerance on the hub-cut path (partition
+// memory is path-dependent), and preserved across a checkpoint v3
+// save/restore.
+
+// sameLiveQueryContent asserts both sessions' query indexes serve the
+// same content for every live surface, ignoring generation stamps and
+// triple ids (the dirty session's ids have tombstone gaps the fresh
+// session never had; the facts behind them must still match 1:1 in
+// stream order).
+func sameLiveQueryContent(t *testing.T, dirty, fresh *Session) {
+	t.Helper()
+	a, b := dirty.Query(), fresh.Query()
+	for _, np := range fresh.res.OKB.NPs() {
+		ra, okA := a.ResolveNP(np)
+		rb, okB := b.ResolveNP(np)
+		if okA != okB {
+			t.Errorf("ResolveNP(%q) ok diverges (dirty %v, fresh %v)", np, okA, okB)
+			continue
+		}
+		ra.Gen, rb.Gen = query.GenInfo{}, query.GenInfo{}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Errorf("ResolveNP(%q) diverges\ndirty: %+v\nfresh: %+v", np, ra, rb)
+		}
+		ca, _ := a.NPCluster(np)
+		cb, _ := b.NPCluster(np)
+		ca.Gen, cb.Gen = query.GenInfo{}, query.GenInfo{}
+		if !reflect.DeepEqual(ca, cb) {
+			t.Errorf("NPCluster(%q) diverges\ndirty: %+v\nfresh: %+v", np, ca, cb)
+		}
+		ta, _ := a.TriplesBySubject(np, 0)
+		tb, _ := b.TriplesBySubject(np, 0)
+		if ta.Total != tb.Total || len(ta.Triples) != len(tb.Triples) {
+			t.Errorf("TriplesBySubject(%q) count diverges (%d vs %d)", np, ta.Total, tb.Total)
+			continue
+		}
+		for i := range ta.Triples {
+			x, y := ta.Triples[i], tb.Triples[i]
+			if x.Subj != y.Subj || x.Pred != y.Pred || x.Obj != y.Obj {
+				t.Errorf("TriplesBySubject(%q)[%d] diverges: %+v vs %+v", np, i, x, y)
+			}
+		}
+	}
+}
+
+func TestRetractedStreamConvergesToFreshStreamNoCut(t *testing.T) {
+	cfg := Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+	dirty := microSession(t, cfg)
+	fresh := microSession(t, cfg)
+
+	doomed := okb.Triple{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"}
+	b1 := []okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		doomed,
+		{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+	}
+	b2 := []okb.Triple{
+		{Subj: "alpha corp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "alphacorp", Pred: "acquire", Obj: "deltasoft"},
+	}
+	b3 := []okb.Triple{
+		{Subj: "omegaventures", Pred: "acquire", Obj: "alphacorp"},
+	}
+	b1Fresh := []okb.Triple{b1[0], b1[2]}
+
+	for _, b := range [][]okb.Triple{b1, b2} {
+		if _, err := dirty.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := dirty.Retract([]okb.Triple{doomed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retracted != 1 {
+		t.Fatalf("retract stats = %+v, want 1 tombstone", st)
+	}
+	dirty.Refresh()
+	if _, err := dirty.Ingest(b3); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, b := range [][]okb.Triple{b1Fresh, b2} {
+		if _, err := fresh.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh.Refresh()
+	if _, err := fresh.Ingest(b3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-refresh the frozen statistics were recounted over live triples
+	// only: the decoded outputs must be bitwise-identical to the stream
+	// that never saw the retracted triple.
+	sameResults(t, "no-cut convergence", dirty.Snapshot(), fresh.Snapshot())
+	sameLiveQueryContent(t, dirty, fresh)
+
+	// The retracted evidence is gone from the dirty stream's read path,
+	// and its physical positions stayed put (never reused by b3).
+	if _, ok := dirty.Query().ResolveRP("hire"); ok {
+		t.Error("retracted relation still resolves after refresh")
+	}
+	ds := dirty.Stats()
+	if ds.Retractions != 1 || ds.DeadTriples != 1 {
+		t.Errorf("dirty stats = %+v, want 1 retraction / 1 dead triple", ds)
+	}
+	if ds.TotalTriples != fresh.Stats().TotalTriples+1 {
+		t.Errorf("dead position vanished from the log: %d vs %d live-only",
+			ds.TotalTriples, fresh.Stats().TotalTriples)
+	}
+}
+
+func TestRetractedStreamConvergesToFreshStreamHubCut(t *testing.T) {
+	ds, err := datasets.Generate(datasets.ReVerb45K(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreCfg := core.DefaultConfig()
+	coreCfg.Segment.Enable = true
+	cfg := Config{Core: coreCfg, Query: query.Config{Enable: true}}
+	dirty := New(ds.CKB, ds.Emb, ds.PPDB, cfg)
+	fresh := New(ds.CKB, ds.Emb, ds.PPDB, cfg)
+
+	triples := ds.OKB.Triples()
+	n := len(triples)
+	c1, c2, c3 := triples[:n/2], triples[n/2:7*n/8], triples[7*n/8:]
+
+	// Doom every 17th triple of the first chunk whose fact does not
+	// recur in the final chunk (a recurrence would legitimately re-add
+	// the fact to the dirty stream after the retraction, which is not
+	// the scenario under test). Retraction supersedes by (S,P,O), so the
+	// fresh stream must drop every duplicate of a doomed fact.
+	spo := func(tr okb.Triple) [3]string { return [3]string{tr.Subj, tr.Pred, tr.Obj} }
+	inTail := map[[3]string]bool{}
+	for _, tr := range c3 {
+		inTail[spo(tr)] = true
+	}
+	doomedSet := map[[3]string]bool{}
+	var doomed []okb.Triple
+	for i := 0; i < len(c1); i += 17 {
+		if k := spo(c1[i]); !inTail[k] && !doomedSet[k] {
+			doomedSet[k] = true
+			doomed = append(doomed, c1[i])
+		}
+	}
+	if len(doomed) < 5 {
+		t.Fatalf("only %d doomed facts — scenario too small to mean anything", len(doomed))
+	}
+	filter := func(in []okb.Triple) []okb.Triple {
+		out := make([]okb.Triple, 0, len(in))
+		for _, tr := range in {
+			if !doomedSet[spo(tr)] {
+				out = append(out, tr)
+			}
+		}
+		return out
+	}
+
+	for _, c := range [][]okb.Triple{c1, c2} {
+		if _, err := dirty.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := dirty.Retract(doomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retracted < len(doomed) {
+		t.Fatalf("retracted %d positions for %d doomed facts", st.Retracted, len(doomed))
+	}
+	dirty.Refresh()
+	stD, err := dirty.Ingest(c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range [][]okb.Triple{filter(c1), filter(c2)} {
+		if _, err := fresh.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh.Refresh()
+	stF, err := fresh.Ingest(filter(c3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stD.CutVariables == 0 || stF.CutVariables == 0 {
+		t.Fatalf("hub-cut workload produced no cuts (dirty %d, fresh %d)", stD.CutVariables, stF.CutVariables)
+	}
+
+	const tol = 0.02
+	a, b := dirty.Snapshot(), fresh.Snapshot()
+	if got := agreement(a.NPLinks, b.NPLinks); got < 1-tol {
+		t.Errorf("NP link agreement %.4f below %.4f", got, 1-tol)
+	}
+	if got := agreement(a.RPLinks, b.RPLinks); got < 1-tol {
+		t.Errorf("RP link agreement %.4f below %.4f", got, 1-tol)
+	}
+	if got := agreement(canonicalOf(a.NPGroups), canonicalOf(b.NPGroups)); got < 1-tol {
+		t.Errorf("NP cluster agreement %.4f below %.4f", got, 1-tol)
+	}
+	if got := agreement(canonicalOf(a.RPGroups), canonicalOf(b.RPGroups)); got < 1-tol {
+		t.Errorf("RP cluster agreement %.4f below %.4f", got, 1-tol)
+	}
+}
+
+func TestRetractionsSurviveCheckpointRestore(t *testing.T) {
+	world := microWorld(t)
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	db := ppdb.NewBuilder().Build()
+	cfg := Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true}}
+
+	uninterrupted := New(world, emb, db, cfg)
+	live := New(world, emb, db, cfg)
+	b1 := []okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+	}
+	b2 := []okb.Triple{
+		{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+		{Subj: "alphacorp", Pred: "acquire", Obj: "deltasoft"},
+	}
+	doomed := []okb.Triple{{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"}}
+	for _, s := range []*Session{uninterrupted, live} {
+		for _, b := range [][]okb.Triple{b1, b2} {
+			if _, err := s.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Retract(doomed); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := live.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), world, emb, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The tombstones, counters, and every retained generation came back:
+	// head reads and as-of reads answer bitwise-identically.
+	rs, us := restored.Stats(), uninterrupted.Stats()
+	if rs.Retractions != 1 || rs.DeadTriples != 1 || rs.TotalTriples != us.TotalTriples {
+		t.Fatalf("restored counters diverge: %+v vs %+v", rs, us)
+	}
+	sameResults(t, "post-restore", restored.Snapshot(), uninterrupted.Snapshot())
+	compareQueryAnswers(t, restored, uninterrupted)
+	ri, ui := restored.Query(), uninterrupted.Query()
+	if !reflect.DeepEqual(ri.Retained(), ui.Retained()) {
+		t.Fatalf("retention rings diverge: %v vs %v", ri.Retained(), ui.Retained())
+	}
+	for _, gen := range ui.Retained() {
+		for _, np := range []string{"alphacorp", "gammaworks", "epsilonics"} {
+			ra, okA := ri.ResolveNP(np, query.AsOf(gen))
+			rb, okB := ui.ResolveNP(np, query.AsOf(gen))
+			if okA != okB || !reflect.DeepEqual(ra, rb) {
+				t.Errorf("as-of gen %d ResolveNP(%q) diverges across restore: %+v/%v vs %+v/%v",
+					gen, np, ra, okA, rb, okB)
+			}
+		}
+	}
+
+	// Re-retracting the already-dead fact must fail on the restored
+	// session: the tombstones are real, not re-playable.
+	if _, err := restored.Retract(doomed); !errors.Is(err, ErrNoLiveMatch) {
+		t.Fatalf("re-retracting a restored tombstone returned %v, want ErrNoLiveMatch", err)
+	}
+
+	// And the streams stay in lockstep: another append + retraction on
+	// both sides decode identically.
+	b3 := []okb.Triple{{Subj: "omegaventures", Pred: "acquire", Obj: "alphacorp"}}
+	undo := []okb.Triple{{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"}}
+	for _, s := range []*Session{restored, uninterrupted} {
+		if _, err := s.Ingest(b3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Retract(undo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameResults(t, "post-restore stream", restored.Snapshot(), uninterrupted.Snapshot())
+	compareQueryAnswers(t, restored, uninterrupted)
+}
+
+// TestConcurrentRetractQueryCheckpoint is the -race exercise for the
+// retraction write path: retractions interleaved with appends on one
+// goroutine, checkpoint captures on another, and head + as-of readers
+// hammering the index throughout. Run by the race matrix (Makefile
+// test-race and the ci.yml race step both include this package).
+func TestConcurrentRetractQueryCheckpoint(t *testing.T) {
+	cfg := Config{Core: core.DefaultConfig(), Query: query.Config{Enable: true, RetainGenerations: 3}}
+	sess := microSession(t, cfg)
+	if _, err := sess.Ingest([]okb.Triple{
+		{Subj: "alphacorp", Pred: "acquire", Obj: "betalabs"},
+		{Subj: "gammaworks", Pred: "hire", Obj: "deltasoft"},
+		{Subj: "epsilonics", Pred: "sue", Obj: "zetafoundry"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	names := []string{"gammaworks", "deltasoft", "epsilonics", "zetafoundry", "omegaventures"}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			tr := okb.Triple{Subj: names[i], Pred: "acquire", Obj: names[i+1]}
+			if _, err := sess.Ingest([]okb.Triple{tr}); err != nil {
+				t.Error(err)
+			}
+			if _, err := sess.Retract([]okb.Triple{tr}); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	checkpoints := make([]*bytes.Buffer, 0, 8)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			var buf bytes.Buffer
+			if err := sess.Checkpoint(&buf); err != nil {
+				t.Error(err)
+			}
+			checkpoints = append(checkpoints, &buf)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ix := sess.Query()
+		for i := 0; i < 200; i++ {
+			ix.ResolveNP("alphacorp")
+			ix.TriplesBySubject("alphacorp", 0)
+			for _, gen := range ix.Retained() {
+				ix.ResolveNP("gammaworks", query.AsOf(gen))
+			}
+			sess.Stats()
+		}
+	}()
+	wg.Wait()
+
+	// Every checkpoint captured mid-churn restores, and its dead set is
+	// internally consistent with its retraction counter.
+	emb := embedding.Train(nil, embedding.Config{Dim: 8, Seed: 1})
+	world := microWorld(t)
+	db := ppdb.NewBuilder().Build()
+	for i, buf := range checkpoints {
+		r, err := RestoreSession(bytes.NewReader(buf.Bytes()), world, emb, db, cfg)
+		if err != nil {
+			t.Fatalf("checkpoint %d not restorable: %v", i, err)
+		}
+		if rs := r.Stats(); rs.DeadTriples > rs.TotalTriples {
+			t.Fatalf("checkpoint %d restored an impossible dead set: %+v", i, rs)
+		}
+	}
+	if st := sess.Stats(); st.Retractions != 4 || st.DeadTriples != 4 {
+		t.Errorf("final stats = %+v, want 4 retractions / 4 dead triples", st)
+	}
+}

@@ -2,8 +2,10 @@ package stream
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +62,12 @@ type IngestStats struct {
 	// Refreshed is true when this batch rebuilt the epoch resources
 	// (first batch, or RefreshEvery reached): everything re-runs.
 	Refreshed bool `json:"refreshed"`
+	// Retracted counts the triple positions a retraction batch
+	// tombstoned (zero for append ingests); RemovedNPs / RemovedRPs the
+	// surfaces whose last live mention went with them.
+	Retracted  int `json:"retracted,omitempty"`
+	RemovedNPs int `json:"removed_nps,omitempty"`
+	RemovedRPs int `json:"removed_rps,omitempty"`
 
 	Components      int `json:"components"`
 	DirtyComponents int `json:"dirty_components"`
@@ -145,6 +153,11 @@ type Stats struct {
 	RPs          int `json:"rps"`
 	Refreshes    int `json:"refreshes"`
 	CacheEntries int `json:"cache_entries"`
+	// Retractions counts committed retraction batches; DeadTriples the
+	// tombstoned positions among TotalTriples (live triples =
+	// TotalTriples - DeadTriples).
+	Retractions int `json:"retractions,omitempty"`
+	DeadTriples int `json:"dead_triples,omitempty"`
 	// BlocksTouched / BlocksWarm total, across all ingests, the
 	// distinct blocks that ran BP and the blocks served from warm
 	// messages (per ingest the two sum to that build's block count).
@@ -218,6 +231,16 @@ type Session struct {
 	// statistics were derived over — what a checkpoint records so
 	// restore can re-derive the identical resources from the prefix.
 	epochTriples int
+	// dead lists every tombstoned triple position, ascending. The slice
+	// is replaced (never mutated in place) by each committed
+	// retraction, so snapshots and Prepared batches may alias it.
+	// epochDead is the dead set the current epoch's frozen statistics
+	// were derived over (the epoch IDF counts live triples only);
+	// restore re-derives identical resources from (epoch prefix,
+	// epochDead), frozen-appends the suffix, and re-tombstones
+	// dead - epochDead.
+	dead      []int
+	epochDead []int
 
 	// pendMu/pendCond guard pending, the count of batches prepared but
 	// not yet committed. CheckpointState quiesces on it (with prepMu
@@ -239,6 +262,8 @@ type Session struct {
 	repairs       int
 	repairReused  int
 	indexMS       float64
+	// retractions counts committed retraction batches.
+	retractions int
 
 	// qidx is the read-path index (nil when Config.Query.Enable is
 	// unset). It is maintained under mu but read lock-free.
@@ -339,10 +364,18 @@ type Prepared struct {
 	res     *signals.Resources
 	cache   *core.SimCache
 	triples []okb.Triple // accumulated triples as of this batch
-	tb      *telemetry.TraceBuilder
-	span    *trace.Span // trace span this ingest runs under (may be nil)
-	start   time.Time
-	mem0    runtime.MemStats
+	// dead is the full tombstone set as of this batch (sorted,
+	// immutable); retraction describes what a retraction batch removed
+	// (zero for appends), with the removed surfaces pre-interned so
+	// Commit can inject them into the canonicalization delta.
+	dead       []int
+	retraction okb.Retraction
+	removedNPs []int32
+	removedRPs []int32
+	tb         *telemetry.TraceBuilder
+	span       *trace.Span // trace span this ingest runs under (may be nil)
+	start      time.Time
+	mem0       runtime.MemStats
 }
 
 // Prepare runs the front half of an ingest: it validates the batch,
@@ -415,12 +448,15 @@ func (s *Session) PrepareSpan(batch []okb.Triple, sp *trace.Span) (*Prepared, er
 	res, cache := s.res, s.cache
 	t0 := time.Now()
 	if res == nil || (s.cfg.RefreshEvery > 0 && s.sinceEpoch+1 >= s.cfg.RefreshEvery) {
-		// Epoch build: derive every frozen statistic over all triples seen
-		// so far. Cached signal evaluations and warm messages are stale
-		// by construction (potentials shift with the new IDF/AMIE), so
-		// drop them; fingerprint mismatches would discard them anyway.
+		// Epoch build: derive every frozen statistic over all LIVE
+		// triples seen so far — tombstoned positions stay in the array
+		// (they are load-bearing identities) but drop out of the IDF
+		// counts and mention lists here. Cached signal evaluations and
+		// warm messages are stale by construction (potentials shift with
+		// the new IDF/AMIE), so drop them; fingerprint mismatches would
+		// discard them anyway.
 		done := span(tb, "signal-eval")
-		res = signals.New(okb.NewStoreWithSymbols(grown, s.syms), s.ckb, s.emb, s.ppdb)
+		res = signals.New(okb.NewStoreRetaining(grown, s.dead, s.syms), s.ckb, s.emb, s.ppdb)
 		done()
 		cache = core.NewSimCache()
 		st.Refreshed = true
@@ -457,6 +493,7 @@ func (s *Session) PrepareSpan(batch []okb.Triple, sp *trace.Span) (*Prepared, er
 	if st.Refreshed {
 		s.sinceEpoch = 0
 		s.epochTriples = len(grown)
+		s.epochDead = s.dead
 	} else {
 		s.sinceEpoch++
 	}
@@ -471,11 +508,187 @@ func (s *Session) PrepareSpan(batch []okb.Triple, sp *trace.Span) (*Prepared, er
 		res:     res,
 		cache:   cache,
 		triples: grown,
+		dead:    s.dead,
 		tb:      tb,
 		span:    sp,
 		start:   start,
 		mem0:    mem0,
 	}, nil
+}
+
+// PrepareRetract is the front half of a retraction ingest: every live
+// triple matching a batch member by (subject, predicate, object) is
+// tombstoned — duplicate extractions of one fact all go at once — the
+// signal resources are re-pointed at the shrink-aware store (the
+// epoch's frozen statistics are kept; they recount over live triples
+// at the next refresh), and the factor graph is rebuilt without the
+// retracted evidence. Phrases whose last live mention was retracted
+// leave the graph entirely; Commit injects them into the
+// canonicalization delta as removal events. Batch members matching no
+// live triple are skipped; a batch matching nothing at all fails with
+// no side effects. Like Prepare, a returned Prepared must be Committed
+// exactly once, in prepare order.
+func (s *Session) PrepareRetract(batch []okb.Triple) (*Prepared, error) {
+	return s.PrepareRetractSpan(batch, nil)
+}
+
+// ErrNoLiveMatch reports a retraction batch in which no member matched
+// a live triple: the session state is unchanged. Callers can test for
+// it with errors.Is across the ingress and public-session wrappers.
+var ErrNoLiveMatch = errors.New("stream: retraction matched no live triples")
+
+// PrepareRetractSpan is PrepareRetract running under a trace span (see
+// PrepareSpan).
+func (s *Session) PrepareRetractSpan(batch []okb.Triple, sp *trace.Span) (*Prepared, error) {
+	if err := ValidateBatch(batch); err != nil {
+		if s.met != nil {
+			s.met.ingestErrors.Inc()
+		}
+		return nil, err
+	}
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	if len(s.triples) == 0 {
+		if s.met != nil {
+			s.met.ingestErrors.Inc()
+		}
+		return nil, fmt.Errorf("stream: retract on an empty session: %w", ErrNoLiveMatch)
+	}
+
+	start := time.Now()
+	var tb *telemetry.TraceBuilder
+	if s.tel != nil {
+		tb = telemetry.StartTrace(s.prepSeq + 1)
+	}
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
+
+	ok := false
+	if s.qidx != nil {
+		s.qidx.Begin()
+		defer func() {
+			if !ok {
+				s.qidx.Abort()
+			}
+		}()
+	}
+
+	st := IngestStats{
+		Batch:        s.prepSeq + 1,
+		TotalTriples: len(s.triples),
+	}
+	res, cache := s.res, s.cache
+	t0 := time.Now()
+	if res == nil {
+		// Refresh() (or a restore of a pending-refresh snapshot) tore the
+		// resources down: rebuild the epoch over the live triples first,
+		// then retract on top of it — the same state an Ingest-then-
+		// Retract sequence would reach.
+		done := span(tb, "signal-eval")
+		res = signals.New(okb.NewStoreRetaining(s.triples, s.dead, s.syms), s.ckb, s.emb, s.ppdb)
+		done()
+		cache = core.NewSimCache()
+		st.Refreshed = true
+	}
+
+	done := span(tb, "okb-retract")
+	store, ret := res.OKB.Retract(batch)
+	done()
+	if ret.Empty() {
+		if s.met != nil {
+			s.met.ingestErrors.Inc()
+		}
+		return nil, ErrNoLiveMatch
+	}
+	res = res.Extend(store)
+
+	cfg := s.cfg.Core
+	cfg.Cache = cache
+	cfg.Pool = s.pool
+	doneBuild := span(tb, "graph-build")
+	sys, err := core.NewSystem(res, cfg)
+	doneBuild()
+	if err != nil {
+		if s.met != nil {
+			s.met.ingestErrors.Inc()
+		}
+		return nil, fmt.Errorf("stream: rebuilding system after retraction: %w", err)
+	}
+	st.ConstructTime = time.Since(t0)
+	st.Retracted = len(ret.IDs)
+	st.RemovedNPs = len(ret.RemovedNPs)
+	st.RemovedRPs = len(ret.RemovedRPs)
+
+	// Advance the prepare-side state. s.dead is replaced, not mutated:
+	// earlier Prepared batches and checkpoint snapshots keep their
+	// aliases of the previous slice.
+	s.res = res
+	s.cache = cache
+	s.prepSeq++
+	if st.Refreshed {
+		s.sinceEpoch = 0
+		s.epochTriples = len(s.triples)
+		// The epoch above was built before this retraction landed.
+		s.epochDead = s.dead
+	} else {
+		s.sinceEpoch++
+	}
+	s.dead = mergeInts(s.dead, ret.IDs)
+	ok = true
+	s.pendMu.Lock()
+	s.pending++
+	s.pendMu.Unlock()
+	return &Prepared{
+		s:          s,
+		st:         st,
+		sys:        sys,
+		res:        res,
+		cache:      cache,
+		triples:    s.triples,
+		dead:       s.dead,
+		retraction: ret,
+		removedNPs: s.internSorted(ret.RemovedNPs),
+		removedRPs: s.internSorted(ret.RemovedRPs),
+		tb:         tb,
+		span:       sp,
+		start:      start,
+		mem0:       mem0,
+	}, nil
+}
+
+// internSorted maps surfaces to their symbol ids, sorted ascending.
+func (s *Session) internSorted(surfs []string) []int32 {
+	if len(surfs) == 0 {
+		return nil
+	}
+	out := make([]int32, len(surfs))
+	for i, p := range surfs {
+		out[i] = s.syms.Intern(p)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// mergeInts merges two sorted, disjoint ascending id slices into a
+// fresh slice.
+func mergeInts(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Commit runs the back half of the prepared ingest — scoped belief
@@ -539,6 +752,14 @@ func (p *Prepared) Commit() IngestStats {
 	if st.Refreshed {
 		s.nRefresh++
 	}
+	if !p.retraction.Empty() {
+		s.retractions++
+		// Removed phrases have no variables in the rebuilt graph, so the
+		// delta derivation cannot see them: inject the removal events the
+		// read path needs to delete their entries and split the clusters
+		// they left.
+		result.Delta.AddRemovals(p.removedNPs, p.removedRPs)
+	}
 	s.blocksTouched += inc.Dirty
 	s.blocksWarm += inc.Reused
 	if inc.PartitionRepaired {
@@ -554,7 +775,8 @@ func (p *Prepared) Commit() IngestStats {
 	// index never reads past the length captured here.
 	if s.qidx != nil {
 		done := span(tb, "index-apply")
-		qs := s.qidx.Apply(result, result.Delta, p.triples, s.syms)
+		tombs := query.Tombstones{Dead: p.retraction.IDs, AllDead: p.dead}
+		qs := s.qidx.Apply(result, result.Delta, p.triples, tombs, s.syms)
 		done()
 		s.indexMS += qs.ApplyMS
 		st.Index = &qs
@@ -569,6 +791,8 @@ func (p *Prepared) Commit() IngestStats {
 		RPs:                len(p.res.OKB.RPs()),
 		Refreshes:          s.nRefresh,
 		CacheEntries:       p.cache.Len(),
+		Retractions:        s.retractions,
+		DeadTriples:        len(p.dead),
 		BlocksTouched:      s.blocksTouched,
 		BlocksWarm:         s.blocksWarm,
 		CutVariables:       inc.CutVars,
@@ -604,7 +828,7 @@ func (p *Prepared) Commit() IngestStats {
 			}
 		}
 		s.met.observeIngest(&st, inc, len(p.res.OKB.NPs()), len(p.res.OKB.RPs()),
-			p.res.OKB.OverlayDepth(), st.Index, tr)
+			p.res.OKB.OverlayDepth(), len(p.dead), st.Index, tr)
 	}
 
 	// Release the checkpoint quiesce: this batch is fully committed.
@@ -637,6 +861,31 @@ func (s *Session) Ingest(batch []okb.Triple) (IngestStats, error) {
 func (s *Session) IngestTraced(parent trace.SpanContext, batch []okb.Triple) (IngestStats, error) {
 	sp := s.tracer.StartRequest("ingest", parent)
 	p, err := s.PrepareSpan(batch, sp)
+	if err != nil {
+		sp.EndStatus(trace.StatusError, err.Error())
+		return IngestStats{}, err
+	}
+	st := p.Commit()
+	sp.End()
+	return st, nil
+}
+
+// Retract tombstones every live triple matching a batch member by
+// (subject, predicate, object) and re-infers without the retracted
+// evidence. It is PrepareRetract followed immediately by Commit. The
+// epoch's frozen statistics still count the retracted triples until
+// the next refresh (see Refresh / Config.RefreshEvery), after which
+// the session state is indistinguishable — up to frozen-model
+// pinning — from a stream that never contained them.
+func (s *Session) Retract(batch []okb.Triple) (IngestStats, error) {
+	return s.RetractTraced(trace.SpanContext{}, batch)
+}
+
+// RetractTraced is Retract running under a request trace (see
+// IngestTraced).
+func (s *Session) RetractTraced(parent trace.SpanContext, batch []okb.Triple) (IngestStats, error) {
+	sp := s.tracer.StartRequest("retract", parent)
+	p, err := s.PrepareRetractSpan(batch, sp)
 	if err != nil {
 		sp.EndStatus(trace.StatusError, err.Error())
 		return IngestStats{}, err

@@ -38,6 +38,12 @@ type sessionMetrics struct {
 	sessTriples  *telemetry.Gauge
 	sessBatches  *telemetry.Gauge
 
+	// Retraction path.
+	retracts       *telemetry.Counter
+	retractTriples *telemetry.Counter
+	retractPhrases *telemetry.CounterVec
+	deadTriples    *telemetry.Gauge
+
 	// OKB store.
 	okbNPs   *telemetry.Gauge
 	okbRPs   *telemetry.Gauge
@@ -93,6 +99,12 @@ func newSessionMetrics(s *Session) *sessionMetrics {
 		allocs:      r.Counter("jocl_ingest_allocs_total", "Heap objects allocated during ingests (runtime.MemStats.Mallocs deltas)."),
 		sessTriples: r.Gauge("jocl_session_triples", "Triples accumulated in the session."),
 		sessBatches: r.Gauge("jocl_session_batches", "Batches committed to the session."),
+
+		retracts:       r.Counter("jocl_retract_total", "Retraction batches committed successfully."),
+		retractTriples: r.Counter("jocl_retract_triples_total", "Live triples tombstoned across all retractions."),
+		retractPhrases: r.CounterVec("jocl_retract_removed_phrases_total",
+			"Phrases whose last live mention was retracted and that left the graph, by kind (np | rp).", "kind"),
+		deadTriples: r.Gauge("jocl_session_dead_triples", "Tombstoned triple positions accumulated in the session."),
 
 		okbNPs:   r.Gauge("jocl_okb_nps", "Distinct noun-phrase surfaces in the open KB."),
 		okbRPs:   r.Gauge("jocl_okb_rps", "Distinct relation-phrase surfaces in the open KB."),
@@ -152,10 +164,11 @@ func newSessionMetrics(s *Session) *sessionMetrics {
 	return m
 }
 
-// observeIngest feeds one committed ingest into the metrics. nps/rps/
-// depth describe the post-commit OKB store; qs is nil when the query
+// observeIngest feeds one committed ingest (append or retraction) into
+// the metrics. nps/rps/depth describe the post-commit OKB store; dead
+// is the session's cumulative tombstone count; qs is nil when the query
 // index is disabled; tr is the finished stage trace.
-func (m *sessionMetrics) observeIngest(st *IngestStats, inc core.IncrementalStats, nps, rps, depth int, qs *query.ApplyStats, tr telemetry.Trace) {
+func (m *sessionMetrics) observeIngest(st *IngestStats, inc core.IncrementalStats, nps, rps, depth, dead int, qs *query.ApplyStats, tr telemetry.Trace) {
 	m.ingests.Inc()
 	m.triples.Add(uint64(st.BatchTriples))
 	m.batchSize.Observe(float64(st.BatchTriples))
@@ -167,6 +180,14 @@ func (m *sessionMetrics) observeIngest(st *IngestStats, inc core.IncrementalStat
 	}
 	m.sessTriples.Set(float64(st.TotalTriples))
 	m.sessBatches.Set(float64(st.Batch))
+
+	if st.Retracted > 0 {
+		m.retracts.Inc()
+		m.retractTriples.Add(uint64(st.Retracted))
+		m.retractPhrases.With("np").Add(uint64(st.RemovedNPs))
+		m.retractPhrases.With("rp").Add(uint64(st.RemovedRPs))
+	}
+	m.deadTriples.Set(float64(dead))
 
 	m.okbNPs.Set(float64(nps))
 	m.okbRPs.Set(float64(rps))

@@ -155,9 +155,10 @@ type options struct {
 // internal configuration Sessions hand to the stream layer.
 func (o *options) queryConfig() query.Config {
 	return query.Config{
-		Enable:     !o.queryOff,
-		MaxLayers:  o.queryOpts.MaxLayers,
-		MaxResults: o.queryOpts.MaxResults,
+		Enable:            !o.queryOff,
+		MaxLayers:         o.queryOpts.MaxLayers,
+		MaxResults:        o.queryOpts.MaxResults,
+		RetainGenerations: o.queryOpts.RetainGenerations,
 	}
 }
 
@@ -207,6 +208,12 @@ type QueryIndexOptions struct {
 	// it is compacted into one base layer (default 4). Smaller values
 	// trade more frequent amortized compaction for cheaper lookups.
 	MaxLayers int
+	// RetainGenerations bounds the ring of published index generations
+	// kept live for as-of reads (default 4; minimum 1 — the current
+	// generation is always retained). A Query* call with AsOf answers
+	// from any retained generation exactly as it did at publish time;
+	// generations older than the ring answer ok=false.
+	RetainGenerations int
 }
 
 // WithQueryIndex tunes the incrementally-maintained query index

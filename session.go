@@ -39,6 +39,11 @@ type Session struct {
 // session's ingest pipeline no longer accepts batches.
 var ErrSessionClosed = errors.New("jocl: session closed")
 
+// ErrRetractNoMatch is returned by Retract/RetractContext when no batch
+// member matched a live triple: the session state is unchanged. Serving
+// layers map it onto HTTP 404.
+var ErrRetractNoMatch = errors.New("jocl: retraction matched no live triples")
+
 // OverloadedError is returned by IngestContext when the session's
 // ingest queue (WithIngress) is past its high-water mark: the batch
 // was shed without touching the session. RetryAfter is the pipeline's
@@ -66,6 +71,14 @@ type IngestStats struct {
 	BatchTriples int
 	TotalTriples int
 	Refreshed    bool
+
+	// Retracted counts the triple positions a Retract call tombstoned
+	// (zero for append ingests); RemovedNPs / RemovedRPs the noun and
+	// relation phrases whose last live mention went with them (their
+	// clusters split, their index entries are deleted).
+	Retracted  int
+	RemovedNPs int
+	RemovedRPs int
 
 	// Components counts the factor graph's partition blocks (exact
 	// connected components, or hub-cut blocks under WithSegmentation);
@@ -130,6 +143,11 @@ type SessionStats struct {
 	RelPhrases    int
 	Refreshes     int
 	CachedSignals int
+	// Retractions counts committed Retract calls; DeadTriples the
+	// tombstoned positions among TotalTriples (live triples =
+	// TotalTriples - DeadTriples).
+	Retractions int
+	DeadTriples int
 	// BlocksTouched / BlocksServedWarm total, across all ingests, the
 	// partition blocks that re-ran belief propagation and the blocks
 	// served from cached messages; CutVariables is the current build's
@@ -147,12 +165,15 @@ type SessionStats struct {
 	// maintained; QueryGeneration its current generation id,
 	// QueryLayers its overlay-chain depth, QueryMaxResults the
 	// enumeration cap it enforces, and QueryIndexMillis the cumulative
-	// maintenance wall-clock across all ingests.
+	// maintenance wall-clock across all ingests. QueryRetained lists
+	// the generation ids currently answerable via AsOf, ascending with
+	// the current generation last.
 	QueryEnabled     bool
 	QueryGeneration  int64
 	QueryLayers      int
 	QueryMaxResults  int
 	QueryIndexMillis float64
+	QueryRetained    []int64
 	LastIngest       *IngestStats
 }
 
@@ -384,6 +405,67 @@ func (s *Session) IngestContext(ctx context.Context, triples []Triple) (IngestSt
 	return out, nil
 }
 
+// Retract tombstones every live triple matching a batch member by
+// (subject, predicate, object) — duplicate extractions of one fact all
+// go at once — and re-infers without the retracted evidence. It is
+// RetractContext with a background context.
+func (s *Session) Retract(triples []Triple) (IngestStats, error) {
+	return s.RetractContext(context.Background(), triples)
+}
+
+// RetractContext tombstones the matching triples and blocks until the
+// re-inference has committed. Members matching no live triple are
+// skipped; a batch matching nothing at all fails with no side effects.
+// With WithIngress the retraction is queued like an ingest: its queue
+// position is its stream position (appends submitted before it apply
+// first, appends after it see the tombstones), adjacent queued
+// retractions may coalesce, and overload/cancel/closed behave exactly
+// as IngestContext. The session's frozen signal statistics still count
+// the retracted triples until the next refresh (Refresh /
+// WithRefreshEvery), after which the session state converges to a
+// stream that never contained them.
+func (s *Session) RetractContext(ctx context.Context, triples []Triple) (IngestStats, error) {
+	ts := make([]okb.Triple, len(triples))
+	for i, t := range triples {
+		ts[i] = okb.Triple{Subj: t.Subject, Pred: t.Predicate, Obj: t.Object}
+	}
+	if s.in == nil {
+		if err := ctx.Err(); err != nil {
+			return IngestStats{}, err
+		}
+		st, err := s.s.RetractTraced(trace.FromContext(ctx), ts)
+		if err != nil {
+			if errors.Is(err, stream.ErrNoLiveMatch) {
+				return IngestStats{}, ErrRetractNoMatch
+			}
+			return IngestStats{}, err
+		}
+		out := ingestStats(st)
+		out.CoalescedBatches = 1
+		return out, nil
+	}
+	res, err := s.in.Retract(ctx, ts)
+	if err != nil {
+		var shed *ingress.ShedError
+		if errors.As(err, &shed) {
+			return IngestStats{}, &OverloadedError{QueueDepth: shed.Depth, RetryAfter: shed.RetryAfter}
+		}
+		if errors.Is(err, ingress.ErrClosed) {
+			return IngestStats{}, ErrSessionClosed
+		}
+		if errors.Is(err, stream.ErrNoLiveMatch) {
+			return IngestStats{}, ErrRetractNoMatch
+		}
+		return IngestStats{}, err
+	}
+	out := ingestStats(res.Stats)
+	out.CoalescedBatches = res.Coalesced
+	if res.TraceID != "" {
+		out.TraceID = res.TraceID
+	}
+	return out, nil
+}
+
 // Close shuts the session's ingest pipeline down: it stops accepting
 // batches, drains everything queued through the session, and waits
 // for the final commit (or ctx expiry — the drain continues in the
@@ -525,6 +607,8 @@ func (s *Session) Stats() SessionStats {
 		RelPhrases:         st.RPs,
 		Refreshes:          st.Refreshes,
 		CachedSignals:      st.CacheEntries,
+		Retractions:        st.Retractions,
+		DeadTriples:        st.DeadTriples,
 		BlocksTouched:      st.BlocksTouched,
 		BlocksServedWarm:   st.BlocksWarm,
 		CutVariables:       st.CutVariables,
@@ -535,6 +619,9 @@ func (s *Session) Stats() SessionStats {
 		QueryLayers:        st.QueryLayers,
 		QueryMaxResults:    st.QueryMaxResults,
 		QueryIndexMillis:   st.IndexMS,
+	}
+	if ix := s.s.Query(); ix != nil {
+		out.QueryRetained = ix.Retained()
 	}
 	if st.LastIngest != nil {
 		li := ingestStats(*st.LastIngest)
@@ -571,6 +658,9 @@ func ingestStats(st stream.IngestStats) IngestStats {
 		InferMillis:        millis(st.InferTime),
 		TotalMillis:        millis(st.TotalTime),
 		TraceID:            st.TraceID,
+		Retracted:          st.Retracted,
+		RemovedNPs:         st.RemovedNPs,
+		RemovedRPs:         st.RemovedRPs,
 	}
 	if st.Index != nil {
 		out.IndexMillis = st.Index.ApplyMS
@@ -635,93 +725,124 @@ type TripleSet struct {
 // disabled (WithoutQueryIndex), no batch has been ingested yet, or the
 // key is unknown.
 
+// QueryOpt modifies one Query* call.
+type QueryOpt func(*queryOptState)
+
+type queryOptState struct{ asOf int64 }
+
+// AsOf makes a Query* call answer from the retained index generation
+// with the given id instead of the current one — exactly as it
+// answered at that generation's publish time, retractions and later
+// ingests invisible. The call answers ok=false when the generation has
+// rolled out of the retention ring (QueryIndexOptions.
+// RetainGenerations) or never existed; QueryRetained lists the ids
+// currently answerable.
+func AsOf(gen int64) QueryOpt {
+	return func(o *queryOptState) { o.asOf = gen }
+}
+
+// queryOpts translates the public options into the internal index's.
+func queryOpts(opts []QueryOpt) []query.Opt {
+	if len(opts) == 0 {
+		return nil
+	}
+	var st queryOptState
+	for _, o := range opts {
+		o(&st)
+	}
+	if st.asOf == 0 {
+		return nil
+	}
+	return []query.Opt{query.AsOf(st.asOf)}
+}
+
 // QueryEntity resolves a noun-phrase surface form to its
 // canonicalization cluster and entity link.
-func (s *Session) QueryEntity(surface string) (Resolution, bool) {
+func (s *Session) QueryEntity(surface string, opts ...QueryOpt) (Resolution, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return Resolution{}, false
 	}
-	r, ok := ix.ResolveNP(surface)
+	r, ok := ix.ResolveNP(surface, queryOpts(opts)...)
 	return resolutionOf(r), ok
 }
 
 // QueryRelation resolves a relation-phrase surface form to its
 // canonicalization cluster and relation link.
-func (s *Session) QueryRelation(surface string) (Resolution, bool) {
+func (s *Session) QueryRelation(surface string, opts ...QueryOpt) (Resolution, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return Resolution{}, false
 	}
-	r, ok := ix.ResolveRP(surface)
+	r, ok := ix.ResolveRP(surface, queryOpts(opts)...)
 	return resolutionOf(r), ok
 }
 
 // QueryEntityAliases lists the noun phrases currently linked to a
 // curated-KB entity id.
-func (s *Session) QueryEntityAliases(entityID string) (AliasSet, bool) {
+func (s *Session) QueryEntityAliases(entityID string, opts ...QueryOpt) (AliasSet, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return AliasSet{}, false
 	}
-	a, ok := ix.EntityAliases(entityID)
+	a, ok := ix.EntityAliases(entityID, queryOpts(opts)...)
 	return aliasSetOf(a), ok
 }
 
 // QueryRelationAliases lists the relation phrases currently linked to
 // a curated-KB relation id.
-func (s *Session) QueryRelationAliases(relationID string) (AliasSet, bool) {
+func (s *Session) QueryRelationAliases(relationID string, opts ...QueryOpt) (AliasSet, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return AliasSet{}, false
 	}
-	a, ok := ix.RelationAliases(relationID)
+	a, ok := ix.RelationAliases(relationID, queryOpts(opts)...)
 	return aliasSetOf(a), ok
 }
 
 // QueryEntityCluster lists the canonicalization cluster containing a
 // noun-phrase surface form.
-func (s *Session) QueryEntityCluster(surface string) (ClusterView, bool) {
+func (s *Session) QueryEntityCluster(surface string, opts ...QueryOpt) (ClusterView, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return ClusterView{}, false
 	}
-	c, ok := ix.NPCluster(surface)
+	c, ok := ix.NPCluster(surface, queryOpts(opts)...)
 	return clusterViewOf(c), ok
 }
 
 // QueryRelationCluster lists the canonicalization cluster containing a
 // relation-phrase surface form.
-func (s *Session) QueryRelationCluster(surface string) (ClusterView, bool) {
+func (s *Session) QueryRelationCluster(surface string, opts ...QueryOpt) (ClusterView, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return ClusterView{}, false
 	}
-	c, ok := ix.RPCluster(surface)
+	c, ok := ix.RPCluster(surface, queryOpts(opts)...)
 	return clusterViewOf(c), ok
 }
 
 // QueryTriplesBySubject enumerates the triples whose subject belongs
 // to the canonicalization cluster of the given noun phrase. limit <= 0
 // takes the configured MaxResults.
-func (s *Session) QueryTriplesBySubject(surface string, limit int) (TripleSet, bool) {
+func (s *Session) QueryTriplesBySubject(surface string, limit int, opts ...QueryOpt) (TripleSet, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return TripleSet{}, false
 	}
-	ts, ok := ix.TriplesBySubject(surface, limit)
+	ts, ok := ix.TriplesBySubject(surface, limit, queryOpts(opts)...)
 	return tripleSetOf(ts), ok
 }
 
 // QueryTriplesByRelation enumerates the triples whose predicate
 // belongs to the canonicalization cluster of the given relation
 // phrase.
-func (s *Session) QueryTriplesByRelation(surface string, limit int) (TripleSet, bool) {
+func (s *Session) QueryTriplesByRelation(surface string, limit int, opts ...QueryOpt) (TripleSet, bool) {
 	ix := s.s.Query()
 	if ix == nil {
 		return TripleSet{}, false
 	}
-	ts, ok := ix.TriplesByRelation(surface, limit)
+	ts, ok := ix.TriplesByRelation(surface, limit, queryOpts(opts)...)
 	return tripleSetOf(ts), ok
 }
 
@@ -737,6 +858,17 @@ func (s *Session) QueryGeneration() (QueryGen, bool) {
 		return QueryGen{}, false
 	}
 	return queryGenOf(gi), true
+}
+
+// QueryRetained lists the index generation ids currently answerable
+// via AsOf, ascending with the current generation last (nil when the
+// index is disabled or nothing has been ingested).
+func (s *Session) QueryRetained() []int64 {
+	ix := s.s.Query()
+	if ix == nil {
+		return nil
+	}
+	return ix.Retained()
 }
 
 func queryGenOf(gi query.GenInfo) QueryGen {
